@@ -1,0 +1,63 @@
+// Extension bench (the paper's "future work: parallelism"): serial DGEMM
+// and DGEFMM vs the thread-parallel DGEMM (column panels) and the
+// task-parallel Strassen top level (seven concurrent sub-products).
+#include <iostream>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "parallel/parallel_gemm.hpp"
+#include "parallel/parallel_strassen.hpp"
+
+using namespace strassen;
+
+int main() {
+  bench::banner("parallel extension: threads vs serial",
+                "Section 5 future work (extension)");
+  std::cout << "hardware threads: " << std::thread::hardware_concurrency()
+            << "\n\n";
+
+  const index_t m = bench::pick<index_t>(768, 2048);
+  const double tau = 127.0;
+  bench::Problem p(m, m, m);
+
+  core::DgefmmConfig serial_cfg;
+  serial_cfg.cutoff = core::CutoffCriterion::square_simple(tau);
+  Arena arena;
+
+  const double t_dgemm = bench::time_dgemm(p, 1.0, 0.0, 2);
+  const double t_dgefmm =
+      bench::time_dgefmm(p, 1.0, 0.0, serial_cfg, arena, 2);
+  const double t_pgemm = bench::time_problem(
+      p,
+      [&] {
+        parallel::dgemm_parallel(Trans::no, Trans::no, m, m, m, 1.0,
+                                 p.a.data(), p.a.ld(), p.b.data(), p.b.ld(),
+                                 0.0, p.c.data(), p.c.ld());
+      },
+      2);
+  parallel::ParallelDgefmmConfig par_cfg;
+  par_cfg.cutoff = core::CutoffCriterion::square_simple(tau);
+  const double t_pstrassen = bench::time_problem(
+      p,
+      [&] {
+        parallel::dgefmm_parallel(Trans::no, Trans::no, m, m, m, 1.0,
+                                  p.a.data(), p.a.ld(), p.b.data(),
+                                  p.b.ld(), 0.0, p.c.data(), p.c.ld(),
+                                  par_cfg);
+      },
+      2);
+
+  TextTable t({"variant", "time (s)", "speedup vs DGEMM"});
+  t.add_row({"DGEMM (serial)", fmt(t_dgemm, 4), "1.00"});
+  t.add_row({"DGEFMM (serial)", fmt(t_dgefmm, 4),
+             fmt(t_dgemm / t_dgefmm, 2)});
+  t.add_row({"DGEMM, column-parallel", fmt(t_pgemm, 4),
+             fmt(t_dgemm / t_pgemm, 2)});
+  t.add_row({"DGEFMM, 7-task top level", fmt(t_pstrassen, 4),
+             fmt(t_dgemm / t_pstrassen, 2)});
+  t.print(std::cout);
+  std::cout << "\n(the 7-task variant trades the serial code's memory "
+               "economy for concurrency; with >= 7 cores it approaches "
+               "7x over one level's serial products)\n";
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Shared plumbing for the table/figure reproduction benchmarks.
+//
+// Every bench runs in a reduced "smoke" mode by default so the whole suite
+// finishes in minutes; set STRASSEN_BENCH_FULL=1 for paper-scale problem
+// sizes (the paper swept square orders to ~2200 and rectangular dimensions
+// to ~2050).
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "blas/gemm.hpp"
+#include "blas/machine.hpp"
+#include "core/dgefmm.hpp"
+#include "support/matrix.hpp"
+#include "support/random.hpp"
+#include "support/table.hpp"
+#include "support/timing.hpp"
+
+namespace strassen::bench {
+
+/// True when STRASSEN_BENCH_FULL=1 (paper-scale sizes).
+inline bool full_mode() {
+  const char* env = std::getenv("STRASSEN_BENCH_FULL");
+  return env != nullptr && std::string(env) == "1";
+}
+
+/// Picks the smoke or full value.
+template <class T>
+T pick(T smoke, T full) {
+  return full_mode() ? full : smoke;
+}
+
+/// Prints the standard bench banner.
+inline void banner(const std::string& what, const std::string& paper_ref) {
+  std::cout << "=== " << what << " ===\n";
+  std::cout << "reproduces: " << paper_ref << "\n";
+  std::cout << "mode: " << (full_mode() ? "FULL (paper-scale)" : "smoke")
+            << "  [STRASSEN_BENCH_FULL=1 for paper-scale sizes]\n\n";
+}
+
+/// A reusable triple of random matrices for C = alpha*A*B + beta*C.
+struct Problem {
+  Matrix a, b, c, c0;
+  Problem(index_t m, index_t k, index_t n, std::uint64_t seed = 12345)
+      : a(m, k), b(k, n), c(m, n), c0(m, n) {
+    Rng rng(seed);
+    fill_random(a.view(), rng);
+    fill_random(b.view(), rng);
+    fill_random(c0.view(), rng);
+    copy(c0.view(), c.view());
+  }
+  void reset_c() { copy(c0.view(), c.view()); }
+  index_t m() const { return a.rows(); }
+  index_t k() const { return a.cols(); }
+  index_t n() const { return b.cols(); }
+};
+
+/// Minimum-of-reps timing of fn, resetting C before each run so beta != 0
+/// cases are well-defined.
+template <class F>
+double time_problem(Problem& p, F&& fn, int reps = 3) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    p.reset_c();
+    Timer t;
+    fn();
+    best = std::min(best, t.seconds());
+  }
+  return best;
+}
+
+/// Times the baseline DGEMM on problem p.
+inline double time_dgemm(Problem& p, double alpha, double beta,
+                         int reps = 3) {
+  return time_problem(
+      p,
+      [&] {
+        blas::dgemm(Trans::no, Trans::no, p.m(), p.n(), p.k(), alpha,
+                    p.a.data(), p.a.ld(), p.b.data(), p.b.ld(), beta,
+                    p.c.data(), p.c.ld());
+      },
+      reps);
+}
+
+/// Times DGEFMM with the given configuration (workspace arena reused).
+inline double time_dgefmm(Problem& p, double alpha, double beta,
+                          core::DgefmmConfig cfg, Arena& arena,
+                          int reps = 3) {
+  cfg.workspace = &arena;
+  return time_problem(
+      p,
+      [&] {
+        core::dgefmm(Trans::no, Trans::no, p.m(), p.n(), p.k(), alpha,
+                     p.a.data(), p.a.ld(), p.b.data(), p.b.ld(), beta,
+                     p.c.data(), p.c.ld(), cfg);
+      },
+      reps);
+}
+
+}  // namespace strassen::bench

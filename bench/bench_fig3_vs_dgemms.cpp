@@ -1,0 +1,94 @@
+// Figure 3: DGEFMM vs the IBM ESSL-style DGEMMS comparator on square
+// matrices. DGEMMS only multiplies (C = op(A) op(B)); in the general
+// alpha/beta case the caller must add an explicit scale-and-update pass,
+// which is exactly how the paper timed it ("an extra loop for the scaling
+// and update of C"). Reproduced claim: DGEFMM closes the gap in the
+// general case relative to the multiply-only case, because it folds the
+// update into the recursion for free.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "compare/dgemms_like.hpp"
+
+using namespace strassen;
+
+namespace {
+
+double time_dgemms_with_update(bench::Problem& p, double alpha, double beta,
+                               Matrix& prod, Arena& arena, int reps) {
+  compare::DgemmsConfig cfg;
+  cfg.tau = 127.0;
+  cfg.workspace = &arena;
+  const index_t m = p.m(), n = p.n();
+  return bench::time_problem(
+      p,
+      [&] {
+        if (alpha == 1.0 && beta == 0.0) {
+          compare::dgemms(Trans::no, Trans::no, m, n, p.k(), p.a.data(),
+                          p.a.ld(), p.b.data(), p.b.ld(), p.c.data(),
+                          p.c.ld(), cfg);
+          return;
+        }
+        // The caller-side update loop the paper added around DGEMMS.
+        compare::dgemms(Trans::no, Trans::no, m, n, p.k(), p.a.data(),
+                        p.a.ld(), p.b.data(), p.b.ld(), prod.data(),
+                        prod.ld(), cfg);
+        for (index_t j = 0; j < n; ++j) {
+          for (index_t i = 0; i < m; ++i) {
+            p.c(i, j) = alpha * prod(i, j) + beta * p.c(i, j);
+          }
+        }
+      },
+      reps);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("DGEFMM vs IBM DGEMMS-like (square)", "Figure 3");
+
+  const index_t lo = bench::pick<index_t>(192, 200);
+  const index_t hi = bench::pick<index_t>(640, 2200);
+  const index_t step = bench::pick<index_t>(64, 100);
+
+  core::DgefmmConfig cfg;
+  cfg.cutoff = core::CutoffCriterion::square_simple(127);
+
+  TextTable t({"m", "ratio (a=1,b=0)", "ratio (general a,b)"});
+  Arena arena_f, arena_s;
+  double sum_simple = 0.0, sum_general = 0.0;
+  int count = 0;
+  for (index_t m = lo; m <= hi; m += step) {
+    bench::Problem p(m, m, m);
+    Matrix prod(m, m);
+    const int reps = m >= 1024 ? 1 : 2;
+    const double f_simple = bench::time_dgefmm(p, 1.0, 0.0, cfg, arena_f, reps);
+    const double s_simple =
+        time_dgemms_with_update(p, 1.0, 0.0, prod, arena_s, reps);
+    const double f_general =
+        bench::time_dgefmm(p, 0.7, 0.3, cfg, arena_f, reps);
+    const double s_general =
+        time_dgemms_with_update(p, 0.7, 0.3, prod, arena_s, reps);
+    t.add_row({fmt(static_cast<long long>(m)), fmt(f_simple / s_simple, 4),
+               fmt(f_general / s_general, 4)});
+    sum_simple += f_simple / s_simple;
+    sum_general += f_general / s_general;
+    ++count;
+  }
+  t.print(std::cout);
+  std::cout << "\naverage ratio, alpha=1/beta=0 : "
+            << fmt(sum_simple / count, 4)
+            << "   (paper: 1.052 -- ESSL's hand-tuned kernels win)\n";
+  std::cout << "average ratio, general        : "
+            << fmt(sum_general / count, 4)
+            << "   (paper: 1.028 -- the gap narrows because DGEMMS pays an "
+               "external update pass)\n";
+  std::cout << "paper's mechanism: DGEMMS pays an external O(m^2) update "
+               "pass in the general case while DGEFMM folds it into the "
+               "recursion (STRASSEN2); DGEFMM's general path in turn does "
+               "extra leaf accumulations, so the net direction is "
+               "machine-dependent. The vendor-tuning advantage behind the "
+               "paper's >1 averages is structurally absent here -- both "
+               "codes share kernels (see EXPERIMENTS.md).\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Figure 4: DGEFMM vs the CRAY SGEMMS-like comparator (original 1969
+// Strassen variant, memory-hungry all-products-then-combine schedule,
+// dynamic padding) on the C90 machine profile. Reproduced claims: the two
+// codes are broadly comparable, with DGEFMM's Winograd schedule doing
+// fewer additions and far less temporary memory traffic.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "compare/sgemms_like.hpp"
+
+using namespace strassen;
+
+int main() {
+  bench::banner("DGEFMM vs CRAY SGEMMS-like (square, C90 profile)",
+                "Figure 4");
+  blas::ScopedMachine guard(blas::Machine::c90);
+
+  const index_t lo = bench::pick<index_t>(160, 200);
+  const index_t hi = bench::pick<index_t>(640, 2000);
+  const index_t step = bench::pick<index_t>(64, 100);
+  const double tau = 129.0;  // the paper's C90 crossover
+
+  core::DgefmmConfig cfg;
+  cfg.cutoff = core::CutoffCriterion::square_simple(tau);
+
+  TextTable t({"m", "t(DGEFMM)/t(SGEMMS-like)"});
+  Arena arena_f, arena_s;
+  double sum = 0.0;
+  int count = 0;
+  for (index_t m = lo; m <= hi; m += step) {
+    bench::Problem p(m, m, m);
+    const int reps = m >= 1024 ? 1 : 2;
+    const double t_f = bench::time_dgefmm(p, 1.0, 0.0, cfg, arena_f, reps);
+    compare::SgemmsConfig scfg;
+    scfg.tau = tau;
+    scfg.workspace = &arena_s;
+    const double t_s = bench::time_problem(
+        p,
+        [&] {
+          compare::sgemms(Trans::no, Trans::no, m, m, m, 1.0, p.a.data(),
+                          p.a.ld(), p.b.data(), p.b.ld(), 0.0, p.c.data(),
+                          p.c.ld(), scfg);
+        },
+        reps);
+    t.add_row({fmt(static_cast<long long>(m)), fmt(t_f / t_s, 4)});
+    sum += t_f / t_s;
+    ++count;
+  }
+  t.print(std::cout);
+  std::cout << "\naverage ratio: " << fmt(sum / count, 4)
+            << "   (paper: 1.066 against the vendor-tuned CRAY routine; "
+               "here both codes share kernels, so DGEFMM's lower add count "
+               "and memory traffic shows directly)\n";
+  std::cout << "workspace at m=" << hi << ": DGEFMM "
+            << core::dgefmm_workspace_doubles(hi, hi, hi, 0.0, cfg)
+            << " doubles vs SGEMMS-like "
+            << compare::sgemms_workspace_doubles(hi, hi, hi,
+                                                 compare::SgemmsConfig{tau})
+            << " doubles\n";
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Micro-benchmarks (google-benchmark): raw DGEMM throughput per machine
+// profile and the Strassen add-kernel bandwidth. These are the primitives
+// whose ratio determines where the Strassen crossover lands.
+#include <benchmark/benchmark.h>
+
+#include "blas/gemm.hpp"
+#include "blas/machine.hpp"
+#include "core/add_kernels.hpp"
+#include "support/matrix.hpp"
+#include "support/random.hpp"
+
+using namespace strassen;
+
+namespace {
+
+void bm_dgemm(benchmark::State& state, blas::Machine mach) {
+  const index_t m = state.range(0);
+  Rng rng(1);
+  Matrix a = random_matrix(m, m, rng);
+  Matrix b = random_matrix(m, m, rng);
+  Matrix c(m, m);
+  c.fill(0.0);
+  blas::ScopedMachine guard(mach);
+  for (auto _ : state) {
+    blas::dgemm(Trans::no, Trans::no, m, m, m, 1.0, a.data(), m, b.data(), m,
+                0.0, c.data(), m);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      2.0 * double(m) * double(m) * double(m) * double(state.iterations()) *
+          1e-9,
+      benchmark::Counter::kIsRate);
+}
+
+void bm_add_kernel(benchmark::State& state) {
+  const index_t m = state.range(0);
+  Rng rng(2);
+  Matrix x = random_matrix(m, m, rng);
+  Matrix y = random_matrix(m, m, rng);
+  Matrix d(m, m);
+  for (auto _ : state) {
+    core::add(x.view(), y.view(), d.view());
+    benchmark::DoNotOptimize(d.data());
+  }
+  state.counters["GB/s"] = benchmark::Counter(
+      3.0 * double(m) * double(m) * 8.0 * double(state.iterations()) * 1e-9,
+      benchmark::Counter::kIsRate);
+}
+
+void bm_dgemm_transposed(benchmark::State& state) {
+  const index_t m = state.range(0);
+  Rng rng(3);
+  Matrix a = random_matrix(m, m, rng);
+  Matrix b = random_matrix(m, m, rng);
+  Matrix c(m, m);
+  c.fill(0.0);
+  for (auto _ : state) {
+    blas::dgemm(Trans::transpose, Trans::transpose, m, m, m, 1.0, a.data(),
+                m, b.data(), m, 0.0, c.data(), m);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      2.0 * double(m) * double(m) * double(m) * double(state.iterations()) *
+          1e-9,
+      benchmark::Counter::kIsRate);
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(bm_dgemm, rs6000, blas::Machine::rs6000)
+    ->Arg(128)
+    ->Arg(384)
+    ->Arg(768)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(bm_dgemm, c90, blas::Machine::c90)
+    ->Arg(128)
+    ->Arg(384)
+    ->Arg(768)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(bm_dgemm, t3d, blas::Machine::t3d)
+    ->Arg(128)
+    ->Arg(384)
+    ->Arg(768)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_dgemm_transposed)->Arg(384)->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_add_kernel)->Arg(256)->Arg(1024)->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,52 @@
+// Regenerates the Section 2 operation-count analysis of the paper: the
+// one-level ratio (eq. 1), the theoretical cutoff, the Winograd-vs-original
+// comparison, the value of cutoffs at order 256, and the rectangular
+// boundary example. Pure integer arithmetic -- instantaneous.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "model/cutoff_theory.hpp"
+#include "model/opmodel.hpp"
+
+using namespace strassen;
+
+int main() {
+  bench::banner("Section 2 operation-count analysis", "paper Section 2");
+
+  std::cout << "one-level ratio (eq. 1), square m:\n";
+  TextTable t1({"m", "ratio", "limit 7/8"});
+  for (index_t m : {16, 32, 64, 256, 1024, 1 << 20}) {
+    t1.add_row({fmt(static_cast<long long>(m)),
+                fmt(model::one_level_ratio_square(m), 5), "0.87500"});
+  }
+  t1.print(std::cout);
+
+  std::cout << "\ntheoretical square cutoff (eq. 7/8): m <= "
+            << model::theoretical_square_cutoff() << "   (paper: 12)\n";
+
+  std::cout << "\nWinograd (eq. 4) vs original Strassen (eq. 5), deep "
+               "recursion improvement:\n";
+  TextTable t2({"m0", "limit ratio (5)/(4)", "improvement", "paper"});
+  for (index_t m0 : {1, 7, 12}) {
+    const double r = (5.0 + 2.0 * double(m0)) / (4.0 + 2.0 * double(m0));
+    const char* paper = m0 == 1 ? "14.3%" : (m0 == 7 ? "5.26%" : "3.45%");
+    t2.add_row({fmt(static_cast<long long>(m0)), fmt(r, 5),
+                fmt(100.0 * (1.0 - 1.0 / r), 2) + "%", paper});
+  }
+  t2.print(std::cout);
+
+  const double no_cut = double(model::winograd_cost_square(1, 8));
+  const double cut12 = double(model::winograd_cost_square(8, 5));
+  std::cout << "\ncutoff value at order 256 (eq. 4, d=8/m0=1 vs d=5/m0=8):\n"
+            << "  improvement from cutoffs = "
+            << fmt(100.0 * (1.0 - cut12 / no_cut), 1)
+            << "%   (paper: 38.2%)\n";
+
+  std::cout << "\nrectangular boundary example (m,k,n) = (6,14,86):\n"
+            << "  recursion beneficial: "
+            << (model::recursion_beneficial(6, 14, 86) ? "yes" : "no")
+            << "   (paper: yes, although m=6 < square cutoff 12)\n"
+            << "  smallest beneficial even m at k=14, n=86: "
+            << model::min_beneficial_m(14, 86) << "\n";
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Table 1: memory requirements of the Strassen codes for order-m
+// multiplies. Unlike the paper (which quotes analytic bounds), this bench
+// MEASURES the arena high-water mark of an actual run and prints it next
+// to the analytic predictor and the paper's coefficient.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "compare/dgemms_like.hpp"
+#include "compare/dgemmw_like.hpp"
+#include "compare/sgemms_like.hpp"
+
+using namespace strassen;
+
+namespace {
+
+std::size_t measured_peak_dgefmm(index_t m, double beta,
+                                 const core::DgefmmConfig& base) {
+  core::DgefmmConfig cfg = base;
+  Arena arena;
+  cfg.workspace = &arena;
+  bench::Problem p(m, m, m);
+  core::dgefmm(Trans::no, Trans::no, m, m, m, 1.0, p.a.data(), p.a.ld(),
+               p.b.data(), p.b.ld(), beta, p.c.data(), p.c.ld(), cfg);
+  return arena.peak();
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("measured temporary-memory footprints (order-m multiply)",
+                "Table 1");
+  const index_t m = bench::pick<index_t>(512, 1024);
+  const double m2 = double(m) * double(m);
+  const double tau = 8.0;  // deep recursion => asymptotic coefficients
+  auto c = [&](double doubles) { return fmt(doubles / m2, 3); };
+
+  core::DgefmmConfig dgefmm_cfg;
+  dgefmm_cfg.cutoff = core::CutoffCriterion::square_simple(tau);
+  core::DgefmmConfig s1 = dgefmm_cfg;
+  s1.scheme = core::Scheme::strassen1;
+  core::DgefmmConfig s2 = dgefmm_cfg;
+  s2.scheme = core::Scheme::strassen2;
+
+  TextTable t({"implementation", "beta", "measured/m^2", "predicted/m^2",
+               "paper/m^2"});
+
+  // DGEFMM (automatic scheme), both beta cases.
+  t.add_row({"DGEFMM", "0",
+             c(double(measured_peak_dgefmm(m, 0.0, dgefmm_cfg))),
+             c(double(core::dgefmm_workspace_doubles(m, m, m, 0.0,
+                                                     dgefmm_cfg))),
+             "0.667"});
+  t.add_row({"DGEFMM", "!=0",
+             c(double(measured_peak_dgefmm(m, 1.0, dgefmm_cfg))),
+             c(double(core::dgefmm_workspace_doubles(m, m, m, 1.0,
+                                                     dgefmm_cfg))),
+             "1.000"});
+  t.add_row({"STRASSEN1", "0", c(double(measured_peak_dgefmm(m, 0.0, s1))),
+             c(double(core::dgefmm_workspace_doubles(m, m, m, 0.0, s1))),
+             "0.667"});
+  t.add_row({"STRASSEN1", "!=0", c(double(measured_peak_dgefmm(m, 1.0, s1))),
+             c(double(core::dgefmm_workspace_doubles(m, m, m, 1.0, s1))),
+             "2.000 (bound)"});
+  t.add_row({"STRASSEN2", "0", c(double(measured_peak_dgefmm(m, 0.0, s2))),
+             c(double(core::dgefmm_workspace_doubles(m, m, m, 0.0, s2))),
+             "1.000"});
+  t.add_row({"STRASSEN2", "!=0", c(double(measured_peak_dgefmm(m, 1.0, s2))),
+             c(double(core::dgefmm_workspace_doubles(m, m, m, 1.0, s2))),
+             "1.000"});
+
+  // DGEMMW-like.
+  {
+    compare::DgemmwConfig wcfg;
+    wcfg.tau = tau;
+    for (double beta : {0.0, 1.0}) {
+      Arena arena;
+      wcfg.workspace = &arena;
+      bench::Problem p(m, m, m);
+      compare::dgemmw(Trans::no, Trans::no, m, m, m, 1.0, p.a.data(),
+                      p.a.ld(), p.b.data(), p.b.ld(), beta, p.c.data(),
+                      p.c.ld(), wcfg);
+      t.add_row({"DGEMMW-like", beta == 0.0 ? "0" : "!=0",
+                 c(double(arena.peak())),
+                 c(double(compare::dgemmw_workspace_doubles(m, m, m, beta,
+                                                            wcfg))),
+                 beta == 0.0 ? "0.667" : "1.667"});
+    }
+  }
+
+  // DGEMMS-like (multiply-only).
+  {
+    compare::DgemmsConfig scfg;
+    scfg.tau = tau;
+    Arena arena;
+    scfg.workspace = &arena;
+    bench::Problem p(m, m, m);
+    compare::dgemms(Trans::no, Trans::no, m, m, m, p.a.data(), p.a.ld(),
+                    p.b.data(), p.b.ld(), p.c.data(), p.c.ld(), scfg);
+    t.add_row({"DGEMMS-like (ESSL)", "n/a", c(double(arena.peak())),
+               c(double(compare::dgemms_workspace_doubles(m, m, m, scfg))),
+               "1.400"});
+  }
+
+  // SGEMMS-like.
+  {
+    compare::SgemmsConfig ccfg;
+    ccfg.tau = tau;
+    Arena arena;
+    ccfg.workspace = &arena;
+    bench::Problem p(m, m, m);
+    compare::sgemms(Trans::no, Trans::no, m, m, m, 1.0, p.a.data(), p.a.ld(),
+                    p.b.data(), p.b.ld(), 1.0, p.c.data(), p.c.ld(), ccfg);
+    t.add_row({"SGEMMS-like (CRAY)", "any", c(double(arena.peak())),
+               c(double(compare::sgemms_workspace_doubles(m, m, m, ccfg))),
+               "2.333"});
+  }
+
+  t.print(std::cout);
+  std::cout << "\nreproduced claims: DGEFMM needs 2/3 m^2 (beta==0) and "
+               "1 m^2 (beta!=0); vs DGEMMW general that is a 40% reduction, "
+               "vs the CRAY organization >55% ('40 to more than 70 "
+               "percent').\n";
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Table 2: empirically determined square cutoffs tau on the three machine
+// profiles. The paper measured 199 (RS/6000), 129 (C90), 325 (T3D); the
+// reproduction claim is the EXISTENCE of a machine-dependent, moderate-size
+// crossover, not its absolute value (the profiles are kernel styles on one
+// host -- see DESIGN.md, Substitutions).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "tuning/crossover.hpp"
+
+using namespace strassen;
+
+int main() {
+  bench::banner("empirical square cutoffs per machine profile", "Table 2");
+
+  tuning::CrossoverOptions opts;
+  opts.min_size = bench::pick<index_t>(64, 64);
+  opts.max_size = bench::pick<index_t>(512, 1536);
+  opts.step = bench::pick<index_t>(32, 16);
+  opts.reps = bench::pick(2, 3);
+
+  TextTable t({"machine profile", "empirical tau", "paper tau"});
+  const long long paper_tau[] = {199, 129, 325};
+  int i = 0;
+  for (blas::Machine mach : blas::kAllMachines) {
+    blas::ScopedMachine guard(mach);
+    const auto result = tuning::find_square_crossover(opts);
+    t.add_row({blas::machine_name(mach),
+               fmt(static_cast<long long>(result.tau)), fmt(paper_tau[i++])});
+  }
+  t.print(std::cout);
+  std::cout << "\n(a tau equal to the sweep maximum means DGEMM still wins "
+            << "everywhere in range on that profile; rerun with "
+            << "STRASSEN_BENCH_FULL=1 for a wider sweep)\n";
+  return 0;
+}

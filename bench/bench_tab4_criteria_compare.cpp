@@ -1,0 +1,138 @@
+// Table 4: comparison of rectangular cutoff criteria. For each pair of
+// criteria, random (m, k, n) problems are rejection-sampled so that the two
+// criteria make OPPOSITE recursion decisions at the top level (on problems
+// where they agree the codes are identical, as the paper notes), then
+// DGEFMM is timed under both and the ratio new/other is summarized by
+// range, quartiles, and average.
+//
+// Also prints the Section 4.2 motivating case m=160, k=1957, n=957 (full
+// mode), where criterion (11) forgoes a beneficial extra recursion.
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "support/stats.hpp"
+#include "tuning/crossover.hpp"
+
+using namespace strassen;
+using core::CutoffCriterion;
+
+namespace {
+
+struct Comparison {
+  std::string label;
+  CutoffCriterion ours;   // (15)
+  CutoffCriterion other;  // (11) or (12)
+  bool two_dims_large;
+  int samples;
+};
+
+double time_with(bench::Problem& p, const CutoffCriterion& cut,
+                 Arena& arena) {
+  core::DgefmmConfig cfg;
+  cfg.cutoff = cut;
+  return bench::time_dgefmm(p, 1.0, 0.0, cfg, arena, 2);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("cutoff criteria comparison on random problems",
+                "Table 4 (plus the Section 4.2 rectangular example)");
+
+  // As in the paper, the criterion parameters are tuned on the actual host
+  // first (Section 4.2 performs the Table 2/3 measurements before the
+  // Table 4 comparison); a coarse search suffices here.
+  tuning::CrossoverOptions topts;
+  topts.min_size = 64;
+  topts.max_size = bench::pick<index_t>(320, 768);
+  topts.step = 32;
+  topts.fixed_large = bench::pick<index_t>(448, 1500);
+  topts.reps = 2;
+  const CutoffCriterion tuned = tuning::tune_hybrid_criterion(topts);
+  std::cout << "host-tuned criterion: " << tuned.describe() << "\n\n";
+  const double tau = tuned.tau, tm = tuned.tau_m, tk = tuned.tau_k,
+               tn = tuned.tau_n;
+  const CutoffCriterion ours = CutoffCriterion::hybrid(tau, tm, tk, tn);
+  const CutoffCriterion simple = CutoffCriterion::square_simple(tau);
+  const CutoffCriterion higham = CutoffCriterion::higham_scaled(tau);
+
+  // Dimension range as in the paper: from the smaller of tau/3 and the
+  // rectangular parameters up to the sweep maximum.
+  const index_t lo = std::max<index_t>(
+      16, static_cast<index_t>(
+              std::min(std::min(tau / 3.0, tm), std::min(tk, tn))));
+  const index_t hi = bench::pick<index_t>(448, 2050);
+  const index_t big = bench::pick<index_t>(384, 1800);
+  const int n_small = bench::pick(8, 60);
+  const int n_large = bench::pick(12, 120);
+
+  std::vector<Comparison> comparisons = {
+      {"(15)/(11)", ours, simple, false, n_small},
+      {"(15)/(12)", ours, higham, false, n_large},
+      {"(15)/(12), two dims large", ours, higham, true, n_small},
+  };
+
+  TextTable t({"comparison", "samples", "range", "quartiles", "average",
+               "paper avg"});
+  const char* paper_avg[] = {"0.9529", "1.0017", "0.9888"};
+  int ci = 0;
+  Rng rng(2024);
+  for (const Comparison& cmp : comparisons) {
+    std::vector<double> ratios;
+    Arena arena;
+    int tries = 0;
+    while (static_cast<int>(ratios.size()) < cmp.samples &&
+           tries < cmp.samples * 400) {
+      ++tries;
+      index_t m, k, n;
+      if (cmp.two_dims_large) {
+        m = rng.uniform_index(lo, hi);
+        k = rng.uniform_index(big, hi);
+        n = rng.uniform_index(big, hi);
+        // Rotate which dimension is the small one.
+        const index_t which = rng.uniform_index(0, 2);
+        if (which == 1) std::swap(m, k);
+        if (which == 2) std::swap(m, n);
+      } else {
+        m = rng.uniform_index(lo, hi);
+        k = rng.uniform_index(lo, hi);
+        n = rng.uniform_index(lo, hi);
+      }
+      if (cmp.ours.stop(m, k, n, 0) == cmp.other.stop(m, k, n, 0)) continue;
+      bench::Problem p(m, k, n, static_cast<std::uint64_t>(tries));
+      const double t_ours = time_with(p, cmp.ours, arena);
+      const double t_other = time_with(p, cmp.other, arena);
+      ratios.push_back(t_ours / t_other);
+    }
+    if (ratios.empty()) {
+      // On hosts where the tuned rectangular parameters all exceed tau,
+      // the hybrid and simple criteria coincide and there is nothing to
+      // time -- the criteria have identical performance by construction.
+      t.add_row({cmp.label, "0", "criteria agree", "everywhere in range",
+                 "1.0000", paper_avg[ci++]});
+      continue;
+    }
+    const Summary s = summarize(ratios);
+    t.add_row({cmp.label, fmt(static_cast<long long>(s.count)),
+               fmt(s.min, 4) + "-" + fmt(s.max, 4),
+               fmt(s.q1, 4) + ";" + fmt(s.median, 4) + ";" + fmt(s.q3, 4),
+               fmt(s.mean, 4), paper_avg[ci++]});
+  }
+  t.print(std::cout);
+  std::cout << "\nratios < 1 mean the paper's hybrid criterion (15) is "
+               "faster on problems where the criteria disagree.\n";
+
+  // The Section 4.2 named example (full mode only; it needs k ~ 2000).
+  if (bench::full_mode()) {
+    bench::Problem p(160, 1957, 957);
+    Arena arena;
+    const double t_simple = time_with(p, simple, arena);
+    const double t_ours = time_with(p, ours, arena);
+    std::cout << "\nSection 4.2 example m=160 k=1957 n=957: hybrid/simple = "
+              << fmt(t_ours / t_simple, 4) << "  (paper: 0.914)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Empirical cutoff tuning (Section 3.4): measures the square crossover tau
+// and the rectangular parameters (tau_m, tau_k, tau_n) for each machine
+// profile on THIS host, printing the tuned hybrid criterion (eq. 15).
+//
+// Usage: cutoff_tuning [max_size] [fixed_large]   (defaults: 384 512)
+// The paper swept to ~2050 with two dimensions fixed at 2000; scale up the
+// arguments for a full-fidelity run.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "blas/machine.hpp"
+#include "tuning/crossover.hpp"
+#include "tuning/persist.hpp"
+
+using namespace strassen;
+
+int main(int argc, char** argv) {
+  tuning::CrossoverOptions opts;
+  opts.min_size = 64;
+  opts.max_size = argc > 1 ? std::atoll(argv[1]) : 384;
+  opts.step = 16;
+  opts.fixed_large = argc > 2 ? std::atoll(argv[2]) : 512;
+  opts.reps = 2;
+
+  std::cout << "Tuning DGEFMM cutoff parameters (sweep " << opts.min_size
+            << ".." << opts.max_size << " step " << opts.step
+            << ", fixed large = " << opts.fixed_large << ")\n\n";
+
+  for (blas::Machine mach : blas::kAllMachines) {
+    blas::ScopedMachine guard(mach);
+    std::cout << "machine profile " << blas::machine_name(mach) << ":\n";
+    const auto square = tuning::find_square_crossover(opts);
+    std::cout << "  square crossover tau = " << square.tau << "\n";
+    const auto rect = tuning::find_rectangular_params(opts);
+    std::cout << "  rectangular tau_m = " << rect.tau_m
+              << ", tau_k = " << rect.tau_k << ", tau_n = " << rect.tau_n
+              << "\n";
+    const auto crit = core::CutoffCriterion::hybrid(
+        double(square.tau), double(rect.tau_m), double(rect.tau_k),
+        double(rect.tau_n));
+    std::cout << "  tuned criterion: " << crit.describe() << "\n\n";
+  }
+  std::cout << "(Paper values, Tables 2-3: RS/6000 tau=199 (75,125,95); "
+               "C90 tau=129 (80,45,20); T3D tau=325 (125,75,109).)\n";
+
+  // Section 4.2: the parameters may differ between beta == 0 and the
+  // general case, so tune both sets and persist them for later runs.
+  std::cout << "\ntuning both parameter sets (beta = 0 and general) on the "
+               "default profile...\n";
+  const tuning::TunedCriteria both = tuning::tune_both_cases(opts);
+  std::cout << "  beta = 0 : " << both.beta_zero.describe() << "\n";
+  std::cout << "  general  : " << both.general.describe() << "\n";
+  const std::string path = "dgefmm_params.txt";
+  if (tuning::save_criteria_file(both, path)) {
+    std::cout << "saved to " << path
+              << " (reload with tuning::load_criteria_file)\n";
+  }
+  return 0;
+}

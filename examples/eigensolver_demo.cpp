@@ -1,0 +1,60 @@
+// The Section 4.4 application: an ISDA symmetric eigensolver whose kernel
+// operation is matrix multiplication. Running it with DGEMM and with
+// DGEFMM shows the drop-in performance gain on the MM-dominated fraction
+// of a real numerical pipeline.
+//
+// Usage: eigensolver_demo [n]        (default: 400)
+#include <cstdlib>
+#include <iostream>
+
+#include "blas/gemm.hpp"
+#include "eigen/isda.hpp"
+#include "support/matrix.hpp"
+#include "support/random.hpp"
+
+using namespace strassen;
+
+int main(int argc, char** argv) {
+  const index_t n = argc > 1 ? std::atoll(argv[1]) : 400;
+  std::cout << "ISDA eigensolver demo on a random symmetric " << n << "x" << n
+            << " matrix\n\n";
+
+  Rng rng(7);
+  Matrix a(n, n);
+  fill_random_symmetric(a.view(), rng);
+
+  auto run = [&](const char* label, eigen::GemmFn gemm) {
+    eigen::IsdaOptions opts;
+    opts.gemm = std::move(gemm);
+    eigen::IsdaResult res = eigen::isda_eigensolver(a.view(), opts);
+    std::cout << "  " << label << ":\n";
+    std::cout << "    total time       : " << res.stats.total_seconds
+              << " s\n";
+    std::cout << "    MM time          : " << res.stats.mm_seconds << " s ("
+              << 100.0 * res.stats.mm_seconds / res.stats.total_seconds
+              << "% of total)\n";
+    std::cout << "    GEMM calls       : " << res.stats.gemm_calls
+              << ", beta iterations: " << res.stats.beta_iterations
+              << ", splits: " << res.stats.splits
+              << ", Jacobi blocks: " << res.stats.jacobi_blocks << "\n";
+    std::cout << "    spectrum         : [" << res.eigenvalues.front() << ", "
+              << res.eigenvalues.back() << "]\n";
+    return res;
+  };
+
+  const auto base = run("with DGEMM ", eigen::gemm_backend_dgemm());
+  const auto fast = run("with DGEFMM", eigen::gemm_backend_dgefmm());
+
+  double max_dw = 0.0;
+  for (std::size_t i = 0; i < base.eigenvalues.size(); ++i) {
+    max_dw = std::max(max_dw,
+                      std::abs(base.eigenvalues[i] - fast.eigenvalues[i]));
+  }
+  std::cout << "\n  max eigenvalue difference between backends: " << max_dw
+            << "\n";
+  std::cout << "  MM-time ratio DGEFMM/DGEMM: "
+            << fast.stats.mm_seconds / base.stats.mm_seconds << "\n";
+  std::cout << "  (the paper reports ~0.79 on a 1000x1000 RS/6000 run; run "
+               "with a larger n to see the gain grow)\n";
+  return 0;
+}

@@ -1,0 +1,260 @@
+#include "blas/gemm.hpp"
+
+#include <cassert>
+#include <vector>
+
+#include "blas/kernels.hpp"
+#include "support/aligned_buffer.hpp"
+#include "support/opcount.hpp"
+
+namespace strassen::blas {
+
+namespace {
+
+using detail::kMR;
+using detail::kNR;
+
+// Scales C <- beta * C (handles beta == 0 by assignment so NaNs in an
+// uninitialized C never propagate, per the BLAS contract).
+void scale_c(index_t m, index_t n, double beta, double* c, index_t ldc) {
+  if (beta == 1.0) return;
+  if (beta == 0.0) {
+    for (index_t j = 0; j < n; ++j) {
+      double* col = c + j * ldc;
+      for (index_t i = 0; i < m; ++i) col[i] = 0.0;
+    }
+  } else {
+    for (index_t j = 0; j < n; ++j) {
+      double* col = c + j * ldc;
+      for (index_t i = 0; i < m; ++i) col[i] *= beta;
+    }
+  }
+}
+
+// Writes a micro-tile accumulator into C: C <- alpha*acc + beta_eff*C over
+// the valid (rows x cols) corner.
+void write_tile(const double* acc, index_t rows, index_t cols, double alpha,
+                double beta_eff, double* c, index_t ldc) {
+  if (beta_eff == 0.0) {
+    for (index_t j = 0; j < cols; ++j) {
+      for (index_t i = 0; i < rows; ++i) {
+        c[i + j * ldc] = alpha * acc[i + j * kMR];
+      }
+    }
+  } else if (beta_eff == 1.0) {
+    for (index_t j = 0; j < cols; ++j) {
+      for (index_t i = 0; i < rows; ++i) {
+        c[i + j * ldc] += alpha * acc[i + j * kMR];
+      }
+    }
+  } else {
+    for (index_t j = 0; j < cols; ++j) {
+      for (index_t i = 0; i < rows; ++i) {
+        c[i + j * ldc] = alpha * acc[i + j * kMR] + beta_eff * c[i + j * ldc];
+      }
+    }
+  }
+}
+
+// Per-thread packing buffers. These belong to the DGEMM implementation
+// (the vendor BLAS on the paper's machines has the same kind of internal
+// scratch) and are deliberately *not* drawn from the Strassen workspace
+// arena: Table 1 counts Strassen temporaries, not BLAS internals.
+struct PackBuffers {
+  AlignedBuffer a_pack;
+  AlignedBuffer b_pack;
+  void ensure(std::size_t a_need, std::size_t b_need) {
+    if (a_pack.size() < a_need) a_pack = AlignedBuffer(a_need);
+    if (b_pack.size() < b_need) b_pack = AlignedBuffer(b_need);
+  }
+};
+
+PackBuffers& pack_buffers() {
+  thread_local PackBuffers bufs;
+  return bufs;
+}
+
+// Packed, cache-blocked DGEMM (GotoBLAS structure).
+void gemm_packed(const GemmBlocking& bk, index_t m, index_t n, index_t k,
+                 double alpha, const double* a, index_t a_rs, index_t a_cs,
+                 const double* b, index_t b_rs, index_t b_cs, double beta,
+                 double* c, index_t ldc) {
+  PackBuffers& bufs = pack_buffers();
+  bufs.ensure(static_cast<std::size_t>(bk.mc + kMR) * bk.kc,
+              static_cast<std::size_t>(bk.kc) * (bk.nc + kNR));
+  double* a_pack = bufs.a_pack.data();
+  double* b_pack = bufs.b_pack.data();
+
+  double acc[kMR * kNR];
+
+  for (index_t jc = 0; jc < n; jc += bk.nc) {
+    const index_t nc = (n - jc < bk.nc) ? (n - jc) : bk.nc;
+    for (index_t pc = 0; pc < k; pc += bk.kc) {
+      const index_t kc = (k - pc < bk.kc) ? (k - pc) : bk.kc;
+      const double beta_eff = (pc == 0) ? beta : 1.0;
+      detail::pack_b(b + pc * b_rs + jc * b_cs, b_rs, b_cs, kc, nc, b_pack);
+      for (index_t ic = 0; ic < m; ic += bk.mc) {
+        const index_t mc = (m - ic < bk.mc) ? (m - ic) : bk.mc;
+        detail::pack_a(a + ic * a_rs + pc * a_cs, a_rs, a_cs, mc, kc, a_pack);
+        const index_t mc_panels = (mc + kMR - 1) / kMR;
+        const index_t nc_panels = (nc + kNR - 1) / kNR;
+        for (index_t jr = 0; jr < nc_panels; ++jr) {
+          const double* bp = b_pack + jr * (kNR * kc);
+          const index_t cols = (nc - jr * kNR < kNR) ? (nc - jr * kNR) : kNR;
+          for (index_t ir = 0; ir < mc_panels; ++ir) {
+            const double* ap = a_pack + ir * (kMR * kc);
+            const index_t rows = (mc - ir * kMR < kMR) ? (mc - ir * kMR) : kMR;
+            detail::micro_kernel(kc, ap, bp, acc);
+            write_tile(acc, rows, cols, alpha, beta_eff,
+                       c + (ic + ir * kMR) + (jc + jr * kNR) * ldc, ldc);
+          }
+        }
+      }
+    }
+  }
+}
+
+// Vector-machine style DGEMM: for each column of C, sweep the columns of
+// op(A) with DAXPY-like updates. Long unit-stride streams, no blocking.
+void gemm_column_sweep(index_t m, index_t n, index_t k, double alpha,
+                       const double* a, index_t a_rs, index_t a_cs,
+                       const double* b, index_t b_rs, index_t b_cs,
+                       double beta, double* c, index_t ldc) {
+  scale_c(m, n, beta, c, ldc);
+  for (index_t j = 0; j < n; ++j) {
+    double* cj = c + j * ldc;
+    for (index_t p = 0; p < k; ++p) {
+      const double s = alpha * b[p * b_rs + j * b_cs];
+      if (s == 0.0) continue;
+      const double* ap = a + p * a_cs;
+      if (a_rs == 1) {
+        for (index_t i = 0; i < m; ++i) cj[i] += s * ap[i];
+      } else {
+        for (index_t i = 0; i < m; ++i) cj[i] += s * ap[i * a_rs];
+      }
+    }
+  }
+}
+
+// Small-tile blocked DGEMM without packing (small-cache microprocessor
+// style). Tiles are read in place, so strided (transposed) operands pay
+// their natural penalty, as they did on the T3D.
+void gemm_tiled(const GemmBlocking& bk, index_t m, index_t n, index_t k,
+                double alpha, const double* a, index_t a_rs, index_t a_cs,
+                const double* b, index_t b_rs, index_t b_cs, double beta,
+                double* c, index_t ldc) {
+  scale_c(m, n, beta, c, ldc);
+  const index_t tile = bk.mc;  // square tiles for this profile
+  for (index_t pc = 0; pc < k; pc += tile) {
+    const index_t kc = (k - pc < tile) ? (k - pc) : tile;
+    for (index_t jc = 0; jc < n; jc += tile) {
+      const index_t nc = (n - jc < tile) ? (n - jc) : tile;
+      for (index_t ic = 0; ic < m; ic += tile) {
+        const index_t mc = (m - ic < tile) ? (m - ic) : tile;
+        for (index_t j = 0; j < nc; ++j) {
+          double* cj = c + ic + (jc + j) * ldc;
+          for (index_t p = 0; p < kc; ++p) {
+            const double s = alpha * b[(pc + p) * b_rs + (jc + j) * b_cs];
+            const double* ap = a + (ic)*a_rs + (pc + p) * a_cs;
+            if (a_rs == 1) {
+              for (index_t i = 0; i < mc; ++i) cj[i] += s * ap[i];
+            } else {
+              for (index_t i = 0; i < mc; ++i) cj[i] += s * ap[i * a_rs];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void record_ops(index_t m, index_t n, index_t k, double alpha, double beta) {
+  if (!opcount::enabled()) return;
+  if (k > 0 && alpha != 0.0) {
+    opcount::record_gemm(m, k, n, /*accumulate=*/beta != 0.0);
+    if (alpha != 1.0) opcount::record_scale(static_cast<count_t>(m) * n);
+  }
+  if (beta != 0.0 && beta != 1.0) {
+    opcount::record_scale(static_cast<count_t>(m) * n);
+  }
+}
+
+}  // namespace
+
+void dgemm_on(Machine machine, Trans transa, Trans transb, index_t m,
+              index_t n, index_t k, double alpha, const double* a, index_t lda,
+              const double* b, index_t ldb, double beta, double* c,
+              index_t ldc) {
+  assert(m >= 0 && n >= 0 && k >= 0);
+  assert(lda >= 1 && ldb >= 1 && ldc >= (m > 0 ? m : 1));
+  if (m == 0 || n == 0) return;
+  record_ops(m, n, k, alpha, beta);
+  if (k == 0 || alpha == 0.0) {
+    scale_c(m, n, beta, c, ldc);
+    return;
+  }
+  // Strides of op(A) (m x k) and op(B) (k x n) over the raw storage.
+  const index_t a_rs = is_trans(transa) ? lda : 1;
+  const index_t a_cs = is_trans(transa) ? 1 : lda;
+  const index_t b_rs = is_trans(transb) ? ldb : 1;
+  const index_t b_cs = is_trans(transb) ? 1 : ldb;
+
+  switch (machine) {
+    case Machine::rs6000:
+      gemm_packed(blocking_for(machine), m, n, k, alpha, a, a_rs, a_cs, b,
+                  b_rs, b_cs, beta, c, ldc);
+      return;
+    case Machine::c90:
+      gemm_column_sweep(m, n, k, alpha, a, a_rs, a_cs, b, b_rs, b_cs, beta, c,
+                        ldc);
+      return;
+    case Machine::t3d:
+      gemm_tiled(blocking_for(machine), m, n, k, alpha, a, a_rs, a_cs, b, b_rs,
+                 b_cs, beta, c, ldc);
+      return;
+  }
+}
+
+void dgemm(Trans transa, Trans transb, index_t m, index_t n, index_t k,
+           double alpha, const double* a, index_t lda, const double* b,
+           index_t ldb, double beta, double* c, index_t ldc) {
+  dgemm_on(active_machine(), transa, transb, m, n, k, alpha, a, lda, b, ldb,
+           beta, c, ldc);
+}
+
+void gemm_reference(Trans transa, Trans transb, index_t m, index_t n,
+                    index_t k, double alpha, const double* a, index_t lda,
+                    const double* b, index_t ldb, double beta, double* c,
+                    index_t ldc) {
+  const index_t a_rs = is_trans(transa) ? lda : 1;
+  const index_t a_cs = is_trans(transa) ? 1 : lda;
+  const index_t b_rs = is_trans(transb) ? ldb : 1;
+  const index_t b_cs = is_trans(transb) ? 1 : ldb;
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < m; ++i) {
+      double sum = 0.0;
+      for (index_t p = 0; p < k; ++p) {
+        sum += a[i * a_rs + p * a_cs] * b[p * b_rs + j * b_cs];
+      }
+      double& cij = c[i + j * ldc];
+      cij = alpha * sum + (beta == 0.0 ? 0.0 : beta * cij);
+    }
+  }
+}
+
+void gemm_view(double alpha, ConstView a, ConstView b, double beta,
+               MutView c) {
+  assert(a.cols == b.rows);
+  assert(c.rows == a.rows && c.cols == b.cols);
+  assert(c.col_major());
+  assert(a.col_major() || a.row_major());
+  assert(b.col_major() || b.row_major());
+  const Trans ta = a.col_major() ? Trans::no : Trans::transpose;
+  const Trans tb = b.col_major() ? Trans::no : Trans::transpose;
+  const index_t lda = a.col_major() ? a.ld_col() : a.ld_row();
+  const index_t ldb = b.col_major() ? b.ld_col() : b.ld_row();
+  dgemm(ta, tb, c.rows, c.cols, a.cols, alpha, a.p, lda, b.p, ldb, beta, c.p,
+        c.ld_col());
+}
+
+}  // namespace strassen::blas

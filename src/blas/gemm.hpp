@@ -1,0 +1,48 @@
+// Level 3 BLAS DGEMM: C <- alpha * op(A) * op(B) + beta * C.
+//
+// Three implementations, selected by the active Machine profile (see
+// machine.hpp):
+//  * packed cache-blocked with a register micro-kernel (rs6000),
+//  * column-sweep DAXPY outer products (c90),
+//  * small-tile blocked without packing (t3d),
+// plus a deliberately simple reference implementation for tests.
+//
+// This DGEMM is both the baseline the paper's Strassen code must beat and
+// the routine used for the bottom-level multiplications once the recursion
+// is cut off.
+#pragma once
+
+#include "blas/machine.hpp"
+#include "support/config.hpp"
+#include "support/matrix.hpp"
+
+namespace strassen::blas {
+
+/// C <- alpha * op(A) * op(B) + beta * C using the active machine profile.
+/// A is lda x (ka) column-major where op(A) is m x k; B likewise; C is m x n
+/// with leading dimension ldc. Degenerate extents (0) are handled; k == 0
+/// reduces to C <- beta*C.
+void dgemm(Trans transa, Trans transb, index_t m, index_t n, index_t k,
+           double alpha, const double* a, index_t lda, const double* b,
+           index_t ldb, double beta, double* c, index_t ldc);
+
+/// Same, with an explicit machine profile.
+void dgemm_on(Machine machine, Trans transa, Trans transb, index_t m,
+              index_t n, index_t k, double alpha, const double* a, index_t lda,
+              const double* b, index_t ldb, double beta, double* c,
+              index_t ldc);
+
+/// Deliberately naive triple-loop implementation used as the oracle in
+/// tests. Supports the full DGEMM contract.
+void gemm_reference(Trans transa, Trans transb, index_t m, index_t n,
+                    index_t k, double alpha, const double* a, index_t lda,
+                    const double* b, index_t ldb, double beta, double* c,
+                    index_t ldc);
+
+/// View-based entry point used by the Strassen internals.
+///
+/// A and B may be transposed views (row-major strides); C must be a plain
+/// column-major view. Dispatches to dgemm on the active machine profile.
+void gemm_view(double alpha, ConstView a, ConstView b, double beta, MutView c);
+
+}  // namespace strassen::blas

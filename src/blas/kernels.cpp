@@ -1,0 +1,48 @@
+#include "blas/kernels.hpp"
+
+namespace strassen::blas::detail {
+
+void pack_a(const double* a, index_t rs, index_t cs, index_t mc, index_t kc,
+            double* out) {
+  for (index_t ip = 0; ip < mc; ip += kMR) {
+    const index_t rows = (mc - ip < kMR) ? (mc - ip) : kMR;
+    for (index_t p = 0; p < kc; ++p) {
+      const double* col = a + ip * rs + p * cs;
+      index_t r = 0;
+      for (; r < rows; ++r) out[p * kMR + r] = col[r * rs];
+      for (; r < kMR; ++r) out[p * kMR + r] = 0.0;
+    }
+    out += kMR * kc;
+  }
+}
+
+void pack_b(const double* b, index_t rs, index_t cs, index_t kc, index_t nc,
+            double* out) {
+  for (index_t jp = 0; jp < nc; jp += kNR) {
+    const index_t cols = (nc - jp < kNR) ? (nc - jp) : kNR;
+    for (index_t p = 0; p < kc; ++p) {
+      const double* row = b + p * rs + jp * cs;
+      index_t c = 0;
+      for (; c < cols; ++c) out[p * kNR + c] = row[c * cs];
+      for (; c < kNR; ++c) out[p * kNR + c] = 0.0;
+    }
+    out += kNR * kc;
+  }
+}
+
+void micro_kernel(index_t kc, const double* a, const double* b, double* acc) {
+  double t[kMR * kNR] = {};
+  for (index_t p = 0; p < kc; ++p) {
+    const double* ap = a + p * kMR;
+    const double* bp = b + p * kNR;
+    for (index_t c = 0; c < kNR; ++c) {
+      const double bv = bp[c];
+      for (index_t r = 0; r < kMR; ++r) {
+        t[r + c * kMR] += ap[r] * bv;
+      }
+    }
+  }
+  for (index_t i = 0; i < kMR * kNR; ++i) acc[i] = t[i];
+}
+
+}  // namespace strassen::blas::detail

@@ -1,0 +1,29 @@
+// Packing routines and the register-tiled micro-kernel used by the
+// cache-blocked DGEMM (GotoBLAS/BLIS-style structure).
+#pragma once
+
+#include "support/config.hpp"
+
+namespace strassen::blas::detail {
+
+/// Micro-tile extents. MR x NR accumulators fit comfortably in registers
+/// and give the compiler straight-line code to vectorize.
+inline constexpr index_t kMR = 4;
+inline constexpr index_t kNR = 8;
+
+/// Packs an mc x kc block of op(A) (given by strides rs/cs) into row-panels
+/// of kMR rows: out[(ip/kMR) panel][p * kMR + r]. Rows beyond mc are
+/// zero-padded so the micro-kernel never needs row masking on its inputs.
+void pack_a(const double* a, index_t rs, index_t cs, index_t mc, index_t kc,
+            double* out);
+
+/// Packs a kc x nc block of op(B) into column-panels of kNR columns:
+/// out[(jp/kNR) panel][p * kNR + c], zero-padding columns beyond nc.
+void pack_b(const double* b, index_t rs, index_t cs, index_t kc, index_t nc,
+            double* out);
+
+/// acc[r + c*kMR] = sum_p a[p*kMR + r] * b[p*kNR + c] for one packed
+/// micro-panel pair of depth kc.
+void micro_kernel(index_t kc, const double* a, const double* b, double* acc);
+
+}  // namespace strassen::blas::detail

@@ -1,0 +1,48 @@
+#include "blas/level1.hpp"
+
+#include <cassert>
+
+namespace strassen::blas {
+
+void dcopy(index_t n, const double* x, index_t incx, double* y, index_t incy) {
+  assert(n >= 0 && incx > 0 && incy > 0);
+  if (incx == 1 && incy == 1) {
+    for (index_t i = 0; i < n; ++i) y[i] = x[i];
+    return;
+  }
+  for (index_t i = 0; i < n; ++i) y[i * incy] = x[i * incx];
+}
+
+void dscal(index_t n, double alpha, double* x, index_t incx) {
+  assert(n >= 0 && incx > 0);
+  if (incx == 1) {
+    for (index_t i = 0; i < n; ++i) x[i] *= alpha;
+    return;
+  }
+  for (index_t i = 0; i < n; ++i) x[i * incx] *= alpha;
+}
+
+void daxpy(index_t n, double alpha, const double* x, index_t incx, double* y,
+           index_t incy) {
+  assert(n >= 0 && incx > 0 && incy > 0);
+  if (alpha == 0.0) return;
+  if (incx == 1 && incy == 1) {
+    for (index_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+    return;
+  }
+  for (index_t i = 0; i < n; ++i) y[i * incy] += alpha * x[i * incx];
+}
+
+double ddot(index_t n, const double* x, index_t incx, const double* y,
+            index_t incy) {
+  assert(n >= 0 && incx > 0 && incy > 0);
+  double sum = 0.0;
+  if (incx == 1 && incy == 1) {
+    for (index_t i = 0; i < n; ++i) sum += x[i] * y[i];
+    return sum;
+  }
+  for (index_t i = 0; i < n; ++i) sum += x[i * incx] * y[i * incy];
+  return sum;
+}
+
+}  // namespace strassen::blas

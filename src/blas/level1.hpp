@@ -1,0 +1,27 @@
+// Level 1 BLAS subset (vector-vector operations).
+//
+// The paper's DGEFMM is written on top of the BLAS; this module is the
+// from-scratch substrate standing in for the vendor libraries (IBM
+// libblas.a, CRAY scilib.a). Signatures follow the reference BLAS with
+// explicit strides.
+#pragma once
+
+#include "support/config.hpp"
+
+namespace strassen::blas {
+
+/// y <- x  (n elements, strides incx/incy; strides must be positive).
+void dcopy(index_t n, const double* x, index_t incx, double* y, index_t incy);
+
+/// x <- alpha * x.
+void dscal(index_t n, double alpha, double* x, index_t incx);
+
+/// y <- alpha * x + y.
+void daxpy(index_t n, double alpha, const double* x, index_t incx, double* y,
+           index_t incy);
+
+/// Returns x . y.
+double ddot(index_t n, const double* x, index_t incx, const double* y,
+            index_t incy);
+
+}  // namespace strassen::blas

@@ -1,0 +1,48 @@
+#include "blas/level2.hpp"
+
+#include <cassert>
+
+#include "blas/level1.hpp"
+#include "support/opcount.hpp"
+
+namespace strassen::blas {
+
+void dgemv(Trans trans, index_t m, index_t n, double alpha, const double* a,
+           index_t lda, const double* x, index_t incx, double beta, double* y,
+           index_t incy) {
+  assert(m >= 0 && n >= 0 && lda >= (m > 0 ? m : 1));
+  const index_t ylen = is_trans(trans) ? n : m;
+  if (ylen == 0) return;
+
+  if (beta == 0.0) {
+    for (index_t i = 0; i < ylen; ++i) y[i * incy] = 0.0;
+  } else if (beta != 1.0) {
+    dscal(ylen, beta, y, incy);
+  }
+  if (alpha == 0.0 || m == 0 || n == 0) return;
+
+  if (!is_trans(trans)) {
+    // y += alpha * A x: accumulate columns of A scaled by x.
+    for (index_t j = 0; j < n; ++j) {
+      daxpy(m, alpha * x[j * incx], a + j * lda, 1, y, incy);
+    }
+  } else {
+    // y_j += alpha * (A(:,j) . x).
+    for (index_t j = 0; j < n; ++j) {
+      y[j * incy] += alpha * ddot(m, a + j * lda, 1, x, incx);
+    }
+  }
+  opcount::record_gemv(m, n);
+}
+
+void dger(index_t m, index_t n, double alpha, const double* x, index_t incx,
+          const double* y, index_t incy, double* a, index_t lda) {
+  assert(m >= 0 && n >= 0 && lda >= (m > 0 ? m : 1));
+  if (m == 0 || n == 0 || alpha == 0.0) return;
+  for (index_t j = 0; j < n; ++j) {
+    daxpy(m, alpha * y[j * incy], x, incx, a + j * lda, 1);
+  }
+  opcount::record_ger(m, n);
+}
+
+}  // namespace strassen::blas

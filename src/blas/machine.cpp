@@ -1,0 +1,37 @@
+#include "blas/machine.hpp"
+
+namespace strassen::blas {
+
+namespace {
+Machine g_active = Machine::rs6000;
+}  // namespace
+
+std::string machine_name(Machine m) {
+  switch (m) {
+    case Machine::rs6000:
+      return "RS/6000";
+    case Machine::c90:
+      return "C90";
+    case Machine::t3d:
+      return "T3D";
+  }
+  return "?";
+}
+
+GemmBlocking blocking_for(Machine m) {
+  switch (m) {
+    case Machine::rs6000:
+      return {256, 256, 4096};
+    case Machine::c90:
+      // Unused by the column-sweep kernel, but provided for completeness.
+      return {512, 512, 4096};
+    case Machine::t3d:
+      return {48, 48, 512};
+  }
+  return {256, 256, 4096};
+}
+
+Machine active_machine() { return g_active; }
+void set_active_machine(Machine m) { g_active = m; }
+
+}  // namespace strassen::blas

@@ -1,0 +1,67 @@
+// Machine profiles: the stand-in for the paper's three evaluation machines.
+//
+// The paper measures on an IBM RS/6000, a CRAY Y-MP C90, and a CRAY T3D
+// node; we do not have that hardware, so each profile selects a different
+// DGEMM algorithm/blocking (see DESIGN.md, "Substitutions"). What the
+// experiments actually probe is *where* one level of Strassen recursion
+// overtakes the machine's DGEMM, and that crossover is a property of the
+// DGEMM implementation style -- which the profiles vary:
+//
+//  * rs6000: cache-blocked, packed, register-tiled micro-kernel
+//    (superscalar-RISC style, the best of the three).
+//  * c90:    outer-product DAXPY sweeps over full columns, no packing
+//    (vector-machine style: long unit-stride streams, cache-oblivious).
+//  * t3d:    blocked but unpacked with small tiles (small-cache
+//    microprocessor style).
+#pragma once
+
+#include <string>
+
+#include "support/config.hpp"
+
+namespace strassen::blas {
+
+/// Identifies a DGEMM implementation style (a "machine").
+enum class Machine {
+  rs6000,  ///< packed cache-blocked kernel
+  c90,     ///< column-sweep vector style
+  t3d,     ///< small-tile blocked, unpacked
+};
+
+/// All three profiles in a fixed order (for sweeps over "machines").
+inline constexpr Machine kAllMachines[] = {Machine::rs6000, Machine::c90,
+                                           Machine::t3d};
+
+/// Human-readable profile name ("RS/6000", "C90", "T3D").
+std::string machine_name(Machine m);
+
+/// Cache-blocking parameters used by the blocked kernels.
+struct GemmBlocking {
+  index_t mc;  ///< rows of the packed A block
+  index_t kc;  ///< depth of the packed A/B blocks
+  index_t nc;  ///< columns of the packed B block
+};
+
+/// Blocking parameters for a profile.
+GemmBlocking blocking_for(Machine m);
+
+/// Process-wide active profile (defaults to rs6000). The Strassen code and
+/// the benchmarks select the "machine" once and every dgemm call follows it.
+Machine active_machine();
+void set_active_machine(Machine m);
+
+/// RAII switch of the active machine profile.
+class ScopedMachine {
+ public:
+  explicit ScopedMachine(Machine m) : prev_(active_machine()) {
+    set_active_machine(m);
+  }
+  ScopedMachine(const ScopedMachine&) = delete;
+  ScopedMachine& operator=(const ScopedMachine&) = delete;
+  ~ScopedMachine() { set_active_machine(prev_); }
+
+ private:
+  Machine prev_;
+};
+
+}  // namespace strassen::blas

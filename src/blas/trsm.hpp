@@ -1,0 +1,30 @@
+// Level 3 BLAS DTRSM: triangular solve with multiple right-hand sides.
+//
+// Needed by the blocked LU factorization (src/solver), which is the second
+// application study: Bailey, Lee & Simon's "Using Strassen's Algorithm to
+// Accelerate the Solution of Linear Systems" (reference [3] of the paper)
+// accelerates exactly this kernel pattern -- panel TRSM + trailing GEMM --
+// by swapping the GEMM for Strassen.
+#pragma once
+
+#include "support/config.hpp"
+
+namespace strassen::blas {
+
+/// Which side the triangular matrix multiplies on.
+enum class Side : char { left = 'L', right = 'R' };
+
+/// Which triangle of A is referenced.
+enum class Uplo : char { lower = 'L', upper = 'U' };
+
+/// Whether A has an implicit unit diagonal.
+enum class Diag : char { non_unit = 'N', unit = 'U' };
+
+/// Solves op(A) * X = alpha * B (side == left) or X * op(A) = alpha * B
+/// (side == right), overwriting B with X. A is the n x n (or m x m)
+/// triangular matrix, B is m x n, both column-major.
+void dtrsm(Side side, Uplo uplo, Trans transa, Diag diag, index_t m,
+           index_t n, double alpha, const double* a, index_t lda, double* b,
+           index_t ldb);
+
+}  // namespace strassen::blas

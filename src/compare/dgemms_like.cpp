@@ -1,0 +1,36 @@
+#include "compare/dgemms_like.hpp"
+
+#include "core/dgefmm.hpp"
+
+namespace strassen::compare {
+
+namespace {
+
+core::DgefmmConfig to_core_config(const DgemmsConfig& cfg) {
+  core::DgefmmConfig out;
+  out.cutoff = core::CutoffCriterion::square_simple(cfg.tau);
+  // The three-temporary schedule run with beta == 0 stands in for ESSL's
+  // internal organization: a correct Winograd code with a footprint between
+  // DGEFMM's 2/3 m^2 and the CRAY code's 7/3 m^2 (ESSL documents 1.40 m^2).
+  out.scheme = core::Scheme::strassen2;
+  out.odd = core::OddStrategy::dynamic_padding;
+  out.workspace = cfg.workspace;
+  out.stats = cfg.stats;
+  return out;
+}
+
+}  // namespace
+
+int dgemms(Trans transa, Trans transb, index_t m, index_t n, index_t k,
+           const double* a, index_t lda, const double* b, index_t ldb,
+           double* c, index_t ldc, const DgemmsConfig& cfg) {
+  return core::dgefmm(transa, transb, m, n, k, 1.0, a, lda, b, ldb, 0.0, c,
+                      ldc, to_core_config(cfg));
+}
+
+count_t dgemms_workspace_doubles(index_t m, index_t n, index_t k,
+                                 const DgemmsConfig& cfg) {
+  return core::dgefmm_workspace_doubles(m, n, k, 0.0, to_core_config(cfg));
+}
+
+}  // namespace strassen::compare

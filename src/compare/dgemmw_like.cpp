@@ -1,0 +1,82 @@
+#include "compare/dgemmw_like.hpp"
+
+#include "core/add_kernels.hpp"
+#include "core/dgefmm.hpp"
+#include "core/winograd.hpp"
+
+namespace strassen::compare {
+
+namespace {
+
+core::DgefmmConfig to_core_config(const DgemmwConfig& cfg) {
+  core::DgefmmConfig out;
+  out.cutoff = core::CutoffCriterion::square_simple(cfg.tau);
+  out.scheme = core::Scheme::strassen1;
+  out.odd = core::OddStrategy::dynamic_padding;
+  out.stats = cfg.stats;
+  return out;
+}
+
+}  // namespace
+
+int dgemmw(Trans transa, Trans transb, index_t m, index_t n, index_t k,
+           double alpha, const double* a, index_t lda, const double* b,
+           index_t ldb, double beta, double* c, index_t ldc,
+           const DgemmwConfig& cfg) {
+  core::DgefmmConfig core_cfg = to_core_config(cfg);
+
+  if (beta == 0.0) {
+    // Pure multiply: exactly the beta == 0 two-temporary path.
+    core_cfg.workspace = cfg.workspace;
+    return core::dgefmm(transa, transb, m, n, k, alpha, a, lda, b, ldb, beta,
+                        c, ldc, core_cfg);
+  }
+
+  // GEMMW's general path: C_tmp = op(A) op(B), then C <- alpha*C_tmp +
+  // beta*C. The full product temporary is what gives the comparator its
+  // larger (mn + ...) footprint.
+  const int info = core::dgefmm(transa, transb, m, n, k, 0.0, a, lda, b, ldb,
+                                1.0, c, ldc, core_cfg);  // argument check only
+  if (info != 0) return info;
+  if (m == 0 || n == 0) return 0;
+
+  const count_t inner =
+      core::dgefmm_workspace_doubles(m, n, k, 0.0, core_cfg);
+  const count_t need = static_cast<count_t>(m) * n + inner;
+
+  Arena local;
+  Arena* arena = cfg.workspace;
+  if (arena == nullptr) {
+    local.reserve(static_cast<std::size_t>(need));
+    arena = &local;
+  } else if (arena->in_use() == 0 &&
+             arena->capacity() < static_cast<std::size_t>(need)) {
+    arena->reserve(static_cast<std::size_t>(need));
+  }
+
+  ArenaScope scope(*arena);
+  MutView ctmp = core::detail::arena_matrix(*arena, m, n);
+  core_cfg.workspace = arena;
+  core::dgefmm_view(1.0, make_op_view(transa, a, is_trans(transa) ? k : m,
+                                      is_trans(transa) ? m : k, lda),
+                    make_op_view(transb, b, is_trans(transb) ? n : k,
+                                 is_trans(transb) ? k : n, ldb),
+                    0.0, ctmp, core_cfg);
+  MutView cv = make_view(c, m, n, ldc);
+  core::axpby(alpha, ctmp, beta, cv);
+  if (cfg.stats != nullptr) {
+    cfg.stats->peak_workspace =
+        std::max(cfg.stats->peak_workspace, arena->peak());
+  }
+  return 0;
+}
+
+count_t dgemmw_workspace_doubles(index_t m, index_t n, index_t k, double beta,
+                                 const DgemmwConfig& cfg) {
+  const core::DgefmmConfig core_cfg = to_core_config(cfg);
+  const count_t inner = core::dgefmm_workspace_doubles(m, n, k, 0.0, core_cfg);
+  if (beta == 0.0) return inner;
+  return static_cast<count_t>(m) * n + inner;
+}
+
+}  // namespace strassen::compare

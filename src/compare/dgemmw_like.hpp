@@ -1,0 +1,36 @@
+// DGEMMW-like comparator: a reimplementation of the public-domain GEMMW
+// code of Douglas, Heroux, Slishman & Smith (J. Comp. Phys. 110, 1994) that
+// the paper benchmarks against in Figures 5 and 6.
+//
+// Structural choices replicated from that code:
+//  * Winograd variant with the two-temporary beta == 0 schedule,
+//  * DYNAMIC PADDING for odd dimensions (not peeling),
+//  * the simple cutoff criterion (eq. 11): stop when m, k, or n <= tau,
+//  * general alpha/beta handled through a full m x n product temporary
+//    (C_tmp = op(A) op(B), then C <- alpha*C_tmp + beta*C), giving the
+//    mn + (mk + kn)/3 storage requirement of Table 1.
+#pragma once
+
+#include "core/types.hpp"
+#include "support/config.hpp"
+
+namespace strassen::compare {
+
+struct DgemmwConfig {
+  double tau = 199.0;                    ///< eq. 11 cutoff
+  Arena* workspace = nullptr;            ///< optional caller arena
+  core::DgefmmStats* stats = nullptr;    ///< optional statistics sink
+};
+
+/// C <- alpha * op(A) * op(B) + beta * C, GEMMW-style. Returns a BLAS-style
+/// info code (0 on success), like dgefmm.
+int dgemmw(Trans transa, Trans transb, index_t m, index_t n, index_t k,
+           double alpha, const double* a, index_t lda, const double* b,
+           index_t ldb, double beta, double* c, index_t ldc,
+           const DgemmwConfig& cfg = DgemmwConfig{});
+
+/// Peak workspace in doubles for the corresponding dgemmw call.
+count_t dgemmw_workspace_doubles(index_t m, index_t n, index_t k, double beta,
+                                 const DgemmwConfig& cfg = DgemmwConfig{});
+
+}  // namespace strassen::compare

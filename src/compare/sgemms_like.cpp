@@ -1,0 +1,186 @@
+#include "compare/sgemms_like.hpp"
+
+#include <algorithm>
+
+#include "blas/gemm.hpp"
+#include "core/add_kernels.hpp"
+#include "core/winograd.hpp"
+
+namespace strassen::compare {
+
+namespace {
+
+using core::detail::arena_matrix;
+
+struct SgCtx {
+  double tau;
+  Arena* arena;
+  core::DgefmmStats* stats;
+};
+
+bool sg_stop(const SgCtx& ctx, index_t m, index_t k, index_t n) {
+  return m < 2 || k < 2 || n < 2 || m <= ctx.tau || k <= ctx.tau ||
+         n <= ctx.tau;
+}
+
+void sg_fmm(double alpha, ConstView a, ConstView b, double beta, MutView c,
+            SgCtx& ctx);
+
+// Zero-padded copy (dynamic padding, as the CRAY routine's recursion used).
+MutView sg_padded_copy(Arena& arena, ConstView src, index_t mp, index_t np) {
+  MutView dst = arena_matrix(arena, mp, np);
+  fill(dst, 0.0);
+  core::copy_into(src, dst.block(0, 0, src.rows, src.cols));
+  return dst;
+}
+
+// Original-variant level: compute all seven products into their own
+// temporaries, then run the eight combination passes (the memory-hungry
+// organization of the CRAY code).
+void sg_level(double alpha, ConstView a, ConstView b, double beta, MutView c,
+              SgCtx& ctx) {
+  const index_t m2 = a.rows / 2, k2 = a.cols / 2, n2 = b.cols / 2;
+  ArenaScope scope(*ctx.arena);
+  MutView t1 = arena_matrix(*ctx.arena, m2, k2);
+  MutView t2 = arena_matrix(*ctx.arena, k2, n2);
+  MutView p[7];
+  for (auto& pi : p) pi = arena_matrix(*ctx.arena, m2, n2);
+
+  ConstView a11 = a.block(0, 0, m2, k2), a12 = a.block(0, k2, m2, k2);
+  ConstView a21 = a.block(m2, 0, m2, k2), a22 = a.block(m2, k2, m2, k2);
+  ConstView b11 = b.block(0, 0, k2, n2), b12 = b.block(0, n2, k2, n2);
+  ConstView b21 = b.block(k2, 0, k2, n2), b22 = b.block(k2, n2, k2, n2);
+  MutView c11 = c.block(0, 0, m2, n2), c12 = c.block(0, n2, m2, n2);
+  MutView c21 = c.block(m2, 0, m2, n2), c22 = c.block(m2, n2, m2, n2);
+
+  core::add(a11, a22, t1);
+  core::add(b11, b22, t2);
+  sg_fmm(1.0, t1, t2, 0.0, p[0], ctx);  // P1
+  core::add(a21, a22, t1);
+  sg_fmm(1.0, t1, b11, 0.0, p[1], ctx);  // P2
+  core::sub(b12, b22, t2);
+  sg_fmm(1.0, a11, t2, 0.0, p[2], ctx);  // P3
+  core::sub(b21, b11, t2);
+  sg_fmm(1.0, a22, t2, 0.0, p[3], ctx);  // P4
+  core::add(a11, a12, t1);
+  sg_fmm(1.0, t1, b22, 0.0, p[4], ctx);  // P5
+  core::sub(a21, a11, t1);
+  core::add(b11, b12, t2);
+  sg_fmm(1.0, t1, t2, 0.0, p[5], ctx);  // P6
+  core::sub(a12, a22, t1);
+  core::add(b21, b22, t2);
+  sg_fmm(1.0, t1, t2, 0.0, p[6], ctx);  // P7
+
+  // Combine: C <- beta*C + alpha*(...).
+  core::scale(beta, c11);
+  core::scale(beta, c12);
+  core::scale(beta, c21);
+  core::scale(beta, c22);
+  core::axpy(alpha, p[0], c11);   // +P1
+  core::axpy(alpha, p[3], c11);   // +P4
+  core::axpy(-alpha, p[4], c11);  // -P5
+  core::axpy(alpha, p[6], c11);   // +P7
+  core::axpy(alpha, p[2], c12);   // +P3
+  core::axpy(alpha, p[4], c12);   // +P5
+  core::axpy(alpha, p[1], c21);   // +P2
+  core::axpy(alpha, p[3], c21);   // +P4
+  core::axpy(alpha, p[0], c22);   // +P1
+  core::axpy(-alpha, p[1], c22);  // -P2
+  core::axpy(alpha, p[2], c22);   // +P3
+  core::axpy(alpha, p[5], c22);   // +P6
+}
+
+void sg_fmm(double alpha, ConstView a, ConstView b, double beta, MutView c,
+            SgCtx& ctx) {
+  const index_t m = c.rows, n = c.cols, k = a.cols;
+  if (m == 0 || n == 0) return;
+  if (alpha == 0.0 || sg_stop(ctx, m, k, n)) {
+    blas::gemm_view(alpha, a, b, beta, c);
+    if (ctx.stats != nullptr) ++ctx.stats->base_gemms;
+    return;
+  }
+  if (ctx.stats != nullptr) ++ctx.stats->strassen_levels;
+  if (((m | k | n) & 1) != 0) {
+    const index_t mp = m + (m & 1), kp = k + (k & 1), np = n + (n & 1);
+    ArenaScope scope(*ctx.arena);
+    MutView ap = sg_padded_copy(*ctx.arena, a, mp, kp);
+    MutView bp = sg_padded_copy(*ctx.arena, b, kp, np);
+    MutView cp = sg_padded_copy(*ctx.arena, c, mp, np);
+    if (ctx.stats != nullptr) ctx.stats->pad_copies += 3;
+    sg_level(alpha, ap, bp, beta, cp, ctx);
+    core::copy_into(cp.block(0, 0, m, n), c);
+    return;
+  }
+  sg_level(alpha, a, b, beta, c, ctx);
+}
+
+count_t sg_ws(double tau, index_t m, index_t k, index_t n) {
+  if (m == 0 || n == 0) return 0;
+  if (m < 2 || k < 2 || n < 2 || m <= tau || k <= tau || n <= tau) return 0;
+  count_t pad = 0;
+  if (((m | k | n) & 1) != 0) {
+    const index_t mp = m + (m & 1), kp = k + (k & 1), np = n + (n & 1);
+    pad = static_cast<count_t>(mp) * kp + static_cast<count_t>(kp) * np +
+          static_cast<count_t>(mp) * np;
+    m = mp;
+    k = kp;
+    n = np;
+  }
+  const index_t m2 = m / 2, k2 = k / 2, n2 = n / 2;
+  const count_t per = static_cast<count_t>(m2) * k2 +
+                      static_cast<count_t>(k2) * n2 +
+                      7 * static_cast<count_t>(m2) * n2;
+  return pad + per + sg_ws(tau, m2, k2, n2);
+}
+
+}  // namespace
+
+int sgemms(Trans transa, Trans transb, index_t m, index_t n, index_t k,
+           double alpha, const double* a, index_t lda, const double* b,
+           index_t ldb, double beta, double* c, index_t ldc,
+           const SgemmsConfig& cfg) {
+  if (m < 0) return 3;
+  if (n < 0) return 4;
+  if (k < 0) return 5;
+  const index_t a_rows = is_trans(transa) ? k : m;
+  const index_t b_rows = is_trans(transb) ? n : k;
+  if (lda < (a_rows > 0 ? a_rows : 1)) return 8;
+  if (ldb < (b_rows > 0 ? b_rows : 1)) return 10;
+  if (ldc < (m > 0 ? m : 1)) return 13;
+  if (m == 0 || n == 0) return 0;
+  if (k == 0 || alpha == 0.0) {
+    blas::dgemm(transa, transb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+    return 0;
+  }
+
+  const count_t need = sg_ws(cfg.tau, m, k, n);
+  Arena local;
+  Arena* arena = cfg.workspace;
+  if (arena == nullptr) {
+    local.reserve(static_cast<std::size_t>(need));
+    arena = &local;
+  } else if (arena->in_use() == 0 &&
+             arena->capacity() < static_cast<std::size_t>(need)) {
+    arena->reserve(static_cast<std::size_t>(need));
+  }
+
+  SgCtx ctx{cfg.tau, arena, cfg.stats};
+  const ConstView av = make_op_view(transa, a, is_trans(transa) ? k : m,
+                                    is_trans(transa) ? m : k, lda);
+  const ConstView bv = make_op_view(transb, b, is_trans(transb) ? n : k,
+                                    is_trans(transb) ? k : n, ldb);
+  MutView cv = make_view(c, m, n, ldc);
+  sg_fmm(alpha, av, bv, beta, cv, ctx);
+  if (cfg.stats != nullptr) {
+    cfg.stats->peak_workspace =
+        std::max(cfg.stats->peak_workspace, arena->peak());
+  }
+  return 0;
+}
+
+count_t sgemms_workspace_doubles(index_t m, index_t n, index_t k,
+                                 const SgemmsConfig& cfg) {
+  return sg_ws(cfg.tau, m, k, n);
+}
+
+}  // namespace strassen::compare

@@ -1,0 +1,125 @@
+#include "core/add_kernels.hpp"
+
+#include <cassert>
+
+#include "support/opcount.hpp"
+
+namespace strassen::core {
+
+namespace {
+
+// Applies `op(d_elem, x_elem, y_elem)` over all elements. The destination
+// is required to be column-major so the inner loop is unit-stride on d.
+template <class F>
+void zip2(ConstView x, ConstView y, MutView d, F&& op) {
+  assert(x.rows == d.rows && x.cols == d.cols);
+  assert(y.rows == d.rows && y.cols == d.cols);
+  assert(d.col_major());
+  for (index_t j = 0; j < d.cols; ++j) {
+    double* dj = d.p + j * d.cs;
+    const double* xj = x.p + j * x.cs;
+    const double* yj = y.p + j * y.cs;
+    for (index_t i = 0; i < d.rows; ++i) {
+      dj[i] = op(xj[i * x.rs], yj[i * y.rs]);
+    }
+  }
+}
+
+template <class F>
+void zip1(MutView d, ConstView x, F&& op) {
+  assert(x.rows == d.rows && x.cols == d.cols);
+  assert(d.col_major());
+  for (index_t j = 0; j < d.cols; ++j) {
+    double* dj = d.p + j * d.cs;
+    const double* xj = x.p + j * x.cs;
+    for (index_t i = 0; i < d.rows; ++i) {
+      dj[i] = op(dj[i], xj[i * x.rs]);
+    }
+  }
+}
+
+count_t elems(MutView d) { return static_cast<count_t>(d.rows) * d.cols; }
+
+}  // namespace
+
+void add(ConstView x, ConstView y, MutView d) {
+  zip2(x, y, d, [](double a, double b) { return a + b; });
+  opcount::record_add(elems(d));
+}
+
+void sub(ConstView x, ConstView y, MutView d) {
+  zip2(x, y, d, [](double a, double b) { return a - b; });
+  opcount::record_add(elems(d));
+}
+
+void add_inplace(MutView d, ConstView x) {
+  zip1(d, x, [](double dv, double xv) { return dv + xv; });
+  opcount::record_add(elems(d));
+}
+
+void sub_inplace(MutView d, ConstView x) {
+  zip1(d, x, [](double dv, double xv) { return dv - xv; });
+  opcount::record_add(elems(d));
+}
+
+void rsub_inplace(MutView d, ConstView x) {
+  zip1(d, x, [](double dv, double xv) { return xv - dv; });
+  opcount::record_add(elems(d));
+}
+
+void copy_into(ConstView x, MutView d) {
+  zip1(d, x, [](double, double xv) { return xv; });
+}
+
+void axpy(double a, ConstView x, MutView d) {
+  if (a == 0.0) return;
+  if (a == 1.0) {
+    add_inplace(d, x);
+    return;
+  }
+  if (a == -1.0) {
+    sub_inplace(d, x);
+    return;
+  }
+  zip1(d, x, [a](double dv, double xv) { return dv + a * xv; });
+  opcount::record_scale(elems(d));
+  opcount::record_add(elems(d));
+}
+
+void scale(double b, MutView d) {
+  if (b == 1.0) return;
+  if (b == 0.0) {
+    for (index_t j = 0; j < d.cols; ++j) {
+      double* dj = d.p + j * d.cs;
+      for (index_t i = 0; i < d.rows; ++i) dj[i] = 0.0;
+    }
+    return;
+  }
+  for (index_t j = 0; j < d.cols; ++j) {
+    double* dj = d.p + j * d.cs;
+    for (index_t i = 0; i < d.rows; ++i) dj[i] *= b;
+  }
+  opcount::record_scale(elems(d));
+}
+
+void axpby(double a, ConstView x, double b, MutView d) {
+  if (b == 0.0) {
+    if (a == 1.0) {
+      copy_into(x, d);
+    } else {
+      zip1(d, x, [a](double, double xv) { return a * xv; });
+      opcount::record_scale(elems(d));
+    }
+    return;
+  }
+  if (a == 1.0 && b == 1.0) {
+    add_inplace(d, x);
+    return;
+  }
+  zip1(d, x, [a, b](double dv, double xv) { return a * xv + b * dv; });
+  if (a != 1.0) opcount::record_scale(elems(d));
+  if (b != 1.0) opcount::record_scale(elems(d));
+  opcount::record_add(elems(d));
+}
+
+}  // namespace strassen::core

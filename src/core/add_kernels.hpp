@@ -1,0 +1,41 @@
+// Elementwise matrix kernels used by the Strassen schedules.
+//
+// These are the G(m,n)-cost passes of the operation-count model: each call
+// makes exactly one pass over its operands. Destinations are always plain
+// column-major (workspace temporaries or quadrants of C); sources may be
+// transposed views so that op(A)/op(B) never require a physical transpose.
+#pragma once
+
+#include "support/matrix.hpp"
+
+namespace strassen::core {
+
+/// d = x + y.
+void add(ConstView x, ConstView y, MutView d);
+
+/// d = x - y.
+void sub(ConstView x, ConstView y, MutView d);
+
+/// d += x.
+void add_inplace(MutView d, ConstView x);
+
+/// d -= x.
+void sub_inplace(MutView d, ConstView x);
+
+/// d = x - d.
+void rsub_inplace(MutView d, ConstView x);
+
+/// d = x (data movement only; zero cost in the op-count model).
+void copy_into(ConstView x, MutView d);
+
+/// d = a*x + b*d (general accumulate used by the STRASSEN2 schedule to fold
+/// beta*C into the result).
+void axpby(double a, ConstView x, double b, MutView d);
+
+/// d += a*x.
+void axpy(double a, ConstView x, MutView d);
+
+/// d = b*d (b == 0 assigns zero, overwriting NaNs per the BLAS convention).
+void scale(double b, MutView d);
+
+}  // namespace strassen::core

@@ -1,0 +1,85 @@
+#include "core/cabi.hpp"
+
+#include <cctype>
+
+#include "core/dgefmm.hpp"
+
+namespace {
+
+using namespace strassen;
+
+// Parses a BLAS trans character; returns false on an invalid value.
+bool parse_trans(char ch, Trans& out) {
+  switch (std::toupper(static_cast<unsigned char>(ch))) {
+    case 'N':
+      out = Trans::no;
+      return true;
+    case 'T':
+      out = Trans::transpose;
+      return true;
+    case 'C':
+      out = Trans::conj_transpose;
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Process-wide workspace, as the original library kept internally. The
+// bindings are not thread-safe (neither was the 1996 library); concurrent
+// callers should use the C++ API with per-thread arenas.
+Arena& shared_arena() {
+  static Arena arena;
+  return arena;
+}
+
+int run(Trans ta, Trans tb, index_t m, index_t n, index_t k, double alpha,
+        const double* a, index_t lda, const double* b, index_t ldb,
+        double beta, double* c, index_t ldc,
+        const core::CutoffCriterion& cutoff) {
+  core::DgefmmConfig cfg;
+  cfg.cutoff = cutoff;
+  cfg.workspace = &shared_arena();
+  return core::dgefmm(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc,
+                      cfg);
+}
+
+}  // namespace
+
+extern "C" {
+
+int strassen_dgefmm(char transa, char transb, std::int64_t m, std::int64_t n,
+                    std::int64_t k, double alpha, const double* a,
+                    std::int64_t lda, const double* b, std::int64_t ldb,
+                    double beta, double* c, std::int64_t ldc) {
+  Trans ta, tb;
+  if (!parse_trans(transa, ta)) return 1;
+  if (!parse_trans(transb, tb)) return 2;
+  return run(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc,
+             core::CutoffCriterion::paper_default(blas::active_machine()));
+}
+
+int strassen_dgefmm_tuned(char transa, char transb, std::int64_t m,
+                          std::int64_t n, std::int64_t k, double alpha,
+                          const double* a, std::int64_t lda, const double* b,
+                          std::int64_t ldb, double beta, double* c,
+                          std::int64_t ldc, double tau, double tau_m,
+                          double tau_k, double tau_n) {
+  Trans ta, tb;
+  if (!parse_trans(transa, ta)) return 1;
+  if (!parse_trans(transb, tb)) return 2;
+  return run(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc,
+             core::CutoffCriterion::hybrid(tau, tau_m, tau_k, tau_n));
+}
+
+void dgefmm_(const char* transa, const char* transb, const std::int32_t* m,
+             const std::int32_t* n, const std::int32_t* k,
+             const double* alpha, const double* a, const std::int32_t* lda,
+             const double* b, const std::int32_t* ldb, const double* beta,
+             double* c, const std::int32_t* ldc, std::int32_t* info) {
+  *info = static_cast<std::int32_t>(
+      strassen_dgefmm(*transa, *transb, *m, *n, *k, *alpha, a, *lda, b, *ldb,
+                      *beta, c, *ldc));
+}
+
+}  // extern "C"

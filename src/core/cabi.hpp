@@ -1,0 +1,47 @@
+// C and Fortran-77 compatible entry points.
+//
+// The original DGEFMM was distributed as a library callable from C and
+// Fortran in place of the BLAS DGEMM (the eigensolver experiment renames
+// the call site and nothing else). This header provides the equivalent
+// bindings for this reimplementation:
+//
+//  * strassen_dgefmm(...): plain C calling convention, value arguments,
+//    returns the BLAS-style info code;
+//  * dgefmm_(...): Fortran-77 convention (all arguments by pointer,
+//    character dummies as char*, 32-bit INTEGERs), with XERBLA-style
+//    behaviour expressed through the info return.
+//
+// Both use the library defaults (paper cutoff parameters on the active
+// machine profile, dynamic peeling, automatic schedule) and a process-wide
+// reusable workspace, mirroring how the original library was used.
+#pragma once
+
+#include <cstdint>
+
+extern "C" {
+
+/// C binding. trans arguments are 'N'/'T'/'C' (case-insensitive).
+/// Returns 0 on success or the 1-based index of the first bad argument.
+int strassen_dgefmm(char transa, char transb, std::int64_t m, std::int64_t n,
+                    std::int64_t k, double alpha, const double* a,
+                    std::int64_t lda, const double* b, std::int64_t ldb,
+                    double beta, double* c, std::int64_t ldc);
+
+/// Same, with explicit hybrid-criterion parameters (eq. 15).
+int strassen_dgefmm_tuned(char transa, char transb, std::int64_t m,
+                          std::int64_t n, std::int64_t k, double alpha,
+                          const double* a, std::int64_t lda, const double* b,
+                          std::int64_t ldb, double beta, double* c,
+                          std::int64_t ldc, double tau, double tau_m,
+                          double tau_k, double tau_n);
+
+/// Fortran-77 binding: CALL DGEFMM(TRANSA, TRANSB, M, N, K, ALPHA, A, LDA,
+/// B, LDB, BETA, C, LDC, INFO). INTEGER arguments are 32-bit, everything
+/// passes by reference, INFO receives the argument-check result.
+void dgefmm_(const char* transa, const char* transb, const std::int32_t* m,
+             const std::int32_t* n, const std::int32_t* k,
+             const double* alpha, const double* a, const std::int32_t* lda,
+             const double* b, const std::int32_t* ldb, const double* beta,
+             double* c, const std::int32_t* ldc, std::int32_t* info);
+
+}  // extern "C"

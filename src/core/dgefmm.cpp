@@ -1,0 +1,92 @@
+#include "core/dgefmm.hpp"
+
+#include <algorithm>
+
+#include "blas/gemm.hpp"
+#include "core/padding.hpp"
+#include "core/winograd.hpp"
+
+namespace strassen::core {
+
+namespace {
+
+int check_args(Trans transa, Trans transb, index_t m, index_t n, index_t k,
+               index_t lda, index_t ldb, index_t ldc) {
+  const bool ta = (transa == Trans::no || transa == Trans::transpose ||
+                   transa == Trans::conj_transpose);
+  const bool tb = (transb == Trans::no || transb == Trans::transpose ||
+                   transb == Trans::conj_transpose);
+  if (!ta) return 1;
+  if (!tb) return 2;
+  if (m < 0) return 3;
+  if (n < 0) return 4;
+  if (k < 0) return 5;
+  const index_t a_rows = is_trans(transa) ? k : m;
+  const index_t b_rows = is_trans(transb) ? n : k;
+  if (lda < (a_rows > 0 ? a_rows : 1)) return 8;
+  if (ldb < (b_rows > 0 ? b_rows : 1)) return 10;
+  if (ldc < (m > 0 ? m : 1)) return 13;
+  return 0;
+}
+
+}  // namespace
+
+int dgefmm(Trans transa, Trans transb, index_t m, index_t n, index_t k,
+           double alpha, const double* a, index_t lda, const double* b,
+           index_t ldb, double beta, double* c, index_t ldc,
+           const DgefmmConfig& cfg) {
+  if (const int info = check_args(transa, transb, m, n, k, lda, ldb, ldc);
+      info != 0) {
+    return info;
+  }
+  if (m == 0 || n == 0) return 0;
+
+  // Pure scale/accumulate degenerate cases go straight to the BLAS path.
+  if (k == 0 || alpha == 0.0) {
+    blas::dgemm(transa, transb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+    return 0;
+  }
+
+  const ConstView av = is_trans(transa)
+                           ? make_op_view(transa, a, k, m, lda)
+                           : make_op_view(transa, a, m, k, lda);
+  const ConstView bv = is_trans(transb)
+                           ? make_op_view(transb, b, n, k, ldb)
+                           : make_op_view(transb, b, k, n, ldb);
+  MutView cv = make_view(c, m, n, ldc);
+  dgefmm_view(alpha, av, bv, beta, cv, cfg);
+  return 0;
+}
+
+void dgefmm_view(double alpha, ConstView a, ConstView b, double beta,
+                 MutView c, const DgefmmConfig& cfg) {
+  const count_t need = workspace_doubles(c.rows, c.cols, a.cols, beta, cfg);
+
+  Arena local;
+  Arena* arena = cfg.workspace;
+  if (arena == nullptr) {
+    local.reserve(static_cast<std::size_t>(need));
+    arena = &local;
+  } else if (arena->in_use() == 0 &&
+             arena->capacity() < static_cast<std::size_t>(need)) {
+    arena->reserve(static_cast<std::size_t>(need));
+  }
+
+  detail::Ctx ctx{&cfg, arena, cfg.stats};
+  if (cfg.odd == OddStrategy::static_padding) {
+    detail::pad_static(alpha, a, b, beta, c, ctx);
+  } else {
+    detail::fmm(alpha, a, b, beta, c, ctx, 0);
+  }
+  if (cfg.stats != nullptr) {
+    cfg.stats->peak_workspace =
+        std::max(cfg.stats->peak_workspace, arena->peak());
+  }
+}
+
+count_t dgefmm_workspace_doubles(index_t m, index_t n, index_t k, double beta,
+                                 const DgefmmConfig& cfg) {
+  return workspace_doubles(m, n, k, beta, cfg);
+}
+
+}  // namespace strassen::core

@@ -1,0 +1,40 @@
+// DGEFMM: the public, DGEMM-compatible entry point of the library.
+//
+// Computes C <- alpha * op(A) * op(B) + beta * C exactly like the Level 3
+// BLAS DGEMM, but uses the Winograd variant of Strassen's algorithm above
+// the cutoff, with dynamic peeling for odd dimensions and the minimal
+// temporary storage described in the paper (Section 3). A program calls it
+// wherever it called DGEMM; no other change is required -- the property the
+// paper demonstrates with the ISDA eigensolver.
+#pragma once
+
+#include "core/types.hpp"
+#include "core/workspace.hpp"
+#include "support/matrix.hpp"
+
+namespace strassen::core {
+
+/// C <- alpha * op(A) * op(B) + beta * C.
+///
+/// Arguments mirror DGEMM: op(A) is m x k, op(B) is k x n, C is m x n,
+/// all column-major with leading dimensions lda/ldb/ldc.
+///
+/// Returns 0 on success, or the 1-based index of the first invalid argument
+/// (BLAS XERBLA convention): 3 for m < 0, 4 for n < 0, 5 for k < 0, 8 for
+/// lda too small, 10 for ldb, 13 for ldc.
+int dgefmm(Trans transa, Trans transb, index_t m, index_t n, index_t k,
+           double alpha, const double* a, index_t lda, const double* b,
+           index_t ldb, double beta, double* c, index_t ldc,
+           const DgefmmConfig& cfg = DgefmmConfig{});
+
+/// View-based convenience wrapper: C <- alpha*A*B + beta*C where A and B
+/// may be transposed views and C is column-major.
+void dgefmm_view(double alpha, ConstView a, ConstView b, double beta,
+                 MutView c, const DgefmmConfig& cfg = DgefmmConfig{});
+
+/// Workspace (in doubles) the corresponding dgefmm call allocates at peak;
+/// size a reusable Arena with this to make repeated calls allocation-free.
+count_t dgefmm_workspace_doubles(index_t m, index_t n, index_t k, double beta,
+                                 const DgefmmConfig& cfg = DgefmmConfig{});
+
+}  // namespace strassen::core

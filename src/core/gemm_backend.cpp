@@ -1,0 +1,29 @@
+#include "core/gemm_backend.hpp"
+
+#include <memory>
+
+#include "blas/gemm.hpp"
+#include "core/dgefmm.hpp"
+
+namespace strassen::core {
+
+GemmFn gemm_backend_dgemm() {
+  return [](Trans ta, Trans tb, index_t m, index_t n, index_t k, double alpha,
+            const double* a, index_t lda, const double* b, index_t ldb,
+            double beta, double* c, index_t ldc) {
+    blas::dgemm(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+  };
+}
+
+GemmFn gemm_backend_dgefmm() {
+  auto arena = std::make_shared<Arena>();
+  return [arena](Trans ta, Trans tb, index_t m, index_t n, index_t k,
+                 double alpha, const double* a, index_t lda, const double* b,
+                 index_t ldb, double beta, double* c, index_t ldc) {
+    DgefmmConfig cfg;
+    cfg.workspace = arena.get();
+    dgefmm(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, cfg);
+  };
+}
+
+}  // namespace strassen::core

@@ -1,0 +1,28 @@
+// Injectable matrix-multiplication backends.
+//
+// The paper's headline usability claim is that DGEFMM replaces DGEMM with
+// no other change; application code in this repository (the ISDA
+// eigensolver, the LU solver) takes its multiplication kernel as a GemmFn
+// so the same solver runs with either backend -- the Table 6 experiment.
+#pragma once
+
+#include <functional>
+
+#include "support/config.hpp"
+
+namespace strassen::core {
+
+/// A DGEMM-compatible matrix-multiplication callback.
+using GemmFn = std::function<void(
+    Trans transa, Trans transb, index_t m, index_t n, index_t k, double alpha,
+    const double* a, index_t lda, const double* b, index_t ldb, double beta,
+    double* c, index_t ldc)>;
+
+/// Backend calling the library's DGEMM (the baseline configuration).
+GemmFn gemm_backend_dgemm();
+
+/// Backend calling DGEFMM with the default configuration and a persistent
+/// shared workspace arena (repeated calls are allocation-free).
+GemmFn gemm_backend_dgefmm();
+
+}  // namespace strassen::core

@@ -1,0 +1,72 @@
+#include "core/padding.hpp"
+
+#include "core/add_kernels.hpp"
+
+namespace strassen::core::detail {
+
+namespace {
+
+// Allocates an mp x np arena matrix, zero-fills it, and copies src into its
+// upper-left corner.
+MutView padded_copy(Arena& arena, ConstView src, index_t mp, index_t np) {
+  MutView dst = arena_matrix(arena, mp, np);
+  fill(dst, 0.0);
+  copy_into(src, dst.block(0, 0, src.rows, src.cols));
+  return dst;
+}
+
+}  // namespace
+
+void pad_dynamic(double alpha, ConstView a, ConstView b, double beta,
+                 MutView c, Ctx& ctx, int depth) {
+  const index_t m = c.rows, n = c.cols, k = a.cols;
+  const index_t mp = m + (m & 1);
+  const index_t kp = k + (k & 1);
+  const index_t np = n + (n & 1);
+  ArenaScope scope(*ctx.arena);
+  MutView ap = padded_copy(*ctx.arena, a, mp, kp);
+  MutView bp = padded_copy(*ctx.arena, b, kp, np);
+  MutView cp = padded_copy(*ctx.arena, c, mp, np);
+  if (ctx.stats != nullptr) ctx.stats->pad_copies += 3;
+  fmm(alpha, ap, bp, beta, cp, ctx, depth);
+  copy_into(cp.block(0, 0, m, n), c);
+}
+
+int static_padding_depth(const CutoffCriterion& cut, index_t m, index_t k,
+                         index_t n) {
+  int d = 0;
+  while (m >= 2 && k >= 2 && n >= 2 && !cut.stop(m, k, n, d)) {
+    m = (m + 1) / 2;
+    k = (k + 1) / 2;
+    n = (n + 1) / 2;
+    ++d;
+  }
+  return d;
+}
+
+index_t pad_up(index_t x, int levels) {
+  const index_t unit = index_t{1} << levels;
+  return (x + unit - 1) / unit * unit;
+}
+
+void pad_static(double alpha, ConstView a, ConstView b, double beta,
+                MutView c, Ctx& ctx) {
+  const index_t m = c.rows, n = c.cols, k = a.cols;
+  const int levels = static_padding_depth(ctx.cfg->cutoff, m, k, n);
+  const index_t mp = pad_up(m, levels);
+  const index_t kp = pad_up(k, levels);
+  const index_t np = pad_up(n, levels);
+  if (mp == m && kp == k && np == n) {
+    fmm(alpha, a, b, beta, c, ctx, 0);
+    return;
+  }
+  ArenaScope scope(*ctx.arena);
+  MutView ap = padded_copy(*ctx.arena, a, mp, kp);
+  MutView bp = padded_copy(*ctx.arena, b, kp, np);
+  MutView cp = padded_copy(*ctx.arena, c, mp, np);
+  if (ctx.stats != nullptr) ctx.stats->pad_copies += 3;
+  fmm(alpha, ap, bp, beta, cp, ctx, 0);
+  copy_into(cp.block(0, 0, m, n), c);
+}
+
+}  // namespace strassen::core::detail

@@ -1,0 +1,32 @@
+// Padding strategies for odd dimensions (the alternatives to dynamic
+// peeling that the paper argues against; implemented for the ablation
+// study and for the Douglas et al. DGEMMW comparator).
+#pragma once
+
+#include "core/winograd.hpp"
+
+namespace strassen::core::detail {
+
+/// Dynamic padding: when any of m, k, n is odd at this level, copies the
+/// operands into zero-padded even-dimensioned workspace matrices, recurses
+/// on the padded problem, and copies the valid part of the result back.
+/// beta*C is carried through the padded copy of C.
+void pad_dynamic(double alpha, ConstView a, ConstView b, double beta,
+                 MutView c, Ctx& ctx, int depth);
+
+/// Static padding: pads all three dimensions up to multiples of 2^L (L =
+/// the recursion depth the cutoff criterion reaches on the ceiling-halved
+/// dimensions), runs the whole recursion on the padded problem, and copies
+/// back. Called once from the public driver.
+void pad_static(double alpha, ConstView a, ConstView b, double beta,
+                MutView c, Ctx& ctx);
+
+/// Depth the cutoff criterion reaches when halving (with ceiling) from
+/// (m, k, n); this is the L used by static padding.
+int static_padding_depth(const CutoffCriterion& cut, index_t m, index_t k,
+                         index_t n);
+
+/// Dimensions after static padding for depth L (next multiple of 2^L).
+index_t pad_up(index_t x, int levels);
+
+}  // namespace strassen::core::detail

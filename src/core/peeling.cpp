@@ -1,0 +1,69 @@
+#include "core/peeling.hpp"
+
+#include <cassert>
+
+#include "blas/level1.hpp"
+#include "blas/level2.hpp"
+#include "support/opcount.hpp"
+
+namespace strassen::core {
+
+void gemv_view(double alpha, ConstView a, const double* x, index_t incx,
+               double beta, double* y, index_t incy) {
+  assert(a.col_major() || a.row_major());
+  if (a.col_major()) {
+    blas::dgemv(Trans::no, a.rows, a.cols, alpha, a.p, a.ld_col(), x, incx,
+                beta, y, incy);
+  } else {
+    // The view is X^T for a stored column-major X (a.cols x a.rows, leading
+    // dimension a.rs); DGEMV's transposed mode computes y = alpha X^T x.
+    blas::dgemv(Trans::transpose, a.cols, a.rows, alpha, a.p, a.ld_row(), x,
+                incx, beta, y, incy);
+  }
+}
+
+int peel_fixups(double alpha, ConstView a, ConstView b, double beta, MutView c,
+                index_t me, index_t ke, index_t ne) {
+  const index_t m = c.rows, n = c.cols, k = a.cols;
+  assert(a.rows == m && b.rows == k && b.cols == n);
+  assert(me == m || me == m - 1);
+  assert(ke == k || ke == k - 1);
+  assert(ne == n || ne == n - 1);
+  int fixups = 0;
+
+  // Odd k: C(0:me, 0:ne) += alpha * A(:, k-1) * B(k-1, :), a rank-1 update
+  // on the block that the even core already produced (so beta has been
+  // applied there).
+  if (ke < k && me > 0 && ne > 0) {
+    blas::dger(me, ne, alpha, &a(0, ke), a.rs, &b(ke, 0), b.cs, c.p, c.cs);
+    ++fixups;
+  }
+
+  // Odd n: last column of C over the FULL inner dimension k (eq. 9 combines
+  // A11*b12 + a12*b22 into one matrix-vector product).
+  if (ne < n && me > 0) {
+    gemv_view(alpha, a.block(0, 0, me, k), &b(0, ne), b.rs, beta, &c(0, ne),
+              c.rs);
+    ++fixups;
+  }
+
+  // Odd m: last row of C over the full k: c21 = alpha * a_row * B(:, 0:ne).
+  if (me < m && ne > 0) {
+    gemv_view(alpha, b.block(0, 0, k, ne).transposed(), &a(me, 0), a.cs, beta,
+              &c(me, 0), c.cs);
+    ++fixups;
+  }
+
+  // Odd m and n: the corner element.
+  if (me < m && ne < n) {
+    const double dot = blas::ddot(k, &a(me, 0), a.cs, &b(0, ne), b.rs);
+    c(me, ne) = alpha * dot + (beta == 0.0 ? 0.0 : beta * c(me, ne));
+    if (opcount::enabled()) {
+      opcount::record_gemv(1, k);  // k multiplies + k adds, close enough
+    }
+    ++fixups;
+  }
+  return fixups;
+}
+
+}  // namespace strassen::core

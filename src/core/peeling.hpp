@@ -1,0 +1,34 @@
+// Dynamic peeling for odd dimensions (Section 3.3 and eq. 9 of the paper).
+//
+// When any of m, k, n is odd, the last row/column is stripped so that
+// Strassen's construction applies to the even-dimensioned core, and the
+// stripped pieces contribute through three fix-up steps:
+//   * odd k: a rank-one update  C11 += alpha * a_,k-1 * b_k-1,_  (DGER),
+//   * odd n: a matrix-vector product for the last column of C     (DGEMV),
+//   * odd m: a vector-matrix product for the last row of C        (DGEMV),
+//   * odd m and n: a dot product for the corner element           (DDOT).
+// No extra workspace is required -- the paper's key argument for peeling
+// over padding.
+#pragma once
+
+#include "support/config.hpp"
+#include "support/matrix.hpp"
+
+namespace strassen::core {
+
+/// y <- alpha * A x + beta * y for a (possibly transposed) view A and
+/// strided vectors. Dispatches to blas::dgemv.
+void gemv_view(double alpha, ConstView a, const double* x, index_t incx,
+               double beta, double* y, index_t incy);
+
+/// Applies the peeling fix-ups for C = alpha*A*B + beta*C where the
+/// (me x ke x ne) even core has already been computed into C(0:me, 0:ne)
+/// (including its beta contribution). A is m x k, B is k x n, C is m x n
+/// logical views; me = m or m-1, etc.
+///
+/// Returns the number of fix-up operations performed (0 when all dimensions
+/// were already even).
+int peel_fixups(double alpha, ConstView a, ConstView b, double beta, MutView c,
+                index_t me, index_t ke, index_t ne);
+
+}  // namespace strassen::core

@@ -1,0 +1,20 @@
+// Strassen's original 1969 construction (7 multiplies, 18 additions).
+//
+// Used for the operation-count comparison against the Winograd variant
+// (eqs. 4 vs. 5) and as the algorithmic basis of the CRAY SGEMMS-like
+// comparator. Runs under the same recursion driver, cutoff criteria, and
+// odd-dimension strategies as the Winograd schedules.
+#pragma once
+
+#include "core/winograd.hpp"
+
+namespace strassen::core::detail {
+
+/// Executes one level of the original construction on an even-dimensioned
+/// core. beta != 0 is handled through a full product temporary (the
+/// original combination pattern reuses C's quadrants as scratch, so beta*C
+/// cannot be folded in-place).
+void run_original_schedule(double alpha, ConstView a, ConstView b,
+                           double beta, MutView c, Ctx& ctx, int depth);
+
+}  // namespace strassen::core::detail

@@ -1,0 +1,60 @@
+// Public configuration and statistics types for DGEFMM.
+#pragma once
+
+#include <cstddef>
+
+#include "core/cutoff.hpp"
+#include "support/arena.hpp"
+#include "support/config.hpp"
+
+namespace strassen::core {
+
+/// Which computation schedule performs each recursion level.
+enum class Scheme {
+  automatic,  ///< STRASSEN1 when beta == 0, STRASSEN2 otherwise (the paper's
+              ///< DGEFMM behaviour, Table 1 last row)
+  strassen1,  ///< force STRASSEN1 (general-beta form uses four product
+              ///< temporaries; beta == 0 form runs in C's space)
+  strassen2,  ///< force the three-temporary multiply-accumulate schedule
+  original,   ///< Strassen's 1969 variant (7 multiplies, 18 additions)
+};
+
+/// How odd dimensions are made even at each recursion level.
+enum class OddStrategy {
+  dynamic_peeling,  ///< strip the odd row/column, fix up with DGER/DGEMV
+                    ///< (the paper's choice, Section 3.3)
+  dynamic_padding,  ///< zero-pad by one row/column at each level (Douglas
+                    ///< et al.'s choice)
+  static_padding,   ///< zero-pad once at the top level to a multiple of 2^L
+};
+
+/// Execution statistics filled in by dgefmm when requested.
+struct DgefmmStats {
+  count_t strassen_levels = 0;   ///< recursion nodes that applied Strassen
+  count_t base_gemms = 0;        ///< bottom-level DGEMM calls
+  count_t peel_fixups = 0;       ///< DGER/DGEMV/DDOT fix-up operations
+  count_t pad_copies = 0;        ///< padded operand copies made
+  int max_depth = 0;             ///< deepest recursion level applied
+  std::size_t peak_workspace = 0;  ///< arena high-water mark, in doubles
+
+  void reset() { *this = DgefmmStats{}; }
+};
+
+/// Options controlling a dgefmm call. Default-constructed configuration
+/// reproduces the paper's DGEFMM on the active machine profile.
+struct DgefmmConfig {
+  CutoffCriterion cutoff =
+      CutoffCriterion::paper_default(blas::active_machine());
+  Scheme scheme = Scheme::automatic;
+  OddStrategy odd = OddStrategy::dynamic_peeling;
+
+  /// Optional caller-provided workspace. When null, dgefmm allocates an
+  /// exactly-sized arena internally. Reusing one arena across calls avoids
+  /// repeated allocation in inner loops (as the benchmarks do).
+  Arena* workspace = nullptr;
+
+  /// Optional statistics sink.
+  DgefmmStats* stats = nullptr;
+};
+
+}  // namespace strassen::core

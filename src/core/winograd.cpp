@@ -1,0 +1,242 @@
+#include "core/winograd.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "blas/gemm.hpp"
+#include "core/add_kernels.hpp"
+#include "core/padding.hpp"
+#include "core/peeling.hpp"
+#include "core/strassen_original.hpp"
+
+namespace strassen::core::detail {
+
+MutView arena_matrix(Arena& arena, index_t m, index_t n) {
+  double* p = arena.alloc(static_cast<std::size_t>(m) * n);
+  return make_view(p, m, n, m > 0 ? m : 1);
+}
+
+namespace {
+
+// Quadrants of an even-dimensioned logical matrix.
+struct Quads {
+  ConstView q11, q12, q21, q22;
+};
+
+Quads quadrants(ConstView x) {
+  const index_t r2 = x.rows / 2, c2 = x.cols / 2;
+  return {x.block(0, 0, r2, c2), x.block(0, c2, r2, c2),
+          x.block(r2, 0, r2, c2), x.block(r2, c2, r2, c2)};
+}
+
+struct MutQuads {
+  MutView q11, q12, q21, q22;
+};
+
+MutQuads quadrants(MutView x) {
+  const index_t r2 = x.rows / 2, c2 = x.cols / 2;
+  return {x.block(0, 0, r2, c2), x.block(0, c2, r2, c2),
+          x.block(r2, 0, r2, c2), x.block(r2, c2, r2, c2)};
+}
+
+// STRASSEN1, beta == 0: C = alpha*A*B with the products written straight
+// into C's quadrants (Douglas-style 22-step schedule; DESIGN.md section 1).
+void schedule_s1_beta0(double alpha, ConstView a, ConstView b, MutView c,
+                       Ctx& ctx, int depth) {
+  const index_t m2 = a.rows / 2, k2 = a.cols / 2, n2 = b.cols / 2;
+  ArenaScope scope(*ctx.arena);
+  // X holds m2 x k2 operands and, later, the m2 x n2 product P1.
+  double* xbuf = ctx.arena->alloc(static_cast<std::size_t>(m2) *
+                                  std::max(k2, n2));
+  MutView xs = make_view(xbuf, m2, k2, m2 > 0 ? m2 : 1);
+  MutView xp = make_view(xbuf, m2, n2, m2 > 0 ? m2 : 1);
+  MutView y = arena_matrix(*ctx.arena, k2, n2);
+
+  const Quads A = quadrants(a);
+  const Quads B = quadrants(b);
+  MutQuads C = quadrants(c);
+
+  sub(A.q11, A.q21, xs);                       //  1. X  = S3
+  sub(B.q22, B.q12, y);                        //  2. Y  = T3
+  fmm(alpha, xs, y, 0.0, C.q21, ctx, depth + 1);  //  3. C21 = a*P7
+  add(A.q21, A.q22, xs);                       //  4. X  = S1
+  sub(B.q12, B.q11, y);                        //  5. Y  = T1
+  fmm(alpha, xs, y, 0.0, C.q22, ctx, depth + 1);  //  6. C22 = a*P5
+  sub_inplace(xs, A.q11);                      //  7. X  = S2
+  rsub_inplace(y, B.q22);                      //  8. Y  = T2
+  fmm(alpha, xs, y, 0.0, C.q12, ctx, depth + 1);  //  9. C12 = a*P6
+  rsub_inplace(xs, A.q12);                     // 10. X  = S4
+  fmm(alpha, xs, B.q22, 0.0, C.q11, ctx, depth + 1);  // 11. C11 = a*P3
+  fmm(alpha, A.q11, B.q11, 0.0, xp, ctx, depth + 1);  // 12. X  = a*P1
+  add_inplace(C.q12, xp);                      // 13. C12 = a*U2
+  add_inplace(C.q21, C.q12);                   // 14. C21 = a*U3
+  add_inplace(C.q12, C.q22);                   // 15. C12 = a*U4
+  add_inplace(C.q22, C.q21);                   // 16. C22 = a*U7  (final)
+  add_inplace(C.q12, C.q11);                   // 17. C12 = a*U5  (final)
+  sub_inplace(y, B.q21);                       // 18. Y  = T4
+  fmm(alpha, A.q22, y, 0.0, C.q11, ctx, depth + 1);   // 19. C11 = a*P4
+  sub_inplace(C.q21, C.q11);                   // 20. C21 = a*U6  (final)
+  fmm(alpha, A.q12, B.q21, 0.0, C.q11, ctx, depth + 1);  // 21. C11 = a*P2
+  add_inplace(C.q11, xp);                      // 22. C11 final
+}
+
+// STRASSEN1, general beta: four product temporaries Q1..Q4 per level;
+// beta*C is folded in during the final accumulation passes.
+void schedule_s1_general(double alpha, ConstView a, ConstView b, double beta,
+                         MutView c, Ctx& ctx, int depth) {
+  const index_t m2 = a.rows / 2, k2 = a.cols / 2, n2 = b.cols / 2;
+  ArenaScope scope(*ctx.arena);
+  MutView r1 = arena_matrix(*ctx.arena, m2, k2);
+  MutView r2 = arena_matrix(*ctx.arena, k2, n2);
+  MutView q1 = arena_matrix(*ctx.arena, m2, n2);
+  MutView q2 = arena_matrix(*ctx.arena, m2, n2);
+  MutView q3 = arena_matrix(*ctx.arena, m2, n2);
+  MutView q4 = arena_matrix(*ctx.arena, m2, n2);
+
+  const Quads A = quadrants(a);
+  const Quads B = quadrants(b);
+  MutQuads C = quadrants(c);
+
+  add(A.q21, A.q22, r1);                         // S1
+  sub(B.q12, B.q11, r2);                         // T1
+  fmm(alpha, r1, r2, 0.0, q1, ctx, depth + 1);   // Q1 = a*P5
+  sub_inplace(r1, A.q11);                        // S2
+  rsub_inplace(r2, B.q22);                       // T2
+  fmm(alpha, r1, r2, 0.0, q2, ctx, depth + 1);   // Q2 = a*P6
+  fmm(alpha, A.q11, B.q11, 0.0, q3, ctx, depth + 1);  // Q3 = a*P1
+  add_inplace(q2, q3);                           // Q2 = a*U2
+  fmm(alpha, A.q12, B.q21, 0.0, q4, ctx, depth + 1);  // Q4 = a*P2
+  add_inplace(q3, q4);                           // Q3 = a*(P1+P2)
+  axpby(1.0, q3, beta, C.q11);                   // C11 final
+  rsub_inplace(r1, A.q12);                       // S4
+  fmm(alpha, r1, B.q22, 0.0, q3, ctx, depth + 1);  // Q3 = a*P3
+  axpby(1.0, q2, beta, C.q12);
+  add_inplace(C.q12, q1);
+  add_inplace(C.q12, q3);                        // C12 final
+  sub_inplace(r2, B.q21);                        // T4
+  fmm(alpha, A.q22, r2, 0.0, q3, ctx, depth + 1);  // Q3 = a*P4
+  sub(A.q11, A.q21, r1);                         // S3
+  sub(B.q22, B.q12, r2);                         // T3
+  fmm(alpha, r1, r2, 0.0, q4, ctx, depth + 1);   // Q4 = a*P7
+  add_inplace(q2, q4);                           // Q2 = a*U3
+  axpby(1.0, q2, beta, C.q21);
+  sub_inplace(C.q21, q3);                        // C21 final
+  axpby(1.0, q2, beta, C.q22);
+  add_inplace(C.q22, q1);                        // C22 final
+}
+
+// STRASSEN2 (Figure 1): three temporaries, recursive multiply-accumulate.
+void schedule_s2(double alpha, ConstView a, ConstView b, double beta,
+                 MutView c, Ctx& ctx, int depth) {
+  const index_t m2 = a.rows / 2, k2 = a.cols / 2, n2 = b.cols / 2;
+  ArenaScope scope(*ctx.arena);
+  MutView r1 = arena_matrix(*ctx.arena, m2, k2);
+  MutView r2 = arena_matrix(*ctx.arena, k2, n2);
+  MutView r3 = arena_matrix(*ctx.arena, m2, n2);
+
+  const Quads A = quadrants(a);
+  const Quads B = quadrants(b);
+  MutQuads C = quadrants(c);
+
+  sub(B.q12, B.q11, r2);                          //  1. R2 = T1
+  add(A.q21, A.q22, r1);                          //  2. R1 = S1
+  fmm(alpha, r1, r2, 0.0, r3, ctx, depth + 1);    //  3. R3 = a*P5
+  axpby(1.0, r3, beta, C.q12);                    //  4. C12 = b*C12 + a*P5
+  axpby(1.0, r3, beta, C.q22);                    //  5. C22 = b*C22 + a*P5
+  sub_inplace(r1, A.q11);                         //  6. R1 = S2
+  rsub_inplace(r2, B.q22);                        //  7. R2 = T2
+  fmm(alpha, A.q11, B.q11, 0.0, r3, ctx, depth + 1);  //  8. R3 = a*P1
+  axpby(1.0, r3, beta, C.q11);                    //  9. C11 = b*C11 + a*P1
+  fmm(alpha, r1, r2, 1.0, r3, ctx, depth + 1);    // 10. R3 = a*U2
+  fmm(alpha, A.q12, B.q21, 1.0, C.q11, ctx, depth + 1);  // 11. C11 final
+  rsub_inplace(r1, A.q12);                        // 12. R1 = S4
+  fmm(alpha, r1, B.q22, 1.0, C.q12, ctx, depth + 1);  // 13. C12 += a*P3
+  add_inplace(C.q12, r3);                         // 14. C12 final
+  sub_inplace(r2, B.q21);                         // 15. R2 = T4
+  fmm(-alpha, A.q22, r2, beta, C.q21, ctx, depth + 1);  // 16. C21 = b*C21 - a*P4
+  sub(A.q11, A.q21, r1);                          // 17. R1 = S3
+  sub(B.q22, B.q12, r2);                          // 18. R2 = T3
+  fmm(alpha, r1, r2, 1.0, r3, ctx, depth + 1);    // 19. R3 = a*U3
+  add_inplace(C.q21, r3);                         // 20. C21 final
+  add_inplace(C.q22, r3);                         // 21. C22 final
+}
+
+// Dispatches the even-dimensioned core to the configured schedule.
+void run_schedule(double alpha, ConstView a, ConstView b, double beta,
+                  MutView c, Ctx& ctx, int depth) {
+  Scheme scheme = ctx.cfg->scheme;
+  if (scheme == Scheme::automatic) {
+    scheme = (beta == 0.0) ? Scheme::strassen1 : Scheme::strassen2;
+  }
+  switch (scheme) {
+    case Scheme::automatic:  // unreachable after resolution above
+    case Scheme::strassen1:
+      if (beta == 0.0) {
+        schedule_s1_beta0(alpha, a, b, c, ctx, depth);
+      } else {
+        schedule_s1_general(alpha, a, b, beta, c, ctx, depth);
+      }
+      return;
+    case Scheme::strassen2:
+      schedule_s2(alpha, a, b, beta, c, ctx, depth);
+      return;
+    case Scheme::original:
+      run_original_schedule(alpha, a, b, beta, c, ctx, depth);
+      return;
+  }
+}
+
+}  // namespace
+
+void fmm(double alpha, ConstView a, ConstView b, double beta, MutView c,
+         Ctx& ctx, int depth) {
+  const index_t m = c.rows, n = c.cols, k = a.cols;
+  assert(a.rows == m && b.rows == k && b.cols == n);
+  if (m == 0 || n == 0) return;
+
+  const bool degenerate = (m < 2 || k < 2 || n < 2);
+  if (degenerate || alpha == 0.0 ||
+      ctx.cfg->cutoff.stop(m, k, n, depth)) {
+    blas::gemm_view(alpha, a, b, beta, c);
+    if (ctx.stats != nullptr) ++ctx.stats->base_gemms;
+    return;
+  }
+
+  const bool odd = ((m | k | n) & 1) != 0;
+  if (odd) {
+    switch (ctx.cfg->odd) {
+      case OddStrategy::dynamic_peeling:
+        break;  // handled below
+      case OddStrategy::dynamic_padding:
+        pad_dynamic(alpha, a, b, beta, c, ctx, depth);
+        return;
+      case OddStrategy::static_padding:
+        // The public driver pre-pads, so odd dimensions inside the
+        // recursion mean the padded depth has been exhausted: stop.
+        blas::gemm_view(alpha, a, b, beta, c);
+        if (ctx.stats != nullptr) ++ctx.stats->base_gemms;
+        return;
+    }
+  }
+
+  if (ctx.stats != nullptr) {
+    ++ctx.stats->strassen_levels;
+    ctx.stats->max_depth = std::max(ctx.stats->max_depth, depth + 1);
+  }
+
+  const index_t me = m & ~index_t{1};
+  const index_t ke = k & ~index_t{1};
+  const index_t ne = n & ~index_t{1};
+  run_schedule(alpha, a.block(0, 0, me, ke), b.block(0, 0, ke, ne), beta,
+               c.block(0, 0, me, ne), ctx, depth);
+  if (odd) {
+    const int fixups = peel_fixups(alpha, a, b, beta, c, me, ke, ne);
+    if (ctx.stats != nullptr) ctx.stats->peel_fixups += fixups;
+  }
+  if (ctx.stats != nullptr) {
+    ctx.stats->peak_workspace =
+        std::max(ctx.stats->peak_workspace, ctx.arena->peak());
+  }
+}
+
+}  // namespace strassen::core::detail

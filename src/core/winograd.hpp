@@ -1,0 +1,48 @@
+// Recursion driver and the Winograd-variant computation schedules
+// (Section 3.2, Figure 1).
+//
+// Three schedules are implemented:
+//
+//  * STRASSEN1, beta == 0: the two-temporary schedule (X of size
+//    m/2 x max(k,n)/2 and Y of size k/2 x n/2) in which the seven products
+//    land directly in the quadrants of C. Total extra storage across the
+//    recursion: (m*max(k,n) + kn)/3.
+//
+//  * STRASSEN1, general beta: adds four product temporaries per level
+//    (bounded by (4mn + m*max(k,n) + kn)/3 overall). Kept mainly for the
+//    Table 1 comparison; DGEFMM itself prefers STRASSEN2 when beta != 0.
+//
+//  * STRASSEN2 (Figure 1): three temporaries R1 (mk/4), R2 (kn/4),
+//    R3 (mn/4) -- the minimum possible -- using recursive
+//    multiply-accumulate (C <- alpha*A*B + beta*C) so that C's own storage
+//    absorbs the U-accumulations. Total extra storage (mk + kn + mn)/3.
+//
+// The driver handles cutoff, odd dimensions (peeling or padding), and
+// statistics; it is shared with the original-variant schedule in
+// strassen_original.cpp.
+#pragma once
+
+#include "core/types.hpp"
+#include "support/arena.hpp"
+#include "support/matrix.hpp"
+
+namespace strassen::core::detail {
+
+/// Recursion-wide state threaded through every level.
+struct Ctx {
+  const DgefmmConfig* cfg = nullptr;
+  Arena* arena = nullptr;
+  DgefmmStats* stats = nullptr;  ///< may be null
+};
+
+/// C <- alpha * A * B + beta * C, recursively. A, B may be transposed
+/// views; C must be column-major. This is the single entry point used by
+/// the public dgefmm driver, the schedules (for their seven sub-products),
+/// and the padding fall-backs.
+void fmm(double alpha, ConstView a, ConstView b, double beta, MutView c,
+         Ctx& ctx, int depth);
+
+/// Views an arena allocation as an m x n column-major matrix.
+MutView arena_matrix(Arena& arena, index_t m, index_t n);
+
+}  // namespace strassen::core::detail

@@ -1,0 +1,119 @@
+#include "core/workspace.hpp"
+
+#include <algorithm>
+
+#include "core/padding.hpp"
+
+namespace strassen::core {
+
+namespace {
+
+Scheme resolve(Scheme s, bool beta_zero) {
+  if (s == Scheme::automatic) {
+    return beta_zero ? Scheme::strassen1 : Scheme::strassen2;
+  }
+  return s;
+}
+
+// Mirrors detail::fmm's allocation pattern exactly.
+count_t ws(index_t m, index_t k, index_t n, bool beta_zero,
+           const DgefmmConfig& cfg, int depth) {
+  if (m == 0 || n == 0) return 0;
+  if (m < 2 || k < 2 || n < 2 || cfg.cutoff.stop(m, k, n, depth)) return 0;
+
+  const bool odd = ((m | k | n) & 1) != 0;
+  if (odd) {
+    switch (cfg.odd) {
+      case OddStrategy::dynamic_peeling:
+        break;
+      case OddStrategy::dynamic_padding: {
+        const index_t mp = m + (m & 1), kp = k + (k & 1), np = n + (n & 1);
+        return static_cast<count_t>(mp) * kp + static_cast<count_t>(kp) * np +
+               static_cast<count_t>(mp) * np +
+               ws(mp, kp, np, beta_zero, cfg, depth);
+      }
+      case OddStrategy::static_padding:
+        return 0;  // odd inside a statically padded recursion => DGEMM
+    }
+  }
+
+  const index_t m2 = (m & ~index_t{1}) / 2;
+  const index_t k2 = (k & ~index_t{1}) / 2;
+  const index_t n2 = (n & ~index_t{1}) / 2;
+
+  switch (resolve(cfg.scheme, beta_zero)) {
+    case Scheme::automatic:  // resolved above
+    case Scheme::strassen1: {
+      if (beta_zero) {
+        const count_t per = static_cast<count_t>(m2) * std::max(k2, n2) +
+                            static_cast<count_t>(k2) * n2;
+        return per + ws(m2, k2, n2, true, cfg, depth + 1);
+      }
+      const count_t per = static_cast<count_t>(m2) * k2 +
+                          static_cast<count_t>(k2) * n2 +
+                          4 * static_cast<count_t>(m2) * n2;
+      // All seven sub-products are beta == 0 multiplies.
+      return per + ws(m2, k2, n2, true, cfg, depth + 1);
+    }
+    case Scheme::strassen2: {
+      const count_t per = static_cast<count_t>(m2) * k2 +
+                          static_cast<count_t>(k2) * n2 +
+                          static_cast<count_t>(m2) * n2;
+      // Children are a mix of pure multiplies (beta == 0) and
+      // multiply-accumulates; size for the larger of the two.
+      return per + std::max(ws(m2, k2, n2, true, cfg, depth + 1),
+                            ws(m2, k2, n2, false, cfg, depth + 1));
+    }
+    case Scheme::original: {
+      const count_t per_level = static_cast<count_t>(m2) * k2 +
+                                static_cast<count_t>(k2) * n2 +
+                                static_cast<count_t>(m2) * n2;
+      const count_t ctmp = beta_zero ? 0
+                                     : static_cast<count_t>(m & ~index_t{1}) *
+                                           (n & ~index_t{1});
+      return ctmp + per_level + ws(m2, k2, n2, true, cfg, depth + 1);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+count_t workspace_doubles(index_t m, index_t n, index_t k, double beta,
+                          const DgefmmConfig& cfg) {
+  const bool beta_zero = (beta == 0.0);
+  if (cfg.odd == OddStrategy::static_padding) {
+    const int levels = detail::static_padding_depth(cfg.cutoff, m, k, n);
+    const index_t mp = detail::pad_up(m, levels);
+    const index_t kp = detail::pad_up(k, levels);
+    const index_t np = detail::pad_up(n, levels);
+    count_t copies = 0;
+    if (mp != m || kp != k || np != n) {
+      copies = static_cast<count_t>(mp) * kp + static_cast<count_t>(kp) * np +
+               static_cast<count_t>(mp) * np;
+    }
+    return copies + ws(mp, kp, np, beta_zero, cfg, 0);
+  }
+  return ws(m, k, n, beta_zero, cfg, 0);
+}
+
+double bound_strassen1_beta0(index_t m, index_t k, index_t n) {
+  return (static_cast<double>(m) * std::max(k, n) +
+          static_cast<double>(k) * n) /
+         3.0;
+}
+
+double bound_strassen1_general(index_t m, index_t k, index_t n) {
+  return (4.0 * static_cast<double>(m) * n +
+          static_cast<double>(m) * std::max(k, n) +
+          static_cast<double>(k) * n) /
+         3.0;
+}
+
+double bound_strassen2(index_t m, index_t k, index_t n) {
+  return (static_cast<double>(m) * k + static_cast<double>(k) * n +
+          static_cast<double>(m) * n) /
+         3.0;
+}
+
+}  // namespace strassen::core

@@ -1,0 +1,29 @@
+// Exact workspace sizing for DGEFMM (Section 3.2 / Table 1).
+//
+// The recursion-walking functions mirror the allocations the schedules
+// make, so an arena sized by dgefmm_workspace_doubles never grows and
+// never overflows. The closed-form bounds are the paper's formulas; the
+// tests assert  exact <= bound  for every scheme and shape.
+#pragma once
+
+#include "core/types.hpp"
+#include "support/config.hpp"
+
+namespace strassen::core {
+
+/// Exact number of workspace doubles a dgefmm call with this configuration
+/// will allocate at peak for C(m x n) = alpha*op(A)(m x k)*op(B)(k x n)
+/// + beta*C.
+count_t workspace_doubles(index_t m, index_t n, index_t k, double beta,
+                          const DgefmmConfig& cfg);
+
+/// Paper bound for STRASSEN1 with beta == 0: (m*max(k,n) + kn)/3.
+double bound_strassen1_beta0(index_t m, index_t k, index_t n);
+
+/// Paper bound for STRASSEN1 with beta != 0: (4mn + m*max(k,n) + kn)/3.
+double bound_strassen1_general(index_t m, index_t k, index_t n);
+
+/// Paper bound for STRASSEN2: (mk + kn + mn)/3.
+double bound_strassen2(index_t m, index_t k, index_t n);
+
+}  // namespace strassen::core

@@ -1,0 +1,208 @@
+#include "core/zgefmm.hpp"
+
+#include <cassert>
+
+#include "blas/gemm.hpp"
+#include "core/add_kernels.hpp"
+#include "core/dgefmm.hpp"
+#include "core/winograd.hpp"
+
+namespace strassen::core {
+
+namespace {
+
+using cplx = std::complex<double>;
+
+int check_args(Trans transa, Trans transb, index_t m, index_t n, index_t k,
+               index_t lda, index_t ldb, index_t ldc) {
+  auto ok = [](Trans t) {
+    return t == Trans::no || t == Trans::transpose ||
+           t == Trans::conj_transpose;
+  };
+  if (!ok(transa)) return 1;
+  if (!ok(transb)) return 2;
+  if (m < 0) return 3;
+  if (n < 0) return 4;
+  if (k < 0) return 5;
+  const index_t a_rows = is_trans(transa) ? k : m;
+  const index_t b_rows = is_trans(transb) ? n : k;
+  if (lda < (a_rows > 0 ? a_rows : 1)) return 8;
+  if (ldb < (b_rows > 0 ? b_rows : 1)) return 10;
+  if (ldc < (m > 0 ? m : 1)) return 13;
+  return 0;
+}
+
+// Extracts Re(op(X)) and Im(op(X)) into two plain column-major real
+// matrices of the op'd logical shape (rows x cols).
+void split_op(Trans trans, const cplx* x, index_t ldx, index_t rows,
+              index_t cols, MutView re, MutView im) {
+  const double sign = is_conj(trans) ? -1.0 : 1.0;
+  if (!is_trans(trans)) {
+    for (index_t j = 0; j < cols; ++j) {
+      const cplx* col = x + j * ldx;
+      for (index_t i = 0; i < rows; ++i) {
+        re(i, j) = col[i].real();
+        im(i, j) = sign * col[i].imag();
+      }
+    }
+  } else {
+    // op(X) = X^T or X^H: stored X is cols x rows.
+    for (index_t j = 0; j < cols; ++j) {
+      for (index_t i = 0; i < rows; ++i) {
+        const cplx v = x[j + i * ldx];
+        re(i, j) = v.real();
+        im(i, j) = sign * v.imag();
+      }
+    }
+  }
+}
+
+// C <- alpha * (tr + i*ti applied per `make`) + beta * C, elementwise.
+template <class F>
+void combine_into_c(index_t m, index_t n, cplx alpha, cplx beta, cplx* c,
+                    index_t ldc, F&& value) {
+  for (index_t j = 0; j < n; ++j) {
+    cplx* col = c + j * ldc;
+    for (index_t i = 0; i < m; ++i) {
+      const cplx prod = value(i, j);
+      col[i] = alpha * prod + (beta == cplx(0.0) ? cplx(0.0) : beta * col[i]);
+    }
+  }
+}
+
+}  // namespace
+
+int zgefmm(Trans transa, Trans transb, index_t m, index_t n, index_t k,
+           cplx alpha, const cplx* a, index_t lda, const cplx* b, index_t ldb,
+           cplx beta, cplx* c, index_t ldc, const DgefmmConfig& cfg) {
+  if (const int info = check_args(transa, transb, m, n, k, lda, ldb, ldc);
+      info != 0) {
+    return info;
+  }
+  if (m == 0 || n == 0) return 0;
+  if (k == 0 || alpha == cplx(0.0)) {
+    for (index_t j = 0; j < n; ++j) {
+      for (index_t i = 0; i < m; ++i) {
+        cplx& cij = c[i + j * ldc];
+        cij = (beta == cplx(0.0)) ? cplx(0.0) : beta * cij;
+      }
+    }
+    return 0;
+  }
+
+  // Real workspace: the six split operands, three product temporaries, and
+  // whatever the inner DGEFMM needs (shared arena).
+  DgefmmConfig inner = cfg;
+  const count_t inner_ws = dgefmm_workspace_doubles(m, n, k, 0.0, inner);
+  const count_t mk = static_cast<count_t>(m) * k;
+  const count_t kn = static_cast<count_t>(k) * n;
+  const count_t mn = static_cast<count_t>(m) * n;
+  const count_t need = 2 * mk + 2 * kn + 3 * mn + mk + kn + inner_ws;
+
+  Arena local;
+  Arena* arena = cfg.workspace;
+  if (arena == nullptr) {
+    local.reserve(static_cast<std::size_t>(need));
+    arena = &local;
+  } else if (arena->in_use() == 0 &&
+             arena->capacity() < static_cast<std::size_t>(need)) {
+    arena->reserve(static_cast<std::size_t>(need));
+  }
+  inner.workspace = arena;
+
+  ArenaScope scope(*arena);
+  MutView ar = detail::arena_matrix(*arena, m, k);
+  MutView ai = detail::arena_matrix(*arena, m, k);
+  MutView br = detail::arena_matrix(*arena, k, n);
+  MutView bi = detail::arena_matrix(*arena, k, n);
+  MutView t1 = detail::arena_matrix(*arena, m, n);
+  MutView t2 = detail::arena_matrix(*arena, m, n);
+  MutView t3 = detail::arena_matrix(*arena, m, n);
+
+  split_op(transa, a, lda, m, k, ar, ai);
+  split_op(transb, b, ldb, k, n, br, bi);
+
+  {
+    // T3 = (Ar + Ai)(Br + Bi); the operand sums live only in this scope.
+    ArenaScope sums(*arena);
+    MutView sa = detail::arena_matrix(*arena, m, k);
+    MutView sb = detail::arena_matrix(*arena, k, n);
+    add(ar, ai, sa);
+    add(br, bi, sb);
+    dgefmm_view(1.0, sa, sb, 0.0, t3, inner);
+  }
+  dgefmm_view(1.0, ar, br, 0.0, t1, inner);  // T1 = Ar Br
+  dgefmm_view(1.0, ai, bi, 0.0, t2, inner);  // T2 = Ai Bi
+
+  // Re = T1 - T2, Im = T3 - T1 - T2, then the complex alpha/beta fold.
+  combine_into_c(m, n, alpha, beta, c, ldc, [&](index_t i, index_t j) {
+    const double re = t1(i, j) - t2(i, j);
+    const double im = t3(i, j) - t1(i, j) - t2(i, j);
+    return cplx(re, im);
+  });
+  return 0;
+}
+
+int zgemm4m(Trans transa, Trans transb, index_t m, index_t n, index_t k,
+            cplx alpha, const cplx* a, index_t lda, const cplx* b,
+            index_t ldb, cplx beta, cplx* c, index_t ldc) {
+  if (const int info = check_args(transa, transb, m, n, k, lda, ldb, ldc);
+      info != 0) {
+    return info;
+  }
+  if (m == 0 || n == 0) return 0;
+  if (k == 0 || alpha == cplx(0.0)) {
+    for (index_t j = 0; j < n; ++j) {
+      for (index_t i = 0; i < m; ++i) {
+        cplx& cij = c[i + j * ldc];
+        cij = (beta == cplx(0.0)) ? cplx(0.0) : beta * cij;
+      }
+    }
+    return 0;
+  }
+
+  Matrix ar(m, k), ai(m, k), br(k, n), bi(k, n), cr(m, n), ci(m, n);
+  split_op(transa, a, lda, m, k, ar.view(), ai.view());
+  split_op(transb, b, ldb, k, n, br.view(), bi.view());
+
+  // Re(C') = Ar Br - Ai Bi ; Im(C') = Ar Bi + Ai Br (four real GEMMs).
+  blas::dgemm(Trans::no, Trans::no, m, n, k, 1.0, ar.data(), ar.ld(),
+              br.data(), br.ld(), 0.0, cr.data(), cr.ld());
+  blas::dgemm(Trans::no, Trans::no, m, n, k, -1.0, ai.data(), ai.ld(),
+              bi.data(), bi.ld(), 1.0, cr.data(), cr.ld());
+  blas::dgemm(Trans::no, Trans::no, m, n, k, 1.0, ar.data(), ar.ld(),
+              bi.data(), bi.ld(), 0.0, ci.data(), ci.ld());
+  blas::dgemm(Trans::no, Trans::no, m, n, k, 1.0, ai.data(), ai.ld(),
+              br.data(), br.ld(), 1.0, ci.data(), ci.ld());
+
+  combine_into_c(m, n, alpha, beta, c, ldc, [&](index_t i, index_t j) {
+    return cplx(cr(i, j), ci(i, j));
+  });
+  return 0;
+}
+
+void zgemm_reference(Trans transa, Trans transb, index_t m, index_t n,
+                     index_t k, cplx alpha, const cplx* a, index_t lda,
+                     const cplx* b, index_t ldb, cplx beta, cplx* c,
+                     index_t ldc) {
+  auto opa = [&](index_t i, index_t p) -> cplx {
+    if (!is_trans(transa)) return a[i + p * lda];
+    const cplx v = a[p + i * lda];
+    return is_conj(transa) ? std::conj(v) : v;
+  };
+  auto opb = [&](index_t p, index_t j) -> cplx {
+    if (!is_trans(transb)) return b[p + j * ldb];
+    const cplx v = b[j + p * ldb];
+    return is_conj(transb) ? std::conj(v) : v;
+  };
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < m; ++i) {
+      cplx sum(0.0);
+      for (index_t p = 0; p < k; ++p) sum += opa(i, p) * opb(p, j);
+      cplx& cij = c[i + j * ldc];
+      cij = alpha * sum + (beta == cplx(0.0) ? cplx(0.0) : beta * cij);
+    }
+  }
+}
+
+}  // namespace strassen::core

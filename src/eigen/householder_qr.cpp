@@ -1,0 +1,110 @@
+#include "eigen/householder_qr.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace strassen::eigen {
+
+index_t PivotedQr::rank(double tol) const {
+  const index_t kmax = std::min(qr.rows(), qr.cols());
+  if (kmax == 0) return 0;
+  const double r00 = std::abs(qr(0, 0));
+  if (r00 == 0.0) return 0;
+  index_t r = 0;
+  for (index_t i = 0; i < kmax; ++i) {
+    if (std::abs(qr(i, i)) > tol * r00) {
+      ++r;
+    } else {
+      break;  // pivoting makes |R(i,i)| non-increasing
+    }
+  }
+  return r;
+}
+
+PivotedQr qr_factor_pivoted(ConstView a) {
+  const index_t m = a.rows, n = a.cols;
+  PivotedQr f;
+  f.qr = Matrix(m, n);
+  copy(a, f.qr.view());
+  f.jpvt.resize(static_cast<std::size_t>(n));
+  std::iota(f.jpvt.begin(), f.jpvt.end(), index_t{0});
+  const index_t kmax = std::min(m, n);
+  f.tau.assign(static_cast<std::size_t>(kmax), 0.0);
+  Matrix& qr = f.qr;
+
+  for (index_t k = 0; k < kmax; ++k) {
+    // Column pivot: bring the column with the largest trailing norm to k.
+    // Norms are recomputed exactly each step -- O(mn^2) total, which is
+    // fine at ISDA block sizes and avoids the classic downdating
+    // cancellation problem.
+    index_t best = k;
+    double best_norm = -1.0;
+    for (index_t j = k; j < n; ++j) {
+      double s = 0.0;
+      for (index_t i = k; i < m; ++i) s += qr(i, j) * qr(i, j);
+      if (s > best_norm) {
+        best_norm = s;
+        best = j;
+      }
+    }
+    if (best != k) {
+      for (index_t i = 0; i < m; ++i) std::swap(qr(i, k), qr(i, best));
+      std::swap(f.jpvt[static_cast<std::size_t>(k)],
+                f.jpvt[static_cast<std::size_t>(best)]);
+    }
+
+    // Householder reflector annihilating qr(k+1:m, k).
+    double normx = 0.0;
+    for (index_t i = k; i < m; ++i) normx += qr(i, k) * qr(i, k);
+    normx = std::sqrt(normx);
+    if (normx == 0.0) {
+      f.tau[static_cast<std::size_t>(k)] = 0.0;
+      continue;
+    }
+    const double x0 = qr(k, k);
+    const double alpha = (x0 >= 0.0) ? -normx : normx;
+    const double v0 = x0 - alpha;
+    // Scale so v(0) == 1 (stored implicitly); tau = (alpha - x0)/alpha in
+    // the LAPACK convention, equivalently -v0/alpha.
+    const double tau = -v0 / alpha;
+    f.tau[static_cast<std::size_t>(k)] = tau;
+    qr(k, k) = alpha;  // R diagonal
+    if (v0 != 0.0) {
+      for (index_t i = k + 1; i < m; ++i) qr(i, k) /= v0;
+    }
+
+    // Apply H = I - tau v v^T to the trailing columns.
+    for (index_t j = k + 1; j < n; ++j) {
+      double dot = qr(k, j);  // v(0) == 1
+      for (index_t i = k + 1; i < m; ++i) dot += qr(i, k) * qr(i, j);
+      const double w = tau * dot;
+      qr(k, j) -= w;
+      for (index_t i = k + 1; i < m; ++i) qr(i, j) -= w * qr(i, k);
+    }
+  }
+  return f;
+}
+
+Matrix form_q(const PivotedQr& f) {
+  const index_t m = f.rows();
+  const index_t kmax = static_cast<index_t>(f.tau.size());
+  Matrix q(m, m);
+  set_identity(q.view());
+  // Q = H_0 H_1 ... H_{kmax-1}; applying to I from the last reflector to
+  // the first builds Q in O(m^2 kmax).
+  for (index_t k = kmax - 1; k >= 0; --k) {
+    const double tau = f.tau[static_cast<std::size_t>(k)];
+    if (tau == 0.0) continue;
+    for (index_t j = 0; j < m; ++j) {
+      double dot = q(k, j);
+      for (index_t i = k + 1; i < m; ++i) dot += f.qr(i, k) * q(i, j);
+      const double w = tau * dot;
+      q(k, j) -= w;
+      for (index_t i = k + 1; i < m; ++i) q(i, j) -= w * f.qr(i, k);
+    }
+  }
+  return q;
+}
+
+}  // namespace strassen::eigen

@@ -1,0 +1,39 @@
+// Householder QR factorization with column pivoting (rank-revealing).
+//
+// The ISDA eigensolver uses this to split a converged spectral projector P
+// into range and null-space bases: A P(:, pivots) = Q R with the leading
+// r = rank(P) columns of Q spanning range(P) and the rest spanning its
+// orthogonal complement. Functionally a compact DGEQPF + DORGQR.
+#pragma once
+
+#include <vector>
+
+#include "support/config.hpp"
+#include "support/matrix.hpp"
+
+namespace strassen::eigen {
+
+/// Result of qr_factor_pivoted: A(:, jpvt) = Q R.
+struct PivotedQr {
+  Matrix qr;                  ///< R in the upper triangle, Householder
+                              ///< vectors below the diagonal (v(0) == 1
+                              ///< implicit)
+  std::vector<double> tau;    ///< reflector coefficients, min(m, n)
+  std::vector<index_t> jpvt;  ///< column permutation (0-based)
+
+  index_t rows() const { return qr.rows(); }
+  index_t cols() const { return qr.cols(); }
+
+  /// Numerical rank: the number of diagonal entries of R with
+  /// |R(i,i)| > tol * |R(0,0)| (column pivoting makes the diagonal
+  /// non-increasing in magnitude).
+  index_t rank(double tol = 1e-10) const;
+};
+
+/// Factors a (m x n) with column pivoting.
+PivotedQr qr_factor_pivoted(ConstView a);
+
+/// Forms the full m x m orthogonal Q of a factorization.
+Matrix form_q(const PivotedQr& f);
+
+}  // namespace strassen::eigen

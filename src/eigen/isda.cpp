@@ -1,0 +1,257 @@
+#include "eigen/isda.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <memory>
+#include <numeric>
+#include <utility>
+
+#include "blas/gemm.hpp"
+#include "core/dgefmm.hpp"
+#include "eigen/householder_qr.hpp"
+#include "eigen/jacobi.hpp"
+#include "support/errors.hpp"
+#include "support/timing.hpp"
+
+namespace strassen::eigen {
+
+namespace {
+
+// Runs the solver over one subproblem tree.
+class IsdaSolver {
+ public:
+  IsdaSolver(ConstView a, const IsdaOptions& opts)
+      : opts_(opts),
+        n_(a.rows),
+        v_(n_, n_),
+        eigenvalues_(static_cast<std::size_t>(n_), 0.0) {
+    assert(a.rows == a.cols);
+    gemm_ = opts_.gemm ? opts_.gemm : gemm_backend_dgemm();
+    set_identity(v_.view());
+    Matrix a0(n_, n_);
+    copy(a, a0.view());
+    Timer total;
+    solve(std::move(a0), 0);
+    stats_.total_seconds = total.seconds();
+  }
+
+  IsdaResult take_result() {
+    sort_spectrum();
+    IsdaResult r;
+    r.eigenvalues = std::move(eigenvalues_);
+    r.eigenvectors = std::move(v_);
+    r.stats = stats_;
+    return r;
+  }
+
+ private:
+  // Timed, counted matrix multiply.
+  void mm(Trans ta, Trans tb, index_t m, index_t n, index_t k, double alpha,
+          const double* a, index_t lda, const double* b, index_t ldb,
+          double beta, double* c, index_t ldc) {
+    Timer t;
+    gemm_(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+    stats_.mm_seconds += t.seconds();
+    ++stats_.gemm_calls;
+  }
+
+  // Gershgorin bounds of a symmetric matrix.
+  static void gershgorin(ConstView a, double& lo, double& hi) {
+    lo = 1e300;
+    hi = -1e300;
+    for (index_t i = 0; i < a.rows; ++i) {
+      double radius = 0.0;
+      for (index_t j = 0; j < a.cols; ++j) {
+        if (j != i) radius += std::abs(a(i, j));
+      }
+      lo = std::min(lo, a(i, i) - radius);
+      hi = std::max(hi, a(i, i) + radius);
+    }
+  }
+
+  // Iterates the incomplete beta polynomial until B is (numerically) the
+  // spectral projector of `a` onto eigenvalues > mu. Returns false if the
+  // iteration budget is exhausted before convergence (an eigenvalue too
+  // close to mu) -- the caller then tries another split point.
+  bool projector(const Matrix& a, double mu, double radius, Matrix& b,
+                 Matrix& t1, Matrix& t2) {
+    const index_t s = a.rows();
+    // Affine map: B = (A - (mu - radius) I) / (2 radius); spectrum lands in
+    // [0, 1] with mu mapped to 1/2.
+    const double scale = 1.0 / (2.0 * radius);
+    for (index_t j = 0; j < s; ++j) {
+      for (index_t i = 0; i < s; ++i) {
+        b(i, j) = scale * a(i, j);
+      }
+      b(j, j) += 0.5 - scale * mu;
+    }
+    for (int it = 0; it < opts_.max_beta_iterations; ++it) {
+      ++stats_.beta_iterations;
+      // t1 = B^2 ; t2 = B^2 * B ; B = 3 t1 - 2 t2.
+      mm(Trans::no, Trans::no, s, s, s, 1.0, b.data(), s, b.data(), s, 0.0,
+         t1.data(), s);
+      // Convergence check: ||B^2 - B||_F (projector residual).
+      double resid = 0.0;
+      for (index_t j = 0; j < s; ++j) {
+        for (index_t i = 0; i < s; ++i) {
+          const double d = t1(i, j) - b(i, j);
+          resid += d * d;
+        }
+      }
+      if (std::sqrt(resid) <= opts_.projector_tol * static_cast<double>(s)) {
+        return true;
+      }
+      mm(Trans::no, Trans::no, s, s, s, 1.0, t1.data(), s, b.data(), s, 0.0,
+         t2.data(), s);
+      for (index_t j = 0; j < s; ++j) {
+        for (index_t i = 0; i < s; ++i) {
+          b(i, j) = 3.0 * t1(i, j) - 2.0 * t2(i, j);
+        }
+      }
+    }
+    return false;
+  }
+
+  void solve_base(Matrix a, index_t offset) {
+    const index_t s = a.rows();
+    Matrix vb(s, s);
+    std::vector<double> w;
+    jacobi_eigensolver(a.view(), vb.view(), w);
+    for (index_t j = 0; j < s; ++j) {
+      eigenvalues_[static_cast<std::size_t>(offset + j)] =
+          w[static_cast<std::size_t>(j)];
+    }
+    rotate_basis(offset, s, vb);
+    ++stats_.jacobi_blocks;
+  }
+
+  // V(:, offset:offset+s) <- V(:, offset:offset+s) * Q.
+  void rotate_basis(index_t offset, index_t s, const Matrix& q) {
+    Matrix tmp(n_, s);
+    mm(Trans::no, Trans::no, n_, s, s, 1.0, &v_(0, offset), v_.ld(), q.data(),
+       q.ld(), 0.0, tmp.data(), tmp.ld());
+    for (index_t j = 0; j < s; ++j) {
+      for (index_t i = 0; i < n_; ++i) v_(i, offset + j) = tmp(i, j);
+    }
+  }
+
+  void solve(Matrix a, index_t offset) {
+    const index_t s = a.rows();
+    if (s <= opts_.base_size) {
+      solve_base(std::move(a), offset);
+      return;
+    }
+
+    double lo, hi;
+    gershgorin(a.view(), lo, hi);
+    const double spread = hi - lo;
+    if (spread <= 1e-13 * std::max(std::abs(lo), std::abs(hi)) ||
+        spread == 0.0) {
+      // Numerically a multiple of the identity.
+      for (index_t j = 0; j < s; ++j) {
+        eigenvalues_[static_cast<std::size_t>(offset + j)] = a(j, j);
+      }
+      return;
+    }
+
+    Matrix b(s, s), t1(s, s), t2(s, s);
+    double blo = lo, bhi = hi;
+    index_t r = -1;
+    for (int step = 0; step < opts_.max_bisection_steps; ++step) {
+      const double mu = 0.5 * (blo + bhi);
+      const double radius = std::max(hi - mu, mu - lo);
+      if (!projector(a, mu, radius, b, t1, t2)) {
+        // An eigenvalue sits (nearly) on mu; nudge the split point.
+        bhi = mu + 0.25 * (bhi - mu);
+        continue;
+      }
+      double trace = 0.0;
+      for (index_t i = 0; i < s; ++i) trace += b(i, i);
+      r = static_cast<index_t>(std::llround(trace));
+      if (r <= 0) {
+        bhi = mu;  // everything below mu: lower the split point
+        r = -1;
+        continue;
+      }
+      if (r >= s) {
+        blo = mu;  // everything above mu: raise the split point
+        r = -1;
+        continue;
+      }
+      break;
+    }
+    if (r <= 0 || r >= s) {
+      // Could not find a separating split point (tight cluster): fall back
+      // to Jacobi, which handles clusters unconditionally.
+      solve_base(std::move(a), offset);
+      return;
+    }
+
+    // Rank-revealing QR of the projector: Q1 spans range(P) (eigenvalues
+    // above mu), Q2 its complement.
+    const PivotedQr f = qr_factor_pivoted(b.view());
+    Matrix q = form_q(f);
+
+    // Conjugate: A' = Q^T A Q (two matrix multiplications).
+    mm(Trans::no, Trans::no, s, s, s, 1.0, a.data(), s, q.data(), s, 0.0,
+       t1.data(), s);
+    mm(Trans::transpose, Trans::no, s, s, s, 1.0, q.data(), s, t1.data(), s,
+       0.0, t2.data(), s);
+
+    rotate_basis(offset, s, q);
+    ++stats_.splits;
+
+    // The invariant-subspace structure makes A' block diagonal up to
+    // roundoff; recurse on the two diagonal blocks.
+    // Symmetrize while extracting: Q^T A Q is symmetric only to roundoff,
+    // and downstream Jacobi/Gershgorin logic assumes exact symmetry.
+    Matrix a1(r, r), a2(s - r, s - r);
+    for (index_t j = 0; j < r; ++j) {
+      for (index_t i = 0; i < r; ++i) {
+        a1(i, j) = 0.5 * (t2(i, j) + t2(j, i));
+      }
+    }
+    for (index_t j = 0; j < s - r; ++j) {
+      for (index_t i = 0; i < s - r; ++i) {
+        a2(i, j) = 0.5 * (t2(r + i, r + j) + t2(r + j, r + i));
+      }
+    }
+    solve(std::move(a1), offset);
+    solve(std::move(a2), offset + r);
+  }
+
+  void sort_spectrum() {
+    std::vector<index_t> order(static_cast<std::size_t>(n_));
+    std::iota(order.begin(), order.end(), index_t{0});
+    std::sort(order.begin(), order.end(), [&](index_t x, index_t y) {
+      return eigenvalues_[static_cast<std::size_t>(x)] <
+             eigenvalues_[static_cast<std::size_t>(y)];
+    });
+    std::vector<double> w_sorted(static_cast<std::size_t>(n_));
+    Matrix v_sorted(n_, n_);
+    for (index_t j = 0; j < n_; ++j) {
+      w_sorted[static_cast<std::size_t>(j)] =
+          eigenvalues_[static_cast<std::size_t>(order[j])];
+      for (index_t i = 0; i < n_; ++i) v_sorted(i, j) = v_(i, order[j]);
+    }
+    eigenvalues_ = std::move(w_sorted);
+    v_ = std::move(v_sorted);
+  }
+
+  const IsdaOptions& opts_;
+  GemmFn gemm_;
+  index_t n_;
+  Matrix v_;
+  std::vector<double> eigenvalues_;
+  IsdaStats stats_;
+};
+
+}  // namespace
+
+IsdaResult isda_eigensolver(ConstView a, const IsdaOptions& opts) {
+  IsdaSolver solver(a, opts);
+  return solver.take_result();
+}
+
+}  // namespace strassen::eigen

@@ -1,0 +1,107 @@
+#include "eigen/jacobi.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+#include "support/errors.hpp"
+
+namespace strassen::eigen {
+
+namespace {
+
+// Frobenius norm of the strictly off-diagonal part.
+double off_norm(ConstView a) {
+  double sum = 0.0;
+  for (index_t j = 0; j < a.cols; ++j) {
+    for (index_t i = 0; i < a.rows; ++i) {
+      if (i != j) sum += a(i, j) * a(i, j);
+    }
+  }
+  return std::sqrt(sum);
+}
+
+}  // namespace
+
+int jacobi_eigensolver(MutView a, MutView v, std::vector<double>& eigenvalues,
+                       const JacobiOptions& opts) {
+  assert(a.rows == a.cols && v.rows == a.rows && v.cols == a.cols);
+  const index_t n = a.rows;
+  set_identity(v);
+  eigenvalues.assign(static_cast<std::size_t>(n), 0.0);
+  if (n == 0) return 0;
+  if (n == 1) {
+    eigenvalues[0] = a(0, 0);
+    return 0;
+  }
+
+  const double fro = frobenius_norm(a);
+  const double scale = fro > 0.0 ? fro : 1.0;
+  const double target = opts.tol * scale;
+
+  int sweep = 0;
+  double prev_off = 1e300;
+  for (; sweep < opts.max_sweeps; ++sweep) {
+    const double off = off_norm(a);
+    if (off <= target) break;
+    // Roundoff floor: once the off-diagonal mass stops shrinking and is
+    // already at the noise level, further sweeps only churn.
+    if (off <= 1e-11 * scale && off > 0.5 * prev_off) break;
+    prev_off = off;
+    for (index_t p = 0; p < n - 1; ++p) {
+      for (index_t q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        if (std::abs(apq) <= 1e-300) continue;
+        const double app = a(p, p);
+        const double aqq = a(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0)
+                             ? 1.0 / (theta + std::sqrt(1.0 + theta * theta))
+                             : 1.0 / (theta - std::sqrt(1.0 + theta * theta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = t * c;
+
+        // Rotate rows/columns p and q of A (symmetric update).
+        for (index_t i = 0; i < n; ++i) {
+          const double aip = a(i, p);
+          const double aiq = a(i, q);
+          a(i, p) = c * aip - s * aiq;
+          a(i, q) = s * aip + c * aiq;
+        }
+        for (index_t i = 0; i < n; ++i) {
+          const double api = a(p, i);
+          const double aqi = a(q, i);
+          a(p, i) = c * api - s * aqi;
+          a(q, i) = s * api + c * aqi;
+        }
+        // Accumulate the rotation into the eigenvector matrix.
+        for (index_t i = 0; i < n; ++i) {
+          const double vip = v(i, p);
+          const double viq = v(i, q);
+          v(i, p) = c * vip - s * viq;
+          v(i, q) = s * vip + c * viq;
+        }
+      }
+    }
+  }
+  if (off_norm(a) > 1e-11 * scale) {
+    throw ConvergenceError("Jacobi eigensolver did not converge in " +
+                           std::to_string(opts.max_sweeps) + " sweeps");
+  }
+
+  // Sort eigenvalues ascending, permuting eigenvector columns to match.
+  std::vector<index_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), index_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](index_t x, index_t y) { return a(x, x) < a(y, y); });
+  Matrix v_sorted(n, n);
+  for (index_t j = 0; j < n; ++j) {
+    eigenvalues[static_cast<std::size_t>(j)] = a(order[j], order[j]);
+    for (index_t i = 0; i < n; ++i) v_sorted(i, j) = v(i, order[j]);
+  }
+  copy(v_sorted.view(), v);
+  return sweep;
+}
+
+}  // namespace strassen::eigen

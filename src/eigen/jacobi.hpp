@@ -1,0 +1,34 @@
+// Cyclic Jacobi eigensolver for dense symmetric matrices.
+//
+// The base-case solver of the ISDA divide-and-conquer eigensolver
+// (Section 4.4): once a subproblem is small, Jacobi finishes it. Jacobi is
+// slow but unconditionally accurate, which also makes it the oracle the
+// tests compare ISDA against.
+#pragma once
+
+#include <vector>
+
+#include "support/config.hpp"
+#include "support/matrix.hpp"
+
+namespace strassen::eigen {
+
+struct JacobiOptions {
+  int max_sweeps = 64;
+  /// Convergence when off(A) <= tol * ||A||_F, where off(A) is the
+  /// Frobenius norm of the off-diagonal part.
+  double tol = 1e-14;
+};
+
+/// Full eigendecomposition of the symmetric matrix held in `a`.
+///
+/// On return `a` is overwritten (its diagonal holds the unsorted
+/// eigenvalues), `v`'s columns are the orthonormal eigenvectors, and
+/// `eigenvalues` holds the eigenvalues sorted ascending with `v`'s columns
+/// permuted to match. Returns the number of sweeps used.
+///
+/// Throws ConvergenceError if max_sweeps is exhausted.
+int jacobi_eigensolver(MutView a, MutView v, std::vector<double>& eigenvalues,
+                       const JacobiOptions& opts = JacobiOptions{});
+
+}  // namespace strassen::eigen

@@ -1,0 +1,31 @@
+#include "model/cutoff_theory.hpp"
+
+namespace strassen::model {
+
+bool standard_preferred(index_t m, index_t k, index_t n) {
+  const count_t lhs = static_cast<count_t>(m) * k * n;
+  const count_t rhs = 4 * (static_cast<count_t>(m) * k +
+                           static_cast<count_t>(k) * n +
+                           static_cast<count_t>(m) * n);
+  return lhs <= rhs;
+}
+
+bool recursion_beneficial(index_t m, index_t k, index_t n) {
+  return !standard_preferred(m, k, n);
+}
+
+index_t theoretical_square_cutoff() {
+  // m^3 <= 12 m^2  <=>  m <= 12.
+  index_t m = 1;
+  while (standard_preferred(m + 1, m + 1, m + 1)) ++m;
+  return m;
+}
+
+index_t min_beneficial_m(index_t k, index_t n, index_t limit) {
+  for (index_t m = 2; m <= limit; m += 2) {
+    if (recursion_beneficial(m, k, n)) return m;
+  }
+  return -1;
+}
+
+}  // namespace strassen::model

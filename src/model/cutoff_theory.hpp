@@ -1,0 +1,28 @@
+// Theoretical cutoff analysis (Section 2, eqs. 6-8).
+//
+// Characterizes where one level of Strassen recursion beats the standard
+// algorithm under the operation-count model. The practical (timed) cutoffs
+// live in src/tuning; the runtime criteria live in src/core/cutoff.hpp.
+#pragma once
+
+#include "support/config.hpp"
+
+namespace strassen::model {
+
+/// Eq. (7): true when the standard algorithm is no more costly than one
+/// level of Strassen recursion, i.e. mkn <= 4(mk + kn + mn).
+bool standard_preferred(index_t m, index_t k, index_t n);
+
+/// Negation of eq. (7): recursion strictly beneficial in the op-count model.
+bool recursion_beneficial(index_t m, index_t k, index_t n);
+
+/// The optimal square cutoff under the model: the largest m for which the
+/// standard algorithm is preferred (the paper derives 12).
+index_t theoretical_square_cutoff();
+
+/// For fixed k and n, the smallest even m for which recursion is beneficial
+/// (returns -1 if none exists below `limit`). Used to explore the
+/// rectangular boundary, e.g. the paper's (6, 14, 86) example.
+index_t min_beneficial_m(index_t k, index_t n, index_t limit = 1 << 16);
+
+}  // namespace strassen::model

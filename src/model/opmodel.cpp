@@ -1,0 +1,84 @@
+#include "model/opmodel.hpp"
+
+#include <cassert>
+
+namespace strassen::model {
+
+count_t standard_cost(index_t m, index_t k, index_t n) {
+  return 2 * static_cast<count_t>(m) * k * n - static_cast<count_t>(m) * n;
+}
+
+count_t add_cost(index_t m, index_t n) {
+  return static_cast<count_t>(m) * n;
+}
+
+count_t level_add_cost(Variant v, index_t m2, index_t k2, index_t n2) {
+  switch (v) {
+    case Variant::winograd:
+      return 4 * add_cost(m2, k2) + 4 * add_cost(k2, n2) +
+             7 * add_cost(m2, n2);
+    case Variant::original:
+      return 5 * add_cost(m2, k2) + 5 * add_cost(k2, n2) +
+             8 * add_cost(m2, n2);
+  }
+  return 0;
+}
+
+count_t strassen_cost(
+    Variant v, index_t m, index_t k, index_t n,
+    const std::function<bool(index_t, index_t, index_t, int)>& stop,
+    int depth) {
+  if (stop(m, k, n, depth)) {
+    return standard_cost(m, k, n);
+  }
+  assert(m % 2 == 0 && k % 2 == 0 && n % 2 == 0 &&
+         "model recursion requires even dimensions");
+  const index_t m2 = m / 2, k2 = k / 2, n2 = n / 2;
+  return 7 * strassen_cost(v, m2, k2, n2, stop, depth + 1) +
+         level_add_cost(v, m2, k2, n2);
+}
+
+namespace {
+count_t ipow(count_t base, int exp) {
+  count_t r = 1;
+  for (int i = 0; i < exp; ++i) r *= base;
+  return r;
+}
+}  // namespace
+
+count_t winograd_cost_depth(index_t m0, index_t k0, index_t n0, int d) {
+  const count_t p7 = ipow(7, d);
+  const count_t p4 = ipow(4, d);
+  const count_t mul_term =
+      p7 * (2 * static_cast<count_t>(m0) * k0 * n0 -
+            static_cast<count_t>(m0) * n0);
+  const count_t add_term =
+      (p7 - p4) *
+      (4 * static_cast<count_t>(m0) * k0 + 4 * static_cast<count_t>(k0) * n0 +
+       7 * static_cast<count_t>(m0) * n0) /
+      3;
+  return mul_term + add_term;
+}
+
+count_t winograd_cost_square(index_t m0, int d) {
+  const count_t p7 = ipow(7, d);
+  const count_t p4 = ipow(4, d);
+  const count_t m0sq = static_cast<count_t>(m0) * m0;
+  return p7 * (2 * m0sq * m0 - m0sq) + 5 * m0sq * (p7 - p4);
+}
+
+count_t original_cost_square(index_t m0, int d) {
+  const count_t p7 = ipow(7, d);
+  const count_t p4 = ipow(4, d);
+  const count_t m0sq = static_cast<count_t>(m0) * m0;
+  return p7 * (2 * m0sq * m0 - m0sq) + 6 * m0sq * (p7 - p4);
+}
+
+double one_level_ratio_square(index_t m) {
+  // (7m^3 + 11m^2) / (8m^3 - 4m^2), eq. (1).
+  const double md = static_cast<double>(m);
+  return (7.0 * md * md * md + 11.0 * md * md) /
+         (8.0 * md * md * md - 4.0 * md * md);
+}
+
+}  // namespace strassen::model

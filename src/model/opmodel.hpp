@@ -1,0 +1,61 @@
+// Operation-count model of Section 2 of the paper.
+//
+// Costs are exact integer arithmetic-operation counts:
+//   M(m,k,n) = 2mkn - mn   standard multiply of m x k by k x n
+//   G(m,n)   = mn          matrix addition/subtraction
+// and the Strassen recurrence (eq. 2)
+//   W(m,k,n) = M(m,k,n)                            if cutoff
+//            = 7 W(m/2,k/2,n/2) + 4G(m/2,k/2)
+//              + 4G(k/2,n/2) + 7G(m/2,n/2)         otherwise (Winograd)
+// with the original 1969 variant using 5/5/8 additions instead of 4/4/7.
+// Closed forms (eqs. 3-5) and the Section 2 ratios are provided; the tests
+// assert every numeric claim the paper makes from this model.
+#pragma once
+
+#include <functional>
+
+#include "support/config.hpp"
+
+namespace strassen::model {
+
+/// Which 2x2 construction is applied at each recursion level.
+enum class Variant {
+  winograd,  ///< 7 multiplies, 15 additions (Paterson's variant)
+  original,  ///< 7 multiplies, 18 additions (Strassen 1969)
+};
+
+/// M(m,k,n) = 2mkn - mn: operations of the standard algorithm.
+count_t standard_cost(index_t m, index_t k, index_t n);
+
+/// G(m,n) = mn: operations of one matrix addition/subtraction.
+count_t add_cost(index_t m, index_t n);
+
+/// Number of additions one recursion level spends on quadrant operands and
+/// accumulations (the non-multiply term of the recurrence), for half-sizes
+/// m2 = m/2 etc.
+count_t level_add_cost(Variant v, index_t m2, index_t k2, index_t n2);
+
+/// Evaluates the recurrence (eq. 2). `stop(m, k, n, depth)` returns true
+/// when the standard algorithm should be used. All dimensions reached by
+/// recursion must be even (the model, unlike the implementation, has no
+/// odd-size handling); violations trip an assert.
+count_t strassen_cost(
+    Variant v, index_t m, index_t k, index_t n,
+    const std::function<bool(index_t, index_t, index_t, int)>& stop,
+    int depth = 0);
+
+/// Closed form (eq. 3): cost of exactly d levels of Winograd recursion on
+/// (2^d m0) x (2^d k0) by (2^d k0) x (2^d n0).
+count_t winograd_cost_depth(index_t m0, index_t k0, index_t n0, int d);
+
+/// Closed form (eq. 4): square case of eq. 3.
+count_t winograd_cost_square(index_t m0, int d);
+
+/// Closed form (eq. 5): square case for the original 1969 variant.
+count_t original_cost_square(index_t m0, int d);
+
+/// Eq. (1): ratio of (one Winograd level + standard sub-multiplies) to the
+/// standard algorithm on square order-m matrices; approaches 7/8.
+double one_level_ratio_square(index_t m);
+
+}  // namespace strassen::model

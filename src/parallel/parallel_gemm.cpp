@@ -1,0 +1,47 @@
+#include "parallel/parallel_gemm.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+#include "blas/gemm.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace strassen::parallel {
+
+void dgemm_parallel(Trans transa, Trans transb, index_t m, index_t n,
+                    index_t k, double alpha, const double* a, index_t lda,
+                    const double* b, index_t ldb, double beta, double* c,
+                    index_t ldc, std::size_t threads) {
+  if (m == 0 || n == 0) return;
+  ThreadPool& pool = global_pool();
+  const std::size_t workers =
+      threads == 0 ? pool.size() : std::min(threads, pool.size());
+  // Below this, thread dispatch costs more than it saves.
+  const index_t min_panel = 32;
+  const index_t panels = std::min<index_t>(
+      static_cast<index_t>(workers), std::max<index_t>(1, n / min_panel));
+  if (panels <= 1) {
+    blas::dgemm(transa, transb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+    return;
+  }
+
+  const ConstView av = make_op_view(transa, a, is_trans(transa) ? k : m,
+                                    is_trans(transa) ? m : k, lda);
+  const ConstView bv = make_op_view(transb, b, is_trans(transb) ? n : k,
+                                    is_trans(transb) ? k : n, ldb);
+  MutView cv = make_view(c, m, n, ldc);
+
+  std::vector<std::function<void()>> tasks;
+  const index_t chunk = (n + panels - 1) / panels;
+  for (index_t j0 = 0; j0 < n; j0 += chunk) {
+    const index_t cols = std::min(chunk, n - j0);
+    tasks.push_back([=] {
+      blas::gemm_view(alpha, av, bv.block(0, j0, k, cols), beta,
+                      cv.block(0, j0, m, cols));
+    });
+  }
+  pool.run_batch(std::move(tasks));
+}
+
+}  // namespace strassen::parallel

@@ -1,0 +1,20 @@
+// Thread-parallel DGEMM: independent column panels of C dispatched to the
+// thread pool. Part of the "future work: parallelism" extension.
+#pragma once
+
+#include <cstddef>
+
+#include "support/config.hpp"
+#include "support/matrix.hpp"
+
+namespace strassen::parallel {
+
+/// C <- alpha * op(A) * op(B) + beta * C, computed by partitioning C's
+/// columns across `threads` workers (0 = hardware concurrency). Each panel
+/// is an independent serial dgemm on the active machine profile.
+void dgemm_parallel(Trans transa, Trans transb, index_t m, index_t n,
+                    index_t k, double alpha, const double* a, index_t lda,
+                    const double* b, index_t ldb, double beta, double* c,
+                    index_t ldc, std::size_t threads = 0);
+
+}  // namespace strassen::parallel

@@ -1,0 +1,127 @@
+#include "parallel/parallel_strassen.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+#include "core/add_kernels.hpp"
+#include "core/dgefmm.hpp"
+#include "core/peeling.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace strassen::parallel {
+
+namespace {
+
+// Serial DGEFMM config used inside each parallel task.
+core::DgefmmConfig child_config(const ParallelDgefmmConfig& cfg,
+                                Arena* arena) {
+  core::DgefmmConfig child;
+  child.cutoff = cfg.cutoff;
+  child.workspace = arena;
+  return child;
+}
+
+}  // namespace
+
+int dgefmm_parallel(Trans transa, Trans transb, index_t m, index_t n,
+                    index_t k, double alpha, const double* a, index_t lda,
+                    const double* b, index_t ldb, double beta, double* c,
+                    index_t ldc, const ParallelDgefmmConfig& cfg) {
+  // Serial fallback covers argument checking, degenerate cases, and
+  // problems the cutoff sends straight to DGEMM.
+  if (m < 2 || k < 2 || n < 2 || alpha == 0.0 ||
+      cfg.cutoff.stop(m, k, n, 0)) {
+    core::DgefmmConfig serial;
+    serial.cutoff = cfg.cutoff;
+    return core::dgefmm(transa, transb, m, n, k, alpha, a, lda, b, ldb, beta,
+                        c, ldc, serial);
+  }
+  // Argument checking via a zero-work call.
+  {
+    core::DgefmmConfig serial;
+    serial.cutoff = cfg.cutoff;
+    const int info = core::dgefmm(transa, transb, m, n, k, 0.0, a, lda, b,
+                                  ldb, 1.0, c, ldc, serial);
+    if (info != 0) return info;
+  }
+
+  const ConstView av = make_op_view(transa, a, is_trans(transa) ? k : m,
+                                    is_trans(transa) ? m : k, lda);
+  const ConstView bv = make_op_view(transb, b, is_trans(transb) ? n : k,
+                                    is_trans(transb) ? k : n, ldb);
+  MutView cv = make_view(c, m, n, ldc);
+
+  const index_t me = m & ~index_t{1}, ke = k & ~index_t{1},
+                ne = n & ~index_t{1};
+  const index_t m2 = me / 2, k2 = ke / 2, n2 = ne / 2;
+
+  ConstView ae = av.block(0, 0, me, ke);
+  ConstView be = bv.block(0, 0, ke, ne);
+  MutView ce = cv.block(0, 0, me, ne);
+
+  ConstView a11 = ae.block(0, 0, m2, k2), a12 = ae.block(0, k2, m2, k2);
+  ConstView a21 = ae.block(m2, 0, m2, k2), a22 = ae.block(m2, k2, m2, k2);
+  ConstView b11 = be.block(0, 0, k2, n2), b12 = be.block(0, n2, k2, n2);
+  ConstView b21 = be.block(k2, 0, k2, n2), b22 = be.block(k2, n2, k2, n2);
+  MutView c11 = ce.block(0, 0, m2, n2), c12 = ce.block(0, n2, m2, n2);
+  MutView c21 = ce.block(m2, 0, m2, n2), c22 = ce.block(m2, n2, m2, n2);
+
+  // Top-level operand sums (serial; O(n^2)).
+  Matrix s1(m2, k2), s2(m2, k2), s3(m2, k2), s4(m2, k2);
+  Matrix t1(k2, n2), t2(k2, n2), t3(k2, n2), t4(k2, n2);
+  core::add(a21, a22, s1.view());
+  core::sub(s1.view(), a11, s2.view());
+  core::sub(a11, a21, s3.view());
+  core::sub(a12, s2.view(), s4.view());
+  core::sub(b12, b11, t1.view());
+  core::sub(b22, t1.view(), t2.view());
+  core::sub(b22, b12, t3.view());
+  core::sub(t2.view(), b21, t4.view());
+
+  // Seven independent products, each a serial DGEFMM with its own arena.
+  Matrix q1(m2, n2), q2(m2, n2), q3(m2, n2), q4(m2, n2), q5(m2, n2),
+      q6(m2, n2), q7(m2, n2);
+  struct Product {
+    ConstView left, right;
+    MutView out;
+  };
+  const Product products[7] = {
+      {a11, b11, q1.view()},         {a12, b21, q2.view()},
+      {s4.view(), b22, q3.view()},   {a22, t4.view(), q4.view()},
+      {s1.view(), t1.view(), q5.view()}, {s2.view(), t2.view(), q6.view()},
+      {s3.view(), t3.view(), q7.view()},
+  };
+
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(7);
+  for (const Product& p : products) {
+    tasks.push_back([p, alpha, &cfg] {
+      Arena arena;
+      core::DgefmmConfig child = child_config(cfg, &arena);
+      core::dgefmm_view(alpha, p.left, p.right, 0.0, p.out, child);
+    });
+  }
+  global_pool().run_batch(std::move(tasks));
+
+  // Combine (serial): U2 = P1 + P6, U3 = U2 + P7.
+  core::axpby(1.0, q1.view(), beta, c11);
+  core::add_inplace(c11, q2.view());
+  core::add_inplace(q6.view(), q1.view());  // q6 = alpha*U2
+  core::add_inplace(q7.view(), q6.view());  // q7 = alpha*U3
+  core::axpby(1.0, q5.view(), beta, c12);
+  core::add_inplace(c12, q3.view());
+  core::add_inplace(c12, q6.view());
+  core::axpby(1.0, q7.view(), beta, c21);
+  core::sub_inplace(c21, q4.view());
+  core::axpby(1.0, q7.view(), beta, c22);
+  core::add_inplace(c22, q5.view());
+
+  // Odd-dimension fix-ups, exactly as in the serial driver.
+  if (((m | k | n) & 1) != 0) {
+    core::peel_fixups(alpha, av, bv, beta, cv, me, ke, ne);
+  }
+  return 0;
+}
+
+}  // namespace strassen::parallel

@@ -1,0 +1,33 @@
+// Task-parallel top level for DGEFMM: the seven Winograd sub-products of
+// the first recursion level are independent once the S/T operand sums are
+// formed, so they run concurrently, each as a serial DGEFMM with its own
+// workspace arena. Below the top level everything is the serial library.
+//
+// This trades the serial code's memory economy for parallelism (seven
+// product temporaries at the top level) -- the classic Strassen
+// parallelization the paper defers to future work.
+#pragma once
+
+#include <cstddef>
+
+#include "core/types.hpp"
+#include "support/config.hpp"
+
+namespace strassen::parallel {
+
+struct ParallelDgefmmConfig {
+  core::CutoffCriterion cutoff =
+      core::CutoffCriterion::paper_default(blas::active_machine());
+  std::size_t threads = 0;  ///< 0 = hardware concurrency
+};
+
+/// C <- alpha * op(A) * op(B) + beta * C with the top recursion level's
+/// seven products evaluated in parallel. Falls back to the serial dgefmm
+/// when the cutoff says not to recurse. Returns a BLAS-style info code.
+int dgefmm_parallel(Trans transa, Trans transb, index_t m, index_t n,
+                    index_t k, double alpha, const double* a, index_t lda,
+                    const double* b, index_t ldb, double beta, double* c,
+                    index_t ldc,
+                    const ParallelDgefmmConfig& cfg = ParallelDgefmmConfig{});
+
+}  // namespace strassen::parallel

@@ -1,0 +1,69 @@
+// RAII buffer with cache-line alignment, used for all matrix storage.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <utility>
+
+#include "support/config.hpp"
+
+namespace strassen {
+
+/// Owning, aligned, non-resizable array of doubles.
+///
+/// A thin RAII wrapper over ::operator new(align) chosen instead of
+/// std::vector so that (a) storage is cache-line aligned for the packed GEMM
+/// kernels, and (b) the elements are deliberately left uninitialized --
+/// workspace arenas hand out slices that are always written before being
+/// read, and zero-filling multi-hundred-megabyte workspaces would distort
+/// benchmark timings.
+class AlignedBuffer {
+ public:
+  AlignedBuffer() = default;
+
+  explicit AlignedBuffer(std::size_t n) : size_(n) {
+    if (n > 0) {
+      data_ = static_cast<double*>(::operator new(
+          n * sizeof(double), std::align_val_t(kBufferAlignment)));
+    }
+  }
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)) {}
+
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+
+  ~AlignedBuffer() { destroy(); }
+
+  double* data() { return data_; }
+  const double* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  double& operator[](std::size_t i) { return data_[i]; }
+  const double& operator[](std::size_t i) const { return data_[i]; }
+
+ private:
+  void destroy() {
+    if (data_ != nullptr) {
+      ::operator delete(data_, std::align_val_t(kBufferAlignment));
+    }
+  }
+
+  double* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace strassen

@@ -1,0 +1,102 @@
+// Stack-discipline workspace arena with high-water-mark instrumentation.
+//
+// The memory story of the paper (Section 3.2, Table 1) is central to the
+// reproduction: DGEFMM's claim is that Winograd-variant Strassen needs only
+// (m*max(k,n)+kn)/3 extra doubles when beta == 0 and (mk+kn+mn)/3 when
+// beta != 0. Every temporary in the library is drawn from an Arena, whose
+// peak() is compared against those closed forms in the tests and printed by
+// bench_tab1_memory.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "support/aligned_buffer.hpp"
+#include "support/errors.hpp"
+
+namespace strassen {
+
+/// Last-in/first-out allocator over a fixed aligned buffer.
+///
+/// Allocation is O(1) pointer arithmetic. Recursive algorithms take a mark
+/// before allocating level-local temporaries and release back to it on the
+/// way out (usually via ArenaScope). The high-water mark records the largest
+/// simultaneous footprint ever reached, in doubles.
+class Arena {
+ public:
+  Arena() = default;
+
+  /// Creates an arena holding `capacity` doubles.
+  explicit Arena(std::size_t capacity) : buf_(capacity) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  Arena(Arena&&) = default;
+  Arena& operator=(Arena&&) = default;
+
+  /// Grows the arena to at least `capacity` doubles. Only legal when the
+  /// arena is unused (top == 0); the library sizes arenas up front.
+  void reserve(std::size_t capacity) {
+    if (top_ != 0) {
+      throw WorkspaceError("Arena::reserve called on an arena in use");
+    }
+    if (capacity > buf_.size()) {
+      buf_ = AlignedBuffer(capacity);
+    }
+  }
+
+  /// Returns a pointer to `n` uninitialized doubles.
+  double* alloc(std::size_t n) {
+    if (top_ + n > buf_.size()) {
+      throw WorkspaceError(
+          "workspace arena exhausted: requested " + std::to_string(n) +
+          " doubles with " + std::to_string(buf_.size() - top_) +
+          " remaining of " + std::to_string(buf_.size()));
+    }
+    double* p = buf_.data() + top_;
+    top_ += n;
+    if (top_ > peak_) peak_ = top_;
+    return p;
+  }
+
+  /// Current stack position, for later release().
+  std::size_t mark() const { return top_; }
+
+  /// Pops every allocation made after `mark`.
+  void release(std::size_t mark) { top_ = mark; }
+
+  /// Doubles currently allocated.
+  std::size_t in_use() const { return top_; }
+
+  /// Largest number of doubles ever simultaneously allocated.
+  std::size_t peak() const { return peak_; }
+
+  /// Total capacity in doubles.
+  std::size_t capacity() const { return buf_.size(); }
+
+  /// Releases everything and clears the high-water mark.
+  void reset() {
+    top_ = 0;
+    peak_ = 0;
+  }
+
+ private:
+  AlignedBuffer buf_;
+  std::size_t top_ = 0;
+  std::size_t peak_ = 0;
+};
+
+/// RAII guard releasing all arena allocations made during its lifetime.
+class ArenaScope {
+ public:
+  explicit ArenaScope(Arena& arena) : arena_(arena), mark_(arena.mark()) {}
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+  ~ArenaScope() { arena_.release(mark_); }
+
+ private:
+  Arena& arena_;
+  std::size_t mark_;
+};
+
+}  // namespace strassen

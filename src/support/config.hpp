@@ -1,0 +1,38 @@
+// Common types and constants shared by every strassen:: module.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace strassen {
+
+/// BLAS-style dimension/index type. All matrix dimensions, leading
+/// dimensions, and loop indices over matrix extents use this type.
+using index_t = std::int64_t;
+
+/// Counter type for operation counts and workspace sizes (can exceed 2^31
+/// for matrices of a few thousand rows).
+using count_t = std::int64_t;
+
+/// Alignment (bytes) used for all numeric buffers. 64 matches the cache
+/// line size of every mainstream CPU and is sufficient for AVX-512 loads.
+inline constexpr std::size_t kBufferAlignment = 64;
+
+/// Transpose selector, mirroring the Level 3 BLAS TRANSA/TRANSB arguments.
+/// (The paper's DGEFMM adopts the DGEMM interface verbatim.)
+enum class Trans : char {
+  no = 'N',              ///< op(X) = X
+  transpose = 'T',       ///< op(X) = X^T
+  conj_transpose = 'C',  ///< op(X) = X^H (== X^T for real matrices, as in
+                         ///< the reference BLAS)
+};
+
+/// True if `t` denotes a transposed operand (with or without conjugation).
+constexpr bool is_trans(Trans t) {
+  return t == Trans::transpose || t == Trans::conj_transpose;
+}
+
+/// True if `t` additionally conjugates (meaningful for complex routines).
+constexpr bool is_conj(Trans t) { return t == Trans::conj_transpose; }
+
+}  // namespace strassen

@@ -1,0 +1,32 @@
+// Error handling: BLAS-style argument checking plus exceptions for
+// conditions (workspace exhaustion, convergence failure) that have no
+// BLAS-style INFO convention.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace strassen {
+
+/// Base class of all exceptions thrown by the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a workspace arena cannot satisfy an allocation. The library
+/// pre-sizes arenas exactly, so seeing this indicates either a caller-supplied
+/// arena that is too small or an internal sizing bug.
+class WorkspaceError : public Error {
+ public:
+  explicit WorkspaceError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown by iterative algorithms (e.g. the ISDA eigensolver) when a
+/// convergence criterion is not met within the configured iteration budget.
+class ConvergenceError : public Error {
+ public:
+  explicit ConvergenceError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace strassen

@@ -1,0 +1,64 @@
+#include "support/matrix.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace strassen {
+
+void copy(ConstView src, MutView dst) {
+  assert(src.rows == dst.rows && src.cols == dst.cols);
+  for (index_t j = 0; j < src.cols; ++j) {
+    for (index_t i = 0; i < src.rows; ++i) {
+      dst(i, j) = src(i, j);
+    }
+  }
+}
+
+void fill(MutView dst, double value) {
+  for (index_t j = 0; j < dst.cols; ++j) {
+    for (index_t i = 0; i < dst.rows; ++i) {
+      dst(i, j) = value;
+    }
+  }
+}
+
+double max_abs_diff(ConstView a, ConstView b) {
+  assert(a.rows == b.rows && a.cols == b.cols);
+  double worst = 0.0;
+  for (index_t j = 0; j < a.cols; ++j) {
+    for (index_t i = 0; i < a.rows; ++i) {
+      worst = std::max(worst, std::abs(a(i, j) - b(i, j)));
+    }
+  }
+  return worst;
+}
+
+double max_abs(ConstView a) {
+  double worst = 0.0;
+  for (index_t j = 0; j < a.cols; ++j) {
+    for (index_t i = 0; i < a.rows; ++i) {
+      worst = std::max(worst, std::abs(a(i, j)));
+    }
+  }
+  return worst;
+}
+
+double frobenius_norm(ConstView a) {
+  double sum = 0.0;
+  for (index_t j = 0; j < a.cols; ++j) {
+    for (index_t i = 0; i < a.rows; ++i) {
+      sum += a(i, j) * a(i, j);
+    }
+  }
+  return std::sqrt(sum);
+}
+
+void set_identity(MutView dst) {
+  for (index_t j = 0; j < dst.cols; ++j) {
+    for (index_t i = 0; i < dst.rows; ++i) {
+      dst(i, j) = (i == j) ? 1.0 : 0.0;
+    }
+  }
+}
+
+}  // namespace strassen

@@ -1,0 +1,150 @@
+// Matrix storage and non-owning strided views.
+//
+// Everything is column-major with an explicit leading dimension, matching
+// the BLAS/Fortran convention the paper's DGEFMM interface adopts. Views
+// additionally carry row/column strides so that op(X) = X^T is represented
+// without copying -- preserving the paper's memory bounds for the
+// transposed-operand cases.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+
+#include "support/aligned_buffer.hpp"
+#include "support/config.hpp"
+
+namespace strassen {
+
+/// Non-owning strided view over a matrix of doubles.
+///
+/// Element (i, j) lives at p[i*rs + j*cs]. A plain column-major matrix with
+/// leading dimension ld has rs == 1, cs == ld; its transpose view has
+/// rs == ld, cs == 1. Sub-blocks and transposes are therefore all O(1).
+template <class T>
+struct BasicView {
+  T* p = nullptr;
+  index_t rows = 0;
+  index_t cols = 0;
+  index_t rs = 1;   ///< row stride
+  index_t cs = 0;   ///< column stride
+
+  T& operator()(index_t i, index_t j) const {
+    assert(i >= 0 && i < rows && j >= 0 && j < cols);
+    return p[i * rs + j * cs];
+  }
+
+  /// Logical sub-block of extent r x c with upper-left corner (i0, j0).
+  BasicView block(index_t i0, index_t j0, index_t r, index_t c) const {
+    assert(i0 >= 0 && j0 >= 0 && i0 + r <= rows && j0 + c <= cols);
+    return BasicView{p + i0 * rs + j0 * cs, r, c, rs, cs};
+  }
+
+  /// O(1) transposed view.
+  BasicView transposed() const { return BasicView{p, cols, rows, cs, rs}; }
+
+  /// True when the data is a plain column-major block (usable directly as a
+  /// BLAS operand with TRANS='N').
+  bool col_major() const { return rs == 1; }
+  /// True when the data is a row-major (i.e. transposed column-major) block.
+  bool row_major() const { return cs == 1; }
+
+  /// Leading dimension when interpreted as a column-major operand.
+  index_t ld_col() const {
+    assert(col_major());
+    return cs;
+  }
+  /// Leading dimension of the underlying column-major storage when this view
+  /// is a transpose of it.
+  index_t ld_row() const {
+    assert(row_major());
+    return rs;
+  }
+
+  operator BasicView<const T>() const {
+    return BasicView<const T>{p, rows, cols, rs, cs};
+  }
+};
+
+using MutView = BasicView<double>;
+using ConstView = BasicView<const double>;
+
+/// View over a column-major matrix stored with leading dimension ld.
+inline MutView make_view(double* p, index_t m, index_t n, index_t ld) {
+  assert(ld >= (m > 0 ? m : 1));
+  return MutView{p, m, n, 1, ld};
+}
+inline ConstView make_view(const double* p, index_t m, index_t n,
+                           index_t ld) {
+  assert(ld >= (m > 0 ? m : 1));
+  return ConstView{p, m, n, 1, ld};
+}
+
+/// View over op(X) where X is column-major m x n with leading dimension ld;
+/// the result has logical dimensions (m, n) when t == Trans::no and (n, m)
+/// when t == Trans::transpose.
+inline ConstView make_op_view(Trans t, const double* p, index_t m, index_t n,
+                              index_t ld) {
+  ConstView v = make_view(p, m, n, ld);
+  return is_trans(t) ? v.transposed() : v;
+}
+
+/// Owning column-major matrix (leading dimension == rows).
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(index_t m, index_t n)
+      : buf_(static_cast<std::size_t>(m) * static_cast<std::size_t>(n)),
+        rows_(m),
+        cols_(n) {
+    assert(m >= 0 && n >= 0);
+  }
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  index_t ld() const { return rows_ > 0 ? rows_ : 1; }
+
+  double* data() { return buf_.data(); }
+  const double* data() const { return buf_.data(); }
+
+  double& operator()(index_t i, index_t j) {
+    assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return buf_[static_cast<std::size_t>(i + j * rows_)];
+  }
+  const double& operator()(index_t i, index_t j) const {
+    assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return buf_[static_cast<std::size_t>(i + j * rows_)];
+  }
+
+  MutView view() { return make_view(data(), rows_, cols_, ld()); }
+  ConstView view() const { return make_view(data(), rows_, cols_, ld()); }
+
+  void fill(double value) {
+    const std::size_t n = buf_.size();
+    for (std::size_t i = 0; i < n; ++i) buf_[i] = value;
+  }
+
+ private:
+  AlignedBuffer buf_;
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+};
+
+/// Copies src into dst (dimensions must match).
+void copy(ConstView src, MutView dst);
+
+/// Sets every element of dst to `value`.
+void fill(MutView dst, double value);
+
+/// max_{ij} |a(i,j) - b(i,j)| (dimensions must match).
+double max_abs_diff(ConstView a, ConstView b);
+
+/// max_{ij} |a(i,j)|.
+double max_abs(ConstView a);
+
+/// Frobenius norm.
+double frobenius_norm(ConstView a);
+
+/// Identity assignment: dst = I (square not required; dst(i,i)=1 else 0).
+void set_identity(MutView dst);
+
+}  // namespace strassen

@@ -1,0 +1,49 @@
+#include "support/opcount.hpp"
+
+namespace strassen::opcount {
+
+namespace {
+Counters g_counters;
+bool g_enabled = false;
+}  // namespace
+
+Counters& counters() { return g_counters; }
+
+void set_enabled(bool enabled) { g_enabled = enabled; }
+bool enabled() { return g_enabled; }
+
+void reset() { g_counters = Counters{}; }
+
+void record_gemm(index_t m, index_t k, index_t n, bool accumulate) {
+  if (!g_enabled) return;
+  const count_t mn = static_cast<count_t>(m) * n;
+  g_counters.multiplies += static_cast<count_t>(m) * k * n;
+  // k-1 additions per inner product; one more per element when accumulating
+  // into an existing C.
+  g_counters.additions += static_cast<count_t>(m) * (k - 1) * n;
+  if (accumulate) g_counters.additions += mn;
+}
+
+void record_scale(count_t n) {
+  if (!g_enabled) return;
+  g_counters.multiplies += n;
+}
+
+void record_add(count_t n) {
+  if (!g_enabled) return;
+  g_counters.additions += n;
+}
+
+void record_ger(index_t m, index_t n) {
+  if (!g_enabled) return;
+  g_counters.multiplies += static_cast<count_t>(m) * n;
+  g_counters.additions += static_cast<count_t>(m) * n;
+}
+
+void record_gemv(index_t m, index_t n) {
+  if (!g_enabled) return;
+  g_counters.multiplies += static_cast<count_t>(m) * n;
+  g_counters.additions += static_cast<count_t>(m) * n;
+}
+
+}  // namespace strassen::opcount

@@ -1,0 +1,68 @@
+// Arithmetic-operation accounting.
+//
+// Section 2 of the paper analyzes Strassen's algorithm in an operation-count
+// model (M(m,k,n) = 2mkn - mn multiplies+adds for standard GEMM, G(m,n) = mn
+// per matrix add). The BLAS and Strassen kernels report their analytic
+// per-call counts here when counting is enabled, letting the tests check
+// that the *implementation's* counts equal the *model's* closed forms -- a
+// strong structural invariant (right number of recursions, right number of
+// add passes, correct peeling fix-up work).
+#pragma once
+
+#include <cstdint>
+
+#include "support/config.hpp"
+
+namespace strassen::opcount {
+
+/// Aggregate operation counters (process-wide; benchmarking is serial).
+struct Counters {
+  count_t multiplies = 0;  ///< scalar multiplications
+  count_t additions = 0;   ///< scalar additions/subtractions
+
+  count_t total() const { return multiplies + additions; }
+};
+
+/// Returns the global counters (mutable).
+Counters& counters();
+
+/// Enables/disables counting. Disabled by default; the recording functions
+/// are no-ops when disabled so timed code paths pay one branch.
+void set_enabled(bool enabled);
+bool enabled();
+
+/// Zeroes the counters.
+void reset();
+
+/// Records one standard m x k by k x n multiply accumulated into C:
+/// mkn multiplies and m(k-1)n additions (plus mn more if accumulate).
+void record_gemm(index_t m, index_t k, index_t n, bool accumulate);
+
+/// Records an elementwise pass of `n` scalar multiplications.
+void record_scale(count_t n);
+
+/// Records an elementwise pass of `n` scalar additions.
+void record_add(count_t n);
+
+/// Records a rank-1 update (m*n multiplies, m*n additions).
+void record_ger(index_t m, index_t n);
+
+/// Records a matrix-vector product y += op(A)x with A m x n.
+void record_gemv(index_t m, index_t n);
+
+/// RAII helper: enables counting on construction, restores on destruction.
+class ScopedCounting {
+ public:
+  ScopedCounting() : prev_(enabled()) {
+    set_enabled(true);
+    reset();
+  }
+  ScopedCounting(const ScopedCounting&) = delete;
+  ScopedCounting& operator=(const ScopedCounting&) = delete;
+  ~ScopedCounting() { set_enabled(prev_); }
+
+ private:
+  bool prev_;
+};
+
+}  // namespace strassen::opcount

@@ -1,0 +1,32 @@
+#include "support/random.hpp"
+
+#include <cassert>
+
+namespace strassen {
+
+void fill_random(MutView dst, Rng& rng, double lo, double hi) {
+  for (index_t j = 0; j < dst.cols; ++j) {
+    for (index_t i = 0; i < dst.rows; ++i) {
+      dst(i, j) = rng.uniform(lo, hi);
+    }
+  }
+}
+
+void fill_random_symmetric(MutView dst, Rng& rng, double lo, double hi) {
+  assert(dst.rows == dst.cols);
+  for (index_t j = 0; j < dst.cols; ++j) {
+    for (index_t i = 0; i <= j; ++i) {
+      const double v = rng.uniform(lo, hi);
+      dst(i, j) = v;
+      dst(j, i) = v;
+    }
+  }
+}
+
+Matrix random_matrix(index_t m, index_t n, Rng& rng, double lo, double hi) {
+  Matrix a(m, n);
+  fill_random(a.view(), rng, lo, hi);
+  return a;
+}
+
+}  // namespace strassen

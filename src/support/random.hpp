@@ -1,0 +1,51 @@
+// Deterministic random matrix generation.
+//
+// The paper's experiments (Figure 6, Tables 4 and 6) use randomly generated
+// matrices and randomly sampled problem dimensions; everything here is
+// seeded so the reproduction is repeatable run to run.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "support/config.hpp"
+#include "support/matrix.hpp"
+
+namespace strassen {
+
+/// Seeded pseudo-random source for matrix entries and problem dimensions.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed5eedULL) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo = -1.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  index_t uniform_index(index_t lo, index_t hi) {
+    return std::uniform_int_distribution<index_t>(lo, hi)(engine_);
+  }
+
+  /// Standard normal.
+  double normal() { return std::normal_distribution<double>(0.0, 1.0)(engine_); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// Fills dst with uniform entries in [lo, hi).
+void fill_random(MutView dst, Rng& rng, double lo = -1.0, double hi = 1.0);
+
+/// Fills dst (square) with a random symmetric matrix, entries ~ U[lo, hi).
+void fill_random_symmetric(MutView dst, Rng& rng, double lo = -1.0,
+                           double hi = 1.0);
+
+/// Returns an m x n matrix with uniform entries.
+Matrix random_matrix(index_t m, index_t n, Rng& rng, double lo = -1.0,
+                     double hi = 1.0);
+
+}  // namespace strassen

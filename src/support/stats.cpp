@@ -1,0 +1,39 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace strassen {
+
+namespace {
+
+// R-7 quantile of a sorted sample.
+double quantile_sorted(const std::vector<double>& s, double q) {
+  if (s.empty()) return 0.0;
+  if (s.size() == 1) return s.front();
+  const double h = q * static_cast<double>(s.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(h));
+  const auto hi = std::min(lo + 1, s.size() - 1);
+  const double frac = h - static_cast<double>(lo);
+  return s[lo] + frac * (s[hi] - s[lo]);
+}
+
+}  // namespace
+
+Summary summarize(std::vector<double> sample) {
+  Summary out;
+  out.count = sample.size();
+  if (sample.empty()) return out;
+  std::sort(sample.begin(), sample.end());
+  out.min = sample.front();
+  out.max = sample.back();
+  out.q1 = quantile_sorted(sample, 0.25);
+  out.median = quantile_sorted(sample, 0.50);
+  out.q3 = quantile_sorted(sample, 0.75);
+  out.mean = std::accumulate(sample.begin(), sample.end(), 0.0) /
+             static_cast<double>(sample.size());
+  return out;
+}
+
+}  // namespace strassen

@@ -1,0 +1,25 @@
+// Robust summary statistics, matching the presentation of the paper's
+// Table 4 (range, quartiles, average of timing ratios).
+#pragma once
+
+#include <vector>
+
+namespace strassen {
+
+/// Five-number-plus-mean summary of a sample.
+struct Summary {
+  double min = 0.0;
+  double q1 = 0.0;      ///< first quartile
+  double median = 0.0;  ///< second quartile
+  double q3 = 0.0;      ///< third quartile
+  double max = 0.0;
+  double mean = 0.0;
+  std::size_t count = 0;
+};
+
+/// Computes the summary of `sample` (which is copied and sorted internally).
+/// Quartiles use linear interpolation between order statistics (the common
+/// "R-7" definition). An empty sample yields an all-zero summary.
+Summary summarize(std::vector<double> sample);
+
+}  // namespace strassen

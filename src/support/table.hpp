@@ -1,0 +1,34 @@
+// Plain-text table formatting for the benchmark harness, so every bench
+// prints rows shaped like the paper's tables.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace strassen {
+
+/// Column-aligned text table. Cells are strings; numeric helpers format
+/// with a fixed precision.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with column alignment and a header underline.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision decimal formatting (e.g. fmt(1.23456, 3) == "1.235").
+std::string fmt(double value, int precision);
+
+/// Integer formatting.
+std::string fmt(long long value);
+
+}  // namespace strassen

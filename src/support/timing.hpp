@@ -1,0 +1,51 @@
+// Wall-clock timing helpers for the benchmark harness and cutoff tuner.
+//
+// The paper timed CPU seconds on non-dedicated machines; we use the
+// monotonic clock and report the minimum over repetitions, which plays the
+// same noise-suppression role.
+#pragma once
+
+#include <chrono>
+#include <utility>
+
+namespace strassen {
+
+/// Simple monotonic stopwatch.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+  void restart() { start_ = clock::now(); }
+  /// Seconds since construction or the last restart().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Runs `fn` once and returns elapsed seconds.
+template <class F>
+double time_once(F&& fn) {
+  Timer t;
+  std::forward<F>(fn)();
+  return t.seconds();
+}
+
+/// Minimum time over `reps` runs, but stops early once `budget_seconds` of
+/// total measurement time has been spent (keeps big sweeps bounded).
+template <class F>
+double time_min(F&& fn, int reps, double budget_seconds = 1e30) {
+  double best = 1e300;
+  double spent = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const double t = time_once(fn);
+    if (t < best) best = t;
+    spent += t;
+    if (spent > budget_seconds && r >= 0) break;
+  }
+  return best;
+}
+
+}  // namespace strassen

@@ -1,0 +1,91 @@
+// Fitted performance models and the model-derived cutoff criterion.
+//
+// Section 3.4 of the paper notes that operation count is not an accurate
+// enough predictor to tune real code and defers richer performance models
+// to the companion report [14]. This module implements that idea: fit
+//
+//   t_gemm(m,k,n)  ~=  c0 + mu * mkn + nu * (mk + kn + mn)
+//   t_add(m,n)     ~=  c1 + gamma * mn
+//
+// from a handful of timed samples (least squares via the library's own LU
+// solver), then derive the one-level crossover condition analytically.
+// Substituting the models into "standard <= one Strassen level" gives
+//
+//   mu/8 * mkn  <=  (6 c0 + 15 c1) + (3/4 nu + gamma)(mk + kn + mn)
+//                   + 3/4 gamma mn
+//
+// which, dropping the constants, is exactly the parameterized form
+// (eq. 13) with
+//
+//   tau_m = tau_n = (6 nu + 8 gamma) / mu     (kn and mk coefficients)
+//   tau_k = (6 nu + 14 gamma) / mu            (mn coefficient)
+//
+// So the fitted models predict the empirical tuner's parameters without
+// running the full crossover sweeps -- bench_ext_model_cutoff compares the
+// two on the host.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/cutoff.hpp"
+#include "support/config.hpp"
+
+namespace strassen::tuning {
+
+/// Fitted DGEMM cost model: t = c0 + mu*mkn + nu*(mk+kn+mn).
+struct GemmCostModel {
+  double c0 = 0.0;
+  double mu = 0.0;
+  double nu = 0.0;
+
+  double predict(index_t m, index_t k, index_t n) const;
+};
+
+/// Fitted matrix-add cost model: t = c1 + gamma*mn.
+struct AddCostModel {
+  double c1 = 0.0;
+  double gamma = 0.0;
+
+  double predict(index_t m, index_t n) const;
+};
+
+/// A timed (m, k, n) -> seconds sample.
+struct GemmSample {
+  index_t m, k, n;
+  double seconds;
+};
+
+/// Least-squares fit of the GEMM model to samples (needs >= 3 samples with
+/// linearly independent feature rows).
+GemmCostModel fit_gemm_cost_model(const std::vector<GemmSample>& samples);
+
+/// A timed (m, n) -> seconds add-kernel sample.
+struct AddSample {
+  index_t m, n;
+  double seconds;
+};
+
+AddCostModel fit_add_cost_model(const std::vector<AddSample>& samples);
+
+/// Measures DGEMM on a spread of shapes up to max_size (on the active
+/// machine profile) and fits the model.
+GemmCostModel measure_gemm_cost_model(index_t max_size, int reps = 3);
+
+/// Measures the Strassen add kernel and fits the model.
+AddCostModel measure_add_cost_model(index_t max_size, int reps = 3);
+
+/// True when the models predict the standard algorithm is no slower than
+/// one level of Winograd recursion on (m, k, n) (the model analogue of
+/// eq. 7).
+bool model_standard_preferred(const GemmCostModel& gemm,
+                              const AddCostModel& add, index_t m, index_t k,
+                              index_t n);
+
+/// The model-derived parameterized criterion (eq. 13 with the taus above),
+/// combined with the model-derived square crossover into the hybrid form
+/// (eq. 15).
+core::CutoffCriterion criterion_from_models(const GemmCostModel& gemm,
+                                            const AddCostModel& add);
+
+}  // namespace strassen::tuning

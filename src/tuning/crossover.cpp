@@ -1,0 +1,138 @@
+#include "tuning/crossover.hpp"
+
+#include <algorithm>
+
+#include "blas/gemm.hpp"
+#include "core/dgefmm.hpp"
+#include "support/random.hpp"
+#include "support/timing.hpp"
+
+namespace strassen::tuning {
+
+index_t crossover_from_sweep(const std::vector<SweepPoint>& sweep) {
+  if (sweep.empty()) return 0;
+  // Ties go to DGEMM, matching eq. (7)'s "<=" (standard preferred at
+  // equality).
+  index_t first_win = -1;   // smallest size where Strassen wins
+  index_t last_loss = -1;   // largest size where DGEMM wins
+  for (const SweepPoint& p : sweep) {
+    if (p.ratio <= 1.0) {
+      last_loss = p.size;
+    } else if (first_win < 0) {
+      first_win = p.size;
+    }
+  }
+  if (last_loss < 0) {
+    // Strassen wins everywhere in the sweep: the crossover is below it.
+    return sweep.front().size - 1;
+  }
+  if (first_win < 0) {
+    // DGEMM wins everywhere.
+    return sweep.back().size;
+  }
+  if (first_win > last_loss) {
+    // Clean monotone crossover.
+    return last_loss;
+  }
+  // Noisy interleaved region: split the difference, as the paper did when
+  // it chose tau = 199 between "first faster at 176" and "always faster
+  // from 214".
+  return (first_win + last_loss) / 2;
+}
+
+std::vector<SweepPoint> sweep_ratio(
+    const RatioFn& ratio, index_t min_size, index_t max_size, index_t step,
+    const std::function<void(index_t, index_t&, index_t&, index_t&)>& shape) {
+  std::vector<SweepPoint> out;
+  for (index_t s = min_size; s <= max_size; s += step) {
+    index_t m = 0, k = 0, n = 0;
+    shape(s, m, k, n);
+    out.push_back({s, ratio(m, k, n)});
+  }
+  return out;
+}
+
+RatioFn measured_ratio(const CrossoverOptions& opts) {
+  return [opts](index_t m, index_t k, index_t n) {
+    Rng rng(static_cast<std::uint64_t>(m * 7919 + k * 131 + n));
+    Matrix a = random_matrix(m, k, rng);
+    Matrix b = random_matrix(k, n, rng);
+    Matrix c = random_matrix(m, n, rng);
+
+    core::DgefmmConfig one_level;
+    one_level.cutoff = core::CutoffCriterion::fixed_depth(1);
+    Arena arena(static_cast<std::size_t>(
+        core::dgefmm_workspace_doubles(m, n, k, opts.beta, one_level)));
+    one_level.workspace = &arena;
+
+    const double t_dgemm = time_min(
+        [&] {
+          blas::dgemm(Trans::no, Trans::no, m, n, k, opts.alpha, a.data(),
+                      a.ld(), b.data(), b.ld(), opts.beta, c.data(), c.ld());
+        },
+        opts.reps);
+    const double t_strassen = time_min(
+        [&] {
+          core::dgefmm(Trans::no, Trans::no, m, n, k, opts.alpha, a.data(),
+                       a.ld(), b.data(), b.ld(), opts.beta, c.data(), c.ld(),
+                       one_level);
+        },
+        opts.reps);
+    return t_dgemm / t_strassen;
+  };
+}
+
+SquareCrossover find_square_crossover(const CrossoverOptions& opts,
+                                      const RatioFn& ratio) {
+  SquareCrossover out;
+  out.sweep = sweep_ratio(ratio, opts.min_size, opts.max_size, opts.step,
+                          [](index_t s, index_t& m, index_t& k, index_t& n) {
+                            m = k = n = s;
+                          });
+  out.tau = crossover_from_sweep(out.sweep);
+  return out;
+}
+
+SquareCrossover find_square_crossover(const CrossoverOptions& opts) {
+  return find_square_crossover(opts, measured_ratio(opts));
+}
+
+RectangularParams find_rectangular_params(const CrossoverOptions& opts,
+                                          const RatioFn& ratio) {
+  RectangularParams out;
+  const index_t big = opts.fixed_large;
+  auto find = [&](auto shape) {
+    return crossover_from_sweep(
+        sweep_ratio(ratio, opts.min_size, opts.max_size, opts.step, shape));
+  };
+  out.tau_m = find([big](index_t s, index_t& m, index_t& k, index_t& n) {
+    m = s;
+    k = n = big;
+  });
+  out.tau_k = find([big](index_t s, index_t& m, index_t& k, index_t& n) {
+    k = s;
+    m = n = big;
+  });
+  out.tau_n = find([big](index_t s, index_t& m, index_t& k, index_t& n) {
+    n = s;
+    m = k = big;
+  });
+  return out;
+}
+
+RectangularParams find_rectangular_params(const CrossoverOptions& opts) {
+  return find_rectangular_params(opts, measured_ratio(opts));
+}
+
+core::CutoffCriterion tune_hybrid_criterion(const CrossoverOptions& opts) {
+  const RatioFn ratio = measured_ratio(opts);
+  const SquareCrossover sq = find_square_crossover(opts, ratio);
+  const RectangularParams rect = find_rectangular_params(opts, ratio);
+  return core::CutoffCriterion::hybrid(
+      static_cast<double>(std::max<index_t>(sq.tau, 2)),
+      static_cast<double>(std::max<index_t>(rect.tau_m, 2)),
+      static_cast<double>(std::max<index_t>(rect.tau_k, 2)),
+      static_cast<double>(std::max<index_t>(rect.tau_n, 2)));
+}
+
+}  // namespace strassen::tuning

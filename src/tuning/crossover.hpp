@@ -1,0 +1,92 @@
+// Empirical cutoff tuning (Sections 3.4 and 4.2 of the paper).
+//
+// Determines, from timing measurements, the parameters of the hybrid
+// cutoff criterion (eq. 15):
+//  * the square crossover tau -- the matrix order past which one level of
+//    Strassen recursion beats DGEMM (Figure 2, Table 2), and
+//  * the rectangular parameters tau_m, tau_k, tau_n -- each found by
+//    fixing the other two dimensions at a large value and sweeping the
+//    third (Table 3); when two dimensions are large their terms in
+//    eq. (14) are negligible, so the crossover of the swept dimension IS
+//    the parameter.
+//
+// The search logic is separated from measurement (a RatioFn) so the tests
+// can drive it with synthetic cost models; the measuring front-ends time
+// real DGEMM vs. one-level DGEFMM calls on the active machine profile.
+#pragma once
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "core/cutoff.hpp"
+#include "support/config.hpp"
+
+namespace strassen::tuning {
+
+/// ratio(m, k, n) = time(DGEMM) / time(one level of Strassen + DGEMM).
+/// Values > 1 mean Strassen wins.
+using RatioFn = std::function<double(index_t m, index_t k, index_t n)>;
+
+/// One measured point of a sweep.
+struct SweepPoint {
+  index_t size = 0;
+  double ratio = 0.0;  ///< DGEMM time / one-level Strassen time
+};
+
+/// Controls a crossover search.
+struct CrossoverOptions {
+  index_t min_size = 64;    ///< sweep start
+  index_t max_size = 512;   ///< sweep end (paper used ~2050; scale to host)
+  index_t step = 8;         ///< sweep stride
+  index_t fixed_large = 768;  ///< the "two dimensions large" value (Table 3
+                              ///< used 2000/1500; scale to host)
+  int reps = 3;             ///< timing repetitions (minimum is kept)
+  double alpha = 1.0;       ///< the paper tuned with alpha=1, beta=0
+  double beta = 0.0;
+};
+
+/// Picks the crossover from a sweep. For a clean monotone sweep this is
+/// the largest size where DGEMM still wins (ties included, matching
+/// eq. 7's "<="); when wins and losses interleave -- the sawtooth region
+/// of Figure 2 -- it returns the midpoint of the first Strassen win and
+/// the last DGEMM win, which is how the paper chose tau = 199 between
+/// "first faster at 176" and "always faster from 214". Returns min-1 if
+/// Strassen always wins and the last size if it never does.
+index_t crossover_from_sweep(const std::vector<SweepPoint>& sweep);
+
+/// Runs a sweep of `ratio` over sizes with (m,k,n) produced by `shape`.
+std::vector<SweepPoint> sweep_ratio(
+    const RatioFn& ratio, index_t min_size, index_t max_size, index_t step,
+    const std::function<void(index_t, index_t&, index_t&, index_t&)>& shape);
+
+/// Measured ratio function: times blas::dgemm against one level of DGEFMM
+/// recursion (fixed depth 1) on random matrices, on the active machine.
+RatioFn measured_ratio(const CrossoverOptions& opts);
+
+/// Square crossover search on the active machine profile (Figure 2 /
+/// Table 2). Also returns the sweep for plotting.
+struct SquareCrossover {
+  index_t tau = 0;
+  std::vector<SweepPoint> sweep;
+};
+SquareCrossover find_square_crossover(const CrossoverOptions& opts,
+                                      const RatioFn& ratio);
+SquareCrossover find_square_crossover(const CrossoverOptions& opts);
+
+/// Rectangular parameter search (Table 3): tau_m with k = n = fixed_large,
+/// tau_k with m = n = fixed_large, tau_n with m = k = fixed_large.
+struct RectangularParams {
+  index_t tau_m = 0;
+  index_t tau_k = 0;
+  index_t tau_n = 0;
+};
+RectangularParams find_rectangular_params(const CrossoverOptions& opts,
+                                          const RatioFn& ratio);
+RectangularParams find_rectangular_params(const CrossoverOptions& opts);
+
+/// Full tuning pipeline: returns the hybrid criterion (eq. 15) with all
+/// four parameters measured on the active machine profile.
+core::CutoffCriterion tune_hybrid_criterion(const CrossoverOptions& opts);
+
+}  // namespace strassen::tuning

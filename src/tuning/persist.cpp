@@ -1,0 +1,94 @@
+#include "tuning/persist.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "support/errors.hpp"
+
+namespace strassen::tuning {
+
+TunedCriteria tune_both_cases(const CrossoverOptions& opts) {
+  TunedCriteria out;
+  CrossoverOptions beta0 = opts;
+  beta0.alpha = 1.0;
+  beta0.beta = 0.0;
+  out.beta_zero = tune_hybrid_criterion(beta0);
+  CrossoverOptions general = opts;
+  general.alpha = 1.0;
+  general.beta = 1.0;
+  out.general = tune_hybrid_criterion(general);
+  return out;
+}
+
+namespace {
+
+void write_one(std::ostream& os, const char* prefix,
+               const core::CutoffCriterion& c) {
+  os << prefix << ".tau = " << c.tau << "\n";
+  os << prefix << ".tau_m = " << c.tau_m << "\n";
+  os << prefix << ".tau_k = " << c.tau_k << "\n";
+  os << prefix << ".tau_n = " << c.tau_n << "\n";
+}
+
+}  // namespace
+
+void save_criteria(const TunedCriteria& criteria, std::ostream& os) {
+  os << "# DGEFMM tuned cutoff parameters (hybrid criterion, eq. 15)\n";
+  os << "format = 1\n";
+  write_one(os, "beta_zero", criteria.beta_zero);
+  write_one(os, "general", criteria.general);
+}
+
+bool save_criteria_file(const TunedCriteria& criteria,
+                        const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return false;
+  save_criteria(criteria, os);
+  return static_cast<bool>(os);
+}
+
+TunedCriteria load_criteria(std::istream& is) {
+  std::map<std::string, double> values;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string key, eq;
+    double value;
+    if (!(ls >> key)) continue;  // blank line
+    if (!(ls >> eq) || eq != "=" || !(ls >> value)) {
+      if (key == "format") continue;  // tolerate "format = 1"
+      throw Error("tuned-criteria file: malformed line " +
+                  std::to_string(lineno) + ": '" + line + "'");
+    }
+    values[key] = value;
+  }
+
+  TunedCriteria out;
+  auto fill = [&](const std::string& prefix, core::CutoffCriterion& c) {
+    auto get = [&](const std::string& name, double fallback) {
+      const auto it = values.find(prefix + "." + name);
+      return it == values.end() ? fallback : it->second;
+    };
+    c = core::CutoffCriterion::hybrid(
+        get("tau", c.tau), get("tau_m", c.tau_m), get("tau_k", c.tau_k),
+        get("tau_n", c.tau_n));
+  };
+  fill("beta_zero", out.beta_zero);
+  fill("general", out.general);
+  return out;
+}
+
+TunedCriteria load_criteria_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    throw Error("tuned-criteria file: cannot open '" + path + "'");
+  }
+  return load_criteria(is);
+}
+
+}  // namespace strassen::tuning

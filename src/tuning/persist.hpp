@@ -1,0 +1,47 @@
+// Tuned-parameter sets and their persistence.
+//
+// Section 4.2: "the experiments were run using alpha = 1 and beta = 0 ...
+// and the values of tau_m, tau_k, and tau_n may change for the general
+// case. Our code allows user testing and specification of two sets of
+// parameters to handle both cases." This module implements exactly that:
+// a pair of hybrid criteria (one tuned with beta = 0, one with beta != 0),
+// selection by the call's beta, and a plain-text file format so a one-off
+// tuning run configures every later run on the machine.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/cutoff.hpp"
+#include "tuning/crossover.hpp"
+
+namespace strassen::tuning {
+
+/// The two parameter sets of Section 4.2.
+struct TunedCriteria {
+  core::CutoffCriterion beta_zero =
+      core::CutoffCriterion::paper_default(blas::Machine::rs6000);
+  core::CutoffCriterion general = beta_zero;
+
+  /// The criterion appropriate for a call with this beta.
+  const core::CutoffCriterion& select(double beta) const {
+    return beta == 0.0 ? beta_zero : general;
+  }
+};
+
+/// Runs the full tuning pipeline twice: once with (alpha, beta) = (1, 0)
+/// and once with the general case (alpha = 1, beta = 1).
+TunedCriteria tune_both_cases(const CrossoverOptions& opts);
+
+/// Serializes as a small key = value text file (stable across versions;
+/// unknown keys are ignored on load).
+void save_criteria(const TunedCriteria& criteria, std::ostream& os);
+bool save_criteria_file(const TunedCriteria& criteria,
+                        const std::string& path);
+
+/// Parses the format written by save_criteria. Throws strassen::Error on
+/// malformed input; missing keys keep their defaults.
+TunedCriteria load_criteria(std::istream& is);
+TunedCriteria load_criteria_file(const std::string& path);
+
+}  // namespace strassen::tuning

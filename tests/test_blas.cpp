@@ -1,0 +1,271 @@
+// Tests for the from-scratch BLAS substrate: Level 1/2 routines against
+// hand computations and every DGEMM machine profile against the reference
+// triple loop over a parameterized shape/trans/alpha-beta grid.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "blas/gemm.hpp"
+#include "blas/level1.hpp"
+#include "blas/level2.hpp"
+#include "blas/machine.hpp"
+#include "support/matrix.hpp"
+#include "support/random.hpp"
+
+namespace strassen {
+namespace {
+
+using blas::Machine;
+
+// ---------------------------------------------------------------- Level 1
+
+TEST(Level1, Dcopy) {
+  std::vector<double> x{1, 2, 3, 4, 5, 6};
+  std::vector<double> y(3, 0.0);
+  blas::dcopy(3, x.data(), 2, y.data(), 1);  // every other element
+  EXPECT_EQ(y, (std::vector<double>{1, 3, 5}));
+}
+
+TEST(Level1, Dscal) {
+  std::vector<double> x{1, 2, 3};
+  blas::dscal(3, -2.0, x.data(), 1);
+  EXPECT_EQ(x, (std::vector<double>{-2, -4, -6}));
+}
+
+TEST(Level1, DaxpyStrided) {
+  std::vector<double> x{1, 9, 2, 9, 3};
+  std::vector<double> y{10, 20, 30};
+  blas::daxpy(3, 2.0, x.data(), 2, y.data(), 1);
+  EXPECT_EQ(y, (std::vector<double>{12, 24, 36}));
+}
+
+TEST(Level1, DaxpyAlphaZeroIsNoop) {
+  std::vector<double> x{1, 2, 3};
+  std::vector<double> y{4, 5, 6};
+  blas::daxpy(3, 0.0, x.data(), 1, y.data(), 1);
+  EXPECT_EQ(y, (std::vector<double>{4, 5, 6}));
+}
+
+TEST(Level1, Ddot) {
+  std::vector<double> x{1, 2, 3};
+  std::vector<double> y{4, 5, 6};
+  EXPECT_DOUBLE_EQ(blas::ddot(3, x.data(), 1, y.data(), 1), 32.0);
+  EXPECT_DOUBLE_EQ(blas::ddot(0, x.data(), 1, y.data(), 1), 0.0);
+}
+
+// ---------------------------------------------------------------- Level 2
+
+TEST(Level2, DgemvNoTrans) {
+  // A = [1 3; 2 4] (column-major), x = (1, 1), y0 = (10, 10).
+  std::vector<double> a{1, 2, 3, 4};
+  std::vector<double> x{1, 1};
+  std::vector<double> y{10, 10};
+  blas::dgemv(Trans::no, 2, 2, 2.0, a.data(), 2, x.data(), 1, 0.5, y.data(),
+              1);
+  // y = 2*A*x + 0.5*y = 2*(4,6) + (5,5) = (13, 17).
+  EXPECT_DOUBLE_EQ(y[0], 13.0);
+  EXPECT_DOUBLE_EQ(y[1], 17.0);
+}
+
+TEST(Level2, DgemvTrans) {
+  std::vector<double> a{1, 2, 3, 4};  // A = [1 3; 2 4]
+  std::vector<double> x{1, -1};
+  std::vector<double> y{0, 0};
+  blas::dgemv(Trans::transpose, 2, 2, 1.0, a.data(), 2, x.data(), 1, 0.0,
+              y.data(), 1);
+  // y = A^T x = (1-2, 3-4) = (-1, -1).
+  EXPECT_DOUBLE_EQ(y[0], -1.0);
+  EXPECT_DOUBLE_EQ(y[1], -1.0);
+}
+
+TEST(Level2, DgemvBetaZeroOverwritesGarbage) {
+  std::vector<double> a{1, 0, 0, 1};
+  std::vector<double> x{3, 4};
+  std::vector<double> y{std::nan(""), std::nan("")};
+  blas::dgemv(Trans::no, 2, 2, 1.0, a.data(), 2, x.data(), 1, 0.0, y.data(),
+              1);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 4.0);
+}
+
+TEST(Level2, Dger) {
+  // A = 0 (2x3), x = (1, 2), y = (3, 4, 5): A += 2 x y^T.
+  std::vector<double> a(6, 0.0);
+  std::vector<double> x{1, 2};
+  std::vector<double> y{3, 4, 5};
+  blas::dger(2, 3, 2.0, x.data(), 1, y.data(), 1, a.data(), 2);
+  EXPECT_DOUBLE_EQ(a[0], 6.0);   // (0,0)
+  EXPECT_DOUBLE_EQ(a[1], 12.0);  // (1,0)
+  EXPECT_DOUBLE_EQ(a[4], 10.0);  // (0,2)
+  EXPECT_DOUBLE_EQ(a[5], 20.0);  // (1,2)
+}
+
+TEST(Level2, DgerStridedVectors) {
+  std::vector<double> a(4, 1.0);
+  std::vector<double> x{1, 99, 2};   // stride 2
+  std::vector<double> y{3, 99, 4};   // stride 2
+  blas::dger(2, 2, 1.0, x.data(), 2, y.data(), 2, a.data(), 2);
+  EXPECT_DOUBLE_EQ(a[0], 4.0);
+  EXPECT_DOUBLE_EQ(a[1], 7.0);
+  EXPECT_DOUBLE_EQ(a[2], 5.0);
+  EXPECT_DOUBLE_EQ(a[3], 9.0);
+}
+
+// ---------------------------------------------------------------- DGEMM
+
+struct GemmCase {
+  index_t m, n, k;
+  Trans ta, tb;
+  double alpha, beta;
+};
+
+std::string trans_str(Trans t) { return is_trans(t) ? "T" : "N"; }
+
+class DgemmVsReference
+    : public ::testing::TestWithParam<std::tuple<Machine, GemmCase>> {};
+
+TEST_P(DgemmVsReference, Matches) {
+  const auto [machine, cs] = GetParam();
+  Rng rng(1234);
+  const index_t a_rows = is_trans(cs.ta) ? cs.k : cs.m;
+  const index_t a_cols = is_trans(cs.ta) ? cs.m : cs.k;
+  const index_t b_rows = is_trans(cs.tb) ? cs.n : cs.k;
+  const index_t b_cols = is_trans(cs.tb) ? cs.k : cs.n;
+  // Leading dimensions deliberately larger than the row counts.
+  const index_t lda = a_rows + 3, ldb = b_rows + 1, ldc = cs.m + 2;
+  Matrix a(lda, a_cols > 0 ? a_cols : 1), b(ldb, b_cols > 0 ? b_cols : 1);
+  Matrix c(ldc, cs.n > 0 ? cs.n : 1), c_ref(ldc, cs.n > 0 ? cs.n : 1);
+  fill_random(a.view(), rng);
+  fill_random(b.view(), rng);
+  fill_random(c.view(), rng);
+  copy(c.view(), c_ref.view());
+
+  blas::dgemm_on(machine, cs.ta, cs.tb, cs.m, cs.n, cs.k, cs.alpha, a.data(),
+                 lda, b.data(), ldb, cs.beta, c.data(), ldc);
+  blas::gemm_reference(cs.ta, cs.tb, cs.m, cs.n, cs.k, cs.alpha, a.data(),
+                       lda, b.data(), ldb, cs.beta, c_ref.data(), ldc);
+
+  const double tol = 1e-12 * (static_cast<double>(cs.k) + 1.0);
+  for (index_t j = 0; j < cs.n; ++j) {
+    for (index_t i = 0; i < cs.m; ++i) {
+      EXPECT_NEAR(c(i, j), c_ref(i, j), tol)
+          << "at (" << i << "," << j << ")";
+    }
+  }
+  // Rows of C beyond m (padding inside ldc) must be untouched.
+  for (index_t j = 0; j < cs.n; ++j) {
+    for (index_t i = cs.m; i < ldc; ++i) {
+      EXPECT_EQ(c(i, j), c_ref(i, j));
+    }
+  }
+}
+
+std::vector<GemmCase> gemm_cases() {
+  std::vector<GemmCase> cases;
+  const std::vector<std::tuple<index_t, index_t, index_t>> shapes = {
+      {1, 1, 1},   {2, 3, 4},    {5, 5, 5},   {7, 1, 9},   {1, 8, 3},
+      {16, 16, 16}, {17, 19, 23}, {64, 64, 64}, {65, 33, 9}, {40, 3, 128},
+      {3, 128, 40}, {100, 100, 1}, {1, 1, 100}, {33, 65, 64}, {0, 4, 4},
+      {4, 0, 4},   {4, 4, 0}};
+  for (const auto& [m, n, k] : shapes) {
+    for (Trans ta : {Trans::no, Trans::transpose}) {
+      for (Trans tb : {Trans::no, Trans::transpose}) {
+        cases.push_back({m, n, k, ta, tb, 1.0, 0.0});
+      }
+    }
+    cases.push_back({m, n, k, Trans::no, Trans::no, -0.5, 1.0});
+    cases.push_back({m, n, k, Trans::transpose, Trans::no, 2.0, 0.25});
+    cases.push_back({m, n, k, Trans::no, Trans::transpose, 1.0 / 3.0, -1.0});
+    cases.push_back({m, n, k, Trans::no, Trans::no, 0.0, 0.5});
+  }
+  return cases;
+}
+
+std::string gemm_case_name(
+    const ::testing::TestParamInfo<DgemmVsReference::ParamType>& info) {
+  const Machine machine = std::get<0>(info.param);
+  const GemmCase cs = std::get<1>(info.param);
+  std::string name = blas::machine_name(machine);
+  name.erase(std::remove_if(name.begin(), name.end(),
+                            [](unsigned char ch) { return !std::isalnum(ch); }),
+             name.end());
+  name += "_m" + std::to_string(cs.m) + "n" + std::to_string(cs.n) + "k" +
+          std::to_string(cs.k) + trans_str(cs.ta) + trans_str(cs.tb);
+  name += "_i" + std::to_string(info.index);
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMachinesAllShapes, DgemmVsReference,
+    ::testing::Combine(::testing::Values(Machine::rs6000, Machine::c90,
+                                         Machine::t3d),
+                       ::testing::ValuesIn(gemm_cases())),
+    gemm_case_name);
+
+TEST(Dgemm, BetaZeroOverwritesNaN) {
+  Matrix a(4, 4), b(4, 4), c(4, 4);
+  Rng rng(5);
+  fill_random(a.view(), rng);
+  fill_random(b.view(), rng);
+  fill(c.view(), std::nan(""));
+  for (Machine mach : blas::kAllMachines) {
+    fill(c.view(), std::nan(""));
+    blas::dgemm_on(mach, Trans::no, Trans::no, 4, 4, 4, 1.0, a.data(), 4,
+                   b.data(), 4, 0.0, c.data(), 4);
+    for (index_t j = 0; j < 4; ++j) {
+      for (index_t i = 0; i < 4; ++i) {
+        EXPECT_FALSE(std::isnan(c(i, j))) << blas::machine_name(mach);
+      }
+    }
+  }
+}
+
+TEST(Dgemm, KZeroScalesC) {
+  Matrix c(3, 3);
+  fill(c.view(), 2.0);
+  blas::dgemm(Trans::no, Trans::no, 3, 3, 0, 1.0, nullptr, 1, nullptr, 1, 0.5,
+              c.data(), 3);
+  EXPECT_DOUBLE_EQ(c(1, 1), 1.0);
+}
+
+TEST(GemmView, HandlesTransposedViews) {
+  Rng rng(9);
+  Matrix a(6, 4), b(6, 5), c(4, 5), c_ref(4, 5);
+  fill_random(a.view(), rng);
+  fill_random(b.view(), rng);
+  fill(c.view(), 0.0);
+  fill(c_ref.view(), 0.0);
+  // C = A^T * B.
+  blas::gemm_view(1.0, a.view().transposed(), b.view(), 0.0, c.view());
+  blas::gemm_reference(Trans::transpose, Trans::no, 4, 5, 6, 1.0, a.data(), 6,
+                       b.data(), 6, 0.0, c_ref.data(), 4);
+  EXPECT_LT(max_abs_diff(c.view(), c_ref.view()), 1e-12);
+}
+
+TEST(MachineProfiles, ActiveMachineSwitch) {
+  EXPECT_EQ(blas::active_machine(), Machine::rs6000);
+  {
+    blas::ScopedMachine guard(Machine::c90);
+    EXPECT_EQ(blas::active_machine(), Machine::c90);
+    {
+      blas::ScopedMachine inner(Machine::t3d);
+      EXPECT_EQ(blas::active_machine(), Machine::t3d);
+    }
+    EXPECT_EQ(blas::active_machine(), Machine::c90);
+  }
+  EXPECT_EQ(blas::active_machine(), Machine::rs6000);
+}
+
+TEST(MachineProfiles, Names) {
+  EXPECT_EQ(blas::machine_name(Machine::rs6000), "RS/6000");
+  EXPECT_EQ(blas::machine_name(Machine::c90), "C90");
+  EXPECT_EQ(blas::machine_name(Machine::t3d), "T3D");
+}
+
+}  // namespace
+}  // namespace strassen

@@ -1,0 +1,109 @@
+// Tests for the C and Fortran-77 bindings.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "blas/gemm.hpp"
+#include "core/cabi.hpp"
+#include "support/matrix.hpp"
+#include "support/random.hpp"
+
+namespace strassen {
+namespace {
+
+TEST(CAbi, MatchesReference) {
+  Rng rng(1);
+  const index_t n = 100;
+  Matrix a = random_matrix(n, n, rng);
+  Matrix b = random_matrix(n, n, rng);
+  Matrix c = random_matrix(n, n, rng);
+  Matrix c_ref(n, n);
+  copy(c.view(), c_ref.view());
+
+  ASSERT_EQ(strassen_dgefmm('N', 'N', n, n, n, 1.5, a.data(), n, b.data(), n,
+                            0.5, c.data(), n),
+            0);
+  blas::gemm_reference(Trans::no, Trans::no, n, n, n, 1.5, a.data(), n,
+                       b.data(), n, 0.5, c_ref.data(), n);
+  EXPECT_LT(max_abs_diff(c.view(), c_ref.view()), 1e-10);
+}
+
+TEST(CAbi, LowercaseAndConjTransAccepted) {
+  Rng rng(2);
+  Matrix a = random_matrix(20, 30, rng);
+  Matrix b = random_matrix(20, 25, rng);
+  Matrix c(30, 25), c_ref(30, 25);
+  fill(c.view(), 0.0);
+  fill(c_ref.view(), 0.0);
+  ASSERT_EQ(strassen_dgefmm('c', 'n', 30, 25, 20, 1.0, a.data(), 20,
+                            b.data(), 20, 0.0, c.data(), 30),
+            0);
+  blas::gemm_reference(Trans::transpose, Trans::no, 30, 25, 20, 1.0,
+                       a.data(), 20, b.data(), 20, 0.0, c_ref.data(), 30);
+  EXPECT_LT(max_abs_diff(c.view(), c_ref.view()), 1e-11);
+}
+
+TEST(CAbi, InvalidArgumentsReported) {
+  double x = 0.0;
+  EXPECT_EQ(strassen_dgefmm('X', 'N', 1, 1, 1, 1.0, &x, 1, &x, 1, 0.0, &x, 1),
+            1);
+  EXPECT_EQ(strassen_dgefmm('N', '?', 1, 1, 1, 1.0, &x, 1, &x, 1, 0.0, &x, 1),
+            2);
+  EXPECT_EQ(strassen_dgefmm('N', 'N', -1, 1, 1, 1.0, &x, 1, &x, 1, 0.0, &x, 1),
+            3);
+  EXPECT_EQ(strassen_dgefmm('N', 'N', 4, 4, 4, 1.0, &x, 2, &x, 4, 0.0, &x, 4),
+            8);
+}
+
+TEST(CAbi, TunedVariantUsesGivenParameters) {
+  Rng rng(3);
+  const index_t n = 64;
+  Matrix a = random_matrix(n, n, rng);
+  Matrix b = random_matrix(n, n, rng);
+  Matrix c1(n, n), c2(n, n);
+  fill(c1.view(), 0.0);
+  fill(c2.view(), 0.0);
+  // tau = 8 forces recursion; tau huge forces plain DGEMM. Both must agree
+  // numerically.
+  ASSERT_EQ(strassen_dgefmm_tuned('N', 'N', n, n, n, 1.0, a.data(), n,
+                                  b.data(), n, 0.0, c1.data(), n, 8, 8, 8, 8),
+            0);
+  ASSERT_EQ(strassen_dgefmm_tuned('N', 'N', n, n, n, 1.0, a.data(), n,
+                                  b.data(), n, 0.0, c2.data(), n, 1e9, 1e9,
+                                  1e9, 1e9),
+            0);
+  EXPECT_LT(max_abs_diff(c1.view(), c2.view()), 1e-11);
+}
+
+TEST(FortranAbi, PointerCallingConvention) {
+  Rng rng(4);
+  const std::int32_t n = 48;
+  Matrix a = random_matrix(n, n, rng);
+  Matrix b = random_matrix(n, n, rng);
+  Matrix c(n, n), c_ref(n, n);
+  fill(c.view(), 0.0);
+  fill(c_ref.view(), 0.0);
+  const char ta = 'N', tb = 'T';
+  const double alpha = 2.0, beta = 0.0;
+  std::int32_t info = -1;
+  dgefmm_(&ta, &tb, &n, &n, &n, &alpha, a.data(), &n, b.data(), &n, &beta,
+          c.data(), &n, &info);
+  EXPECT_EQ(info, 0);
+  blas::gemm_reference(Trans::no, Trans::transpose, n, n, n, alpha, a.data(),
+                       n, b.data(), n, beta, c_ref.data(), n);
+  EXPECT_LT(max_abs_diff(c.view(), c_ref.view()), 1e-11);
+}
+
+TEST(FortranAbi, InfoReceivesArgumentErrors) {
+  const char bad = 'Q', good = 'N';
+  const std::int32_t n = 4, ld = 4;
+  const double one = 1.0, zero = 0.0;
+  double x[16] = {};
+  std::int32_t info = 0;
+  dgefmm_(&bad, &good, &n, &n, &n, &one, x, &ld, x, &ld, &zero, x, &ld,
+          &info);
+  EXPECT_EQ(info, 1);
+}
+
+}  // namespace
+}  // namespace strassen

@@ -1,0 +1,239 @@
+// Tests for the comparator codes (DGEMMW-, DGEMMS-, SGEMMS-like): numerical
+// agreement with the reference GEMM and the Table 1 memory relationships.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "blas/gemm.hpp"
+#include "compare/dgemms_like.hpp"
+#include "compare/dgemmw_like.hpp"
+#include "compare/sgemms_like.hpp"
+#include "core/dgefmm.hpp"
+#include "support/matrix.hpp"
+#include "support/random.hpp"
+
+namespace strassen {
+namespace {
+
+struct Shape {
+  index_t m, n, k;
+};
+
+const std::vector<Shape> kShapes = {
+    {32, 32, 32}, {33, 33, 33}, {64, 64, 64}, {65, 63, 61},
+    {40, 96, 24}, {96, 24, 40}, {101, 97, 89},
+};
+
+double tol_for(index_t k) { return 1e-11 * (static_cast<double>(k) + 10.0); }
+
+class ComparatorCorrectness : public ::testing::TestWithParam<int> {};
+
+TEST_P(ComparatorCorrectness, DgemmwMatchesReference) {
+  const Shape s = kShapes[static_cast<std::size_t>(GetParam())];
+  Rng rng(17);
+  Matrix a = random_matrix(s.m, s.k, rng);
+  Matrix b = random_matrix(s.k, s.n, rng);
+  for (const auto& [alpha, beta] :
+       {std::pair{1.0, 0.0}, std::pair{2.0, 0.5}, std::pair{-1.0, 1.0}}) {
+    Matrix c = random_matrix(s.m, s.n, rng);
+    Matrix c_ref(s.m, s.n);
+    copy(c.view(), c_ref.view());
+    compare::DgemmwConfig cfg;
+    cfg.tau = 8.0;  // force deep recursion at test sizes
+    ASSERT_EQ(compare::dgemmw(Trans::no, Trans::no, s.m, s.n, s.k, alpha,
+                              a.data(), a.ld(), b.data(), b.ld(), beta,
+                              c.data(), c.ld(), cfg),
+              0);
+    blas::gemm_reference(Trans::no, Trans::no, s.m, s.n, s.k, alpha, a.data(),
+                         a.ld(), b.data(), b.ld(), beta, c_ref.data(),
+                         c_ref.ld());
+    EXPECT_LT(max_abs_diff(c.view(), c_ref.view()), tol_for(s.k))
+        << "alpha=" << alpha << " beta=" << beta;
+  }
+}
+
+TEST_P(ComparatorCorrectness, DgemmsMatchesReference) {
+  const Shape s = kShapes[static_cast<std::size_t>(GetParam())];
+  Rng rng(18);
+  Matrix a = random_matrix(s.m, s.k, rng);
+  Matrix b = random_matrix(s.k, s.n, rng);
+  Matrix c(s.m, s.n), c_ref(s.m, s.n);
+  fill(c.view(), std::nan(""));
+  fill(c_ref.view(), 0.0);
+  compare::DgemmsConfig cfg;
+  cfg.tau = 8.0;
+  ASSERT_EQ(compare::dgemms(Trans::no, Trans::no, s.m, s.n, s.k, a.data(),
+                            a.ld(), b.data(), b.ld(), c.data(), c.ld(), cfg),
+            0);
+  blas::gemm_reference(Trans::no, Trans::no, s.m, s.n, s.k, 1.0, a.data(),
+                       a.ld(), b.data(), b.ld(), 0.0, c_ref.data(),
+                       c_ref.ld());
+  EXPECT_LT(max_abs_diff(c.view(), c_ref.view()), tol_for(s.k));
+}
+
+TEST_P(ComparatorCorrectness, SgemmsMatchesReference) {
+  const Shape s = kShapes[static_cast<std::size_t>(GetParam())];
+  Rng rng(19);
+  Matrix a = random_matrix(s.m, s.k, rng);
+  Matrix b = random_matrix(s.k, s.n, rng);
+  for (const auto& [alpha, beta] :
+       {std::pair{1.0, 0.0}, std::pair{0.5, -2.0}}) {
+    Matrix c = random_matrix(s.m, s.n, rng);
+    Matrix c_ref(s.m, s.n);
+    copy(c.view(), c_ref.view());
+    compare::SgemmsConfig cfg;
+    cfg.tau = 8.0;
+    ASSERT_EQ(compare::sgemms(Trans::no, Trans::no, s.m, s.n, s.k, alpha,
+                              a.data(), a.ld(), b.data(), b.ld(), beta,
+                              c.data(), c.ld(), cfg),
+              0);
+    blas::gemm_reference(Trans::no, Trans::no, s.m, s.n, s.k, alpha, a.data(),
+                         a.ld(), b.data(), b.ld(), beta, c_ref.data(),
+                         c_ref.ld());
+    EXPECT_LT(max_abs_diff(c.view(), c_ref.view()), tol_for(s.k))
+        << "alpha=" << alpha << " beta=" << beta;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ComparatorCorrectness,
+                         ::testing::Range(0,
+                                          static_cast<int>(kShapes.size())));
+
+TEST(ComparatorTranspose, SgemmsHandlesTransposes) {
+  Rng rng(23);
+  const index_t m = 48, n = 44, k = 52;
+  Matrix a = random_matrix(k, m, rng);  // stored for op(A) = A^T
+  Matrix b = random_matrix(n, k, rng);  // stored for op(B) = B^T
+  Matrix c(m, n), c_ref(m, n);
+  fill(c.view(), 0.0);
+  fill(c_ref.view(), 0.0);
+  compare::SgemmsConfig cfg;
+  cfg.tau = 8.0;
+  ASSERT_EQ(compare::sgemms(Trans::transpose, Trans::transpose, m, n, k, 1.0,
+                            a.data(), a.ld(), b.data(), b.ld(), 0.0, c.data(),
+                            c.ld(), cfg),
+            0);
+  blas::gemm_reference(Trans::transpose, Trans::transpose, m, n, k, 1.0,
+                       a.data(), a.ld(), b.data(), b.ld(), 0.0, c_ref.data(),
+                       c_ref.ld());
+  EXPECT_LT(max_abs_diff(c.view(), c_ref.view()), tol_for(k));
+}
+
+// --------------------------------------------------------- Table 1 memory
+
+TEST(ComparatorMemory, Table1OrderingHolds) {
+  // For square order-m problems Table 1 orders the codes (per beta case):
+  //   beta == 0 : DGEFMM == DGEMMW (2/3 m^2)  <  DGEMMS  <  SGEMMS
+  //   beta != 0 : DGEFMM (m^2)  <  DGEMMW (5/3 m^2)  <  SGEMMS (>= 7/3 m^2)
+  const index_t m = 512;
+  core::DgefmmConfig dgefmm_cfg;
+  dgefmm_cfg.cutoff = core::CutoffCriterion::square_simple(8);
+  compare::DgemmwConfig w_cfg;
+  w_cfg.tau = 8.0;
+  compare::DgemmsConfig s_cfg;
+  s_cfg.tau = 8.0;
+  compare::SgemmsConfig cray_cfg;
+  cray_cfg.tau = 8.0;
+
+  const count_t dgefmm_b0 =
+      core::dgefmm_workspace_doubles(m, m, m, 0.0, dgefmm_cfg);
+  const count_t dgefmm_gen =
+      core::dgefmm_workspace_doubles(m, m, m, 1.0, dgefmm_cfg);
+  const count_t w_b0 = compare::dgemmw_workspace_doubles(m, m, m, 0.0, w_cfg);
+  const count_t w_gen = compare::dgemmw_workspace_doubles(m, m, m, 1.0, w_cfg);
+  const count_t essl = compare::dgemms_workspace_doubles(m, m, m, s_cfg);
+  const count_t cray = compare::sgemms_workspace_doubles(m, m, m, cray_cfg);
+
+  EXPECT_EQ(dgefmm_b0, w_b0);  // same beta == 0 scheme
+  EXPECT_LT(dgefmm_b0, essl);
+  EXPECT_LT(essl, cray);
+  EXPECT_LT(dgefmm_gen, w_gen);
+  EXPECT_LT(w_gen, cray);
+
+  const double m2 = static_cast<double>(m) * m;
+  // Coefficients close to Table 1 (truncated geometric sums sit slightly
+  // below the asymptotic values).
+  EXPECT_NEAR(static_cast<double>(dgefmm_b0) / m2, 2.0 / 3.0, 0.02);
+  EXPECT_NEAR(static_cast<double>(dgefmm_gen) / m2, 1.0, 0.02);
+  EXPECT_NEAR(static_cast<double>(w_gen) / m2, 5.0 / 3.0, 0.02);
+  EXPECT_GE(static_cast<double>(cray) / m2, 7.0 / 3.0 - 0.05);
+}
+
+TEST(ComparatorMemory, PaperReductionClaims) {
+  // "for certain cases our memory requirements have been reduced by 40 to
+  // more than 70 percent over these other codes": DGEFMM general (m^2) vs
+  // DGEMMW general (5/3 m^2) is a 40% reduction; vs the CRAY code
+  // (>= 7/3 m^2) it is > 57%.
+  const index_t m = 512;
+  core::DgefmmConfig dgefmm_cfg;
+  dgefmm_cfg.cutoff = core::CutoffCriterion::square_simple(8);
+  compare::DgemmwConfig w_cfg;
+  w_cfg.tau = 8.0;
+  compare::SgemmsConfig cray_cfg;
+  cray_cfg.tau = 8.0;
+  const double dgefmm_gen = static_cast<double>(
+      core::dgefmm_workspace_doubles(m, m, m, 1.0, dgefmm_cfg));
+  const double w_gen = static_cast<double>(
+      compare::dgemmw_workspace_doubles(m, m, m, 1.0, w_cfg));
+  const double cray = static_cast<double>(
+      compare::sgemms_workspace_doubles(m, m, m, cray_cfg));
+  EXPECT_NEAR(1.0 - dgefmm_gen / w_gen, 0.40, 0.03);
+  EXPECT_GT(1.0 - dgefmm_gen / cray, 0.55);
+}
+
+TEST(ComparatorMemory, MeasuredPeakMatchesPredictorSgemms) {
+  const index_t m = 65, n = 63, k = 61;
+  compare::SgemmsConfig cfg;
+  cfg.tau = 8.0;
+  Arena arena;
+  cfg.workspace = &arena;
+  Rng rng(4);
+  Matrix a = random_matrix(m, k, rng);
+  Matrix b = random_matrix(k, n, rng);
+  Matrix c(m, n);
+  fill(c.view(), 0.0);
+  ASSERT_EQ(compare::sgemms(Trans::no, Trans::no, m, n, k, 1.0, a.data(), m,
+                            b.data(), k, 0.0, c.data(), m, cfg),
+            0);
+  EXPECT_EQ(static_cast<count_t>(arena.peak()),
+            compare::sgemms_workspace_doubles(m, n, k, cfg));
+}
+
+TEST(ComparatorMemory, MeasuredPeakMatchesPredictorDgemmw) {
+  const index_t m = 80, n = 72, k = 66;
+  for (double beta : {0.0, 1.0}) {
+    compare::DgemmwConfig cfg;
+    cfg.tau = 8.0;
+    Arena arena;
+    cfg.workspace = &arena;
+    Rng rng(4);
+    Matrix a = random_matrix(m, k, rng);
+    Matrix b = random_matrix(k, n, rng);
+    Matrix c = random_matrix(m, n, rng);
+    ASSERT_EQ(compare::dgemmw(Trans::no, Trans::no, m, n, k, 1.0, a.data(), m,
+                              b.data(), k, beta, c.data(), m, cfg),
+              0);
+    EXPECT_EQ(static_cast<count_t>(arena.peak()),
+              compare::dgemmw_workspace_doubles(m, n, k, beta, cfg))
+        << "beta=" << beta;
+  }
+}
+
+TEST(ComparatorArgs, InfoCodes) {
+  Matrix a(8, 8), b(8, 8), c(8, 8);
+  EXPECT_EQ(compare::sgemms(Trans::no, Trans::no, -1, 8, 8, 1.0, a.data(), 8,
+                            b.data(), 8, 0.0, c.data(), 8),
+            3);
+  EXPECT_EQ(compare::sgemms(Trans::no, Trans::no, 8, 8, 8, 1.0, a.data(), 4,
+                            b.data(), 8, 0.0, c.data(), 8),
+            8);
+  compare::DgemmwConfig cfg;
+  EXPECT_EQ(compare::dgemmw(Trans::no, Trans::no, 8, 8, 8, 1.0, a.data(), 8,
+                            b.data(), 8, 1.0, c.data(), 4, cfg),
+            13);
+}
+
+}  // namespace
+}  // namespace strassen

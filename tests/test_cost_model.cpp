@@ -1,0 +1,114 @@
+// Tests for the fitted performance models and the model-derived cutoff
+// (the companion-report [14] approach implemented in tuning/cost_model).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "support/errors.hpp"
+#include "tuning/cost_model.hpp"
+
+namespace strassen {
+namespace {
+
+using tuning::AddCostModel;
+using tuning::AddSample;
+using tuning::GemmCostModel;
+using tuning::GemmSample;
+
+// Synthesizes exact samples from known coefficients; the fit must recover
+// them to rounding accuracy.
+std::vector<GemmSample> synthetic_gemm_samples(const GemmCostModel& truth) {
+  std::vector<GemmSample> samples;
+  for (index_t m : {64, 128, 256}) {
+    for (index_t k : {64, 192}) {
+      for (index_t n : {96, 256}) {
+        samples.push_back({m, k, n, truth.predict(m, k, n)});
+      }
+    }
+  }
+  return samples;
+}
+
+TEST(CostModel, RecoversExactGemmCoefficients) {
+  const GemmCostModel truth{3e-5, 2.5e-10, 4.0e-9};
+  const GemmCostModel fit =
+      tuning::fit_gemm_cost_model(synthetic_gemm_samples(truth));
+  EXPECT_NEAR(fit.c0, truth.c0, 1e-10);
+  EXPECT_NEAR(fit.mu, truth.mu, 1e-16);
+  EXPECT_NEAR(fit.nu, truth.nu, 1e-14);
+}
+
+TEST(CostModel, RecoversExactAddCoefficients) {
+  const AddCostModel truth{1e-6, 8.0e-10};
+  std::vector<AddSample> samples;
+  for (index_t m : {32, 64, 128, 200}) {
+    samples.push_back({m, m, truth.predict(m, m)});
+  }
+  const AddCostModel fit = tuning::fit_add_cost_model(samples);
+  EXPECT_NEAR(fit.c1, truth.c1, 1e-12);
+  EXPECT_NEAR(fit.gamma, truth.gamma, 1e-16);
+}
+
+TEST(CostModel, PredictIsLinearInFeatures) {
+  const GemmCostModel m1{0.0, 1.0, 0.0};
+  EXPECT_DOUBLE_EQ(m1.predict(2, 3, 4), 24.0);
+  const GemmCostModel m2{0.0, 0.0, 1.0};
+  EXPECT_DOUBLE_EQ(m2.predict(2, 3, 4), 2 * 3 + 3 * 4 + 2 * 4);
+  const AddCostModel a{0.5, 2.0};
+  EXPECT_DOUBLE_EQ(a.predict(3, 4), 0.5 + 24.0);
+}
+
+TEST(CostModel, OpCountModelReproducesTheoreticalCutoff) {
+  // With mu = 2, nu = 0 (~ t = 2mkn) for GEMM and gamma = 1 (t = mn) for
+  // adds, and no constant overheads, the model analogue of eq. 7 gives
+  // mkn <= 8/2 * ... i.e. the theoretical square cutoff 12.
+  //
+  // (M(m,k,n) = 2mkn - mn is represented here as mu=2 with the -mn term
+  // absorbed approximately; exact equivalence needs nu on the mn feature
+  // only, so the derived square cutoff lands within one of 12.)
+  const GemmCostModel gemm{0.0, 2.0, 0.0};
+  const AddCostModel add{0.0, 1.0};
+  // Derived parameterized taus: tau_mn = 8*1/2 = 4, tau_k = 14/2 = 7.
+  const core::CutoffCriterion crit =
+      tuning::criterion_from_models(gemm, add);
+  EXPECT_DOUBLE_EQ(crit.tau_m, 4.0);
+  EXPECT_DOUBLE_EQ(crit.tau_k, 7.0);
+  EXPECT_DOUBLE_EQ(crit.tau_n, 4.0);
+  // Square crossover: 2m^3 <= 7*2*(m/2)^3 + 15 (m/2)^2
+  //   <=> m^3/4 <= 15 m^2/4 <=> m <= 15.
+  EXPECT_DOUBLE_EQ(crit.tau, 15.0);
+  EXPECT_EQ(crit.kind, core::CutoffKind::hybrid);
+}
+
+TEST(CostModel, StandardPreferredMatchesDirectComparison) {
+  const GemmCostModel gemm{1e-5, 3e-10, 2e-9};
+  const AddCostModel add{5e-7, 1e-9};
+  for (index_t m : {16, 64, 256, 1024}) {
+    const double standard = gemm.predict(m, m, m);
+    const double one_level = 7.0 * gemm.predict(m / 2, m / 2, m / 2) +
+                             15.0 * add.predict(m / 2, m / 2);
+    EXPECT_EQ(tuning::model_standard_preferred(gemm, add, m, m, m),
+              standard <= one_level)
+        << m;
+  }
+}
+
+TEST(CostModel, MeasuredFitIsSane) {
+  // Fit on tiny real measurements: coefficients must be positive-ish and
+  // the model must predict larger times for larger problems.
+  const GemmCostModel gemm = tuning::measure_gemm_cost_model(96, 1);
+  EXPECT_GT(gemm.mu, 0.0);
+  EXPECT_GT(gemm.predict(256, 256, 256), gemm.predict(64, 64, 64));
+  const AddCostModel add = tuning::measure_add_cost_model(128, 1);
+  EXPECT_GT(add.gamma, 0.0);
+}
+
+TEST(CostModel, SingularFitThrows) {
+  // All-identical samples make the normal equations singular.
+  std::vector<GemmSample> samples(5, GemmSample{64, 64, 64, 1.0});
+  EXPECT_THROW(tuning::fit_gemm_cost_model(samples), Error);
+}
+
+}  // namespace
+}  // namespace strassen

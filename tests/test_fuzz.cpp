@@ -1,0 +1,134 @@
+// Randomized property sweep over the whole configuration space: random
+// shapes, transposes, alpha/beta, cutoff criteria, schedules, and odd-size
+// strategies, always checking two invariants:
+//   (1) the result matches the reference GEMM within a normwise tolerance,
+//   (2) the measured workspace high-water mark equals the analytic
+//       predictor exactly.
+// Seeds are fixed, so every trial is reproducible.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "blas/gemm.hpp"
+#include "core/dgefmm.hpp"
+#include "support/matrix.hpp"
+#include "support/random.hpp"
+
+namespace strassen {
+namespace {
+
+using core::CutoffCriterion;
+using core::DgefmmConfig;
+using core::OddStrategy;
+using core::Scheme;
+
+CutoffCriterion random_criterion(Rng& rng) {
+  switch (rng.uniform_index(0, 5)) {
+    case 0:
+      return CutoffCriterion::op_count();
+    case 1:
+      return CutoffCriterion::square_simple(double(rng.uniform_index(4, 64)));
+    case 2:
+      return CutoffCriterion::higham_scaled(double(rng.uniform_index(4, 64)));
+    case 3:
+      return CutoffCriterion::parameterized(double(rng.uniform_index(4, 48)),
+                                            double(rng.uniform_index(4, 48)),
+                                            double(rng.uniform_index(4, 48)));
+    case 4:
+      return CutoffCriterion::hybrid(double(rng.uniform_index(8, 64)),
+                                     double(rng.uniform_index(4, 48)),
+                                     double(rng.uniform_index(4, 48)),
+                                     double(rng.uniform_index(4, 48)));
+    default:
+      return CutoffCriterion::fixed_depth(int(rng.uniform_index(0, 4)));
+  }
+}
+
+Scheme random_scheme(Rng& rng) {
+  const Scheme all[] = {Scheme::automatic, Scheme::strassen1,
+                        Scheme::strassen2, Scheme::original};
+  return all[rng.uniform_index(0, 3)];
+}
+
+OddStrategy random_odd(Rng& rng) {
+  const OddStrategy all[] = {OddStrategy::dynamic_peeling,
+                             OddStrategy::dynamic_padding,
+                             OddStrategy::static_padding};
+  return all[rng.uniform_index(0, 2)];
+}
+
+class FuzzTrial : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzTrial, ReferenceAgreementAndExactWorkspace) {
+  Rng rng(0xF0020000ULL + static_cast<std::uint64_t>(GetParam()));
+
+  const index_t m = rng.uniform_index(1, 180);
+  const index_t n = rng.uniform_index(1, 180);
+  const index_t k = rng.uniform_index(1, 180);
+  const Trans ta = rng.uniform_index(0, 1) ? Trans::transpose : Trans::no;
+  const Trans tb = rng.uniform_index(0, 1) ? Trans::transpose : Trans::no;
+  const double alphas[] = {1.0, -1.0, 0.5, 2.0, 1.0 / 3.0};
+  const double betas[] = {0.0, 1.0, -1.0, 0.25};
+  const double alpha = alphas[rng.uniform_index(0, 4)];
+  const double beta = betas[rng.uniform_index(0, 3)];
+
+  DgefmmConfig cfg;
+  cfg.cutoff = random_criterion(rng);
+  cfg.scheme = random_scheme(rng);
+  cfg.odd = random_odd(rng);
+  Arena arena;
+  cfg.workspace = &arena;
+
+  const index_t a_rows = is_trans(ta) ? k : m;
+  const index_t a_cols = is_trans(ta) ? m : k;
+  const index_t b_rows = is_trans(tb) ? n : k;
+  const index_t b_cols = is_trans(tb) ? k : n;
+  const index_t lda = a_rows + rng.uniform_index(0, 3);
+  const index_t ldb = b_rows + rng.uniform_index(0, 3);
+  const index_t ldc = m + rng.uniform_index(0, 3);
+
+  Matrix a(std::max<index_t>(lda, 1), std::max<index_t>(a_cols, 1));
+  Matrix b(std::max<index_t>(ldb, 1), std::max<index_t>(b_cols, 1));
+  Matrix c(std::max<index_t>(ldc, 1), std::max<index_t>(n, 1));
+  Matrix c_ref(std::max<index_t>(ldc, 1), std::max<index_t>(n, 1));
+  fill_random(a.view(), rng);
+  fill_random(b.view(), rng);
+  fill_random(c.view(), rng);
+  copy(c.view(), c_ref.view());
+
+  const int info = core::dgefmm(ta, tb, m, n, k, alpha, a.data(), lda,
+                                b.data(), ldb, beta, c.data(), ldc, cfg);
+  ASSERT_EQ(info, 0);
+  blas::gemm_reference(ta, tb, m, n, k, alpha, a.data(), lda, b.data(), ldb,
+                       beta, c_ref.data(), ldc);
+
+  double worst = 0.0;
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < m; ++i) {
+      worst = std::max(worst, std::abs(c(i, j) - c_ref(i, j)));
+    }
+  }
+  const double tol =
+      1e-11 * (static_cast<double>(k) + 10.0) * std::abs(alpha != 0 ? alpha : 1);
+  EXPECT_LT(worst, tol) << "m=" << m << " n=" << n << " k=" << k
+                        << " alpha=" << alpha << " beta=" << beta << " "
+                        << cfg.cutoff.describe();
+
+  // Exact workspace accounting, regardless of configuration.
+  EXPECT_EQ(static_cast<count_t>(arena.peak()),
+            core::dgefmm_workspace_doubles(m, n, k, beta, cfg))
+      << "m=" << m << " n=" << n << " k=" << k << " beta=" << beta;
+
+  // Rows of C beyond m (ldc padding) are untouched.
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = m; i < ldc; ++i) {
+      EXPECT_EQ(c(i, j), c_ref(i, j));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Trials, FuzzTrial, ::testing::Range(0, 150));
+
+}  // namespace
+}  // namespace strassen

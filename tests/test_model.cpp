@@ -1,0 +1,172 @@
+// The operation-count model tests: every numeric claim Section 2 of the
+// paper makes is asserted here.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/cutoff_theory.hpp"
+#include "model/opmodel.hpp"
+
+namespace strassen {
+namespace {
+
+using model::Variant;
+
+TEST(OpModel, StandardCost) {
+  // 2mkn - mn.
+  EXPECT_EQ(model::standard_cost(2, 2, 2), 12);
+  EXPECT_EQ(model::standard_cost(10, 20, 30), 2 * 10 * 20 * 30 - 10 * 30);
+  EXPECT_EQ(model::add_cost(7, 9), 63);
+}
+
+TEST(OpModel, OneLevelWinogradCountsBySchedule) {
+  // One Winograd level on even (m,k,n) with standard sub-multiplies:
+  // 7 M(m/2,k/2,n/2) + 4G(m/2,k/2) + 4G(k/2,n/2) + 7G(m/2,n/2).
+  auto one_level = [](index_t m, index_t k, index_t n) {
+    return 7 * model::standard_cost(m / 2, k / 2, n / 2) +
+           model::level_add_cost(Variant::winograd, m / 2, k / 2, n / 2);
+  };
+  auto stop_below = [](index_t depth_limit) {
+    return [depth_limit](index_t, index_t, index_t, int d) {
+      return d >= depth_limit;
+    };
+  };
+  EXPECT_EQ(model::strassen_cost(Variant::winograd, 64, 64, 64, stop_below(1)),
+            one_level(64, 64, 64));
+  EXPECT_EQ(model::strassen_cost(Variant::winograd, 64, 32, 128,
+                                 stop_below(1)),
+            one_level(64, 32, 128));
+}
+
+TEST(OpModel, RecurrenceMatchesClosedFormWinograd) {
+  // Eq. (3) against direct evaluation of the recurrence (eq. 2).
+  for (int d = 0; d <= 4; ++d) {
+    for (index_t m0 : {1, 3, 8, 12}) {
+      for (index_t k0 : {1, 5, 8}) {
+        for (index_t n0 : {2, 8, 13}) {
+          const index_t m = m0 << d, k = k0 << d, n = n0 << d;
+          auto stop = [d](index_t, index_t, index_t, int depth) {
+            return depth >= d;
+          };
+          EXPECT_EQ(model::strassen_cost(Variant::winograd, m, k, n, stop),
+                    model::winograd_cost_depth(m0, k0, n0, d))
+              << "d=" << d << " m0=" << m0 << " k0=" << k0 << " n0=" << n0;
+        }
+      }
+    }
+  }
+}
+
+TEST(OpModel, SquareClosedFormsSpecializeGeneral) {
+  for (int d = 0; d <= 6; ++d) {
+    for (index_t m0 : {1, 2, 7, 12}) {
+      EXPECT_EQ(model::winograd_cost_square(m0, d),
+                model::winograd_cost_depth(m0, m0, m0, d));
+    }
+  }
+}
+
+TEST(OpModel, OriginalRecurrenceMatchesClosedForm) {
+  for (int d = 0; d <= 5; ++d) {
+    for (index_t m0 : {1, 4, 9}) {
+      auto stop = [d](index_t, index_t, index_t, int depth) {
+        return depth >= d;
+      };
+      EXPECT_EQ(model::strassen_cost(Variant::original, m0 << d, m0 << d,
+                                     m0 << d, stop),
+                model::original_cost_square(m0, d));
+    }
+  }
+}
+
+TEST(PaperClaims, OneLevelRatioApproachesSevenEighths) {
+  // Eq. (1): "...approaches 7/8 as m gets large, implying ... a 12.5%
+  // improvement over regular matrix multiplication."
+  EXPECT_NEAR(model::one_level_ratio_square(1 << 20), 7.0 / 8.0, 1e-5);
+  // And it exceeds 1 for small m (no benefit).
+  EXPECT_GT(model::one_level_ratio_square(8), 1.0);
+}
+
+TEST(PaperClaims, WinogradBeatsOriginalForAllDepths) {
+  // "(4) is an improvement over (5) for all recursion depths d and all m0,
+  // since their difference is (m0)^2 (7^d - 4^d)."
+  for (int d = 1; d <= 6; ++d) {
+    for (index_t m0 : {1, 2, 7, 12}) {
+      const count_t diff = model::original_cost_square(m0, d) -
+                           model::winograd_cost_square(m0, d);
+      count_t p7 = 1, p4 = 1;
+      for (int i = 0; i < d; ++i) {
+        p7 *= 7;
+        p4 *= 4;
+      }
+      EXPECT_EQ(diff, static_cast<count_t>(m0) * m0 * (p7 - p4));
+    }
+  }
+}
+
+TEST(PaperClaims, AsymptoticOriginalToWinogradRatios) {
+  // "improvement of (4) over (5) is 14.3% when full recursion is used
+  // (m0 = 1), and between 5.26% and 3.45% as m0 ranges between 7 and 12."
+  // The limiting ratio of (5)/(4) is (5 + 2 m0)/(4 + 2 m0).
+  auto limit_ratio = [](index_t m0) {
+    return (5.0 + 2.0 * static_cast<double>(m0)) /
+           (4.0 + 2.0 * static_cast<double>(m0));
+  };
+  EXPECT_NEAR(1.0 - 1.0 / limit_ratio(1), 0.143, 5e-4);
+  EXPECT_NEAR(1.0 - 1.0 / limit_ratio(7), 0.0526, 5e-4);
+  EXPECT_NEAR(1.0 - 1.0 / limit_ratio(12), 0.0345, 5e-4);
+  // Deep recursion approaches the limit.
+  const double deep = static_cast<double>(model::original_cost_square(1, 20)) /
+                      static_cast<double>(model::winograd_cost_square(1, 20));
+  EXPECT_NEAR(deep, limit_ratio(1), 1e-6);
+}
+
+TEST(PaperClaims, CutoffGainAtOrder256Is38Percent) {
+  // "For matrices of order 256 ... the ratio (4) with d=8, m0=1 to (4) with
+  // d=5, m0=8, obtaining a 38.2% improvement using cutoffs."
+  const double no_cutoff =
+      static_cast<double>(model::winograd_cost_square(1, 8));
+  const double with_cutoff =
+      static_cast<double>(model::winograd_cost_square(8, 5));
+  EXPECT_NEAR(1.0 - with_cutoff / no_cutoff, 0.382, 5e-4);
+}
+
+TEST(CutoffTheory, SquareCutoffIsTwelve) {
+  EXPECT_EQ(model::theoretical_square_cutoff(), 12);
+  EXPECT_TRUE(model::standard_preferred(12, 12, 12));
+  EXPECT_FALSE(model::standard_preferred(13, 13, 13));
+  EXPECT_FALSE(model::standard_preferred(14, 14, 14));
+}
+
+TEST(CutoffTheory, RectangularExampleFromPaper) {
+  // "If m=6, k=14, n=86, (7) is not satisfied; thus recursion should be
+  // used" -- even though m is far below the square cutoff of 12.
+  EXPECT_TRUE(model::recursion_beneficial(6, 14, 86));
+  EXPECT_LT(6, model::theoretical_square_cutoff());
+  // And slightly smaller versions are not beneficial.
+  EXPECT_FALSE(model::recursion_beneficial(6, 14, 84));
+  EXPECT_FALSE(model::recursion_beneficial(4, 14, 86));
+  EXPECT_EQ(model::min_beneficial_m(14, 86), 6);
+}
+
+TEST(CutoffTheory, VeryRectangularNeverBeneficialWhenTwoDimsTiny) {
+  // 1/m + 1/k alone already exceeds 1/4 when m = k = 4 (eq. 8).
+  EXPECT_FALSE(model::recursion_beneficial(4, 4, 1 << 20));
+  EXPECT_EQ(model::min_beneficial_m(4, 1 << 20, 1 << 12), -1);
+}
+
+TEST(CutoffTheory, BoundaryMonotonicInN) {
+  // For k = 14, increasing n can only lower the smallest beneficial m.
+  index_t prev = model::min_beneficial_m(14, 50);
+  for (index_t n : {100, 200, 400, 1000}) {
+    const index_t cur = model::min_beneficial_m(14, n);
+    if (prev != -1) {
+      ASSERT_NE(cur, -1);
+      EXPECT_LE(cur, prev);
+    }
+    prev = cur;
+  }
+}
+
+}  // namespace
+}  // namespace strassen

@@ -1,0 +1,179 @@
+// Tests for the parallel extension: thread pool semantics and numerical
+// agreement of the parallel GEMM / parallel Strassen with the reference.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "blas/gemm.hpp"
+#include "parallel/parallel_gemm.hpp"
+#include "parallel/parallel_strassen.hpp"
+#include "parallel/thread_pool.hpp"
+#include "support/matrix.hpp"
+#include "support/random.hpp"
+
+namespace strassen {
+namespace {
+
+TEST(ThreadPool, RunsAllTasks) {
+  parallel::ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 100; ++i) {
+    tasks.push_back([&counter] { counter.fetch_add(1); });
+  }
+  pool.run_batch(std::move(tasks));
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, SequentialBatches) {
+  parallel::ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int batch = 0; batch < 5; ++batch) {
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 10; ++i) {
+      tasks.push_back([&counter] { counter.fetch_add(1); });
+    }
+    pool.run_batch(std::move(tasks));
+    EXPECT_EQ(counter.load(), (batch + 1) * 10);
+  }
+}
+
+TEST(ThreadPool, PropagatesTaskException) {
+  parallel::ThreadPool pool(2);
+  std::vector<std::function<void()>> tasks;
+  tasks.push_back([] { throw std::runtime_error("boom"); });
+  tasks.push_back([] {});
+  EXPECT_THROW(pool.run_batch(std::move(tasks)), std::runtime_error);
+  // The pool must remain usable after an exception.
+  std::atomic<int> counter{0};
+  std::vector<std::function<void()>> more;
+  more.push_back([&counter] { counter.fetch_add(1); });
+  pool.run_batch(std::move(more));
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, EmptyBatchIsNoop) {
+  parallel::ThreadPool pool(1);
+  EXPECT_NO_THROW(pool.run_batch({}));
+}
+
+TEST(ParallelGemm, MatchesReference) {
+  Rng rng(31);
+  const index_t m = 90, n = 257, k = 70;
+  Matrix a = random_matrix(m, k, rng);
+  Matrix b = random_matrix(k, n, rng);
+  Matrix c = random_matrix(m, n, rng);
+  Matrix c_ref(m, n);
+  copy(c.view(), c_ref.view());
+  parallel::dgemm_parallel(Trans::no, Trans::no, m, n, k, 1.5, a.data(), m,
+                           b.data(), k, 0.5, c.data(), m, 4);
+  blas::gemm_reference(Trans::no, Trans::no, m, n, k, 1.5, a.data(), m,
+                       b.data(), k, 0.5, c_ref.data(), m);
+  EXPECT_LT(max_abs_diff(c.view(), c_ref.view()), 1e-11);
+}
+
+TEST(ParallelGemm, TransposedOperands) {
+  Rng rng(32);
+  const index_t m = 64, n = 128, k = 80;
+  Matrix a = random_matrix(k, m, rng);
+  Matrix b = random_matrix(n, k, rng);
+  Matrix c(m, n), c_ref(m, n);
+  fill(c.view(), 0.0);
+  fill(c_ref.view(), 0.0);
+  parallel::dgemm_parallel(Trans::transpose, Trans::transpose, m, n, k, 1.0,
+                           a.data(), k, b.data(), n, 0.0, c.data(), m, 3);
+  blas::gemm_reference(Trans::transpose, Trans::transpose, m, n, k, 1.0,
+                       a.data(), k, b.data(), n, 0.0, c_ref.data(), m);
+  EXPECT_LT(max_abs_diff(c.view(), c_ref.view()), 1e-11);
+}
+
+TEST(ParallelGemm, SmallProblemFallsBackToSerial) {
+  Rng rng(33);
+  const index_t m = 8, n = 8, k = 8;
+  Matrix a = random_matrix(m, k, rng);
+  Matrix b = random_matrix(k, n, rng);
+  Matrix c(m, n), c_ref(m, n);
+  fill(c.view(), 0.0);
+  fill(c_ref.view(), 0.0);
+  parallel::dgemm_parallel(Trans::no, Trans::no, m, n, k, 1.0, a.data(), m,
+                           b.data(), k, 0.0, c.data(), m);
+  blas::dgemm(Trans::no, Trans::no, m, n, k, 1.0, a.data(), m, b.data(), k,
+              0.0, c_ref.data(), m);
+  EXPECT_EQ(max_abs_diff(c.view(), c_ref.view()), 0.0);
+}
+
+class ParallelStrassenCases : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelStrassenCases, MatchesReference) {
+  struct Case {
+    index_t m, n, k;
+    Trans ta, tb;
+    double alpha, beta;
+  };
+  const std::vector<Case> cases = {
+      {128, 128, 128, Trans::no, Trans::no, 1.0, 0.0},
+      {129, 127, 125, Trans::no, Trans::no, 1.0, 0.0},
+      {120, 140, 100, Trans::no, Trans::no, 2.0, -0.5},
+      {96, 96, 96, Trans::transpose, Trans::no, 1.0, 1.0},
+      {101, 99, 97, Trans::transpose, Trans::transpose, -1.0, 0.25},
+      {16, 16, 16, Trans::no, Trans::no, 1.0, 0.0},  // serial fallback
+  };
+  const Case cs = cases[static_cast<std::size_t>(GetParam())];
+  Rng rng(100 + static_cast<std::uint64_t>(GetParam()));
+  const index_t a_rows = is_trans(cs.ta) ? cs.k : cs.m;
+  const index_t a_cols = is_trans(cs.ta) ? cs.m : cs.k;
+  const index_t b_rows = is_trans(cs.tb) ? cs.n : cs.k;
+  const index_t b_cols = is_trans(cs.tb) ? cs.k : cs.n;
+  Matrix a = random_matrix(a_rows, a_cols, rng);
+  Matrix b = random_matrix(b_rows, b_cols, rng);
+  Matrix c = random_matrix(cs.m, cs.n, rng);
+  Matrix c_ref(cs.m, cs.n);
+  copy(c.view(), c_ref.view());
+
+  parallel::ParallelDgefmmConfig cfg;
+  cfg.cutoff = core::CutoffCriterion::square_simple(24);
+  ASSERT_EQ(parallel::dgefmm_parallel(cs.ta, cs.tb, cs.m, cs.n, cs.k,
+                                      cs.alpha, a.data(), a.ld(), b.data(),
+                                      b.ld(), cs.beta, c.data(), c.ld(), cfg),
+            0);
+  blas::gemm_reference(cs.ta, cs.tb, cs.m, cs.n, cs.k, cs.alpha, a.data(),
+                       a.ld(), b.data(), b.ld(), cs.beta, c_ref.data(),
+                       c_ref.ld());
+  EXPECT_LT(max_abs_diff(c.view(), c_ref.view()),
+            1e-11 * (static_cast<double>(cs.k) + 10.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, ParallelStrassenCases, ::testing::Range(0, 6));
+
+TEST(ParallelStrassen, InvalidArgumentsReported) {
+  Matrix a(8, 8), b(8, 8), c(8, 8);
+  parallel::ParallelDgefmmConfig cfg;
+  EXPECT_EQ(parallel::dgefmm_parallel(Trans::no, Trans::no, 8, 8, 8, 1.0,
+                                      a.data(), 4, b.data(), 8, 0.0, c.data(),
+                                      8, cfg),
+            8);
+}
+
+TEST(ParallelStrassen, DeterministicAcrossRuns) {
+  Rng rng(9);
+  const index_t n = 100;
+  Matrix a = random_matrix(n, n, rng);
+  Matrix b = random_matrix(n, n, rng);
+  Matrix c1(n, n), c2(n, n);
+  fill(c1.view(), 0.0);
+  fill(c2.view(), 0.0);
+  parallel::ParallelDgefmmConfig cfg;
+  cfg.cutoff = core::CutoffCriterion::square_simple(24);
+  parallel::dgefmm_parallel(Trans::no, Trans::no, n, n, n, 1.0, a.data(), n,
+                            b.data(), n, 0.0, c1.data(), n, cfg);
+  parallel::dgefmm_parallel(Trans::no, Trans::no, n, n, n, 1.0, a.data(), n,
+                            b.data(), n, 0.0, c2.data(), n, cfg);
+  // The task partition is static, so results are bit-identical run to run.
+  EXPECT_EQ(max_abs_diff(c1.view(), c2.view()), 0.0);
+}
+
+}  // namespace
+}  // namespace strassen

@@ -1,0 +1,85 @@
+// Tests for the two-parameter-set feature and its file persistence
+// (Section 4.2's "two sets of parameters to handle both cases").
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "support/errors.hpp"
+#include "tuning/persist.hpp"
+
+namespace strassen {
+namespace {
+
+using core::CutoffCriterion;
+using tuning::TunedCriteria;
+
+TunedCriteria sample() {
+  TunedCriteria t;
+  t.beta_zero = CutoffCriterion::hybrid(199, 75, 125, 95);
+  t.general = CutoffCriterion::hybrid(214, 80, 130, 101);
+  return t;
+}
+
+TEST(Persist, RoundTripThroughStream) {
+  const TunedCriteria t = sample();
+  std::stringstream ss;
+  tuning::save_criteria(t, ss);
+  const TunedCriteria back = tuning::load_criteria(ss);
+  EXPECT_DOUBLE_EQ(back.beta_zero.tau, 199);
+  EXPECT_DOUBLE_EQ(back.beta_zero.tau_m, 75);
+  EXPECT_DOUBLE_EQ(back.beta_zero.tau_k, 125);
+  EXPECT_DOUBLE_EQ(back.beta_zero.tau_n, 95);
+  EXPECT_DOUBLE_EQ(back.general.tau, 214);
+  EXPECT_DOUBLE_EQ(back.general.tau_m, 80);
+  EXPECT_DOUBLE_EQ(back.general.tau_k, 130);
+  EXPECT_DOUBLE_EQ(back.general.tau_n, 101);
+  EXPECT_EQ(back.general.kind, core::CutoffKind::hybrid);
+}
+
+TEST(Persist, SelectPicksByBeta) {
+  const TunedCriteria t = sample();
+  EXPECT_DOUBLE_EQ(t.select(0.0).tau, 199);
+  EXPECT_DOUBLE_EQ(t.select(1.0).tau, 214);
+  EXPECT_DOUBLE_EQ(t.select(-0.5).tau, 214);
+}
+
+TEST(Persist, MissingKeysKeepDefaults) {
+  std::stringstream ss("beta_zero.tau = 150\n");
+  const TunedCriteria back = tuning::load_criteria(ss);
+  EXPECT_DOUBLE_EQ(back.beta_zero.tau, 150);
+  // Untouched keys fall back to the defaults.
+  EXPECT_DOUBLE_EQ(back.beta_zero.tau_m, 75);
+  EXPECT_DOUBLE_EQ(back.general.tau, 199);
+}
+
+TEST(Persist, CommentsAndBlankLinesIgnored) {
+  std::stringstream ss(
+      "# a comment\n"
+      "\n"
+      "general.tau = 321  # trailing comment\n");
+  const TunedCriteria back = tuning::load_criteria(ss);
+  EXPECT_DOUBLE_EQ(back.general.tau, 321);
+}
+
+TEST(Persist, MalformedLineThrows) {
+  std::stringstream ss("general.tau 321\n");  // missing '='
+  EXPECT_THROW(tuning::load_criteria(ss), Error);
+}
+
+TEST(Persist, MissingFileThrows) {
+  EXPECT_THROW(tuning::load_criteria_file("/nonexistent/dgefmm.params"),
+               Error);
+}
+
+TEST(Persist, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/dgefmm_params_test.txt";
+  ASSERT_TRUE(tuning::save_criteria_file(sample(), path));
+  const TunedCriteria back = tuning::load_criteria_file(path);
+  EXPECT_DOUBLE_EQ(back.beta_zero.tau, 199);
+  EXPECT_DOUBLE_EQ(back.general.tau_n, 101);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace strassen

@@ -1,0 +1,325 @@
+// Tests for DTRSM and the blocked LU solver (the linear-systems
+// application, reference [3] of the paper).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "blas/gemm.hpp"
+#include "blas/trsm.hpp"
+#include "core/dgefmm.hpp"
+#include "solver/lu.hpp"
+#include "support/matrix.hpp"
+#include "support/random.hpp"
+
+namespace strassen {
+namespace {
+
+using blas::Diag;
+using blas::Side;
+using blas::Uplo;
+
+// Builds a well-conditioned triangular matrix: random entries with a
+// dominant diagonal.
+Matrix random_triangular(index_t n, Uplo uplo, Diag diag, Rng& rng) {
+  Matrix a(n, n);
+  fill(a.view(), 0.0);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < n; ++i) {
+      const bool in_tri = (uplo == Uplo::lower) ? (i > j) : (i < j);
+      if (in_tri) a(i, j) = rng.uniform(-0.5, 0.5);
+    }
+    a(j, j) = (diag == Diag::unit) ? rng.uniform(5.0, 9.0)  // must be ignored
+                                   : rng.uniform(1.0, 2.0) *
+                                         (rng.uniform() < 0 ? -1.0 : 1.0);
+  }
+  return a;
+}
+
+// Reference check: verify op(A) * X == alpha * B (left) or
+// X * op(A) == alpha * B (right), with the unit diagonal substituted.
+double trsm_residual(Side side, Uplo uplo, Trans trans, Diag diag,
+                     const Matrix& a, const Matrix& x, const Matrix& b,
+                     double alpha) {
+  Matrix a_eff(a.rows(), a.cols());
+  copy(a.view(), a_eff.view());
+  // Zero out the non-referenced triangle and apply the unit diagonal.
+  for (index_t j = 0; j < a.cols(); ++j) {
+    for (index_t i = 0; i < a.rows(); ++i) {
+      const bool in_tri =
+          (uplo == Uplo::lower) ? (i >= j) : (i <= j);
+      if (!in_tri) a_eff(i, j) = 0.0;
+    }
+    if (diag == Diag::unit) a_eff(j, j) = 1.0;
+  }
+  Matrix lhs(b.rows(), b.cols());
+  if (side == Side::left) {
+    blas::gemm_reference(trans, Trans::no, b.rows(), b.cols(), b.rows(), 1.0,
+                         a_eff.data(), a_eff.ld(), x.data(), x.ld(), 0.0,
+                         lhs.data(), lhs.ld());
+  } else {
+    blas::gemm_reference(Trans::no, trans, b.rows(), b.cols(), b.cols(), 1.0,
+                         x.data(), x.ld(), a_eff.data(), a_eff.ld(), 0.0,
+                         lhs.data(), lhs.ld());
+  }
+  double worst = 0.0;
+  for (index_t j = 0; j < b.cols(); ++j) {
+    for (index_t i = 0; i < b.rows(); ++i) {
+      worst = std::max(worst, std::abs(lhs(i, j) - alpha * b(i, j)));
+    }
+  }
+  return worst;
+}
+
+class TrsmAllCases
+    : public ::testing::TestWithParam<std::tuple<Side, Uplo, Trans, Diag>> {};
+
+TEST_P(TrsmAllCases, SolvesAgainstReference) {
+  const auto [side, uplo, trans, diag] = GetParam();
+  Rng rng(91);
+  const index_t m = 23, n = 17;
+  const index_t ka = (side == Side::left) ? m : n;
+  Matrix a = random_triangular(ka, uplo, diag, rng);
+  Matrix b = random_matrix(m, n, rng);
+  Matrix x(m, n);
+  copy(b.view(), x.view());
+  const double alpha = 1.5;
+  blas::dtrsm(side, uplo, trans, diag, m, n, alpha, a.data(), a.ld(),
+              x.data(), x.ld());
+  EXPECT_LT(trsm_residual(side, uplo, trans, diag, a, x, b, alpha), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Combos, TrsmAllCases,
+    ::testing::Combine(::testing::Values(Side::left, Side::right),
+                       ::testing::Values(Uplo::lower, Uplo::upper),
+                       ::testing::Values(Trans::no, Trans::transpose),
+                       ::testing::Values(Diag::non_unit, Diag::unit)));
+
+TEST(Trsm, AlphaZeroZerosB) {
+  Rng rng(5);
+  Matrix a = random_triangular(4, Uplo::lower, Diag::non_unit, rng);
+  Matrix b = random_matrix(4, 3, rng);
+  blas::dtrsm(Side::left, Uplo::lower, Trans::no, Diag::non_unit, 4, 3, 0.0,
+              a.data(), 4, b.data(), 4);
+  EXPECT_EQ(max_abs(b.view()), 0.0);
+}
+
+TEST(Trsm, IdentitySolveIsScale) {
+  Matrix a(5, 5);
+  set_identity(a.view());
+  Rng rng(6);
+  Matrix b = random_matrix(5, 4, rng);
+  Matrix x(5, 4);
+  copy(b.view(), x.view());
+  blas::dtrsm(Side::left, Uplo::upper, Trans::no, Diag::non_unit, 5, 4, 2.0,
+              a.data(), 5, x.data(), 5);
+  for (index_t j = 0; j < 4; ++j) {
+    for (index_t i = 0; i < 5; ++i) {
+      EXPECT_DOUBLE_EQ(x(i, j), 2.0 * b(i, j));
+    }
+  }
+}
+
+// ------------------------------------------------------------------- LU
+
+class LuSizes : public ::testing::TestWithParam<std::tuple<index_t, index_t>> {
+};
+
+TEST_P(LuSizes, FactorAndSolve) {
+  const auto [n, block] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n * 31 + block));
+  Matrix a = random_matrix(n, n, rng);
+  // Diagonal boost keeps the condition number moderate.
+  for (index_t i = 0; i < n; ++i) a(i, i) += 4.0;
+  Matrix b = random_matrix(n, 3, rng);
+
+  solver::LuOptions opts;
+  opts.block = block;
+  solver::LuStats stats;
+  const solver::LuFactors f = solver::lu_factor(a.view(), opts, &stats);
+  ASSERT_EQ(f.info, 0);
+  const Matrix x = solver::lu_solve(f, b.view());
+  EXPECT_LT(solver::relative_residual(a.view(), x.view(), b.view()), 1e-13)
+      << "n=" << n << " block=" << block;
+  if (n > block) {
+    EXPECT_GT(stats.gemm_calls, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, LuSizes,
+    ::testing::Combine(::testing::Values<index_t>(1, 2, 5, 16, 33, 64, 100,
+                                                  130),
+                       ::testing::Values<index_t>(1, 8, 64)));
+
+TEST(Lu, ReconstructsPaEqualsLu) {
+  const index_t n = 40;
+  Rng rng(17);
+  Matrix a = random_matrix(n, n, rng);
+  solver::LuOptions opts;
+  opts.block = 13;  // non-divisor block width
+  const solver::LuFactors f = solver::lu_factor(a.view(), opts);
+  ASSERT_EQ(f.info, 0);
+
+  // Build L and U from the packed factors.
+  Matrix l(n, n), u(n, n);
+  fill(l.view(), 0.0);
+  fill(u.view(), 0.0);
+  for (index_t j = 0; j < n; ++j) {
+    l(j, j) = 1.0;
+    for (index_t i = j + 1; i < n; ++i) l(i, j) = f.lu(i, j);
+    for (index_t i = 0; i <= j; ++i) u(i, j) = f.lu(i, j);
+  }
+  Matrix lu_prod(n, n);
+  blas::gemm_reference(Trans::no, Trans::no, n, n, n, 1.0, l.data(), n,
+                       u.data(), n, 0.0, lu_prod.data(), n);
+
+  // Apply the recorded pivots to A in factorization order.
+  Matrix pa(n, n);
+  copy(a.view(), pa.view());
+  for (index_t k = 0; k < n; ++k) {
+    const index_t piv = f.ipiv[static_cast<std::size_t>(k)];
+    if (piv != k) {
+      for (index_t j = 0; j < n; ++j) std::swap(pa(k, j), pa(piv, j));
+    }
+  }
+  EXPECT_LT(max_abs_diff(pa.view(), lu_prod.view()), 1e-12);
+}
+
+TEST(Lu, DetectsExactSingularity) {
+  Matrix a(5, 5);
+  fill(a.view(), 0.0);
+  // Rank-1 matrix: every 2x2 minor vanishes.
+  for (index_t j = 0; j < 5; ++j) {
+    for (index_t i = 0; i < 5; ++i) a(i, j) = double(i + 1) * double(j + 1);
+  }
+  const solver::LuFactors f = solver::lu_factor(a.view());
+  EXPECT_GT(f.info, 0);
+}
+
+TEST(Lu, PivotingHandlesZeroLeadingElement) {
+  // [[0, 1], [1, 0]] requires a pivot swap immediately.
+  Matrix a(2, 2);
+  a(0, 0) = 0;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 0;
+  const solver::LuFactors f = solver::lu_factor(a.view());
+  ASSERT_EQ(f.info, 0);
+  Matrix b(2, 1);
+  b(0, 0) = 3;
+  b(1, 0) = 7;
+  const Matrix x = solver::lu_solve(f, b.view());
+  EXPECT_NEAR(x(0, 0), 7.0, 1e-14);
+  EXPECT_NEAR(x(1, 0), 3.0, 1e-14);
+}
+
+TEST(Lu, BlockedAndUnblockedAgree) {
+  const index_t n = 96;
+  Rng rng(3);
+  Matrix a = random_matrix(n, n, rng);
+  for (index_t i = 0; i < n; ++i) a(i, i) += 4.0;
+  solver::LuOptions unblocked;
+  unblocked.block = 1;
+  solver::LuOptions blocked;
+  blocked.block = 32;
+  const solver::LuFactors f1 = solver::lu_factor(a.view(), unblocked);
+  const solver::LuFactors f2 = solver::lu_factor(a.view(), blocked);
+  ASSERT_EQ(f1.info, 0);
+  ASSERT_EQ(f2.info, 0);
+  // Identical pivot sequences (pivot choice does not depend on blocking).
+  EXPECT_EQ(f1.ipiv, f2.ipiv);
+  EXPECT_LT(max_abs_diff(f1.lu.view(), f2.lu.view()), 1e-10);
+}
+
+TEST(Lu, DgefmmBackendMatchesDgemmBackend) {
+  const index_t n = 150;
+  Rng rng(8);
+  Matrix a = random_matrix(n, n, rng);
+  for (index_t i = 0; i < n; ++i) a(i, i) += 4.0;
+  Matrix b = random_matrix(n, 2, rng);
+
+  solver::LuOptions base;
+  base.block = 32;
+  base.gemm = core::gemm_backend_dgemm();
+  solver::LuOptions fast = base;
+  // Force Strassen recursion even at these test sizes.
+  fast.gemm = [](Trans ta, Trans tb, index_t m, index_t nn, index_t k,
+                 double alpha, const double* aa, index_t lda,
+                 const double* bb, index_t ldb, double beta, double* cc,
+                 index_t ldc) {
+    core::DgefmmConfig cfg;
+    cfg.cutoff = core::CutoffCriterion::square_simple(16);
+    core::dgefmm(ta, tb, m, nn, k, alpha, aa, lda, bb, ldb, beta, cc, ldc,
+                 cfg);
+  };
+
+  const solver::LuFactors f1 = solver::lu_factor(a.view(), base);
+  const solver::LuFactors f2 = solver::lu_factor(a.view(), fast);
+  ASSERT_EQ(f1.info, 0);
+  ASSERT_EQ(f2.info, 0);
+  const Matrix x1 = solver::lu_solve(f1, b.view());
+  const Matrix x2 = solver::lu_solve(f2, b.view());
+  EXPECT_LT(solver::relative_residual(a.view(), x1.view(), b.view()), 1e-13);
+  EXPECT_LT(solver::relative_residual(a.view(), x2.view(), b.view()), 1e-12);
+}
+
+TEST(Lu, IterativeRefinementImprovesResidual) {
+  const index_t n = 120;
+  Rng rng(21);
+  Matrix a = random_matrix(n, n, rng);
+  for (index_t i = 0; i < n; ++i) a(i, i) += 2.0;
+  Matrix b = random_matrix(n, 2, rng);
+
+  solver::LuOptions opts;
+  opts.block = 24;
+  // Aggressive Strassen inside the factorization (cutoff far below
+  // profitable sizes) to give refinement something to clean up.
+  opts.gemm = [](Trans ta, Trans tb, index_t m, index_t nn, index_t k,
+                 double alpha, const double* aa, index_t lda,
+                 const double* bb, index_t ldb, double beta, double* cc,
+                 index_t ldc) {
+    core::DgefmmConfig cfg;
+    cfg.cutoff = core::CutoffCriterion::square_simple(8);
+    core::dgefmm(ta, tb, m, nn, k, alpha, aa, lda, bb, ldb, beta, cc, ldc,
+                 cfg);
+  };
+  const solver::LuFactors f = solver::lu_factor(a.view(), opts);
+  ASSERT_EQ(f.info, 0);
+  Matrix x = solver::lu_solve(f, b.view());
+  const double before =
+      solver::relative_residual(a.view(), x.view(), b.view());
+  const double after = solver::lu_refine(f, a.view(), b.view(), x.view(), 2);
+  EXPECT_LE(after, before * 1.01);  // never worse
+  EXPECT_LT(after, 1e-15);          // and essentially at working accuracy
+}
+
+TEST(Lu, RefinementIsStableOnAlreadyGoodSolution) {
+  const index_t n = 60;
+  Rng rng(22);
+  Matrix a = random_matrix(n, n, rng);
+  for (index_t i = 0; i < n; ++i) a(i, i) += 4.0;
+  Matrix b = random_matrix(n, 1, rng);
+  const solver::LuFactors f = solver::lu_factor(a.view());
+  ASSERT_EQ(f.info, 0);
+  Matrix x = solver::lu_solve(f, b.view());
+  const double r1 = solver::lu_refine(f, a.view(), b.view(), x.view(), 3);
+  EXPECT_LT(r1, 1e-15);
+}
+
+TEST(Lu, MultipleRightHandSides) {
+  const index_t n = 64, nrhs = 17;
+  Rng rng(10);
+  Matrix a = random_matrix(n, n, rng);
+  for (index_t i = 0; i < n; ++i) a(i, i) += 4.0;
+  Matrix b = random_matrix(n, nrhs, rng);
+  const solver::LuFactors f = solver::lu_factor(a.view());
+  ASSERT_EQ(f.info, 0);
+  const Matrix x = solver::lu_solve(f, b.view());
+  EXPECT_LT(solver::relative_residual(a.view(), x.view(), b.view()), 1e-13);
+}
+
+}  // namespace
+}  // namespace strassen

@@ -1,0 +1,140 @@
+// Numerical stability tests. The paper's introduction leans on Brent's and
+// Higham's analyses: Strassen's algorithm satisfies a normwise (not
+// elementwise) error bound that grows by a modest constant per recursion
+// level, which is "stable enough to be ... considered seriously". These
+// tests check that behaviour empirically against a long-double reference.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/dgefmm.hpp"
+#include "support/matrix.hpp"
+#include "support/random.hpp"
+
+namespace strassen {
+namespace {
+
+// Naive product accumulated in long double: the "truth" for error
+// measurements (its own error is ~ eps_ld * k, far below double noise).
+Matrix long_double_product(const Matrix& a, const Matrix& b) {
+  const index_t m = a.rows(), k = a.cols(), n = b.cols();
+  Matrix c(m, n);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < m; ++i) {
+      long double sum = 0.0L;
+      for (index_t p = 0; p < k; ++p) {
+        sum += static_cast<long double>(a(i, p)) *
+               static_cast<long double>(b(p, j));
+      }
+      c(i, j) = static_cast<double>(sum);
+    }
+  }
+  return c;
+}
+
+double max_error_at_depth(const Matrix& a, const Matrix& b,
+                          const Matrix& truth, int depth,
+                          core::Scheme scheme) {
+  const index_t m = a.rows(), n = b.cols(), k = a.cols();
+  Matrix c(m, n);
+  fill(c.view(), 0.0);
+  core::DgefmmConfig cfg;
+  cfg.cutoff = core::CutoffCriterion::fixed_depth(depth);
+  cfg.scheme = scheme;
+  core::dgefmm(Trans::no, Trans::no, m, n, k, 1.0, a.data(), a.ld(),
+               b.data(), b.ld(), 0.0, c.data(), c.ld(), cfg);
+  return max_abs_diff(c.view(), truth.view());
+}
+
+class StabilityFixture : public ::testing::Test {
+ protected:
+  static constexpr index_t kN = 192;
+  void SetUp() override {
+    Rng rng(808);
+    a_ = random_matrix(kN, kN, rng);
+    b_ = random_matrix(kN, kN, rng);
+    truth_ = long_double_product(a_, b_);
+  }
+  Matrix a_, b_, truth_;
+};
+
+TEST_F(StabilityFixture, BaselineDgemmErrorIsTiny) {
+  // Conventional multiplication: elementwise bound ~ k * eps.
+  const double err = max_error_at_depth(a_, b_, truth_, 0,
+                                        core::Scheme::automatic);
+  EXPECT_LT(err, 1e-13);
+}
+
+TEST_F(StabilityFixture, WinogradErrorStaysWithinNormwiseBound) {
+  // Higham's bound for the Winograd variant: |C - C_hat| <= c * n^(log2 18)
+  // * u * ||A||_max ||B||_max (normwise). With n = 192 and u ~ 1.1e-16 that
+  // is ~1e-9 with a generous constant; real errors land far below.
+  for (int depth = 1; depth <= 4; ++depth) {
+    const double err = max_error_at_depth(a_, b_, truth_, depth,
+                                          core::Scheme::automatic);
+    EXPECT_LT(err, 1e-10) << "depth " << depth;
+  }
+}
+
+TEST_F(StabilityFixture, ErrorGrowsOnlyModeratelyPerLevel) {
+  // Each recursion level may lose a small constant factor; 4 levels must
+  // not blow the error up by more than ~3 orders of magnitude over the
+  // conventional algorithm.
+  const double base = std::max(
+      max_error_at_depth(a_, b_, truth_, 0, core::Scheme::automatic), 1e-16);
+  const double deep =
+      max_error_at_depth(a_, b_, truth_, 4, core::Scheme::automatic);
+  EXPECT_LT(deep / base, 1e3);
+}
+
+TEST_F(StabilityFixture, OriginalVariantAlsoStable) {
+  const double err =
+      max_error_at_depth(a_, b_, truth_, 3, core::Scheme::original);
+  EXPECT_LT(err, 1e-10);
+}
+
+TEST_F(StabilityFixture, Strassen2AccumulationStable) {
+  // beta != 0 exercises the multiply-accumulate path.
+  Matrix c(kN, kN), c_truth(kN, kN);
+  Rng rng(9);
+  fill_random(c.view(), rng);
+  copy(c.view(), c_truth.view());
+  for (index_t j = 0; j < kN; ++j) {
+    for (index_t i = 0; i < kN; ++i) {
+      c_truth(i, j) = 0.5 * c_truth(i, j) + truth_(i, j);
+    }
+  }
+  core::DgefmmConfig cfg;
+  cfg.cutoff = core::CutoffCriterion::fixed_depth(3);
+  core::dgefmm(Trans::no, Trans::no, kN, kN, kN, 1.0, a_.data(), a_.ld(),
+               b_.data(), b_.ld(), 0.5, c.data(), c.ld(), cfg);
+  EXPECT_LT(max_abs_diff(c.view(), c_truth.view()), 1e-10);
+}
+
+TEST(Stability, ScalingInvariance) {
+  // Strassen's normwise bound scales with ||A|| ||B||: scaling A by 2^20
+  // must scale the error by ~2^20, not blow it up disproportionately.
+  Rng rng(11);
+  const index_t n = 128;
+  Matrix a = random_matrix(n, n, rng);
+  Matrix b = random_matrix(n, n, rng);
+  const Matrix truth_small = long_double_product(a, b);
+  const double err_small =
+      max_error_at_depth(a, b, truth_small, 3, core::Scheme::automatic);
+
+  const double scale = 1048576.0;  // 2^20, exactly representable
+  Matrix a_big(n, n);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < n; ++i) a_big(i, j) = a(i, j) * scale;
+  }
+  const Matrix truth_big = long_double_product(a_big, b);
+  const double err_big =
+      max_error_at_depth(a_big, b, truth_big, 3, core::Scheme::automatic);
+  // Power-of-two scaling is exact in floating point, so the errors scale
+  // exactly.
+  EXPECT_NEAR(err_big / scale, err_small, 1e-12);
+}
+
+}  // namespace
+}  // namespace strassen

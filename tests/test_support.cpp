@@ -1,0 +1,216 @@
+// Unit tests for the support layer: arena, views, stats, tables, RNG.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/arena.hpp"
+#include "support/matrix.hpp"
+#include "support/random.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace strassen {
+namespace {
+
+TEST(Arena, AllocatesAndTracksPeak) {
+  Arena arena(100);
+  EXPECT_EQ(arena.capacity(), 100u);
+  double* a = arena.alloc(40);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(arena.in_use(), 40u);
+  {
+    ArenaScope scope(arena);
+    arena.alloc(50);
+    EXPECT_EQ(arena.in_use(), 90u);
+  }
+  EXPECT_EQ(arena.in_use(), 40u);
+  EXPECT_EQ(arena.peak(), 90u);  // high-water survives release
+  arena.reset();
+  EXPECT_EQ(arena.in_use(), 0u);
+  EXPECT_EQ(arena.peak(), 0u);
+}
+
+TEST(Arena, ThrowsOnExhaustion) {
+  Arena arena(10);
+  arena.alloc(8);
+  EXPECT_THROW(arena.alloc(3), WorkspaceError);
+  // A failed allocation must not corrupt the stack.
+  EXPECT_EQ(arena.in_use(), 8u);
+  EXPECT_NO_THROW(arena.alloc(2));
+}
+
+TEST(Arena, ReserveOnlyWhenEmpty) {
+  Arena arena(4);
+  arena.reserve(100);
+  EXPECT_GE(arena.capacity(), 100u);
+  arena.alloc(1);
+  EXPECT_THROW(arena.reserve(200), WorkspaceError);
+}
+
+TEST(ArenaScope, NestedScopesRestoreInOrder) {
+  Arena arena(64);
+  arena.alloc(4);
+  {
+    ArenaScope outer(arena);
+    arena.alloc(8);
+    {
+      ArenaScope inner(arena);
+      arena.alloc(16);
+      EXPECT_EQ(arena.in_use(), 28u);
+    }
+    EXPECT_EQ(arena.in_use(), 12u);
+  }
+  EXPECT_EQ(arena.in_use(), 4u);
+}
+
+TEST(MatrixView, ColumnMajorIndexing) {
+  Matrix m(3, 2);
+  m(0, 0) = 1;
+  m(1, 0) = 2;
+  m(2, 0) = 3;
+  m(0, 1) = 4;
+  m(1, 1) = 5;
+  m(2, 1) = 6;
+  // Column-major: the first column is contiguous.
+  EXPECT_EQ(m.data()[0], 1);
+  EXPECT_EQ(m.data()[1], 2);
+  EXPECT_EQ(m.data()[2], 3);
+  EXPECT_EQ(m.data()[3], 4);
+  ConstView v = m.view();
+  EXPECT_TRUE(v.col_major());
+  EXPECT_EQ(v(2, 1), 6);
+}
+
+TEST(MatrixView, TransposedViewSwapsIndices) {
+  Matrix m(2, 3);
+  for (index_t j = 0; j < 3; ++j)
+    for (index_t i = 0; i < 2; ++i) m(i, j) = static_cast<double>(10 * i + j);
+  ConstView t = m.view().transposed();
+  EXPECT_EQ(t.rows, 3);
+  EXPECT_EQ(t.cols, 2);
+  EXPECT_TRUE(t.row_major());
+  for (index_t j = 0; j < 3; ++j)
+    for (index_t i = 0; i < 2; ++i) EXPECT_EQ(t(j, i), m(i, j));
+}
+
+TEST(MatrixView, BlockOfTransposedView) {
+  Matrix m(4, 6);
+  for (index_t j = 0; j < 6; ++j)
+    for (index_t i = 0; i < 4; ++i) m(i, j) = static_cast<double>(i + 10 * j);
+  ConstView t = m.view().transposed();     // 6 x 4
+  ConstView blk = t.block(2, 1, 3, 2);     // rows 2..4 of t, cols 1..2
+  for (index_t i = 0; i < 3; ++i)
+    for (index_t j = 0; j < 2; ++j) EXPECT_EQ(blk(i, j), m(1 + j, 2 + i));
+}
+
+TEST(MatrixView, OpViewMatchesDgemmConvention) {
+  // Stored A is 3 x 2; op(A) with transpose is 2 x 3.
+  Matrix a(3, 2);
+  for (index_t j = 0; j < 2; ++j)
+    for (index_t i = 0; i < 3; ++i) a(i, j) = static_cast<double>(i - j);
+  ConstView v = make_op_view(Trans::transpose, a.data(), 3, 2, a.ld());
+  EXPECT_EQ(v.rows, 2);
+  EXPECT_EQ(v.cols, 3);
+  EXPECT_EQ(v(1, 2), a(2, 1));
+}
+
+TEST(MatrixHelpers, CopyFillDiffNorm) {
+  Rng rng(7);
+  Matrix a = random_matrix(5, 7, rng);
+  Matrix b(5, 7);
+  copy(a.view(), b.view());
+  EXPECT_EQ(max_abs_diff(a.view(), b.view()), 0.0);
+  b(4, 6) += 0.5;
+  EXPECT_DOUBLE_EQ(max_abs_diff(a.view(), b.view()), 0.5);
+  fill(b.view(), 0.0);
+  EXPECT_EQ(max_abs(b.view()), 0.0);
+  EXPECT_EQ(frobenius_norm(b.view()), 0.0);
+  set_identity(b.view());
+  EXPECT_DOUBLE_EQ(frobenius_norm(b.view()), std::sqrt(5.0));
+}
+
+TEST(Stats, SummaryOfKnownSample) {
+  // 1..9: median 5, quartiles 3 and 7 under the R-7 definition.
+  std::vector<double> v{9, 1, 8, 2, 7, 3, 6, 4, 5};
+  Summary s = summarize(v);
+  EXPECT_EQ(s.count, 9u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_DOUBLE_EQ(s.median, 5.0);
+  EXPECT_DOUBLE_EQ(s.q1, 3.0);
+  EXPECT_DOUBLE_EQ(s.q3, 7.0);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+}
+
+TEST(Stats, SingleAndEmptySamples) {
+  Summary s1 = summarize({2.5});
+  EXPECT_DOUBLE_EQ(s1.median, 2.5);
+  EXPECT_DOUBLE_EQ(s1.q1, 2.5);
+  Summary s0 = summarize({});
+  EXPECT_EQ(s0.count, 0u);
+  EXPECT_EQ(s0.mean, 0.0);
+}
+
+TEST(Stats, QuartileInterpolation) {
+  Summary s = summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_DOUBLE_EQ(s.q1, 1.75);
+  EXPECT_DOUBLE_EQ(s.q3, 3.25);
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta-longer", "2.5"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("beta-longer"), std::string::npos);
+  // Four lines: header, rule, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(Fmt, FixedPrecision) {
+  EXPECT_EQ(fmt(1.23456, 3), "1.235");
+  EXPECT_EQ(fmt(2.0, 1), "2.0");
+  EXPECT_EQ(fmt(7LL), "7");
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+  Rng c(43);
+  bool any_diff = false;
+  Rng a2(42);
+  for (int i = 0; i < 100; ++i) {
+    if (a2.uniform() != c.uniform()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, SymmetricFill) {
+  Rng rng(3);
+  Matrix s(9, 9);
+  fill_random_symmetric(s.view(), rng);
+  for (index_t j = 0; j < 9; ++j)
+    for (index_t i = 0; i < 9; ++i) EXPECT_EQ(s(i, j), s(j, i));
+}
+
+TEST(Rng, UniformIndexInRange) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const index_t v = rng.uniform_index(5, 9);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 9);
+  }
+}
+
+}  // namespace
+}  // namespace strassen

@@ -1,0 +1,195 @@
+// Workspace accounting tests: the measured arena high-water mark must equal
+// the exact predictor and respect the paper's closed-form bounds (Section
+// 3.2, Table 1).
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "core/dgefmm.hpp"
+#include "core/workspace.hpp"
+#include "support/random.hpp"
+
+namespace strassen {
+namespace {
+
+using core::CutoffCriterion;
+using core::DgefmmConfig;
+using core::DgefmmStats;
+using core::OddStrategy;
+using core::Scheme;
+
+struct Shape {
+  index_t m, n, k;
+};
+
+const std::vector<Shape> kShapes = {
+    {64, 64, 64},  {65, 65, 65},   {63, 65, 64},  {100, 40, 70},
+    {40, 100, 70}, {128, 128, 128}, {129, 127, 125}, {30, 200, 30},
+    {17, 17, 17},
+};
+
+std::size_t measured_peak(const Shape& s, double beta,
+                          const DgefmmConfig& base_cfg) {
+  DgefmmConfig cfg = base_cfg;
+  Arena arena;
+  cfg.workspace = &arena;
+  Rng rng(101);
+  Matrix a = random_matrix(s.m, s.k, rng);
+  Matrix b = random_matrix(s.k, s.n, rng);
+  Matrix c = random_matrix(s.m, s.n, rng);
+  EXPECT_EQ(core::dgefmm(Trans::no, Trans::no, s.m, s.n, s.k, 1.0, a.data(),
+                         s.m, b.data(), s.k, beta, c.data(), s.m, cfg),
+            0);
+  return arena.peak();
+}
+
+class WorkspaceExactness
+    : public ::testing::TestWithParam<
+          std::tuple<Scheme, OddStrategy, int, double>> {};
+
+TEST_P(WorkspaceExactness, MeasuredPeakEqualsPredictor) {
+  const auto [scheme, odd, si, beta] = GetParam();
+  const Shape s = kShapes[static_cast<std::size_t>(si)];
+  DgefmmConfig cfg;
+  cfg.cutoff = CutoffCriterion::square_simple(8);
+  cfg.scheme = scheme;
+  cfg.odd = odd;
+  const count_t predicted =
+      core::dgefmm_workspace_doubles(s.m, s.n, s.k, beta, cfg);
+  const std::size_t peak = measured_peak(s, beta, cfg);
+  EXPECT_EQ(static_cast<count_t>(peak), predicted)
+      << "m=" << s.m << " n=" << s.n << " k=" << s.k << " beta=" << beta;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, WorkspaceExactness,
+    ::testing::Combine(
+        ::testing::Values(Scheme::automatic, Scheme::strassen1,
+                          Scheme::strassen2, Scheme::original),
+        ::testing::Values(OddStrategy::dynamic_peeling,
+                          OddStrategy::dynamic_padding,
+                          OddStrategy::static_padding),
+        ::testing::Range(0, static_cast<int>(kShapes.size())),
+        ::testing::Values(0.0, 1.0)));
+
+TEST(WorkspaceBounds, Strassen1Beta0WithinPaperBound) {
+  // Paper: extra storage <= (m*max(k,n) + kn)/3 for STRASSEN1, beta = 0.
+  DgefmmConfig cfg;
+  cfg.cutoff = CutoffCriterion::square_simple(8);
+  cfg.scheme = Scheme::strassen1;
+  for (const Shape& s : kShapes) {
+    const count_t need = core::dgefmm_workspace_doubles(s.m, s.n, s.k, 0.0, cfg);
+    EXPECT_LE(static_cast<double>(need),
+              core::bound_strassen1_beta0(s.m, s.k, s.n) + 1.0)
+        << s.m << " " << s.n << " " << s.k;
+  }
+}
+
+TEST(WorkspaceBounds, Strassen2WithinPaperBound) {
+  // Paper: extra storage <= (mk + kn + mn)/3 for STRASSEN2 -- "the minimum
+  // number possible".
+  DgefmmConfig cfg;
+  cfg.cutoff = CutoffCriterion::square_simple(8);
+  cfg.scheme = Scheme::strassen2;
+  for (const Shape& s : kShapes) {
+    const count_t need = core::dgefmm_workspace_doubles(s.m, s.n, s.k, 1.0, cfg);
+    EXPECT_LE(static_cast<double>(need),
+              core::bound_strassen2(s.m, s.k, s.n) + 1.0)
+        << s.m << " " << s.n << " " << s.k;
+  }
+}
+
+TEST(WorkspaceBounds, Strassen1GeneralWithinPaperBound) {
+  DgefmmConfig cfg;
+  cfg.cutoff = CutoffCriterion::square_simple(8);
+  cfg.scheme = Scheme::strassen1;
+  for (const Shape& s : kShapes) {
+    const count_t need = core::dgefmm_workspace_doubles(s.m, s.n, s.k, 1.0, cfg);
+    EXPECT_LE(static_cast<double>(need),
+              core::bound_strassen1_general(s.m, s.k, s.n) + 1.0)
+        << s.m << " " << s.n << " " << s.k;
+  }
+}
+
+TEST(WorkspaceBounds, SquareAsymptoticCoefficients) {
+  // Table 1 coefficients for order-m matrices under deep recursion:
+  //   DGEFMM beta == 0 : 2/3 m^2, DGEFMM beta != 0 : 1 m^2,
+  //   STRASSEN1 beta != 0 : 2 m^2.
+  const index_t m = 1024;
+  DgefmmConfig cfg;
+  cfg.cutoff = CutoffCriterion::fixed_depth(6);
+  const double m2 = static_cast<double>(m) * m;
+
+  cfg.scheme = Scheme::automatic;
+  const double c_beta0 =
+      static_cast<double>(core::dgefmm_workspace_doubles(m, m, m, 0.0, cfg)) /
+      m2;
+  EXPECT_GT(c_beta0, 0.60);
+  EXPECT_LE(c_beta0, 2.0 / 3.0 + 1e-9);
+
+  const double c_general =
+      static_cast<double>(core::dgefmm_workspace_doubles(m, m, m, 1.0, cfg)) /
+      m2;
+  EXPECT_GT(c_general, 0.95);
+  EXPECT_LE(c_general, 1.0 + 1e-9);
+
+  // STRASSEN1 with beta != 0 uses the six-temporary level only at the top
+  // (its seven sub-products are beta == 0), so the exact requirement is
+  // 3/2 m^2 + m^2/6 = 5/3 m^2 -- below the paper's all-levels-general bound
+  // of 2 m^2.
+  cfg.scheme = Scheme::strassen1;
+  const double c_s1_general =
+      static_cast<double>(core::dgefmm_workspace_doubles(m, m, m, 1.0, cfg)) /
+      m2;
+  EXPECT_GT(c_s1_general, 1.60);
+  EXPECT_LE(c_s1_general, 2.0 + 1e-9);
+}
+
+TEST(WorkspaceBounds, PeelingNeedsNoExtraMemoryOverEvenCore) {
+  // Dynamic peeling adds zero workspace: an odd problem costs exactly what
+  // its even core costs.
+  DgefmmConfig cfg;
+  cfg.cutoff = CutoffCriterion::square_simple(8);
+  const count_t odd = core::dgefmm_workspace_doubles(65, 65, 65, 0.0, cfg);
+  const count_t even = core::dgefmm_workspace_doubles(64, 64, 64, 0.0, cfg);
+  EXPECT_EQ(odd, even);
+}
+
+TEST(WorkspaceBounds, DynamicPaddingCostsMoreThanPeelingOnOddSizes) {
+  DgefmmConfig peel, pad;
+  peel.cutoff = pad.cutoff = CutoffCriterion::square_simple(8);
+  peel.odd = OddStrategy::dynamic_peeling;
+  pad.odd = OddStrategy::dynamic_padding;
+  const count_t w_peel = core::dgefmm_workspace_doubles(65, 65, 65, 0.0, peel);
+  const count_t w_pad = core::dgefmm_workspace_doubles(65, 65, 65, 0.0, pad);
+  EXPECT_GT(w_pad, w_peel);
+  // Padding at the top level alone costs three padded operand copies,
+  // ~3*66^2 doubles.
+  EXPECT_GT(w_pad - w_peel, 3 * 60 * 60);
+}
+
+TEST(WorkspaceBounds, NoRecursionNeedsNoWorkspace) {
+  DgefmmConfig cfg;
+  cfg.cutoff = CutoffCriterion::never_recurse();
+  EXPECT_EQ(core::dgefmm_workspace_doubles(500, 500, 500, 0.0, cfg), 0);
+}
+
+TEST(WorkspaceError, UndersizedCallerArenaThrows) {
+  DgefmmConfig cfg;
+  cfg.cutoff = CutoffCriterion::square_simple(8);
+  Arena arena(16);     // far too small
+  arena.alloc(1);      // mark in use so dgefmm cannot silently regrow it
+  cfg.workspace = &arena;
+  Rng rng(5);
+  Matrix a = random_matrix(64, 64, rng);
+  Matrix b = random_matrix(64, 64, rng);
+  Matrix c(64, 64);
+  fill(c.view(), 0.0);
+  EXPECT_THROW(core::dgefmm(Trans::no, Trans::no, 64, 64, 64, 1.0, a.data(),
+                            64, b.data(), 64, 0.0, c.data(), 64, cfg),
+               WorkspaceError);
+}
+
+}  // namespace
+}  // namespace strassen

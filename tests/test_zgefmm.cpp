@@ -1,0 +1,176 @@
+// Tests for the complex extension: 3M ZGEFMM and the 4M baseline against a
+// complex reference over shapes, op in {N, T, C}, and complex alpha/beta.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <tuple>
+#include <vector>
+
+#include "core/dgefmm.hpp"
+#include "core/zgefmm.hpp"
+#include "support/matrix.hpp"
+#include "support/random.hpp"
+
+namespace strassen {
+namespace {
+
+using cplx = std::complex<double>;
+
+std::vector<cplx> random_complex(index_t rows, index_t cols, Rng& rng) {
+  std::vector<cplx> v(static_cast<std::size_t>(rows * cols));
+  for (auto& x : v) x = cplx(rng.uniform(), rng.uniform());
+  return v;
+}
+
+double max_abs_diff_z(const std::vector<cplx>& a, const std::vector<cplx>& b) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::abs(a[i] - b[i]));
+  }
+  return worst;
+}
+
+struct ZCase {
+  index_t m, n, k;
+  Trans ta, tb;
+  cplx alpha, beta;
+};
+
+class ZgefmmSweep : public ::testing::TestWithParam<int> {};
+
+std::vector<ZCase> zcases() {
+  std::vector<ZCase> cases;
+  const std::vector<std::tuple<index_t, index_t, index_t>> shapes = {
+      {1, 1, 1},    {8, 8, 8},    {33, 33, 33}, {17, 40, 25},
+      {64, 64, 64}, {65, 63, 61}, {2, 50, 2},
+  };
+  const Trans ops[] = {Trans::no, Trans::transpose, Trans::conj_transpose};
+  int i = 0;
+  for (const auto& [m, n, k] : shapes) {
+    const Trans ta = ops[i % 3];
+    const Trans tb = ops[(i + 1) % 3];
+    ++i;
+    cases.push_back({m, n, k, ta, tb, cplx(1.0, 0.0), cplx(0.0, 0.0)});
+    cases.push_back({m, n, k, ta, tb, cplx(0.5, -1.5), cplx(2.0, 0.25)});
+  }
+  return cases;
+}
+
+TEST_P(ZgefmmSweep, MatchesComplexReference) {
+  const ZCase cs = zcases()[static_cast<std::size_t>(GetParam())];
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 7);
+  const index_t a_rows = is_trans(cs.ta) ? cs.k : cs.m;
+  const index_t a_cols = is_trans(cs.ta) ? cs.m : cs.k;
+  const index_t b_rows = is_trans(cs.tb) ? cs.n : cs.k;
+  const index_t b_cols = is_trans(cs.tb) ? cs.k : cs.n;
+  const auto a = random_complex(a_rows, a_cols, rng);
+  const auto b = random_complex(b_rows, b_cols, rng);
+  auto c0 = random_complex(cs.m, cs.n, rng);
+  auto c_fmm = c0;
+  auto c_4m = c0;
+  auto c_ref = c0;
+
+  core::DgefmmConfig cfg;
+  cfg.cutoff = core::CutoffCriterion::square_simple(8);
+  ASSERT_EQ(core::zgefmm(cs.ta, cs.tb, cs.m, cs.n, cs.k, cs.alpha, a.data(),
+                         a_rows, b.data(), b_rows, cs.beta, c_fmm.data(),
+                         cs.m, cfg),
+            0);
+  ASSERT_EQ(core::zgemm4m(cs.ta, cs.tb, cs.m, cs.n, cs.k, cs.alpha, a.data(),
+                          a_rows, b.data(), b_rows, cs.beta, c_4m.data(),
+                          cs.m),
+            0);
+  core::zgemm_reference(cs.ta, cs.tb, cs.m, cs.n, cs.k, cs.alpha, a.data(),
+                        a_rows, b.data(), b_rows, cs.beta, c_ref.data(),
+                        cs.m);
+
+  const double tol = 1e-11 * (static_cast<double>(cs.k) + 10.0);
+  EXPECT_LT(max_abs_diff_z(c_fmm, c_ref), tol) << "zgefmm";
+  EXPECT_LT(max_abs_diff_z(c_4m, c_ref), tol) << "zgemm4m";
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, ZgefmmSweep,
+                         ::testing::Range(0,
+                                          static_cast<int>(zcases().size())));
+
+TEST(Zgefmm, ConjTransposeActuallyConjugates) {
+  // A single element makes the conjugation visible: (2+3i)^H = 2-3i.
+  const cplx a(2.0, 3.0), b(1.0, 0.0);
+  cplx c(0.0, 0.0);
+  ASSERT_EQ(core::zgefmm(Trans::conj_transpose, Trans::no, 1, 1, 1,
+                         cplx(1.0), &a, 1, &b, 1, cplx(0.0), &c, 1),
+            0);
+  EXPECT_DOUBLE_EQ(c.real(), 2.0);
+  EXPECT_DOUBLE_EQ(c.imag(), -3.0);
+}
+
+TEST(Zgefmm, AlphaZeroScalesByBeta) {
+  auto rngless = std::vector<cplx>{cplx(1, 1), cplx(2, -1), cplx(0, 3),
+                                   cplx(4, 4)};
+  auto c = rngless;
+  ASSERT_EQ(core::zgefmm(Trans::no, Trans::no, 2, 2, 2, cplx(0.0),
+                         rngless.data(), 2, rngless.data(), 2, cplx(0.0, 1.0),
+                         c.data(), 2),
+            0);
+  // beta = i rotates each entry by 90 degrees.
+  EXPECT_DOUBLE_EQ(c[0].real(), -1.0);
+  EXPECT_DOUBLE_EQ(c[0].imag(), 1.0);
+}
+
+TEST(Zgefmm, InfoCodes) {
+  std::vector<cplx> a(64), b(64), c(64);
+  EXPECT_EQ(core::zgefmm(Trans::no, Trans::no, -1, 8, 8, cplx(1.0), a.data(),
+                         8, b.data(), 8, cplx(0.0), c.data(), 8),
+            3);
+  EXPECT_EQ(core::zgefmm(Trans::no, Trans::no, 8, 8, 8, cplx(1.0), a.data(),
+                         4, b.data(), 8, cplx(0.0), c.data(), 8),
+            8);
+  EXPECT_EQ(core::zgemm4m(Trans::no, Trans::no, 8, 8, 8, cplx(1.0), a.data(),
+                          8, b.data(), 8, cplx(0.0), c.data(), 4),
+            13);
+}
+
+TEST(Zgefmm, ExternalArenaReused) {
+  Rng rng(12);
+  const index_t n = 48;
+  const auto a = random_complex(n, n, rng);
+  const auto b = random_complex(n, n, rng);
+  auto c = random_complex(n, n, rng);
+  core::DgefmmConfig cfg;
+  cfg.cutoff = core::CutoffCriterion::square_simple(8);
+  Arena arena;
+  cfg.workspace = &arena;
+  ASSERT_EQ(core::zgefmm(Trans::no, Trans::no, n, n, n, cplx(1.0), a.data(),
+                         n, b.data(), n, cplx(0.5, 0.5), c.data(), n, cfg),
+            0);
+  const std::size_t cap = arena.capacity();
+  EXPECT_GT(cap, 0u);
+  EXPECT_EQ(arena.in_use(), 0u);
+  ASSERT_EQ(core::zgefmm(Trans::no, Trans::no, n, n, n, cplx(1.0), a.data(),
+                         n, b.data(), n, cplx(0.5, 0.5), c.data(), n, cfg),
+            0);
+  EXPECT_EQ(arena.capacity(), cap);
+}
+
+TEST(Dgefmm, ConjTransposeTreatedAsTransposeForReal) {
+  // For the real routine, 'C' must behave exactly like 'T'.
+  Rng rng(3);
+  Matrix a = random_matrix(20, 30, rng);
+  Matrix b = random_matrix(20, 25, rng);
+  Matrix c1(30, 25), c2(30, 25);
+  fill(c1.view(), 0.0);
+  fill(c2.view(), 0.0);
+  core::DgefmmConfig cfg;
+  cfg.cutoff = core::CutoffCriterion::square_simple(8);
+  ASSERT_EQ(core::dgefmm(Trans::conj_transpose, Trans::no, 30, 25, 20, 1.0,
+                         a.data(), 20, b.data(), 20, 0.0, c1.data(), 30, cfg),
+            0);
+  ASSERT_EQ(core::dgefmm(Trans::transpose, Trans::no, 30, 25, 20, 1.0,
+                         a.data(), 20, b.data(), 20, 0.0, c2.data(), 30, cfg),
+            0);
+  EXPECT_EQ(max_abs_diff(c1.view(), c2.view()), 0.0);
+}
+
+}  // namespace
+}  // namespace strassen
