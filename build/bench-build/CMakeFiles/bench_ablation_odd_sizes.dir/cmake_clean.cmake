@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_odd_sizes"
+  "../bench/bench_ablation_odd_sizes.pdb"
+  "CMakeFiles/bench_ablation_odd_sizes.dir/bench_ablation_odd_sizes.cpp.o"
+  "CMakeFiles/bench_ablation_odd_sizes.dir/bench_ablation_odd_sizes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_odd_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_app_lu"
+  "../bench/bench_app_lu.pdb"
+  "CMakeFiles/bench_app_lu.dir/bench_app_lu.cpp.o"
+  "CMakeFiles/bench_app_lu.dir/bench_app_lu.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_app_lu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_model_cutoff"
+  "../bench/bench_ext_model_cutoff.pdb"
+  "CMakeFiles/bench_ext_model_cutoff.dir/bench_ext_model_cutoff.cpp.o"
+  "CMakeFiles/bench_ext_model_cutoff.dir/bench_ext_model_cutoff.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_model_cutoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_zgefmm"
+  "../bench/bench_ext_zgefmm.pdb"
+  "CMakeFiles/bench_ext_zgefmm.dir/bench_ext_zgefmm.cpp.o"
+  "CMakeFiles/bench_ext_zgefmm.dir/bench_ext_zgefmm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_zgefmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

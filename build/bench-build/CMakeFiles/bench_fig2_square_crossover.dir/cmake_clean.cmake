@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_square_crossover"
+  "../bench/bench_fig2_square_crossover.pdb"
+  "CMakeFiles/bench_fig2_square_crossover.dir/bench_fig2_square_crossover.cpp.o"
+  "CMakeFiles/bench_fig2_square_crossover.dir/bench_fig2_square_crossover.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_square_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_vs_dgemms"
+  "../bench/bench_fig3_vs_dgemms.pdb"
+  "CMakeFiles/bench_fig3_vs_dgemms.dir/bench_fig3_vs_dgemms.cpp.o"
+  "CMakeFiles/bench_fig3_vs_dgemms.dir/bench_fig3_vs_dgemms.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_vs_dgemms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

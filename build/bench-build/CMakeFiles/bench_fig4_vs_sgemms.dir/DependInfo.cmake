@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig4_vs_sgemms.cpp" "bench-build/CMakeFiles/bench_fig4_vs_sgemms.dir/bench_fig4_vs_sgemms.cpp.o" "gcc" "bench-build/CMakeFiles/bench_fig4_vs_sgemms.dir/bench_fig4_vs_sgemms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/strassen_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/compare/CMakeFiles/strassen_compare.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuning/CMakeFiles/strassen_tuning.dir/DependInfo.cmake"
+  "/root/repo/build/src/eigen/CMakeFiles/strassen_eigen.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/strassen_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/strassen_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/strassen_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/blas/CMakeFiles/strassen_blas.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/strassen_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_vs_sgemms"
+  "../bench/bench_fig4_vs_sgemms.pdb"
+  "CMakeFiles/bench_fig4_vs_sgemms.dir/bench_fig4_vs_sgemms.cpp.o"
+  "CMakeFiles/bench_fig4_vs_sgemms.dir/bench_fig4_vs_sgemms.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_vs_sgemms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

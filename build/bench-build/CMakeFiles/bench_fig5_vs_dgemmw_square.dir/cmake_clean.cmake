@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_vs_dgemmw_square"
+  "../bench/bench_fig5_vs_dgemmw_square.pdb"
+  "CMakeFiles/bench_fig5_vs_dgemmw_square.dir/bench_fig5_vs_dgemmw_square.cpp.o"
+  "CMakeFiles/bench_fig5_vs_dgemmw_square.dir/bench_fig5_vs_dgemmw_square.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_vs_dgemmw_square.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

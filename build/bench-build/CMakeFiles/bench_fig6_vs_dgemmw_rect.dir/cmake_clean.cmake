@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_vs_dgemmw_rect"
+  "../bench/bench_fig6_vs_dgemmw_rect.pdb"
+  "CMakeFiles/bench_fig6_vs_dgemmw_rect.dir/bench_fig6_vs_dgemmw_rect.cpp.o"
+  "CMakeFiles/bench_fig6_vs_dgemmw_rect.dir/bench_fig6_vs_dgemmw_rect.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_vs_dgemmw_rect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_section2_model"
+  "../bench/bench_section2_model.pdb"
+  "CMakeFiles/bench_section2_model.dir/bench_section2_model.cpp.o"
+  "CMakeFiles/bench_section2_model.dir/bench_section2_model.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_section2_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

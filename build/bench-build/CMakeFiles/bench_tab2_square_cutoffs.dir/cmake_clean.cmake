@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab2_square_cutoffs"
+  "../bench/bench_tab2_square_cutoffs.pdb"
+  "CMakeFiles/bench_tab2_square_cutoffs.dir/bench_tab2_square_cutoffs.cpp.o"
+  "CMakeFiles/bench_tab2_square_cutoffs.dir/bench_tab2_square_cutoffs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab2_square_cutoffs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab3_rect_cutoffs"
+  "../bench/bench_tab3_rect_cutoffs.pdb"
+  "CMakeFiles/bench_tab3_rect_cutoffs.dir/bench_tab3_rect_cutoffs.cpp.o"
+  "CMakeFiles/bench_tab3_rect_cutoffs.dir/bench_tab3_rect_cutoffs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab3_rect_cutoffs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab4_criteria_compare"
+  "../bench/bench_tab4_criteria_compare.pdb"
+  "CMakeFiles/bench_tab4_criteria_compare.dir/bench_tab4_criteria_compare.cpp.o"
+  "CMakeFiles/bench_tab4_criteria_compare.dir/bench_tab4_criteria_compare.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab4_criteria_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

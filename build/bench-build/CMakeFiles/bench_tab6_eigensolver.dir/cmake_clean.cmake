@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab6_eigensolver"
+  "../bench/bench_tab6_eigensolver.pdb"
+  "CMakeFiles/bench_tab6_eigensolver.dir/bench_tab6_eigensolver.cpp.o"
+  "CMakeFiles/bench_tab6_eigensolver.dir/bench_tab6_eigensolver.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab6_eigensolver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

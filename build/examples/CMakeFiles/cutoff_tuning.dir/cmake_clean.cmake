@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cutoff_tuning.dir/cutoff_tuning.cpp.o"
+  "CMakeFiles/cutoff_tuning.dir/cutoff_tuning.cpp.o.d"
+  "cutoff_tuning"
+  "cutoff_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cutoff_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

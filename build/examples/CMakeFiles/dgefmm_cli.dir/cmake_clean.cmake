@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgefmm_cli.dir/dgefmm_cli.cpp.o"
+  "CMakeFiles/dgefmm_cli.dir/dgefmm_cli.cpp.o.d"
+  "dgefmm_cli"
+  "dgefmm_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgefmm_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

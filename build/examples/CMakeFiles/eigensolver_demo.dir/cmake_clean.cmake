@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eigensolver_demo.dir/eigensolver_demo.cpp.o"
+  "CMakeFiles/eigensolver_demo.dir/eigensolver_demo.cpp.o.d"
+  "eigensolver_demo"
+  "eigensolver_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eigensolver_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

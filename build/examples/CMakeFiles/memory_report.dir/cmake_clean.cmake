@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_report.dir/memory_report.cpp.o"
+  "CMakeFiles/memory_report.dir/memory_report.cpp.o.d"
+  "memory_report"
+  "memory_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rectangular_speedup.dir/rectangular_speedup.cpp.o"
+  "CMakeFiles/rectangular_speedup.dir/rectangular_speedup.cpp.o.d"
+  "rectangular_speedup"
+  "rectangular_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rectangular_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

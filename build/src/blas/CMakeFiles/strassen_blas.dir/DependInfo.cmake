@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/blas/gemm.cpp" "src/blas/CMakeFiles/strassen_blas.dir/gemm.cpp.o" "gcc" "src/blas/CMakeFiles/strassen_blas.dir/gemm.cpp.o.d"
+  "/root/repo/src/blas/kernels.cpp" "src/blas/CMakeFiles/strassen_blas.dir/kernels.cpp.o" "gcc" "src/blas/CMakeFiles/strassen_blas.dir/kernels.cpp.o.d"
+  "/root/repo/src/blas/level1.cpp" "src/blas/CMakeFiles/strassen_blas.dir/level1.cpp.o" "gcc" "src/blas/CMakeFiles/strassen_blas.dir/level1.cpp.o.d"
+  "/root/repo/src/blas/level2.cpp" "src/blas/CMakeFiles/strassen_blas.dir/level2.cpp.o" "gcc" "src/blas/CMakeFiles/strassen_blas.dir/level2.cpp.o.d"
+  "/root/repo/src/blas/machine.cpp" "src/blas/CMakeFiles/strassen_blas.dir/machine.cpp.o" "gcc" "src/blas/CMakeFiles/strassen_blas.dir/machine.cpp.o.d"
+  "/root/repo/src/blas/trsm.cpp" "src/blas/CMakeFiles/strassen_blas.dir/trsm.cpp.o" "gcc" "src/blas/CMakeFiles/strassen_blas.dir/trsm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/strassen_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strassen_blas.dir/gemm.cpp.o"
+  "CMakeFiles/strassen_blas.dir/gemm.cpp.o.d"
+  "CMakeFiles/strassen_blas.dir/kernels.cpp.o"
+  "CMakeFiles/strassen_blas.dir/kernels.cpp.o.d"
+  "CMakeFiles/strassen_blas.dir/level1.cpp.o"
+  "CMakeFiles/strassen_blas.dir/level1.cpp.o.d"
+  "CMakeFiles/strassen_blas.dir/level2.cpp.o"
+  "CMakeFiles/strassen_blas.dir/level2.cpp.o.d"
+  "CMakeFiles/strassen_blas.dir/machine.cpp.o"
+  "CMakeFiles/strassen_blas.dir/machine.cpp.o.d"
+  "CMakeFiles/strassen_blas.dir/trsm.cpp.o"
+  "CMakeFiles/strassen_blas.dir/trsm.cpp.o.d"
+  "libstrassen_blas.a"
+  "libstrassen_blas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strassen_blas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

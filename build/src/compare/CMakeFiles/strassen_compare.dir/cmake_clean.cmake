@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strassen_compare.dir/dgemms_like.cpp.o"
+  "CMakeFiles/strassen_compare.dir/dgemms_like.cpp.o.d"
+  "CMakeFiles/strassen_compare.dir/dgemmw_like.cpp.o"
+  "CMakeFiles/strassen_compare.dir/dgemmw_like.cpp.o.d"
+  "CMakeFiles/strassen_compare.dir/sgemms_like.cpp.o"
+  "CMakeFiles/strassen_compare.dir/sgemms_like.cpp.o.d"
+  "libstrassen_compare.a"
+  "libstrassen_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strassen_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

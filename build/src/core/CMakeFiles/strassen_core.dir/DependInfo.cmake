@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/add_kernels.cpp" "src/core/CMakeFiles/strassen_core.dir/add_kernels.cpp.o" "gcc" "src/core/CMakeFiles/strassen_core.dir/add_kernels.cpp.o.d"
+  "/root/repo/src/core/cabi.cpp" "src/core/CMakeFiles/strassen_core.dir/cabi.cpp.o" "gcc" "src/core/CMakeFiles/strassen_core.dir/cabi.cpp.o.d"
+  "/root/repo/src/core/cutoff.cpp" "src/core/CMakeFiles/strassen_core.dir/cutoff.cpp.o" "gcc" "src/core/CMakeFiles/strassen_core.dir/cutoff.cpp.o.d"
+  "/root/repo/src/core/dgefmm.cpp" "src/core/CMakeFiles/strassen_core.dir/dgefmm.cpp.o" "gcc" "src/core/CMakeFiles/strassen_core.dir/dgefmm.cpp.o.d"
+  "/root/repo/src/core/gemm_backend.cpp" "src/core/CMakeFiles/strassen_core.dir/gemm_backend.cpp.o" "gcc" "src/core/CMakeFiles/strassen_core.dir/gemm_backend.cpp.o.d"
+  "/root/repo/src/core/padding.cpp" "src/core/CMakeFiles/strassen_core.dir/padding.cpp.o" "gcc" "src/core/CMakeFiles/strassen_core.dir/padding.cpp.o.d"
+  "/root/repo/src/core/peeling.cpp" "src/core/CMakeFiles/strassen_core.dir/peeling.cpp.o" "gcc" "src/core/CMakeFiles/strassen_core.dir/peeling.cpp.o.d"
+  "/root/repo/src/core/strassen_original.cpp" "src/core/CMakeFiles/strassen_core.dir/strassen_original.cpp.o" "gcc" "src/core/CMakeFiles/strassen_core.dir/strassen_original.cpp.o.d"
+  "/root/repo/src/core/winograd.cpp" "src/core/CMakeFiles/strassen_core.dir/winograd.cpp.o" "gcc" "src/core/CMakeFiles/strassen_core.dir/winograd.cpp.o.d"
+  "/root/repo/src/core/workspace.cpp" "src/core/CMakeFiles/strassen_core.dir/workspace.cpp.o" "gcc" "src/core/CMakeFiles/strassen_core.dir/workspace.cpp.o.d"
+  "/root/repo/src/core/zgefmm.cpp" "src/core/CMakeFiles/strassen_core.dir/zgefmm.cpp.o" "gcc" "src/core/CMakeFiles/strassen_core.dir/zgefmm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/blas/CMakeFiles/strassen_blas.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/strassen_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

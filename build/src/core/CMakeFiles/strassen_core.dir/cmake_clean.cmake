@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strassen_core.dir/add_kernels.cpp.o"
+  "CMakeFiles/strassen_core.dir/add_kernels.cpp.o.d"
+  "CMakeFiles/strassen_core.dir/cabi.cpp.o"
+  "CMakeFiles/strassen_core.dir/cabi.cpp.o.d"
+  "CMakeFiles/strassen_core.dir/cutoff.cpp.o"
+  "CMakeFiles/strassen_core.dir/cutoff.cpp.o.d"
+  "CMakeFiles/strassen_core.dir/dgefmm.cpp.o"
+  "CMakeFiles/strassen_core.dir/dgefmm.cpp.o.d"
+  "CMakeFiles/strassen_core.dir/gemm_backend.cpp.o"
+  "CMakeFiles/strassen_core.dir/gemm_backend.cpp.o.d"
+  "CMakeFiles/strassen_core.dir/padding.cpp.o"
+  "CMakeFiles/strassen_core.dir/padding.cpp.o.d"
+  "CMakeFiles/strassen_core.dir/peeling.cpp.o"
+  "CMakeFiles/strassen_core.dir/peeling.cpp.o.d"
+  "CMakeFiles/strassen_core.dir/strassen_original.cpp.o"
+  "CMakeFiles/strassen_core.dir/strassen_original.cpp.o.d"
+  "CMakeFiles/strassen_core.dir/winograd.cpp.o"
+  "CMakeFiles/strassen_core.dir/winograd.cpp.o.d"
+  "CMakeFiles/strassen_core.dir/workspace.cpp.o"
+  "CMakeFiles/strassen_core.dir/workspace.cpp.o.d"
+  "CMakeFiles/strassen_core.dir/zgefmm.cpp.o"
+  "CMakeFiles/strassen_core.dir/zgefmm.cpp.o.d"
+  "libstrassen_core.a"
+  "libstrassen_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strassen_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

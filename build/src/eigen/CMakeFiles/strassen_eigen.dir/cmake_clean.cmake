@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strassen_eigen.dir/householder_qr.cpp.o"
+  "CMakeFiles/strassen_eigen.dir/householder_qr.cpp.o.d"
+  "CMakeFiles/strassen_eigen.dir/isda.cpp.o"
+  "CMakeFiles/strassen_eigen.dir/isda.cpp.o.d"
+  "CMakeFiles/strassen_eigen.dir/jacobi.cpp.o"
+  "CMakeFiles/strassen_eigen.dir/jacobi.cpp.o.d"
+  "libstrassen_eigen.a"
+  "libstrassen_eigen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strassen_eigen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

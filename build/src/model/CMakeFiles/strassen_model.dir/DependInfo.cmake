@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/cutoff_theory.cpp" "src/model/CMakeFiles/strassen_model.dir/cutoff_theory.cpp.o" "gcc" "src/model/CMakeFiles/strassen_model.dir/cutoff_theory.cpp.o.d"
+  "/root/repo/src/model/opmodel.cpp" "src/model/CMakeFiles/strassen_model.dir/opmodel.cpp.o" "gcc" "src/model/CMakeFiles/strassen_model.dir/opmodel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/strassen_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

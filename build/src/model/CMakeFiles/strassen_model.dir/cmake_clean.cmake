@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strassen_model.dir/cutoff_theory.cpp.o"
+  "CMakeFiles/strassen_model.dir/cutoff_theory.cpp.o.d"
+  "CMakeFiles/strassen_model.dir/opmodel.cpp.o"
+  "CMakeFiles/strassen_model.dir/opmodel.cpp.o.d"
+  "libstrassen_model.a"
+  "libstrassen_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strassen_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strassen_parallel.dir/parallel_gemm.cpp.o"
+  "CMakeFiles/strassen_parallel.dir/parallel_gemm.cpp.o.d"
+  "CMakeFiles/strassen_parallel.dir/parallel_strassen.cpp.o"
+  "CMakeFiles/strassen_parallel.dir/parallel_strassen.cpp.o.d"
+  "CMakeFiles/strassen_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/strassen_parallel.dir/thread_pool.cpp.o.d"
+  "libstrassen_parallel.a"
+  "libstrassen_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strassen_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solver/lu.cpp" "src/solver/CMakeFiles/strassen_solver.dir/lu.cpp.o" "gcc" "src/solver/CMakeFiles/strassen_solver.dir/lu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/strassen_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/blas/CMakeFiles/strassen_blas.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/strassen_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

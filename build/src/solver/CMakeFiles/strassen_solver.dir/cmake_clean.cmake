@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strassen_solver.dir/lu.cpp.o"
+  "CMakeFiles/strassen_solver.dir/lu.cpp.o.d"
+  "libstrassen_solver.a"
+  "libstrassen_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strassen_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

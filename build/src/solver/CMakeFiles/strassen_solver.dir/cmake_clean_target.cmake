@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libstrassen_solver.a"
+)

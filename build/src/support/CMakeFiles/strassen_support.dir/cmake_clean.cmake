@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strassen_support.dir/matrix.cpp.o"
+  "CMakeFiles/strassen_support.dir/matrix.cpp.o.d"
+  "CMakeFiles/strassen_support.dir/opcount.cpp.o"
+  "CMakeFiles/strassen_support.dir/opcount.cpp.o.d"
+  "CMakeFiles/strassen_support.dir/random.cpp.o"
+  "CMakeFiles/strassen_support.dir/random.cpp.o.d"
+  "CMakeFiles/strassen_support.dir/stats.cpp.o"
+  "CMakeFiles/strassen_support.dir/stats.cpp.o.d"
+  "CMakeFiles/strassen_support.dir/table.cpp.o"
+  "CMakeFiles/strassen_support.dir/table.cpp.o.d"
+  "libstrassen_support.a"
+  "libstrassen_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strassen_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

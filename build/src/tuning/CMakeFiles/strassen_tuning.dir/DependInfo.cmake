@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tuning/cost_model.cpp" "src/tuning/CMakeFiles/strassen_tuning.dir/cost_model.cpp.o" "gcc" "src/tuning/CMakeFiles/strassen_tuning.dir/cost_model.cpp.o.d"
+  "/root/repo/src/tuning/crossover.cpp" "src/tuning/CMakeFiles/strassen_tuning.dir/crossover.cpp.o" "gcc" "src/tuning/CMakeFiles/strassen_tuning.dir/crossover.cpp.o.d"
+  "/root/repo/src/tuning/persist.cpp" "src/tuning/CMakeFiles/strassen_tuning.dir/persist.cpp.o" "gcc" "src/tuning/CMakeFiles/strassen_tuning.dir/persist.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/strassen_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/strassen_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/blas/CMakeFiles/strassen_blas.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/strassen_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strassen_tuning.dir/cost_model.cpp.o"
+  "CMakeFiles/strassen_tuning.dir/cost_model.cpp.o.d"
+  "CMakeFiles/strassen_tuning.dir/crossover.cpp.o"
+  "CMakeFiles/strassen_tuning.dir/crossover.cpp.o.d"
+  "CMakeFiles/strassen_tuning.dir/persist.cpp.o"
+  "CMakeFiles/strassen_tuning.dir/persist.cpp.o.d"
+  "libstrassen_tuning.a"
+  "libstrassen_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strassen_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cabi.dir/test_cabi.cpp.o"
+  "CMakeFiles/test_cabi.dir/test_cabi.cpp.o.d"
+  "test_cabi"
+  "test_cabi.pdb"
+  "test_cabi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cabi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

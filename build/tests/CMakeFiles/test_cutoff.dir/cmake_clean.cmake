@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cutoff.dir/test_cutoff.cpp.o"
+  "CMakeFiles/test_cutoff.dir/test_cutoff.cpp.o.d"
+  "test_cutoff"
+  "test_cutoff.pdb"
+  "test_cutoff[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cutoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_opcount.dir/test_opcount.cpp.o"
+  "CMakeFiles/test_opcount.dir/test_opcount.cpp.o.d"
+  "test_opcount"
+  "test_opcount.pdb"
+  "test_opcount[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_opcount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

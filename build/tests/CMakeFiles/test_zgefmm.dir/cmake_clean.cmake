@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zgefmm.dir/test_zgefmm.cpp.o"
+  "CMakeFiles/test_zgefmm.dir/test_zgefmm.cpp.o.d"
+  "test_zgefmm"
+  "test_zgefmm.pdb"
+  "test_zgefmm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zgefmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_support[1]_include.cmake")
+include("/root/repo/build/tests/test_blas[1]_include.cmake")
+include("/root/repo/build/tests/test_model[1]_include.cmake")
+include("/root/repo/build/tests/test_cutoff[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_workspace[1]_include.cmake")
+include("/root/repo/build/tests/test_opcount[1]_include.cmake")
+include("/root/repo/build/tests/test_compare[1]_include.cmake")
+include("/root/repo/build/tests/test_tuning[1]_include.cmake")
+include("/root/repo/build/tests/test_eigen[1]_include.cmake")
+include("/root/repo/build/tests/test_parallel[1]_include.cmake")
+include("/root/repo/build/tests/test_solver[1]_include.cmake")
+include("/root/repo/build/tests/test_zgefmm[1]_include.cmake")
+include("/root/repo/build/tests/test_cost_model[1]_include.cmake")
+include("/root/repo/build/tests/test_stability[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_cabi[1]_include.cmake")
+include("/root/repo/build/tests/test_persist[1]_include.cmake")
