@@ -11,6 +11,7 @@ using namespace strassen;
 int main() {
   bench::banner("odd-dimension strategies: peeling vs padding",
                 "Section 3.3 design choice (ablation)");
+  bench::report_schedule(core::DgefmmConfig{}, 0.0);
 
   const index_t base = bench::pick<index_t>(256, 1024);
   // Worst-case odd patterns: all-odd just above a power of two (padding

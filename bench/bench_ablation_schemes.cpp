@@ -31,9 +31,11 @@ int main() {
       {"original,  beta=1", core::Scheme::original, 1.0},
       {"automatic, beta=0", core::Scheme::automatic, 0.0},
       {"automatic, beta=1", core::Scheme::automatic, 1.0},
+      {"fused,     beta=0", core::Scheme::fused, 0.0},
+      {"fused,     beta=1", core::Scheme::fused, 1.0},
   };
 
-  TextTable t({"schedule", "time (s)", "workspace (doubles)",
+  TextTable t({"configured", "ran", "time (s)", "workspace (doubles)",
                "workspace/m^2"});
   for (const Row& r : rows) {
     core::DgefmmConfig cfg;
@@ -41,7 +43,7 @@ int main() {
     cfg.scheme = r.scheme;
     Arena arena;
     const double time = bench::time_dgefmm(p, 1.0, r.beta, cfg, arena, 2);
-    t.add_row({r.label, fmt(time, 4),
+    t.add_row({r.label, bench::schedule_run_name(cfg, r.beta), fmt(time, 4),
                fmt(static_cast<long long>(arena.peak())),
                fmt(double(arena.peak()) / (double(m) * double(m)), 3)});
   }

@@ -40,6 +40,31 @@ inline void banner(const std::string& what, const std::string& paper_ref) {
             << "  [STRASSEN_BENCH_FULL=1 for paper-scale sizes]\n\n";
 }
 
+/// Name of the schedule a DGEFMM config actually executes for a given beta.
+/// Scheme::automatic (and the classic recursion below a fused top) resolves
+/// by beta only at run time, so benches must report it explicitly instead
+/// of echoing the configured enum.
+inline std::string schedule_run_name(const core::DgefmmConfig& cfg,
+                                     double beta) {
+  const char* resolved = beta == 0.0 ? "STRASSEN1" : "STRASSEN2";
+  switch (cfg.scheme) {
+    case core::Scheme::automatic:
+      return std::string(resolved) + " (automatic)";
+    case core::Scheme::fused:
+      return "FUSED x" + std::to_string(cfg.fused_levels) + ", " + resolved +
+             " below the fusion";
+    default:
+      return core::scheme_name(cfg.scheme);
+  }
+}
+
+/// Prints the schedule line of a bench header: which schedule the timed
+/// DGEFMM calls run for this beta case.
+inline void report_schedule(const core::DgefmmConfig& cfg, double beta) {
+  std::cout << "schedule (beta=" << beta
+            << "): " << schedule_run_name(cfg, beta) << "\n";
+}
+
 /// A reusable triple of random matrices for C = alpha*A*B + beta*C.
 struct Problem {
   Matrix a, b, c, c0;

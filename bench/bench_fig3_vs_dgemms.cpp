@@ -53,6 +53,9 @@ int main() {
 
   core::DgefmmConfig cfg;
   cfg.cutoff = core::CutoffCriterion::square_simple(127);
+  bench::report_schedule(cfg, 0.0);
+  bench::report_schedule(cfg, 0.3);
+  std::cout << "\n";
 
   TextTable t({"m", "ratio (a=1,b=0)", "ratio (general a,b)"});
   Arena arena_f, arena_s;

@@ -22,6 +22,8 @@ int main() {
 
   core::DgefmmConfig cfg;
   cfg.cutoff = core::CutoffCriterion::square_simple(tau);
+  bench::report_schedule(cfg, 0.0);
+  std::cout << "\n";
 
   TextTable t({"m", "t(DGEFMM)/t(SGEMMS-like)"});
   Arena arena_f, arena_s;

@@ -23,6 +23,9 @@ int main() {
 
   core::DgefmmConfig cfg;
   cfg.cutoff = core::CutoffCriterion::square_simple(tau);
+  bench::report_schedule(cfg, beta);
+  bench::report_schedule(cfg, 0.0);
+  std::cout << "\n";
 
   TextTable t({"m", "ratio general", "ratio (a=1,b=0)"});
   Arena arena_f, arena_w;

@@ -24,6 +24,8 @@ int main() {
   const double alpha = 0.7, beta = 0.3;
 
   core::DgefmmConfig cfg;  // paper-default hybrid criterion (199,75,125,95)
+  bench::report_schedule(cfg, beta);
+  std::cout << "\n";
 
   TextTable t({"log10(2mkn)", "m", "k", "n", "ratio"});
   Arena arena_f, arena_w;

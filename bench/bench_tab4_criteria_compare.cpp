@@ -41,6 +41,7 @@ double time_with(bench::Problem& p, const CutoffCriterion& cut,
 int main() {
   bench::banner("cutoff criteria comparison on random problems",
                 "Table 4 (plus the Section 4.2 rectangular example)");
+  bench::report_schedule(core::DgefmmConfig{}, 0.0);
 
   // As in the paper, the criterion parameters are tuned on the actual host
   // first (Section 4.2 performs the Table 2/3 measurements before the

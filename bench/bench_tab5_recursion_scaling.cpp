@@ -21,6 +21,8 @@ int main() {
 
   core::DgefmmConfig cfg;
   cfg.cutoff = core::CutoffCriterion::square_simple(static_cast<double>(tau));
+  bench::report_schedule(cfg, beta);
+  std::cout << "\n";
 
   TextTable t({"order", "levels", "t(DGEMM) s", "t(DGEFMM) s",
                "DGEFMM/DGEMM", "DGEFMM growth"});

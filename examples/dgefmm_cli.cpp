@@ -11,7 +11,8 @@
 //     --criterion NAME          hybrid | simple | higham | param | opcount
 //                               | depthD (e.g. depth2) | dgemm
 //     --tau X --tau-m X --tau-k X --tau-n X   criterion parameters
-//     --scheme NAME             auto | s1 | s2 | original
+//     --scheme NAME             auto | s1 | s2 | original | fused
+//     --fused-levels N          fusion depth for --scheme fused (1 or 2)
 //     --odd NAME                peel | dynpad | staticpad
 //     --machine NAME            rs6000 | c90 | t3d
 //     --reps N                  timing repetitions (default 3)
@@ -37,6 +38,7 @@ struct Options {
   std::string criterion = "hybrid";
   double tau = 199, tau_m = 75, tau_k = 125, tau_n = 95;
   std::string scheme = "auto";
+  int fused_levels = 2;
   std::string odd = "peel";
   std::string machine = "rs6000";
   int reps = 3;
@@ -76,6 +78,8 @@ Options parse(int argc, char** argv) {
     else if (arg == "--tau-k") o.tau_k = std::atof(need(i++).c_str());
     else if (arg == "--tau-n") o.tau_n = std::atof(need(i++).c_str());
     else if (arg == "--scheme") o.scheme = need(i++);
+    else if (arg == "--fused-levels")
+      o.fused_levels = std::atoi(need(i++).c_str());
     else if (arg == "--odd") o.odd = need(i++);
     else if (arg == "--machine") o.machine = need(i++);
     else if (arg == "--reps") o.reps = std::atoi(need(i++).c_str());
@@ -107,6 +111,7 @@ core::Scheme make_scheme(const Options& o) {
   if (o.scheme == "s1") return core::Scheme::strassen1;
   if (o.scheme == "s2") return core::Scheme::strassen2;
   if (o.scheme == "original") return core::Scheme::original;
+  if (o.scheme == "fused") return core::Scheme::fused;
   usage_error("unknown scheme '" + o.scheme + "'");
 }
 
@@ -133,6 +138,7 @@ int main(int argc, char** argv) {
   core::DgefmmConfig cfg;
   cfg.cutoff = make_criterion(o);
   cfg.scheme = make_scheme(o);
+  cfg.fused_levels = o.fused_levels;
   cfg.odd = make_odd(o);
   core::DgefmmStats stats;
   cfg.stats = &stats;
@@ -178,6 +184,7 @@ int main(int argc, char** argv) {
             << "*C, machine " << blas::machine_name(blas::active_machine())
             << "\n";
   std::cout << "criterion  : " << cfg.cutoff.describe() << "\n";
+  std::cout << "schedule   : " << core::scheme_name(cfg.scheme) << "\n";
   std::cout << "DGEMM      : " << best_dgemm << " s ("
             << gflop / best_dgemm << " GFLOP/s)\n";
   std::cout << "DGEFMM     : " << best_dgefmm << " s ("
@@ -186,6 +193,10 @@ int main(int argc, char** argv) {
   std::cout << "recursion  : " << stats.strassen_levels << " Strassen nodes, "
             << stats.base_gemms << " base GEMMs, depth " << stats.max_depth
             << ", " << stats.peel_fixups << " peel fix-ups\n";
+  if (stats.fused_depth > 0) {
+    std::cout << "fused      : " << stats.fused_products
+              << " fused products at depth " << stats.fused_depth << "\n";
+  }
   std::cout << "workspace  : " << stats.peak_workspace << " doubles\n";
 
   if (o.verify) {

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Pre-merge check: build the release and sanitizer presets and run the full
+# test suite under both. Usage: scripts/check.sh [extra ctest args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 4)
+
+for preset in release asan; do
+  echo "== preset: ${preset} =="
+  cmake --preset "${preset}"
+  cmake --build --preset "${preset}" -j "${jobs}"
+  ctest --preset "${preset}" -j "${jobs}" "$@"
+done
+
+echo "All checks passed."

@@ -3,16 +3,12 @@
 #include <cassert>
 #include <vector>
 
-#include "blas/kernels.hpp"
-#include "support/aligned_buffer.hpp"
+#include "blas/packed_loop.hpp"
 #include "support/opcount.hpp"
 
 namespace strassen::blas {
 
 namespace {
-
-using detail::kMR;
-using detail::kNR;
 
 // Scales C <- beta * C (handles beta == 0 by assignment so NaNs in an
 // uninitialized C never propagate, per the BLAS contract).
@@ -31,87 +27,20 @@ void scale_c(index_t m, index_t n, double beta, double* c, index_t ldc) {
   }
 }
 
-// Writes a micro-tile accumulator into C: C <- alpha*acc + beta_eff*C over
-// the valid (rows x cols) corner.
-void write_tile(const double* acc, index_t rows, index_t cols, double alpha,
-                double beta_eff, double* c, index_t ldc) {
-  if (beta_eff == 0.0) {
-    for (index_t j = 0; j < cols; ++j) {
-      for (index_t i = 0; i < rows; ++i) {
-        c[i + j * ldc] = alpha * acc[i + j * kMR];
-      }
-    }
-  } else if (beta_eff == 1.0) {
-    for (index_t j = 0; j < cols; ++j) {
-      for (index_t i = 0; i < rows; ++i) {
-        c[i + j * ldc] += alpha * acc[i + j * kMR];
-      }
-    }
-  } else {
-    for (index_t j = 0; j < cols; ++j) {
-      for (index_t i = 0; i < rows; ++i) {
-        c[i + j * ldc] = alpha * acc[i + j * kMR] + beta_eff * c[i + j * ldc];
-      }
-    }
-  }
-}
-
-// Per-thread packing buffers. These belong to the DGEMM implementation
-// (the vendor BLAS on the paper's machines has the same kind of internal
-// scratch) and are deliberately *not* drawn from the Strassen workspace
-// arena: Table 1 counts Strassen temporaries, not BLAS internals.
-struct PackBuffers {
-  AlignedBuffer a_pack;
-  AlignedBuffer b_pack;
-  void ensure(std::size_t a_need, std::size_t b_need) {
-    if (a_pack.size() < a_need) a_pack = AlignedBuffer(a_need);
-    if (b_pack.size() < b_need) b_pack = AlignedBuffer(b_need);
-  }
-};
-
-PackBuffers& pack_buffers() {
-  thread_local PackBuffers bufs;
-  return bufs;
-}
-
-// Packed, cache-blocked DGEMM (GotoBLAS structure).
+// Packed, cache-blocked DGEMM (GotoBLAS structure): the one-term,
+// one-destination instantiation of the packed_gemm_multi skeleton.
 void gemm_packed(const GemmBlocking& bk, index_t m, index_t n, index_t k,
                  double alpha, const double* a, index_t a_rs, index_t a_cs,
                  const double* b, index_t b_rs, index_t b_cs, double beta,
                  double* c, index_t ldc) {
-  PackBuffers& bufs = pack_buffers();
-  bufs.ensure(static_cast<std::size_t>(bk.mc + kMR) * bk.kc,
-              static_cast<std::size_t>(bk.kc) * (bk.nc + kNR));
-  double* a_pack = bufs.a_pack.data();
-  double* b_pack = bufs.b_pack.data();
-
-  double acc[kMR * kNR];
-
-  for (index_t jc = 0; jc < n; jc += bk.nc) {
-    const index_t nc = (n - jc < bk.nc) ? (n - jc) : bk.nc;
-    for (index_t pc = 0; pc < k; pc += bk.kc) {
-      const index_t kc = (k - pc < bk.kc) ? (k - pc) : bk.kc;
-      const double beta_eff = (pc == 0) ? beta : 1.0;
-      detail::pack_b(b + pc * b_rs + jc * b_cs, b_rs, b_cs, kc, nc, b_pack);
-      for (index_t ic = 0; ic < m; ic += bk.mc) {
-        const index_t mc = (m - ic < bk.mc) ? (m - ic) : bk.mc;
-        detail::pack_a(a + ic * a_rs + pc * a_cs, a_rs, a_cs, mc, kc, a_pack);
-        const index_t mc_panels = (mc + kMR - 1) / kMR;
-        const index_t nc_panels = (nc + kNR - 1) / kNR;
-        for (index_t jr = 0; jr < nc_panels; ++jr) {
-          const double* bp = b_pack + jr * (kNR * kc);
-          const index_t cols = (nc - jr * kNR < kNR) ? (nc - jr * kNR) : kNR;
-          for (index_t ir = 0; ir < mc_panels; ++ir) {
-            const double* ap = a_pack + ir * (kMR * kc);
-            const index_t rows = (mc - ir * kMR < kMR) ? (mc - ir * kMR) : kMR;
-            detail::micro_kernel(kc, ap, bp, acc);
-            write_tile(acc, rows, cols, alpha, beta_eff,
-                       c + (ic + ir * kMR) + (jc + jr * kNR) * ldc, ldc);
-          }
-        }
-      }
-    }
-  }
+  PackComb ac;
+  ac.term[0] = PackTerm{a, a_rs, a_cs, 1.0};
+  ac.n = 1;
+  PackComb bc;
+  bc.term[0] = PackTerm{b, b_rs, b_cs, 1.0};
+  bc.n = 1;
+  const WriteDest dst{c, ldc, alpha, beta};
+  packed_gemm_multi(bk, m, n, k, ac, bc, &dst, 1);
 }
 
 // Vector-machine style DGEMM: for each column of C, sweep the columns of

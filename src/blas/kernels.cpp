@@ -30,6 +30,60 @@ void pack_b(const double* b, index_t rs, index_t cs, index_t kc, index_t nc,
   }
 }
 
+void pack_a_comb(const PackTerm* terms, int nterms, index_t mc, index_t kc,
+                 double* out) {
+  if (nterms == 1 && terms[0].gamma == 1.0) {
+    pack_a(terms[0].p, terms[0].rs, terms[0].cs, mc, kc, out);
+    return;
+  }
+  for (index_t ip = 0; ip < mc; ip += kMR) {
+    const index_t rows = (mc - ip < kMR) ? (mc - ip) : kMR;
+    for (index_t p = 0; p < kc; ++p) {
+      double* o = out + p * kMR;
+      {
+        const PackTerm& t = terms[0];
+        const double* col = t.p + ip * t.rs + p * t.cs;
+        index_t r = 0;
+        for (; r < rows; ++r) o[r] = t.gamma * col[r * t.rs];
+        for (; r < kMR; ++r) o[r] = 0.0;
+      }
+      for (int s = 1; s < nterms; ++s) {
+        const PackTerm& t = terms[s];
+        const double* col = t.p + ip * t.rs + p * t.cs;
+        for (index_t r = 0; r < rows; ++r) o[r] += t.gamma * col[r * t.rs];
+      }
+    }
+    out += kMR * kc;
+  }
+}
+
+void pack_b_comb(const PackTerm* terms, int nterms, index_t kc, index_t nc,
+                 double* out) {
+  if (nterms == 1 && terms[0].gamma == 1.0) {
+    pack_b(terms[0].p, terms[0].rs, terms[0].cs, kc, nc, out);
+    return;
+  }
+  for (index_t jp = 0; jp < nc; jp += kNR) {
+    const index_t cols = (nc - jp < kNR) ? (nc - jp) : kNR;
+    for (index_t p = 0; p < kc; ++p) {
+      double* o = out + p * kNR;
+      {
+        const PackTerm& t = terms[0];
+        const double* row = t.p + p * t.rs + jp * t.cs;
+        index_t c = 0;
+        for (; c < cols; ++c) o[c] = t.gamma * row[c * t.cs];
+        for (; c < kNR; ++c) o[c] = 0.0;
+      }
+      for (int s = 1; s < nterms; ++s) {
+        const PackTerm& t = terms[s];
+        const double* row = t.p + p * t.rs + jp * t.cs;
+        for (index_t c = 0; c < cols; ++c) o[c] += t.gamma * row[c * t.cs];
+      }
+    }
+    out += kNR * kc;
+  }
+}
+
 void micro_kernel(index_t kc, const double* a, const double* b, double* acc) {
   double t[kMR * kNR] = {};
   for (index_t p = 0; p < kc; ++p) {

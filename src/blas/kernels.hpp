@@ -2,6 +2,7 @@
 // cache-blocked DGEMM (GotoBLAS/BLIS-style structure).
 #pragma once
 
+#include "blas/packed_loop.hpp"
 #include "support/config.hpp"
 
 namespace strassen::blas::detail {
@@ -21,6 +22,18 @@ void pack_a(const double* a, index_t rs, index_t cs, index_t mc, index_t kc,
 /// out[(jp/kNR) panel][p * kNR + c], zero-padding columns beyond nc.
 void pack_b(const double* b, index_t rs, index_t cs, index_t kc, index_t nc,
             double* out);
+
+/// Linear-combination generalization of pack_a: packs the mc x kc block of
+/// sum_i gamma_i * op(A_i) into kMR row-panels in one pass. With one term
+/// of gamma == 1 this is exactly pack_a. Terms address the same mc x kc
+/// logical block through their own strides.
+void pack_a_comb(const PackTerm* terms, int nterms, index_t mc, index_t kc,
+                 double* out);
+
+/// Linear-combination generalization of pack_b: packs the kc x nc block of
+/// sum_j gamma_j * op(B_j) into kNR column-panels in one pass.
+void pack_b_comb(const PackTerm* terms, int nterms, index_t kc, index_t nc,
+                 double* out);
 
 /// acc[r + c*kMR] = sum_p a[p*kMR + r] * b[p*kNR + c] for one packed
 /// micro-panel pair of depth kc.

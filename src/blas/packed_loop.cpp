@@ -1,0 +1,120 @@
+#include "blas/packed_loop.hpp"
+
+#include <cassert>
+
+#include "blas/kernels.hpp"
+#include "support/aligned_buffer.hpp"
+
+namespace strassen::blas {
+
+namespace {
+
+using detail::kMR;
+using detail::kNR;
+
+// Per-thread packing buffers. These belong to the GEMM implementation (the
+// vendor BLAS on the paper's machines has the same kind of internal
+// scratch) and are deliberately *not* drawn from the Strassen workspace
+// arena: Table 1 counts Strassen temporaries, not BLAS internals. The fused
+// schedule inherits this accounting: its operand sums live here, inside
+// buffers a plain DGEMM call of the same blocking already needs.
+struct PackBuffers {
+  AlignedBuffer a_pack;
+  AlignedBuffer b_pack;
+  void ensure(std::size_t a_need, std::size_t b_need) {
+    if (a_pack.size() < a_need) a_pack = AlignedBuffer(a_need);
+    if (b_pack.size() < b_need) b_pack = AlignedBuffer(b_need);
+  }
+};
+
+PackBuffers& pack_buffers() {
+  thread_local PackBuffers bufs;
+  return bufs;
+}
+
+// Writes a micro-tile accumulator into one destination block:
+// C <- alpha*acc + beta_eff*C over the valid (rows x cols) corner.
+void write_tile(const double* acc, index_t rows, index_t cols, double alpha,
+                double beta_eff, double* c, index_t ldc) {
+  if (beta_eff == 0.0) {
+    for (index_t j = 0; j < cols; ++j) {
+      for (index_t i = 0; i < rows; ++i) {
+        c[i + j * ldc] = alpha * acc[i + j * kMR];
+      }
+    }
+  } else if (beta_eff == 1.0) {
+    for (index_t j = 0; j < cols; ++j) {
+      for (index_t i = 0; i < rows; ++i) {
+        c[i + j * ldc] += alpha * acc[i + j * kMR];
+      }
+    }
+  } else {
+    for (index_t j = 0; j < cols; ++j) {
+      for (index_t i = 0; i < rows; ++i) {
+        c[i + j * ldc] = alpha * acc[i + j * kMR] + beta_eff * c[i + j * ldc];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void packed_gemm_multi(const GemmBlocking& bk, index_t m, index_t n,
+                       index_t k, const PackComb& a, const PackComb& b,
+                       const WriteDest* dst, int ndst) {
+  assert(a.n >= 1 && a.n <= kPackMaxTerms);
+  assert(b.n >= 1 && b.n <= kPackMaxTerms);
+  assert(ndst >= 1 && ndst <= kPackMaxDests);
+  if (m == 0 || n == 0 || k == 0) return;
+
+  PackBuffers& bufs = pack_buffers();
+  bufs.ensure(static_cast<std::size_t>(bk.mc + kMR) * bk.kc,
+              static_cast<std::size_t>(bk.kc) * (bk.nc + kNR));
+  double* a_pack = bufs.a_pack.data();
+  double* b_pack = bufs.b_pack.data();
+
+  double acc[kMR * kNR];
+  PackTerm a_terms[kPackMaxTerms];
+  PackTerm b_terms[kPackMaxTerms];
+
+  for (index_t jc = 0; jc < n; jc += bk.nc) {
+    const index_t nc = (n - jc < bk.nc) ? (n - jc) : bk.nc;
+    for (index_t pc = 0; pc < k; pc += bk.kc) {
+      const index_t kc = (k - pc < bk.kc) ? (k - pc) : bk.kc;
+      const bool first_panel = (pc == 0);
+      for (int s = 0; s < b.n; ++s) {
+        b_terms[s] = b.term[s];
+        b_terms[s].p += pc * b.term[s].rs + jc * b.term[s].cs;
+      }
+      detail::pack_b_comb(b_terms, b.n, kc, nc, b_pack);
+      for (index_t ic = 0; ic < m; ic += bk.mc) {
+        const index_t mc = (m - ic < bk.mc) ? (m - ic) : bk.mc;
+        for (int s = 0; s < a.n; ++s) {
+          a_terms[s] = a.term[s];
+          a_terms[s].p += ic * a.term[s].rs + pc * a.term[s].cs;
+        }
+        detail::pack_a_comb(a_terms, a.n, mc, kc, a_pack);
+        const index_t mc_panels = (mc + kMR - 1) / kMR;
+        const index_t nc_panels = (nc + kNR - 1) / kNR;
+        for (index_t jr = 0; jr < nc_panels; ++jr) {
+          const double* bp = b_pack + jr * (kNR * kc);
+          const index_t cols = (nc - jr * kNR < kNR) ? (nc - jr * kNR) : kNR;
+          for (index_t ir = 0; ir < mc_panels; ++ir) {
+            const double* ap = a_pack + ir * (kMR * kc);
+            const index_t rows = (mc - ir * kMR < kMR) ? (mc - ir * kMR) : kMR;
+            detail::micro_kernel(kc, ap, bp, acc);
+            for (int d = 0; d < ndst; ++d) {
+              write_tile(acc, rows, cols, dst[d].alpha,
+                         first_panel ? dst[d].beta : 1.0,
+                         dst[d].c + (ic + ir * kMR) +
+                             (jc + jr * kNR) * dst[d].ldc,
+                         dst[d].ldc);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace strassen::blas

@@ -1,0 +1,94 @@
+// Reusable packed-GEMM loop skeleton (GotoBLAS/BLIS structure), opened up
+// for operand-fused Strassen in the style of Huang et al., "Implementing
+// Strassen's Algorithm with BLIS" (arXiv:1605.01078).
+//
+// The classic packed DGEMM packs one A block, one B block, and writes one C
+// tile. This skeleton generalizes both ends of the pipeline:
+//
+//  * packing forms a *linear combination* of up to kPackMaxTerms equally
+//    shaped source operands (gamma0*X0 + gamma1*X1 + ...) in the same single
+//    pass that reshapes the data into micro-panels -- so Strassen's S/T
+//    operand sums cost no extra memory traffic and no temporaries;
+//
+//  * the micro-kernel epilogue scatters one register accumulator into up to
+//    kPackMaxDests destinations with independent alpha/beta scalars -- so
+//    Strassen's U accumulations ride the C write-back that a plain GEMM
+//    performs anyway.
+//
+// With one term and one destination this *is* the library's packed DGEMM
+// (gemm.cpp routes through here); the fused Winograd schedule in
+// src/core/winograd_fused.cpp is the other client.
+#pragma once
+
+#include <cassert>
+
+#include "blas/machine.hpp"
+#include "support/config.hpp"
+#include "support/matrix.hpp"
+
+namespace strassen::blas {
+
+/// Maximum number of gamma-weighted sources one packing pass may combine.
+/// Two per fused Strassen level; 4 covers two fused levels.
+inline constexpr int kPackMaxTerms = 4;
+
+/// Maximum number of destinations one micro-tile write-back may scatter to.
+/// Two per fused Strassen level; 4 covers two fused levels.
+inline constexpr int kPackMaxDests = 4;
+
+/// One gamma-weighted source operand of a packing linear combination.
+/// Element (i, j) of the term contributes gamma * p[i*rs + j*cs], so a
+/// transposed operand view needs no physical transpose (rs = ld, cs = 1).
+struct PackTerm {
+  const double* p = nullptr;
+  index_t rs = 1;
+  index_t cs = 0;
+  double gamma = 1.0;
+};
+
+/// A linear combination of up to kPackMaxTerms equally shaped operands.
+struct PackComb {
+  PackTerm term[kPackMaxTerms];
+  int n = 0;
+
+  void add(ConstView v, double gamma) {
+    assert(n < kPackMaxTerms);
+    term[n++] = PackTerm{v.p, v.rs, v.cs, gamma};
+  }
+};
+
+/// Builds a single-term combination from a view (the plain-GEMM case).
+inline PackComb pack_comb(ConstView v, double gamma = 1.0) {
+  PackComb c;
+  c.add(v, gamma);
+  return c;
+}
+
+/// One write-back destination: a column-major C block with its own scalars.
+/// On the first k-panel the block receives alpha*tile + beta*C (beta == 0
+/// assigns, so NaNs in uninitialized C never propagate); later k-panels
+/// accumulate alpha*tile on top.
+struct WriteDest {
+  double* c = nullptr;
+  index_t ldc = 0;
+  double alpha = 1.0;
+  double beta = 1.0;
+};
+
+/// Builds a WriteDest from a column-major view.
+inline WriteDest write_dest(MutView v, double alpha, double beta) {
+  assert(v.col_major());
+  return WriteDest{v.p, v.ld_col(), alpha, beta};
+}
+
+/// The skeleton: for every destination d,
+///   C_d <- alpha_d * (sum_i gamma_i op(A_i)) * (sum_j gamma_j op(B_j))
+///          + beta_d * C_d
+/// in a single pass of the Goto loop nest, where the A combination is
+/// m x k, the B combination k x n, and every C_d is m x n column-major.
+/// The destinations must not overlap one another or the sources.
+void packed_gemm_multi(const GemmBlocking& bk, index_t m, index_t n,
+                       index_t k, const PackComb& a, const PackComb& b,
+                       const WriteDest* dst, int ndst);
+
+}  // namespace strassen::blas

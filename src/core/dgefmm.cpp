@@ -5,6 +5,7 @@
 #include "blas/gemm.hpp"
 #include "core/padding.hpp"
 #include "core/winograd.hpp"
+#include "core/winograd_fused.hpp"
 
 namespace strassen::core {
 
@@ -73,7 +74,11 @@ void dgefmm_view(double alpha, ConstView a, ConstView b, double beta,
   }
 
   detail::Ctx ctx{&cfg, arena, cfg.stats};
-  if (cfg.odd == OddStrategy::static_padding) {
+  if (cfg.scheme == Scheme::fused) {
+    // The fused path peels odd dimensions itself; cfg.odd applies only to
+    // the classic recursion below the fusion depth.
+    detail::fmm_fused(alpha, a, b, beta, c, ctx, 0);
+  } else if (cfg.odd == OddStrategy::static_padding) {
     detail::pad_static(alpha, a, b, beta, c, ctx);
   } else {
     detail::fmm(alpha, a, b, beta, c, ctx, 0);

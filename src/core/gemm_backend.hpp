@@ -25,4 +25,9 @@ GemmFn gemm_backend_dgemm();
 /// shared workspace arena (repeated calls are allocation-free).
 GemmFn gemm_backend_dgefmm();
 
+/// Backend calling DGEFMM with the packing-fused schedule (Scheme::fused):
+/// operand sums are formed in the GEMM pack buffers, so the shared arena is
+/// only touched when a leaf falls back to the classic recursion.
+GemmFn gemm_backend_dgefmm_fused();
+
 }  // namespace strassen::core

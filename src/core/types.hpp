@@ -17,7 +17,32 @@ enum class Scheme {
               ///< temporaries; beta == 0 form runs in C's space)
   strassen2,  ///< force the three-temporary multiply-accumulate schedule
   original,   ///< Strassen's 1969 variant (7 multiplies, 18 additions)
+  fused,      ///< packing-fused path: the top one or two recursion levels
+              ///< run as multi-destination packed-GEMM calls whose packing
+              ///< forms the operand sums and whose epilogue scatters the
+              ///< product into the C quadrants (Huang et al. style); the
+              ///< classic automatic schedule continues below the fusion
+              ///< depth. Odd dimensions are always dynamically peeled at
+              ///< fused levels. Allocates no arena workspace at fused
+              ///< levels (operand sums live in the GEMM pack buffers).
 };
+
+/// Human-readable schedule name for benchmark/report headers.
+constexpr const char* scheme_name(Scheme s) {
+  switch (s) {
+    case Scheme::automatic:
+      return "AUTO(S1/S2)";
+    case Scheme::strassen1:
+      return "STRASSEN1";
+    case Scheme::strassen2:
+      return "STRASSEN2";
+    case Scheme::original:
+      return "ORIGINAL";
+    case Scheme::fused:
+      return "FUSED";
+  }
+  return "?";
+}
 
 /// How odd dimensions are made even at each recursion level.
 enum class OddStrategy {
@@ -34,6 +59,8 @@ struct DgefmmStats {
   count_t base_gemms = 0;        ///< bottom-level DGEMM calls
   count_t peel_fixups = 0;       ///< DGER/DGEMV/DDOT fix-up operations
   count_t pad_copies = 0;        ///< padded operand copies made
+  count_t fused_products = 0;    ///< fused multi-destination packed-GEMM calls
+  int fused_depth = 0;           ///< fused levels applied at the top (0-2)
   int max_depth = 0;             ///< deepest recursion level applied
   std::size_t peak_workspace = 0;  ///< arena high-water mark, in doubles
 
@@ -47,6 +74,12 @@ struct DgefmmConfig {
       CutoffCriterion::paper_default(blas::active_machine());
   Scheme scheme = Scheme::automatic;
   OddStrategy odd = OddStrategy::dynamic_peeling;
+
+  /// Maximum recursion levels the fused schedule folds into single packed
+  /// calls (clamped to [1, 2]; only meaningful with Scheme::fused). The
+  /// driver automatically fuses fewer levels when dimensions or the cutoff
+  /// do not permit the full depth.
+  int fused_levels = 2;
 
   /// Optional caller-provided workspace. When null, dgefmm allocates an
   /// exactly-sized arena internally. Reusing one arena across calls avoids

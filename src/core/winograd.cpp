@@ -165,11 +165,14 @@ void schedule_s2(double alpha, ConstView a, ConstView b, double beta,
 void run_schedule(double alpha, ConstView a, ConstView b, double beta,
                   MutView c, Ctx& ctx, int depth) {
   Scheme scheme = ctx.cfg->scheme;
-  if (scheme == Scheme::automatic) {
+  if (scheme == Scheme::automatic || scheme == Scheme::fused) {
+    // Scheme::fused reaches the classic recursion only below its fusion
+    // depth, where it behaves like the paper's automatic DGEFMM.
     scheme = (beta == 0.0) ? Scheme::strassen1 : Scheme::strassen2;
   }
   switch (scheme) {
     case Scheme::automatic:  // unreachable after resolution above
+    case Scheme::fused:      // unreachable after resolution above
     case Scheme::strassen1:
       if (beta == 0.0) {
         schedule_s1_beta0(alpha, a, b, c, ctx, depth);

@@ -1,0 +1,295 @@
+#include "core/winograd_fused.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "blas/gemm.hpp"
+#include "blas/packed_loop.hpp"
+#include "core/add_kernels.hpp"
+#include "core/peeling.hpp"
+#include "core/workspace.hpp"
+#include "support/opcount.hpp"
+
+namespace strassen::core::detail {
+
+namespace {
+
+constexpr int kMaxTerms = blas::kPackMaxTerms;
+constexpr int kMaxDests = blas::kPackMaxDests;
+
+// A linear combination of up to kMaxTerms equally shaped operand views:
+// one term at the top, doubling per fused level (Strassen sums at most two
+// quadrants per operand per level).
+struct Comb {
+  ConstView v[kMaxTerms];
+  double g[kMaxTerms];
+  int n = 0;
+
+  void add(ConstView view, double gamma) {
+    assert(n < kMaxTerms);
+    v[n] = view;
+    g[n] = gamma;
+    ++n;
+  }
+};
+
+// Up to kMaxDests destination blocks, each with its own +/- alpha scale.
+struct Dests {
+  MutView v[kMaxDests];
+  double g[kMaxDests];
+  int n = 0;
+
+  void add(MutView view, double gamma) {
+    assert(n < kMaxDests);
+    v[n] = view;
+    g[n] = gamma;
+    ++n;
+  }
+};
+
+// Strassen's original construction (the variant whose products each read at
+// most two quadrants per operand and write at most two quadrants of C --
+// the property the 2-term/2-destination fusion needs):
+//   M1 = (A11+A22)(B11+B22)   C11 += M1, C22 += M1
+//   M2 = (A21+A22) B11        C21 += M2, C22 -= M2
+//   M3 =  A11     (B12-B22)   C12 += M3, C22 += M3
+//   M4 =  A22     (B21-B11)   C11 += M4, C21 += M4
+//   M5 = (A11+A12) B22        C11 -= M5, C12 += M5
+//   M6 = (A21-A11)(B11+B12)   C22 += M6
+//   M7 = (A12-A22)(B21+B22)   C11 += M7
+// Quadrants are indexed 0=11, 1=12, 2=21, 3=22.
+struct QuadTerm {
+  int q;
+  double g;
+};
+struct ProductSpec {
+  QuadTerm a[2];
+  int na;
+  QuadTerm b[2];
+  int nb;
+  QuadTerm c[2];
+  int nc;
+};
+constexpr ProductSpec kStrassen7[7] = {
+    {{{0, 1.0}, {3, 1.0}}, 2, {{0, 1.0}, {3, 1.0}}, 2, {{0, 1.0}, {3, 1.0}}, 2},
+    {{{2, 1.0}, {3, 1.0}}, 2, {{0, 1.0}, {}}, 1, {{2, 1.0}, {3, -1.0}}, 2},
+    {{{0, 1.0}, {}}, 1, {{1, 1.0}, {3, -1.0}}, 2, {{1, 1.0}, {3, 1.0}}, 2},
+    {{{3, 1.0}, {}}, 1, {{2, 1.0}, {0, -1.0}}, 2, {{0, 1.0}, {2, 1.0}}, 2},
+    {{{0, 1.0}, {1, 1.0}}, 2, {{3, 1.0}, {}}, 1, {{0, -1.0}, {1, 1.0}}, 2},
+    {{{2, 1.0}, {0, -1.0}}, 2, {{0, 1.0}, {1, 1.0}}, 2, {{3, 1.0}, {}}, 1},
+    {{{1, 1.0}, {3, -1.0}}, 2, {{2, 1.0}, {3, 1.0}}, 2, {{0, 1.0}, {}}, 1},
+};
+
+template <class View>
+View quadrant_of(const View& x, int q) {
+  const index_t r2 = x.rows / 2, c2 = x.cols / 2;
+  return x.block((q >> 1) * r2, (q & 1) * c2, r2, c2);
+}
+
+// State threaded through one fused top-level invocation. `touched` tracks
+// which C blocks have already absorbed their beta*C term, so beta is
+// applied exactly once per block no matter how many products land there.
+struct FusedRun {
+  Ctx* ctx = nullptr;
+  double beta = 0.0;
+  blas::GemmBlocking bk{};
+  double* touched[16] = {};
+  int ntouched = 0;
+
+  bool first_touch(double* p) {
+    for (int i = 0; i < ntouched; ++i) {
+      if (touched[i] == p) return false;
+    }
+    assert(ntouched < 16);
+    touched[ntouched++] = p;
+    return true;
+  }
+};
+
+// d <- combination (one assignment pass plus one accumulate pass per extra
+// term), used when a leaf continues with the classic recursion.
+void materialize(const Comb& x, MutView d) {
+  axpby(x.g[0], x.v[0], 0.0, d);
+  for (int i = 1; i < x.n; ++i) axpy(x.g[i], x.v[i], d);
+}
+
+// One leaf product: a single fused packed-GEMM call when the cutoff says
+// these dimensions are DGEMM-sized, otherwise materialize the operand
+// combinations and continue with the classic schedules below the fusion.
+void fused_leaf(FusedRun& run, const Comb& a, const Comb& b, const Dests& c,
+                int depth) {
+  Ctx& ctx = *run.ctx;
+  const index_t ml = a.v[0].rows, kl = a.v[0].cols, nl = b.v[0].cols;
+
+  if (!ctx.cfg->cutoff.stop(ml, kl, nl, depth)) {
+    ArenaScope scope(*ctx.arena);
+    MutView ta = arena_matrix(*ctx.arena, ml, kl);
+    materialize(a, ta);
+    MutView tb = arena_matrix(*ctx.arena, kl, nl);
+    materialize(b, tb);
+    MutView p = arena_matrix(*ctx.arena, ml, nl);
+    fmm(1.0, ta, tb, 0.0, p, ctx, depth);
+    for (int i = 0; i < c.n; ++i) {
+      if (run.first_touch(c.v[i].p)) {
+        axpby(c.g[i], p, run.beta, c.v[i]);
+      } else {
+        axpy(c.g[i], p, c.v[i]);
+      }
+    }
+    return;
+  }
+
+  blas::PackComb pa;
+  for (int i = 0; i < a.n; ++i) pa.add(a.v[i], a.g[i]);
+  blas::PackComb pb;
+  for (int i = 0; i < b.n; ++i) pb.add(b.v[i], b.g[i]);
+  blas::WriteDest dst[kMaxDests];
+  for (int i = 0; i < c.n; ++i) {
+    dst[i] = blas::write_dest(c.v[i], c.g[i],
+                              run.first_touch(c.v[i].p) ? run.beta : 1.0);
+  }
+  blas::packed_gemm_multi(run.bk, ml, nl, kl, pa, pb, dst, c.n);
+
+  if (opcount::enabled()) {
+    opcount::record_gemm(ml, kl, nl, /*accumulate=*/true);
+    const count_t comb_adds = static_cast<count_t>(a.n - 1) * ml * kl +
+                              static_cast<count_t>(b.n - 1) * kl * nl +
+                              static_cast<count_t>(c.n - 1) * ml * nl;
+    if (comb_adds > 0) opcount::record_add(comb_adds);
+  }
+  if (ctx.stats != nullptr) {
+    ++ctx.stats->base_gemms;
+    ++ctx.stats->fused_products;
+  }
+}
+
+// Expands `levels` fused Strassen levels: each level substitutes every term
+// and destination with its quadrants per kStrassen7 and recurses, so term
+// and destination counts double per level (bounded by the skeleton's 4).
+void emit(FusedRun& run, int levels, const Comb& a, const Comb& b,
+          const Dests& c, int depth) {
+  if (levels == 0) {
+    fused_leaf(run, a, b, c, depth);
+    return;
+  }
+  for (const ProductSpec& spec : kStrassen7) {
+    Comb sa;
+    for (int e = 0; e < spec.na; ++e) {
+      for (int t = 0; t < a.n; ++t) {
+        sa.add(quadrant_of(a.v[t], spec.a[e].q), a.g[t] * spec.a[e].g);
+      }
+    }
+    Comb sb;
+    for (int e = 0; e < spec.nb; ++e) {
+      for (int t = 0; t < b.n; ++t) {
+        sb.add(quadrant_of(b.v[t], spec.b[e].q), b.g[t] * spec.b[e].g);
+      }
+    }
+    Dests sc;
+    for (int e = 0; e < spec.nc; ++e) {
+      for (int t = 0; t < c.n; ++t) {
+        sc.add(quadrant_of(c.v[t], spec.c[e].q), c.g[t] * spec.c[e].g);
+      }
+    }
+    emit(run, levels - 1, sa, sb, sc, depth + 1);
+  }
+}
+
+int clamp_fused_levels(int requested) {
+  return std::clamp(requested, 1, 2);
+}
+
+}  // namespace
+
+void fmm_fused(double alpha, ConstView a, ConstView b, double beta, MutView c,
+               Ctx& ctx, int depth) {
+  const index_t m = c.rows, n = c.cols, k = a.cols;
+  assert(a.rows == m && b.rows == k && b.cols == n);
+  if (m == 0 || n == 0) return;
+
+  const bool degenerate = (m < 2 || k < 2 || n < 2);
+  if (degenerate || alpha == 0.0 || ctx.cfg->cutoff.stop(m, k, n, depth)) {
+    blas::gemm_view(alpha, a, b, beta, c);
+    if (ctx.stats != nullptr) ++ctx.stats->base_gemms;
+    return;
+  }
+
+  // Odd dimensions are always dynamically peeled at fused levels: padding
+  // would reintroduce exactly the copy passes fusion removes.
+  const bool odd = ((m | k | n) & 1) != 0;
+  const index_t me = m & ~index_t{1};
+  const index_t ke = k & ~index_t{1};
+  const index_t ne = n & ~index_t{1};
+  const index_t m2 = me / 2, k2 = ke / 2, n2 = ne / 2;
+
+  int levels = 1;
+  if (clamp_fused_levels(ctx.cfg->fused_levels) >= 2 &&
+      ((m2 | k2 | n2) & 1) == 0 &&
+      !ctx.cfg->cutoff.stop(m2, k2, n2, depth + 1)) {
+    levels = 2;
+  }
+
+  if (ctx.stats != nullptr) {
+    // One fused level is one Strassen node; two fused levels stand in for a
+    // node plus its seven children.
+    ctx.stats->strassen_levels += (levels == 2) ? 8 : 1;
+    ctx.stats->fused_depth = std::max(ctx.stats->fused_depth, levels);
+    ctx.stats->max_depth = std::max(ctx.stats->max_depth, depth + levels);
+  }
+
+  FusedRun run;
+  run.ctx = &ctx;
+  run.beta = beta;
+  run.bk = blas::blocking_for(blas::active_machine());
+
+  Comb ca;
+  ca.add(a.block(0, 0, me, ke), 1.0);
+  Comb cb;
+  cb.add(b.block(0, 0, ke, ne), 1.0);
+  Dests dc;
+  dc.add(c.block(0, 0, me, ne), alpha);
+  emit(run, levels, ca, cb, dc, depth);
+
+  if (odd) {
+    const int fixups = peel_fixups(alpha, a, b, beta, c, me, ke, ne);
+    if (ctx.stats != nullptr) ctx.stats->peel_fixups += fixups;
+  }
+  if (ctx.stats != nullptr) {
+    ctx.stats->peak_workspace =
+        std::max(ctx.stats->peak_workspace, ctx.arena->peak());
+  }
+}
+
+void fused_product(const FusedOperand& a, const FusedOperand& b, MutView d,
+                   double g, double beta, Ctx& ctx, int depth) {
+  assert(a.n >= 1 && b.n >= 1);
+  const index_t ml = a.v[0].rows, kl = a.v[0].cols, nl = b.v[0].cols;
+  const count_t need = fused_product_workspace(ml, kl, nl, *ctx.cfg, depth);
+  if (ctx.arena->in_use() == 0 &&
+      ctx.arena->capacity() < static_cast<std::size_t>(need)) {
+    ctx.arena->reserve(static_cast<std::size_t>(need));
+  }
+
+  FusedRun run;
+  run.ctx = &ctx;
+  run.beta = beta;
+  run.bk = blas::blocking_for(blas::active_machine());
+
+  Comb ca;
+  for (int i = 0; i < a.n; ++i) ca.add(a.v[i], a.g[i]);
+  Comb cb;
+  for (int i = 0; i < b.n; ++i) cb.add(b.v[i], b.g[i]);
+  Dests dc;
+  dc.add(d, g);
+  fused_leaf(run, ca, cb, dc, depth);
+}
+
+count_t fused_product_workspace(index_t m, index_t k, index_t n,
+                                const DgefmmConfig& cfg, int depth) {
+  if (cfg.cutoff.stop(m, k, n, depth)) return 0;
+  return static_cast<count_t>(m) * k + static_cast<count_t>(k) * n +
+         static_cast<count_t>(m) * n +
+         workspace_doubles_at(m, n, k, 0.0, cfg, depth);
+}
+
+}  // namespace strassen::core::detail

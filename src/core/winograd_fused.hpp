@@ -1,0 +1,62 @@
+// Packing-fused Strassen schedule built on the blas::packed_gemm_multi
+// skeleton (see src/blas/packed_loop.hpp and DESIGN.md section 6).
+//
+// The classic schedules in winograd.cpp spend every operand sum (S/T) and
+// every product accumulation (U) as a separate memory pass through arena
+// temporaries. The fused schedule instead expresses the top one or two
+// recursion levels with Strassen's original seven-product form, where each
+// product is
+//
+//     M = (gamma_1 A_q1 + gamma_2 A_q2) (gamma_1' B_q1 + gamma_2' B_q2),
+//     C_q += +/- alpha M   for one or two quadrants of C,
+//
+// i.e. exactly one packed-GEMM call whose *packing* forms the operand sums
+// and whose *epilogue* scatters the accumulator into the destination
+// quadrants. No S/T/product temporaries exist at fused levels, so those
+// levels allocate zero arena workspace. Composing the form with itself
+// yields the two-level variant: 49 products with up to four packing terms
+// and four destinations each -- the limits the skeleton supports.
+//
+// Below the fusion depth (when the cutoff still wants recursion at the
+// leaf dimensions) each leaf materializes its operand combinations into
+// arena temporaries and continues with the classic schedules, so deep
+// problems keep their Strassen arithmetic savings.
+#pragma once
+
+#include "core/winograd.hpp"
+
+namespace strassen::core::detail {
+
+/// Fused counterpart of fmm: C <- alpha*A*B + beta*C with the top level(s)
+/// executed as fused packed-GEMM calls. Odd dimensions are dynamically
+/// peeled (cfg.odd only affects the classic recursion below the fusion).
+void fmm_fused(double alpha, ConstView a, ConstView b, double beta, MutView c,
+               Ctx& ctx, int depth);
+
+/// One gamma-weighted operand combination of a fused product (at most two
+/// terms at one level of fusion).
+struct FusedOperand {
+  ConstView v[2];
+  double g[2];
+  int n = 0;
+
+  void add(ConstView view, double gamma) {
+    v[n] = view;
+    g[n] = gamma;
+    ++n;
+  }
+};
+
+/// Computes d <- g * (sum_i ga_i A_i)(sum_j gb_j B_j) + beta * d as one
+/// fused packed-GEMM call, or -- when the cutoff still wants recursion at
+/// these dimensions -- by materializing the combinations into ctx.arena and
+/// running the classic fmm below. This is the task granule the parallel
+/// top level schedules. The arena is grown on demand when unused.
+void fused_product(const FusedOperand& a, const FusedOperand& b, MutView d,
+                   double g, double beta, Ctx& ctx, int depth);
+
+/// Exact arena doubles one fused_product call allocates at peak.
+count_t fused_product_workspace(index_t m, index_t k, index_t n,
+                                const DgefmmConfig& cfg, int depth);
+
+}  // namespace strassen::core::detail

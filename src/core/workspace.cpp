@@ -3,13 +3,16 @@
 #include <algorithm>
 
 #include "core/padding.hpp"
+#include "core/winograd_fused.hpp"
 
 namespace strassen::core {
 
 namespace {
 
 Scheme resolve(Scheme s, bool beta_zero) {
-  if (s == Scheme::automatic) {
+  // The fused schedule runs the classic automatic schedules below its
+  // fusion depth, so it resolves like `automatic` here.
+  if (s == Scheme::automatic || s == Scheme::fused) {
     return beta_zero ? Scheme::strassen1 : Scheme::strassen2;
   }
   return s;
@@ -43,6 +46,7 @@ count_t ws(index_t m, index_t k, index_t n, bool beta_zero,
 
   switch (resolve(cfg.scheme, beta_zero)) {
     case Scheme::automatic:  // resolved above
+    case Scheme::fused:      // resolved above
     case Scheme::strassen1: {
       if (beta_zero) {
         const count_t per = static_cast<count_t>(m2) * std::max(k2, n2) +
@@ -77,11 +81,42 @@ count_t ws(index_t m, index_t k, index_t n, bool beta_zero,
   return 0;
 }
 
+// Mirrors detail::fmm_fused: fused levels allocate nothing (operand sums
+// live in the BLAS pack buffers, U accumulations in C itself); only leaves
+// the cutoff still wants to recurse on materialize into the arena, and the
+// sequential leaves all share the same per-leaf footprint.
+count_t ws_fused(index_t m, index_t k, index_t n, const DgefmmConfig& cfg,
+                 int depth) {
+  if (m == 0 || n == 0) return 0;
+  if (m < 2 || k < 2 || n < 2 || cfg.cutoff.stop(m, k, n, depth)) return 0;
+  const index_t m2 = (m & ~index_t{1}) / 2;
+  const index_t k2 = (k & ~index_t{1}) / 2;
+  const index_t n2 = (n & ~index_t{1}) / 2;
+  int levels = 1;
+  if (std::clamp(cfg.fused_levels, 1, 2) >= 2 && ((m2 | k2 | n2) & 1) == 0 &&
+      !cfg.cutoff.stop(m2, k2, n2, depth + 1)) {
+    levels = 2;
+  }
+  const int shift = levels - 1;
+  return detail::fused_product_workspace(m2 >> shift, k2 >> shift,
+                                         n2 >> shift, cfg, depth + levels);
+}
+
 }  // namespace
+
+count_t workspace_doubles_at(index_t m, index_t n, index_t k, double beta,
+                             const DgefmmConfig& cfg, int depth) {
+  return ws(m, k, n, beta == 0.0, cfg, depth);
+}
 
 count_t workspace_doubles(index_t m, index_t n, index_t k, double beta,
                           const DgefmmConfig& cfg) {
   const bool beta_zero = (beta == 0.0);
+  if (cfg.scheme == Scheme::fused) {
+    // Fused always peels odd dimensions, so cfg.odd plays no role at the
+    // fused levels (the classic recursion below honours it via ws()).
+    return ws_fused(m, k, n, cfg, 0);
+  }
   if (cfg.odd == OddStrategy::static_padding) {
     const int levels = detail::static_padding_depth(cfg.cutoff, m, k, n);
     const index_t mp = detail::pad_up(m, levels);

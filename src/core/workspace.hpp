@@ -17,6 +17,12 @@ namespace strassen::core {
 count_t workspace_doubles(index_t m, index_t n, index_t k, double beta,
                           const DgefmmConfig& cfg);
 
+/// Exact workspace of the *classic* recursion entered at `depth` (the
+/// fused schedule uses this to size its below-fusion leaves; Scheme::fused
+/// resolves like Scheme::automatic here).
+count_t workspace_doubles_at(index_t m, index_t n, index_t k, double beta,
+                             const DgefmmConfig& cfg, int depth);
+
 /// Paper bound for STRASSEN1 with beta == 0: (m*max(k,n) + kn)/3.
 double bound_strassen1_beta0(index_t m, index_t k, index_t n);
 

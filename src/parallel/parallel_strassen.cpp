@@ -7,6 +7,7 @@
 #include "core/add_kernels.hpp"
 #include "core/dgefmm.hpp"
 #include "core/peeling.hpp"
+#include "core/winograd_fused.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace strassen::parallel {
@@ -18,8 +19,81 @@ core::DgefmmConfig child_config(const ParallelDgefmmConfig& cfg,
                                 Arena* arena) {
   core::DgefmmConfig child;
   child.cutoff = cfg.cutoff;
+  child.scheme = cfg.scheme;
   child.workspace = arena;
   return child;
+}
+
+// Seven tasks of the fused top level: Strassen's original form needs no S/T
+// operand temporaries at all -- the sums are formed while packing inside
+// each task's fused_product call -- so the only parallel-path memory is the
+// seven product temporaries the combine step needs.
+void run_fused_top_level(double alpha, ConstView a11, ConstView a12,
+                         ConstView a21, ConstView a22, ConstView b11,
+                         ConstView b12, ConstView b21, ConstView b22,
+                         double beta, MutView c11, MutView c12, MutView c21,
+                         MutView c22, const ParallelDgefmmConfig& cfg) {
+  const index_t m2 = c11.rows, n2 = c11.cols;
+  Matrix p1(m2, n2), p2(m2, n2), p3(m2, n2), p4(m2, n2), p5(m2, n2),
+      p6(m2, n2), p7(m2, n2);
+  struct Product {
+    core::detail::FusedOperand a, b;
+    MutView out;
+  };
+  Product products[7] = {{{}, {}, p1.view()}, {{}, {}, p2.view()},
+                         {{}, {}, p3.view()}, {{}, {}, p4.view()},
+                         {{}, {}, p5.view()}, {{}, {}, p6.view()},
+                         {{}, {}, p7.view()}};
+  // M1 = (A11 + A22)(B11 + B22)
+  products[0].a.add(a11, 1.0), products[0].a.add(a22, 1.0);
+  products[0].b.add(b11, 1.0), products[0].b.add(b22, 1.0);
+  // M2 = (A21 + A22) B11
+  products[1].a.add(a21, 1.0), products[1].a.add(a22, 1.0);
+  products[1].b.add(b11, 1.0);
+  // M3 = A11 (B12 - B22)
+  products[2].a.add(a11, 1.0);
+  products[2].b.add(b12, 1.0), products[2].b.add(b22, -1.0);
+  // M4 = A22 (B21 - B11)
+  products[3].a.add(a22, 1.0);
+  products[3].b.add(b21, 1.0), products[3].b.add(b11, -1.0);
+  // M5 = (A11 + A12) B22
+  products[4].a.add(a11, 1.0), products[4].a.add(a12, 1.0);
+  products[4].b.add(b22, 1.0);
+  // M6 = (A21 - A11)(B11 + B12)
+  products[5].a.add(a21, 1.0), products[5].a.add(a11, -1.0);
+  products[5].b.add(b11, 1.0), products[5].b.add(b12, 1.0);
+  // M7 = (A12 - A22)(B21 + B22)
+  products[6].a.add(a12, 1.0), products[6].a.add(a22, -1.0);
+  products[6].b.add(b21, 1.0), products[6].b.add(b22, 1.0);
+
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(7);
+  for (Product& p : products) {
+    tasks.push_back([&p, alpha, &cfg] {
+      Arena arena;
+      core::DgefmmConfig child = child_config(cfg, &arena);
+      core::detail::Ctx ctx{&child, &arena, nullptr};
+      core::detail::fused_product(p.a, p.b, p.out, alpha, 0.0, ctx, 1);
+    });
+  }
+  global_pool().run_batch(std::move(tasks));
+
+  // C11 = beta C11 + M1 + M4 - M5 + M7
+  core::axpby(1.0, p1.view(), beta, c11);
+  core::add_inplace(c11, p4.view());
+  core::sub_inplace(c11, p5.view());
+  core::add_inplace(c11, p7.view());
+  // C12 = beta C12 + M3 + M5
+  core::axpby(1.0, p3.view(), beta, c12);
+  core::add_inplace(c12, p5.view());
+  // C21 = beta C21 + M2 + M4
+  core::axpby(1.0, p2.view(), beta, c21);
+  core::add_inplace(c21, p4.view());
+  // C22 = beta C22 + M1 - M2 + M3 + M6
+  core::axpby(1.0, p1.view(), beta, c22);
+  core::sub_inplace(c22, p2.view());
+  core::add_inplace(c22, p3.view());
+  core::add_inplace(c22, p6.view());
 }
 
 }  // namespace
@@ -34,6 +108,7 @@ int dgefmm_parallel(Trans transa, Trans transb, index_t m, index_t n,
       cfg.cutoff.stop(m, k, n, 0)) {
     core::DgefmmConfig serial;
     serial.cutoff = cfg.cutoff;
+    serial.scheme = cfg.scheme;
     return core::dgefmm(transa, transb, m, n, k, alpha, a, lda, b, ldb, beta,
                         c, ldc, serial);
   }
@@ -66,6 +141,15 @@ int dgefmm_parallel(Trans transa, Trans transb, index_t m, index_t n,
   ConstView b21 = be.block(k2, 0, k2, n2), b22 = be.block(k2, n2, k2, n2);
   MutView c11 = ce.block(0, 0, m2, n2), c12 = ce.block(0, n2, m2, n2);
   MutView c21 = ce.block(m2, 0, m2, n2), c22 = ce.block(m2, n2, m2, n2);
+
+  if (cfg.scheme == core::Scheme::fused) {
+    run_fused_top_level(alpha, a11, a12, a21, a22, b11, b12, b21, b22, beta,
+                        c11, c12, c21, c22, cfg);
+    if (((m | k | n) & 1) != 0) {
+      core::peel_fixups(alpha, av, bv, beta, cv, me, ke, ne);
+    }
+    return 0;
+  }
 
   // Top-level operand sums (serial; O(n^2)).
   Matrix s1(m2, k2), s2(m2, k2), s3(m2, k2), s4(m2, k2);

@@ -19,6 +19,11 @@ struct ParallelDgefmmConfig {
   core::CutoffCriterion cutoff =
       core::CutoffCriterion::paper_default(blas::active_machine());
   std::size_t threads = 0;  ///< 0 = hardware concurrency
+  /// Schedule run inside each task. Scheme::fused switches the top level to
+  /// Strassen's original seven-product form, where every product is a
+  /// single fused packed-GEMM call (no S/T operand temporaries at all) and
+  /// each task recurses with the fused schedule below.
+  core::Scheme scheme = core::Scheme::automatic;
 };
 
 /// C <- alpha * op(A) * op(B) + beta * C with the top recursion level's

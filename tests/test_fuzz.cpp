@@ -47,8 +47,8 @@ CutoffCriterion random_criterion(Rng& rng) {
 
 Scheme random_scheme(Rng& rng) {
   const Scheme all[] = {Scheme::automatic, Scheme::strassen1,
-                        Scheme::strassen2, Scheme::original};
-  return all[rng.uniform_index(0, 3)];
+                        Scheme::strassen2, Scheme::original, Scheme::fused};
+  return all[rng.uniform_index(0, 4)];
 }
 
 OddStrategy random_odd(Rng& rng) {

@@ -148,7 +148,9 @@ struct Mirror {
   count_t schedule(index_t m2, index_t k2, index_t n2, double alpha,
                    double beta, int depth) const {
     Scheme s = cfg.scheme;
-    if (s == Scheme::automatic) {
+    if (s == Scheme::automatic || s == Scheme::fused) {
+      // The fused schedule's classic recursion below the fusion resolves
+      // exactly like automatic (this mirror does not model fused levels).
       s = (beta == 0.0) ? Scheme::strassen1 : Scheme::strassen2;
     }
     const count_t g_mk = c2(m2, k2), g_kn = c2(k2, n2), g_mn = c2(m2, n2);
@@ -157,6 +159,7 @@ struct Mirror {
     };
     switch (s) {
       case Scheme::automatic:
+      case Scheme::fused:
       case Scheme::strassen1:
         if (beta == 0.0) {
           // 4 + 4 operand passes, 7 C passes, 7 pure-multiply children.

@@ -148,6 +148,50 @@ TEST_P(ParallelStrassenCases, MatchesReference) {
 
 INSTANTIATE_TEST_SUITE_P(Cases, ParallelStrassenCases, ::testing::Range(0, 6));
 
+class ParallelFusedCases : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelFusedCases, FusedScheduleMatchesReference) {
+  struct Case {
+    index_t m, n, k;
+    Trans ta, tb;
+    double alpha, beta;
+  };
+  const std::vector<Case> cases = {
+      {128, 128, 128, Trans::no, Trans::no, 1.0, 0.0},
+      {129, 127, 125, Trans::no, Trans::no, 1.0, 0.0},
+      {120, 140, 100, Trans::no, Trans::no, 2.0, -0.5},
+      {96, 96, 96, Trans::transpose, Trans::no, 1.0, 1.0},
+      {101, 99, 97, Trans::transpose, Trans::transpose, -1.0, 0.25},
+      {16, 16, 16, Trans::no, Trans::no, 1.0, 0.0},  // serial fallback
+  };
+  const Case cs = cases[static_cast<std::size_t>(GetParam())];
+  Rng rng(200 + static_cast<std::uint64_t>(GetParam()));
+  const index_t a_rows = is_trans(cs.ta) ? cs.k : cs.m;
+  const index_t a_cols = is_trans(cs.ta) ? cs.m : cs.k;
+  const index_t b_rows = is_trans(cs.tb) ? cs.n : cs.k;
+  const index_t b_cols = is_trans(cs.tb) ? cs.k : cs.n;
+  Matrix a = random_matrix(a_rows, a_cols, rng);
+  Matrix b = random_matrix(b_rows, b_cols, rng);
+  Matrix c = random_matrix(cs.m, cs.n, rng);
+  Matrix c_ref(cs.m, cs.n);
+  copy(c.view(), c_ref.view());
+
+  parallel::ParallelDgefmmConfig cfg;
+  cfg.cutoff = core::CutoffCriterion::square_simple(24);
+  cfg.scheme = core::Scheme::fused;
+  ASSERT_EQ(parallel::dgefmm_parallel(cs.ta, cs.tb, cs.m, cs.n, cs.k,
+                                      cs.alpha, a.data(), a.ld(), b.data(),
+                                      b.ld(), cs.beta, c.data(), c.ld(), cfg),
+            0);
+  blas::gemm_reference(cs.ta, cs.tb, cs.m, cs.n, cs.k, cs.alpha, a.data(),
+                       a.ld(), b.data(), b.ld(), cs.beta, c_ref.data(),
+                       c_ref.ld());
+  EXPECT_LT(max_abs_diff(c.view(), c_ref.view()),
+            1e-11 * (static_cast<double>(cs.k) + 10.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, ParallelFusedCases, ::testing::Range(0, 6));
+
 TEST(ParallelStrassen, InvalidArgumentsReported) {
   Matrix a(8, 8), b(8, 8), c(8, 8);
   parallel::ParallelDgefmmConfig cfg;

@@ -66,7 +66,7 @@ INSTANTIATE_TEST_SUITE_P(
     Grid, WorkspaceExactness,
     ::testing::Combine(
         ::testing::Values(Scheme::automatic, Scheme::strassen1,
-                          Scheme::strassen2, Scheme::original),
+                          Scheme::strassen2, Scheme::original, Scheme::fused),
         ::testing::Values(OddStrategy::dynamic_peeling,
                           OddStrategy::dynamic_padding,
                           OddStrategy::static_padding),
@@ -144,6 +144,33 @@ TEST(WorkspaceBounds, SquareAsymptoticCoefficients) {
       m2;
   EXPECT_GT(c_s1_general, 1.60);
   EXPECT_LE(c_s1_general, 2.0 + 1e-9);
+}
+
+TEST(WorkspaceBounds, FusedStrictlyBelowStrassen2AtFusedLevels) {
+  // The fused schedule forms operand sums inside the GEMM pack buffers, so
+  // the fused levels themselves allocate nothing; only leaves that still
+  // recurse classically materialize temporaries -- at quarter dimensions.
+  // Its requirement must therefore be strictly below STRASSEN2's
+  // (mk + kn + mn)/3, the serial schedules' minimum.
+  DgefmmConfig fused, s2;
+  fused.cutoff = s2.cutoff = CutoffCriterion::square_simple(8);
+  fused.scheme = Scheme::fused;
+  s2.scheme = Scheme::strassen2;
+  for (const index_t n : {64, 128, 256, 512, 1024}) {
+    const count_t w_fused = core::dgefmm_workspace_doubles(n, n, n, 1.0, fused);
+    const count_t w_s2 = core::dgefmm_workspace_doubles(n, n, n, 1.0, s2);
+    EXPECT_LT(w_fused, w_s2) << "n=" << n;
+  }
+}
+
+TEST(WorkspaceBounds, FullyFusedRecursionNeedsNoWorkspace) {
+  // When the cutoff is reached exactly at the fused leaves, the whole
+  // multiply is 49 packed-GEMM calls and zero arena doubles.
+  DgefmmConfig cfg;
+  cfg.cutoff = CutoffCriterion::fixed_depth(2);
+  cfg.scheme = Scheme::fused;
+  EXPECT_EQ(core::dgefmm_workspace_doubles(64, 64, 64, 1.0, cfg), 0);
+  EXPECT_EQ(core::dgefmm_workspace_doubles(256, 192, 320, 0.0, cfg), 0);
 }
 
 TEST(WorkspaceBounds, PeelingNeedsNoExtraMemoryOverEvenCore) {
