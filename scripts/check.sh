@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
-# Pre-merge check: build the release and sanitizer presets and run the full
-# test suite under both. Usage: scripts/check.sh [extra ctest args...]
+# Pre-merge check: build the release and sanitizer presets and run the test
+# suite under each. The tsan preset builds everything but runs only the
+# concurrency-relevant suites (test_parallel, test_faults, test_cabi), via
+# the label filter in CMakePresets.json. Usage: scripts/check.sh [extra
+# ctest args...]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 jobs=$(nproc 2>/dev/null || echo 4)
 
-for preset in release asan; do
+for preset in release asan tsan; do
   echo "== preset: ${preset} =="
   cmake --preset "${preset}"
   cmake --build --preset "${preset}" -j "${jobs}"

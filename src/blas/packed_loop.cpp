@@ -117,4 +117,9 @@ void packed_gemm_multi(const GemmBlocking& bk, index_t m, index_t n,
   }
 }
 
+void ensure_pack_capacity(const GemmBlocking& bk) {
+  pack_buffers().ensure(static_cast<std::size_t>(bk.mc + kMR) * bk.kc,
+                        static_cast<std::size_t>(bk.kc) * (bk.nc + kNR));
+}
+
 }  // namespace strassen::blas

@@ -91,4 +91,11 @@ void packed_gemm_multi(const GemmBlocking& bk, index_t m, index_t n,
                        index_t k, const PackComb& a, const PackComb& b,
                        const WriteDest* dst, int ndst);
 
+/// Pre-allocates the calling thread's packing scratch for blocking `bk`.
+/// The DGEFMM driver calls this during its pre-flight so the compute phase
+/// performs no allocation at all: packed GEMM's only fallible operation is
+/// moved in front of the first write to C, which the failure policy relies
+/// on (DESIGN.md section 7). May throw std::bad_alloc.
+void ensure_pack_capacity(const GemmBlocking& bk);
+
 }  // namespace strassen::blas

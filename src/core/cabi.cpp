@@ -1,8 +1,12 @@
 #include "core/cabi.hpp"
 
 #include <cctype>
+#include <exception>
+#include <new>
 
+#include "blas/gemm.hpp"
 #include "core/dgefmm.hpp"
+#include "support/errors.hpp"
 
 namespace {
 
@@ -25,23 +29,70 @@ bool parse_trans(char ch, Trans& out) {
   }
 }
 
-// Process-wide workspace, as the original library kept internally. The
-// bindings are not thread-safe (neither was the 1996 library); concurrent
-// callers should use the C++ API with per-thread arenas.
-Arena& shared_arena() {
-  static Arena arena;
-  return arena;
+// Per-thread binding state. The 1996 library kept one process-wide
+// workspace and was not thread-safe; a thread_local arena gives the same
+// reuse-across-calls behaviour while letting threaded programs call the
+// bindings concurrently without sharing (or racing on) any state.
+struct BindingState {
+  Arena arena;
+  core::FailurePolicy policy = core::FailurePolicy::fallback;
+  std::int64_t workspace_limit = -1;  // doubles; negative = unlimited
+};
+
+BindingState& binding_state() {
+  thread_local BindingState state;
+  return state;
+}
+
+// Maps an in-flight exception to its documented negative info code. C has
+// not been written when any of these reach the boundary: under the strict
+// policy dgefmm throws before its first store to C, and bad_alloc from the
+// fallback's own machinery would fire in acquisition too.
+int info_from_exception() {
+  try {
+    throw;
+  } catch (const WorkspaceError&) {
+    return STRASSEN_INFO_WORKSPACE;
+  } catch (const std::bad_alloc&) {
+    return STRASSEN_INFO_ALLOC;
+  } catch (const Error&) {
+    return STRASSEN_INFO_INTERNAL;
+  } catch (...) {
+    return STRASSEN_INFO_UNKNOWN;
+  }
 }
 
 int run(Trans ta, Trans tb, index_t m, index_t n, index_t k, double alpha,
         const double* a, index_t lda, const double* b, index_t ldb,
         double beta, double* c, index_t ldc,
-        const core::CutoffCriterion& cutoff) {
-  core::DgefmmConfig cfg;
-  cfg.cutoff = cutoff;
-  cfg.workspace = &shared_arena();
-  return core::dgefmm(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc,
-                      cfg);
+        const core::CutoffCriterion& cutoff) noexcept {
+  try {
+    BindingState& state = binding_state();
+    core::DgefmmConfig cfg;
+    cfg.cutoff = cutoff;
+    cfg.workspace = &state.arena;
+    cfg.on_failure = state.policy;
+    if (state.workspace_limit >= 0) {
+      // Honour the configured cap before dgefmm would (re)grow the arena.
+      const count_t need =
+          core::dgefmm_workspace_doubles(m, n, k, beta, cfg);
+      if (need > static_cast<count_t>(state.workspace_limit)) {
+        if (state.policy == core::FailurePolicy::strict) {
+          return STRASSEN_INFO_WORKSPACE;
+        }
+        // Fallback: run the same entry point with recursion disabled, which
+        // keeps the argument checking but needs zero arena workspace.
+        core::DgefmmConfig plain;
+        plain.cutoff = core::CutoffCriterion::never_recurse();
+        return core::dgefmm(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c,
+                            ldc, plain);
+      }
+    }
+    return core::dgefmm(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c,
+                        ldc, cfg);
+  } catch (...) {
+    return info_from_exception();
+  }
 }
 
 }  // namespace
@@ -80,6 +131,29 @@ void dgefmm_(const char* transa, const char* transb, const std::int32_t* m,
   *info = static_cast<std::int32_t>(
       strassen_dgefmm(*transa, *transb, *m, *n, *k, *alpha, a, *lda, b, *ldb,
                       *beta, c, *ldc));
+}
+
+void strassen_dgefmm_set_failure_policy(char policy) {
+  switch (std::toupper(static_cast<unsigned char>(policy))) {
+    case 'S':
+      binding_state().policy = core::FailurePolicy::strict;
+      break;
+    case 'F':
+      binding_state().policy = core::FailurePolicy::fallback;
+      break;
+    default:
+      break;
+  }
+}
+
+void strassen_dgefmm_set_workspace_limit(std::int64_t limit_doubles) {
+  binding_state().workspace_limit = limit_doubles;
+}
+
+void strassen_dgefmm_release_workspace(void) {
+  Arena& arena = binding_state().arena;
+  arena.reset();
+  arena = Arena();
 }
 
 }  // extern "C"

@@ -12,16 +12,47 @@
 //    behaviour expressed through the info return.
 //
 // Both use the library defaults (paper cutoff parameters on the active
-// machine profile, dynamic peeling, automatic schedule) and a process-wide
-// reusable workspace, mirroring how the original library was used.
+// machine profile, dynamic peeling, automatic schedule) and a reusable
+// thread_local workspace arena, so concurrent callers never share state.
+//
+// Failure contract (DESIGN.md section 7): no exception ever crosses these
+// extern "C" boundaries. By default the bindings run with the `fallback`
+// failure policy -- when workspace cannot be acquired they degrade to the
+// workspace-free DGEMM path and still return 0 with a correct product,
+// which is what a drop-in DGEMM replacement must do. Under the `strict`
+// policy (strassen_dgefmm_set_failure_policy('S')), and for failures even
+// the fallback cannot absorb, the info return is negative:
+//
+//   info = 0                        success
+//   info > 0                        1-based index of the first bad argument
+//                                   (XERBLA convention: 1 transa, 2 transb,
+//                                   3 m, 4 n, 5 k, 8 lda, 10 ldb, 13 ldc)
+//   info = STRASSEN_INFO_WORKSPACE  workspace arena could not be reserved
+//                                   or is over its configured limit
+//   info = STRASSEN_INFO_ALLOC     memory allocation failed (bad_alloc)
+//   info = STRASSEN_INFO_INTERNAL  another library error (see errors.hpp)
+//   info = STRASSEN_INFO_UNKNOWN   unrecognised exception type
+//
+// C is written if and only if info == 0 (argument errors and negative
+// codes both leave beta*C semantics untouched).
 #pragma once
 
 #include <cstdint>
 
 extern "C" {
 
+/// Negative info codes for runtime failures (argument errors stay positive
+/// per the XERBLA convention).
+enum {
+  STRASSEN_INFO_WORKSPACE = -1,
+  STRASSEN_INFO_ALLOC = -2,
+  STRASSEN_INFO_INTERNAL = -3,
+  STRASSEN_INFO_UNKNOWN = -4,
+};
+
 /// C binding. trans arguments are 'N'/'T'/'C' (case-insensitive).
-/// Returns 0 on success or the 1-based index of the first bad argument.
+/// Returns 0 on success, a positive bad-argument index, or a negative
+/// STRASSEN_INFO_* failure code. Never throws.
 int strassen_dgefmm(char transa, char transb, std::int64_t m, std::int64_t n,
                     std::int64_t k, double alpha, const double* a,
                     std::int64_t lda, const double* b, std::int64_t ldb,
@@ -37,11 +68,27 @@ int strassen_dgefmm_tuned(char transa, char transb, std::int64_t m,
 
 /// Fortran-77 binding: CALL DGEFMM(TRANSA, TRANSB, M, N, K, ALPHA, A, LDA,
 /// B, LDB, BETA, C, LDC, INFO). INTEGER arguments are 32-bit, everything
-/// passes by reference, INFO receives the argument-check result.
+/// passes by reference, INFO receives the argument-check result or a
+/// negative STRASSEN_INFO_* failure code. Never unwinds into Fortran.
 void dgefmm_(const char* transa, const char* transb, const std::int32_t* m,
              const std::int32_t* n, const std::int32_t* k,
              const double* alpha, const double* a, const std::int32_t* lda,
              const double* b, const std::int32_t* ldb, const double* beta,
              double* c, const std::int32_t* ldc, std::int32_t* info);
+
+/// Sets the calling thread's failure policy for the bindings above:
+/// 'F'/'f' = fallback (default; degrade to plain DGEMM and succeed),
+/// 'S'/'s' = strict (report negative info with C untouched).
+/// Other characters are ignored.
+void strassen_dgefmm_set_failure_policy(char policy);
+
+/// Caps the calling thread's binding workspace at `limit_doubles` doubles;
+/// a call whose predicted workspace exceeds the limit is treated as a
+/// reservation failure (fallback degrades, strict reports
+/// STRASSEN_INFO_WORKSPACE). Negative = unlimited (default).
+void strassen_dgefmm_set_workspace_limit(std::int64_t limit_doubles);
+
+/// Releases the calling thread's cached binding workspace arena.
+void strassen_dgefmm_release_workspace(void);
 
 }  // extern "C"

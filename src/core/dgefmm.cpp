@@ -3,9 +3,11 @@
 #include <algorithm>
 
 #include "blas/gemm.hpp"
+#include "blas/packed_loop.hpp"
 #include "core/padding.hpp"
 #include "core/winograd.hpp"
 #include "core/winograd_fused.hpp"
+#include "support/faultinject.hpp"
 
 namespace strassen::core {
 
@@ -61,17 +63,54 @@ int dgefmm(Trans transa, Trans transb, index_t m, index_t n, index_t k,
 
 void dgefmm_view(double alpha, ConstView a, ConstView b, double beta,
                  MutView c, const DgefmmConfig& cfg) {
-  const count_t need = workspace_doubles(c.rows, c.cols, a.cols, beta, cfg);
+  const std::size_t need = static_cast<std::size_t>(
+      workspace_doubles(c.rows, c.cols, a.cols, beta, cfg));
+  const long faults_before = faultinject::injected_total();
 
+  // Pre-flight: every fallible acquisition happens here, before the first
+  // write to C, so the failure policy can act with beta*C still intact
+  // (strict leaves C untouched; fallback still sees the original C).
   Arena local;
-  Arena* arena = cfg.workspace;
-  if (arena == nullptr) {
-    local.reserve(static_cast<std::size_t>(need));
-    arena = &local;
-  } else if (arena->in_use() == 0 &&
-             arena->capacity() < static_cast<std::size_t>(need)) {
-    arena->reserve(static_cast<std::size_t>(need));
+  Arena* arena = nullptr;
+  try {
+    if (cfg.workspace == nullptr) {
+      local.reserve(need);
+      arena = &local;
+    } else if (cfg.workspace->in_use() == 0) {
+      if (cfg.workspace->capacity() < need) cfg.workspace->reserve(need);
+      arena = cfg.workspace;
+    } else {
+      // An in-use caller arena cannot be regrown (its allocations are
+      // live); the probe below rejects it now instead of letting the
+      // recursion throw with C half-written.
+      arena = cfg.workspace;
+    }
+    // Probe the exact predicted peak: proves the arena covers the whole
+    // recursion (and is the arena_alloc fault-injection firing point)
+    // while C is still untouched. Does not disturb peak() accounting.
+    arena->probe(need);
+    // The packed GEMM's per-thread scratch is the only allocation the
+    // compute phase would otherwise make on a cold thread; warm it now.
+    blas::ensure_pack_capacity(blas::blocking_for(blas::active_machine()));
+  } catch (const std::exception&) {
+    if (cfg.on_failure == FailurePolicy::strict) throw;
+    // Graceful degradation: plain DGEMM needs zero arena workspace, so
+    // running out of memory costs performance, never correctness.
+    blas::gemm_view(alpha, a, b, beta, c);
+    if (cfg.stats != nullptr) {
+      ++cfg.stats->fallbacks;
+      ++cfg.stats->base_gemms;
+      cfg.stats->faults_injected +=
+          faultinject::injected_total() - faults_before;
+    }
+    return;
   }
+
+  // Acquisition complete: arena capacity is proven by the probe and the
+  // pack scratch is warm, so the schedules below allocate nothing new.
+  // Injected faults are suspended for this no-fail region; a real arena
+  // overflow in it would be a sizing bug and still throws WorkspaceError.
+  faultinject::ScopedSuspend nofail;
 
   detail::Ctx ctx{&cfg, arena, cfg.stats};
   if (cfg.scheme == Scheme::fused) {
@@ -86,6 +125,8 @@ void dgefmm_view(double alpha, ConstView a, ConstView b, double beta,
   if (cfg.stats != nullptr) {
     cfg.stats->peak_workspace =
         std::max(cfg.stats->peak_workspace, arena->peak());
+    cfg.stats->faults_injected +=
+        faultinject::injected_total() - faults_before;
   }
 }
 

@@ -22,6 +22,14 @@ namespace strassen::core {
 /// Returns 0 on success, or the 1-based index of the first invalid argument
 /// (BLAS XERBLA convention): 3 for m < 0, 4 for n < 0, 5 for k < 0, 8 for
 /// lda too small, 10 for ldb, 13 for ldc.
+///
+/// Failure contract (DESIGN.md section 7): all fallible workspace
+/// acquisition happens before the first write to C. If it fails, the
+/// behaviour follows cfg.on_failure -- strict (default) throws the typed
+/// error (WorkspaceError / std::bad_alloc) with C untouched; fallback
+/// silently degrades to the workspace-free blas::dgemm path, records it in
+/// cfg.stats->fallbacks, and returns 0 with a correct product. The
+/// exception-free C/Fortran bindings live in core/cabi.hpp.
 int dgefmm(Trans transa, Trans transb, index_t m, index_t n, index_t k,
            double alpha, const double* a, index_t lda, const double* b,
            index_t ldb, double beta, double* c, index_t ldc,

@@ -44,6 +44,28 @@ constexpr const char* scheme_name(Scheme s) {
   return "?";
 }
 
+/// What dgefmm does when workspace acquisition fails (arena reservation,
+/// buffer allocation, or a parallel task that cannot run). The decision is
+/// always made *before* the first write to C, so beta semantics survive
+/// either way (DESIGN.md section 7).
+enum class FailurePolicy {
+  strict,    ///< throw the typed error (WorkspaceError / std::bad_alloc /
+             ///< TaskError) with C untouched
+  fallback,  ///< degrade to the workspace-free blas::dgemm path, record it
+             ///< in DgefmmStats::fallbacks, and succeed
+};
+
+/// Human-readable policy name for reports.
+constexpr const char* failure_policy_name(FailurePolicy p) {
+  switch (p) {
+    case FailurePolicy::strict:
+      return "strict";
+    case FailurePolicy::fallback:
+      return "fallback";
+  }
+  return "?";
+}
+
 /// How odd dimensions are made even at each recursion level.
 enum class OddStrategy {
   dynamic_peeling,  ///< strip the odd row/column, fix up with DGER/DGEMV
@@ -60,11 +82,30 @@ struct DgefmmStats {
   count_t peel_fixups = 0;       ///< DGER/DGEMV/DDOT fix-up operations
   count_t pad_copies = 0;        ///< padded operand copies made
   count_t fused_products = 0;    ///< fused multi-destination packed-GEMM calls
+  count_t fallbacks = 0;         ///< degradations to the plain DGEMM path
+                                 ///< under FailurePolicy::fallback
+  count_t faults_injected = 0;   ///< faults the test harness fired during
+                                 ///< the call (see support/faultinject.hpp)
   int fused_depth = 0;           ///< fused levels applied at the top (0-2)
   int max_depth = 0;             ///< deepest recursion level applied
   std::size_t peak_workspace = 0;  ///< arena high-water mark, in doubles
 
   void reset() { *this = DgefmmStats{}; }
+
+  /// Accumulates another call's (or a parallel child task's) statistics
+  /// into this one: counters add, depth/peak fields take the maximum.
+  void merge_from(const DgefmmStats& o) {
+    strassen_levels += o.strassen_levels;
+    base_gemms += o.base_gemms;
+    peel_fixups += o.peel_fixups;
+    pad_copies += o.pad_copies;
+    fused_products += o.fused_products;
+    fallbacks += o.fallbacks;
+    faults_injected += o.faults_injected;
+    if (o.fused_depth > fused_depth) fused_depth = o.fused_depth;
+    if (o.max_depth > max_depth) max_depth = o.max_depth;
+    if (o.peak_workspace > peak_workspace) peak_workspace = o.peak_workspace;
+  }
 };
 
 /// Options controlling a dgefmm call. Default-constructed configuration
@@ -88,6 +129,11 @@ struct DgefmmConfig {
 
   /// Optional statistics sink.
   DgefmmStats* stats = nullptr;
+
+  /// What to do when workspace acquisition fails (see FailurePolicy). The
+  /// C++ API defaults to strict (typed exceptions); the C/Fortran bindings
+  /// default to fallback so a drop-in DGEMM replacement never throws.
+  FailurePolicy on_failure = FailurePolicy::strict;
 };
 
 }  // namespace strassen::core

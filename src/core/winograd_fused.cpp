@@ -8,6 +8,7 @@
 #include "core/add_kernels.hpp"
 #include "core/peeling.hpp"
 #include "core/workspace.hpp"
+#include "support/faultinject.hpp"
 #include "support/opcount.hpp"
 
 namespace strassen::core::detail {
@@ -93,6 +94,10 @@ struct FusedRun {
   Ctx* ctx = nullptr;
   double beta = 0.0;
   blas::GemmBlocking bk{};
+  // Degraded mode (fallback failure policy, DESIGN.md section 7): workspace
+  // reservation failed, so every leaf must take the single fused
+  // packed-GEMM call, which draws nothing from the arena.
+  bool force_packed = false;
   double* touched[16] = {};
   int ntouched = 0;
 
@@ -121,7 +126,7 @@ void fused_leaf(FusedRun& run, const Comb& a, const Comb& b, const Dests& c,
   Ctx& ctx = *run.ctx;
   const index_t ml = a.v[0].rows, kl = a.v[0].cols, nl = b.v[0].cols;
 
-  if (!ctx.cfg->cutoff.stop(ml, kl, nl, depth)) {
+  if (!run.force_packed && !ctx.cfg->cutoff.stop(ml, kl, nl, depth)) {
     ArenaScope scope(*ctx.arena);
     MutView ta = arena_matrix(*ctx.arena, ml, kl);
     materialize(a, ta);
@@ -265,15 +270,31 @@ void fused_product(const FusedOperand& a, const FusedOperand& b, MutView d,
   assert(a.n >= 1 && b.n >= 1);
   const index_t ml = a.v[0].rows, kl = a.v[0].cols, nl = b.v[0].cols;
   const count_t need = fused_product_workspace(ml, kl, nl, *ctx.cfg, depth);
+  bool force_packed = false;
   if (ctx.arena->in_use() == 0 &&
       ctx.arena->capacity() < static_cast<std::size_t>(need)) {
-    ctx.arena->reserve(static_cast<std::size_t>(need));
+    try {
+      ctx.arena->reserve(static_cast<std::size_t>(need));
+    } catch (const std::exception&) {
+      if (ctx.cfg->on_failure == FailurePolicy::strict) throw;
+      // Graceful degradation: the single fused packed-GEMM call computes
+      // the same product through the pack buffers alone, so the leaf below
+      // skips the arena-backed recursion instead of failing.
+      force_packed = true;
+      if (ctx.stats != nullptr) ++ctx.stats->fallbacks;
+    }
   }
+
+  // Acquisition is behind us; the computation below runs as a no-fail
+  // region, mirroring the serial driver (injected faults suspended, real
+  // arena overflow still reported as the sizing bug it would be).
+  faultinject::ScopedSuspend nofail;
 
   FusedRun run;
   run.ctx = &ctx;
   run.beta = beta;
   run.bk = blas::blocking_for(blas::active_machine());
+  run.force_packed = force_packed;
 
   Comb ca;
   for (int i = 0; i < a.n; ++i) ca.add(a.v[i], a.g[i]);

@@ -4,24 +4,44 @@
 #include <functional>
 #include <vector>
 
+#include "blas/gemm.hpp"
+#include "blas/packed_loop.hpp"
 #include "core/add_kernels.hpp"
 #include "core/dgefmm.hpp"
 #include "core/peeling.hpp"
 #include "core/winograd_fused.hpp"
 #include "parallel/thread_pool.hpp"
+#include "support/faultinject.hpp"
 
 namespace strassen::parallel {
 
 namespace {
 
-// Serial DGEFMM config used inside each parallel task.
+// Serial DGEFMM config used inside each parallel task. The failure policy
+// propagates, so under `fallback` a fault inside one task degrades just
+// that task's product to plain DGEMM while the other six stay on Strassen.
 core::DgefmmConfig child_config(const ParallelDgefmmConfig& cfg,
-                                Arena* arena) {
+                                Arena* arena, core::DgefmmStats* stats) {
   core::DgefmmConfig child;
   child.cutoff = cfg.cutoff;
   child.scheme = cfg.scheme;
   child.workspace = arena;
+  child.on_failure = cfg.on_failure;
+  child.stats = stats;
   return child;
+}
+
+// Folds per-task stats into cfg.stats. faults_injected is zeroed first:
+// the counter children read is process-global, so concurrent tasks can
+// each observe the same injection -- the driver records one overall delta
+// instead.
+void merge_child_stats(const ParallelDgefmmConfig& cfg,
+                       core::DgefmmStats* children, int n) {
+  if (cfg.stats == nullptr) return;
+  for (int i = 0; i < n; ++i) {
+    children[i].faults_injected = 0;
+    cfg.stats->merge_from(children[i]);
+  }
 }
 
 // Seven tasks of the fused top level: Strassen's original form needs no S/T
@@ -66,17 +86,25 @@ void run_fused_top_level(double alpha, ConstView a11, ConstView a12,
   products[6].a.add(a12, 1.0), products[6].a.add(a22, -1.0);
   products[6].b.add(b21, 1.0), products[6].b.add(b22, 1.0);
 
+  core::DgefmmStats child_stats[7];
   std::vector<std::function<void()>> tasks;
   tasks.reserve(7);
-  for (Product& p : products) {
-    tasks.push_back([&p, alpha, &cfg] {
+  for (int i = 0; i < 7; ++i) {
+    Product* p = &products[i];
+    core::DgefmmStats* st = &child_stats[i];
+    tasks.push_back([p, st, alpha, &cfg] {
       Arena arena;
-      core::DgefmmConfig child = child_config(cfg, &arena);
-      core::detail::Ctx ctx{&child, &arena, nullptr};
-      core::detail::fused_product(p.a, p.b, p.out, alpha, 0.0, ctx, 1);
+      core::DgefmmConfig child = child_config(cfg, &arena, st);
+      core::detail::Ctx ctx{&child, &arena, st};
+      core::detail::fused_product(p->a, p->b, p->out, alpha, 0.0, ctx, 1);
     });
   }
   global_pool().run_batch(std::move(tasks));
+  merge_child_stats(cfg, child_stats, 7);
+
+  // Every fallible step is behind us (run_batch rethrew any task failure
+  // before this point); the combine below is the first write to C.
+  faultinject::ScopedSuspend nofail;
 
   // C11 = beta C11 + M1 + M4 - M5 + M7
   core::axpby(1.0, p1.view(), beta, c11);
@@ -96,31 +124,14 @@ void run_fused_top_level(double alpha, ConstView a11, ConstView a12,
   core::add_inplace(c22, p6.view());
 }
 
-}  // namespace
-
-int dgefmm_parallel(Trans transa, Trans transb, index_t m, index_t n,
-                    index_t k, double alpha, const double* a, index_t lda,
-                    const double* b, index_t ldb, double beta, double* c,
-                    index_t ldc, const ParallelDgefmmConfig& cfg) {
-  // Serial fallback covers argument checking, degenerate cases, and
-  // problems the cutoff sends straight to DGEMM.
-  if (m < 2 || k < 2 || n < 2 || alpha == 0.0 ||
-      cfg.cutoff.stop(m, k, n, 0)) {
-    core::DgefmmConfig serial;
-    serial.cutoff = cfg.cutoff;
-    serial.scheme = cfg.scheme;
-    return core::dgefmm(transa, transb, m, n, k, alpha, a, lda, b, ldb, beta,
-                        c, ldc, serial);
-  }
-  // Argument checking via a zero-work call.
-  {
-    core::DgefmmConfig serial;
-    serial.cutoff = cfg.cutoff;
-    const int info = core::dgefmm(transa, transb, m, n, k, 0.0, a, lda, b,
-                                  ldb, 1.0, c, ldc, serial);
-    if (info != 0) return info;
-  }
-
+// The whole parallel evaluation: temporaries, task fan-out, combine. Every
+// fallible step (Matrix buffers, child arenas, task spawning) happens
+// before the combine's first write to C, so a throw from here always
+// leaves beta*C intact for dgefmm_parallel's policy handling.
+void run_top_level(Trans transa, Trans transb, index_t m, index_t n,
+                   index_t k, double alpha, const double* a, index_t lda,
+                   const double* b, index_t ldb, double beta, double* c,
+                   index_t ldc, const ParallelDgefmmConfig& cfg) {
   const ConstView av = make_op_view(transa, a, is_trans(transa) ? k : m,
                                     is_trans(transa) ? m : k, lda);
   const ConstView bv = make_op_view(transb, b, is_trans(transb) ? n : k,
@@ -148,7 +159,7 @@ int dgefmm_parallel(Trans transa, Trans transb, index_t m, index_t n,
     if (((m | k | n) & 1) != 0) {
       core::peel_fixups(alpha, av, bv, beta, cv, me, ke, ne);
     }
-    return 0;
+    return;
   }
 
   // Top-level operand sums (serial; O(n^2)).
@@ -177,16 +188,25 @@ int dgefmm_parallel(Trans transa, Trans transb, index_t m, index_t n,
       {s3.view(), t3.view(), q7.view()},
   };
 
+  core::DgefmmStats child_stats[7];
   std::vector<std::function<void()>> tasks;
   tasks.reserve(7);
-  for (const Product& p : products) {
-    tasks.push_back([p, alpha, &cfg] {
+  for (int i = 0; i < 7; ++i) {
+    const Product p = products[i];
+    core::DgefmmStats* st = &child_stats[i];
+    tasks.push_back([p, st, alpha, &cfg] {
       Arena arena;
-      core::DgefmmConfig child = child_config(cfg, &arena);
+      core::DgefmmConfig child = child_config(cfg, &arena, st);
       core::dgefmm_view(alpha, p.left, p.right, 0.0, p.out, child);
     });
   }
   global_pool().run_batch(std::move(tasks));
+  merge_child_stats(cfg, child_stats, 7);
+
+  // First write to C; nothing from here on allocates (the peel fix-ups'
+  // pack scratch was warmed by dgefmm_parallel). Injection stays off so a
+  // mid-combine fault cannot be misread as an acquisition failure.
+  faultinject::ScopedSuspend nofail;
 
   // Combine (serial): U2 = P1 + P6, U3 = U2 + P7.
   core::axpby(1.0, q1.view(), beta, c11);
@@ -204,6 +224,63 @@ int dgefmm_parallel(Trans transa, Trans transb, index_t m, index_t n,
   // Odd-dimension fix-ups, exactly as in the serial driver.
   if (((m | k | n) & 1) != 0) {
     core::peel_fixups(alpha, av, bv, beta, cv, me, ke, ne);
+  }
+}
+
+}  // namespace
+
+int dgefmm_parallel(Trans transa, Trans transb, index_t m, index_t n,
+                    index_t k, double alpha, const double* a, index_t lda,
+                    const double* b, index_t ldb, double beta, double* c,
+                    index_t ldc, const ParallelDgefmmConfig& cfg) {
+  // Serial fallback covers argument checking, degenerate cases, and
+  // problems the cutoff sends straight to DGEMM (with the caller's failure
+  // policy and stats passed through).
+  if (m < 2 || k < 2 || n < 2 || alpha == 0.0 ||
+      cfg.cutoff.stop(m, k, n, 0)) {
+    core::DgefmmConfig serial;
+    serial.cutoff = cfg.cutoff;
+    serial.scheme = cfg.scheme;
+    serial.on_failure = cfg.on_failure;
+    serial.stats = cfg.stats;
+    return core::dgefmm(transa, transb, m, n, k, alpha, a, lda, b, ldb, beta,
+                        c, ldc, serial);
+  }
+  // Argument checking via a zero-work call (alpha == 0 quick-returns with
+  // beta == 1, so C stays untouched and no workspace is acquired).
+  {
+    core::DgefmmConfig serial;
+    serial.cutoff = cfg.cutoff;
+    const int info = core::dgefmm(transa, transb, m, n, k, 0.0, a, lda, b,
+                                  ldb, 1.0, c, ldc, serial);
+    if (info != 0) return info;
+  }
+
+  const long faults_before = faultinject::injected_total();
+  try {
+    // Warm this thread's pack scratch now: the post-combine peel fix-ups
+    // run plain GEMMs on the calling thread and must not allocate after C
+    // has been written.
+    blas::ensure_pack_capacity(blas::blocking_for(blas::active_machine()));
+    run_top_level(transa, transb, m, n, k, alpha, a, lda, b, ldb, beta, c,
+                  ldc, cfg);
+  } catch (const std::exception&) {
+    if (cfg.on_failure == core::FailurePolicy::strict) throw;
+    // Graceful degradation: one workspace-free DGEMM over the whole
+    // problem. beta*C is still intact (see run_top_level).
+    blas::dgemm(transa, transb, m, n, k, alpha, a, lda, b, ldb, beta, c,
+                ldc);
+    if (cfg.stats != nullptr) {
+      ++cfg.stats->fallbacks;
+      ++cfg.stats->base_gemms;
+      cfg.stats->faults_injected +=
+          faultinject::injected_total() - faults_before;
+    }
+    return 0;
+  }
+  if (cfg.stats != nullptr) {
+    cfg.stats->faults_injected +=
+        faultinject::injected_total() - faults_before;
   }
   return 0;
 }

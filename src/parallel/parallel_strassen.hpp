@@ -24,6 +24,15 @@ struct ParallelDgefmmConfig {
   /// single fused packed-GEMM call (no S/T operand temporaries at all) and
   /// each task recurses with the fused schedule below.
   core::Scheme scheme = core::Scheme::automatic;
+  /// Failure policy (DESIGN.md section 7). All task spawning and every
+  /// temporary precede the combine step's first write to C, so on failure
+  /// `strict` rethrows with C untouched and `fallback` degrades the whole
+  /// problem to one workspace-free DGEMM. Propagated to the per-task child
+  /// configs as well.
+  core::FailurePolicy on_failure = core::FailurePolicy::strict;
+  /// Optional instrumentation: per-task child stats are merged in, plus the
+  /// driver's own fallback/fault counters.
+  core::DgefmmStats* stats = nullptr;
 };
 
 /// C <- alpha * op(A) * op(B) + beta * C with the top recursion level's

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "support/errors.hpp"
+#include "support/faultinject.hpp"
+
 namespace strassen::parallel {
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -34,6 +37,9 @@ void ThreadPool::worker_loop() {
       queue_.pop();
     }
     try {
+      if (faultinject::should_fail(faultinject::Site::pool_task)) {
+        throw TaskError("fault injection: thread-pool task failed to start");
+      }
       task();
     } catch (...) {
       std::lock_guard<std::mutex> lock(mu_);

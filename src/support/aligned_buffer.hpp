@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "support/config.hpp"
+#include "support/faultinject.hpp"
 
 namespace strassen {
 
@@ -24,6 +25,9 @@ class AlignedBuffer {
 
   explicit AlignedBuffer(std::size_t n) : size_(n) {
     if (n > 0) {
+      if (faultinject::should_fail(faultinject::Site::buffer_alloc)) {
+        throw std::bad_alloc();
+      }
       data_ = static_cast<double*>(::operator new(
           n * sizeof(double), std::align_val_t(kBufferAlignment)));
     }

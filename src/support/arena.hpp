@@ -6,13 +6,33 @@
 // beta != 0. Every temporary in the library is drawn from an Arena, whose
 // peak() is compared against those closed forms in the tests and printed by
 // bench_tab1_memory.
+//
+// Failure semantics (DESIGN.md section 7): reserve() is the arena's only
+// true resource acquisition and may fail (std::bad_alloc from the buffer,
+// WorkspaceError when misused, or an injected fault). alloc() on a
+// correctly pre-sized arena is pure pointer arithmetic; its overflow throw
+// signals an internal sizing bug, not resource exhaustion. Both carry
+// fault-injection hooks (support/faultinject.hpp) so the failure contract
+// is provable under test.
+//
+// Debug guards: when faultinject::arena_guards() is on (default in debug
+// builds), the arena keeps one canary double in the *free* space just past
+// the newest live allocation and re-verifies it on every subsequent
+// alloc()/release(); a computation that writes past the end of its newest
+// block destroys the canary and is reported via corruption_detected().
+// release() additionally poisons the freed range with 0xFF bytes (a NaN
+// pattern), so use-after-release reads surface as NaNs in results. The
+// guard lives outside every allocation, so enabling it changes neither
+// alloc addresses nor peak() accounting.
 #pragma once
 
 #include <cstddef>
+#include <cstring>
 #include <string>
 
 #include "support/aligned_buffer.hpp"
 #include "support/errors.hpp"
+#include "support/faultinject.hpp"
 
 namespace strassen {
 
@@ -35,38 +55,81 @@ class Arena {
   Arena& operator=(Arena&&) = default;
 
   /// Grows the arena to at least `capacity` doubles. Only legal when the
-  /// arena is unused (top == 0); the library sizes arenas up front.
+  /// arena is unused (top == 0); the library sizes arenas up front. May
+  /// throw WorkspaceError (misuse or injected fault) or std::bad_alloc.
   void reserve(std::size_t capacity) {
     if (top_ != 0) {
       throw WorkspaceError("Arena::reserve called on an arena in use");
     }
+    if (faultinject::should_fail(faultinject::Site::arena_reserve)) {
+      throw WorkspaceError("fault injection: Arena::reserve(" +
+                           std::to_string(capacity) + ") failed");
+    }
     if (capacity > buf_.size()) {
       buf_ = AlignedBuffer(capacity);
+      has_guard_ = false;
     }
   }
 
   /// Returns a pointer to `n` uninitialized doubles.
   double* alloc(std::size_t n) {
+    if (faultinject::should_fail(faultinject::Site::arena_alloc)) {
+      throw WorkspaceError("fault injection: Arena::alloc(" +
+                           std::to_string(n) + ") failed");
+    }
     if (top_ + n > buf_.size()) {
       throw WorkspaceError(
           "workspace arena exhausted: requested " + std::to_string(n) +
           " doubles with " + std::to_string(buf_.size() - top_) +
           " remaining of " + std::to_string(buf_.size()));
     }
+    const bool guards = faultinject::arena_guards();
+    if (guards) check_guard();
     double* p = buf_.data() + top_;
     top_ += n;
     if (top_ > peak_) peak_ = top_;
+    if (guards) write_guard();
     return p;
+  }
+
+  /// Capacity probe: verifies that `n` doubles could be allocated at the
+  /// current stack position, without moving the stack or the high-water
+  /// mark. Shares alloc()'s fault-injection site, so the acquisition point
+  /// that allocation failures map to can be failed deterministically under
+  /// test. Throws WorkspaceError on a shortfall (or injected fault).
+  void probe(std::size_t n) {
+    if (faultinject::should_fail(faultinject::Site::arena_alloc)) {
+      throw WorkspaceError("fault injection: Arena::probe(" +
+                           std::to_string(n) + ") failed");
+    }
+    if (top_ + n > buf_.size()) {
+      throw WorkspaceError(
+          "workspace arena too small: need " + std::to_string(n) +
+          " doubles with " + std::to_string(buf_.size() - top_) +
+          " remaining of " + std::to_string(buf_.size()));
+    }
   }
 
   /// Current stack position, for later release().
   std::size_t mark() const { return top_; }
 
   /// Pops every allocation made after `mark`.
-  void release(std::size_t mark) { top_ = mark; }
+  void release(std::size_t mark) {
+    if (faultinject::arena_guards()) {
+      check_guard();
+      if (mark < top_) poison(mark, top_);
+      top_ = mark;
+      write_guard();
+    } else {
+      top_ = mark;
+    }
+  }
 
   /// Doubles currently allocated.
   std::size_t in_use() const { return top_; }
+
+  /// Doubles still available on top of the current stack position.
+  std::size_t remaining() const { return buf_.size() - top_; }
 
   /// Largest number of doubles ever simultaneously allocated.
   std::size_t peak() const { return peak_; }
@@ -74,16 +137,65 @@ class Arena {
   /// Total capacity in doubles.
   std::size_t capacity() const { return buf_.size(); }
 
-  /// Releases everything and clears the high-water mark.
+  /// Releases everything and clears the high-water mark (and, with guards
+  /// on, any recorded corruption).
   void reset() {
     top_ = 0;
     peak_ = 0;
+    has_guard_ = false;
+    corrupted_ = false;
   }
 
+  /// True if a guard canary was ever found destroyed (a block overran its
+  /// allocation). Only meaningful while faultinject::arena_guards() is on.
+  bool corruption_detected() const { return corrupted_; }
+
  private:
+  // The canary sits at [top_, top_ + 1) -- free space just past the newest
+  // live block -- whenever there is room for it.
+  static constexpr std::size_t kGuardDoubles = 1;
+
+  static double guard_pattern() {
+    // An arbitrary non-NaN bit pattern that no computation produces.
+    constexpr unsigned long long kBits = 0x5AFEC0DEBADF00DULL;
+    double d;
+    std::memcpy(&d, &kBits, sizeof(d));
+    return d;
+  }
+
+  void write_guard() {
+    if (top_ + kGuardDoubles <= buf_.size()) {
+      buf_.data()[top_] = guard_pattern();
+      guard_pos_ = top_;
+      has_guard_ = true;
+    } else {
+      has_guard_ = false;
+    }
+  }
+
+  void check_guard() {
+    // guard_pos_ == top_ guards against stale state when the guards switch
+    // was toggled between alloc and release.
+    if (has_guard_ && guard_pos_ == top_ &&
+        std::memcmp(&buf_.data()[top_], &kGuardBitsCheck, sizeof(double)) !=
+            0) {
+      corrupted_ = true;
+    }
+  }
+
+  void poison(std::size_t from, std::size_t to) {
+    // 0xFF in every byte is a NaN; reads of released memory propagate.
+    std::memset(buf_.data() + from, 0xFF, (to - from) * sizeof(double));
+  }
+
+  static constexpr unsigned long long kGuardBitsCheck = 0x5AFEC0DEBADF00DULL;
+
   AlignedBuffer buf_;
   std::size_t top_ = 0;
   std::size_t peak_ = 0;
+  std::size_t guard_pos_ = 0;
+  bool has_guard_ = false;
+  bool corrupted_ = false;
 };
 
 /// RAII guard releasing all arena allocations made during its lifetime.

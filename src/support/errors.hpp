@@ -29,4 +29,12 @@ class ConvergenceError : public Error {
   explicit ConvergenceError(const std::string& what) : Error(what) {}
 };
 
+/// Thrown when a thread-pool task fails to start or run (today only via
+/// fault injection; the slot exists so parallel failures carry a type the
+/// failure policy and the C-ABI info mapping can recognise).
+class TaskError : public Error {
+ public:
+  explicit TaskError(const std::string& what) : Error(what) {}
+};
+
 }  // namespace strassen

@@ -1,7 +1,11 @@
 // Tests for the C and Fortran-77 bindings.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
+#include <cstring>
+#include <thread>
+#include <vector>
 
 #include "blas/gemm.hpp"
 #include "core/cabi.hpp"
@@ -103,6 +107,158 @@ TEST(FortranAbi, InfoReceivesArgumentErrors) {
   dgefmm_(&bad, &good, &n, &n, &n, &one, x, &ld, x, &ld, &zero, x, &ld,
           &info);
   EXPECT_EQ(info, 1);
+}
+
+// Every documented bad-argument info code, with C verified untouched.
+TEST(CAbi, BadArgumentTable) {
+  struct Case {
+    const char* what;
+    char ta, tb;
+    std::int64_t m, n, k, lda, ldb, ldc;
+    int info;
+  };
+  const Case cases[] = {
+      {"transa invalid", 'X', 'N', 4, 4, 4, 4, 4, 4, 1},
+      {"transb invalid", 'N', '?', 4, 4, 4, 4, 4, 4, 2},
+      {"m negative", 'N', 'N', -1, 4, 4, 4, 4, 4, 3},
+      {"n negative", 'N', 'N', 4, -1, 4, 4, 4, 4, 4},
+      {"k negative", 'N', 'N', 4, 4, -1, 4, 4, 4, 5},
+      {"lda too small", 'N', 'N', 4, 4, 4, 3, 4, 4, 8},
+      {"lda too small transposed", 'T', 'N', 4, 4, 8, 4, 8, 4, 8},
+      {"ldb too small", 'N', 'N', 4, 4, 4, 4, 3, 4, 10},
+      {"ldb too small transposed", 'N', 'T', 4, 8, 4, 4, 4, 4, 10},
+      {"ldc too small", 'N', 'N', 4, 4, 4, 4, 4, 3, 13},
+  };
+  double a[64], b[64], c[64], c_before[64];
+  for (int i = 0; i < 64; ++i) {
+    a[i] = 1.0 + i;
+    b[i] = 2.0 - i;
+    c[i] = 0.25 * i;
+    c_before[i] = c[i];
+  }
+  for (const Case& t : cases) {
+    EXPECT_EQ(strassen_dgefmm(t.ta, t.tb, t.m, t.n, t.k, 1.5, a, t.lda, b,
+                              t.ldb, 0.5, c, t.ldc),
+              t.info)
+        << t.what;
+    EXPECT_EQ(std::memcmp(c, c_before, sizeof(c)), 0)
+        << t.what << ": C must stay untouched on an argument error";
+  }
+}
+
+// Degenerate quick returns must apply beta*C exactly once (exact IEEE
+// scaling, no residual GEMM contribution) and never touch the ldc padding
+// rows between m and ldc.
+TEST(CAbi, QuickReturnsLeaveBetaCExact) {
+  const std::int64_t m = 5, n = 4, ldc = 8;
+  double a[8], b[8];
+  for (int i = 0; i < 8; ++i) a[i] = b[i] = 3.0 + i;
+
+  struct Case {
+    const char* what;
+    std::int64_t mm, nn, kk;
+    double alpha, beta;
+  };
+  const Case cases[] = {
+      {"m == 0", 0, n, 3, 1.5, 0.5},    {"n == 0", m, 0, 3, 1.5, 0.5},
+      {"k == 0, scale", m, n, 0, 1.5, 0.5}, {"k == 0, zero", m, n, 0, 1.5, 0.0},
+      {"alpha == 0, scale", m, n, 3, 0.0, 0.5},
+      {"alpha == 0, keep", m, n, 3, 0.0, 1.0},
+  };
+  for (const Case& t : cases) {
+    double c[ldc * n], c_before[ldc * n];
+    for (int i = 0; i < ldc * n; ++i) c[i] = c_before[i] = 0.75 * i - 7.0;
+    ASSERT_EQ(strassen_dgefmm('N', 'N', t.mm, t.nn, t.kk, t.alpha, a,
+                              t.mm > 0 ? t.mm : 1, b, t.kk > 0 ? t.kk : 1,
+                              t.beta, c, ldc),
+              0)
+        << t.what;
+    for (std::int64_t j = 0; j < n; ++j) {
+      for (std::int64_t i = 0; i < ldc; ++i) {
+        const double before = c_before[i + j * ldc];
+        const bool in_c = i < t.mm && j < t.nn;
+        const double want = in_c ? t.beta * before : before;
+        EXPECT_EQ(c[i + j * ldc], want)
+            << t.what << " at (" << i << ", " << j << ")";
+      }
+    }
+  }
+}
+
+// Regression for the failure contract at the boundary: with the binding
+// workspace capped at a single double, no exception may escape the
+// extern "C" entry points -- strict reports the documented negative info
+// with C untouched, fallback (the default) still computes the product.
+TEST(CAbi, TinyWorkspaceBudgetNeverLeaksExceptions) {
+  Rng rng(6);
+  const index_t n = 64;
+  Matrix a = random_matrix(n, n, rng);
+  Matrix b = random_matrix(n, n, rng);
+  Matrix c = random_matrix(n, n, rng);
+  Matrix c_ref(n, n);
+  copy(c.view(), c_ref.view());
+  blas::gemm_reference(Trans::no, Trans::no, n, n, n, 1.5, a.data(), n,
+                       b.data(), n, 0.5, c_ref.data(), n);
+  std::vector<double> snapshot(c.data(),
+                               c.data() + static_cast<std::size_t>(n) * n);
+
+  strassen_dgefmm_set_workspace_limit(1);
+
+  // Strict: a typed negative info code, C bit-identical.
+  strassen_dgefmm_set_failure_policy('S');
+  EXPECT_EQ(strassen_dgefmm_tuned('N', 'N', n, n, n, 1.5, a.data(), n,
+                                  b.data(), n, 0.5, c.data(), n, 8, 8, 8, 8),
+            STRASSEN_INFO_WORKSPACE);
+  EXPECT_EQ(std::memcmp(c.data(), snapshot.data(),
+                        snapshot.size() * sizeof(double)),
+            0);
+
+  // Fallback (the binding default): degrade to plain DGEMM and succeed.
+  strassen_dgefmm_set_failure_policy('F');
+  EXPECT_EQ(strassen_dgefmm_tuned('N', 'N', n, n, n, 1.5, a.data(), n,
+                                  b.data(), n, 0.5, c.data(), n, 8, 8, 8, 8),
+            0);
+  EXPECT_LT(max_abs_diff(c.view(), c_ref.view()), 1e-10);
+
+  strassen_dgefmm_set_workspace_limit(-1);
+}
+
+// Eight threads hammer the binding concurrently. The per-thread arenas
+// (and per-thread policy/limit knobs) mean there is no shared state to
+// race on; the tsan preset runs this under ThreadSanitizer.
+TEST(CAbi, ConcurrentCallersShareNoState) {
+  Rng rng(7);
+  const index_t n = 96;
+  Matrix a = random_matrix(n, n, rng);
+  Matrix b = random_matrix(n, n, rng);
+  Matrix c_ref(n, n);
+  fill(c_ref.view(), 0.0);
+  blas::gemm_reference(Trans::no, Trans::no, n, n, n, 1.0, a.data(), n,
+                       b.data(), n, 0.0, c_ref.data(), n);
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(8);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      Matrix c(n, n);
+      for (int it = 0; it < 4; ++it) {
+        fill(c.view(), 0.0);
+        // Odd threads run with a tight budget (exercising the per-thread
+        // fallback), even threads with the full Strassen path.
+        strassen_dgefmm_set_workspace_limit((t & 1) ? 1 : -1);
+        if (strassen_dgefmm_tuned('N', 'N', n, n, n, 1.0, a.data(), n,
+                                  b.data(), n, 0.0, c.data(), n, 8, 8, 8,
+                                  8) != 0 ||
+            max_abs_diff(c.view(), c_ref.view()) > 1e-10) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      strassen_dgefmm_release_workspace();
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
 }
 
 }  // namespace

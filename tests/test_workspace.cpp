@@ -6,6 +6,7 @@
 #include <tuple>
 #include <vector>
 
+#include "blas/gemm.hpp"
 #include "core/dgefmm.hpp"
 #include "core/workspace.hpp"
 #include "support/random.hpp"
@@ -216,6 +217,36 @@ TEST(WorkspaceError, UndersizedCallerArenaThrows) {
   EXPECT_THROW(core::dgefmm(Trans::no, Trans::no, 64, 64, 64, 1.0, a.data(),
                             64, b.data(), 64, 0.0, c.data(), 64, cfg),
                WorkspaceError);
+}
+
+TEST(WorkspaceError, UndersizedCallerArenaFallsBackWhenAsked) {
+  // Same undersized in-use arena as above, but with the fallback failure
+  // policy: the call degrades to the workspace-free DGEMM path, records the
+  // degradation, and still returns the right product.
+  DgefmmConfig cfg;
+  cfg.cutoff = CutoffCriterion::square_simple(8);
+  cfg.on_failure = core::FailurePolicy::fallback;
+  DgefmmStats stats;
+  cfg.stats = &stats;
+  Arena arena(16);
+  arena.alloc(1);
+  cfg.workspace = &arena;
+  Rng rng(6);
+  Matrix a = random_matrix(64, 64, rng);
+  Matrix b = random_matrix(64, 64, rng);
+  Matrix c(64, 64), c_ref(64, 64);
+  fill(c.view(), 0.0);
+  fill(c_ref.view(), 0.0);
+  EXPECT_EQ(core::dgefmm(Trans::no, Trans::no, 64, 64, 64, 1.0, a.data(), 64,
+                         b.data(), 64, 0.0, c.data(), 64, cfg),
+            0);
+  EXPECT_EQ(stats.fallbacks, 1);
+  blas::gemm_reference(Trans::no, Trans::no, 64, 64, 64, 1.0, a.data(), 64,
+                       b.data(), 64, 0.0, c_ref.data(), 64);
+  EXPECT_LT(max_abs_diff(c.view(), c_ref.view()), 1e-11);
+  // The caller's live allocation is still intact and the arena unused
+  // beyond it.
+  EXPECT_EQ(arena.in_use(), 1u);
 }
 
 }  // namespace
