@@ -46,8 +46,10 @@ int main() {
     core::DgefmmConfig cfg;
     cfg.cutoff = core::CutoffCriterion::fixed_depth(depth);
     cfg.scheme = scheme;
-    core::dgefmm(Trans::no, Trans::no, n, n, n, 1.0, a.data(), n, b.data(),
-                 n, 0.0, c.data(), n, cfg);
+    if (core::dgefmm(Trans::no, Trans::no, n, n, n, 1.0, a.data(), n,
+                     b.data(), n, 0.0, c.data(), n, cfg) != 0) {
+      std::abort();
+    }
     return max_abs_diff(c.view(), truth.view());
   };
 

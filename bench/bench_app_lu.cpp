@@ -50,8 +50,10 @@ int main() {
     core::DgefmmConfig cfg;
     cfg.cutoff = core::CutoffCriterion::square_simple(127.0);
     cfg.workspace = arena.get();
-    core::dgefmm(ta, tb, mm, nn, kk, alpha, aa, lda, bb, ldb, beta, cc, ldc,
-                 cfg);
+    if (core::dgefmm(ta, tb, mm, nn, kk, alpha, aa, lda, bb, ldb, beta, cc,
+                     ldc, cfg) != 0) {
+      std::abort();
+    }
   };
 
   solver::LuStats s_dgemm, s_dgefmm;

@@ -117,9 +117,11 @@ inline double time_dgefmm(Problem& p, double alpha, double beta,
   return time_problem(
       p,
       [&] {
-        core::dgefmm(Trans::no, Trans::no, p.m(), p.n(), p.k(), alpha,
-                     p.a.data(), p.a.ld(), p.b.data(), p.b.ld(), beta,
-                     p.c.data(), p.c.ld(), cfg);
+        if (core::dgefmm(Trans::no, Trans::no, p.m(), p.n(), p.k(), alpha,
+                         p.a.data(), p.a.ld(), p.b.data(), p.b.ld(), beta,
+                         p.c.data(), p.c.ld(), cfg) != 0) {
+          std::abort();
+        }
       },
       reps);
 }

@@ -44,15 +44,19 @@ int main() {
     for (int r = 0; r < reps; ++r) {
       c = c0;
       Timer timer;
-      core::zgemm4m(Trans::no, Trans::no, m, m, m, alpha, a.data(), m,
-                    b.data(), m, beta, c.data(), m);
+      if (core::zgemm4m(Trans::no, Trans::no, m, m, m, alpha, a.data(), m,
+                        b.data(), m, beta, c.data(), m) != 0) {
+        std::abort();
+      }
       t4m = std::min(t4m, timer.seconds());
     }
     for (int r = 0; r < reps; ++r) {
       c = c0;
       Timer timer;
-      core::zgefmm(Trans::no, Trans::no, m, m, m, alpha, a.data(), m,
-                   b.data(), m, beta, c.data(), m, cfg);
+      if (core::zgefmm(Trans::no, Trans::no, m, m, m, alpha, a.data(), m,
+                       b.data(), m, beta, c.data(), m, cfg) != 0) {
+        std::abort();
+      }
       t3m = std::min(t3m, timer.seconds());
     }
     t.add_row({fmt(static_cast<long long>(m)), fmt(t4m, 4), fmt(t3m, 4),

@@ -25,8 +25,11 @@ std::size_t measured_peak_dgefmm(index_t m, double beta,
   Arena arena;
   cfg.workspace = &arena;
   bench::Problem p(m, m, m);
-  core::dgefmm(Trans::no, Trans::no, m, m, m, 1.0, p.a.data(), p.a.ld(),
-               p.b.data(), p.b.ld(), beta, p.c.data(), p.c.ld(), cfg);
+  if (core::dgefmm(Trans::no, Trans::no, m, m, m, 1.0, p.a.data(), p.a.ld(),
+                   p.b.data(), p.b.ld(), beta, p.c.data(), p.c.ld(),
+                   cfg) != 0) {
+    std::abort();
+  }
   return arena.peak();
 }
 

@@ -48,9 +48,11 @@ int main(int argc, char** argv) {
   const double t_dgefmm = time_min(
       [&] {
         stats.reset();
-        core::dgefmm(Trans::no, Trans::no, m, n, k, 1.0, a.data(), a.ld(),
-                     b.data(), b.ld(), 0.0, c_dgefmm.data(), c_dgefmm.ld(),
-                     cfg);
+        if (core::dgefmm(Trans::no, Trans::no, m, n, k, 1.0, a.data(),
+                         a.ld(), b.data(), b.ld(), 0.0, c_dgefmm.data(),
+                         c_dgefmm.ld(), cfg) != 0) {
+          std::abort();
+        }
       },
       3);
 

@@ -38,8 +38,11 @@ int main(int argc, char** argv) {
     const double t = time_min(
         [&] {
           stats.reset();
-          core::dgefmm(Trans::no, Trans::no, m, n, k, 1.0, a.data(), a.ld(),
-                       b.data(), b.ld(), 0.0, c.data(), c.ld(), cfg);
+          if (core::dgefmm(Trans::no, Trans::no, m, n, k, 1.0, a.data(),
+                           a.ld(), b.data(), b.ld(), 0.0, c.data(), c.ld(),
+                           cfg) != 0) {
+            std::abort();
+          }
         },
         3);
     std::cout << "  " << cut.describe() << "\n    time " << t

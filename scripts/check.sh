@@ -1,13 +1,18 @@
 #!/usr/bin/env bash
-# Pre-merge check: build the release and sanitizer presets and run the test
-# suite under each. The tsan preset builds everything but runs only the
-# concurrency-relevant suites (test_parallel, test_faults, test_cabi), via
-# the label filter in CMakePresets.json. Usage: scripts/check.sh [extra
-# ctest args...]
+# Pre-merge check: the lint stage (hardened -Werror build evaluating the
+# compile-time schedule proofs, strassen_lint project invariants,
+# clang-tidy when available -- scripts/lint.sh), then the release and
+# sanitizer presets with the test suite under each. The tsan preset builds
+# everything but runs only the concurrency-relevant suites (test_parallel,
+# test_faults, test_cabi), via the label filter in CMakePresets.json.
+# Usage: scripts/check.sh [extra ctest args...]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 jobs=$(nproc 2>/dev/null || echo 4)
+
+echo "== stage: lint =="
+scripts/lint.sh
 
 for preset in release asan tsan; do
   echo "== preset: ${preset} =="

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Static-verification gate (DESIGN.md section 8). Three stages:
+#
+#   1. hardened warnings-as-errors build (`lint` preset: -Wall -Wextra
+#      -Wshadow -Wconversion -Wdouble-promotion -Werror) -- compiling the
+#      library also evaluates every schedule proof in verify/proofs.hpp,
+#      so a build that links *is* the compile-time proof -- then the
+#      `verify`-labelled ctest suite (runtime checker negative tests);
+#   2. strassen_lint over src/ (project invariants: allocation discipline,
+#      no-fail regions, acquire-before-first-C-write, [[nodiscard]]),
+#      preceded by a self-test on a seeded violation so a silently broken
+#      linter cannot pass the gate;
+#   3. clang-tidy over the compile database, label-filtered to the checks
+#      in .clang-tidy -- skipped with a notice when clang-tidy is not
+#      installed (the toolchain image ships GCC only).
+#
+# Usage: scripts/lint.sh [extra ctest args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 4)
+
+echo "== lint: hardened -Werror build =="
+cmake --preset lint
+cmake --build --preset lint -j "${jobs}"
+ctest --preset lint -j "${jobs}" "$@"
+
+echo "== lint: strassen_lint self-test (seeded violation) =="
+seed_dir=$(mktemp -d)
+trap 'rm -rf "${seed_dir}"' EXIT
+cat > "${seed_dir}/seeded.cpp" <<'EOF'
+#include <cstddef>
+struct Arena { double* alloc(std::size_t); };
+struct ScopedSuspend {};
+void violate(Arena& arena) {
+  ScopedSuspend nofail;
+  double* p = arena.alloc(16);  // allocation inside a no-fail region
+  (void)p;
+}
+EOF
+if ./build-lint/tools/strassen_lint "${seed_dir}" > /dev/null; then
+  echo "error: strassen_lint passed a seeded violation; the linter is broken"
+  exit 1
+fi
+echo "seeded violation rejected, linter is live"
+
+echo "== lint: strassen_lint src/ =="
+./build-lint/tools/strassen_lint src
+
+if command -v clang-tidy > /dev/null 2>&1; then
+  echo "== lint: clang-tidy =="
+  mapfile -t tidy_sources < <(git ls-files 'src/*.cpp')
+  clang-tidy -p build-lint --quiet "${tidy_sources[@]}"
+else
+  echo "== lint: clang-tidy not installed; skipped (GCC-only toolchain) =="
+fi
+
+echo "Lint stage passed."

@@ -19,8 +19,9 @@ struct SgCtx {
 };
 
 bool sg_stop(const SgCtx& ctx, index_t m, index_t k, index_t n) {
-  return m < 2 || k < 2 || n < 2 || m <= ctx.tau || k <= ctx.tau ||
-         n <= ctx.tau;
+  return m < 2 || k < 2 || n < 2 || static_cast<double>(m) <= ctx.tau ||
+         static_cast<double>(k) <= ctx.tau ||
+         static_cast<double>(n) <= ctx.tau;
 }
 
 void sg_fmm(double alpha, ConstView a, ConstView b, double beta, MutView c,
@@ -116,7 +117,10 @@ void sg_fmm(double alpha, ConstView a, ConstView b, double beta, MutView c,
 
 count_t sg_ws(double tau, index_t m, index_t k, index_t n) {
   if (m == 0 || n == 0) return 0;
-  if (m < 2 || k < 2 || n < 2 || m <= tau || k <= tau || n <= tau) return 0;
+  if (m < 2 || k < 2 || n < 2 || static_cast<double>(m) <= tau ||
+      static_cast<double>(k) <= tau || static_cast<double>(n) <= tau) {
+    return 0;
+  }
   count_t pad = 0;
   if (((m | k | n) & 1) != 0) {
     const index_t mp = m + (m & 1), kp = k + (k & 1), np = n + (n & 1);

@@ -53,18 +53,23 @@ enum {
 /// C binding. trans arguments are 'N'/'T'/'C' (case-insensitive).
 /// Returns 0 on success, a positive bad-argument index, or a negative
 /// STRASSEN_INFO_* failure code. Never throws.
-int strassen_dgefmm(char transa, char transb, std::int64_t m, std::int64_t n,
-                    std::int64_t k, double alpha, const double* a,
-                    std::int64_t lda, const double* b, std::int64_t ldb,
-                    double beta, double* c, std::int64_t ldc);
+[[nodiscard]] int strassen_dgefmm(char transa, char transb, std::int64_t m,
+                                  std::int64_t n, std::int64_t k,
+                                  double alpha, const double* a,
+                                  std::int64_t lda, const double* b,
+                                  std::int64_t ldb, double beta, double* c,
+                                  std::int64_t ldc);
 
 /// Same, with explicit hybrid-criterion parameters (eq. 15).
-int strassen_dgefmm_tuned(char transa, char transb, std::int64_t m,
-                          std::int64_t n, std::int64_t k, double alpha,
-                          const double* a, std::int64_t lda, const double* b,
-                          std::int64_t ldb, double beta, double* c,
-                          std::int64_t ldc, double tau, double tau_m,
-                          double tau_k, double tau_n);
+[[nodiscard]] int strassen_dgefmm_tuned(char transa, char transb,
+                                        std::int64_t m, std::int64_t n,
+                                        std::int64_t k, double alpha,
+                                        const double* a, std::int64_t lda,
+                                        const double* b, std::int64_t ldb,
+                                        double beta, double* c,
+                                        std::int64_t ldc, double tau,
+                                        double tau_m, double tau_k,
+                                        double tau_n);
 
 /// Fortran-77 binding: CALL DGEFMM(TRANSA, TRANSB, M, N, K, ALPHA, A, LDA,
 /// B, LDB, BETA, C, LDC, INFO). INTEGER arguments are 32-bit, everything

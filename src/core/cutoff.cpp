@@ -6,18 +6,18 @@ namespace strassen::core {
 
 namespace {
 
+double dbl(index_t v) { return static_cast<double>(v); }
+
 double dmul3(index_t m, index_t k, index_t n) {
-  return static_cast<double>(m) * static_cast<double>(k) *
-         static_cast<double>(n);
+  return dbl(m) * dbl(k) * dbl(n);
 }
 
 // Eq. (13): true when recursion is allowed.
 bool parameterized_recurse(const CutoffCriterion& c, index_t m, index_t k,
                            index_t n) {
   const double lhs = dmul3(m, k, n);
-  const double rhs = c.tau_m * static_cast<double>(n) * k +
-                     c.tau_k * static_cast<double>(m) * n +
-                     c.tau_n * static_cast<double>(m) * k;
+  const double rhs = c.tau_m * dbl(n) * dbl(k) + c.tau_k * dbl(m) * dbl(n) +
+                     c.tau_n * dbl(m) * dbl(k);
   return lhs > rhs;
 }
 
@@ -28,17 +28,14 @@ bool CutoffCriterion::stop(index_t m, index_t k, index_t n, int d) const {
     case CutoffKind::op_count:
       // Eq. (7).
       return dmul3(m, k, n) <=
-             4.0 * (static_cast<double>(m) * k + static_cast<double>(k) * n +
-                    static_cast<double>(m) * n);
+             4.0 * (dbl(m) * dbl(k) + dbl(k) * dbl(n) + dbl(m) * dbl(n));
     case CutoffKind::square_simple:
       // Eq. (11).
-      return m <= tau || k <= tau || n <= tau;
+      return dbl(m) <= tau || dbl(k) <= tau || dbl(n) <= tau;
     case CutoffKind::higham_scaled:
       // Eq. (12).
       return dmul3(m, k, n) <=
-             tau *
-                 (static_cast<double>(n) * k + static_cast<double>(m) * n +
-                  static_cast<double>(m) * k) /
+             tau * (dbl(n) * dbl(k) + dbl(m) * dbl(n) + dbl(m) * dbl(k)) /
                  3.0;
     case CutoffKind::parameterized:
       return !parameterized_recurse(*this, m, k, n);
@@ -46,9 +43,9 @@ bool CutoffCriterion::stop(index_t m, index_t k, index_t n, int d) const {
       // Eq. (15): stop iff
       //   ( !(13) and (m<=tau or k<=tau or n<=tau) ) or
       //   ( m<=tau and k<=tau and n<=tau ).
-      const bool all_small = m <= tau && k <= tau && n <= tau;
+      const bool all_small = dbl(m) <= tau && dbl(k) <= tau && dbl(n) <= tau;
       if (all_small) return true;
-      const bool any_small = m <= tau || k <= tau || n <= tau;
+      const bool any_small = dbl(m) <= tau || dbl(k) <= tau || dbl(n) <= tau;
       if (!any_small) return false;  // all large: always recurse
       return !parameterized_recurse(*this, m, k, n);
     }

@@ -30,10 +30,11 @@ namespace strassen::core {
 /// silently degrades to the workspace-free blas::dgemm path, records it in
 /// cfg.stats->fallbacks, and returns 0 with a correct product. The
 /// exception-free C/Fortran bindings live in core/cabi.hpp.
-int dgefmm(Trans transa, Trans transb, index_t m, index_t n, index_t k,
-           double alpha, const double* a, index_t lda, const double* b,
-           index_t ldb, double beta, double* c, index_t ldc,
-           const DgefmmConfig& cfg = DgefmmConfig{});
+[[nodiscard]] int dgefmm(Trans transa, Trans transb, index_t m, index_t n,
+                         index_t k, double alpha, const double* a,
+                         index_t lda, const double* b, index_t ldb,
+                         double beta, double* c, index_t ldc,
+                         const DgefmmConfig& cfg = DgefmmConfig{});
 
 /// View-based convenience wrapper: C <- alpha*A*B + beta*C where A and B
 /// may be transposed views and C is column-major.
@@ -42,7 +43,8 @@ void dgefmm_view(double alpha, ConstView a, ConstView b, double beta,
 
 /// Workspace (in doubles) the corresponding dgefmm call allocates at peak;
 /// size a reusable Arena with this to make repeated calls allocation-free.
-count_t dgefmm_workspace_doubles(index_t m, index_t n, index_t k, double beta,
-                                 const DgefmmConfig& cfg = DgefmmConfig{});
+[[nodiscard]] count_t dgefmm_workspace_doubles(
+    index_t m, index_t n, index_t k, double beta,
+    const DgefmmConfig& cfg = DgefmmConfig{});
 
 }  // namespace strassen::core

@@ -1,5 +1,6 @@
 #include "core/gemm_backend.hpp"
 
+#include <cassert>
 #include <memory>
 
 #include "blas/gemm.hpp"
@@ -22,7 +23,9 @@ GemmFn gemm_backend_dgefmm() {
                  index_t ldb, double beta, double* c, index_t ldc) {
     DgefmmConfig cfg;
     cfg.workspace = arena.get();
-    dgefmm(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, cfg);
+    [[maybe_unused]] const int info =
+        dgefmm(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, cfg);
+    assert(info == 0);
   };
 }
 
@@ -34,7 +37,9 @@ GemmFn gemm_backend_dgefmm_fused() {
     DgefmmConfig cfg;
     cfg.scheme = Scheme::fused;
     cfg.workspace = arena.get();
-    dgefmm(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, cfg);
+    [[maybe_unused]] const int info =
+        dgefmm(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, cfg);
+    assert(info == 0);
   };
 }
 

@@ -1,79 +1,31 @@
 #include "core/strassen_original.hpp"
 
 #include "core/add_kernels.hpp"
+#include "core/winograd.hpp"
+#include "verify/proofs.hpp"
 
 namespace strassen::core::detail {
 
-namespace {
-
-// C = alpha * A * B (beta == 0) via the 1969 construction:
+// C = alpha * A * B (+ beta * C) via the 1969 construction:
 //   P1 = (A11+A22)(B11+B22)   P5 = (A11+A12) B22
 //   P2 = (A21+A22) B11        P6 = (A21-A11)(B11+B12)
 //   P3 = A11 (B12-B22)        P7 = (A12-A22)(B21+B22)
 //   P4 = A22 (B21-B11)
 //   C11 = P1+P4-P5+P7  C12 = P3+P5  C21 = P2+P4  C22 = P1-P2+P3+P6
-// Temporaries: T1 (mk/4), T2 (kn/4), P (mn/4).
-void schedule_original_beta0(double alpha, ConstView a, ConstView b,
-                             MutView c, Ctx& ctx, int depth) {
-  const index_t m2 = a.rows / 2, k2 = a.cols / 2, n2 = b.cols / 2;
-  ArenaScope scope(*ctx.arena);
-  MutView t1 = arena_matrix(*ctx.arena, m2, k2);
-  MutView t2 = arena_matrix(*ctx.arena, k2, n2);
-  MutView p = arena_matrix(*ctx.arena, m2, n2);
-
-  ConstView a11 = a.block(0, 0, m2, k2), a12 = a.block(0, k2, m2, k2);
-  ConstView a21 = a.block(m2, 0, m2, k2), a22 = a.block(m2, k2, m2, k2);
-  ConstView b11 = b.block(0, 0, k2, n2), b12 = b.block(0, n2, k2, n2);
-  ConstView b21 = b.block(k2, 0, k2, n2), b22 = b.block(k2, n2, k2, n2);
-  MutView c11 = c.block(0, 0, m2, n2), c12 = c.block(0, n2, m2, n2);
-  MutView c21 = c.block(m2, 0, m2, n2), c22 = c.block(m2, n2, m2, n2);
-
-  add(a11, a22, t1);
-  add(b11, b22, t2);
-  fmm(alpha, t1, t2, 0.0, p, ctx, depth + 1);  // P1
-  copy_into(p, c11);
-  copy_into(p, c22);
-
-  add(a21, a22, t1);
-  fmm(alpha, t1, b11, 0.0, c21, ctx, depth + 1);  // P2
-  sub_inplace(c22, c21);
-
-  sub(b12, b22, t2);
-  fmm(alpha, a11, t2, 0.0, c12, ctx, depth + 1);  // P3
-  add_inplace(c22, c12);
-
-  sub(b21, b11, t2);
-  fmm(alpha, a22, t2, 0.0, p, ctx, depth + 1);  // P4
-  add_inplace(c11, p);
-  add_inplace(c21, p);
-
-  add(a11, a12, t1);
-  fmm(alpha, t1, b22, 0.0, p, ctx, depth + 1);  // P5
-  sub_inplace(c11, p);
-  add_inplace(c12, p);
-
-  sub(a21, a11, t1);
-  add(b11, b12, t2);
-  fmm(alpha, t1, t2, 0.0, p, ctx, depth + 1);  // P6
-  add_inplace(c22, p);
-
-  sub(a12, a22, t1);
-  add(b21, b22, t2);
-  fmm(alpha, t1, t2, 0.0, p, ctx, depth + 1);  // P7
-  add_inplace(c11, p);
-}
-
-}  // namespace
-
+//
+// The beta == 0 core is the verified IR table verify::kOriginalBeta0
+// (temporaries T1 (mk/4), T2 (kn/4), P (mn/4)); general beta wraps it with
+// one full-size C temporary and folds beta*C in afterwards.
 void run_original_schedule(double alpha, ConstView a, ConstView b,
                            double beta, MutView c, Ctx& ctx, int depth) {
   if (beta == 0.0) {
-    schedule_original_beta0(alpha, a, b, c, ctx, depth);
+    run_ir_schedule(verify::kOriginalBeta0, alpha, a, b, 0.0, c, ctx, depth);
     return;
   }
   ArenaScope scope(*ctx.arena);
   MutView ctmp = arena_matrix(*ctx.arena, c.rows, c.cols);
-  schedule_original_beta0(alpha, a, b, ctmp, ctx, depth);
+  run_ir_schedule(verify::kOriginalBeta0, alpha, a, b, 0.0, ctmp, ctx,
+                  depth);
   axpby(1.0, ctmp, beta, c);
 }
 

@@ -8,6 +8,7 @@
 #include "core/padding.hpp"
 #include "core/peeling.hpp"
 #include "core/strassen_original.hpp"
+#include "verify/proofs.hpp"
 
 namespace strassen::core::detail {
 
@@ -16,152 +17,154 @@ MutView arena_matrix(Arena& arena, index_t m, index_t n) {
   return make_view(p, m, n, m > 0 ? m : 1);
 }
 
+void run_ir_schedule(const verify::Schedule& s, double alpha, ConstView a,
+                     ConstView b, double beta, MutView c, Ctx& ctx,
+                     int depth) {
+  namespace v = verify;
+  const index_t m2 = a.rows / 2, k2 = a.cols / 2, n2 = b.cols / 2;
+  ArenaScope scope(*ctx.arena);
+
+  // Arena temporaries, allocated in declaration order so the arena layout
+  // (and with it the workspace accounting that verify::footprint_doubles
+  // charges) is deterministic. The dual-role STRASSEN1 X buffer is the only
+  // temporary whose logical shape changes between writes, hence the
+  // per-temp current extents.
+  double* tbuf[v::kMaxTemps] = {};
+  index_t tld[v::kMaxTemps] = {};
+  index_t trows[v::kMaxTemps] = {};
+  index_t tcols[v::kMaxTemps] = {};
+  for (int d = 0; d < s.ntemps; ++d) {
+    const v::TempDecl& td = s.temps[d];
+    const int t = td.reg - v::kT0;
+    index_t r = 0, cl = 0;
+    switch (td.shape) {
+      case v::Shape::mk: r = m2; cl = k2; break;
+      case v::Shape::kn: r = k2; cl = n2; break;
+      case v::Shape::mn: r = m2; cl = n2; break;
+      case v::Shape::m_maxkn: r = m2; cl = std::max(k2, n2); break;
+    }
+    tbuf[t] = ctx.arena->alloc(static_cast<std::size_t>(r) * cl);
+    tld[t] = r > 0 ? r : 1;
+  }
+
+  const auto cquad = [&](int q) -> MutView {
+    return c.block((q >> 1) * m2, (q & 1) * n2, m2, n2);
+  };
+  const auto src = [&](int reg) -> ConstView {
+    if (reg < v::kB11) {
+      const int q = reg - v::kA11;
+      return a.block((q >> 1) * m2, (q & 1) * k2, m2, k2);
+    }
+    if (reg < v::kC11) {
+      const int q = reg - v::kB11;
+      return b.block((q >> 1) * k2, (q & 1) * n2, k2, n2);
+    }
+    if (reg < v::kT0) return cquad(reg - v::kC11);
+    const int t = reg - v::kT0;
+    return make_view(static_cast<const double*>(tbuf[t]), trows[t], tcols[t],
+                     tld[t]);
+  };
+  const auto dst = [&](int reg, index_t r, index_t cl) -> MutView {
+    if (reg >= v::kT0) {
+      const int t = reg - v::kT0;
+      trows[t] = r;
+      tcols[t] = cl;
+      return make_view(tbuf[t], r, cl, tld[t]);
+    }
+    assert(reg >= v::kC11 && r == m2 && cl == n2);
+    return cquad(reg - v::kC11);
+  };
+  // Numeric value of a coefficient at this level's beta.
+  const auto coef = [beta](const v::Coef& cf) {
+    return cf.s == v::Sym::beta ? cf.v * beta : cf.v;
+  };
+  // True for a literal +/-1 with no symbolic factor -- the coefficients the
+  // fixed add/sub kernels implement. Anything else goes through axpby/axpy,
+  // which resolve their own numeric special cases.
+  const auto unit = [](const v::Coef& cf) {
+    return cf.s == v::Sym::one && (cf.v == 1.0 || cf.v == -1.0);
+  };
+
+  for (int i = 0; i < s.nsteps; ++i) {
+    const v::Step& st = s.steps[i];
+    if (st.op == v::Op::mul) {
+      const ConstView x = src(st.x);
+      const ConstView y = src(st.y);
+      MutView d = dst(st.dst, x.rows, y.cols);
+      fmm(st.am * alpha, x, y, coef(st.bc), d, ctx, depth + 1);
+      continue;
+    }
+    int self = -1;
+    for (int t = 0; t < st.nt; ++t) {
+      if (st.t[t].reg == st.dst) self = t;
+    }
+    const ConstView s0 = src(st.t[0].reg);
+    MutView d = dst(st.dst, s0.rows, s0.cols);
+    if (self < 0) {
+      if (st.nt == 1 && st.t[0].c.s == v::Sym::one && st.t[0].c.v == 1.0) {
+        copy_into(s0, d);
+      } else if (st.nt == 2 && unit(st.t[0].c) && unit(st.t[1].c)) {
+        const ConstView s1 = src(st.t[1].reg);
+        if (st.t[0].c.v == 1.0 && st.t[1].c.v == 1.0) {
+          add(s0, s1, d);
+        } else if (st.t[0].c.v == 1.0) {
+          sub(s0, s1, d);
+        } else if (st.t[1].c.v == 1.0) {
+          sub(s1, s0, d);
+        } else {
+          axpby(-1.0, s0, 0.0, d);
+          axpy(-1.0, s1, d);
+        }
+      } else {
+        axpby(coef(st.t[0].c), s0, 0.0, d);
+        for (int t = 1; t < st.nt; ++t) {
+          axpy(coef(st.t[t].c), src(st.t[t].reg), d);
+        }
+      }
+    } else if (st.nt == 2) {
+      const v::Term& ts = st.t[self];
+      const v::Term& to = st.t[1 - self];
+      const ConstView x = src(to.reg);
+      if (unit(ts.c) && unit(to.c)) {
+        if (ts.c.v == 1.0 && to.c.v == 1.0) {
+          add_inplace(d, x);
+        } else if (ts.c.v == 1.0) {
+          sub_inplace(d, x);
+        } else if (to.c.v == 1.0) {
+          rsub_inplace(d, x);
+        } else {
+          axpby(-1.0, x, -1.0, d);
+        }
+      } else {
+        axpby(coef(to.c), x, coef(ts.c), d);
+      }
+    } else {
+      // Self-referencing with 1 or 3 terms: unused by the shipped tables
+      // but kept total so the interpreter handles any schedule the checker
+      // accepts.
+      double sc = 0.0;
+      for (int t = 0; t < st.nt; ++t) {
+        if (t == self) sc = coef(st.t[t].c);
+      }
+      bool first = true;
+      for (int t = 0; t < st.nt; ++t) {
+        if (t == self) continue;
+        if (first) {
+          axpby(coef(st.t[t].c), src(st.t[t].reg), sc, d);
+          first = false;
+        } else {
+          axpy(coef(st.t[t].c), src(st.t[t].reg), d);
+        }
+      }
+      if (first) scale(sc, d);
+    }
+  }
+}
+
 namespace {
 
-// Quadrants of an even-dimensioned logical matrix.
-struct Quads {
-  ConstView q11, q12, q21, q22;
-};
-
-Quads quadrants(ConstView x) {
-  const index_t r2 = x.rows / 2, c2 = x.cols / 2;
-  return {x.block(0, 0, r2, c2), x.block(0, c2, r2, c2),
-          x.block(r2, 0, r2, c2), x.block(r2, c2, r2, c2)};
-}
-
-struct MutQuads {
-  MutView q11, q12, q21, q22;
-};
-
-MutQuads quadrants(MutView x) {
-  const index_t r2 = x.rows / 2, c2 = x.cols / 2;
-  return {x.block(0, 0, r2, c2), x.block(0, c2, r2, c2),
-          x.block(r2, 0, r2, c2), x.block(r2, c2, r2, c2)};
-}
-
-// STRASSEN1, beta == 0: C = alpha*A*B with the products written straight
-// into C's quadrants (Douglas-style 22-step schedule; DESIGN.md section 1).
-void schedule_s1_beta0(double alpha, ConstView a, ConstView b, MutView c,
-                       Ctx& ctx, int depth) {
-  const index_t m2 = a.rows / 2, k2 = a.cols / 2, n2 = b.cols / 2;
-  ArenaScope scope(*ctx.arena);
-  // X holds m2 x k2 operands and, later, the m2 x n2 product P1.
-  double* xbuf = ctx.arena->alloc(static_cast<std::size_t>(m2) *
-                                  std::max(k2, n2));
-  MutView xs = make_view(xbuf, m2, k2, m2 > 0 ? m2 : 1);
-  MutView xp = make_view(xbuf, m2, n2, m2 > 0 ? m2 : 1);
-  MutView y = arena_matrix(*ctx.arena, k2, n2);
-
-  const Quads A = quadrants(a);
-  const Quads B = quadrants(b);
-  MutQuads C = quadrants(c);
-
-  sub(A.q11, A.q21, xs);                       //  1. X  = S3
-  sub(B.q22, B.q12, y);                        //  2. Y  = T3
-  fmm(alpha, xs, y, 0.0, C.q21, ctx, depth + 1);  //  3. C21 = a*P7
-  add(A.q21, A.q22, xs);                       //  4. X  = S1
-  sub(B.q12, B.q11, y);                        //  5. Y  = T1
-  fmm(alpha, xs, y, 0.0, C.q22, ctx, depth + 1);  //  6. C22 = a*P5
-  sub_inplace(xs, A.q11);                      //  7. X  = S2
-  rsub_inplace(y, B.q22);                      //  8. Y  = T2
-  fmm(alpha, xs, y, 0.0, C.q12, ctx, depth + 1);  //  9. C12 = a*P6
-  rsub_inplace(xs, A.q12);                     // 10. X  = S4
-  fmm(alpha, xs, B.q22, 0.0, C.q11, ctx, depth + 1);  // 11. C11 = a*P3
-  fmm(alpha, A.q11, B.q11, 0.0, xp, ctx, depth + 1);  // 12. X  = a*P1
-  add_inplace(C.q12, xp);                      // 13. C12 = a*U2
-  add_inplace(C.q21, C.q12);                   // 14. C21 = a*U3
-  add_inplace(C.q12, C.q22);                   // 15. C12 = a*U4
-  add_inplace(C.q22, C.q21);                   // 16. C22 = a*U7  (final)
-  add_inplace(C.q12, C.q11);                   // 17. C12 = a*U5  (final)
-  sub_inplace(y, B.q21);                       // 18. Y  = T4
-  fmm(alpha, A.q22, y, 0.0, C.q11, ctx, depth + 1);   // 19. C11 = a*P4
-  sub_inplace(C.q21, C.q11);                   // 20. C21 = a*U6  (final)
-  fmm(alpha, A.q12, B.q21, 0.0, C.q11, ctx, depth + 1);  // 21. C11 = a*P2
-  add_inplace(C.q11, xp);                      // 22. C11 final
-}
-
-// STRASSEN1, general beta: four product temporaries Q1..Q4 per level;
-// beta*C is folded in during the final accumulation passes.
-void schedule_s1_general(double alpha, ConstView a, ConstView b, double beta,
-                         MutView c, Ctx& ctx, int depth) {
-  const index_t m2 = a.rows / 2, k2 = a.cols / 2, n2 = b.cols / 2;
-  ArenaScope scope(*ctx.arena);
-  MutView r1 = arena_matrix(*ctx.arena, m2, k2);
-  MutView r2 = arena_matrix(*ctx.arena, k2, n2);
-  MutView q1 = arena_matrix(*ctx.arena, m2, n2);
-  MutView q2 = arena_matrix(*ctx.arena, m2, n2);
-  MutView q3 = arena_matrix(*ctx.arena, m2, n2);
-  MutView q4 = arena_matrix(*ctx.arena, m2, n2);
-
-  const Quads A = quadrants(a);
-  const Quads B = quadrants(b);
-  MutQuads C = quadrants(c);
-
-  add(A.q21, A.q22, r1);                         // S1
-  sub(B.q12, B.q11, r2);                         // T1
-  fmm(alpha, r1, r2, 0.0, q1, ctx, depth + 1);   // Q1 = a*P5
-  sub_inplace(r1, A.q11);                        // S2
-  rsub_inplace(r2, B.q22);                       // T2
-  fmm(alpha, r1, r2, 0.0, q2, ctx, depth + 1);   // Q2 = a*P6
-  fmm(alpha, A.q11, B.q11, 0.0, q3, ctx, depth + 1);  // Q3 = a*P1
-  add_inplace(q2, q3);                           // Q2 = a*U2
-  fmm(alpha, A.q12, B.q21, 0.0, q4, ctx, depth + 1);  // Q4 = a*P2
-  add_inplace(q3, q4);                           // Q3 = a*(P1+P2)
-  axpby(1.0, q3, beta, C.q11);                   // C11 final
-  rsub_inplace(r1, A.q12);                       // S4
-  fmm(alpha, r1, B.q22, 0.0, q3, ctx, depth + 1);  // Q3 = a*P3
-  axpby(1.0, q2, beta, C.q12);
-  add_inplace(C.q12, q1);
-  add_inplace(C.q12, q3);                        // C12 final
-  sub_inplace(r2, B.q21);                        // T4
-  fmm(alpha, A.q22, r2, 0.0, q3, ctx, depth + 1);  // Q3 = a*P4
-  sub(A.q11, A.q21, r1);                         // S3
-  sub(B.q22, B.q12, r2);                         // T3
-  fmm(alpha, r1, r2, 0.0, q4, ctx, depth + 1);   // Q4 = a*P7
-  add_inplace(q2, q4);                           // Q2 = a*U3
-  axpby(1.0, q2, beta, C.q21);
-  sub_inplace(C.q21, q3);                        // C21 final
-  axpby(1.0, q2, beta, C.q22);
-  add_inplace(C.q22, q1);                        // C22 final
-}
-
-// STRASSEN2 (Figure 1): three temporaries, recursive multiply-accumulate.
-void schedule_s2(double alpha, ConstView a, ConstView b, double beta,
-                 MutView c, Ctx& ctx, int depth) {
-  const index_t m2 = a.rows / 2, k2 = a.cols / 2, n2 = b.cols / 2;
-  ArenaScope scope(*ctx.arena);
-  MutView r1 = arena_matrix(*ctx.arena, m2, k2);
-  MutView r2 = arena_matrix(*ctx.arena, k2, n2);
-  MutView r3 = arena_matrix(*ctx.arena, m2, n2);
-
-  const Quads A = quadrants(a);
-  const Quads B = quadrants(b);
-  MutQuads C = quadrants(c);
-
-  sub(B.q12, B.q11, r2);                          //  1. R2 = T1
-  add(A.q21, A.q22, r1);                          //  2. R1 = S1
-  fmm(alpha, r1, r2, 0.0, r3, ctx, depth + 1);    //  3. R3 = a*P5
-  axpby(1.0, r3, beta, C.q12);                    //  4. C12 = b*C12 + a*P5
-  axpby(1.0, r3, beta, C.q22);                    //  5. C22 = b*C22 + a*P5
-  sub_inplace(r1, A.q11);                         //  6. R1 = S2
-  rsub_inplace(r2, B.q22);                        //  7. R2 = T2
-  fmm(alpha, A.q11, B.q11, 0.0, r3, ctx, depth + 1);  //  8. R3 = a*P1
-  axpby(1.0, r3, beta, C.q11);                    //  9. C11 = b*C11 + a*P1
-  fmm(alpha, r1, r2, 1.0, r3, ctx, depth + 1);    // 10. R3 = a*U2
-  fmm(alpha, A.q12, B.q21, 1.0, C.q11, ctx, depth + 1);  // 11. C11 final
-  rsub_inplace(r1, A.q12);                        // 12. R1 = S4
-  fmm(alpha, r1, B.q22, 1.0, C.q12, ctx, depth + 1);  // 13. C12 += a*P3
-  add_inplace(C.q12, r3);                         // 14. C12 final
-  sub_inplace(r2, B.q21);                         // 15. R2 = T4
-  fmm(-alpha, A.q22, r2, beta, C.q21, ctx, depth + 1);  // 16. C21 = b*C21 - a*P4
-  sub(A.q11, A.q21, r1);                          // 17. R1 = S3
-  sub(B.q22, B.q12, r2);                          // 18. R2 = T3
-  fmm(alpha, r1, r2, 1.0, r3, ctx, depth + 1);    // 19. R3 = a*U3
-  add_inplace(C.q21, r3);                         // 20. C21 final
-  add_inplace(C.q22, r3);                         // 21. C22 final
-}
-
-// Dispatches the even-dimensioned core to the configured schedule.
+// Dispatches the even-dimensioned core to the configured schedule's
+// verified IR table (verify/schedule_ir.hpp; proofs in verify/proofs.hpp).
 void run_schedule(double alpha, ConstView a, ConstView b, double beta,
                   MutView c, Ctx& ctx, int depth) {
   Scheme scheme = ctx.cfg->scheme;
@@ -175,13 +178,15 @@ void run_schedule(double alpha, ConstView a, ConstView b, double beta,
     case Scheme::fused:      // unreachable after resolution above
     case Scheme::strassen1:
       if (beta == 0.0) {
-        schedule_s1_beta0(alpha, a, b, c, ctx, depth);
+        run_ir_schedule(verify::kStrassen1Beta0, alpha, a, b, 0.0, c, ctx,
+                        depth);
       } else {
-        schedule_s1_general(alpha, a, b, beta, c, ctx, depth);
+        run_ir_schedule(verify::kStrassen1General, alpha, a, b, beta, c,
+                        ctx, depth);
       }
       return;
     case Scheme::strassen2:
-      schedule_s2(alpha, a, b, beta, c, ctx, depth);
+      run_ir_schedule(verify::kStrassen2, alpha, a, b, beta, c, ctx, depth);
       return;
     case Scheme::original:
       run_original_schedule(alpha, a, b, beta, c, ctx, depth);

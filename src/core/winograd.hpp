@@ -1,30 +1,39 @@
-// Recursion driver and the Winograd-variant computation schedules
-// (Section 3.2, Figure 1).
+// Recursion driver and the interpreter for the Winograd-variant
+// computation schedules (Section 3.2, Figure 1).
 //
-// Three schedules are implemented:
+// The schedules themselves are not code here: they are constexpr
+// coefficient tables in verify/schedule_ir.hpp, proved correct and
+// storage-tight at compile time by verify/proofs.hpp. This module owns the
+// recursion driver (cutoff, odd dimensions, statistics) and the IR
+// interpreter that executes a verified table at each level:
 //
-//  * STRASSEN1, beta == 0: the two-temporary schedule (X of size
-//    m/2 x max(k,n)/2 and Y of size k/2 x n/2) in which the seven products
-//    land directly in the quadrants of C. Total extra storage across the
-//    recursion: (m*max(k,n) + kn)/3.
+//  * STRASSEN1, beta == 0 (verify::kStrassen1Beta0): the two-temporary
+//    schedule (X of size m/2 x max(k,n)/2 and Y of size k/2 x n/2) in
+//    which the seven products land directly in the quadrants of C. Total
+//    extra storage across the recursion: (m*max(k,n) + kn)/3.
 //
-//  * STRASSEN1, general beta: adds four product temporaries per level
-//    (bounded by (4mn + m*max(k,n) + kn)/3 overall). Kept mainly for the
-//    Table 1 comparison; DGEFMM itself prefers STRASSEN2 when beta != 0.
+//  * STRASSEN1, general beta (verify::kStrassen1General): adds four
+//    product temporaries per level (bounded by (4mn + m*max(k,n) + kn)/3
+//    overall). Kept mainly for the Table 1 comparison; DGEFMM itself
+//    prefers STRASSEN2 when beta != 0.
 //
-//  * STRASSEN2 (Figure 1): three temporaries R1 (mk/4), R2 (kn/4),
-//    R3 (mn/4) -- the minimum possible -- using recursive
-//    multiply-accumulate (C <- alpha*A*B + beta*C) so that C's own storage
-//    absorbs the U-accumulations. Total extra storage (mk + kn + mn)/3.
+//  * STRASSEN2 (verify::kStrassen2, Figure 1): three temporaries R1
+//    (mk/4), R2 (kn/4), R3 (mn/4) -- the minimum possible -- using
+//    recursive multiply-accumulate (C <- alpha*A*B + beta*C) so that C's
+//    own storage absorbs the U-accumulations. Total extra storage
+//    (mk + kn + mn)/3.
 //
-// The driver handles cutoff, odd dimensions (peeling or padding), and
-// statistics; it is shared with the original-variant schedule in
-// strassen_original.cpp.
+// The driver is shared with the original-variant schedule in
+// strassen_original.cpp, which interprets verify::kOriginalBeta0.
 #pragma once
 
 #include "core/types.hpp"
 #include "support/arena.hpp"
 #include "support/matrix.hpp"
+
+namespace strassen::verify {
+struct Schedule;
+}
 
 namespace strassen::core::detail {
 
@@ -41,6 +50,17 @@ struct Ctx {
 /// and the padding fall-backs.
 void fmm(double alpha, ConstView a, ConstView b, double beta, MutView c,
          Ctx& ctx, int depth);
+
+/// Interprets one verified schedule table (verify/schedule_ir.hpp) at one
+/// recursion level of the even-dimensioned core: allocates the table's
+/// declared temporaries from the arena in declaration order, then executes
+/// its linear-combination steps with the add_kernels and its product steps
+/// as recursive fmm calls. The table's algebra and temporary lifetimes are
+/// static_asserted in verify/proofs.hpp, and this routine is the only
+/// executor, so the proof covers exactly what runs.
+void run_ir_schedule(const verify::Schedule& s, double alpha, ConstView a,
+                     ConstView b, double beta, MutView c, Ctx& ctx,
+                     int depth);
 
 /// Views an arena allocation as an m x n column-major matrix.
 MutView arena_matrix(Arena& arena, index_t m, index_t n);

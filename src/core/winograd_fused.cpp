@@ -10,6 +10,7 @@
 #include "core/workspace.hpp"
 #include "support/faultinject.hpp"
 #include "support/opcount.hpp"
+#include "verify/proofs.hpp"
 
 namespace strassen::core::detail {
 
@@ -17,6 +18,22 @@ namespace {
 
 constexpr int kMaxTerms = blas::kPackMaxTerms;
 constexpr int kMaxDests = blas::kPackMaxDests;
+
+// The packed-GEMM skeleton must be able to hold any operand combination or
+// destination set the verified fused tables produce -- including the fully
+// composed two-level table.
+static_assert(verify::max_fused_terms(verify::kFusedL1,
+                                      verify::kFusedL1Products) *
+                      verify::max_fused_terms(verify::kFusedL1,
+                                              verify::kFusedL1Products) <=
+                  kMaxTerms,
+              "two fused levels exceed the pack skeleton's term capacity");
+static_assert(verify::max_fused_terms(verify::kFusedL2.p,
+                                      verify::kFusedL2Products) <= kMaxTerms,
+              "composed L2 table exceeds the pack skeleton's term capacity");
+static_assert(kMaxTerms <= verify::kMaxFusedTerms &&
+                  kMaxDests <= verify::kMaxFusedTerms,
+              "verify IR term capacity out of sync with the pack skeleton");
 
 // A linear combination of up to kMaxTerms equally shaped operand views:
 // one term at the top, doubling per fused level (Strassen sums at most two
@@ -48,38 +65,14 @@ struct Dests {
   }
 };
 
-// Strassen's original construction (the variant whose products each read at
-// most two quadrants per operand and write at most two quadrants of C --
-// the property the 2-term/2-destination fusion needs):
-//   M1 = (A11+A22)(B11+B22)   C11 += M1, C22 += M1
-//   M2 = (A21+A22) B11        C21 += M2, C22 -= M2
-//   M3 =  A11     (B12-B22)   C12 += M3, C22 += M3
-//   M4 =  A22     (B21-B11)   C11 += M4, C21 += M4
-//   M5 = (A11+A12) B22        C11 -= M5, C12 += M5
-//   M6 = (A21-A11)(B11+B12)   C22 += M6
-//   M7 = (A12-A22)(B21+B22)   C11 += M7
+// The 7-product table lives in verify/schedule_ir.hpp (verify::kFusedL1,
+// Strassen's original construction -- the variant whose products each read
+// at most two quadrants per operand and write at most two quadrants of C,
+// the property the 2-term/2-destination fusion needs). Its algebra, its
+// zero-temporary claim, and the composed two-level table are all
+// static_asserted in verify/proofs.hpp; emit() below expands the same
+// table recursively, so the executed coefficients are the proved ones.
 // Quadrants are indexed 0=11, 1=12, 2=21, 3=22.
-struct QuadTerm {
-  int q;
-  double g;
-};
-struct ProductSpec {
-  QuadTerm a[2];
-  int na;
-  QuadTerm b[2];
-  int nb;
-  QuadTerm c[2];
-  int nc;
-};
-constexpr ProductSpec kStrassen7[7] = {
-    {{{0, 1.0}, {3, 1.0}}, 2, {{0, 1.0}, {3, 1.0}}, 2, {{0, 1.0}, {3, 1.0}}, 2},
-    {{{2, 1.0}, {3, 1.0}}, 2, {{0, 1.0}, {}}, 1, {{2, 1.0}, {3, -1.0}}, 2},
-    {{{0, 1.0}, {}}, 1, {{1, 1.0}, {3, -1.0}}, 2, {{1, 1.0}, {3, 1.0}}, 2},
-    {{{3, 1.0}, {}}, 1, {{2, 1.0}, {0, -1.0}}, 2, {{0, 1.0}, {2, 1.0}}, 2},
-    {{{0, 1.0}, {1, 1.0}}, 2, {{3, 1.0}, {}}, 1, {{0, -1.0}, {1, 1.0}}, 2},
-    {{{2, 1.0}, {0, -1.0}}, 2, {{0, 1.0}, {1, 1.0}}, 2, {{3, 1.0}, {}}, 1},
-    {{{1, 1.0}, {3, -1.0}}, 2, {{2, 1.0}, {3, 1.0}}, 2, {{0, 1.0}, {}}, 1},
-};
 
 template <class View>
 View quadrant_of(const View& x, int q) {
@@ -169,15 +162,16 @@ void fused_leaf(FusedRun& run, const Comb& a, const Comb& b, const Dests& c,
 }
 
 // Expands `levels` fused Strassen levels: each level substitutes every term
-// and destination with its quadrants per kStrassen7 and recurses, so term
-// and destination counts double per level (bounded by the skeleton's 4).
+// and destination with its quadrants per verify::kFusedL1 and recurses, so
+// term and destination counts double per level (bounded by the skeleton's
+// 4; at two levels this realizes verify::kFusedL2 product by product).
 void emit(FusedRun& run, int levels, const Comb& a, const Comb& b,
           const Dests& c, int depth) {
   if (levels == 0) {
     fused_leaf(run, a, b, c, depth);
     return;
   }
-  for (const ProductSpec& spec : kStrassen7) {
+  for (const verify::FProduct& spec : verify::kFusedL1) {
     Comb sa;
     for (int e = 0; e < spec.na; ++e) {
       for (int t = 0; t < a.n; ++t) {

@@ -4,6 +4,7 @@
 
 #include "core/padding.hpp"
 #include "core/winograd_fused.hpp"
+#include "verify/proofs.hpp"
 
 namespace strassen::core {
 
@@ -16,6 +17,16 @@ Scheme resolve(Scheme s, bool beta_zero) {
     return beta_zero ? Scheme::strassen1 : Scheme::strassen2;
   }
   return s;
+}
+
+// Per-level charge of one verified schedule table: the interpreter
+// allocates exactly the table's declared temporaries, and the pebble pass
+// (verify/proofs.hpp) has static_asserted that Schedule::footprint is the
+// tight per-shape peak of those declarations, so charging the footprint is
+// charging the implementation.
+count_t per_level(const verify::Schedule& s, index_t m2, index_t k2,
+                  index_t n2) {
+  return verify::footprint_doubles(s.footprint, m2, k2, n2);
 }
 
 // Mirrors detail::fmm's allocation pattern exactly.
@@ -49,33 +60,25 @@ count_t ws(index_t m, index_t k, index_t n, bool beta_zero,
     case Scheme::fused:      // resolved above
     case Scheme::strassen1: {
       if (beta_zero) {
-        const count_t per = static_cast<count_t>(m2) * std::max(k2, n2) +
-                            static_cast<count_t>(k2) * n2;
-        return per + ws(m2, k2, n2, true, cfg, depth + 1);
+        return per_level(verify::kStrassen1Beta0, m2, k2, n2) +
+               ws(m2, k2, n2, true, cfg, depth + 1);
       }
-      const count_t per = static_cast<count_t>(m2) * k2 +
-                          static_cast<count_t>(k2) * n2 +
-                          4 * static_cast<count_t>(m2) * n2;
       // All seven sub-products are beta == 0 multiplies.
-      return per + ws(m2, k2, n2, true, cfg, depth + 1);
+      return per_level(verify::kStrassen1General, m2, k2, n2) +
+             ws(m2, k2, n2, true, cfg, depth + 1);
     }
-    case Scheme::strassen2: {
-      const count_t per = static_cast<count_t>(m2) * k2 +
-                          static_cast<count_t>(k2) * n2 +
-                          static_cast<count_t>(m2) * n2;
+    case Scheme::strassen2:
       // Children are a mix of pure multiplies (beta == 0) and
       // multiply-accumulates; size for the larger of the two.
-      return per + std::max(ws(m2, k2, n2, true, cfg, depth + 1),
-                            ws(m2, k2, n2, false, cfg, depth + 1));
-    }
+      return per_level(verify::kStrassen2, m2, k2, n2) +
+             std::max(ws(m2, k2, n2, true, cfg, depth + 1),
+                      ws(m2, k2, n2, false, cfg, depth + 1));
     case Scheme::original: {
-      const count_t per_level = static_cast<count_t>(m2) * k2 +
-                                static_cast<count_t>(k2) * n2 +
-                                static_cast<count_t>(m2) * n2;
       const count_t ctmp = beta_zero ? 0
                                      : static_cast<count_t>(m & ~index_t{1}) *
                                            (n & ~index_t{1});
-      return ctmp + per_level + ws(m2, k2, n2, true, cfg, depth + 1);
+      return ctmp + per_level(verify::kOriginalBeta0, m2, k2, n2) +
+             ws(m2, k2, n2, true, cfg, depth + 1);
     }
   }
   return 0;
@@ -133,21 +136,22 @@ count_t workspace_doubles(index_t m, index_t n, index_t k, double beta,
 }
 
 double bound_strassen1_beta0(index_t m, index_t k, index_t n) {
-  return (static_cast<double>(m) * std::max(k, n) +
-          static_cast<double>(k) * n) /
+  return (static_cast<double>(m) * static_cast<double>(std::max(k, n)) +
+          static_cast<double>(k) * static_cast<double>(n)) /
          3.0;
 }
 
 double bound_strassen1_general(index_t m, index_t k, index_t n) {
-  return (4.0 * static_cast<double>(m) * n +
-          static_cast<double>(m) * std::max(k, n) +
-          static_cast<double>(k) * n) /
+  return (4.0 * static_cast<double>(m) * static_cast<double>(n) +
+          static_cast<double>(m) * static_cast<double>(std::max(k, n)) +
+          static_cast<double>(k) * static_cast<double>(n)) /
          3.0;
 }
 
 double bound_strassen2(index_t m, index_t k, index_t n) {
-  return (static_cast<double>(m) * k + static_cast<double>(k) * n +
-          static_cast<double>(m) * n) /
+  return (static_cast<double>(m) * static_cast<double>(k) +
+          static_cast<double>(k) * static_cast<double>(n) +
+          static_cast<double>(m) * static_cast<double>(n)) /
          3.0;
 }
 

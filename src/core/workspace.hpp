@@ -14,14 +14,17 @@ namespace strassen::core {
 /// Exact number of workspace doubles a dgefmm call with this configuration
 /// will allocate at peak for C(m x n) = alpha*op(A)(m x k)*op(B)(k x n)
 /// + beta*C.
-count_t workspace_doubles(index_t m, index_t n, index_t k, double beta,
-                          const DgefmmConfig& cfg);
+[[nodiscard]] count_t workspace_doubles(index_t m, index_t n, index_t k,
+                                        double beta,
+                                        const DgefmmConfig& cfg);
 
 /// Exact workspace of the *classic* recursion entered at `depth` (the
 /// fused schedule uses this to size its below-fusion leaves; Scheme::fused
 /// resolves like Scheme::automatic here).
-count_t workspace_doubles_at(index_t m, index_t n, index_t k, double beta,
-                             const DgefmmConfig& cfg, int depth);
+[[nodiscard]] count_t workspace_doubles_at(index_t m, index_t n, index_t k,
+                                           double beta,
+                                           const DgefmmConfig& cfg,
+                                           int depth);
 
 /// Paper bound for STRASSEN1 with beta == 0: (m*max(k,n) + kn)/3.
 double bound_strassen1_beta0(index_t m, index_t k, index_t n);

@@ -29,18 +29,22 @@ namespace strassen::core {
 /// C <- alpha * op(A) * op(B) + beta * C over complex matrices, with the
 /// three real products computed by DGEFMM under `cfg`. Returns a
 /// BLAS-style info code.
-int zgefmm(Trans transa, Trans transb, index_t m, index_t n, index_t k,
-           std::complex<double> alpha, const std::complex<double>* a,
-           index_t lda, const std::complex<double>* b, index_t ldb,
-           std::complex<double> beta, std::complex<double>* c, index_t ldc,
-           const DgefmmConfig& cfg = DgefmmConfig{});
+[[nodiscard]] int zgefmm(Trans transa, Trans transb, index_t m, index_t n,
+                         index_t k, std::complex<double> alpha,
+                         const std::complex<double>* a, index_t lda,
+                         const std::complex<double>* b, index_t ldb,
+                         std::complex<double> beta, std::complex<double>* c,
+                         index_t ldc,
+                         const DgefmmConfig& cfg = DgefmmConfig{});
 
 /// Conventional 4M complex multiply through the real DGEMM (baseline for
 /// the extension bench). Same contract and return convention as zgefmm.
-int zgemm4m(Trans transa, Trans transb, index_t m, index_t n, index_t k,
-            std::complex<double> alpha, const std::complex<double>* a,
-            index_t lda, const std::complex<double>* b, index_t ldb,
-            std::complex<double> beta, std::complex<double>* c, index_t ldc);
+[[nodiscard]] int zgemm4m(Trans transa, Trans transb, index_t m, index_t n,
+                          index_t k, std::complex<double> alpha,
+                          const std::complex<double>* a, index_t lda,
+                          const std::complex<double>* b, index_t ldb,
+                          std::complex<double> beta, std::complex<double>* c,
+                          index_t ldc);
 
 /// Simple triple-loop complex reference used by the tests.
 void zgemm_reference(Trans transa, Trans transb, index_t m, index_t n,

@@ -72,7 +72,7 @@ class Arena {
   }
 
   /// Returns a pointer to `n` uninitialized doubles.
-  double* alloc(std::size_t n) {
+  [[nodiscard]] double* alloc(std::size_t n) {
     if (faultinject::should_fail(faultinject::Site::arena_alloc)) {
       throw WorkspaceError("fault injection: Arena::alloc(" +
                            std::to_string(n) + ") failed");

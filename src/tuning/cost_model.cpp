@@ -45,7 +45,8 @@ std::vector<double> least_squares(const Matrix& x,
 
 double GemmCostModel::predict(index_t m, index_t k, index_t n) const {
   const double mkn = double(m) * double(k) * double(n);
-  const double s = double(m) * k + double(k) * n + double(m) * n;
+  const double s = double(m) * double(k) + double(k) * double(n) +
+                   double(m) * double(n);
   return c0 + mu * mkn + nu * s;
 }
 
@@ -62,7 +63,8 @@ GemmCostModel fit_gemm_cost_model(const std::vector<GemmSample>& samples) {
     const GemmSample& s = samples[static_cast<std::size_t>(i)];
     x(i, 0) = 1.0;
     x(i, 1) = double(s.m) * double(s.k) * double(s.n);
-    x(i, 2) = double(s.m) * s.k + double(s.k) * s.n + double(s.m) * s.n;
+    x(i, 2) = double(s.m) * double(s.k) + double(s.k) * double(s.n) +
+              double(s.m) * double(s.n);
     y[static_cast<std::size_t>(i)] = s.seconds;
   }
   const auto w = least_squares(x, y);

@@ -1,6 +1,7 @@
 #include "tuning/crossover.hpp"
 
 #include <algorithm>
+#include <cassert>
 
 #include "blas/gemm.hpp"
 #include "core/dgefmm.hpp"
@@ -73,9 +74,10 @@ RatioFn measured_ratio(const CrossoverOptions& opts) {
         opts.reps);
     const double t_strassen = time_min(
         [&] {
-          core::dgefmm(Trans::no, Trans::no, m, n, k, opts.alpha, a.data(),
-                       a.ld(), b.data(), b.ld(), opts.beta, c.data(), c.ld(),
-                       one_level);
+          [[maybe_unused]] const int info = core::dgefmm(
+              Trans::no, Trans::no, m, n, k, opts.alpha, a.data(), a.ld(),
+              b.data(), b.ld(), opts.beta, c.data(), c.ld(), one_level);
+          assert(info == 0);
         },
         opts.reps);
     return t_dgemm / t_strassen;

@@ -1,0 +1,133 @@
+// Constexpr pebble-game pass over schedule temporary lifetimes.
+//
+// Boyer-Dumas-Pernet-Zhou analyse Strassen-Winograd schedules as pebble
+// games: each temporary is a pebble placed at its first write and lifted
+// after its last read, and the schedule's extra storage is the peak number
+// of simultaneously placed pebbles. This pass replays a schedule_ir.hpp
+// table and checks that
+//
+//  * every temporary register a step touches has a TempDecl,
+//  * each declared lifetime window [first, last] is *tight* -- exactly the
+//    first-access .. last-access step range, so a table cannot claim more
+//    (or less) overlap than the steps realize,
+//  * the peak number of simultaneously live temporaries equals the
+//    schedule's Table 1 claim (2 for STRASSEN1 with beta == 0, 3 for
+//    STRASSEN2, 3 for the original form, 6 for general-beta STRASSEN1),
+//  * the peak live footprint *by shape* equals the Schedule::footprint that
+//    core/workspace.cpp's ws_* predictors charge per level.
+//
+// Fused levels have no schedule table here because they allocate no
+// temporaries at all; verify/proofs.hpp asserts that claim structurally
+// (every fused product reads operand quadrants and writes C quadrants
+// only), which is the "0 temporaries at fused levels" row of the storage
+// accounting.
+#pragma once
+
+#include "verify/symbolic.hpp"
+
+namespace strassen::verify {
+
+inline constexpr int kErrNoTempDecl = 10;        ///< temp reg without decl
+inline constexpr int kErrLifetimeFirst = 11;     ///< declared first != actual
+inline constexpr int kErrLifetimeLast = 12;      ///< declared last != actual
+inline constexpr int kErrPeakTempsMismatch = 13; ///< peak live != peak_temps
+inline constexpr int kErrFootprintMismatch = 14; ///< peak shapes != footprint
+inline constexpr int kErrTempUnused = 15;        ///< decl never touched
+
+namespace detail {
+
+/// Records step index `i` as an access of register `reg` if it is a temp.
+constexpr void note_access(int reg, int i, int first[kMaxTemps],
+                           int last[kMaxTemps]) {
+  if (reg < kT0 || reg >= kT0 + kMaxTemps) return;
+  const int t = reg - kT0;
+  if (first[t] < 0) first[t] = i;
+  last[t] = i;
+}
+
+}  // namespace detail
+
+/// Replays the schedule's temporary accesses against its TempDecl table.
+/// Returns kOk or the first pebble-game violation.
+constexpr int check_lifetimes(const Schedule& s) {
+  int first[kMaxTemps] = {-1, -1, -1, -1, -1, -1};
+  int last[kMaxTemps] = {-1, -1, -1, -1, -1, -1};
+  for (int i = 0; i < s.nsteps; ++i) {
+    const Step& st = s.steps[i];
+    detail::note_access(st.dst, i, first, last);
+    if (st.op == Op::lin) {
+      for (int t = 0; t < st.nt; ++t) {
+        detail::note_access(st.t[t].reg, i, first, last);
+      }
+    } else {
+      detail::note_access(st.x, i, first, last);
+      detail::note_access(st.y, i, first, last);
+    }
+  }
+
+  // Every touched temp must be declared, with a tight window; every decl
+  // must be touched.
+  bool declared[kMaxTemps] = {};
+  for (int d = 0; d < s.ntemps; ++d) {
+    const TempDecl& td = s.temps[d];
+    const int t = td.reg - kT0;
+    if (t < 0 || t >= kMaxTemps) return kErrNoTempDecl;
+    declared[t] = true;
+    if (first[t] < 0) return kErrTempUnused;
+    if (first[t] != td.first) return kErrLifetimeFirst;
+    if (last[t] != td.last) return kErrLifetimeLast;
+  }
+  for (int t = 0; t < kMaxTemps; ++t) {
+    if (first[t] >= 0 && !declared[t]) return kErrNoTempDecl;
+  }
+
+  // Peak simultaneously-live count and per-shape footprint over all steps.
+  int peak = 0;
+  Footprint peak_fp;
+  for (int i = 0; i < s.nsteps; ++i) {
+    int live = 0;
+    Footprint fp;
+    for (int d = 0; d < s.ntemps; ++d) {
+      const TempDecl& td = s.temps[d];
+      if (i < td.first || i > td.last) continue;
+      ++live;
+      switch (td.shape) {
+        case Shape::mk: ++fp.mk; break;
+        case Shape::kn: ++fp.kn; break;
+        case Shape::mn: ++fp.mn; break;
+        case Shape::m_maxkn: ++fp.m_maxkn; break;
+      }
+    }
+    if (live > peak) peak = live;
+    if (fp.mk > peak_fp.mk) peak_fp.mk = fp.mk;
+    if (fp.kn > peak_fp.kn) peak_fp.kn = fp.kn;
+    if (fp.mn > peak_fp.mn) peak_fp.mn = fp.mn;
+    if (fp.m_maxkn > peak_fp.m_maxkn) peak_fp.m_maxkn = fp.m_maxkn;
+  }
+  if (peak != s.peak_temps) return kErrPeakTempsMismatch;
+  if (!(peak_fp == s.footprint)) return kErrFootprintMismatch;
+  return kOk;
+}
+
+/// Structural "zero temporaries at fused levels": every operand term of a
+/// fused product addresses a quadrant of A or B and every destination a
+/// quadrant of C -- there is nowhere for a temporary to hide. Returns the
+/// peak temp count, i.e. always 0 for a well-formed table (bad indices are
+/// reported by check_fused).
+constexpr int fused_peak_temps(const FProduct* prods, int np, int grid) {
+  const int nb = grid * grid;
+  for (int i = 0; i < np; ++i) {
+    for (int t = 0; t < prods[i].na; ++t) {
+      if (prods[i].a[t].q < 0 || prods[i].a[t].q >= nb) return -1;
+    }
+    for (int t = 0; t < prods[i].nb; ++t) {
+      if (prods[i].b[t].q < 0 || prods[i].b[t].q >= nb) return -1;
+    }
+    for (int t = 0; t < prods[i].nc; ++t) {
+      if (prods[i].c[t].q < 0 || prods[i].c[t].q >= nb) return -1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace strassen::verify

@@ -1,0 +1,537 @@
+// Declarative schedule IR: every Strassen/Winograd schedule in the library
+// as a constexpr coefficient table.
+//
+// The paper's correctness rests on hand-derived schedules (Figure 1's
+// STRASSEN1/STRASSEN2, Strassen's 1969 form, and the fused product tables)
+// and on exact workspace accounting (Table 1). Both are exactly the kind of
+// artifact that silently rots under refactors, so this module makes them
+// *data* instead of code: each schedule is a constexpr list of linear
+// combinations, recursive products, C-accumulation terms, and temporary
+// lifetimes. The tables here are
+//
+//  * proved at compile time -- verify/symbolic.hpp evaluates each table
+//    over a small polynomial ring and static_asserts it computes
+//    C = alpha*A*B + beta*C; verify/pebble.hpp replays the temporary
+//    lifetimes and static_asserts the Table 1 storage claims
+//    (verify/proofs.hpp holds the asserts); and
+//
+//  * executed at run time -- core/winograd.cpp interprets these very
+//    tables (core/strassen_original.cpp and core/winograd_fused.cpp
+//    likewise), and core/workspace.cpp derives its per-level workspace
+//    footprints from them, so the proof and the execution cannot diverge.
+//
+// The IR follows Boyer-Dumas-Pernet-Zhou ("Memory efficient scheduling of
+// Strassen-Winograd's matrix multiplication algorithm"), who verify such
+// schedules mechanically as pebble games, and Huang et al. ("Implementing
+// Strassen's Algorithm with BLIS"), who drive their fused kernels from a
+// tabulated operand/epilogue coefficient table.
+#pragma once
+
+#include "support/config.hpp"
+
+namespace strassen::verify {
+
+// ---------------------------------------------------------------------------
+// Registers
+//
+// A schedule operates on the 2x2 quadrant decomposition of one recursion
+// level: four read-only A quadrants, four read-only B quadrants, four
+// read-write C quadrants, and up to kMaxTemps arena temporaries. Quadrant
+// numbering is row-major: 11, 12, 21, 22.
+// ---------------------------------------------------------------------------
+
+inline constexpr int kA11 = 0, kA12 = 1, kA21 = 2, kA22 = 3;
+inline constexpr int kB11 = 4, kB12 = 5, kB21 = 6, kB22 = 7;
+inline constexpr int kC11 = 8, kC12 = 9, kC21 = 10, kC22 = 11;
+inline constexpr int kT0 = 12, kT1 = 13, kT2 = 14, kT3 = 15, kT4 = 16,
+                     kT5 = 17;
+inline constexpr int kMaxTemps = 6;
+inline constexpr int kNumRegs = kT0 + kMaxTemps;
+
+/// Logical shape of a temporary at one recursion level, in terms of the
+/// half-dimensions m2 = m/2, k2 = k/2, n2 = n/2.
+enum class Shape : unsigned char {
+  mk,       ///< m2 x k2 (an A-operand combination)
+  kn,       ///< k2 x n2 (a B-operand combination)
+  mn,       ///< m2 x n2 (a product / C-shaped block)
+  m_maxkn,  ///< m2 x max(k2, n2) (STRASSEN1's dual-role X buffer)
+};
+
+// ---------------------------------------------------------------------------
+// Coefficients and steps
+// ---------------------------------------------------------------------------
+
+/// Symbolic factor attached to a numeric coefficient. Schedules never need
+/// products of symbols beyond a single beta (alpha enters exactly once per
+/// recursive product and is carried by the mul step itself).
+enum class Sym : unsigned char {
+  one,   ///< coefficient is v
+  beta,  ///< coefficient is v * beta
+};
+
+/// A scalar coefficient v * (s == beta ? beta : 1).
+struct Coef {
+  double v = 0.0;
+  Sym s = Sym::one;
+};
+
+/// One addend of a linear-combination step: c * reg.
+struct Term {
+  signed char reg = -1;
+  Coef c;
+};
+
+enum class Op : unsigned char {
+  lin,  ///< dst = sum of terms (terms may reference dst's old value)
+  mul,  ///< dst = am * alpha * x * y + bc * dst (one recursive product)
+};
+
+inline constexpr int kMaxLinTerms = 3;
+
+/// One step of a schedule.
+struct Step {
+  Op op = Op::lin;
+  signed char dst = -1;
+  // Op::lin payload.
+  Term t[kMaxLinTerms];
+  signed char nt = 0;
+  // Op::mul payload: the recursive call fmm(am*alpha, x, y, bc, dst).
+  signed char x = -1;
+  signed char y = -1;
+  double am = 1.0;
+  Coef bc;
+};
+
+/// Declared lifetime of one arena temporary: the step-index window
+/// [first, last] (inclusive, 0-based) in which it may be touched. The
+/// pebble pass asserts the window is *tight* -- exactly first-access to
+/// last-access -- so a table cannot quietly claim less (or more) overlap
+/// than the steps realize.
+struct TempDecl {
+  signed char reg = -1;
+  Shape shape = Shape::mn;
+  signed char first = 0;
+  signed char last = 0;
+};
+
+/// Per-level arena footprint in shape units (counts of simultaneously live
+/// temporaries of each shape). This is the quantity Table 1 tabulates and
+/// core/workspace.cpp's predictors consume.
+struct Footprint {
+  int mk = 0;
+  int kn = 0;
+  int mn = 0;
+  int m_maxkn = 0;
+};
+
+constexpr bool operator==(const Footprint& a, const Footprint& b) {
+  return a.mk == b.mk && a.kn == b.kn && a.mn == b.mn &&
+         a.m_maxkn == b.m_maxkn;
+}
+
+/// Number of doubles the footprint occupies at half-dimensions (m2, k2, n2).
+constexpr count_t footprint_doubles(const Footprint& f, index_t m2,
+                                    index_t k2, index_t n2) {
+  const index_t maxkn = k2 > n2 ? k2 : n2;
+  return static_cast<count_t>(f.mk) * m2 * k2 +
+         static_cast<count_t>(f.kn) * k2 * n2 +
+         static_cast<count_t>(f.mn) * m2 * n2 +
+         static_cast<count_t>(f.m_maxkn) * m2 * maxkn;
+}
+
+/// A complete tabulated schedule plus its storage claims.
+struct Schedule {
+  const char* name = "";
+  const Step* steps = nullptr;
+  int nsteps = 0;
+  const TempDecl* temps = nullptr;
+  int ntemps = 0;
+  /// True when the schedule folds a symbolic beta*C into the result (the
+  /// symbolic checker then requires C_ij = alpha*(AB)_ij + beta*C_ij; with
+  /// false it requires C_ij = alpha*(AB)_ij and the initial C must vanish).
+  bool general_beta = false;
+  /// Claimed peak number of simultaneously live temporaries (Table 1).
+  int peak_temps = 0;
+  /// Claimed peak per-level arena footprint (Table 1 / workspace.cpp).
+  Footprint footprint;
+};
+
+// ---------------------------------------------------------------------------
+// Table construction helpers (constexpr only)
+// ---------------------------------------------------------------------------
+
+constexpr Term term(int reg, double v, Sym s = Sym::one) {
+  Term t;
+  t.reg = static_cast<signed char>(reg);
+  t.c = Coef{v, s};
+  return t;
+}
+
+constexpr Step lin(int dst, Term t0) {
+  Step s;
+  s.op = Op::lin;
+  s.dst = static_cast<signed char>(dst);
+  s.t[0] = t0;
+  s.nt = 1;
+  return s;
+}
+
+constexpr Step lin(int dst, Term t0, Term t1) {
+  Step s = lin(dst, t0);
+  s.t[1] = t1;
+  s.nt = 2;
+  return s;
+}
+
+constexpr Step lin(int dst, Term t0, Term t1, Term t2) {
+  Step s = lin(dst, t0, t1);
+  s.t[2] = t2;
+  s.nt = 3;
+  return s;
+}
+
+constexpr Coef num(double v) { return Coef{v, Sym::one}; }
+constexpr Coef times_beta(double v = 1.0) { return Coef{v, Sym::beta}; }
+
+constexpr Step mul(int dst, int x, int y, double am, Coef bc) {
+  Step s;
+  s.op = Op::mul;
+  s.dst = static_cast<signed char>(dst);
+  s.x = static_cast<signed char>(x);
+  s.y = static_cast<signed char>(y);
+  s.am = am;
+  s.bc = bc;
+  return s;
+}
+
+constexpr TempDecl temp(int reg, Shape shape, int first, int last) {
+  return TempDecl{static_cast<signed char>(reg), shape,
+                  static_cast<signed char>(first),
+                  static_cast<signed char>(last)};
+}
+
+// ---------------------------------------------------------------------------
+// STRASSEN1, beta == 0 (Douglas-style 22-step schedule; DESIGN.md section 1)
+//
+// Two temporaries: X (m2 x max(k2, n2)) holds the S operand combinations
+// and later the product P1; Y (k2 x n2) holds the T combinations. The seven
+// products land directly in the quadrants of C.
+// ---------------------------------------------------------------------------
+
+inline constexpr Step kStrassen1Beta0Steps[] = {
+    /* 0*/ lin(kT0, term(kA11, 1), term(kA21, -1)),       // X = S3
+    /* 1*/ lin(kT1, term(kB22, 1), term(kB12, -1)),       // Y = T3
+    /* 2*/ mul(kC21, kT0, kT1, 1.0, num(0)),              // C21 = a*P7
+    /* 3*/ lin(kT0, term(kA21, 1), term(kA22, 1)),        // X = S1
+    /* 4*/ lin(kT1, term(kB12, 1), term(kB11, -1)),       // Y = T1
+    /* 5*/ mul(kC22, kT0, kT1, 1.0, num(0)),              // C22 = a*P5
+    /* 6*/ lin(kT0, term(kT0, 1), term(kA11, -1)),        // X = S2
+    /* 7*/ lin(kT1, term(kB22, 1), term(kT1, -1)),        // Y = T2
+    /* 8*/ mul(kC12, kT0, kT1, 1.0, num(0)),              // C12 = a*P6
+    /* 9*/ lin(kT0, term(kA12, 1), term(kT0, -1)),        // X = S4
+    /*10*/ mul(kC11, kT0, kB22, 1.0, num(0)),             // C11 = a*P3
+    /*11*/ mul(kT0, kA11, kB11, 1.0, num(0)),             // X = a*P1
+    /*12*/ lin(kC12, term(kC12, 1), term(kT0, 1)),        // C12 = a*U2
+    /*13*/ lin(kC21, term(kC21, 1), term(kC12, 1)),       // C21 = a*U3
+    /*14*/ lin(kC12, term(kC12, 1), term(kC22, 1)),       // C12 = a*U4
+    /*15*/ lin(kC22, term(kC22, 1), term(kC21, 1)),       // C22 final
+    /*16*/ lin(kC12, term(kC12, 1), term(kC11, 1)),       // C12 final
+    /*17*/ lin(kT1, term(kT1, 1), term(kB21, -1)),        // Y = T4
+    /*18*/ mul(kC11, kA22, kT1, 1.0, num(0)),             // C11 = a*P4
+    /*19*/ lin(kC21, term(kC21, 1), term(kC11, -1)),      // C21 final
+    /*20*/ mul(kC11, kA12, kB21, 1.0, num(0)),            // C11 = a*P2
+    /*21*/ lin(kC11, term(kC11, 1), term(kT0, 1)),        // C11 final
+};
+
+inline constexpr TempDecl kStrassen1Beta0Temps[] = {
+    temp(kT0, Shape::m_maxkn, 0, 21),
+    temp(kT1, Shape::kn, 1, 18),
+};
+
+inline constexpr Schedule kStrassen1Beta0 = {
+    "STRASSEN1/beta0",
+    kStrassen1Beta0Steps,
+    22,
+    kStrassen1Beta0Temps,
+    2,
+    /*general_beta=*/false,
+    /*peak_temps=*/2,
+    Footprint{0, 1, 0, 1},
+};
+
+// ---------------------------------------------------------------------------
+// STRASSEN1, general beta: four product temporaries Q1..Q4 per level;
+// beta*C is folded in during the final accumulation passes.
+// ---------------------------------------------------------------------------
+
+inline constexpr Step kStrassen1GeneralSteps[] = {
+    /* 0*/ lin(kT0, term(kA21, 1), term(kA22, 1)),              // R1 = S1
+    /* 1*/ lin(kT1, term(kB12, 1), term(kB11, -1)),             // R2 = T1
+    /* 2*/ mul(kT2, kT0, kT1, 1.0, num(0)),                     // Q1 = a*P5
+    /* 3*/ lin(kT0, term(kT0, 1), term(kA11, -1)),              // R1 = S2
+    /* 4*/ lin(kT1, term(kB22, 1), term(kT1, -1)),              // R2 = T2
+    /* 5*/ mul(kT3, kT0, kT1, 1.0, num(0)),                     // Q2 = a*P6
+    /* 6*/ mul(kT4, kA11, kB11, 1.0, num(0)),                   // Q3 = a*P1
+    /* 7*/ lin(kT3, term(kT3, 1), term(kT4, 1)),                // Q2 = a*U2
+    /* 8*/ mul(kT5, kA12, kB21, 1.0, num(0)),                   // Q4 = a*P2
+    /* 9*/ lin(kT4, term(kT4, 1), term(kT5, 1)),                // Q3 = a*(P1+P2)
+    /*10*/ lin(kC11, term(kT4, 1), term(kC11, 1, Sym::beta)),   // C11 final
+    /*11*/ lin(kT0, term(kA12, 1), term(kT0, -1)),              // R1 = S4
+    /*12*/ mul(kT4, kT0, kB22, 1.0, num(0)),                    // Q3 = a*P3
+    /*13*/ lin(kC12, term(kT3, 1), term(kC12, 1, Sym::beta)),   // C12 = b*C12+U2
+    /*14*/ lin(kC12, term(kC12, 1), term(kT2, 1)),              // C12 += Q1
+    /*15*/ lin(kC12, term(kC12, 1), term(kT4, 1)),              // C12 final
+    /*16*/ lin(kT1, term(kT1, 1), term(kB21, -1)),              // R2 = T4
+    /*17*/ mul(kT4, kA22, kT1, 1.0, num(0)),                    // Q3 = a*P4
+    /*18*/ lin(kT0, term(kA11, 1), term(kA21, -1)),             // R1 = S3
+    /*19*/ lin(kT1, term(kB22, 1), term(kB12, -1)),             // R2 = T3
+    /*20*/ mul(kT5, kT0, kT1, 1.0, num(0)),                     // Q4 = a*P7
+    /*21*/ lin(kT3, term(kT3, 1), term(kT5, 1)),                // Q2 = a*U3
+    /*22*/ lin(kC21, term(kT3, 1), term(kC21, 1, Sym::beta)),   // C21 = b*C21+U3
+    /*23*/ lin(kC21, term(kC21, 1), term(kT4, -1)),             // C21 final
+    /*24*/ lin(kC22, term(kT3, 1), term(kC22, 1, Sym::beta)),   // C22 = b*C22+U3
+    /*25*/ lin(kC22, term(kC22, 1), term(kT2, 1)),              // C22 final
+};
+
+inline constexpr TempDecl kStrassen1GeneralTemps[] = {
+    temp(kT0, Shape::mk, 0, 20), temp(kT1, Shape::kn, 1, 20),
+    temp(kT2, Shape::mn, 2, 25), temp(kT3, Shape::mn, 5, 24),
+    temp(kT4, Shape::mn, 6, 23), temp(kT5, Shape::mn, 8, 21),
+};
+
+inline constexpr Schedule kStrassen1General = {
+    "STRASSEN1/general",
+    kStrassen1GeneralSteps,
+    26,
+    kStrassen1GeneralTemps,
+    6,
+    /*general_beta=*/true,
+    /*peak_temps=*/6,
+    Footprint{1, 1, 4, 0},
+};
+
+// ---------------------------------------------------------------------------
+// STRASSEN2 (Figure 1): three temporaries, recursive multiply-accumulate.
+// ---------------------------------------------------------------------------
+
+inline constexpr Step kStrassen2Steps[] = {
+    /* 0*/ lin(kT1, term(kB12, 1), term(kB11, -1)),             // R2 = T1
+    /* 1*/ lin(kT0, term(kA21, 1), term(kA22, 1)),              // R1 = S1
+    /* 2*/ mul(kT2, kT0, kT1, 1.0, num(0)),                     // R3 = a*P5
+    /* 3*/ lin(kC12, term(kT2, 1), term(kC12, 1, Sym::beta)),   // C12=b*C12+a*P5
+    /* 4*/ lin(kC22, term(kT2, 1), term(kC22, 1, Sym::beta)),   // C22=b*C22+a*P5
+    /* 5*/ lin(kT0, term(kT0, 1), term(kA11, -1)),              // R1 = S2
+    /* 6*/ lin(kT1, term(kB22, 1), term(kT1, -1)),              // R2 = T2
+    /* 7*/ mul(kT2, kA11, kB11, 1.0, num(0)),                   // R3 = a*P1
+    /* 8*/ lin(kC11, term(kT2, 1), term(kC11, 1, Sym::beta)),   // C11=b*C11+a*P1
+    /* 9*/ mul(kT2, kT0, kT1, 1.0, num(1)),                     // R3 = a*U2
+    /*10*/ mul(kC11, kA12, kB21, 1.0, num(1)),                  // C11 final
+    /*11*/ lin(kT0, term(kA12, 1), term(kT0, -1)),              // R1 = S4
+    /*12*/ mul(kC12, kT0, kB22, 1.0, num(1)),                   // C12 += a*P3
+    /*13*/ lin(kC12, term(kC12, 1), term(kT2, 1)),              // C12 final
+    /*14*/ lin(kT1, term(kT1, 1), term(kB21, -1)),              // R2 = T4
+    /*15*/ mul(kC21, kA22, kT1, -1.0, times_beta()),            // C21=b*C21-a*P4
+    /*16*/ lin(kT0, term(kA11, 1), term(kA21, -1)),             // R1 = S3
+    /*17*/ lin(kT1, term(kB22, 1), term(kB12, -1)),             // R2 = T3
+    /*18*/ mul(kT2, kT0, kT1, 1.0, num(1)),                     // R3 = a*U3
+    /*19*/ lin(kC21, term(kC21, 1), term(kT2, 1)),              // C21 final
+    /*20*/ lin(kC22, term(kC22, 1), term(kT2, 1)),              // C22 final
+};
+
+inline constexpr TempDecl kStrassen2Temps[] = {
+    temp(kT0, Shape::mk, 1, 18),
+    temp(kT1, Shape::kn, 0, 18),
+    temp(kT2, Shape::mn, 2, 20),
+};
+
+inline constexpr Schedule kStrassen2 = {
+    "STRASSEN2",
+    kStrassen2Steps,
+    21,
+    kStrassen2Temps,
+    3,
+    /*general_beta=*/true,
+    /*peak_temps=*/3,
+    Footprint{1, 1, 1, 0},
+};
+
+// ---------------------------------------------------------------------------
+// Strassen's 1969 construction, beta == 0 core (the general-beta wrapper in
+// core/strassen_original.cpp adds one full-size C temporary around it).
+// ---------------------------------------------------------------------------
+
+inline constexpr Step kOriginalBeta0Steps[] = {
+    /* 0*/ lin(kT0, term(kA11, 1), term(kA22, 1)),
+    /* 1*/ lin(kT1, term(kB11, 1), term(kB22, 1)),
+    /* 2*/ mul(kT2, kT0, kT1, 1.0, num(0)),           // P = a*P1
+    /* 3*/ lin(kC11, term(kT2, 1)),                   // C11 = a*P1
+    /* 4*/ lin(kC22, term(kT2, 1)),                   // C22 = a*P1
+    /* 5*/ lin(kT0, term(kA21, 1), term(kA22, 1)),
+    /* 6*/ mul(kC21, kT0, kB11, 1.0, num(0)),         // C21 = a*P2
+    /* 7*/ lin(kC22, term(kC22, 1), term(kC21, -1)),  // C22 -= a*P2
+    /* 8*/ lin(kT1, term(kB12, 1), term(kB22, -1)),
+    /* 9*/ mul(kC12, kA11, kT1, 1.0, num(0)),         // C12 = a*P3
+    /*10*/ lin(kC22, term(kC22, 1), term(kC12, 1)),   // C22 += a*P3
+    /*11*/ lin(kT1, term(kB21, 1), term(kB11, -1)),
+    /*12*/ mul(kT2, kA22, kT1, 1.0, num(0)),          // P = a*P4
+    /*13*/ lin(kC11, term(kC11, 1), term(kT2, 1)),
+    /*14*/ lin(kC21, term(kC21, 1), term(kT2, 1)),
+    /*15*/ lin(kT0, term(kA11, 1), term(kA12, 1)),
+    /*16*/ mul(kT2, kT0, kB22, 1.0, num(0)),          // P = a*P5
+    /*17*/ lin(kC11, term(kC11, 1), term(kT2, -1)),
+    /*18*/ lin(kC12, term(kC12, 1), term(kT2, 1)),
+    /*19*/ lin(kT0, term(kA21, 1), term(kA11, -1)),
+    /*20*/ lin(kT1, term(kB11, 1), term(kB12, 1)),
+    /*21*/ mul(kT2, kT0, kT1, 1.0, num(0)),           // P = a*P6
+    /*22*/ lin(kC22, term(kC22, 1), term(kT2, 1)),
+    /*23*/ lin(kT0, term(kA12, 1), term(kA22, -1)),
+    /*24*/ lin(kT1, term(kB21, 1), term(kB22, 1)),
+    /*25*/ mul(kT2, kT0, kT1, 1.0, num(0)),           // P = a*P7
+    /*26*/ lin(kC11, term(kC11, 1), term(kT2, 1)),
+};
+
+inline constexpr TempDecl kOriginalBeta0Temps[] = {
+    temp(kT0, Shape::mk, 0, 25),
+    temp(kT1, Shape::kn, 1, 25),
+    temp(kT2, Shape::mn, 2, 26),
+};
+
+inline constexpr Schedule kOriginalBeta0 = {
+    "ORIGINAL/beta0",
+    kOriginalBeta0Steps,
+    27,
+    kOriginalBeta0Temps,
+    3,
+    /*general_beta=*/false,
+    /*peak_temps=*/3,
+    Footprint{1, 1, 1, 0},
+};
+
+/// All four classic (2x2, one-level) schedule tables, for iteration in
+/// tests and tools.
+inline constexpr const Schedule* kAllSchedules[] = {
+    &kStrassen1Beta0, &kStrassen1General, &kStrassen2, &kOriginalBeta0};
+
+// ---------------------------------------------------------------------------
+// Fused product tables (core/winograd_fused.cpp)
+//
+// Strassen's original construction, written as per-product coefficient
+// lists over quadrant indices (the variant whose products each read at most
+// two quadrants per operand and write at most two quadrants of C -- the
+// property the 2-term/2-destination packed fusion requires):
+//
+//   M1 = (A11+A22)(B11+B22)   C11 += M1, C22 += M1
+//   M2 = (A21+A22) B11        C21 += M2, C22 -= M2
+//   M3 =  A11     (B12-B22)   C12 += M3, C22 += M3
+//   M4 =  A22     (B21-B11)   C11 += M4, C21 += M4
+//   M5 = (A11+A12) B22        C11 -= M5, C12 += M5
+//   M6 = (A21-A11)(B11+B12)   C22 += M6
+//   M7 = (A12-A22)(B21+B22)   C11 += M7
+//
+// At fusion level 1 the quadrant index q addresses the 2x2 grid (q = 2r+c);
+// the level-2 table composes the level-1 table with itself onto a 4x4 block
+// grid (index 4r+c). Fused levels allocate no temporaries at all: operand
+// sums are formed in the pack buffers and accumulations live in C.
+// ---------------------------------------------------------------------------
+
+/// One addend of a fused operand/destination combination: g * block(q).
+struct FTerm {
+  signed char q = 0;
+  double g = 0.0;
+};
+
+inline constexpr int kMaxFusedTerms = 4;
+
+/// One fused product: (sum of a) * (sum of b) scattered into the c blocks.
+struct FProduct {
+  FTerm a[kMaxFusedTerms];
+  signed char na = 0;
+  FTerm b[kMaxFusedTerms];
+  signed char nb = 0;
+  FTerm c[kMaxFusedTerms];
+  signed char nc = 0;
+};
+
+inline constexpr FProduct kFusedL1[7] = {
+    {{{0, 1.0}, {3, 1.0}}, 2, {{0, 1.0}, {3, 1.0}}, 2, {{0, 1.0}, {3, 1.0}}, 2},
+    {{{2, 1.0}, {3, 1.0}}, 2, {{0, 1.0}, {}}, 1, {{2, 1.0}, {3, -1.0}}, 2},
+    {{{0, 1.0}, {}}, 1, {{1, 1.0}, {3, -1.0}}, 2, {{1, 1.0}, {3, 1.0}}, 2},
+    {{{3, 1.0}, {}}, 1, {{2, 1.0}, {0, -1.0}}, 2, {{0, 1.0}, {2, 1.0}}, 2},
+    {{{0, 1.0}, {1, 1.0}}, 2, {{3, 1.0}, {}}, 1, {{0, -1.0}, {1, 1.0}}, 2},
+    {{{2, 1.0}, {0, -1.0}}, 2, {{0, 1.0}, {1, 1.0}}, 2, {{3, 1.0}, {}}, 1},
+    {{{1, 1.0}, {3, -1.0}}, 2, {{2, 1.0}, {3, 1.0}}, 2, {{0, 1.0}, {}}, 1},
+};
+
+inline constexpr int kFusedL1Products = 7;
+inline constexpr int kFusedL2Products = 49;
+
+/// Quadrant composition onto the 4x4 grid: outer quadrant qo selects a 2x2
+/// sub-grid of blocks, inner quadrant qi a block within it.
+constexpr signed char compose_quadrant(int qo, int qi) {
+  const int row = (qo >> 1) * 2 + (qi >> 1);
+  const int col = (qo & 1) * 2 + (qi & 1);
+  return static_cast<signed char>(row * 4 + col);
+}
+
+/// Substitutes the inner product spec into every term of the outer one --
+/// exactly the expansion core/winograd_fused.cpp's emit() performs on views
+/// at run time (inner spec entries major, outer terms minor).
+constexpr FProduct compose(const FProduct& o, const FProduct& i) {
+  FProduct r{};
+  for (int e = 0; e < i.na; ++e) {
+    for (int t = 0; t < o.na; ++t) {
+      r.a[r.na] = FTerm{compose_quadrant(o.a[t].q, i.a[e].q),
+                        o.a[t].g * i.a[e].g};
+      ++r.na;
+    }
+  }
+  for (int e = 0; e < i.nb; ++e) {
+    for (int t = 0; t < o.nb; ++t) {
+      r.b[r.nb] = FTerm{compose_quadrant(o.b[t].q, i.b[e].q),
+                        o.b[t].g * i.b[e].g};
+      ++r.nb;
+    }
+  }
+  for (int e = 0; e < i.nc; ++e) {
+    for (int t = 0; t < o.nc; ++t) {
+      r.c[r.nc] = FTerm{compose_quadrant(o.c[t].q, i.c[e].q),
+                        o.c[t].g * i.c[e].g};
+      ++r.nc;
+    }
+  }
+  return r;
+}
+
+struct FusedL2Table {
+  FProduct p[kFusedL2Products];
+};
+
+/// The 49-product level-2 table: the level-1 table composed with itself, in
+/// the order the runtime expansion visits products (outer index major).
+constexpr FusedL2Table make_fused_l2() {
+  FusedL2Table t{};
+  int n = 0;
+  for (int o = 0; o < kFusedL1Products; ++o) {
+    for (int i = 0; i < kFusedL1Products; ++i) {
+      t.p[n] = compose(kFusedL1[o], kFusedL1[i]);
+      ++n;
+    }
+  }
+  return t;
+}
+
+inline constexpr FusedL2Table kFusedL2 = make_fused_l2();
+
+/// Largest operand/destination term count over a fused product table (the
+/// packed-GEMM skeleton bounds this by blas::kPackMaxTerms/kPackMaxDests).
+constexpr int max_fused_terms(const FProduct* p, int np) {
+  int mx = 0;
+  for (int i = 0; i < np; ++i) {
+    if (p[i].na > mx) mx = p[i].na;
+    if (p[i].nb > mx) mx = p[i].nb;
+    if (p[i].nc > mx) mx = p[i].nc;
+  }
+  return mx;
+}
+
+}  // namespace strassen::verify

@@ -1,0 +1,289 @@
+// Constexpr symbolic interpreter over a small polynomial ring.
+//
+// Evaluates a schedule_ir.hpp table with every matrix quadrant replaced by
+// a formal variable and checks, by exact polynomial identity, that the
+// schedule computes C = alpha*A*B + beta*C for the 2x2 (or, for the fused
+// tables, 2^L x 2^L) block form. The ring is noncommutative in the matrix
+// variables -- block products a_ij * b_jk keep their order -- and
+// commutative in the scalars alpha and beta, which appear as explicit
+// exponents on each monomial.
+//
+// Everything here is constexpr so verify/proofs.hpp can static_assert the
+// results; tests/test_verify.cpp calls the same functions at run time to
+// exercise the checker's rejection paths on deliberately corrupted tables.
+#pragma once
+
+#include "verify/schedule_ir.hpp"
+
+namespace strassen::verify {
+
+// Checker verdicts. 0 is success; anything else identifies the failure so
+// a static_assert(check_schedule(s) == kOk) diagnostic pinpoints the cause.
+inline constexpr int kOk = 0;
+inline constexpr int kErrReadUnwritten = 1;   ///< step reads an undefined reg
+inline constexpr int kErrDegreeOverflow = 2;  ///< product of two products
+inline constexpr int kErrPolyOverflow = 3;    ///< monomial capacity exceeded
+inline constexpr int kErrResultMismatch = 4;  ///< C != alpha*A*B + beta*C
+inline constexpr int kErrBadStep = 5;         ///< malformed step encoding
+
+/// One monomial: coef * alpha^ae * beta^be * v[0] * v[1] (matrix variables
+/// in product order; nv in 0..2 since a well-formed schedule never
+/// multiplies two products).
+struct Mono {
+  int ae = 0;
+  int be = 0;
+  signed char v[2] = {-1, -1};
+  signed char nv = 0;
+  double coef = 0.0;
+};
+
+constexpr bool same_key(const Mono& a, const Mono& b) {
+  if (a.ae != b.ae || a.be != b.be || a.nv != b.nv) return false;
+  for (int i = 0; i < a.nv; ++i) {
+    if (a.v[i] != b.v[i]) return false;
+  }
+  return true;
+}
+
+/// Fixed-capacity multivariate polynomial, kept in merged form (no two
+/// monomials share a key; zero-coefficient monomials are removed).
+template <int Cap>
+struct Poly {
+  Mono m[Cap] = {};
+  int n = 0;
+  bool overflow = false;
+
+  constexpr void add_mono(const Mono& mo) {
+    if (mo.coef == 0.0) return;
+    for (int i = 0; i < n; ++i) {
+      if (same_key(m[i], mo)) {
+        m[i].coef += mo.coef;
+        if (m[i].coef == 0.0) {
+          m[i] = m[n - 1];
+          --n;
+        }
+        return;
+      }
+    }
+    if (n == Cap) {
+      overflow = true;
+      return;
+    }
+    m[n] = mo;
+    ++n;
+  }
+
+  /// this += scale * alpha^d_ae * beta^d_be * src.
+  constexpr void axpy(double scale, int d_ae, int d_be,
+                      const Poly& src) {
+    if (src.overflow) overflow = true;
+    for (int i = 0; i < src.n; ++i) {
+      Mono mo = src.m[i];
+      mo.coef *= scale;
+      mo.ae += d_ae;
+      mo.be += d_be;
+      add_mono(mo);
+    }
+  }
+};
+
+/// Single formal variable as a polynomial.
+template <int Cap>
+constexpr Poly<Cap> make_var(int id) {
+  Poly<Cap> p;
+  Mono mo;
+  mo.v[0] = static_cast<signed char>(id);
+  mo.nv = 1;
+  mo.coef = 1.0;
+  p.add_mono(mo);
+  return p;
+}
+
+/// Noncommutative product x * y. Fails (via *err) if any monomial product
+/// would carry more than two matrix variables -- a schedule multiplying a
+/// product by anything is structurally wrong, not just miscoded.
+template <int Cap>
+constexpr Poly<Cap> mul_poly(const Poly<Cap>& x, const Poly<Cap>& y,
+                             int* err) {
+  Poly<Cap> r;
+  if (x.overflow || y.overflow) r.overflow = true;
+  for (int i = 0; i < x.n; ++i) {
+    for (int j = 0; j < y.n; ++j) {
+      if (x.m[i].nv + y.m[j].nv > 2) {
+        *err = kErrDegreeOverflow;
+        return r;
+      }
+      Mono mo;
+      mo.ae = x.m[i].ae + y.m[j].ae;
+      mo.be = x.m[i].be + y.m[j].be;
+      mo.coef = x.m[i].coef * y.m[j].coef;
+      mo.nv = 0;
+      for (int k = 0; k < x.m[i].nv; ++k) mo.v[mo.nv++] = x.m[i].v[k];
+      for (int k = 0; k < y.m[j].nv; ++k) mo.v[mo.nv++] = y.m[j].v[k];
+      r.add_mono(mo);
+    }
+  }
+  return r;
+}
+
+/// Set equality of merged polynomials.
+template <int Cap>
+constexpr bool poly_equal(const Poly<Cap>& a, const Poly<Cap>& b) {
+  if (a.overflow || b.overflow) return false;
+  if (a.n != b.n) return false;
+  for (int i = 0; i < a.n; ++i) {
+    bool found = false;
+    for (int j = 0; j < b.n; ++j) {
+      if (same_key(a.m[i], b.m[j])) {
+        found = a.m[i].coef == b.m[j].coef;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+// Variable numbering for the 2x2 classic schedules: quadrant q = 2*row+col
+// of A is variable q, of B is 4+q, and the *initial* value of C quadrant q
+// is 8+q (C registers start holding their variable; the schedule overwrites
+// them).
+inline constexpr int kVarA = 0;
+inline constexpr int kVarB = 4;
+inline constexpr int kVarC = 8;
+
+inline constexpr int kClassicCap = 32;
+
+/// Evaluates one classic 2x2 schedule symbolically and checks the result.
+/// Returns kOk or the first error encountered.
+constexpr int check_schedule(const Schedule& s) {
+  using P = Poly<kClassicCap>;
+  P reg[kNumRegs] = {};
+  bool written[kNumRegs] = {};
+  for (int q = 0; q < 4; ++q) {
+    reg[kA11 + q] = make_var<kClassicCap>(kVarA + q);
+    written[kA11 + q] = true;
+    reg[kB11 + q] = make_var<kClassicCap>(kVarB + q);
+    written[kB11 + q] = true;
+    reg[kC11 + q] = make_var<kClassicCap>(kVarC + q);
+    written[kC11 + q] = true;
+  }
+
+  for (int i = 0; i < s.nsteps; ++i) {
+    const Step& st = s.steps[i];
+    if (st.dst < 0 || st.dst >= kNumRegs) return kErrBadStep;
+    if (st.op == Op::lin) {
+      if (st.nt < 1 || st.nt > kMaxLinTerms) return kErrBadStep;
+      P acc;
+      for (int t = 0; t < st.nt; ++t) {
+        const Term& tm = st.t[t];
+        if (tm.reg < 0 || tm.reg >= kNumRegs) return kErrBadStep;
+        if (!written[tm.reg]) return kErrReadUnwritten;
+        acc.axpy(tm.c.v, 0, tm.c.s == Sym::beta ? 1 : 0, reg[tm.reg]);
+      }
+      reg[st.dst] = acc;
+      written[st.dst] = true;
+    } else {
+      if (st.x < 0 || st.x >= kNumRegs || st.y < 0 || st.y >= kNumRegs) {
+        return kErrBadStep;
+      }
+      if (!written[st.x] || !written[st.y]) return kErrReadUnwritten;
+      int err = kOk;
+      const P prod = mul_poly(reg[st.x], reg[st.y], &err);
+      if (err != kOk) return err;
+      P acc;
+      if (st.bc.v != 0.0) {
+        if (!written[st.dst]) return kErrReadUnwritten;
+        acc.axpy(st.bc.v, 0, st.bc.s == Sym::beta ? 1 : 0, reg[st.dst]);
+      }
+      acc.axpy(st.am, 1, 0, prod);  // one alpha per recursive product
+      reg[st.dst] = acc;
+      written[st.dst] = true;
+    }
+    if (reg[st.dst].overflow) return kErrPolyOverflow;
+  }
+
+  // Expected: C_rc = alpha * (a_r0 b_0c + a_r1 b_1c) [+ beta * c_rc].
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 2; ++c) {
+      P want;
+      for (int t = 0; t < 2; ++t) {
+        int err = kOk;
+        const P ab =
+            mul_poly(make_var<kClassicCap>(kVarA + r * 2 + t),
+                     make_var<kClassicCap>(kVarB + t * 2 + c), &err);
+        if (err != kOk) return err;
+        want.axpy(1.0, 1, 0, ab);
+      }
+      if (s.general_beta) {
+        want.axpy(1.0, 0, 1, make_var<kClassicCap>(kVarC + r * 2 + c));
+      }
+      if (!poly_equal(reg[kC11 + r * 2 + c], want)) {
+        return kErrResultMismatch;
+      }
+    }
+  }
+  return kOk;
+}
+
+// ---------------------------------------------------------------------------
+// Fused product tables: the G x G block grid (G = 2 at one fused level,
+// G = 4 at two). Variables: a block (r,c) is r*G+c, b blocks are offset by
+// G*G, initial c blocks by 2*G*G. The fused runtime applies beta to each C
+// block on its first touch and accumulates every later product, so the net
+// effect to verify is C_rc = alpha * sum_t a_rt * b_tc + beta * c_rc.
+// ---------------------------------------------------------------------------
+
+inline constexpr int kFusedCap = 300;
+
+template <int G>
+constexpr int check_fused(const FProduct* prods, int np) {
+  using P = Poly<kFusedCap>;
+  constexpr int nb = G * G;
+  P c[nb] = {};
+  for (int q = 0; q < nb; ++q) {
+    // beta * c_q: the first-touch scaling.
+    c[q].axpy(1.0, 0, 1, make_var<kFusedCap>(2 * nb + q));
+  }
+  for (int i = 0; i < np; ++i) {
+    const FProduct& p = prods[i];
+    if (p.na < 1 || p.na > kMaxFusedTerms || p.nb < 1 ||
+        p.nb > kMaxFusedTerms || p.nc < 1 || p.nc > kMaxFusedTerms) {
+      return kErrBadStep;
+    }
+    P sa, sb;
+    for (int t = 0; t < p.na; ++t) {
+      if (p.a[t].q < 0 || p.a[t].q >= nb) return kErrBadStep;
+      sa.axpy(p.a[t].g, 0, 0, make_var<kFusedCap>(p.a[t].q));
+    }
+    for (int t = 0; t < p.nb; ++t) {
+      if (p.b[t].q < 0 || p.b[t].q >= nb) return kErrBadStep;
+      sb.axpy(p.b[t].g, 0, 0, make_var<kFusedCap>(nb + p.b[t].q));
+    }
+    int err = kOk;
+    const P prod = mul_poly(sa, sb, &err);
+    if (err != kOk) return err;
+    for (int t = 0; t < p.nc; ++t) {
+      if (p.c[t].q < 0 || p.c[t].q >= nb) return kErrBadStep;
+      c[p.c[t].q].axpy(p.c[t].g, 1, 0, prod);
+      if (c[p.c[t].q].overflow) return kErrPolyOverflow;
+    }
+  }
+  for (int r = 0; r < G; ++r) {
+    for (int col = 0; col < G; ++col) {
+      P want;
+      for (int t = 0; t < G; ++t) {
+        int err = kOk;
+        const P ab = mul_poly(make_var<kFusedCap>(r * G + t),
+                              make_var<kFusedCap>(nb + t * G + col), &err);
+        if (err != kOk) return err;
+        want.axpy(1.0, 1, 0, ab);
+      }
+      want.axpy(1.0, 0, 1, make_var<kFusedCap>(2 * nb + r * G + col));
+      if (!poly_equal(c[r * G + col], want)) return kErrResultMismatch;
+    }
+  }
+  return kOk;
+}
+
+}  // namespace strassen::verify

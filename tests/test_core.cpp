@@ -197,10 +197,12 @@ TEST(Dgefmm, BitIdenticalAcrossRuns) {
   Matrix c1(s.m, s.n), c2(s.m, s.n);
   fill(c1.view(), 0.0);
   fill(c2.view(), 0.0);
-  core::dgefmm(Trans::no, Trans::no, s.m, s.n, s.k, 1.0, a.data(), a.ld(),
-               b.data(), b.ld(), 0.0, c1.data(), c1.ld(), cfg);
-  core::dgefmm(Trans::no, Trans::no, s.m, s.n, s.k, 1.0, a.data(), a.ld(),
-               b.data(), b.ld(), 0.0, c2.data(), c2.ld(), cfg);
+  EXPECT_EQ(0, core::dgefmm(Trans::no, Trans::no, s.m, s.n, s.k, 1.0,
+                            a.data(), a.ld(), b.data(), b.ld(), 0.0,
+                            c1.data(), c1.ld(), cfg));
+  EXPECT_EQ(0, core::dgefmm(Trans::no, Trans::no, s.m, s.n, s.k, 1.0,
+                            a.data(), a.ld(), b.data(), b.ld(), 0.0,
+                            c2.data(), c2.ld(), cfg));
   EXPECT_EQ(max_abs_diff(c1.view(), c2.view()), 0.0);
 }
 
@@ -215,8 +217,8 @@ TEST(Dgefmm, MultiplyByIdentity) {
   fill(c.view(), 0.0);
   DgefmmConfig cfg;
   cfg.cutoff = deep_cutoff();
-  core::dgefmm(Trans::no, Trans::no, 41, 41, 41, 1.0, a.data(), 41,
-               eye.data(), 41, 0.0, c.data(), 41, cfg);
+  EXPECT_EQ(0, core::dgefmm(Trans::no, Trans::no, 41, 41, 41, 1.0, a.data(),
+                            41, eye.data(), 41, 0.0, c.data(), 41, cfg));
   EXPECT_LT(max_abs_diff(c.view(), a.view()), 1e-12);
 }
 
@@ -292,8 +294,8 @@ TEST(Dgefmm, StatsCountRecursionTree) {
     Matrix b = random_matrix(m, m, rng);
     Matrix c(m, m);
     fill(c.view(), 0.0);
-    core::dgefmm(Trans::no, Trans::no, m, m, m, 1.0, a.data(), m, b.data(), m,
-                 0.0, c.data(), m, cfg);
+    EXPECT_EQ(0, core::dgefmm(Trans::no, Trans::no, m, m, m, 1.0, a.data(),
+                              m, b.data(), m, 0.0, c.data(), m, cfg));
     count_t levels = 0, p7 = 1;
     for (int i = 0; i < d; ++i) {
       levels += p7;
@@ -317,8 +319,8 @@ TEST(Dgefmm, StatsCountPeelFixups) {
   Matrix b = random_matrix(k, n, rng);
   Matrix c(m, n);
   fill(c.view(), 0.0);
-  core::dgefmm(Trans::no, Trans::no, m, n, k, 1.0, a.data(), m, b.data(), k,
-               0.0, c.data(), m, cfg);
+  EXPECT_EQ(0, core::dgefmm(Trans::no, Trans::no, m, n, k, 1.0, a.data(), m,
+                            b.data(), k, 0.0, c.data(), m, cfg));
   EXPECT_EQ(stats.peel_fixups, 4);
   EXPECT_EQ(stats.strassen_levels, 1);
   EXPECT_EQ(stats.base_gemms, 7);
@@ -337,14 +339,16 @@ TEST(Dgefmm, ExternalArenaIsReusedWithoutGrowth) {
   Matrix b = random_matrix(s.k, s.n, rng);
   Matrix c(s.m, s.n);
   fill(c.view(), 0.0);
-  core::dgefmm(Trans::no, Trans::no, s.m, s.n, s.k, 1.0, a.data(), s.m,
-               b.data(), s.k, 0.0, c.data(), s.m, cfg);
+  EXPECT_EQ(0, core::dgefmm(Trans::no, Trans::no, s.m, s.n, s.k, 1.0,
+                            a.data(), s.m, b.data(), s.k, 0.0, c.data(), s.m,
+                            cfg));
   const std::size_t cap_after_first = arena.capacity();
   EXPECT_GT(cap_after_first, 0u);
   EXPECT_EQ(arena.in_use(), 0u);  // everything released
   for (int rep = 0; rep < 3; ++rep) {
-    core::dgefmm(Trans::no, Trans::no, s.m, s.n, s.k, 1.0, a.data(), s.m,
-                 b.data(), s.k, 0.0, c.data(), s.m, cfg);
+    EXPECT_EQ(0, core::dgefmm(Trans::no, Trans::no, s.m, s.n, s.k, 1.0,
+                              a.data(), s.m, b.data(), s.k, 0.0, c.data(),
+                              s.m, cfg));
   }
   EXPECT_EQ(arena.capacity(), cap_after_first);
 }
@@ -359,8 +363,9 @@ TEST(Dgefmm, NeverRecurseEqualsDgemm) {
   copy(c1.view(), c2.view());
   DgefmmConfig cfg;
   cfg.cutoff = CutoffCriterion::never_recurse();
-  core::dgefmm(Trans::no, Trans::no, s.m, s.n, s.k, 1.5, a.data(), s.m,
-               b.data(), s.k, 0.5, c1.data(), s.m, cfg);
+  EXPECT_EQ(0, core::dgefmm(Trans::no, Trans::no, s.m, s.n, s.k, 1.5,
+                            a.data(), s.m, b.data(), s.k, 0.5, c1.data(),
+                            s.m, cfg));
   blas::dgemm(Trans::no, Trans::no, s.m, s.n, s.k, 1.5, a.data(), s.m,
               b.data(), s.k, 0.5, c2.data(), s.m);
   // Identical code path => bit-identical results.

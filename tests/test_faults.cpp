@@ -126,7 +126,7 @@ TEST_F(ArenaGuards, OverrunDetectedAtNextAlloc) {
   Arena arena(64);
   double* p = arena.alloc(8);
   p[8] = 1.0;  // one past the end: lands on the canary
-  arena.alloc(1);
+  (void)arena.alloc(1);
   EXPECT_TRUE(arena.corruption_detected());
 }
 
@@ -181,7 +181,7 @@ TEST_F(ArenaGuards, ExactlyFullArenaSkipsTheCanary) {
   double* p = arena.alloc(8);  // no room left for a guard word
   for (int i = 0; i < 8; ++i) p[i] = 1.0;
   arena.release(0);
-  arena.alloc(8);
+  (void)arena.alloc(8);
   EXPECT_FALSE(arena.corruption_detected());
 }
 
@@ -191,7 +191,7 @@ TEST_F(ArenaGuards, DisabledGuardsDetectNothing) {
   double* p = arena.alloc(4);
   p[4] = 2.0;
   arena.release(0);
-  arena.alloc(1);
+  (void)arena.alloc(1);
   EXPECT_FALSE(arena.corruption_detected());
 }
 

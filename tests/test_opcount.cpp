@@ -230,8 +230,8 @@ TEST(OpCount, CountingDisabledByDefaultIsCheap) {
   fill(c.view(), 0.0);
   DgefmmConfig cfg;
   cfg.cutoff = CutoffCriterion::fixed_depth(1);
-  core::dgefmm(Trans::no, Trans::no, 32, 32, 32, 1.0, a.data(), 32, b.data(),
-               32, 0.0, c.data(), 32, cfg);
+  EXPECT_EQ(0, core::dgefmm(Trans::no, Trans::no, 32, 32, 32, 1.0, a.data(),
+                            32, b.data(), 32, 0.0, c.data(), 32, cfg));
   EXPECT_EQ(opcount::counters().total(), 0);
 }
 

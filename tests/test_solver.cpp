@@ -252,8 +252,8 @@ TEST(Lu, DgefmmBackendMatchesDgemmBackend) {
                  index_t ldc) {
     core::DgefmmConfig cfg;
     cfg.cutoff = core::CutoffCriterion::square_simple(16);
-    core::dgefmm(ta, tb, m, nn, k, alpha, aa, lda, bb, ldb, beta, cc, ldc,
-                 cfg);
+    EXPECT_EQ(0, core::dgefmm(ta, tb, m, nn, k, alpha, aa, lda, bb, ldb,
+                              beta, cc, ldc, cfg));
   };
 
   const solver::LuFactors f1 = solver::lu_factor(a.view(), base);
@@ -283,8 +283,8 @@ TEST(Lu, IterativeRefinementImprovesResidual) {
                  index_t ldc) {
     core::DgefmmConfig cfg;
     cfg.cutoff = core::CutoffCriterion::square_simple(8);
-    core::dgefmm(ta, tb, m, nn, k, alpha, aa, lda, bb, ldb, beta, cc, ldc,
-                 cfg);
+    EXPECT_EQ(0, core::dgefmm(ta, tb, m, nn, k, alpha, aa, lda, bb, ldb,
+                              beta, cc, ldc, cfg));
   };
   const solver::LuFactors f = solver::lu_factor(a.view(), opts);
   ASSERT_EQ(f.info, 0);

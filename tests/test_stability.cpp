@@ -42,8 +42,9 @@ double max_error_at_depth(const Matrix& a, const Matrix& b,
   core::DgefmmConfig cfg;
   cfg.cutoff = core::CutoffCriterion::fixed_depth(depth);
   cfg.scheme = scheme;
-  core::dgefmm(Trans::no, Trans::no, m, n, k, 1.0, a.data(), a.ld(),
-               b.data(), b.ld(), 0.0, c.data(), c.ld(), cfg);
+  EXPECT_EQ(0, core::dgefmm(Trans::no, Trans::no, m, n, k, 1.0, a.data(),
+                            a.ld(), b.data(), b.ld(), 0.0, c.data(), c.ld(),
+                            cfg));
   return max_abs_diff(c.view(), truth.view());
 }
 
@@ -107,8 +108,9 @@ TEST_F(StabilityFixture, Strassen2AccumulationStable) {
   }
   core::DgefmmConfig cfg;
   cfg.cutoff = core::CutoffCriterion::fixed_depth(3);
-  core::dgefmm(Trans::no, Trans::no, kN, kN, kN, 1.0, a_.data(), a_.ld(),
-               b_.data(), b_.ld(), 0.5, c.data(), c.ld(), cfg);
+  EXPECT_EQ(0, core::dgefmm(Trans::no, Trans::no, kN, kN, kN, 1.0,
+                            a_.data(), a_.ld(), b_.data(), b_.ld(), 0.5,
+                            c.data(), c.ld(), cfg));
   EXPECT_LT(max_abs_diff(c.view(), c_truth.view()), 1e-10);
 }
 

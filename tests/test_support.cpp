@@ -24,7 +24,7 @@ TEST(Arena, AllocatesAndTracksPeak) {
   EXPECT_EQ(arena.in_use(), 40u);
   {
     ArenaScope scope(arena);
-    arena.alloc(50);
+    (void)arena.alloc(50);
     EXPECT_EQ(arena.in_use(), 90u);
   }
   EXPECT_EQ(arena.in_use(), 40u);
@@ -36,30 +36,30 @@ TEST(Arena, AllocatesAndTracksPeak) {
 
 TEST(Arena, ThrowsOnExhaustion) {
   Arena arena(10);
-  arena.alloc(8);
-  EXPECT_THROW(arena.alloc(3), WorkspaceError);
+  (void)arena.alloc(8);
+  EXPECT_THROW((void)arena.alloc(3), WorkspaceError);
   // A failed allocation must not corrupt the stack.
   EXPECT_EQ(arena.in_use(), 8u);
-  EXPECT_NO_THROW(arena.alloc(2));
+  EXPECT_NO_THROW((void)arena.alloc(2));
 }
 
 TEST(Arena, ReserveOnlyWhenEmpty) {
   Arena arena(4);
   arena.reserve(100);
   EXPECT_GE(arena.capacity(), 100u);
-  arena.alloc(1);
+  (void)arena.alloc(1);
   EXPECT_THROW(arena.reserve(200), WorkspaceError);
 }
 
 TEST(ArenaScope, NestedScopesRestoreInOrder) {
   Arena arena(64);
-  arena.alloc(4);
+  (void)arena.alloc(4);
   {
     ArenaScope outer(arena);
-    arena.alloc(8);
+    (void)arena.alloc(8);
     {
       ArenaScope inner(arena);
-      arena.alloc(16);
+      (void)arena.alloc(16);
       EXPECT_EQ(arena.in_use(), 28u);
     }
     EXPECT_EQ(arena.in_use(), 12u);

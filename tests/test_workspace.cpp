@@ -207,15 +207,16 @@ TEST(WorkspaceError, UndersizedCallerArenaThrows) {
   DgefmmConfig cfg;
   cfg.cutoff = CutoffCriterion::square_simple(8);
   Arena arena(16);     // far too small
-  arena.alloc(1);      // mark in use so dgefmm cannot silently regrow it
+  (void)arena.alloc(1);      // mark in use so dgefmm cannot silently regrow it
   cfg.workspace = &arena;
   Rng rng(5);
   Matrix a = random_matrix(64, 64, rng);
   Matrix b = random_matrix(64, 64, rng);
   Matrix c(64, 64);
   fill(c.view(), 0.0);
-  EXPECT_THROW(core::dgefmm(Trans::no, Trans::no, 64, 64, 64, 1.0, a.data(),
-                            64, b.data(), 64, 0.0, c.data(), 64, cfg),
+  EXPECT_THROW((void)core::dgefmm(Trans::no, Trans::no, 64, 64, 64, 1.0,
+                                  a.data(), 64, b.data(), 64, 0.0, c.data(),
+                                  64, cfg),
                WorkspaceError);
 }
 
@@ -229,7 +230,7 @@ TEST(WorkspaceError, UndersizedCallerArenaFallsBackWhenAsked) {
   DgefmmStats stats;
   cfg.stats = &stats;
   Arena arena(16);
-  arena.alloc(1);
+  (void)arena.alloc(1);
   cfg.workspace = &arena;
   Rng rng(6);
   Matrix a = random_matrix(64, 64, rng);
