@@ -11,7 +11,9 @@
 #include <string>
 
 #include "blas/gemm.hpp"
+#include "blas/kernels.hpp"
 #include "blas/machine.hpp"
+#include "blas/packed_loop.hpp"
 #include "core/dgefmm.hpp"
 #include "support/matrix.hpp"
 #include "support/random.hpp"
@@ -32,10 +34,22 @@ T pick(T smoke, T full) {
   return full_mode() ? full : smoke;
 }
 
-/// Prints the standard bench banner.
+/// Prints the standard bench banner, including the micro-kernel variant and
+/// intra-GEMM thread setting the timed runs will use (the two knobs that
+/// dominate the absolute rates; see DESIGN.md section 9).
 inline void banner(const std::string& what, const std::string& paper_ref) {
   std::cout << "=== " << what << " ===\n";
   std::cout << "reproduces: " << paper_ref << "\n";
+  const int gt = blas::gemm_threads();
+  std::cout << "kernel: " << blas::active_kernel().name
+            << "  [STRASSEN_KERNEL=scalar|avx2|avx512|auto]\n";
+  std::cout << "gemm threads: ";
+  if (gt == 0) {
+    std::cout << "auto (pool size)";
+  } else {
+    std::cout << gt;
+  }
+  std::cout << "  [STRASSEN_GEMM_THREADS=N, 1 = serial]\n";
   std::cout << "mode: " << (full_mode() ? "FULL (paper-scale)" : "smoke")
             << "  [STRASSEN_BENCH_FULL=1 for paper-scale sizes]\n\n";
 }

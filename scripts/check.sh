@@ -4,7 +4,11 @@
 # clang-tidy when available -- scripts/lint.sh), then the release and
 # sanitizer presets with the test suite under each. The tsan preset builds
 # everything but runs only the concurrency-relevant suites (test_parallel,
-# test_faults, test_cabi), via the label filter in CMakePresets.json.
+# test_faults, test_cabi, test_kernels), via the label filter in
+# CMakePresets.json. Finally the kernel matrix: the packed-GEMM suites
+# forced onto the scalar micro-kernel and onto the best SIMD one
+# (STRASSEN_KERNEL, resolved at process start), under release and asan --
+# the only way the env-resolved dispatch path itself gets exercised.
 # Usage: scripts/check.sh [extra ctest args...]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -19,6 +23,19 @@ for preset in release asan tsan; do
   cmake --preset "${preset}"
   cmake --build --preset "${preset}" -j "${jobs}"
   ctest --preset "${preset}" -j "${jobs}" "$@"
+done
+
+# Kernel matrix: the suites that drive the packed skeleton, re-run with the
+# kernel pinned by environment. "auto" exercises the CPUID-best choice
+# (identical to the plain runs above on most machines, but it also covers
+# the env-parsing path); "scalar" proves the portable fallback end to end.
+kernel_suites='test_kernels|test_blas|test_fused|test_faults'
+for preset in release asan; do
+  for kern in scalar auto; do
+    echo "== kernel matrix: ${preset} / STRASSEN_KERNEL=${kern} =="
+    STRASSEN_KERNEL="${kern}" ctest --preset "${preset}" -j "${jobs}" \
+      -L "${kernel_suites}" "$@"
+  done
 done
 
 echo "All checks passed."

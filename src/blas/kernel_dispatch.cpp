@@ -1,0 +1,111 @@
+// Kernel selection: CPUID detection, the STRASSEN_KERNEL override, and the
+// process-wide active-kernel switch.
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "blas/kernels.hpp"
+
+namespace strassen::blas {
+
+namespace {
+
+// True when the running CPU executes the variant's instructions. The
+// GCC/Clang builtin consults CPUID once and caches the answer.
+bool cpu_executes(KernelArch arch) {
+  switch (arch) {
+    case KernelArch::scalar:
+      return true;
+    case KernelArch::avx2:
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+      return __builtin_cpu_supports("avx2") != 0 &&
+             __builtin_cpu_supports("fma") != 0;
+#else
+      return false;
+#endif
+    case KernelArch::avx512:
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+      return __builtin_cpu_supports("avx512f") != 0;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+// Resolves the STRASSEN_KERNEL override; empty, "auto", unknown names, and
+// unsupported variants all yield auto-detection.
+KernelArch initial_kernel() {
+  const char* env = std::getenv("STRASSEN_KERNEL");
+  if (env != nullptr && *env != '\0' && std::strcmp(env, "auto") != 0) {
+    for (const KernelArch arch : kAllKernelArches) {
+      if (std::strcmp(env, kernel_arch_name(arch)) == 0 &&
+          kernel_supported(arch)) {
+        return arch;
+      }
+    }
+  }
+  return best_supported_kernel();
+}
+
+std::atomic<const KernelInfo*>& active_kernel_slot() {
+  static std::atomic<const KernelInfo*> slot{kernel_info(initial_kernel())};
+  return slot;
+}
+
+}  // namespace
+
+const char* kernel_arch_name(KernelArch arch) {
+  switch (arch) {
+    case KernelArch::scalar:
+      return "scalar";
+    case KernelArch::avx2:
+      return "avx2";
+    case KernelArch::avx512:
+      return "avx512";
+  }
+  return "?";
+}
+
+const KernelInfo* kernel_info(KernelArch arch) {
+  switch (arch) {
+    case KernelArch::scalar:
+      return detail::kernel_scalar();
+    case KernelArch::avx2:
+      return detail::kernel_avx2();
+    case KernelArch::avx512:
+      return detail::kernel_avx512();
+  }
+  return nullptr;
+}
+
+bool kernel_compiled(KernelArch arch) { return kernel_info(arch) != nullptr; }
+
+bool kernel_supported(KernelArch arch) {
+  return kernel_compiled(arch) && cpu_executes(arch);
+}
+
+KernelArch best_supported_kernel() {
+  if (kernel_supported(KernelArch::avx512)) return KernelArch::avx512;
+  if (kernel_supported(KernelArch::avx2)) return KernelArch::avx2;
+  return KernelArch::scalar;
+}
+
+const KernelInfo& active_kernel() {
+  return *active_kernel_slot().load(std::memory_order_relaxed);
+}
+
+void set_active_kernel(KernelArch arch) {
+  if (!kernel_supported(arch)) {
+    throw std::invalid_argument(std::string("kernel variant not supported "
+                                            "on this binary/CPU: ") +
+                                kernel_arch_name(arch));
+  }
+  active_kernel_slot().store(kernel_info(arch), std::memory_order_relaxed);
+}
+
+}  // namespace strassen::blas

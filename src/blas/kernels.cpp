@@ -1,102 +1,37 @@
+// The portable scalar kernel variant: the original 4x8 register tile,
+// relying on whatever autovectorization the base compile flags allow. This
+// is the guaranteed fallback every platform gets.
 #include "blas/kernels.hpp"
+#include "blas/kernels_generic.hpp"
 
 namespace strassen::blas::detail {
 
-void pack_a(const double* a, index_t rs, index_t cs, index_t mc, index_t kc,
-            double* out) {
-  for (index_t ip = 0; ip < mc; ip += kMR) {
-    const index_t rows = (mc - ip < kMR) ? (mc - ip) : kMR;
-    for (index_t p = 0; p < kc; ++p) {
-      const double* col = a + ip * rs + p * cs;
-      index_t r = 0;
-      for (; r < rows; ++r) out[p * kMR + r] = col[r * rs];
-      for (; r < kMR; ++r) out[p * kMR + r] = 0.0;
-    }
-    out += kMR * kc;
-  }
-}
+namespace {
 
-void pack_b(const double* b, index_t rs, index_t cs, index_t kc, index_t nc,
-            double* out) {
-  for (index_t jp = 0; jp < nc; jp += kNR) {
-    const index_t cols = (nc - jp < kNR) ? (nc - jp) : kNR;
-    for (index_t p = 0; p < kc; ++p) {
-      const double* row = b + p * rs + jp * cs;
-      index_t c = 0;
-      for (; c < cols; ++c) out[p * kNR + c] = row[c * cs];
-      for (; c < kNR; ++c) out[p * kNR + c] = 0.0;
-    }
-    out += kNR * kc;
-  }
-}
+constexpr index_t kScalarMR = 4;
+constexpr index_t kScalarNR = 8;
 
-void pack_a_comb(const PackTerm* terms, int nterms, index_t mc, index_t kc,
-                 double* out) {
-  if (nterms == 1 && terms[0].gamma == 1.0) {
-    pack_a(terms[0].p, terms[0].rs, terms[0].cs, mc, kc, out);
-    return;
-  }
-  for (index_t ip = 0; ip < mc; ip += kMR) {
-    const index_t rows = (mc - ip < kMR) ? (mc - ip) : kMR;
-    for (index_t p = 0; p < kc; ++p) {
-      double* o = out + p * kMR;
-      {
-        const PackTerm& t = terms[0];
-        const double* col = t.p + ip * t.rs + p * t.cs;
-        index_t r = 0;
-        for (; r < rows; ++r) o[r] = t.gamma * col[r * t.rs];
-        for (; r < kMR; ++r) o[r] = 0.0;
-      }
-      for (int s = 1; s < nterms; ++s) {
-        const PackTerm& t = terms[s];
-        const double* col = t.p + ip * t.rs + p * t.cs;
-        for (index_t r = 0; r < rows; ++r) o[r] += t.gamma * col[r * t.rs];
-      }
-    }
-    out += kMR * kc;
-  }
-}
+constexpr KernelArch kA = KernelArch::scalar;
 
-void pack_b_comb(const PackTerm* terms, int nterms, index_t kc, index_t nc,
-                 double* out) {
-  if (nterms == 1 && terms[0].gamma == 1.0) {
-    pack_b(terms[0].p, terms[0].rs, terms[0].cs, kc, nc, out);
-    return;
-  }
-  for (index_t jp = 0; jp < nc; jp += kNR) {
-    const index_t cols = (nc - jp < kNR) ? (nc - jp) : kNR;
-    for (index_t p = 0; p < kc; ++p) {
-      double* o = out + p * kNR;
-      {
-        const PackTerm& t = terms[0];
-        const double* row = t.p + p * t.rs + jp * t.cs;
-        index_t c = 0;
-        for (; c < cols; ++c) o[c] = t.gamma * row[c * t.cs];
-        for (; c < kNR; ++c) o[c] = 0.0;
-      }
-      for (int s = 1; s < nterms; ++s) {
-        const PackTerm& t = terms[s];
-        const double* row = t.p + p * t.rs + jp * t.cs;
-        for (index_t c = 0; c < cols; ++c) o[c] += t.gamma * row[c * t.cs];
-      }
-    }
-    out += kNR * kc;
-  }
-}
+const KernelInfo kScalarKernel = {
+    kA,
+    "scalar-4x8",
+    kScalarMR,
+    kScalarNR,
+    &micro_kernel_t<kA, kScalarMR, kScalarNR>,
+    &pack_a_comb_t<kA, kScalarMR>,
+    &pack_b_comb_t<kA, kScalarNR>,
+    &write_tile_t<kA, kScalarMR>,
+    &vadd_t<kA>,
+    &vsub_t<kA>,
+    &vaxpby_t<kA>,
+};
 
-void micro_kernel(index_t kc, const double* a, const double* b, double* acc) {
-  double t[kMR * kNR] = {};
-  for (index_t p = 0; p < kc; ++p) {
-    const double* ap = a + p * kMR;
-    const double* bp = b + p * kNR;
-    for (index_t c = 0; c < kNR; ++c) {
-      const double bv = bp[c];
-      for (index_t r = 0; r < kMR; ++r) {
-        t[r + c * kMR] += ap[r] * bv;
-      }
-    }
-  }
-  for (index_t i = 0; i < kMR * kNR; ++i) acc[i] = t[i];
-}
+static_assert(kScalarMR <= kMaxMR && kScalarNR <= kMaxNR,
+              "scalar tile exceeds the pack-buffer padding bound");
+
+}  // namespace
+
+const KernelInfo* kernel_scalar() { return &kScalarKernel; }
 
 }  // namespace strassen::blas::detail

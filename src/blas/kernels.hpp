@@ -1,42 +1,142 @@
-// Packing routines and the register-tiled micro-kernel used by the
-// cache-blocked DGEMM (GotoBLAS/BLIS-style structure).
+// Micro-kernel dispatch for the cache-blocked DGEMM (GotoBLAS/BLIS-style
+// structure).
+//
+// The packed loop nest (packed_loop.cpp) is kernel-agnostic: everything
+// that depends on the register tile -- the MR x NR micro-kernel itself, the
+// linear-combination packing routines that shape data into MR/NR panels,
+// the tile write-back, and the contiguous vector combines used by the
+// Strassen quadrant adds -- is reached through a KernelInfo table. Three
+// variants exist:
+//
+//  * scalar-4x8 : portable C++, always available (the original kernel);
+//  * avx2-8x6   : explicit AVX2/FMA intrinsics, 12 ymm accumulators;
+//  * avx512-8x8 : explicit AVX-512F intrinsics, 8 zmm accumulators.
+//
+// The SIMD variants are compiled only when the compiler supports the ISA
+// flags (CMake probes them) and are selected only when CPUID reports the
+// ISA at run time; the first call picks the best supported kernel, and
+// STRASSEN_KERNEL=scalar|avx2|avx512|auto overrides the choice for testing.
 #pragma once
 
 #include "blas/packed_loop.hpp"
 #include "support/config.hpp"
 
-namespace strassen::blas::detail {
+namespace strassen::blas {
 
-/// Micro-tile extents. MR x NR accumulators fit comfortably in registers
-/// and give the compiler straight-line code to vectorize.
-inline constexpr index_t kMR = 4;
-inline constexpr index_t kNR = 8;
+/// Instruction-set family of a micro-kernel variant.
+enum class KernelArch {
+  scalar,  ///< portable C++ (autovectorized at best)
+  avx2,    ///< AVX2 + FMA, 256-bit
+  avx512,  ///< AVX-512F, 512-bit
+};
 
-/// Packs an mc x kc block of op(A) (given by strides rs/cs) into row-panels
-/// of kMR rows: out[(ip/kMR) panel][p * kMR + r]. Rows beyond mc are
-/// zero-padded so the micro-kernel never needs row masking on its inputs.
-void pack_a(const double* a, index_t rs, index_t cs, index_t mc, index_t kc,
-            double* out);
+/// All variants in preference order, worst to best.
+inline constexpr KernelArch kAllKernelArches[] = {
+    KernelArch::scalar, KernelArch::avx2, KernelArch::avx512};
 
-/// Packs a kc x nc block of op(B) into column-panels of kNR columns:
-/// out[(jp/kNR) panel][p * kNR + c], zero-padding columns beyond nc.
-void pack_b(const double* b, index_t rs, index_t cs, index_t kc, index_t nc,
-            double* out);
+/// Short lower-case family name ("scalar", "avx2", "avx512"), matching the
+/// STRASSEN_KERNEL environment values.
+const char* kernel_arch_name(KernelArch arch);
 
-/// Linear-combination generalization of pack_a: packs the mc x kc block of
-/// sum_i gamma_i * op(A_i) into kMR row-panels in one pass. With one term
-/// of gamma == 1 this is exactly pack_a. Terms address the same mc x kc
-/// logical block through their own strides.
-void pack_a_comb(const PackTerm* terms, int nterms, index_t mc, index_t kc,
-                 double* out);
+/// Upper bounds on any kernel's register tile. Pack-buffer sizing uses
+/// these (not the active kernel's MR/NR) so a scratch buffer warmed for one
+/// blocking fits every kernel variant of that blocking.
+inline constexpr index_t kMaxMR = 8;
+inline constexpr index_t kMaxNR = 8;
 
-/// Linear-combination generalization of pack_b: packs the kc x nc block of
-/// sum_j gamma_j * op(B_j) into kNR column-panels in one pass.
-void pack_b_comb(const PackTerm* terms, int nterms, index_t kc, index_t nc,
-                 double* out);
+/// One micro-kernel variant: the register-tile shape plus every routine the
+/// packed loop reaches through it. All function pointers are non-null.
+///
+/// Layout contracts shared by all variants:
+///  * packed A panels hold MR rows (zero-padded) per k step: a[p*MR + r],
+///    each panel 64-byte aligned when the buffer is;
+///  * packed B panels hold NR columns per k step: b[p*NR + c];
+///  * the accumulator tile is acc[r + c*MR] and must be 64-byte aligned
+///    (the SIMD kernels use aligned stores into it).
+struct KernelInfo {
+  KernelArch arch;
+  const char* name;  ///< e.g. "avx2-8x6" (family + register tile)
+  index_t mr;
+  index_t nr;
 
-/// acc[r + c*kMR] = sum_p a[p*kMR + r] * b[p*kNR + c] for one packed
-/// micro-panel pair of depth kc.
-void micro_kernel(index_t kc, const double* a, const double* b, double* acc);
+  /// acc[r + c*mr] = sum_p a[p*mr + r] * b[p*nr + c] over one packed
+  /// micro-panel pair of depth kc (acc fully overwritten).
+  void (*micro_kernel)(index_t kc, const double* a, const double* b,
+                       double* acc);
 
-}  // namespace strassen::blas::detail
+  /// Packs the mc x kc block of sum_i gamma_i * op(A_i) into mr-row panels
+  /// (rows beyond mc zero-padded). With one term of gamma == 1 this is the
+  /// plain pack_a.
+  void (*pack_a_comb)(const PackTerm* terms, int nterms, index_t mc,
+                      index_t kc, double* out);
+
+  /// Packs the kc x nc block of sum_j gamma_j * op(B_j) into nr-column
+  /// panels (columns beyond nc zero-padded).
+  void (*pack_b_comb)(const PackTerm* terms, int nterms, index_t kc,
+                      index_t nc, double* out);
+
+  /// C <- alpha*acc + beta_eff*C over the valid rows x cols corner of one
+  /// accumulator tile (beta_eff == 0 assigns, so NaNs never propagate).
+  void (*write_tile)(const double* acc, index_t rows, index_t cols,
+                     double alpha, double beta_eff, double* c, index_t ldc);
+
+  /// Contiguous elementwise combines used by the Strassen quadrant adds
+  /// (core/add_kernels.cpp) on unit-stride columns:
+  ///   vadd:   d[i] = x[i] + y[i]
+  ///   vsub:   d[i] = x[i] - y[i]
+  ///   vaxpby: d[i] = a*x[i] + b*d[i] (b == 0 never reads d, so it is
+  ///           safe as a scaled copy into uninitialized storage)
+  void (*vadd)(const double* x, const double* y, double* d, index_t n);
+  void (*vsub)(const double* x, const double* y, double* d, index_t n);
+  void (*vaxpby)(double a, const double* x, double b, double* d, index_t n);
+};
+
+/// True when the variant was compiled into this binary (the compiler
+/// supported the ISA flags). scalar is always compiled.
+bool kernel_compiled(KernelArch arch);
+
+/// True when the variant is compiled in *and* this CPU executes it.
+bool kernel_supported(KernelArch arch);
+
+/// The best kernel this binary + CPU combination supports.
+KernelArch best_supported_kernel();
+
+/// The variant's table, or nullptr when not compiled in.
+const KernelInfo* kernel_info(KernelArch arch);
+
+/// The process-wide active kernel. The first call resolves it: the
+/// STRASSEN_KERNEL environment variable if set to a supported variant
+/// (silently falling back to auto-detection otherwise), else the best
+/// supported kernel.
+const KernelInfo& active_kernel();
+
+/// Selects the active kernel. Throws std::invalid_argument when the
+/// variant is not supported on this binary/CPU.
+void set_active_kernel(KernelArch arch);
+
+/// RAII switch of the active kernel (testing / benchmarking).
+class ScopedKernel {
+ public:
+  explicit ScopedKernel(KernelArch arch) : prev_(active_kernel().arch) {
+    set_active_kernel(arch);
+  }
+  ScopedKernel(const ScopedKernel&) = delete;
+  ScopedKernel& operator=(const ScopedKernel&) = delete;
+  ~ScopedKernel() { set_active_kernel(prev_); }
+
+ private:
+  KernelArch prev_;
+};
+
+namespace detail {
+
+/// Per-variant tables, defined one per translation unit so each can carry
+/// its own ISA compile flags. A variant whose ISA the compiler lacked
+/// returns nullptr.
+const KernelInfo* kernel_scalar();
+const KernelInfo* kernel_avx2();
+const KernelInfo* kernel_avx512();
+
+}  // namespace detail
+
+}  // namespace strassen::blas

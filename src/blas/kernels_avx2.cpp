@@ -1,0 +1,87 @@
+// AVX2/FMA kernel variant: an 8x6 register tile held in 12 ymm
+// accumulators (plus two A registers and one broadcast register, 15 of the
+// 16 ymm names). Compiled with -mavx2 -mfma only when CMake's compiler
+// probe succeeds; otherwise this TU degrades to a nullptr stub and the
+// dispatcher never offers the variant.
+//
+// The packing, write-back, and vector-combine entries reuse the generic
+// templates from kernels_generic.hpp: instantiated in this TU they inherit
+// its ISA flags, so the compiler autovectorizes them with AVX2 as well.
+#include "blas/kernels.hpp"
+
+#if defined(STRASSEN_BUILD_AVX2)
+
+#include <immintrin.h>
+
+#include "blas/kernels_generic.hpp"
+
+namespace strassen::blas::detail {
+
+namespace {
+
+constexpr index_t kAvx2MR = 8;
+constexpr index_t kAvx2NR = 6;
+
+constexpr KernelArch kA = KernelArch::avx2;
+
+// Packed A panels start 64-byte aligned (panel stride 8*kc doubles inside a
+// 64-byte-aligned buffer), so the two halves of each A column load aligned.
+// B is reached only through scalar broadcasts, so its 6-double panel rows
+// need no alignment.
+void micro_kernel_8x6(index_t kc, const double* a, const double* b,
+                      double* acc) {
+  __m256d c_lo[kAvx2NR];
+  __m256d c_hi[kAvx2NR];
+  for (int j = 0; j < kAvx2NR; ++j) {
+    c_lo[j] = _mm256_setzero_pd();
+    c_hi[j] = _mm256_setzero_pd();
+  }
+  for (index_t p = 0; p < kc; ++p) {
+    const __m256d a_lo = _mm256_load_pd(a + p * kAvx2MR);
+    const __m256d a_hi = _mm256_load_pd(a + p * kAvx2MR + 4);
+    const double* bp = b + p * kAvx2NR;
+#pragma GCC unroll 6
+    for (int j = 0; j < kAvx2NR; ++j) {
+      const __m256d bv = _mm256_broadcast_sd(bp + j);
+      c_lo[j] = _mm256_fmadd_pd(a_lo, bv, c_lo[j]);
+      c_hi[j] = _mm256_fmadd_pd(a_hi, bv, c_hi[j]);
+    }
+  }
+  for (int j = 0; j < kAvx2NR; ++j) {
+    _mm256_store_pd(acc + j * kAvx2MR, c_lo[j]);
+    _mm256_store_pd(acc + j * kAvx2MR + 4, c_hi[j]);
+  }
+}
+
+const KernelInfo kAvx2Kernel = {
+    kA,
+    "avx2-8x6",
+    kAvx2MR,
+    kAvx2NR,
+    &micro_kernel_8x6,
+    &pack_a_comb_t<kA, kAvx2MR>,
+    &pack_b_comb_t<kA, kAvx2NR>,
+    &write_tile_t<kA, kAvx2MR>,
+    &vadd_t<kA>,
+    &vsub_t<kA>,
+    &vaxpby_t<kA>,
+};
+
+static_assert(kAvx2MR <= kMaxMR && kAvx2NR <= kMaxNR,
+              "avx2 tile exceeds the pack-buffer padding bound");
+
+}  // namespace
+
+const KernelInfo* kernel_avx2() { return &kAvx2Kernel; }
+
+}  // namespace strassen::blas::detail
+
+#else  // !STRASSEN_BUILD_AVX2
+
+namespace strassen::blas::detail {
+
+const KernelInfo* kernel_avx2() { return nullptr; }
+
+}  // namespace strassen::blas::detail
+
+#endif

@@ -1,0 +1,76 @@
+// AVX-512F kernel variant: an 8x8 register tile held in 8 zmm accumulators
+// -- eight independent FMA chains, enough to cover the FMA latency at two
+// issues per cycle. Compiled with -mavx512f only when CMake's compiler
+// probe succeeds; otherwise degrades to a nullptr stub.
+//
+// As in the AVX2 TU, packing/write-back/vector combines come from the
+// generic templates instantiated here, inheriting the -mavx512f flags.
+#include "blas/kernels.hpp"
+
+#if defined(STRASSEN_BUILD_AVX512)
+
+#include <immintrin.h>
+
+#include "blas/kernels_generic.hpp"
+
+namespace strassen::blas::detail {
+
+namespace {
+
+constexpr index_t kAvx512MR = 8;
+constexpr index_t kAvx512NR = 8;
+
+constexpr KernelArch kA = KernelArch::avx512;
+
+// A panels are 64-byte aligned (8-double columns in a 64-byte-aligned
+// buffer), so each A column is one aligned zmm load; B is reached through
+// scalar broadcasts only.
+void micro_kernel_8x8(index_t kc, const double* a, const double* b,
+                      double* acc) {
+  __m512d c[kAvx512NR];
+  for (int j = 0; j < kAvx512NR; ++j) c[j] = _mm512_setzero_pd();
+  for (index_t p = 0; p < kc; ++p) {
+    const __m512d av = _mm512_load_pd(a + p * kAvx512MR);
+    const double* bp = b + p * kAvx512NR;
+#pragma GCC unroll 8
+    for (int j = 0; j < kAvx512NR; ++j) {
+      c[j] = _mm512_fmadd_pd(av, _mm512_set1_pd(bp[j]), c[j]);
+    }
+  }
+  for (int j = 0; j < kAvx512NR; ++j) {
+    _mm512_store_pd(acc + j * kAvx512MR, c[j]);
+  }
+}
+
+const KernelInfo kAvx512Kernel = {
+    kA,
+    "avx512-8x8",
+    kAvx512MR,
+    kAvx512NR,
+    &micro_kernel_8x8,
+    &pack_a_comb_t<kA, kAvx512MR>,
+    &pack_b_comb_t<kA, kAvx512NR>,
+    &write_tile_t<kA, kAvx512MR>,
+    &vadd_t<kA>,
+    &vsub_t<kA>,
+    &vaxpby_t<kA>,
+};
+
+static_assert(kAvx512MR <= kMaxMR && kAvx512NR <= kMaxNR,
+              "avx512 tile exceeds the pack-buffer padding bound");
+
+}  // namespace
+
+const KernelInfo* kernel_avx512() { return &kAvx512Kernel; }
+
+}  // namespace strassen::blas::detail
+
+#else  // !STRASSEN_BUILD_AVX512
+
+namespace strassen::blas::detail {
+
+const KernelInfo* kernel_avx512() { return nullptr; }
+
+}  // namespace strassen::blas::detail
+
+#endif

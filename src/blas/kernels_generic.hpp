@@ -1,0 +1,184 @@
+// Shared generic implementations behind every KernelInfo variant: packing,
+// tile write-back, vector combines, and the reference micro-kernel, all
+// parameterized on the register tile.
+//
+// Every template carries the KernelArch tag as a parameter even where the
+// code does not use it. This is deliberate and load-bearing: each variant
+// translation unit (kernels.cpp, kernels_avx2.cpp, kernels_avx512.cpp) is
+// compiled with different ISA flags, and a shared instantiation symbol
+// would let the linker keep an arbitrary copy -- possibly one holding
+// instructions the running CPU lacks. Distinct template arguments per TU
+// give every instantiation its own symbol, so code compiled with -mavx512f
+// can never leak into the scalar path.
+#pragma once
+
+#include "blas/kernels.hpp"
+#include "blas/packed_loop.hpp"
+#include "support/config.hpp"
+
+namespace strassen::blas::detail {
+
+/// Packs an mc x kc block of op(A) (strides rs/cs) into MR-row panels:
+/// out[(ip/MR) panel][p*MR + r], zero-padding rows beyond mc so the
+/// micro-kernel never needs row masking on its inputs.
+template <KernelArch A, index_t MR>
+void pack_a_t(const double* a, index_t rs, index_t cs, index_t mc, index_t kc,
+              double* out) {
+  for (index_t ip = 0; ip < mc; ip += MR) {
+    const index_t rows = (mc - ip < MR) ? (mc - ip) : MR;
+    for (index_t p = 0; p < kc; ++p) {
+      const double* col = a + ip * rs + p * cs;
+      index_t r = 0;
+      for (; r < rows; ++r) out[p * MR + r] = col[r * rs];
+      for (; r < MR; ++r) out[p * MR + r] = 0.0;
+    }
+    out += MR * kc;
+  }
+}
+
+/// Packs a kc x nc block of op(B) into NR-column panels:
+/// out[(jp/NR) panel][p*NR + c], zero-padding columns beyond nc.
+template <KernelArch A, index_t NR>
+void pack_b_t(const double* b, index_t rs, index_t cs, index_t kc, index_t nc,
+              double* out) {
+  for (index_t jp = 0; jp < nc; jp += NR) {
+    const index_t cols = (nc - jp < NR) ? (nc - jp) : NR;
+    for (index_t p = 0; p < kc; ++p) {
+      const double* row = b + p * rs + jp * cs;
+      index_t c = 0;
+      for (; c < cols; ++c) out[p * NR + c] = row[c * cs];
+      for (; c < NR; ++c) out[p * NR + c] = 0.0;
+    }
+    out += NR * kc;
+  }
+}
+
+/// Linear-combination generalization of pack_a_t: packs the mc x kc block
+/// of sum_i gamma_i * op(A_i) in one pass.
+template <KernelArch A, index_t MR>
+void pack_a_comb_t(const PackTerm* terms, int nterms, index_t mc, index_t kc,
+                   double* out) {
+  if (nterms == 1 && terms[0].gamma == 1.0) {
+    pack_a_t<A, MR>(terms[0].p, terms[0].rs, terms[0].cs, mc, kc, out);
+    return;
+  }
+  for (index_t ip = 0; ip < mc; ip += MR) {
+    const index_t rows = (mc - ip < MR) ? (mc - ip) : MR;
+    for (index_t p = 0; p < kc; ++p) {
+      double* o = out + p * MR;
+      {
+        const PackTerm& t = terms[0];
+        const double* col = t.p + ip * t.rs + p * t.cs;
+        index_t r = 0;
+        for (; r < rows; ++r) o[r] = t.gamma * col[r * t.rs];
+        for (; r < MR; ++r) o[r] = 0.0;
+      }
+      for (int s = 1; s < nterms; ++s) {
+        const PackTerm& t = terms[s];
+        const double* col = t.p + ip * t.rs + p * t.cs;
+        for (index_t r = 0; r < rows; ++r) o[r] += t.gamma * col[r * t.rs];
+      }
+    }
+    out += MR * kc;
+  }
+}
+
+/// Linear-combination generalization of pack_b_t.
+template <KernelArch A, index_t NR>
+void pack_b_comb_t(const PackTerm* terms, int nterms, index_t kc, index_t nc,
+                   double* out) {
+  if (nterms == 1 && terms[0].gamma == 1.0) {
+    pack_b_t<A, NR>(terms[0].p, terms[0].rs, terms[0].cs, kc, nc, out);
+    return;
+  }
+  for (index_t jp = 0; jp < nc; jp += NR) {
+    const index_t cols = (nc - jp < NR) ? (nc - jp) : NR;
+    for (index_t p = 0; p < kc; ++p) {
+      double* o = out + p * NR;
+      {
+        const PackTerm& t = terms[0];
+        const double* row = t.p + p * t.rs + jp * t.cs;
+        index_t c = 0;
+        for (; c < cols; ++c) o[c] = t.gamma * row[c * t.cs];
+        for (; c < NR; ++c) o[c] = 0.0;
+      }
+      for (int s = 1; s < nterms; ++s) {
+        const PackTerm& t = terms[s];
+        const double* row = t.p + p * t.rs + jp * t.cs;
+        for (index_t c = 0; c < cols; ++c) o[c] += t.gamma * row[c * t.cs];
+      }
+    }
+    out += NR * kc;
+  }
+}
+
+/// Reference micro-kernel: acc[r + c*MR] = sum_p a[p*MR+r] * b[p*NR+c].
+/// The scalar variant uses this directly; the SIMD variants replace it with
+/// intrinsics but keep the identical accumulator layout.
+template <KernelArch A, index_t MR, index_t NR>
+void micro_kernel_t(index_t kc, const double* a, const double* b,
+                    double* acc) {
+  double t[MR * NR] = {};
+  for (index_t p = 0; p < kc; ++p) {
+    const double* ap = a + p * MR;
+    const double* bp = b + p * NR;
+    for (index_t c = 0; c < NR; ++c) {
+      const double bv = bp[c];
+      for (index_t r = 0; r < MR; ++r) {
+        t[r + c * MR] += ap[r] * bv;
+      }
+    }
+  }
+  for (index_t i = 0; i < MR * NR; ++i) acc[i] = t[i];
+}
+
+/// C <- alpha*acc + beta_eff*C over the valid rows x cols tile corner.
+template <KernelArch A, index_t MR>
+void write_tile_t(const double* acc, index_t rows, index_t cols, double alpha,
+                  double beta_eff, double* c, index_t ldc) {
+  if (beta_eff == 0.0) {
+    for (index_t j = 0; j < cols; ++j) {
+      for (index_t i = 0; i < rows; ++i) {
+        c[i + j * ldc] = alpha * acc[i + j * MR];
+      }
+    }
+  } else if (beta_eff == 1.0) {
+    for (index_t j = 0; j < cols; ++j) {
+      for (index_t i = 0; i < rows; ++i) {
+        c[i + j * ldc] += alpha * acc[i + j * MR];
+      }
+    }
+  } else {
+    for (index_t j = 0; j < cols; ++j) {
+      for (index_t i = 0; i < rows; ++i) {
+        c[i + j * ldc] = alpha * acc[i + j * MR] + beta_eff * c[i + j * ldc];
+      }
+    }
+  }
+}
+
+/// d[i] = x[i] + y[i] over contiguous arrays.
+template <KernelArch A>
+void vadd_t(const double* x, const double* y, double* d, index_t n) {
+  for (index_t i = 0; i < n; ++i) d[i] = x[i] + y[i];
+}
+
+/// d[i] = x[i] - y[i] over contiguous arrays.
+template <KernelArch A>
+void vsub_t(const double* x, const double* y, double* d, index_t n) {
+  for (index_t i = 0; i < n; ++i) d[i] = x[i] - y[i];
+}
+
+/// d[i] = a*x[i] + b*d[i] over contiguous arrays. b == 0 never reads d,
+/// so the helper doubles as a scaled copy into uninitialized storage
+/// (0 * garbage could be NaN otherwise).
+template <KernelArch A>
+void vaxpby_t(double a, const double* x, double b, double* d, index_t n) {
+  if (b == 0.0) {
+    for (index_t i = 0; i < n; ++i) d[i] = a * x[i];
+    return;
+  }
+  for (index_t i = 0; i < n; ++i) d[i] = a * x[i] + b * d[i];
+}
+
+}  // namespace strassen::blas::detail

@@ -1,9 +1,88 @@
 #include "blas/machine.hpp"
 
+#include <algorithm>
+
+#include "blas/kernels.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
 namespace strassen::blas {
 
 namespace {
+
 Machine g_active = Machine::rs6000;
+
+// Detected data-cache sizes in bytes, with conservative fallbacks when the
+// platform does not report them (containers often return 0).
+struct CacheSizes {
+  long l1;
+  long l2;
+  long l3;
+};
+
+long cache_or(long reported, long fallback) {
+  return reported > 0 ? reported : fallback;
+}
+
+CacheSizes detect_caches() {
+  long l1 = 0;
+  long l2 = 0;
+  long l3 = 0;
+#if defined(_SC_LEVEL1_DCACHE_SIZE)
+  l1 = ::sysconf(_SC_LEVEL1_DCACHE_SIZE);
+#endif
+#if defined(_SC_LEVEL2_CACHE_SIZE)
+  l2 = ::sysconf(_SC_LEVEL2_CACHE_SIZE);
+#endif
+#if defined(_SC_LEVEL3_CACHE_SIZE)
+  l3 = ::sysconf(_SC_LEVEL3_CACHE_SIZE);
+#endif
+  return CacheSizes{cache_or(l1, 32L * 1024),
+                    cache_or(l2, 1024L * 1024),
+                    cache_or(l3, 8L * 1024 * 1024)};
+}
+
+const CacheSizes& caches() {
+  static const CacheSizes sizes = detect_caches();
+  return sizes;
+}
+
+index_t round_down_multiple(index_t v, index_t unit) {
+  return (v / unit) * unit;
+}
+
+// Goto-style blocking derived from the kernel's register tile and the
+// cache hierarchy (Goto & van de Geijn, "Anatomy of High-Performance
+// Matrix Multiplication"):
+//
+//  * kc: one kc x NR packed B micro-panel should occupy about half of L1
+//    (the A panel and the C tile stream through the other half);
+//  * mc: the mc x kc packed A block should occupy about half of L2,
+//    rounded to a multiple of MR;
+//  * nc: the kc x nc packed B block should occupy about half of L3,
+//    rounded to a multiple of NR.
+//
+// Results are clamped to sane ranges so degenerate cache reports cannot
+// produce pathological blockings, and are deterministic per (kernel,
+// machine) for the life of the process.
+GemmBlocking blocking_for_kernel(const KernelInfo& kv) {
+  const CacheSizes& cs = caches();
+  constexpr long kDouble = static_cast<long>(sizeof(double));
+
+  index_t kc = static_cast<index_t>((cs.l1 / 2) / (kv.nr * kDouble));
+  kc = std::clamp<index_t>(round_down_multiple(kc, 4), 64, 512);
+
+  index_t mc = static_cast<index_t>((cs.l2 / 2) / (kc * kDouble));
+  mc = std::clamp<index_t>(round_down_multiple(mc, kv.mr), 4 * kv.mr, 1024);
+
+  index_t nc = static_cast<index_t>((cs.l3 / 2) / (kc * kDouble));
+  nc = std::clamp<index_t>(round_down_multiple(nc, kv.nr), 16 * kv.nr, 8192);
+
+  return GemmBlocking{mc, kc, nc};
+}
+
 }  // namespace
 
 std::string machine_name(Machine m) {
@@ -21,14 +100,16 @@ std::string machine_name(Machine m) {
 GemmBlocking blocking_for(Machine m) {
   switch (m) {
     case Machine::rs6000:
-      return {256, 256, 4096};
+      // The packed path: blocking follows the active micro-kernel's
+      // register tile and this machine's caches.
+      return blocking_for_kernel(active_kernel());
     case Machine::c90:
       // Unused by the column-sweep kernel, but provided for completeness.
       return {512, 512, 4096};
     case Machine::t3d:
       return {48, 48, 512};
   }
-  return {256, 256, 4096};
+  return blocking_for_kernel(active_kernel());
 }
 
 Machine active_machine() { return g_active; }

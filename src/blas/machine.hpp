@@ -42,7 +42,11 @@ struct GemmBlocking {
   index_t nc;  ///< columns of the packed B block
 };
 
-/// Blocking parameters for a profile.
+/// Blocking parameters for a profile. For rs6000 (the packed path) these
+/// are derived from the *active micro-kernel's* MR/NR and the detected
+/// L1/L2/L3 sizes (see blas/kernels.hpp), so they change when the kernel
+/// does; c90/t3d keep their fixed historical values. Deterministic per
+/// (kernel, machine) for the life of the process.
 GemmBlocking blocking_for(Machine m);
 
 /// Process-wide active profile (defaults to rs6000). The Strassen code and

@@ -1,16 +1,30 @@
 #include "blas/packed_loop.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <cstdlib>
 
 #include "blas/kernels.hpp"
 #include "support/aligned_buffer.hpp"
+#include "support/thread_pool.hpp"
 
 namespace strassen::blas {
 
 namespace {
 
-using detail::kMR;
-using detail::kNR;
+// Pack-buffer sizes in doubles for a blocking. Padding uses the kMaxMR /
+// kMaxNR bounds rather than the active kernel's MR/NR so scratch warmed for
+// a blocking fits every kernel variant: the worst-case edge panel rounds mc
+// up to a multiple of MR (< mc + MR <= mc + kMaxMR), likewise for nc.
+std::size_t a_pack_doubles(const GemmBlocking& bk) {
+  return static_cast<std::size_t>(bk.mc + kMaxMR) *
+         static_cast<std::size_t>(bk.kc);
+}
+
+std::size_t b_pack_doubles(const GemmBlocking& bk) {
+  return static_cast<std::size_t>(bk.kc) *
+         static_cast<std::size_t>(bk.nc + kMaxNR);
+}
 
 // Per-thread packing buffers. These belong to the GEMM implementation (the
 // vendor BLAS on the paper's machines has the same kind of internal
@@ -18,6 +32,10 @@ using detail::kNR;
 // arena: Table 1 counts Strassen temporaries, not BLAS internals. The fused
 // schedule inherits this accounting: its operand sums live here, inside
 // buffers a plain DGEMM call of the same blocking already needs.
+//
+// Under intra-GEMM parallelism every task packs A into the scratch of the
+// thread that executes it, so the DGEFMM pre-flight must warm the pool
+// workers too (ensure_pack_capacity_all_workers) before the no-fail region.
 struct PackBuffers {
   AlignedBuffer a_pack;
   AlignedBuffer b_pack;
@@ -32,32 +50,116 @@ PackBuffers& pack_buffers() {
   return bufs;
 }
 
-// Writes a micro-tile accumulator into one destination block:
-// C <- alpha*acc + beta_eff*C over the valid (rows x cols) corner.
-void write_tile(const double* acc, index_t rows, index_t cols, double alpha,
-                double beta_eff, double* c, index_t ldc) {
-  if (beta_eff == 0.0) {
-    for (index_t j = 0; j < cols; ++j) {
-      for (index_t i = 0; i < rows; ++i) {
-        c[i + j * ldc] = alpha * acc[i + j * kMR];
-      }
+int gemm_threads_env_default() {
+  const char* env = std::getenv("STRASSEN_GEMM_THREADS");
+  if (env == nullptr || *env == '\0') return 0;
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || v < 0) return 0;
+  return static_cast<int>(std::min<long>(v, kMaxGemmTasks));
+}
+
+int& gemm_threads_slot() {
+  static const int env_default = gemm_threads_env_default();
+  thread_local int setting = env_default;
+  return setting;
+}
+
+// Everything one (jc, pc) iteration shares across its ic tasks. Lives on
+// the submitting thread's stack; tasks read it while the submitter blocks
+// in run_batch_nofail.
+struct PanelArgs {
+  const KernelInfo* kv;
+  const GemmBlocking* bk;
+  const PackComb* a;
+  const double* b_pack;
+  const WriteDest* dst;
+  int ndst;
+  index_t jc, pc, nc, kc;
+  bool first_panel;
+};
+
+// Runs the ic blocks covering rows [ic0, ic1) of the current (jc, pc)
+// iteration, packing each A block into the *executing* thread's scratch.
+// The range bounds are multiples of mc (except ic1 == m), so distinct
+// ranges touch disjoint C rows and the per-element arithmetic is identical
+// to the serial nest regardless of how the ranges are split.
+void run_ic_range(const PanelArgs& g, index_t ic0, index_t ic1) {
+  const KernelInfo& kv = *g.kv;
+  const GemmBlocking& bk = *g.bk;
+  PackBuffers& bufs = pack_buffers();
+  bufs.ensure(a_pack_doubles(bk), 0);  // no-op on a warmed thread
+  double* a_pack = bufs.a_pack.data();
+
+  alignas(kBufferAlignment) double acc[kMaxMR * kMaxNR];
+  PackTerm a_terms[kPackMaxTerms];
+  const index_t kc = g.kc;
+  const index_t nc = g.nc;
+  const index_t nc_panels = (nc + kv.nr - 1) / kv.nr;
+  for (index_t ic = ic0; ic < ic1; ic += bk.mc) {
+    const index_t mc = (ic1 - ic < bk.mc) ? (ic1 - ic) : bk.mc;
+    for (int s = 0; s < g.a->n; ++s) {
+      a_terms[s] = g.a->term[s];
+      a_terms[s].p += ic * g.a->term[s].rs + g.pc * g.a->term[s].cs;
     }
-  } else if (beta_eff == 1.0) {
-    for (index_t j = 0; j < cols; ++j) {
-      for (index_t i = 0; i < rows; ++i) {
-        c[i + j * ldc] += alpha * acc[i + j * kMR];
-      }
-    }
-  } else {
-    for (index_t j = 0; j < cols; ++j) {
-      for (index_t i = 0; i < rows; ++i) {
-        c[i + j * ldc] = alpha * acc[i + j * kMR] + beta_eff * c[i + j * ldc];
+    kv.pack_a_comb(a_terms, g.a->n, mc, kc, a_pack);
+    const index_t mc_panels = (mc + kv.mr - 1) / kv.mr;
+    for (index_t jr = 0; jr < nc_panels; ++jr) {
+      const double* bp = g.b_pack + jr * (kv.nr * kc);
+      const index_t cols =
+          (nc - jr * kv.nr < kv.nr) ? (nc - jr * kv.nr) : kv.nr;
+      for (index_t ir = 0; ir < mc_panels; ++ir) {
+        const double* ap = a_pack + ir * (kv.mr * kc);
+        const index_t rows =
+            (mc - ir * kv.mr < kv.mr) ? (mc - ir * kv.mr) : kv.mr;
+        kv.micro_kernel(kc, ap, bp, acc);
+        for (int d = 0; d < g.ndst; ++d) {
+          kv.write_tile(acc, rows, cols, g.dst[d].alpha,
+                        g.first_panel ? g.dst[d].beta : 1.0,
+                        g.dst[d].c + (ic + ir * kv.mr) +
+                            (g.jc + jr * kv.nr) * g.dst[d].ldc,
+                        g.dst[d].ldc);
+        }
       }
     }
   }
 }
 
+// One fanned-out slice of the ic loop (raw thread-pool task).
+struct IcTask {
+  const PanelArgs* g;
+  index_t ic0, ic1;
+};
+
+void run_ic_task(void* arg) {
+  const IcTask* t = static_cast<const IcTask*>(arg);
+  run_ic_range(*t->g, t->ic0, t->ic1);
+}
+
 }  // namespace
+
+int gemm_threads() { return gemm_threads_slot(); }
+
+void set_gemm_threads(int threads) {
+  gemm_threads_slot() = std::clamp(threads, 0, kMaxGemmTasks);
+}
+
+int packed_gemm_threads(const GemmBlocking& bk, index_t m, index_t n,
+                        index_t k) {
+  const int setting = gemm_threads();
+  if (setting == 1) return 1;
+  if (m <= bk.mc || n == 0 || k == 0) return 1;  // fewer than two ic blocks
+  // Only now touch the pool: small problems must not construct it (the
+  // lazy construction is fallible and belongs in a pre-flight).
+  int want = setting;
+  if (want == 0) {
+    want = static_cast<int>(
+        std::min<std::size_t>(parallel::global_pool().size(), kMaxGemmTasks));
+  }
+  const index_t blocks = (m + bk.mc - 1) / bk.mc;
+  want = static_cast<int>(std::min<index_t>(want, blocks));
+  return want < 1 ? 1 : want;
+}
 
 void packed_gemm_multi(const GemmBlocking& bk, index_t m, index_t n,
                        index_t k, const PackComb& a, const PackComb& b,
@@ -67,14 +169,14 @@ void packed_gemm_multi(const GemmBlocking& bk, index_t m, index_t n,
   assert(ndst >= 1 && ndst <= kPackMaxDests);
   if (m == 0 || n == 0 || k == 0) return;
 
+  const KernelInfo& kv = active_kernel();
+  assert(kv.mr <= kMaxMR && kv.nr <= kMaxNR);
+  const int ntasks = packed_gemm_threads(bk, m, n, k);
+
   PackBuffers& bufs = pack_buffers();
-  bufs.ensure(static_cast<std::size_t>(bk.mc + kMR) * bk.kc,
-              static_cast<std::size_t>(bk.kc) * (bk.nc + kNR));
-  double* a_pack = bufs.a_pack.data();
+  bufs.ensure(a_pack_doubles(bk), b_pack_doubles(bk));
   double* b_pack = bufs.b_pack.data();
 
-  double acc[kMR * kNR];
-  PackTerm a_terms[kPackMaxTerms];
   PackTerm b_terms[kPackMaxTerms];
 
   for (index_t jc = 0; jc < n; jc += bk.nc) {
@@ -86,40 +188,47 @@ void packed_gemm_multi(const GemmBlocking& bk, index_t m, index_t n,
         b_terms[s] = b.term[s];
         b_terms[s].p += pc * b.term[s].rs + jc * b.term[s].cs;
       }
-      detail::pack_b_comb(b_terms, b.n, kc, nc, b_pack);
-      for (index_t ic = 0; ic < m; ic += bk.mc) {
-        const index_t mc = (m - ic < bk.mc) ? (m - ic) : bk.mc;
-        for (int s = 0; s < a.n; ++s) {
-          a_terms[s] = a.term[s];
-          a_terms[s].p += ic * a.term[s].rs + pc * a.term[s].cs;
-        }
-        detail::pack_a_comb(a_terms, a.n, mc, kc, a_pack);
-        const index_t mc_panels = (mc + kMR - 1) / kMR;
-        const index_t nc_panels = (nc + kNR - 1) / kNR;
-        for (index_t jr = 0; jr < nc_panels; ++jr) {
-          const double* bp = b_pack + jr * (kNR * kc);
-          const index_t cols = (nc - jr * kNR < kNR) ? (nc - jr * kNR) : kNR;
-          for (index_t ir = 0; ir < mc_panels; ++ir) {
-            const double* ap = a_pack + ir * (kMR * kc);
-            const index_t rows = (mc - ir * kMR < kMR) ? (mc - ir * kMR) : kMR;
-            detail::micro_kernel(kc, ap, bp, acc);
-            for (int d = 0; d < ndst; ++d) {
-              write_tile(acc, rows, cols, dst[d].alpha,
-                         first_panel ? dst[d].beta : 1.0,
-                         dst[d].c + (ic + ir * kMR) +
-                             (jc + jr * kNR) * dst[d].ldc,
-                         dst[d].ldc);
-            }
-          }
-        }
+      kv.pack_b_comb(b_terms, b.n, kc, nc, b_pack);
+      const PanelArgs g{&kv, &bk,      &a, b_pack, dst,
+                        ndst, jc,      pc, nc,     kc,
+                        first_panel};
+      if (ntasks <= 1) {
+        run_ic_range(g, 0, m);
+        continue;
       }
+      // Fan the ic loop out: contiguous ranges of whole mc blocks, split
+      // by (m, mc, ntasks) alone, so partitioning never depends on pool
+      // scheduling. Workers read this (jc, pc)'s packed B from the
+      // submitter's scratch, which stays pinned while we block below.
+      IcTask tasks[kMaxGemmTasks];
+      parallel::ThreadPool::RawTask raw[kMaxGemmTasks];
+      const index_t blocks = (m + bk.mc - 1) / bk.mc;
+      const index_t per = (blocks + ntasks - 1) / ntasks;
+      int nt = 0;
+      for (index_t b0 = 0; b0 < blocks; b0 += per) {
+        const index_t ic0 = b0 * bk.mc;
+        const index_t ic1 = std::min(m, (b0 + per) * bk.mc);
+        assert(nt < kMaxGemmTasks);
+        tasks[nt] = IcTask{&g, ic0, ic1};
+        raw[nt] = parallel::ThreadPool::RawTask{&run_ic_task, &tasks[nt]};
+        ++nt;
+      }
+      parallel::global_pool().run_batch_nofail(raw,
+                                               static_cast<std::size_t>(nt));
     }
   }
 }
 
 void ensure_pack_capacity(const GemmBlocking& bk) {
-  pack_buffers().ensure(static_cast<std::size_t>(bk.mc + kMR) * bk.kc,
-                        static_cast<std::size_t>(bk.kc) * (bk.nc + kNR));
+  pack_buffers().ensure(a_pack_doubles(bk), b_pack_doubles(bk));
+}
+
+void ensure_pack_capacity_all_workers(const GemmBlocking& bk) {
+  ensure_pack_capacity(bk);
+  parallel::ThreadPool& pool = parallel::global_pool();
+  if (pool.on_worker_thread()) return;  // the outer driver warmed the pool
+  pool.run_on_each_worker(
+      [&bk](std::size_t) { ensure_pack_capacity(bk); });
 }
 
 }  // namespace strassen::blas

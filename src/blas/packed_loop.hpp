@@ -87,15 +87,70 @@ inline WriteDest write_dest(MutView v, double alpha, double beta) {
 /// in a single pass of the Goto loop nest, where the A combination is
 /// m x k, the B combination k x n, and every C_d is m x n column-major.
 /// The destinations must not overlap one another or the sources.
+///
+/// When the calling thread's gemm_threads() setting and the problem shape
+/// allow (see packed_gemm_threads), the ic macro loop of every (jc, pc)
+/// iteration is fanned out over the global thread pool: the caller packs B
+/// once, workers pack disjoint A row blocks into their own thread-local
+/// scratch and write disjoint C row partitions. The pc loop stays
+/// sequential (one barrier per k-panel), so the arithmetic per C element
+/// is identical for every thread count -- results are bitwise reproducible.
 void packed_gemm_multi(const GemmBlocking& bk, index_t m, index_t n,
                        index_t k, const PackComb& a, const PackComb& b,
                        const WriteDest* dst, int ndst);
+
+/// Upper bound on the tasks one packed_gemm_multi call fans out.
+inline constexpr int kMaxGemmTasks = 64;
+
+/// The calling thread's intra-GEMM thread setting: 0 (default) resolves to
+/// the global pool size, 1 forces the serial loop nest, larger values cap
+/// the fan-out. Initialized per thread from STRASSEN_GEMM_THREADS. The
+/// setting is thread-local on purpose: a pre-flight decision and the
+/// compute it covers always agree, and tests/benches can pin a thread
+/// count without racing other threads' GEMMs.
+int gemm_threads();
+void set_gemm_threads(int threads);
+
+/// RAII switch of the calling thread's gemm_threads() setting.
+class ScopedGemmThreads {
+ public:
+  explicit ScopedGemmThreads(int threads) : prev_(gemm_threads()) {
+    set_gemm_threads(threads);
+  }
+  ScopedGemmThreads(const ScopedGemmThreads&) = delete;
+  ScopedGemmThreads& operator=(const ScopedGemmThreads&) = delete;
+  ~ScopedGemmThreads() { set_gemm_threads(prev_); }
+
+ private:
+  int prev_;
+};
+
+/// Number of tasks packed_gemm_multi would fan out for this blocking and
+/// shape under the calling thread's current setting: 1 when the setting
+/// forces serial or m spans fewer than two mc blocks, else the setting
+/// (pool size when 0) clamped to the mc-block count and kMaxGemmTasks.
+/// Deterministic in (setting, pool size, bk, shape); the DGEFMM pre-flight
+/// uses it to decide whether pool workers need warming.
+int packed_gemm_threads(const GemmBlocking& bk, index_t m, index_t n,
+                        index_t k);
 
 /// Pre-allocates the calling thread's packing scratch for blocking `bk`.
 /// The DGEFMM driver calls this during its pre-flight so the compute phase
 /// performs no allocation at all: packed GEMM's only fallible operation is
 /// moved in front of the first write to C, which the failure policy relies
-/// on (DESIGN.md section 7). May throw std::bad_alloc.
+/// on (DESIGN.md section 7). Buffers are sized with kMaxMR/kMaxNR edge
+/// padding, so scratch warmed for `bk` fits every kernel variant. May
+/// throw std::bad_alloc.
 void ensure_pack_capacity(const GemmBlocking& bk);
+
+/// ensure_pack_capacity for the calling thread *and* every global-pool
+/// worker (each worker grows its own thread-local scratch via a pinned
+/// pool task). Required before any compute that may fan a packed GEMM out
+/// over the pool -- lazy first-touch allocation on a cold worker would
+/// otherwise fire inside the ScopedSuspend no-fail region. Called from a
+/// pool worker it degrades to the calling-thread warm (the outer parallel
+/// driver has already warmed the pool). May throw std::bad_alloc or
+/// TaskError (fault injection).
+void ensure_pack_capacity_all_workers(const GemmBlocking& bk);
 
 }  // namespace strassen::blas

@@ -2,14 +2,16 @@
 
 #include <cassert>
 
+#include "blas/kernels.hpp"
 #include "support/opcount.hpp"
 
 namespace strassen::core {
 
 namespace {
 
-// Applies `op(d_elem, x_elem, y_elem)` over all elements. The destination
-// is required to be column-major so the inner loop is unit-stride on d.
+// Applies `op(d_elem, x_elem, y_elem)` over all elements: the strided
+// fallback for transposed operands. The destination is required to be
+// column-major so the inner loop is unit-stride on d.
 template <class F>
 void zip2(ConstView x, ConstView y, MutView d, F&& op) {
   assert(x.rows == d.rows && x.cols == d.cols);
@@ -38,37 +40,107 @@ void zip1(MutView d, ConstView x, F&& op) {
   }
 }
 
+// Columnwise dispatch through the active micro-kernel's contiguous vector
+// helpers (blas/kernels.hpp). Callers check that every operand column is
+// unit-stride before routing here; transposed operands (rs != 1) take the
+// zip fallbacks above. The helpers live in the ISA-specific kernel TUs, so
+// the combines run at the same vector width as the GEMM itself.
+template <class F>
+void cols2(ConstView x, ConstView y, MutView d, F&& col) {
+  assert(x.rows == d.rows && x.cols == d.cols);
+  assert(y.rows == d.rows && y.cols == d.cols);
+  assert(d.col_major());
+  for (index_t j = 0; j < d.cols; ++j) {
+    col(x.p + j * x.cs, y.p + j * y.cs, d.p + j * d.cs, d.rows);
+  }
+}
+
+template <class F>
+void cols1(MutView d, ConstView x, F&& col) {
+  assert(x.rows == d.rows && x.cols == d.cols);
+  assert(d.col_major());
+  for (index_t j = 0; j < d.cols; ++j) {
+    col(x.p + j * x.cs, d.p + j * d.cs, d.rows);
+  }
+}
+
 count_t elems(MutView d) { return static_cast<count_t>(d.rows) * d.cols; }
 
 }  // namespace
 
 void add(ConstView x, ConstView y, MutView d) {
-  zip2(x, y, d, [](double a, double b) { return a + b; });
+  if (x.rs == 1 && y.rs == 1) {
+    const blas::KernelInfo& kv = blas::active_kernel();
+    cols2(x, y, d,
+          [&](const double* xc, const double* yc, double* dc, index_t n) {
+            kv.vadd(xc, yc, dc, n);
+          });
+  } else {
+    zip2(x, y, d, [](double a, double b) { return a + b; });
+  }
   opcount::record_add(elems(d));
 }
 
 void sub(ConstView x, ConstView y, MutView d) {
-  zip2(x, y, d, [](double a, double b) { return a - b; });
+  if (x.rs == 1 && y.rs == 1) {
+    const blas::KernelInfo& kv = blas::active_kernel();
+    cols2(x, y, d,
+          [&](const double* xc, const double* yc, double* dc, index_t n) {
+            kv.vsub(xc, yc, dc, n);
+          });
+  } else {
+    zip2(x, y, d, [](double a, double b) { return a - b; });
+  }
   opcount::record_add(elems(d));
 }
 
 void add_inplace(MutView d, ConstView x) {
-  zip1(d, x, [](double dv, double xv) { return dv + xv; });
+  if (x.rs == 1) {
+    const blas::KernelInfo& kv = blas::active_kernel();
+    cols1(d, x, [&](const double* xc, double* dc, index_t n) {
+      kv.vaxpby(1.0, xc, 1.0, dc, n);
+    });
+  } else {
+    zip1(d, x, [](double dv, double xv) { return dv + xv; });
+  }
   opcount::record_add(elems(d));
 }
 
 void sub_inplace(MutView d, ConstView x) {
-  zip1(d, x, [](double dv, double xv) { return dv - xv; });
+  if (x.rs == 1) {
+    const blas::KernelInfo& kv = blas::active_kernel();
+    cols1(d, x, [&](const double* xc, double* dc, index_t n) {
+      kv.vaxpby(-1.0, xc, 1.0, dc, n);
+    });
+  } else {
+    zip1(d, x, [](double dv, double xv) { return dv - xv; });
+  }
   opcount::record_add(elems(d));
 }
 
 void rsub_inplace(MutView d, ConstView x) {
-  zip1(d, x, [](double dv, double xv) { return xv - dv; });
+  if (x.rs == 1) {
+    const blas::KernelInfo& kv = blas::active_kernel();
+    cols1(d, x, [&](const double* xc, double* dc, index_t n) {
+      kv.vaxpby(1.0, xc, -1.0, dc, n);
+    });
+  } else {
+    zip1(d, x, [](double dv, double xv) { return xv - dv; });
+  }
   opcount::record_add(elems(d));
 }
 
 void copy_into(ConstView x, MutView d) {
-  zip1(d, x, [](double, double xv) { return xv; });
+  // vaxpby with b == 0 never reads d, so this is safe even when d is
+  // uninitialized arena storage.
+  if (x.rs == 1) {
+    const blas::KernelInfo& kv = blas::active_kernel();
+    cols1(d, x, [&](const double* xc, double* dc, index_t n) {
+      kv.vaxpby(1.0, xc, 0.0, dc, n);
+    });
+  } else {
+    zip1(d, x, [](double, double xv) { return xv; });
+  }
 }
 
 void axpy(double a, ConstView x, MutView d) {
@@ -81,7 +153,14 @@ void axpy(double a, ConstView x, MutView d) {
     sub_inplace(d, x);
     return;
   }
-  zip1(d, x, [a](double dv, double xv) { return dv + a * xv; });
+  if (x.rs == 1) {
+    const blas::KernelInfo& kv = blas::active_kernel();
+    cols1(d, x, [&](const double* xc, double* dc, index_t n) {
+      kv.vaxpby(a, xc, 1.0, dc, n);
+    });
+  } else {
+    zip1(d, x, [a](double dv, double xv) { return dv + a * xv; });
+  }
   opcount::record_scale(elems(d));
   opcount::record_add(elems(d));
 }
@@ -106,6 +185,12 @@ void axpby(double a, ConstView x, double b, MutView d) {
   if (b == 0.0) {
     if (a == 1.0) {
       copy_into(x, d);
+    } else if (x.rs == 1) {
+      const blas::KernelInfo& kv = blas::active_kernel();
+      cols1(d, x, [&](const double* xc, double* dc, index_t n) {
+        kv.vaxpby(a, xc, 0.0, dc, n);
+      });
+      opcount::record_scale(elems(d));
     } else {
       zip1(d, x, [a](double, double xv) { return a * xv; });
       opcount::record_scale(elems(d));
@@ -116,7 +201,14 @@ void axpby(double a, ConstView x, double b, MutView d) {
     add_inplace(d, x);
     return;
   }
-  zip1(d, x, [a, b](double dv, double xv) { return a * xv + b * dv; });
+  if (x.rs == 1) {
+    const blas::KernelInfo& kv = blas::active_kernel();
+    cols1(d, x, [&](const double* xc, double* dc, index_t n) {
+      kv.vaxpby(a, xc, b, dc, n);
+    });
+  } else {
+    zip1(d, x, [a, b](double dv, double xv) { return a * xv + b * dv; });
+  }
   if (a != 1.0) opcount::record_scale(elems(d));
   if (b != 1.0) opcount::record_scale(elems(d));
   opcount::record_add(elems(d));

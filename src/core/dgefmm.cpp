@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "blas/gemm.hpp"
+#include "blas/kernels.hpp"
 #include "blas/packed_loop.hpp"
 #include "core/padding.hpp"
 #include "core/winograd.hpp"
@@ -66,6 +67,19 @@ void dgefmm_view(double alpha, ConstView a, ConstView b, double beta,
   const std::size_t need = static_cast<std::size_t>(
       workspace_doubles(c.rows, c.cols, a.cols, beta, cfg));
   const long faults_before = faultinject::injected_total();
+  // Resolve the packed-GEMM blocking and fan-out now: the fan-out decision
+  // for any sub-product of this call is covered by the top-level shape
+  // (sub-products are never larger), so warming below is a superset of
+  // what the compute phase can touch.
+  const blas::GemmBlocking bk = blas::blocking_for(blas::active_machine());
+  const int gemm_threads =
+      blas::packed_gemm_threads(bk, c.rows, c.cols, a.cols);
+  if (cfg.stats != nullptr) {
+    cfg.stats->kernel = blas::active_kernel().name;
+    if (gemm_threads > cfg.stats->gemm_threads) {
+      cfg.stats->gemm_threads = gemm_threads;
+    }
+  }
 
   // Pre-flight: every fallible acquisition happens here, before the first
   // write to C, so the failure policy can act with beta*C still intact
@@ -91,11 +105,21 @@ void dgefmm_view(double alpha, ConstView a, ConstView b, double beta,
     arena->probe(need);
     // The packed GEMM's per-thread scratch is the only allocation the
     // compute phase would otherwise make on a cold thread; warm it now.
-    blas::ensure_pack_capacity(blas::blocking_for(blas::active_machine()));
+    // When the GEMMs will fan out over the pool, every worker's scratch
+    // must be warm too -- lazy first-touch allocation on a cold worker
+    // would otherwise fire inside the no-fail region below.
+    if (gemm_threads > 1) {
+      blas::ensure_pack_capacity_all_workers(bk);
+    } else {
+      blas::ensure_pack_capacity(bk);
+    }
   } catch (const std::exception&) {
     if (cfg.on_failure == FailurePolicy::strict) throw;
     // Graceful degradation: plain DGEMM needs zero arena workspace, so
-    // running out of memory costs performance, never correctness.
+    // running out of memory costs performance, never correctness. Forced
+    // serial: the degraded path must stay infallible, and the parallel
+    // fan-out could hit a cold worker's scratch allocation.
+    blas::ScopedGemmThreads serial_gemm(1);
     blas::gemm_view(alpha, a, b, beta, c);
     if (cfg.stats != nullptr) {
       ++cfg.stats->fallbacks;

@@ -29,6 +29,15 @@ GemmFn gemm_backend_dgefmm() {
   };
 }
 
+GemmFn gemm_backend_dgemm_kernel(blas::KernelArch arch) {
+  return [arch](Trans ta, Trans tb, index_t m, index_t n, index_t k,
+                double alpha, const double* a, index_t lda, const double* b,
+                index_t ldb, double beta, double* c, index_t ldc) {
+    blas::ScopedKernel pin(arch);
+    blas::dgemm(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+  };
+}
+
 GemmFn gemm_backend_dgefmm_fused() {
   auto arena = std::make_shared<Arena>();
   return [arena](Trans ta, Trans tb, index_t m, index_t n, index_t k,

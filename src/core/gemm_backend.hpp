@@ -8,6 +8,7 @@
 
 #include <functional>
 
+#include "blas/kernels.hpp"
 #include "support/config.hpp"
 
 namespace strassen::core {
@@ -29,5 +30,12 @@ GemmFn gemm_backend_dgefmm();
 /// operand sums are formed in the GEMM pack buffers, so the shared arena is
 /// only touched when a leaf falls back to the classic recursion.
 GemmFn gemm_backend_dgefmm_fused();
+
+/// Backend calling the library's DGEMM with the given micro-kernel variant
+/// pinned for the duration of each call (blas::ScopedKernel). Lets a solver
+/// or benchmark compare kernel variants through the same GemmFn seam the
+/// other backends use. Throws std::invalid_argument from the *call* when
+/// the variant is not usable on this machine (see blas::kernel_supported).
+GemmFn gemm_backend_dgemm_kernel(blas::KernelArch arch);
 
 }  // namespace strassen::core

@@ -89,6 +89,13 @@ struct DgefmmStats {
   int fused_depth = 0;           ///< fused levels applied at the top (0-2)
   int max_depth = 0;             ///< deepest recursion level applied
   std::size_t peak_workspace = 0;  ///< arena high-water mark, in doubles
+  const char* kernel = nullptr;  ///< micro-kernel variant the packed GEMMs
+                                 ///< used (blas::KernelInfo::name; static
+                                 ///< storage, never freed)
+  int gemm_threads = 0;          ///< largest intra-GEMM fan-out the driver
+                                 ///< resolved for this call (1 = serial
+                                 ///< packed loop; see
+                                 ///< blas::packed_gemm_threads)
 
   void reset() { *this = DgefmmStats{}; }
 
@@ -105,6 +112,8 @@ struct DgefmmStats {
     if (o.fused_depth > fused_depth) fused_depth = o.fused_depth;
     if (o.max_depth > max_depth) max_depth = o.max_depth;
     if (o.peak_workspace > peak_workspace) peak_workspace = o.peak_workspace;
+    if (kernel == nullptr) kernel = o.kernel;
+    if (o.gemm_threads > gemm_threads) gemm_threads = o.gemm_threads;
   }
 };
 

@@ -86,6 +86,12 @@ View quadrant_of(const View& x, int q) {
 struct FusedRun {
   Ctx* ctx = nullptr;
   double beta = 0.0;
+  // Resolved once per fused subtree. Derived from the active micro-kernel's
+  // register tile and the detected caches (blas::blocking_for), so the
+  // fused leaves below automatically follow a kernel switch; the leaves may
+  // also fan out over the pool (blas::packed_gemm_threads), which is safe
+  // here because the driver pre-warmed every worker's pack scratch before
+  // entering the no-fail region.
   blas::GemmBlocking bk{};
   // Degraded mode (fallback failure policy, DESIGN.md section 7): workspace
   // reservation failed, so every leaf must take the single fused

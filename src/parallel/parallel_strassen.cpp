@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "blas/gemm.hpp"
+#include "blas/kernels.hpp"
 #include "blas/packed_loop.hpp"
 #include "core/add_kernels.hpp"
 #include "core/dgefmm.hpp"
@@ -257,17 +258,26 @@ int dgefmm_parallel(Trans transa, Trans transb, index_t m, index_t n,
   }
 
   const long faults_before = faultinject::injected_total();
+  if (cfg.stats != nullptr) {
+    cfg.stats->kernel = blas::active_kernel().name;
+  }
   try {
-    // Warm this thread's pack scratch now: the post-combine peel fix-ups
-    // run plain GEMMs on the calling thread and must not allocate after C
-    // has been written.
-    blas::ensure_pack_capacity(blas::blocking_for(blas::active_machine()));
+    // Warm the pack scratch on this thread *and* every pool worker now:
+    // the product tasks run their packed GEMMs (and possible intra-GEMM
+    // fan-outs) inside per-task no-fail regions on arbitrary workers, and
+    // the post-combine peel fix-ups run plain GEMMs on the calling thread
+    // after C has been written -- none of them may allocate lazily.
+    blas::ensure_pack_capacity_all_workers(
+        blas::blocking_for(blas::active_machine()));
     run_top_level(transa, transb, m, n, k, alpha, a, lda, b, ldb, beta, c,
                   ldc, cfg);
   } catch (const std::exception&) {
     if (cfg.on_failure == core::FailurePolicy::strict) throw;
     // Graceful degradation: one workspace-free DGEMM over the whole
-    // problem. beta*C is still intact (see run_top_level).
+    // problem. beta*C is still intact (see run_top_level). Forced serial:
+    // the degraded path must stay infallible, and an intra-GEMM fan-out
+    // could hit a fresh task-entry fault or a cold worker's allocation.
+    blas::ScopedGemmThreads serial_gemm(1);
     blas::dgemm(transa, transb, m, n, k, alpha, a, lda, b, ldb, beta, c,
                 ldc);
     if (cfg.stats != nullptr) {

@@ -1,51 +1,7 @@
-// Minimal fixed-size thread pool.
-//
-// The paper lists parallelism as future work (Section 5); this module is
-// the corresponding extension. The pool runs batches of independent tasks
-// and blocks until the batch drains -- exactly the shape of "seven
-// independent Strassen sub-products" and "independent column panels of
-// DGEMM".
+// Historical include path: the pool moved to support/ so the BLAS layer
+// (packed_loop.cpp's intra-GEMM fan-out) can use it without inverting the
+// support -> blas -> core -> parallel layering. API and namespace
+// (strassen::parallel) are unchanged.
 #pragma once
 
-#include <condition_variable>
-#include <cstddef>
-#include <functional>
-#include <mutex>
-#include <queue>
-#include <thread>
-#include <vector>
-
-namespace strassen::parallel {
-
-class ThreadPool {
- public:
-  /// Creates `threads` workers (0 means std::thread::hardware_concurrency).
-  explicit ThreadPool(std::size_t threads = 0);
-  ThreadPool(const ThreadPool&) = delete;
-  ThreadPool& operator=(const ThreadPool&) = delete;
-  ~ThreadPool();
-
-  std::size_t size() const { return workers_.size(); }
-
-  /// Runs all tasks and returns when every one has finished. Tasks must be
-  /// independent. Exceptions thrown by tasks are rethrown (the first one)
-  /// after the batch drains.
-  void run_batch(std::vector<std::function<void()>> tasks);
-
- private:
-  void worker_loop();
-
-  std::vector<std::thread> workers_;
-  std::mutex mu_;
-  std::condition_variable cv_task_;
-  std::condition_variable cv_done_;
-  std::queue<std::function<void()>> queue_;
-  std::size_t in_flight_ = 0;
-  std::exception_ptr first_error_;
-  bool stop_ = false;
-};
-
-/// Process-wide shared pool (lazily constructed).
-ThreadPool& global_pool();
-
-}  // namespace strassen::parallel
+#include "support/thread_pool.hpp"

@@ -78,6 +78,8 @@ bool should_fail(Site site) {
 ScopedSuspend::ScopedSuspend() { ++t_suspend_depth; }
 ScopedSuspend::~ScopedSuspend() { --t_suspend_depth; }
 
+bool suspended() { return t_suspend_depth > 0; }
+
 void set_arena_guards(bool on) {
   g_guards.store(on, std::memory_order_relaxed);
 }

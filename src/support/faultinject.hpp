@@ -68,6 +68,12 @@ class ScopedSuspend {
   ~ScopedSuspend();
 };
 
+/// True while the calling thread holds at least one ScopedSuspend. The
+/// thread pool consults this at batch submission so a no-fail region
+/// travels with the batch: tasks submitted from inside a suspend run under
+/// a suspend on their executing thread too.
+bool suspended();
+
 /// Enables/disables the arena debug guards (canary + poison; see
 /// support/arena.hpp). Default: on when NDEBUG is not defined.
 void set_arena_guards(bool on);

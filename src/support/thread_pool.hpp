@@ -1,0 +1,121 @@
+// Fixed-size thread pool with batch semantics, help-execution, and an
+// allocation-free submission path.
+//
+// The paper lists parallelism as future work (Section 5); this module is
+// the corresponding extension. It serves two very different callers:
+//
+//  * parallel_strassen / parallel_gemm submit batches of std::function
+//    tasks ("seven independent Strassen sub-products", "independent column
+//    panels") via run_batch;
+//
+//  * the packed GEMM itself (blas/packed_loop.cpp) fans its ic macro loop
+//    out from *inside* the no-fail compute region, where nothing may
+//    allocate. run_batch_nofail takes a caller-owned array of raw
+//    function-pointer tasks and keeps all batch bookkeeping on the
+//    caller's stack, so submission performs no heap operation at all.
+//
+// Both entry points block until their batch drains, and the waiting thread
+// help-executes queued work meanwhile -- so a pool worker running a
+// Strassen product may submit a nested intra-GEMM batch without
+// deadlocking even on a single-worker pool. This file lives in support/
+// (not parallel/) because the BLAS layer depends on it; the historical
+// include path parallel/thread_pool.hpp forwards here.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace strassen::parallel {
+
+class ThreadPool {
+ public:
+  /// One allocation-free task: fn(arg). The function pointer and argument
+  /// are caller-owned and must outlive the run_batch_nofail call.
+  struct RawTask {
+    void (*fn)(void*) = nullptr;
+    void* arg = nullptr;
+  };
+
+  /// Creates `threads` workers (0 means std::thread::hardware_concurrency).
+  explicit ThreadPool(std::size_t threads = 0);
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+  ~ThreadPool();
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Runs all tasks and returns when every one has finished. Tasks must be
+  /// independent. Exceptions thrown by tasks are rethrown (the first one)
+  /// after the batch drains. While waiting, the calling thread
+  /// help-executes queued tasks of any kind.
+  void run_batch(std::vector<std::function<void()>> tasks);
+
+  /// Runs tasks[0..count) and returns when every one has finished, without
+  /// allocating: the batch state lives on this call's stack and the task
+  /// array is read in place. Designed for the packed GEMM's intra-product
+  /// fan-out inside a no-fail region, which imposes the contract:
+  ///
+  ///  * if the calling thread holds a faultinject::ScopedSuspend, every
+  ///    task runs under a suspend on its executing thread too (the no-fail
+  ///    region travels with the batch, and pool_task fault injection is
+  ///    likewise suppressed);
+  ///  * raw tasks must not throw and must not submit nested batches;
+  ///  * while waiting, the calling thread help-executes raw tasks only
+  ///    (never std::function tasks, which may recursively claim the
+  ///    caller's thread-local pack scratch).
+  ///
+  /// Progress never depends on other threads: the caller can always drain
+  /// its own batch.
+  void run_batch_nofail(const RawTask* tasks, std::size_t count);
+
+  /// Runs fn(worker_index) exactly once on each pool worker thread and
+  /// blocks until all have finished; used to warm per-worker thread-local
+  /// scratch during a pre-flight. An exception from any invocation is
+  /// rethrown (the first one) after all workers finish. Serializes against
+  /// concurrent callers. Must not be called from a worker of this pool.
+  void run_on_each_worker(const std::function<void(std::size_t)>& fn);
+
+  /// True when the calling thread is one of this pool's workers.
+  bool on_worker_thread() const;
+
+ private:
+  // One batch of tasks; lives on the submitting thread's stack for its
+  // whole life and is linked into the pool's intrusive FIFO until every
+  // task has been claimed.
+  struct Batch {
+    const RawTask* raw = nullptr;        // raw mode when non-null
+    std::function<void()>* fns = nullptr;  // function mode otherwise
+    std::size_t count = 0;
+    std::size_t next = 0;       // first unclaimed task (guarded by mu_)
+    std::size_t remaining = 0;  // unfinished tasks (guarded by mu_)
+    bool nofail = false;        // extend the submitter's suspend to tasks
+    std::exception_ptr first_error;  // guarded by mu_
+    Batch* next_batch = nullptr;
+  };
+
+  void enqueue_and_wait(Batch& batch, bool help_functions);
+  Batch* claim_locked(bool raw_only, std::size_t* index);
+  void execute(Batch* batch, std::size_t index);  // called without mu_
+  void worker_loop(std::size_t worker_index);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;  // new work, task completion, pinned done
+  Batch* head_ = nullptr;       // intrusive FIFO of unclaimed batches
+  Batch* tail_ = nullptr;
+  std::vector<std::function<void(std::size_t)>> pinned_;  // slot per worker
+  std::size_t pinned_pending_ = 0;
+  std::exception_ptr pinned_error_;
+  bool stop_ = false;
+  std::mutex warm_mu_;  // serializes run_on_each_worker callers
+  std::vector<std::thread> workers_;
+};
+
+/// Process-wide shared pool (lazily constructed).
+ThreadPool& global_pool();
+
+}  // namespace strassen::parallel

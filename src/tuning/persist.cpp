@@ -4,12 +4,18 @@
 #include <map>
 #include <sstream>
 
+#include "blas/kernels.hpp"
 #include "support/errors.hpp"
 
 namespace strassen::tuning {
 
+bool TunedCriteria::matches_active_kernel() const {
+  return kernel.empty() || kernel == blas::active_kernel().name;
+}
+
 TunedCriteria tune_both_cases(const CrossoverOptions& opts) {
   TunedCriteria out;
+  out.kernel = blas::active_kernel().name;
   CrossoverOptions beta0 = opts;
   beta0.alpha = 1.0;
   beta0.beta = 0.0;
@@ -36,6 +42,7 @@ void write_one(std::ostream& os, const char* prefix,
 void save_criteria(const TunedCriteria& criteria, std::ostream& os) {
   os << "# DGEFMM tuned cutoff parameters (hybrid criterion, eq. 15)\n";
   os << "format = 1\n";
+  if (!criteria.kernel.empty()) os << "kernel = " << criteria.kernel << "\n";
   write_one(os, "beta_zero", criteria.beta_zero);
   write_one(os, "general", criteria.general);
 }
@@ -50,6 +57,7 @@ bool save_criteria_file(const TunedCriteria& criteria,
 
 TunedCriteria load_criteria(std::istream& is) {
   std::map<std::string, double> values;
+  std::string kernel;
   std::string line;
   int lineno = 0;
   while (std::getline(is, line)) {
@@ -60,6 +68,14 @@ TunedCriteria load_criteria(std::istream& is) {
     std::string key, eq;
     double value;
     if (!(ls >> key)) continue;  // blank line
+    if (key == "kernel") {
+      // String-valued key: the micro-kernel name the tuning ran under.
+      if (!(ls >> eq) || eq != "=" || !(ls >> kernel)) {
+        throw Error("tuned-criteria file: malformed line " +
+                    std::to_string(lineno) + ": '" + line + "'");
+      }
+      continue;
+    }
     if (!(ls >> eq) || eq != "=" || !(ls >> value)) {
       if (key == "format") continue;  // tolerate "format = 1"
       throw Error("tuned-criteria file: malformed line " +
@@ -69,6 +85,7 @@ TunedCriteria load_criteria(std::istream& is) {
   }
 
   TunedCriteria out;
+  out.kernel = kernel;
   auto fill = [&](const std::string& prefix, core::CutoffCriterion& c) {
     auto get = [&](const std::string& name, double fallback) {
       const auto it = values.find(prefix + "." + name);

@@ -23,10 +23,20 @@ struct TunedCriteria {
       core::CutoffCriterion::paper_default(blas::Machine::rs6000);
   core::CutoffCriterion general = beta_zero;
 
+  /// Micro-kernel variant (blas::KernelInfo::name) the tuning ran under,
+  /// empty for files written before kernel dispatch existed. The crossover
+  /// point is a property of the DGEMM speed, which changes with the kernel,
+  /// so a criteria file tuned under one kernel is stale under another.
+  std::string kernel;
+
   /// The criterion appropriate for a call with this beta.
   const core::CutoffCriterion& select(double beta) const {
     return beta == 0.0 ? beta_zero : general;
   }
+
+  /// False when this file was tuned under a different micro-kernel than
+  /// the one currently active (legacy files with no record pass).
+  bool matches_active_kernel() const;
 };
 
 /// Runs the full tuning pipeline twice: once with (alpha, beta) = (1, 0)

@@ -1,0 +1,678 @@
+// Kernel-matrix suite for the SIMD micro-kernel dispatch layer and the
+// intra-GEMM macro-loop parallelism (blas/kernels.hpp, blas/packed_loop.hpp).
+//
+// Three families of guarantees are pinned down here:
+//
+//  1. every compiled kernel variant (scalar, avx2, avx512) computes the
+//     same products as the reference triple loop, including edge tiles
+//     whose dimensions are not multiples of the register tile, multi-term
+//     packing combinations, and multi-destination epilogues;
+//
+//  2. the parallel ic-loop decomposition is bitwise deterministic: the
+//     same problem run with 1 thread and with N threads produces byte-for-
+//     byte identical C, for every kernel variant;
+//
+//  3. the worker pre-warm contract: a cold pool worker's pack scratch is a
+//     real allocation (fault injection can make it fail during the
+//     pre-flight), and once ensure_pack_capacity_all_workers has run, a
+//     fanned-out packed GEMM performs no allocation at all -- so the
+//     DESIGN.md section 7 no-fail region stays allocation-free under the
+//     new threading.
+//
+// Note on the STRASSEN_KERNEL environment override: the dispatcher reads
+// it once, at the first active_kernel() call, so it cannot be probed from
+// inside an already-running process. scripts/check.sh covers it instead by
+// pushing the whole test suite through STRASSEN_KERNEL=scalar and =auto.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "blas/gemm.hpp"
+#include "blas/kernels.hpp"
+#include "blas/machine.hpp"
+#include "blas/packed_loop.hpp"
+#include "core/add_kernels.hpp"
+#include "core/dgefmm.hpp"
+#include "core/gemm_backend.hpp"
+#include "parallel/parallel_strassen.hpp"
+#include "support/errors.hpp"
+#include "support/faultinject.hpp"
+#include "support/matrix.hpp"
+#include "support/random.hpp"
+#include "support/thread_pool.hpp"
+
+namespace strassen {
+namespace {
+
+namespace fi = faultinject;
+
+using blas::KernelArch;
+
+std::vector<KernelArch> supported_arches() {
+  std::vector<KernelArch> out;
+  for (const KernelArch arch : blas::kAllKernelArches) {
+    if (blas::kernel_supported(arch)) out.push_back(arch);
+  }
+  return out;
+}
+
+void fill_nan(MutView v) {
+  for (index_t j = 0; j < v.cols; ++j) {
+    for (index_t i = 0; i < v.rows; ++i) {
+      v.p[i * v.rs + j * v.cs] = std::nan("");
+    }
+  }
+}
+
+// ------------------------------------------------------------- dispatch
+
+TEST(KernelDispatch, ScalarAlwaysCompiledAndSupported) {
+  EXPECT_TRUE(blas::kernel_compiled(KernelArch::scalar));
+  EXPECT_TRUE(blas::kernel_supported(KernelArch::scalar));
+  ASSERT_NE(blas::kernel_info(KernelArch::scalar), nullptr);
+}
+
+TEST(KernelDispatch, CompiledTablesAreComplete) {
+  for (const KernelArch arch : blas::kAllKernelArches) {
+    SCOPED_TRACE(blas::kernel_arch_name(arch));
+    const blas::KernelInfo* kv = blas::kernel_info(arch);
+    EXPECT_EQ(kv != nullptr, blas::kernel_compiled(arch));
+    if (kv == nullptr) continue;
+    EXPECT_EQ(kv->arch, arch);
+    EXPECT_GE(kv->mr, 1);
+    EXPECT_GE(kv->nr, 1);
+    EXPECT_LE(kv->mr, blas::kMaxMR);
+    EXPECT_LE(kv->nr, blas::kMaxNR);
+    // The name leads with the family so stats/bench output is greppable.
+    ASSERT_NE(kv->name, nullptr);
+    EXPECT_EQ(std::string(kv->name).rfind(blas::kernel_arch_name(arch), 0),
+              0u);
+    EXPECT_NE(kv->micro_kernel, nullptr);
+    EXPECT_NE(kv->pack_a_comb, nullptr);
+    EXPECT_NE(kv->pack_b_comb, nullptr);
+    EXPECT_NE(kv->write_tile, nullptr);
+    EXPECT_NE(kv->vadd, nullptr);
+    EXPECT_NE(kv->vsub, nullptr);
+    EXPECT_NE(kv->vaxpby, nullptr);
+  }
+}
+
+TEST(KernelDispatch, BestSupportedIsTheLastSupportedInPreferenceOrder) {
+  const KernelArch best = blas::best_supported_kernel();
+  EXPECT_TRUE(blas::kernel_supported(best));
+  // kAllKernelArches is ordered worst to best: nothing after `best` in that
+  // order may be supported.
+  bool past_best = false;
+  for (const KernelArch arch : blas::kAllKernelArches) {
+    if (past_best) {
+      EXPECT_FALSE(blas::kernel_supported(arch));
+    }
+    if (arch == best) past_best = true;
+  }
+}
+
+TEST(KernelDispatch, SetActiveKernelValidatesSupport) {
+  const KernelArch prev = blas::active_kernel().arch;
+  for (const KernelArch arch : blas::kAllKernelArches) {
+    SCOPED_TRACE(blas::kernel_arch_name(arch));
+    if (blas::kernel_supported(arch)) {
+      blas::set_active_kernel(arch);
+      EXPECT_EQ(blas::active_kernel().arch, arch);
+    } else {
+      EXPECT_THROW(blas::set_active_kernel(arch), std::invalid_argument);
+    }
+  }
+  blas::set_active_kernel(prev);
+}
+
+TEST(KernelDispatch, ScopedKernelRestores) {
+  const KernelArch prev = blas::active_kernel().arch;
+  {
+    blas::ScopedKernel pin(KernelArch::scalar);
+    EXPECT_EQ(blas::active_kernel().arch, KernelArch::scalar);
+  }
+  EXPECT_EQ(blas::active_kernel().arch, prev);
+}
+
+TEST(KernelDispatch, KernelPinnedBackendRejectsUnsupportedAtCallTime) {
+  // The GemmFn seam: construction never throws, the call validates.
+  for (const KernelArch arch : blas::kAllKernelArches) {
+    core::GemmFn fn = core::gemm_backend_dgemm_kernel(arch);
+    Matrix a(4, 4), b(4, 4), c(4, 4);
+    Rng rng(7);
+    fill_random(a.view(), rng);
+    fill_random(b.view(), rng);
+    c.fill(0.0);
+    if (blas::kernel_supported(arch)) {
+      EXPECT_NO_THROW(fn(Trans::no, Trans::no, 4, 4, 4, 1.0, a.data(), 4,
+                         b.data(), 4, 0.0, c.data(), 4));
+    } else {
+      EXPECT_THROW(fn(Trans::no, Trans::no, 4, 4, 4, 1.0, a.data(), 4,
+                      b.data(), 4, 0.0, c.data(), 4),
+                   std::invalid_argument);
+    }
+  }
+}
+
+// --------------------------------------------- correctness, every kernel
+
+// Full DGEMM through the public entry point under each forced kernel, over
+// shapes chosen to produce edge tiles for every register tile in the matrix
+// (4x8, 8x6, 8x8): dimensions mod {4, 6, 8} hit every nonzero remainder.
+TEST(KernelMatrix, DgemmMatchesReferenceUnderEveryKernel) {
+  struct Shape {
+    index_t m, n, k;
+  };
+  const Shape shapes[] = {{1, 1, 1},    {3, 2, 5},    {7, 6, 8},
+                          {8, 8, 6},    {13, 11, 17}, {31, 33, 29},
+                          {65, 66, 63}};
+  Rng rng(42);
+  for (const KernelArch arch : supported_arches()) {
+    blas::ScopedKernel pin(arch);
+    SCOPED_TRACE(blas::active_kernel().name);
+    for (const Shape& s : shapes) {
+      for (const Trans ta : {Trans::no, Trans::transpose}) {
+        for (const Trans tb : {Trans::no, Trans::transpose}) {
+          SCOPED_TRACE("m=" + std::to_string(s.m) + " n=" +
+                       std::to_string(s.n) + " k=" + std::to_string(s.k));
+          const index_t a_rows = is_trans(ta) ? s.k : s.m;
+          const index_t a_cols = is_trans(ta) ? s.m : s.k;
+          const index_t b_rows = is_trans(tb) ? s.n : s.k;
+          const index_t b_cols = is_trans(tb) ? s.k : s.n;
+          const index_t lda = a_rows + 3, ldb = b_rows + 1, ldc = s.m + 2;
+          Matrix a(lda, a_cols), b(ldb, b_cols);
+          Matrix c(ldc, s.n), c_ref(ldc, s.n);
+          fill_random(a.view(), rng);
+          fill_random(b.view(), rng);
+          fill_random(c.view(), rng);
+          copy(c.view(), c_ref.view());
+          for (const double beta : {0.0, -0.5}) {
+            blas::dgemm(ta, tb, s.m, s.n, s.k, 1.25, a.data(), lda, b.data(),
+                        ldb, beta, c.data(), ldc);
+            blas::gemm_reference(ta, tb, s.m, s.n, s.k, 1.25, a.data(), lda,
+                                 b.data(), ldb, beta, c_ref.data(), ldc);
+            const double tol = 1e-12 * (static_cast<double>(s.k) + 1.0);
+            for (index_t j = 0; j < s.n; ++j) {
+              for (index_t i = 0; i < ldc; ++i) {
+                EXPECT_NEAR(c(i, j), c_ref(i, j), i < s.m ? tol : 0.0)
+                    << "at (" << i << "," << j << ") beta=" << beta;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// The packed skeleton directly, with a deliberately awkward blocking: mc,
+// kc, nc none of which divide the problem or align with any register tile,
+// so every macro iteration ends in a partial block and every micro panel in
+// a partial tile. This exercises the kMaxMR/kMaxNR pack-padding contract
+// for each variant (asan would catch an overflow of the padded buffers).
+TEST(KernelMatrix, PackedSkeletonEdgeTilesUnderEveryKernel) {
+  const blas::GemmBlocking bk{20, 7, 13};
+  const index_t m = 53, k = 23, n = 31;
+  Rng rng(77);
+  Matrix a = random_matrix(m, k, rng);
+  Matrix b = random_matrix(k, n, rng);
+  for (const KernelArch arch : supported_arches()) {
+    blas::ScopedKernel pin(arch);
+    SCOPED_TRACE(blas::active_kernel().name);
+    Matrix c(m, n), c_ref(m, n);
+    fill_random(c.view(), rng);
+    copy(c.view(), c_ref.view());
+    const blas::PackComb pa = blas::pack_comb(a.view());
+    const blas::PackComb pb = blas::pack_comb(b.view());
+    const blas::WriteDest dst = blas::write_dest(c.view(), 1.5, -0.25);
+    blas::packed_gemm_multi(bk, m, n, k, pa, pb, &dst, 1);
+    blas::gemm_reference(Trans::no, Trans::no, m, n, k, 1.5, a.data(),
+                         a.ld(), b.data(), b.ld(), -0.25, c_ref.data(),
+                         c_ref.ld());
+    EXPECT_LE(max_abs_diff(c.view(), c_ref.view()),
+              1e-12 * (static_cast<double>(k) + 1.0));
+  }
+}
+
+// Fused-path surface: linear-combination packing (including a transposed
+// term, so the strided gather runs) and a two-destination epilogue whose
+// beta is applied on the first k-panel only (k spans several kc panels).
+// Destination 0 starts as NaN: beta == 0 must assign, never accumulate.
+TEST(KernelMatrix, MultiTermMultiDestUnderEveryKernel) {
+  const blas::GemmBlocking bk{24, 10, 18};
+  const index_t m = 37, k = 29, n = 21;
+  Rng rng(99);
+  Matrix a1 = random_matrix(m, k, rng);
+  Matrix a2t = random_matrix(k, m, rng);  // used through a transposed view
+  Matrix b1 = random_matrix(k, n, rng);
+  Matrix b2 = random_matrix(k, n, rng);
+  Matrix c1_0 = random_matrix(m, n, rng);
+
+  // Reference: P = (A1 - A2t^T) * (0.5*B1 + 2*B2), then the two epilogues.
+  Matrix acomb(m, k), bcomb(k, n), p(m, n);
+  for (index_t j = 0; j < k; ++j) {
+    for (index_t i = 0; i < m; ++i) {
+      acomb(i, j) = a1(i, j) - a2t(j, i);
+    }
+  }
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < k; ++i) {
+      bcomb(i, j) = 0.5 * b1(i, j) + 2.0 * b2(i, j);
+    }
+  }
+  p.fill(0.0);
+  blas::gemm_reference(Trans::no, Trans::no, m, n, k, 1.0, acomb.data(),
+                       acomb.ld(), bcomb.data(), bcomb.ld(), 0.0, p.data(),
+                       p.ld());
+
+  for (const KernelArch arch : supported_arches()) {
+    blas::ScopedKernel pin(arch);
+    SCOPED_TRACE(blas::active_kernel().name);
+    Matrix c0(m, n), c1(m, n);
+    fill_nan(c0.view());
+    copy(c1_0.view(), c1.view());
+    blas::PackComb pa;
+    pa.add(a1.view(), 1.0);
+    pa.add(make_op_view(Trans::transpose, a2t.data(), k, m, a2t.ld()), -1.0);
+    blas::PackComb pb;
+    pb.add(b1.view(), 0.5);
+    pb.add(b2.view(), 2.0);
+    const blas::WriteDest dst[2] = {
+        blas::write_dest(c0.view(), 1.0, 0.0),
+        blas::write_dest(c1.view(), -2.0, 0.5),
+    };
+    blas::packed_gemm_multi(bk, m, n, k, pa, pb, dst, 2);
+    const double tol = 1e-11 * (static_cast<double>(k) + 1.0);
+    for (index_t j = 0; j < n; ++j) {
+      for (index_t i = 0; i < m; ++i) {
+        EXPECT_NEAR(c0(i, j), p(i, j), tol) << "dest 0 (" << i << "," << j
+                                            << ")";
+        EXPECT_NEAR(c1(i, j), -2.0 * p(i, j) + 0.5 * c1_0(i, j), tol)
+            << "dest 1 (" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+// ------------------------------------------------ parallel determinism
+
+// The load-bearing reproducibility claim: the ic partition is a pure
+// function of (m, mc, ntasks) and the pc loop is sequential, so every
+// thread count yields byte-for-byte the same C. Checked for every kernel
+// and several fan-out widths against the forced-serial run.
+TEST(KernelMatrix, ParallelPackedGemmBitwiseEqualsSerialUnderEveryKernel) {
+  const blas::GemmBlocking bk{24, 16, 32};
+  const index_t m = 200, k = 48, n = 64;  // 9 mc blocks
+  Rng rng(1001);
+  Matrix a = random_matrix(m, k, rng);
+  Matrix b = random_matrix(k, n, rng);
+  Matrix c0 = random_matrix(m, n, rng);
+  for (const KernelArch arch : supported_arches()) {
+    blas::ScopedKernel pin(arch);
+    SCOPED_TRACE(blas::active_kernel().name);
+    const blas::PackComb pa = blas::pack_comb(a.view());
+    const blas::PackComb pb = blas::pack_comb(b.view());
+
+    Matrix serial(m, n);
+    copy(c0.view(), serial.view());
+    {
+      blas::ScopedGemmThreads one(1);
+      const blas::WriteDest dst = blas::write_dest(serial.view(), 1.0, 0.5);
+      blas::packed_gemm_multi(bk, m, n, k, pa, pb, &dst, 1);
+    }
+    Matrix c_ref(m, n);
+    copy(c0.view(), c_ref.view());
+    blas::gemm_reference(Trans::no, Trans::no, m, n, k, 1.0, a.data(),
+                         a.ld(), b.data(), b.ld(), 0.5, c_ref.data(),
+                         c_ref.ld());
+    EXPECT_LE(max_abs_diff(serial.view(), c_ref.view()),
+              1e-12 * (static_cast<double>(k) + 1.0));
+
+    for (const int threads : {2, 5, 9}) {
+      SCOPED_TRACE("threads=" + std::to_string(threads));
+      Matrix par(m, n);
+      copy(c0.view(), par.view());
+      blas::ScopedGemmThreads fan(threads);
+      const blas::WriteDest dst = blas::write_dest(par.view(), 1.0, 0.5);
+      blas::packed_gemm_multi(bk, m, n, k, pa, pb, &dst, 1);
+      EXPECT_EQ(std::memcmp(par.data(), serial.data(),
+                            sizeof(double) * static_cast<std::size_t>(m) *
+                                static_cast<std::size_t>(n)),
+                0);
+    }
+  }
+}
+
+TEST(GemmThreads, SettingClampsAndScopesRestore) {
+  const int prev = blas::gemm_threads();
+  blas::set_gemm_threads(-3);
+  EXPECT_EQ(blas::gemm_threads(), 0);  // clamped into [0, kMaxGemmTasks]
+  blas::set_gemm_threads(blas::kMaxGemmTasks + 100);
+  EXPECT_EQ(blas::gemm_threads(), blas::kMaxGemmTasks);
+  {
+    blas::ScopedGemmThreads guard(3);
+    EXPECT_EQ(blas::gemm_threads(), 3);
+  }
+  EXPECT_EQ(blas::gemm_threads(), blas::kMaxGemmTasks);
+  blas::set_gemm_threads(prev);
+}
+
+TEST(GemmThreads, ResolutionIsDeterministicInShapeAndSetting) {
+  const blas::GemmBlocking bk{32, 16, 64};
+  {
+    blas::ScopedGemmThreads one(1);
+    EXPECT_EQ(blas::packed_gemm_threads(bk, 1000, 64, 64), 1);
+  }
+  blas::ScopedGemmThreads four(4);
+  // Fewer than two ic blocks: always serial.
+  EXPECT_EQ(blas::packed_gemm_threads(bk, 32, 64, 64), 1);
+  EXPECT_EQ(blas::packed_gemm_threads(bk, 1000, 0, 64), 1);
+  // Clamped to the mc-block count.
+  EXPECT_EQ(blas::packed_gemm_threads(bk, 96, 64, 64), 3);
+  // The setting caps the fan-out.
+  EXPECT_EQ(blas::packed_gemm_threads(bk, 3200, 64, 64), 4);
+  // Auto (0) resolves to the pool size, bounded by kMaxGemmTasks.
+  blas::set_gemm_threads(0);
+  const int resolved = blas::packed_gemm_threads(bk, 3200, 64, 64);
+  EXPECT_GE(resolved, 1);
+  EXPECT_LE(resolved, blas::kMaxGemmTasks);
+}
+
+// ------------------------------------------------------- stats plumbing
+
+TEST(KernelStats, DgefmmRecordsKernelAndThreads) {
+  const index_t m = 96, n = 96, k = 96;
+  Rng rng(5);
+  Matrix a = random_matrix(m, k, rng);
+  Matrix b = random_matrix(k, n, rng);
+  Matrix c(m, n);
+  c.fill(0.0);
+  core::DgefmmStats stats;
+  Arena arena;
+  core::DgefmmConfig cfg;
+  cfg.workspace = &arena;
+  cfg.stats = &stats;
+  ASSERT_EQ(core::dgefmm(Trans::no, Trans::no, m, n, k, 1.0, a.data(), m,
+                         b.data(), k, 0.0, c.data(), m, cfg),
+            0);
+  ASSERT_NE(stats.kernel, nullptr);
+  EXPECT_STREQ(stats.kernel, blas::active_kernel().name);
+  EXPECT_GE(stats.gemm_threads, 1);
+}
+
+TEST(KernelStats, FannedOutDgefmmRecordsThreadsGreaterThanOne) {
+  // m spans several mc blocks of every kernel's derived blocking (mc is
+  // clamped to <= 1024), so a setting of 3 must resolve to >= 2.
+  const index_t m = 2100, n = 48, k = 48;
+  Rng rng(6);
+  Matrix a = random_matrix(m, k, rng);
+  Matrix b = random_matrix(k, n, rng);
+  Matrix c(m, n);
+  c.fill(0.0);
+  core::DgefmmStats stats;
+  Arena arena;
+  core::DgefmmConfig cfg;
+  cfg.workspace = &arena;
+  cfg.stats = &stats;
+  blas::ScopedGemmThreads fan(3);
+  ASSERT_EQ(core::dgefmm(Trans::no, Trans::no, m, n, k, 1.0, a.data(), m,
+                         b.data(), k, 0.0, c.data(), m, cfg),
+            0);
+  EXPECT_GE(stats.gemm_threads, 2);
+  Matrix c_ref(m, n);
+  c_ref.fill(0.0);
+  blas::gemm_reference(Trans::no, Trans::no, m, n, k, 1.0, a.data(), m,
+                       b.data(), k, 0.0, c_ref.data(), m);
+  EXPECT_LE(max_abs_diff(c.view(), c_ref.view()),
+            1e-11 * (static_cast<double>(k) + 1.0));
+}
+
+// ------------------------------------------------- quadrant combines
+
+// The Strassen quadrant adds route through the active kernel's vector
+// helpers on unit-stride columns; transposed operands take the strided
+// fallback. Both paths must agree with the elementwise definition for
+// every kernel, including lengths that end in a SIMD tail.
+TEST(KernelMatrix, QuadrantCombinesMatchElementwiseUnderEveryKernel) {
+  const index_t m = 19, n = 3;  // odd length: exercises vector tails
+  Rng rng(2024);
+  Matrix x = random_matrix(m, n, rng);
+  Matrix y = random_matrix(m, n, rng);
+  Matrix xt = random_matrix(n, m, rng);  // transposed operand source
+  const ConstView xtv = make_op_view(Trans::transpose, xt.data(), n, m,
+                                     xt.ld());
+  for (const KernelArch arch : supported_arches()) {
+    blas::ScopedKernel pin(arch);
+    SCOPED_TRACE(blas::active_kernel().name);
+    for (const bool strided : {false, true}) {
+      SCOPED_TRACE(strided ? "strided" : "unit-stride");
+      const ConstView xv = strided ? xtv : ConstView(x.view());
+      auto xat = [&](index_t i, index_t j) {
+        return strided ? xt(j, i) : x(i, j);
+      };
+      Matrix d(m, n);
+
+      core::add(xv, y.view(), d.view());
+      for (index_t j = 0; j < n; ++j) {
+        for (index_t i = 0; i < m; ++i) {
+          EXPECT_DOUBLE_EQ(d(i, j), xat(i, j) + y(i, j));
+        }
+      }
+      core::sub(xv, y.view(), d.view());
+      for (index_t j = 0; j < n; ++j) {
+        for (index_t i = 0; i < m; ++i) {
+          EXPECT_DOUBLE_EQ(d(i, j), xat(i, j) - y(i, j));
+        }
+      }
+      copy(y.view(), d.view());
+      core::add_inplace(d.view(), xv);
+      for (index_t j = 0; j < n; ++j) {
+        for (index_t i = 0; i < m; ++i) {
+          EXPECT_DOUBLE_EQ(d(i, j), y(i, j) + xat(i, j));
+        }
+      }
+      copy(y.view(), d.view());
+      core::sub_inplace(d.view(), xv);
+      for (index_t j = 0; j < n; ++j) {
+        for (index_t i = 0; i < m; ++i) {
+          EXPECT_DOUBLE_EQ(d(i, j), y(i, j) - xat(i, j));
+        }
+      }
+      copy(y.view(), d.view());
+      core::rsub_inplace(d.view(), xv);
+      for (index_t j = 0; j < n; ++j) {
+        for (index_t i = 0; i < m; ++i) {
+          EXPECT_DOUBLE_EQ(d(i, j), xat(i, j) - y(i, j));
+        }
+      }
+      // copy_into and axpby with beta == 0 must tolerate NaN destinations.
+      fill_nan(d.view());
+      core::copy_into(xv, d.view());
+      for (index_t j = 0; j < n; ++j) {
+        for (index_t i = 0; i < m; ++i) {
+          EXPECT_DOUBLE_EQ(d(i, j), xat(i, j));
+        }
+      }
+      fill_nan(d.view());
+      core::axpby(3.0, xv, 0.0, d.view());
+      for (index_t j = 0; j < n; ++j) {
+        for (index_t i = 0; i < m; ++i) {
+          EXPECT_DOUBLE_EQ(d(i, j), 3.0 * xat(i, j));
+        }
+      }
+      copy(y.view(), d.view());
+      core::axpy(2.5, xv, d.view());
+      for (index_t j = 0; j < n; ++j) {
+        for (index_t i = 0; i < m; ++i) {
+          EXPECT_DOUBLE_EQ(d(i, j), y(i, j) + 2.5 * xat(i, j));
+        }
+      }
+      copy(y.view(), d.view());
+      core::axpby(2.0, xv, -0.5, d.view());
+      for (index_t j = 0; j < n; ++j) {
+        for (index_t i = 0; i < m; ++i) {
+          EXPECT_DOUBLE_EQ(d(i, j), 2.0 * xat(i, j) - 0.5 * y(i, j));
+        }
+      }
+    }
+  }
+}
+
+// ------------------------------------- worker warm-up, fault injection
+
+// Every test leaves the process-global injector disarmed.
+class KernelWarm : public ::testing::Test {
+ protected:
+  void TearDown() override { fi::disarm(); }
+};
+
+// Blockings larger than any cache-derived one (mc/kc/nc clamp to at most
+// 1024/512/8192), so pool workers are guaranteed cold for them no matter
+// what ran before in this process.
+constexpr blas::GemmBlocking kColdBk{1048, 520, 8200};
+
+TEST_F(KernelWarm, ColdWorkerScratchIsARealAllocation) {
+  // Warm the calling thread first so the only cold scratch left belongs to
+  // pool workers; then a single armed buffer_alloc fault must surface from
+  // the pre-flight warm as std::bad_alloc -- proving the warm reaches the
+  // workers and that skipping it would leave a live allocation site for
+  // the no-fail compute region to trip over.
+  blas::ensure_pack_capacity(kColdBk);
+  fi::arm(1, fi::Site::buffer_alloc);
+  EXPECT_THROW(blas::ensure_pack_capacity_all_workers(kColdBk),
+               std::bad_alloc);
+  fi::disarm();
+
+  // The warm is idempotent: once it has succeeded, re-running it performs
+  // no allocation at all (an armed fault stays armed).
+  EXPECT_NO_THROW(blas::ensure_pack_capacity_all_workers(kColdBk));
+  fi::arm(1, fi::Site::buffer_alloc);
+  EXPECT_NO_THROW(blas::ensure_pack_capacity_all_workers(kColdBk));
+  EXPECT_TRUE(fi::armed());
+}
+
+TEST_F(KernelWarm, PinnedWarmTaskFaultSurfacesAsTaskError) {
+  // The per-worker warm tasks run through the instrumented pool entry, so
+  // a task-start fault during the pre-flight surfaces as the typed
+  // TaskError (and never as a crash inside the compute phase).
+  fi::arm(1, fi::Site::pool_task);
+  EXPECT_THROW(blas::ensure_pack_capacity_all_workers(kColdBk), TaskError);
+}
+
+TEST_F(KernelWarm, WarmedFanOutComputeAllocatesNothing) {
+  const blas::GemmBlocking bk{32, 24, 48};
+  blas::ensure_pack_capacity_all_workers(bk);
+  const index_t m = 300, k = 48, n = 64;
+  Rng rng(31);
+  Matrix a = random_matrix(m, k, rng);
+  Matrix b = random_matrix(k, n, rng);
+  Matrix c(m, n);
+  c.fill(0.0);
+  blas::ScopedGemmThreads fan(6);
+  fi::arm(1, fi::Site::buffer_alloc);
+  const blas::PackComb pa = blas::pack_comb(a.view());
+  const blas::PackComb pb = blas::pack_comb(b.view());
+  const blas::WriteDest dst = blas::write_dest(c.view(), 1.0, 0.0);
+  blas::packed_gemm_multi(bk, m, n, k, pa, pb, &dst, 1);
+  // No task -- caller or worker -- constructed a buffer: the fault is
+  // still pending, which is exactly the "no allocation inside the no-fail
+  // region" property the DESIGN.md section 7 contract needs.
+  EXPECT_TRUE(fi::armed());
+  fi::disarm();
+  Matrix c_ref(m, n);
+  c_ref.fill(0.0);
+  blas::gemm_reference(Trans::no, Trans::no, m, n, k, 1.0, a.data(), a.ld(),
+                       b.data(), b.ld(), 0.0, c_ref.data(), c_ref.ld());
+  EXPECT_LE(max_abs_diff(c.view(), c_ref.view()),
+            1e-12 * (static_cast<double>(k) + 1.0));
+}
+
+TEST_F(KernelWarm, StrictPolicySweepWithFanOutLeavesCUntouched) {
+  // Outcome-based sweep through the parallel driver pre-flight: fail the
+  // Nth acquisition (any site) for every N until a run completes clean.
+  // Strict policy means each faulted run throws with C byte-identical.
+  const index_t m = 2100, n = 48, k = 48;
+  Rng rng(67);
+  Matrix a = random_matrix(m, k, rng);
+  Matrix b = random_matrix(k, n, rng);
+  Matrix c0 = random_matrix(m, n, rng);
+  Matrix c(m, n);
+  const std::size_t c_bytes =
+      sizeof(double) * static_cast<std::size_t>(m) *
+      static_cast<std::size_t>(n);
+  blas::ScopedGemmThreads fan(4);
+  Arena arena;
+  bool completed_clean = false;
+  for (long countdown = 1; countdown <= 200 && !completed_clean;
+       ++countdown) {
+    SCOPED_TRACE("countdown=" + std::to_string(countdown));
+    copy(c0.view(), c.view());
+    core::DgefmmConfig cfg;
+    cfg.workspace = &arena;
+    cfg.on_failure = core::FailurePolicy::strict;
+    fi::arm(countdown, fi::Site::any);
+    try {
+      ASSERT_EQ(core::dgefmm(Trans::no, Trans::no, m, n, k, 1.0, a.data(),
+                             m, b.data(), k, 0.75, c.data(), m, cfg),
+                0);
+      if (fi::armed()) {
+        // The countdown outlived every fallible acquisition: a clean run.
+        completed_clean = true;
+      } else {
+        ADD_FAILURE() << "strict run completed although a fault fired";
+        break;
+      }
+    } catch (const std::exception&) {
+      EXPECT_FALSE(fi::armed());  // the throw must come from the injection
+      EXPECT_EQ(std::memcmp(c.data(), c0.data(), c_bytes), 0)
+          << "strict failure left C modified";
+    }
+    fi::disarm();
+  }
+  EXPECT_TRUE(completed_clean) << "sweep never reached a clean run";
+}
+
+// ---------------------------------------------------- composability
+
+// Product-level tasks (parallel_strassen) and intra-GEMM fan-out compose:
+// the same call is bitwise deterministic across gemm-thread settings and
+// numerically matches the reference.
+TEST(KernelMatrix, ParallelStrassenComposesWithIntraGemmFanOut) {
+  const index_t m = 704, k = 160, n = 160;
+  Rng rng(404);
+  Matrix a = random_matrix(m, k, rng);
+  Matrix b = random_matrix(k, n, rng);
+  Matrix c0 = random_matrix(m, n, rng);
+
+  auto run = [&](int gemm_threads, Matrix& c) {
+    copy(c0.view(), c.view());
+    blas::ScopedGemmThreads fan(gemm_threads);
+    parallel::ParallelDgefmmConfig cfg;
+    cfg.scheme = core::Scheme::fused;
+    ASSERT_EQ(parallel::dgefmm_parallel(Trans::no, Trans::no, m, n, k, 1.0,
+                                        a.data(), m, b.data(), k, 0.5,
+                                        c.data(), m, cfg),
+              0);
+  };
+  Matrix serial(m, n), fanned(m, n);
+  run(1, serial);
+  run(4, fanned);
+  EXPECT_EQ(std::memcmp(serial.data(), fanned.data(),
+                        sizeof(double) * static_cast<std::size_t>(m) *
+                            static_cast<std::size_t>(n)),
+            0);
+
+  Matrix c_ref(m, n);
+  copy(c0.view(), c_ref.view());
+  blas::gemm_reference(Trans::no, Trans::no, m, n, k, 1.0, a.data(), m,
+                       b.data(), k, 0.5, c_ref.data(), m);
+  EXPECT_LE(max_abs_diff(fanned.view(), c_ref.view()),
+            1e-9 * (static_cast<double>(k) + 1.0));
+}
+
+}  // namespace
+}  // namespace strassen

@@ -233,6 +233,11 @@ void rule_nofail_regions(const SourceFile& f) {
   static const char* kFallible[] = {
       ".alloc(",  "->alloc(",  ".reserve(", "->reserve(",
       ".probe(",  "->probe(",  "ensure_pack_capacity(", "AlignedBuffer(",
+      // The pool-worker warm-up and the throwing batch entry points are
+      // acquisitions too: each may throw bad_alloc or TaskError. Only
+      // run_batch_nofail is sanctioned inside a no-fail region.
+      "ensure_pack_capacity_all_workers(", "run_on_each_worker(",
+      "run_batch(",
   };
   int depth = 0;
   int suspend_depth = -1;  // brace depth at the ScopedSuspend declaration
@@ -284,7 +289,8 @@ void rule_acquire_before_dispatch(const SourceFile& f) {
   static const char* kFallible[] = {
       ".reserve(", "->reserve(",           ".probe(",       "->probe(",
       ".alloc(",   "->alloc(",             "AlignedBuffer(",
-      "ensure_pack_capacity(",
+      "ensure_pack_capacity(",             "run_on_each_worker(",
+      "ensure_pack_capacity_all_workers(", "run_batch(",
   };
   int depth = 0;
   bool in_driver = false;
