@@ -1,63 +1,167 @@
-// Extension bench (the paper's "future work: parallelism"): serial DGEMM
-// and DGEFMM vs the thread-parallel DGEMM (column panels) and the
-// task-parallel Strassen top level (seven concurrent sub-products).
-#include <iostream>
-#include <thread>
+// Parallel-scheduler ablation (the paper's "future work: parallelism"):
+// the task-DAG Winograd top level swept over {thread budget} x {par_depth}
+// x {scheme}, against the flat legacy baseline (each product leaf claims
+// the whole pool -- the pre-DAG oversubscribing behaviour) and the plain
+// DGEMM reference. Emits BENCH_parallel.json (path overridable via
+// STRASSEN_BENCH_JSON) with per-configuration MFLOPS, speedups, a bitwise
+// determinism check across thread budgets, and the predicted-vs-measured
+// workspace of the single up-front reservation.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "bench_common.hpp"
-#include "parallel/parallel_gemm.hpp"
+#include "core/workspace.hpp"
 #include "parallel/parallel_strassen.hpp"
+#include "parallel/task_dag.hpp"
 
 using namespace strassen;
 
-int main() {
-  bench::banner("parallel extension: threads vs serial",
-                "Section 5 future work (extension)");
-  std::cout << "hardware threads: " << std::thread::hardware_concurrency()
-            << "\n\n";
+namespace {
 
-  const index_t m = bench::pick<index_t>(768, 2048);
+double mflops(index_t m, index_t n, index_t k, double seconds) {
+  return 2.0 * double(m) * double(n) * double(k) / seconds * 1e-6;
+}
+
+struct Config {
+  const char* name;
+  core::Scheme scheme;
+  int par_depth;
+  int leaf_gemm_threads;  // -1 moldable, 0 legacy whole-pool
+};
+
+struct Result {
+  std::string name;
+  std::size_t threads;
+  int par_depth;
+  int lanes;
+  int leaf_gemm_threads;
+  double seconds;
+  double mf;
+  double speedup_vs_dgemm;
+  bool deterministic;           // bitwise equal to the 1-thread run
+  long long ws_predicted;
+  long long ws_measured;
+};
+
+}  // namespace
+
+int main() {
+  bench::banner("parallel ablation: task-DAG scheduler vs flat baseline",
+                "Section 5 future work (extension)");
+
+  const index_t m = bench::pick<index_t>(512, 2048);
   const double tau = 127.0;
   bench::Problem p(m, m, m);
-
-  core::DgefmmConfig serial_cfg;
-  serial_cfg.cutoff = core::CutoffCriterion::square_simple(tau);
-  Arena arena;
+  const std::size_t pool = parallel::global_pool().size();
 
   const double t_dgemm = bench::time_dgemm(p, 1.0, 0.0, 2);
-  const double t_dgefmm =
-      bench::time_dgefmm(p, 1.0, 0.0, serial_cfg, arena, 2);
-  const double t_pgemm = bench::time_problem(
-      p,
-      [&] {
-        parallel::dgemm_parallel(Trans::no, Trans::no, m, m, m, 1.0,
-                                 p.a.data(), p.a.ld(), p.b.data(), p.b.ld(),
-                                 0.0, p.c.data(), p.c.ld());
-      },
-      2);
-  parallel::ParallelDgefmmConfig par_cfg;
-  par_cfg.cutoff = core::CutoffCriterion::square_simple(tau);
-  const double t_pstrassen = bench::time_problem(
-      p,
-      [&] {
-        parallel::dgefmm_parallel(Trans::no, Trans::no, m, m, m, 1.0,
-                                  p.a.data(), p.a.ld(), p.b.data(),
-                                  p.b.ld(), 0.0, p.c.data(), p.c.ld(),
-                                  par_cfg);
-      },
-      2);
 
-  TextTable t({"variant", "time (s)", "speedup vs DGEMM"});
-  t.add_row({"DGEMM (serial)", fmt(t_dgemm, 4), "1.00"});
-  t.add_row({"DGEFMM (serial)", fmt(t_dgefmm, 4),
-             fmt(t_dgemm / t_dgefmm, 2)});
-  t.add_row({"DGEMM, column-parallel", fmt(t_pgemm, 4),
-             fmt(t_dgemm / t_pgemm, 2)});
-  t.add_row({"DGEFMM, 7-task top level", fmt(t_pstrassen, 4),
-             fmt(t_dgemm / t_pstrassen, 2)});
-  t.print(std::cout);
-  std::cout << "\n(the 7-task variant trades the serial code's memory "
-               "economy for concurrency; with >= 7 cores it approaches "
-               "7x over one level's serial products)\n";
+  const Config configs[] = {
+      {"dag-auto", core::Scheme::automatic, 1, -1},
+      {"dag-auto-depth2", core::Scheme::automatic, 2, -1},
+      {"dag-fused", core::Scheme::fused, 1, -1},
+      {"dag-fused-depth2", core::Scheme::fused, 2, -1},
+      {"flat-legacy", core::Scheme::automatic, 1, 0},
+  };
+  std::vector<std::size_t> budgets = {1, 2, pool != 0 ? pool : 1};
+  std::sort(budgets.begin(), budgets.end());
+  budgets.erase(std::unique(budgets.begin(), budgets.end()), budgets.end());
+
+  std::vector<Result> results;
+  Matrix c_base(m, m);
+  for (const Config& cc : configs) {
+    bool have_base = false;
+    for (const std::size_t threads : budgets) {
+      parallel::ParallelDgefmmConfig cfg;
+      cfg.cutoff = core::CutoffCriterion::square_simple(tau);
+      cfg.scheme = cc.scheme;
+      cfg.par_depth = cc.par_depth;
+      cfg.leaf_gemm_threads = cc.leaf_gemm_threads;
+      cfg.threads = threads;
+      Arena arena;
+      cfg.workspace = &arena;
+      core::DgefmmStats stats;
+      cfg.stats = &stats;
+      const parallel::DagPlan plan = parallel::plan_dag(m, m, m, cfg);
+      const double t = bench::time_problem(
+          p,
+          [&] {
+            parallel::dgefmm_parallel(Trans::no, Trans::no, m, m, m, 1.0,
+                                      p.a.data(), p.a.ld(), p.b.data(),
+                                      p.b.ld(), 0.0, p.c.data(), p.c.ld(),
+                                      cfg);
+          },
+          2);
+      bool deterministic = true;
+      if (!have_base) {
+        copy(p.c.view(), c_base.view());
+        have_base = true;
+      } else {
+        deterministic =
+            std::memcmp(c_base.data(), p.c.data(),
+                        std::size_t(m) * std::size_t(m) *
+                            sizeof(double)) == 0;
+      }
+      results.push_back(Result{
+          cc.name, threads, plan.par_depth, plan.lanes,
+          plan.leaf_gemm_threads, t, mflops(m, m, m, t), t_dgemm / t,
+          deterministic, static_cast<long long>(plan.workspace),
+          static_cast<long long>(stats.peak_workspace)});
+    }
+  }
+
+  TextTable table({"config", "threads", "depth", "lanes", "leaf-g",
+                   "time (s)", "MFLOPS", "vs DGEMM", "bitwise", "ws ok"});
+  table.add_row({"dgemm-ref", "-", "-", "-", "-", fmt(t_dgemm, 4),
+                 fmt(mflops(m, m, m, t_dgemm), 0), "1.00", "-", "-"});
+  for (const Result& r : results) {
+    table.add_row({r.name, std::to_string(r.threads),
+                   std::to_string(r.par_depth), std::to_string(r.lanes),
+                   std::to_string(r.leaf_gemm_threads), fmt(r.seconds, 4),
+                   fmt(r.mf, 0), fmt(r.speedup_vs_dgemm, 2),
+                   r.deterministic ? "yes" : "NO",
+                   r.ws_predicted == r.ws_measured ? "yes" : "NO"});
+  }
+  table.print(std::cout);
+  std::cout << "\n(bitwise: C identical to the same config's 1-thread run; "
+               "ws ok: predicted reservation == measured high-water "
+               "mark)\n";
+
+  const char* json_env = std::getenv("STRASSEN_BENCH_JSON");
+  const std::string json_path =
+      json_env != nullptr ? json_env : "BENCH_parallel.json";
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"shape\": {\"m\": %d, \"n\": %d, \"k\": %d},\n",
+               int(m), int(m), int(m));
+  std::fprintf(f, "  \"pool_workers\": %zu,\n", pool);
+  std::fprintf(f, "  \"dgemm_mflops\": %.1f,\n",
+               mflops(m, m, m, t_dgemm));
+  std::fprintf(f, "  \"runs\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    std::fprintf(
+        f,
+        "    {\"config\": \"%s\", \"threads\": %zu, \"par_depth\": %d, "
+        "\"lanes\": %d, \"leaf_gemm_threads\": %d, \"seconds\": %.6f, "
+        "\"mflops\": %.1f, \"speedup_vs_dgemm\": %.3f, "
+        "\"deterministic\": %s, \"ws_predicted\": %lld, "
+        "\"ws_measured\": %lld}%s\n",
+        r.name.c_str(), r.threads, r.par_depth, r.lanes,
+        r.leaf_gemm_threads, r.seconds, r.mf, r.speedup_vs_dgemm,
+        r.deterministic ? "true" : "false", r.ws_predicted, r.ws_measured,
+        i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", json_path.c_str());
   return 0;
 }

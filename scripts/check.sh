@@ -38,4 +38,22 @@ for preset in release asan; do
   done
 done
 
+# Parallel-scheduler matrix: the DAG executor's suites re-run with the
+# scheduler knobs pinned by environment, under release and (for the data
+# races a wrong schedule would introduce) tsan. Depth x lanes covers both
+# graph shapes, the single-lane degenerate case, and lanes > pool workers
+# (stealing with contention). The tests that pin cfg fields explicitly are
+# env-immune; this sweep exercises the env-resolution paths everywhere
+# else.
+parallel_suites='test_parallel|test_faults'
+for preset in release tsan; do
+  for depth in 1 2; do
+    for lanes in 1 7; do
+      echo "== parallel matrix: ${preset} / STRASSEN_PAR_DEPTH=${depth} STRASSEN_PAR_LANES=${lanes} =="
+      STRASSEN_PAR_DEPTH="${depth}" STRASSEN_PAR_LANES="${lanes}" \
+        ctest --preset "${preset}" -j "${jobs}" -L "${parallel_suites}" "$@"
+    done
+  done
+done
+
 echo "All checks passed."

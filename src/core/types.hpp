@@ -96,6 +96,14 @@ struct DgefmmStats {
                                  ///< resolved for this call (1 = serial
                                  ///< packed loop; see
                                  ///< blas::packed_gemm_threads)
+  count_t steals = 0;            ///< DAG nodes a scheduler lane executed out
+                                 ///< of another lane's deque (parallel driver
+                                 ///< only; the overlap work-stealing won)
+  count_t dag_nodes = 0;         ///< product + combine nodes the task-DAG
+                                 ///< executor ran (parallel driver only)
+  int dag_lanes = 0;             ///< scheduler lanes the pre-flight planner
+                                 ///< allotted (parallel driver only; lanes *
+                                 ///< gemm_threads never exceeds the budget)
 
   void reset() { *this = DgefmmStats{}; }
 
@@ -114,6 +122,9 @@ struct DgefmmStats {
     if (o.peak_workspace > peak_workspace) peak_workspace = o.peak_workspace;
     if (kernel == nullptr) kernel = o.kernel;
     if (o.gemm_threads > gemm_threads) gemm_threads = o.gemm_threads;
+    steals += o.steals;
+    dag_nodes += o.dag_nodes;
+    if (o.dag_lanes > dag_lanes) dag_lanes = o.dag_lanes;
   }
 };
 

@@ -23,6 +23,8 @@
 // problems keep their Strassen arithmetic savings.
 #pragma once
 
+#include <cassert>
+
 #include "core/winograd.hpp"
 
 namespace strassen::core::detail {
@@ -33,14 +35,17 @@ namespace strassen::core::detail {
 void fmm_fused(double alpha, ConstView a, ConstView b, double beta, MutView c,
                Ctx& ctx, int depth);
 
-/// One gamma-weighted operand combination of a fused product (at most two
-/// terms at one level of fusion).
+/// One gamma-weighted operand combination of a fused product: at most two
+/// terms at one level of fusion, four at two (the packed skeleton's
+/// 4-term bound, static_asserted in verify/proofs.hpp). The parallel task
+/// DAG builds depth-2 operands directly, so the capacity here is four.
 struct FusedOperand {
-  ConstView v[2];
-  double g[2];
+  ConstView v[4];
+  double g[4];
   int n = 0;
 
   void add(ConstView view, double gamma) {
+    assert(n < 4);
     v[n] = view;
     g[n] = gamma;
     ++n;

@@ -26,6 +26,17 @@ namespace strassen::core {
                                            const DgefmmConfig& cfg,
                                            int depth);
 
+/// Exact number of workspace doubles the task-DAG parallel driver carves
+/// from its single up-front reservation for C(m x n) = alpha*A(m x k)*
+/// B(k x n) + beta*C at `par_depth` DAG levels (1 or 2) with `lanes`
+/// scheduler lanes: one (mb x nb) product temporary per product node of
+/// the 7^par_depth grid, plus one worker-local leaf sub-arena per lane.
+/// The parallel determinism tests assert predicted == measured.
+[[nodiscard]] count_t parallel_workspace_doubles(index_t m, index_t n,
+                                                 index_t k,
+                                                 const DgefmmConfig& cfg,
+                                                 int par_depth, int lanes);
+
 /// Paper bound for STRASSEN1 with beta == 0: (m*max(k,n) + kn)/3.
 double bound_strassen1_beta0(index_t m, index_t k, index_t n);
 

@@ -5,7 +5,7 @@
 #include <vector>
 
 #include "blas/gemm.hpp"
-#include "parallel/thread_pool.hpp"
+#include "support/thread_pool.hpp"
 
 namespace strassen::parallel {
 

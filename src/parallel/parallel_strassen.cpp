@@ -1,234 +1,14 @@
 #include "parallel/parallel_strassen.hpp"
 
-#include <algorithm>
-#include <functional>
-#include <vector>
-
 #include "blas/gemm.hpp"
 #include "blas/kernels.hpp"
 #include "blas/packed_loop.hpp"
-#include "core/add_kernels.hpp"
 #include "core/dgefmm.hpp"
-#include "core/peeling.hpp"
-#include "core/winograd_fused.hpp"
-#include "parallel/thread_pool.hpp"
+#include "parallel/task_dag.hpp"
 #include "support/faultinject.hpp"
+#include "support/thread_pool.hpp"
 
 namespace strassen::parallel {
-
-namespace {
-
-// Serial DGEFMM config used inside each parallel task. The failure policy
-// propagates, so under `fallback` a fault inside one task degrades just
-// that task's product to plain DGEMM while the other six stay on Strassen.
-core::DgefmmConfig child_config(const ParallelDgefmmConfig& cfg,
-                                Arena* arena, core::DgefmmStats* stats) {
-  core::DgefmmConfig child;
-  child.cutoff = cfg.cutoff;
-  child.scheme = cfg.scheme;
-  child.workspace = arena;
-  child.on_failure = cfg.on_failure;
-  child.stats = stats;
-  return child;
-}
-
-// Folds per-task stats into cfg.stats. faults_injected is zeroed first:
-// the counter children read is process-global, so concurrent tasks can
-// each observe the same injection -- the driver records one overall delta
-// instead.
-void merge_child_stats(const ParallelDgefmmConfig& cfg,
-                       core::DgefmmStats* children, int n) {
-  if (cfg.stats == nullptr) return;
-  for (int i = 0; i < n; ++i) {
-    children[i].faults_injected = 0;
-    cfg.stats->merge_from(children[i]);
-  }
-}
-
-// Seven tasks of the fused top level: Strassen's original form needs no S/T
-// operand temporaries at all -- the sums are formed while packing inside
-// each task's fused_product call -- so the only parallel-path memory is the
-// seven product temporaries the combine step needs.
-void run_fused_top_level(double alpha, ConstView a11, ConstView a12,
-                         ConstView a21, ConstView a22, ConstView b11,
-                         ConstView b12, ConstView b21, ConstView b22,
-                         double beta, MutView c11, MutView c12, MutView c21,
-                         MutView c22, const ParallelDgefmmConfig& cfg) {
-  const index_t m2 = c11.rows, n2 = c11.cols;
-  Matrix p1(m2, n2), p2(m2, n2), p3(m2, n2), p4(m2, n2), p5(m2, n2),
-      p6(m2, n2), p7(m2, n2);
-  struct Product {
-    core::detail::FusedOperand a, b;
-    MutView out;
-  };
-  Product products[7] = {{{}, {}, p1.view()}, {{}, {}, p2.view()},
-                         {{}, {}, p3.view()}, {{}, {}, p4.view()},
-                         {{}, {}, p5.view()}, {{}, {}, p6.view()},
-                         {{}, {}, p7.view()}};
-  // M1 = (A11 + A22)(B11 + B22)
-  products[0].a.add(a11, 1.0), products[0].a.add(a22, 1.0);
-  products[0].b.add(b11, 1.0), products[0].b.add(b22, 1.0);
-  // M2 = (A21 + A22) B11
-  products[1].a.add(a21, 1.0), products[1].a.add(a22, 1.0);
-  products[1].b.add(b11, 1.0);
-  // M3 = A11 (B12 - B22)
-  products[2].a.add(a11, 1.0);
-  products[2].b.add(b12, 1.0), products[2].b.add(b22, -1.0);
-  // M4 = A22 (B21 - B11)
-  products[3].a.add(a22, 1.0);
-  products[3].b.add(b21, 1.0), products[3].b.add(b11, -1.0);
-  // M5 = (A11 + A12) B22
-  products[4].a.add(a11, 1.0), products[4].a.add(a12, 1.0);
-  products[4].b.add(b22, 1.0);
-  // M6 = (A21 - A11)(B11 + B12)
-  products[5].a.add(a21, 1.0), products[5].a.add(a11, -1.0);
-  products[5].b.add(b11, 1.0), products[5].b.add(b12, 1.0);
-  // M7 = (A12 - A22)(B21 + B22)
-  products[6].a.add(a12, 1.0), products[6].a.add(a22, -1.0);
-  products[6].b.add(b21, 1.0), products[6].b.add(b22, 1.0);
-
-  core::DgefmmStats child_stats[7];
-  std::vector<std::function<void()>> tasks;
-  tasks.reserve(7);
-  for (int i = 0; i < 7; ++i) {
-    Product* p = &products[i];
-    core::DgefmmStats* st = &child_stats[i];
-    tasks.push_back([p, st, alpha, &cfg] {
-      Arena arena;
-      core::DgefmmConfig child = child_config(cfg, &arena, st);
-      core::detail::Ctx ctx{&child, &arena, st};
-      core::detail::fused_product(p->a, p->b, p->out, alpha, 0.0, ctx, 1);
-    });
-  }
-  global_pool().run_batch(std::move(tasks));
-  merge_child_stats(cfg, child_stats, 7);
-
-  // Every fallible step is behind us (run_batch rethrew any task failure
-  // before this point); the combine below is the first write to C.
-  faultinject::ScopedSuspend nofail;
-
-  // C11 = beta C11 + M1 + M4 - M5 + M7
-  core::axpby(1.0, p1.view(), beta, c11);
-  core::add_inplace(c11, p4.view());
-  core::sub_inplace(c11, p5.view());
-  core::add_inplace(c11, p7.view());
-  // C12 = beta C12 + M3 + M5
-  core::axpby(1.0, p3.view(), beta, c12);
-  core::add_inplace(c12, p5.view());
-  // C21 = beta C21 + M2 + M4
-  core::axpby(1.0, p2.view(), beta, c21);
-  core::add_inplace(c21, p4.view());
-  // C22 = beta C22 + M1 - M2 + M3 + M6
-  core::axpby(1.0, p1.view(), beta, c22);
-  core::sub_inplace(c22, p2.view());
-  core::add_inplace(c22, p3.view());
-  core::add_inplace(c22, p6.view());
-}
-
-// The whole parallel evaluation: temporaries, task fan-out, combine. Every
-// fallible step (Matrix buffers, child arenas, task spawning) happens
-// before the combine's first write to C, so a throw from here always
-// leaves beta*C intact for dgefmm_parallel's policy handling.
-void run_top_level(Trans transa, Trans transb, index_t m, index_t n,
-                   index_t k, double alpha, const double* a, index_t lda,
-                   const double* b, index_t ldb, double beta, double* c,
-                   index_t ldc, const ParallelDgefmmConfig& cfg) {
-  const ConstView av = make_op_view(transa, a, is_trans(transa) ? k : m,
-                                    is_trans(transa) ? m : k, lda);
-  const ConstView bv = make_op_view(transb, b, is_trans(transb) ? n : k,
-                                    is_trans(transb) ? k : n, ldb);
-  MutView cv = make_view(c, m, n, ldc);
-
-  const index_t me = m & ~index_t{1}, ke = k & ~index_t{1},
-                ne = n & ~index_t{1};
-  const index_t m2 = me / 2, k2 = ke / 2, n2 = ne / 2;
-
-  ConstView ae = av.block(0, 0, me, ke);
-  ConstView be = bv.block(0, 0, ke, ne);
-  MutView ce = cv.block(0, 0, me, ne);
-
-  ConstView a11 = ae.block(0, 0, m2, k2), a12 = ae.block(0, k2, m2, k2);
-  ConstView a21 = ae.block(m2, 0, m2, k2), a22 = ae.block(m2, k2, m2, k2);
-  ConstView b11 = be.block(0, 0, k2, n2), b12 = be.block(0, n2, k2, n2);
-  ConstView b21 = be.block(k2, 0, k2, n2), b22 = be.block(k2, n2, k2, n2);
-  MutView c11 = ce.block(0, 0, m2, n2), c12 = ce.block(0, n2, m2, n2);
-  MutView c21 = ce.block(m2, 0, m2, n2), c22 = ce.block(m2, n2, m2, n2);
-
-  if (cfg.scheme == core::Scheme::fused) {
-    run_fused_top_level(alpha, a11, a12, a21, a22, b11, b12, b21, b22, beta,
-                        c11, c12, c21, c22, cfg);
-    if (((m | k | n) & 1) != 0) {
-      core::peel_fixups(alpha, av, bv, beta, cv, me, ke, ne);
-    }
-    return;
-  }
-
-  // Top-level operand sums (serial; O(n^2)).
-  Matrix s1(m2, k2), s2(m2, k2), s3(m2, k2), s4(m2, k2);
-  Matrix t1(k2, n2), t2(k2, n2), t3(k2, n2), t4(k2, n2);
-  core::add(a21, a22, s1.view());
-  core::sub(s1.view(), a11, s2.view());
-  core::sub(a11, a21, s3.view());
-  core::sub(a12, s2.view(), s4.view());
-  core::sub(b12, b11, t1.view());
-  core::sub(b22, t1.view(), t2.view());
-  core::sub(b22, b12, t3.view());
-  core::sub(t2.view(), b21, t4.view());
-
-  // Seven independent products, each a serial DGEFMM with its own arena.
-  Matrix q1(m2, n2), q2(m2, n2), q3(m2, n2), q4(m2, n2), q5(m2, n2),
-      q6(m2, n2), q7(m2, n2);
-  struct Product {
-    ConstView left, right;
-    MutView out;
-  };
-  const Product products[7] = {
-      {a11, b11, q1.view()},         {a12, b21, q2.view()},
-      {s4.view(), b22, q3.view()},   {a22, t4.view(), q4.view()},
-      {s1.view(), t1.view(), q5.view()}, {s2.view(), t2.view(), q6.view()},
-      {s3.view(), t3.view(), q7.view()},
-  };
-
-  core::DgefmmStats child_stats[7];
-  std::vector<std::function<void()>> tasks;
-  tasks.reserve(7);
-  for (int i = 0; i < 7; ++i) {
-    const Product p = products[i];
-    core::DgefmmStats* st = &child_stats[i];
-    tasks.push_back([p, st, alpha, &cfg] {
-      Arena arena;
-      core::DgefmmConfig child = child_config(cfg, &arena, st);
-      core::dgefmm_view(alpha, p.left, p.right, 0.0, p.out, child);
-    });
-  }
-  global_pool().run_batch(std::move(tasks));
-  merge_child_stats(cfg, child_stats, 7);
-
-  // First write to C; nothing from here on allocates (the peel fix-ups'
-  // pack scratch was warmed by dgefmm_parallel). Injection stays off so a
-  // mid-combine fault cannot be misread as an acquisition failure.
-  faultinject::ScopedSuspend nofail;
-
-  // Combine (serial): U2 = P1 + P6, U3 = U2 + P7.
-  core::axpby(1.0, q1.view(), beta, c11);
-  core::add_inplace(c11, q2.view());
-  core::add_inplace(q6.view(), q1.view());  // q6 = alpha*U2
-  core::add_inplace(q7.view(), q6.view());  // q7 = alpha*U3
-  core::axpby(1.0, q5.view(), beta, c12);
-  core::add_inplace(c12, q3.view());
-  core::add_inplace(c12, q6.view());
-  core::axpby(1.0, q7.view(), beta, c21);
-  core::sub_inplace(c21, q4.view());
-  core::axpby(1.0, q7.view(), beta, c22);
-  core::add_inplace(c22, q5.view());
-
-  // Odd-dimension fix-ups, exactly as in the serial driver.
-  if (((m | k | n) & 1) != 0) {
-    core::peel_fixups(alpha, av, bv, beta, cv, me, ke, ne);
-  }
-}
-
-}  // namespace
 
 int dgefmm_parallel(Trans transa, Trans transb, index_t m, index_t n,
                     index_t k, double alpha, const double* a, index_t lda,
@@ -258,25 +38,39 @@ int dgefmm_parallel(Trans transa, Trans transb, index_t m, index_t n,
   }
 
   const long faults_before = faultinject::injected_total();
+  const DagPlan plan = plan_dag(m, n, k, cfg);
   if (cfg.stats != nullptr) {
     cfg.stats->kernel = blas::active_kernel().name;
   }
+  Arena local;
+  Arena* arena = cfg.workspace != nullptr ? cfg.workspace : &local;
   try {
     // Warm the pack scratch on this thread *and* every pool worker now:
-    // the product tasks run their packed GEMMs (and possible intra-GEMM
-    // fan-outs) inside per-task no-fail regions on arbitrary workers, and
+    // the product nodes run their packed GEMMs (and possible intra-GEMM
+    // fan-outs) inside the DAG's no-fail region on arbitrary workers, and
     // the post-combine peel fix-ups run plain GEMMs on the calling thread
     // after C has been written -- none of them may allocate lazily.
     blas::ensure_pack_capacity_all_workers(
         blas::blocking_for(blas::active_machine()));
-    run_top_level(transa, transb, m, n, k, alpha, a, lda, b, ldb, beta, c,
-                  ldc, cfg);
+    // The single up-front acquisition the DAG carves from: product
+    // temporaries plus one worker-local sub-arena per lane, priced
+    // exactly by core::parallel_workspace_doubles. The probe maps a
+    // too-small caller arena (or an injected alloc fault) to this
+    // pre-write acquisition point.
+    if (arena->in_use() == 0 &&
+        arena->capacity() < static_cast<std::size_t>(plan.workspace)) {
+      arena->reserve(static_cast<std::size_t>(plan.workspace));
+    }
+    arena->probe(static_cast<std::size_t>(plan.workspace));
+    run_task_dag(transa, transb, m, n, k, alpha, a, lda, b, ldb, beta, c,
+                 ldc, cfg, plan, *arena);
   } catch (const std::exception&) {
     if (cfg.on_failure == core::FailurePolicy::strict) throw;
     // Graceful degradation: one workspace-free DGEMM over the whole
-    // problem. beta*C is still intact (see run_top_level). Forced serial:
-    // the degraded path must stay infallible, and an intra-GEMM fan-out
-    // could hit a fresh task-entry fault or a cold worker's allocation.
+    // problem. beta*C is still intact (every acquisition precedes the
+    // DAG's first write). Forced serial: the degraded path must stay
+    // infallible, and an intra-GEMM fan-out could hit a fresh task-entry
+    // fault or a cold worker's allocation.
     blas::ScopedGemmThreads serial_gemm(1);
     blas::dgemm(transa, transb, m, n, k, alpha, a, lda, b, ldb, beta, c,
                 ldc);

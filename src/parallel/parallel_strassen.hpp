@@ -1,16 +1,19 @@
-// Task-parallel top level for DGEFMM: the seven Winograd sub-products of
-// the first recursion level are independent once the S/T operand sums are
-// formed, so they run concurrently, each as a serial DGEFMM with its own
-// workspace arena. Below the top level everything is the serial library.
+// Task-parallel top level for DGEFMM: the top one or two recursion levels
+// of the fused Winograd schedule run as a dependency-aware task DAG
+// (parallel/task_dag.hpp) on the shared pool's work-stealing lanes, so
+// combine steps overlap with still-running products instead of waiting at
+// the old seven-way barrier. Below the DAG everything is the serial
+// library.
 //
-// This trades the serial code's memory economy for parallelism (seven
-// product temporaries at the top level) -- the classic Strassen
-// parallelization the paper defers to future work.
+// This trades the serial code's memory economy for parallelism (7^L
+// product temporaries at the top) -- the classic Strassen parallelization
+// the paper defers to future work.
 #pragma once
 
 #include <cstddef>
 
 #include "core/types.hpp"
+#include "support/arena.hpp"
 #include "support/config.hpp"
 
 namespace strassen::parallel {
@@ -18,26 +21,51 @@ namespace strassen::parallel {
 struct ParallelDgefmmConfig {
   core::CutoffCriterion cutoff =
       core::CutoffCriterion::paper_default(blas::active_machine());
-  std::size_t threads = 0;  ///< 0 = hardware concurrency
-  /// Schedule run inside each task. Scheme::fused switches the top level to
-  /// Strassen's original seven-product form, where every product is a
-  /// single fused packed-GEMM call (no S/T operand temporaries at all) and
-  /// each task recurses with the fused schedule below.
+  /// Core budget the pre-flight planner splits between DAG lanes and each
+  /// product leaf's intra-GEMM fan-out (0 = the shared pool's size). Not
+  /// clamped to the pool, so oversized budgets exercise wide-DAG
+  /// scheduling even on small machines.
+  std::size_t threads = 0;
+  /// Schedule run inside each product task. Scheme::fused keeps the fused
+  /// packed-GEMM path below the DAG leaves as well; every scheme's top
+  /// level(s) run as fused products (no S/T operand temporaries -- sums
+  /// form while packing).
   core::Scheme scheme = core::Scheme::automatic;
-  /// Failure policy (DESIGN.md section 7). All task spawning and every
-  /// temporary precede the combine step's first write to C, so on failure
-  /// `strict` rethrows with C untouched and `fallback` degrades the whole
-  /// problem to one workspace-free DGEMM. Propagated to the per-task child
-  /// configs as well.
+  /// DAG depth: 1 = 7 products / 4 combines, 2 = 49 / 16. 0 = resolve from
+  /// STRASSEN_PAR_DEPTH, then automatically (2 when the budget exceeds 7
+  /// and the quarter dimensions exist). Clamped to [1, 2].
+  int par_depth = 0;
+  /// Scheduler lanes (maximum DAG nodes in flight). 0 = resolve from
+  /// STRASSEN_PAR_LANES, then min(budget, products).
+  int lanes = 0;
+  /// Intra-GEMM fan-out inside each product leaf. -1 = moldable split
+  /// max(1, budget / lanes); 0 = the legacy whole-pool gemm_threads
+  /// setting (each leaf claims the full pool -- the oversubscribing
+  /// pre-DAG behaviour, kept for baseline comparison).
+  int leaf_gemm_threads = -1;
+  /// Optional caller-provided workspace for the single up-front
+  /// reservation (product temporaries + per-lane sub-arenas). When null an
+  /// exactly-sized arena is allocated internally; reusing one across calls
+  /// avoids repeated allocation, as the benchmarks do.
+  Arena* workspace = nullptr;
+  /// Failure policy (DESIGN.md section 7). Every acquisition -- the
+  /// reservation, the DAG bookkeeping, the pack-scratch warmup -- precedes
+  /// the first write to C, so on failure `strict` rethrows with C
+  /// untouched and `fallback` degrades the whole problem to one
+  /// workspace-free DGEMM. Propagated to the per-leaf child configs.
   core::FailurePolicy on_failure = core::FailurePolicy::strict;
-  /// Optional instrumentation: per-task child stats are merged in, plus the
-  /// driver's own fallback/fault counters.
+  /// Optional instrumentation: per-lane child stats are merged in, plus
+  /// the scheduler's own counters (steals, dag_nodes, dag_lanes) and the
+  /// driver's fallback/fault counters.
   core::DgefmmStats* stats = nullptr;
 };
 
-/// C <- alpha * op(A) * op(B) + beta * C with the top recursion level's
-/// seven products evaluated in parallel. Falls back to the serial dgefmm
-/// when the cutoff says not to recurse. Returns a BLAS-style info code.
+/// C <- alpha * op(A) * op(B) + beta * C with the top recursion level(s)
+/// evaluated as a work-stealing task DAG. The result is bitwise identical
+/// for every thread count, lane count, and steal order (combines apply
+/// their terms in the verified schedule's fixed order). Falls back to the
+/// serial dgefmm when the cutoff says not to recurse. Returns a BLAS-style
+/// info code.
 int dgefmm_parallel(Trans transa, Trans transb, index_t m, index_t n,
                     index_t k, double alpha, const double* a, index_t lda,
                     const double* b, index_t ldb, double beta, double* c,

@@ -1,0 +1,329 @@
+#include "parallel/task_dag.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+#include "blas/packed_loop.hpp"
+#include "core/add_kernels.hpp"
+#include "core/peeling.hpp"
+#include "core/winograd.hpp"
+#include "core/winograd_fused.hpp"
+#include "core/workspace.hpp"
+#include "parallel/parallel_strassen.hpp"
+#include "support/faultinject.hpp"
+#include "support/matrix.hpp"
+#include "support/thread_pool.hpp"
+#include "verify/schedule_dag.hpp"
+
+namespace strassen::parallel {
+
+namespace {
+
+int env_int(const char* name) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return 0;
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || v < 0) return 0;
+  return static_cast<int>(std::min<long>(v, 4096));
+}
+
+// Depth 2 needs the even core to split twice: both halves of every even
+// dimension must themselves be even and nonzero.
+bool depth2_feasible(index_t m, index_t k, index_t n) {
+  const index_t m2 = (m & ~index_t{1}) / 2;
+  const index_t k2 = (k & ~index_t{1}) / 2;
+  const index_t n2 = (n & ~index_t{1}) / 2;
+  return m2 >= 2 && k2 >= 2 && n2 >= 2 && ((m2 | k2 | n2) & 1) == 0;
+}
+
+// State every DAG node shares; lives on run_task_dag's stack.
+struct Shared {
+  const core::DgefmmConfig* child = nullptr;
+  Arena* lane_arenas = nullptr;            // [lanes]
+  core::DgefmmStats* lane_stats = nullptr; // [lanes]
+  const MutView* products = nullptr;       // [NP] product temporaries
+  double alpha = 1.0;
+  double beta = 0.0;
+  int leaf_gemm_threads = 1;
+  int depth = 1;
+};
+
+// One product node: out <- alpha * (sum ga_i A_qi)(sum gb_j B_qj), as one
+// fused packed-GEMM leaf (or an arena-backed classic recursion below the
+// cutoff) drawing from the executing lane's worker-local sub-arena.
+struct ProductTask {
+  Shared* sh = nullptr;
+  core::detail::FusedOperand a, b;
+  MutView out;
+};
+
+void product_body(void* arg, std::size_t lane) {
+  auto* t = static_cast<ProductTask*>(arg);
+  Shared& sh = *t->sh;
+  blas::ScopedGemmThreads fan(sh.leaf_gemm_threads);
+  Arena& arena = sh.lane_arenas[lane];
+  core::DgefmmStats* st = &sh.lane_stats[lane];
+  core::detail::Ctx ctx{sh.child, &arena, st};
+  ArenaScope scope(arena);
+  core::detail::fused_product(t->a, t->b, t->out, sh.alpha, 0.0, ctx,
+                              sh.depth);
+}
+
+// One combine node: dst <- beta*dst + sum_i g_i * M_{p_i}, applied in the
+// verified DAG's fixed ascending product order -- the source of bitwise
+// determinism across lane counts and steal orders.
+struct CombineTask {
+  Shared* sh = nullptr;
+  const verify::DagTerm* terms = nullptr;
+  int nterms = 0;
+  MutView dst;
+};
+
+void combine_body(void* arg, std::size_t /*lane*/) {
+  auto* t = static_cast<CombineTask*>(arg);
+  const Shared& sh = *t->sh;
+  core::axpby(t->terms[0].g, sh.products[t->terms[0].product], sh.beta,
+              t->dst);
+  for (int i = 1; i < t->nterms; ++i) {
+    const verify::DagTerm& term = t->terms[i];
+    const ConstView src = sh.products[term.product];
+    if (term.g == 1.0) {
+      core::add_inplace(t->dst, src);
+    } else if (term.g == -1.0) {
+      core::sub_inplace(t->dst, src);
+    } else {
+      core::axpy(term.g, src, t->dst);
+    }
+  }
+}
+
+}  // namespace
+
+DagPlan plan_dag(index_t m, index_t n, index_t k,
+                 const ParallelDgefmmConfig& cfg) {
+  DagPlan plan;
+  // The budget is the caller's thread count, defaulting to the pool size.
+  // It is deliberately not clamped to the pool: on small machines the
+  // caller may ask for more lanes than workers to exercise (and test) the
+  // multi-lane scheduling paths; the pool simply runs them with fewer
+  // threads.
+  const int pool = static_cast<int>(global_pool().size());
+  int budget =
+      cfg.threads != 0 ? static_cast<int>(cfg.threads) : std::max(pool, 1);
+  budget = std::max(budget, 1);
+
+  int depth = cfg.par_depth != 0 ? cfg.par_depth
+                                 : env_int("STRASSEN_PAR_DEPTH");
+  if (depth == 0) depth = budget > 7 ? 2 : 1;
+  depth = std::clamp(depth, 1, 2);
+  if (depth == 2 && !depth2_feasible(m, k, n)) depth = 1;
+  plan.par_depth = depth;
+  plan.products = depth == 2 ? 49 : 7;
+  plan.combines = depth == 2 ? 16 : 4;
+
+  int lanes = cfg.lanes != 0 ? cfg.lanes : env_int("STRASSEN_PAR_LANES");
+  if (lanes == 0) lanes = std::min(budget, plan.products);
+  plan.lanes = std::clamp(lanes, 1, plan.products);
+
+  // Moldable split: whatever the lanes do not use goes to each product
+  // leaf's intra-GEMM fan-out, so lanes * leaf_gemm_threads <= budget and
+  // the two levels of parallelism never oversubscribe each other. An
+  // explicit cfg.leaf_gemm_threads overrides (0 = the legacy whole-pool
+  // gemm_threads setting, for baseline comparisons).
+  plan.leaf_gemm_threads = cfg.leaf_gemm_threads >= 0
+                               ? cfg.leaf_gemm_threads
+                               : std::max(1, budget / plan.lanes);
+
+  core::DgefmmConfig child;
+  child.cutoff = cfg.cutoff;
+  child.scheme = cfg.scheme;
+  plan.workspace = core::parallel_workspace_doubles(m, n, k, child,
+                                                    plan.par_depth,
+                                                    plan.lanes);
+  return plan;
+}
+
+void run_task_dag(Trans transa, Trans transb, index_t m, index_t n,
+                  index_t k, double alpha, const double* a, index_t lda,
+                  const double* b, index_t ldb, double beta, double* c,
+                  index_t ldc, const ParallelDgefmmConfig& cfg,
+                  const DagPlan& plan, Arena& arena) {
+  const int L = plan.par_depth;
+  const int grid = 1 << L;
+  const int np = plan.products;
+  const int nb = plan.combines;
+  const verify::FProduct* table =
+      L == 2 ? verify::kFusedL2.p : verify::kFusedL1;
+  const verify::DagTerm* dag_terms =
+      L == 2 ? verify::kDagL2.terms : verify::kDagL1.terms;
+  const int* term_begin =
+      L == 2 ? verify::kDagL2.term_begin : verify::kDagL1.term_begin;
+
+  const ConstView av = make_op_view(transa, a, is_trans(transa) ? k : m,
+                                    is_trans(transa) ? m : k, lda);
+  const ConstView bv = make_op_view(transb, b, is_trans(transb) ? n : k,
+                                    is_trans(transb) ? k : n, ldb);
+  MutView cv = make_view(c, m, n, ldc);
+
+  const index_t me = m & ~index_t{1}, ke = k & ~index_t{1},
+                ne = n & ~index_t{1};
+  const index_t mb = me / grid, kb = ke / grid, nbk = ne / grid;
+  ConstView ae = av.block(0, 0, me, ke);
+  ConstView be = bv.block(0, 0, ke, ne);
+  MutView ce = cv.block(0, 0, me, ne);
+
+  // Serial config run inside every product node. The failure policy
+  // propagates so a leaf that cannot reserve (never the case after the
+  // driver's exact pre-sizing, but kept for contract symmetry) degrades
+  // only that product under `fallback`.
+  core::DgefmmConfig child;
+  child.cutoff = cfg.cutoff;
+  child.scheme = cfg.scheme;
+  child.on_failure = cfg.on_failure;
+
+  // --- Carving phase: every allocation of the run, in one pass over the
+  // caller's pre-reserved arena. Product temporaries first, then one
+  // borrowed worker-local sub-arena per lane (first-touched by whichever
+  // worker runs that lane's leaves). This ordering is what
+  // core::parallel_workspace_doubles prices.
+  ArenaScope scope(arena);
+  std::vector<MutView> prod_views;
+  prod_views.reserve(static_cast<std::size_t>(np));
+  for (int p = 0; p < np; ++p) {
+    prod_views.push_back(core::detail::arena_matrix(arena, mb, nbk));
+  }
+  const count_t lane_ws =
+      core::detail::fused_product_workspace(mb, kb, nbk, child, L);
+  std::vector<Arena> lane_arenas;
+  lane_arenas.reserve(static_cast<std::size_t>(plan.lanes));
+  for (int l = 0; l < plan.lanes; ++l) {
+    lane_arenas.emplace_back(arena.alloc(static_cast<std::size_t>(lane_ws)),
+                             static_cast<std::size_t>(lane_ws));
+  }
+  std::vector<core::DgefmmStats> lane_stats(
+      static_cast<std::size_t>(plan.lanes));
+
+  Shared sh;
+  sh.child = &child;
+  sh.lane_arenas = lane_arenas.data();
+  sh.lane_stats = lane_stats.data();
+  sh.products = prod_views.data();
+  sh.alpha = alpha;
+  sh.beta = beta;
+  sh.leaf_gemm_threads = plan.leaf_gemm_threads;
+  sh.depth = L;
+
+  // Product nodes: operand combinations read straight off the verified
+  // table, block q at (row, col) = (q / grid, q % grid) of the 2^L grid.
+  std::vector<ProductTask> ptasks(static_cast<std::size_t>(np));
+  for (int p = 0; p < np; ++p) {
+    ProductTask& t = ptasks[static_cast<std::size_t>(p)];
+    t.sh = &sh;
+    t.out = prod_views[static_cast<std::size_t>(p)];
+    for (int e = 0; e < table[p].na; ++e) {
+      const int q = table[p].a[e].q;
+      t.a.add(ae.block((q / grid) * mb, (q % grid) * kb, mb, kb),
+              table[p].a[e].g);
+    }
+    for (int e = 0; e < table[p].nb; ++e) {
+      const int q = table[p].b[e].q;
+      t.b.add(be.block((q / grid) * kb, (q % grid) * nbk, kb, nbk),
+              table[p].b[e].g);
+    }
+  }
+
+  // Combine nodes: one per C block, terms in the DAG's fixed order.
+  std::vector<CombineTask> ctasks(static_cast<std::size_t>(nb));
+  for (int blk = 0; blk < nb; ++blk) {
+    CombineTask& t = ctasks[static_cast<std::size_t>(blk)];
+    t.sh = &sh;
+    t.terms = dag_terms + term_begin[blk];
+    t.nterms = term_begin[blk + 1] - term_begin[blk];
+    t.dst = ce.block((blk / grid) * mb, (blk % grid) * nbk, mb, nbk);
+  }
+
+  // Successor lists: product p's successors are the combine nodes whose
+  // term lists reference it (node index np + blk). Built by inverting the
+  // combine lists; sizes are exact (one edge per c-term).
+  const int nedges = term_begin[nb];
+  std::vector<std::int32_t> succ_count(static_cast<std::size_t>(np), 0);
+  for (int t = 0; t < nedges; ++t) ++succ_count[dag_terms[t].product];
+  std::vector<std::int32_t> succ_begin(static_cast<std::size_t>(np) + 1, 0);
+  for (int p = 0; p < np; ++p) {
+    succ_begin[static_cast<std::size_t>(p) + 1] =
+        succ_begin[static_cast<std::size_t>(p)] + succ_count[p];
+  }
+  std::vector<std::int32_t> successors(static_cast<std::size_t>(nedges));
+  std::vector<std::int32_t> cursor(succ_begin.begin(),
+                                   succ_begin.end() - 1);
+  for (int blk = 0; blk < nb; ++blk) {
+    for (int t = term_begin[blk]; t < term_begin[blk + 1]; ++t) {
+      successors[static_cast<std::size_t>(
+          cursor[dag_terms[t].product]++)] =
+          static_cast<std::int32_t>(np + blk);
+    }
+  }
+
+  std::vector<ThreadPool::DagNode> nodes(
+      static_cast<std::size_t>(np + nb));
+  for (int p = 0; p < np; ++p) {
+    nodes[static_cast<std::size_t>(p)] = ThreadPool::DagNode{
+        &product_body, &ptasks[static_cast<std::size_t>(p)],
+        successors.data() + succ_begin[static_cast<std::size_t>(p)],
+        succ_count[static_cast<std::size_t>(p)], 0};
+  }
+  for (int blk = 0; blk < nb; ++blk) {
+    nodes[static_cast<std::size_t>(np + blk)] = ThreadPool::DagNode{
+        &combine_body, &ctasks[static_cast<std::size_t>(blk)], nullptr, 0,
+        term_begin[blk + 1] - term_begin[blk]};
+  }
+  DagRun run(nodes.data(), nodes.size(),
+             static_cast<std::size_t>(plan.lanes));
+
+  // --- Execution phase: every acquisition is behind us (the driver's
+  // reservation and warmup, this function's carving, the DagRun above), so
+  // the graph is a no-fail region: injection is suspended and travels with
+  // the lanes, the exactly-sized arenas cannot overflow, and the leaves'
+  // raw intra-GEMM batches never throw. Combines perform the first writes
+  // to C; an exception escaping run_dag therefore signals an internal
+  // sizing bug (as in the serial no-fail region), not a resource failure,
+  // and the driver's policy handling still applies.
+  faultinject::ScopedSuspend nofail;
+  global_pool().run_dag(run);
+
+  int fixups = 0;
+  if (((m | k | n) & 1) != 0) {
+    fixups = core::peel_fixups(alpha, av, bv, beta, cv, me, ke, ne);
+  }
+
+  if (cfg.stats != nullptr) {
+    for (core::DgefmmStats& st : lane_stats) {
+      // The injected-fault counter children observe is process-global;
+      // the driver records one overall delta instead (see
+      // dgefmm_parallel).
+      st.faults_injected = 0;
+      cfg.stats->merge_from(st);
+    }
+    // The DAG's top L levels are Strassen recursion nodes themselves:
+    // one at depth 1; one plus seven inner nodes at depth 2.
+    cfg.stats->strassen_levels += L == 2 ? 8 : 1;
+    cfg.stats->peel_fixups += static_cast<count_t>(fixups);
+    cfg.stats->steals += static_cast<count_t>(run.steals());
+    cfg.stats->dag_nodes += static_cast<count_t>(np + nb);
+    if (plan.lanes > cfg.stats->dag_lanes) {
+      cfg.stats->dag_lanes = plan.lanes;
+    }
+    if (plan.leaf_gemm_threads > cfg.stats->gemm_threads) {
+      cfg.stats->gemm_threads = plan.leaf_gemm_threads;
+    }
+    if (L > cfg.stats->max_depth) cfg.stats->max_depth = L;
+    if (arena.peak() > cfg.stats->peak_workspace) {
+      cfg.stats->peak_workspace = arena.peak();
+    }
+  }
+}
+
+}  // namespace strassen::parallel

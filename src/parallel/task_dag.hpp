@@ -1,0 +1,75 @@
+// Depth-L task-DAG scheduler for the parallel Winograd top level.
+//
+// The flat seven-task fan-out (PR history: the original parallel driver)
+// ended every top level with a full barrier: all seven products had to
+// finish before the first combine could start, and each product task
+// claimed the whole pool for its intra-GEMM fan-out, oversubscribing the
+// machine 7x at the seam. This module replaces that with a dependency-aware
+// executor over the verified schedule IR:
+//
+//  * plan_dag() is the moldable pre-flight planner. It expands the fused
+//    product table to `par_depth` levels (7 product nodes and 4 combine
+//    nodes at depth 1; 49 and 16 at depth 2), splits the core budget
+//    between DAG width (`lanes`) and per-leaf intra-GEMM fan-out
+//    (`leaf_gemm_threads`) so that lanes * leaf_gemm_threads never exceeds
+//    the budget, and prices the single up-front workspace reservation
+//    (core::parallel_workspace_doubles) the run will carve from.
+//
+//  * run_task_dag() builds the bipartite product->combine DAG from
+//    verify::kDagL1/kDagL2 (derived at compile time from the proved tables
+//    and static_asserted acyclic and covering), carves every product
+//    temporary and one borrowed worker-local sub-arena per lane out of the
+//    caller's arena, and executes the graph on the shared pool's
+//    work-stealing lanes (ThreadPool::run_dag): a combine whose products
+//    are done overlaps with still-running products instead of waiting at
+//    the barrier.
+//
+// Determinism: each combine applies its gamma-weighted products in the
+// fixed ascending order of the verified DAG, so C is bitwise identical for
+// every lane count, thread count, and steal order. Failure contract
+// (DESIGN.md section 7): every acquisition -- the arena reservation, the
+// DagRun construction, the pack-scratch warmup -- happens in the driver
+// before run_task_dag's first write to C; the run itself is a no-fail
+// region.
+#pragma once
+
+#include "core/types.hpp"
+#include "support/arena.hpp"
+#include "support/config.hpp"
+
+namespace strassen::parallel {
+
+struct ParallelDgefmmConfig;
+
+/// Resolved pre-flight plan for one dgefmm_parallel call.
+struct DagPlan {
+  int par_depth = 1;         ///< schedule levels expanded into the DAG (1-2)
+  int lanes = 1;             ///< scheduler lanes (max concurrent DAG nodes)
+  int leaf_gemm_threads = 1; ///< intra-GEMM fan-out inside each product
+                             ///< node (0 = legacy whole-pool setting)
+  int products = 7;          ///< product nodes: 7^par_depth
+  int combines = 4;          ///< combine nodes: 4^par_depth
+  count_t workspace = 0;     ///< doubles of the single up-front reservation
+};
+
+/// Computes the moldable core allotment and workspace price for the given
+/// problem. Honors cfg.par_depth / cfg.lanes / cfg.leaf_gemm_threads when
+/// set, then the STRASSEN_PAR_DEPTH / STRASSEN_PAR_LANES environment
+/// knobs, and otherwise splits cfg.threads (0 = pool size) between lanes
+/// and per-leaf fan-out. Depth 2 is only selected when the quarter
+/// dimensions exist (the even core must split twice).
+[[nodiscard]] DagPlan plan_dag(index_t m, index_t n, index_t k,
+                               const ParallelDgefmmConfig& cfg);
+
+/// Executes the planned task DAG. `arena` must already hold the plan's
+/// workspace (the driver reserves and probes before calling); this
+/// function performs no fallible acquisition after its carving phase and
+/// writes C only from combine nodes. Exceptions out of the graph leave
+/// beta*C intact.
+void run_task_dag(Trans transa, Trans transb, index_t m, index_t n,
+                  index_t k, double alpha, const double* a, index_t lda,
+                  const double* b, index_t ldb, double beta, double* c,
+                  index_t ldc, const ParallelDgefmmConfig& cfg,
+                  const DagPlan& plan, Arena& arena);
+
+}  // namespace strassen::parallel

@@ -49,14 +49,25 @@ class Arena {
   /// Creates an arena holding `capacity` doubles.
   explicit Arena(std::size_t capacity) : buf_(capacity) {}
 
+  /// Creates an arena over caller-owned storage (borrowed, non-growing).
+  /// The parallel driver carves worker-local sub-arenas out of slices of
+  /// one up-front parent reservation this way: the slice's first touch
+  /// then happens on the executing worker (NUMA-friendly), and a
+  /// reserve() beyond the slice is a hard error rather than a silent
+  /// second acquisition. `storage` must outlive the arena.
+  Arena(double* storage, std::size_t capacity)
+      : ext_(storage), ext_size_(capacity) {}
+
   Arena(const Arena&) = delete;
   Arena& operator=(const Arena&) = delete;
   Arena(Arena&&) = default;
   Arena& operator=(Arena&&) = default;
 
   /// Grows the arena to at least `capacity` doubles. Only legal when the
-  /// arena is unused (top == 0); the library sizes arenas up front. May
-  /// throw WorkspaceError (misuse or injected fault) or std::bad_alloc.
+  /// arena is unused (top == 0); the library sizes arenas up front. A
+  /// borrowed arena cannot grow past its storage. May throw
+  /// WorkspaceError (misuse, borrowed overflow, or injected fault) or
+  /// std::bad_alloc.
   void reserve(std::size_t capacity) {
     if (top_ != 0) {
       throw WorkspaceError("Arena::reserve called on an arena in use");
@@ -65,7 +76,13 @@ class Arena {
       throw WorkspaceError("fault injection: Arena::reserve(" +
                            std::to_string(capacity) + ") failed");
     }
-    if (capacity > buf_.size()) {
+    if (capacity > cap()) {
+      if (ext_ != nullptr) {
+        throw WorkspaceError(
+            "Arena::reserve(" + std::to_string(capacity) +
+            ") on a borrowed arena of " + std::to_string(ext_size_) +
+            " doubles; borrowed storage cannot grow");
+      }
       buf_ = AlignedBuffer(capacity);
       has_guard_ = false;
     }
@@ -77,15 +94,15 @@ class Arena {
       throw WorkspaceError("fault injection: Arena::alloc(" +
                            std::to_string(n) + ") failed");
     }
-    if (top_ + n > buf_.size()) {
+    if (top_ + n > cap()) {
       throw WorkspaceError(
           "workspace arena exhausted: requested " + std::to_string(n) +
-          " doubles with " + std::to_string(buf_.size() - top_) +
-          " remaining of " + std::to_string(buf_.size()));
+          " doubles with " + std::to_string(cap() - top_) +
+          " remaining of " + std::to_string(cap()));
     }
     const bool guards = faultinject::arena_guards();
     if (guards) check_guard();
-    double* p = buf_.data() + top_;
+    double* p = base() + top_;
     top_ += n;
     if (top_ > peak_) peak_ = top_;
     if (guards) write_guard();
@@ -102,11 +119,11 @@ class Arena {
       throw WorkspaceError("fault injection: Arena::probe(" +
                            std::to_string(n) + ") failed");
     }
-    if (top_ + n > buf_.size()) {
+    if (top_ + n > cap()) {
       throw WorkspaceError(
           "workspace arena too small: need " + std::to_string(n) +
-          " doubles with " + std::to_string(buf_.size() - top_) +
-          " remaining of " + std::to_string(buf_.size()));
+          " doubles with " + std::to_string(cap() - top_) +
+          " remaining of " + std::to_string(cap()));
     }
   }
 
@@ -129,13 +146,13 @@ class Arena {
   std::size_t in_use() const { return top_; }
 
   /// Doubles still available on top of the current stack position.
-  std::size_t remaining() const { return buf_.size() - top_; }
+  std::size_t remaining() const { return cap() - top_; }
 
   /// Largest number of doubles ever simultaneously allocated.
   std::size_t peak() const { return peak_; }
 
   /// Total capacity in doubles.
-  std::size_t capacity() const { return buf_.size(); }
+  std::size_t capacity() const { return cap(); }
 
   /// Releases everything and clears the high-water mark (and, with guards
   /// on, any recorded corruption).
@@ -164,8 +181,8 @@ class Arena {
   }
 
   void write_guard() {
-    if (top_ + kGuardDoubles <= buf_.size()) {
-      buf_.data()[top_] = guard_pattern();
+    if (top_ + kGuardDoubles <= cap()) {
+      base()[top_] = guard_pattern();
       guard_pos_ = top_;
       has_guard_ = true;
     } else {
@@ -177,7 +194,7 @@ class Arena {
     // guard_pos_ == top_ guards against stale state when the guards switch
     // was toggled between alloc and release.
     if (has_guard_ && guard_pos_ == top_ &&
-        std::memcmp(&buf_.data()[top_], &kGuardBitsCheck, sizeof(double)) !=
+        std::memcmp(&base()[top_], &kGuardBitsCheck, sizeof(double)) !=
             0) {
       corrupted_ = true;
     }
@@ -185,12 +202,19 @@ class Arena {
 
   void poison(std::size_t from, std::size_t to) {
     // 0xFF in every byte is a NaN; reads of released memory propagate.
-    std::memset(buf_.data() + from, 0xFF, (to - from) * sizeof(double));
+    std::memset(base() + from, 0xFF, (to - from) * sizeof(double));
   }
 
   static constexpr unsigned long long kGuardBitsCheck = 0x5AFEC0DEBADF00DULL;
 
+  // Borrowed mode: when ext_ is set the arena allocates from caller-owned
+  // storage and buf_ stays empty; growing is forbidden.
+  double* base() { return ext_ != nullptr ? ext_ : buf_.data(); }
+  std::size_t cap() const { return ext_ != nullptr ? ext_size_ : buf_.size(); }
+
   AlignedBuffer buf_;
+  double* ext_ = nullptr;
+  std::size_t ext_size_ = 0;
   std::size_t top_ = 0;
   std::size_t peak_ = 0;
   std::size_t guard_pos_ = 0;

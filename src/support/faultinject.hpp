@@ -9,7 +9,7 @@
 //
 //  * Arena::alloc / Arena::reserve (support/arena.hpp),
 //  * AlignedBuffer construction (support/aligned_buffer.hpp),
-//  * ThreadPool task bodies (parallel/thread_pool.cpp).
+//  * ThreadPool task bodies (support/thread_pool.cpp).
 //
 // Disarmed cost is one relaxed atomic load per hook, so the hooks stay in
 // release builds and the fault-sweep tests run against the production code

@@ -96,12 +96,9 @@ void ThreadPool::execute(Batch* batch, std::size_t index) {
   if (--batch->remaining == 0) cv_.notify_all();
 }
 
-// Links the stack-resident batch into the FIFO and waits for it to drain,
-// help-executing queued tasks meanwhile. Progress never depends on other
-// threads: when nobody else claims this batch's tasks, the loop claims and
-// runs them itself.
-void ThreadPool::enqueue_and_wait(Batch& batch, bool help_functions) {
-  std::unique_lock<std::mutex> lock(mu_);
+// Links the stack-resident batch into the FIFO and wakes the workers.
+void ThreadPool::link_batch(Batch& batch) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (tail_ != nullptr) {
     tail_->next_batch = &batch;
   } else {
@@ -109,6 +106,13 @@ void ThreadPool::enqueue_and_wait(Batch& batch, bool help_functions) {
   }
   tail_ = &batch;
   cv_.notify_all();
+}
+
+// Waits for a linked batch to drain, help-executing queued tasks
+// meanwhile. Progress never depends on other threads: when nobody else
+// claims this batch's tasks, the loop claims and runs them itself.
+void ThreadPool::wait_batch(Batch& batch, bool help_functions) {
+  std::unique_lock<std::mutex> lock(mu_);
   while (batch.remaining > 0) {
     std::size_t index = 0;
     Batch* victim = claim_locked(/*raw_only=*/!help_functions, &index);
@@ -136,6 +140,11 @@ void ThreadPool::enqueue_and_wait(Batch& batch, bool help_functions) {
       break;
     }
   }
+}
+
+void ThreadPool::enqueue_and_wait(Batch& batch, bool help_functions) {
+  link_batch(batch);
+  wait_batch(batch, help_functions);
 }
 
 void ThreadPool::run_batch(std::vector<std::function<void()>> tasks) {
@@ -216,6 +225,166 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
     if (stop_) return;
     cv_.wait(lock);
   }
+}
+
+// --- dependency-DAG execution ----------------------------------------------
+
+DagRun::DagRun(const ThreadPool::DagNode* nodes, std::size_t count,
+               std::size_t lanes)
+    : nodes_(nodes),
+      count_(count),
+      lanes_(lanes == 0 ? 1 : lanes),
+      deps_(count),
+      slot_storage_(lanes_ * count),
+      lane_state_(new Lane[lanes_]),
+      remaining_(count) {
+  for (std::size_t l = 0; l < lanes_; ++l) {
+    lane_state_[l].slots = slot_storage_.data() + l * count_;
+  }
+  lane_tasks_.reserve(lanes_ - 1);
+  for (std::size_t l = 1; l < lanes_; ++l) {
+    lane_tasks_.emplace_back([this, l] { pool_->participate(*this, l); });
+  }
+  // Seed: dependency counters from the node table, initially ready nodes
+  // dealt round-robin across the lanes (single-threaded here, so plain
+  // stores are fine).
+  std::size_t next_lane = 0;
+  for (std::size_t i = 0; i < count_; ++i) {
+    deps_[i].store(nodes_[i].dependencies, std::memory_order_relaxed);
+    if (nodes_[i].dependencies == 0) {
+      Lane& lane = lane_state_[next_lane];
+      lane.slots[lane.tail++] = static_cast<std::int32_t>(i);
+      next_lane = (next_lane + 1) % lanes_;
+    }
+  }
+}
+
+void DagRun::push_ready(std::size_t lane, std::int32_t node) {
+  {
+    Lane& own = lane_state_[lane];
+    std::lock_guard<std::mutex> g(own.mu);
+    own.slots[own.tail++] = node;
+  }
+  bump_generation_and_wake();
+}
+
+std::int32_t DagRun::pop_or_steal(std::size_t lane) {
+  {
+    Lane& own = lane_state_[lane];
+    std::lock_guard<std::mutex> g(own.mu);
+    if (own.tail > own.head) return own.slots[--own.tail];
+  }
+  for (std::size_t off = 1; off < lanes_; ++off) {
+    Lane& victim = lane_state_[(lane + off) % lanes_];
+    std::lock_guard<std::mutex> g(victim.mu);
+    if (victim.tail > victim.head) {
+      steals_.fetch_add(1, std::memory_order_relaxed);
+      return victim.slots[victim.head++];
+    }
+  }
+  return -1;
+}
+
+void DagRun::record_error() {
+  {
+    std::lock_guard<std::mutex> g(wait_mu_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+  failed_.store(true, std::memory_order_release);
+}
+
+void DagRun::bump_generation_and_wake() {
+  {
+    std::lock_guard<std::mutex> g(wait_mu_);
+    ++generation_;
+  }
+  wait_cv_.notify_all();
+}
+
+// One lane's scheduling loop: pop own work LIFO, steal FIFO, sleep when the
+// graph has in-flight nodes but none ready. The generation counter closes
+// the check-then-sleep race: any push after the snapshot bumps it, so the
+// predicate wakes the sleeper. Exits when every node ran or the run failed.
+void ThreadPool::participate(DagRun& run, std::size_t lane) {
+  for (;;) {
+    if (run.failed_.load(std::memory_order_acquire)) return;
+    if (run.remaining_.load(std::memory_order_acquire) == 0) return;
+    std::uint64_t gen;
+    {
+      std::lock_guard<std::mutex> g(run.wait_mu_);
+      gen = run.generation_;
+    }
+    const std::int32_t node = run.pop_or_steal(lane);
+    if (node < 0) {
+      std::unique_lock<std::mutex> lk(run.wait_mu_);
+      run.wait_cv_.wait(lk, [&] {
+        return run.generation_ != gen ||
+               run.failed_.load(std::memory_order_relaxed) ||
+               run.remaining_.load(std::memory_order_relaxed) == 0;
+      });
+      continue;
+    }
+    const DagNode& nd = run.nodes_[node];
+    const int active = run.active_.fetch_add(1, std::memory_order_relaxed) + 1;
+    int peak = run.peak_active_.load(std::memory_order_relaxed);
+    while (active > peak &&
+           !run.peak_active_.compare_exchange_weak(
+               peak, active, std::memory_order_relaxed)) {
+    }
+    bool ok = true;
+    try {
+      nd.fn(nd.arg, lane);
+    } catch (...) {
+      ok = false;
+      run.record_error();
+    }
+    run.active_.fetch_sub(1, std::memory_order_relaxed);
+    if (!ok) {
+      run.bump_generation_and_wake();
+      return;
+    }
+    for (std::int32_t s = 0; s < nd.nsuccessors; ++s) {
+      const std::int32_t succ = nd.successors[s];
+      if (run.deps_[static_cast<std::size_t>(succ)].fetch_sub(
+              1, std::memory_order_acq_rel) == 1) {
+        run.push_ready(lane, succ);
+      }
+    }
+    if (run.remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      run.bump_generation_and_wake();
+      return;
+    }
+  }
+}
+
+void ThreadPool::run_dag(DagRun& run) {
+  assert(!run.used_);
+  run.used_ = true;
+  run.pool_ = this;
+  if (run.count_ == 0) return;
+  // Lanes 1..N-1 are a *function* batch: a node body waiting inside a
+  // nested run_batch_nofail help-executes raw tasks only, so it can never
+  // claim another lane and recursively re-enter the DAG on a thread whose
+  // pack scratch is live.
+  Batch batch;
+  if (run.lanes_ > 1) {
+    batch.fns = run.lane_tasks_.data();
+    batch.count = run.lane_tasks_.size();
+    batch.remaining = run.lane_tasks_.size();
+    batch.nofail = faultinject::suspended();
+    link_batch(batch);
+  }
+  participate(run, 0);
+  if (run.lanes_ > 1) {
+    // Lanes exit as soon as the graph drains or fails; unclaimed lane
+    // tasks are claimed here and return immediately.
+    wait_batch(batch, /*help_functions=*/true);
+  }
+  if (run.first_error_) std::rethrow_exception(run.first_error_);
+  // A lane task that failed to *start* (pool_task fault injection at the
+  // batch entry) surfaces as TaskError even though the remaining lanes
+  // finished the graph: the run did not get the concurrency it planned.
+  if (batch.first_error) std::rethrow_exception(batch.first_error);
 }
 
 ThreadPool& global_pool() {

@@ -18,19 +18,23 @@
 // help-executes queued work meanwhile -- so a pool worker running a
 // Strassen product may submit a nested intra-GEMM batch without
 // deadlocking even on a single-worker pool. This file lives in support/
-// (not parallel/) because the BLAS layer depends on it; the historical
-// include path parallel/thread_pool.hpp forwards here.
+// (not parallel/) because the BLAS layer depends on it.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 namespace strassen::parallel {
+
+class DagRun;
 
 class ThreadPool {
  public:
@@ -80,10 +84,44 @@ class ThreadPool {
   /// concurrent callers. Must not be called from a worker of this pool.
   void run_on_each_worker(const std::function<void(std::size_t)>& fn);
 
+  /// One node of a dependency DAG: fn(arg, lane) runs once all of the
+  /// node's dependencies have finished; on completion each successor's
+  /// dependency count is decremented and nodes reaching zero become ready.
+  /// The successor array is caller-owned and must outlive the run.
+  struct DagNode {
+    void (*fn)(void*, std::size_t lane) = nullptr;
+    void* arg = nullptr;
+    const std::int32_t* successors = nullptr;
+    std::int32_t nsuccessors = 0;
+    std::int32_t dependencies = 0;  ///< in-degree (edges into this node)
+  };
+
+  /// Executes a prepared DagRun and returns when every node has finished
+  /// (or an error aborted the graph). Scheduling is work-stealing over
+  /// `run.lanes()` lanes: lane 0 is the calling thread, the others are
+  /// claimed as pool tasks; each lane pops newly readied nodes from its
+  /// own deque LIFO (locality) and steals FIFO from a victim lane when
+  /// empty, so a combine whose inputs are done overlaps with still-running
+  /// products instead of waiting at a barrier. All bookkeeping was
+  /// allocated by the DagRun constructor, so this call performs no heap
+  /// operation -- it is a sanctioned no-fail entry point, like
+  /// run_batch_nofail. If the calling thread holds a
+  /// faultinject::ScopedSuspend, every lane runs under a suspend too.
+  ///
+  /// Node bodies may submit nested run_batch_nofail batches (the intra-GEMM
+  /// fan-out); lanes are function tasks, so a thread waiting inside a
+  /// nested raw batch can never re-enter the DAG recursively. A node body
+  /// that throws marks the run failed: in-flight nodes finish, the
+  /// remaining graph is abandoned, and the first error is rethrown here
+  /// after every lane has exited. The pool stays usable. Each DagRun is
+  /// single-use.
+  void run_dag(DagRun& run);
+
   /// True when the calling thread is one of this pool's workers.
   bool on_worker_thread() const;
 
  private:
+  friend class DagRun;
   // One batch of tasks; lives on the submitting thread's stack for its
   // whole life and is linked into the pool's intrusive FIFO until every
   // task has been claimed.
@@ -99,9 +137,12 @@ class ThreadPool {
   };
 
   void enqueue_and_wait(Batch& batch, bool help_functions);
+  void link_batch(Batch& batch);
+  void wait_batch(Batch& batch, bool help_functions);
   Batch* claim_locked(bool raw_only, std::size_t* index);
   void execute(Batch* batch, std::size_t index);  // called without mu_
   void worker_loop(std::size_t worker_index);
+  void participate(DagRun& run, std::size_t lane);
 
   mutable std::mutex mu_;
   std::condition_variable cv_;  // new work, task completion, pinned done
@@ -113,6 +154,73 @@ class ThreadPool {
   bool stop_ = false;
   std::mutex warm_mu_;  // serializes run_on_each_worker callers
   std::vector<std::thread> workers_;
+};
+
+/// Prepared execution state for one ThreadPool::run_dag call.
+///
+/// The constructor performs every allocation the run will need (per-lane
+/// ready deques, atomic dependency counters, the lane participation tasks)
+/// and seeds the initially ready nodes round-robin across the lanes -- it
+/// is the fallible acquisition step, built during a driver's pre-flight.
+/// The node array and each node's successor list are caller-owned and must
+/// outlive the run. `lanes` bounds scheduling width: at most `lanes` nodes
+/// execute concurrently (the moldable allotment planners rely on this).
+class DagRun {
+ public:
+  DagRun(const ThreadPool::DagNode* nodes, std::size_t count,
+         std::size_t lanes);
+  DagRun(const DagRun&) = delete;
+  DagRun& operator=(const DagRun&) = delete;
+
+  std::size_t lanes() const { return lanes_; }
+  std::size_t size() const { return count_; }
+
+  /// Nodes a lane executed out of another lane's deque (valid after the
+  /// run; the overlap the stealing scheduler achieved).
+  long steals() const { return steals_.load(std::memory_order_relaxed); }
+
+  /// Largest number of node bodies ever executing simultaneously (valid
+  /// after the run; the oversubscription regression tests pin this to the
+  /// planned lane count).
+  int peak_active() const {
+    return peak_active_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class ThreadPool;
+
+  // One lane's ready deque. head/tail only grow; every node is pushed to
+  // exactly one deque exactly once, so a ring of `count` slots never
+  // wraps. Owner pops at tail (LIFO), thieves take at head (FIFO).
+  struct Lane {
+    std::mutex mu;
+    std::int32_t* slots = nullptr;
+    std::size_t head = 0, tail = 0;  // guarded by mu
+  };
+
+  void push_ready(std::size_t lane, std::int32_t node);
+  std::int32_t pop_or_steal(std::size_t lane);
+  void record_error();             // captures current_exception, sets failed_
+  void bump_generation_and_wake();
+
+  const ThreadPool::DagNode* nodes_;
+  std::size_t count_;
+  std::size_t lanes_;
+  std::vector<std::atomic<std::int32_t>> deps_;
+  std::vector<std::int32_t> slot_storage_;  // lanes_ * count_
+  std::unique_ptr<Lane[]> lane_state_;
+  std::vector<std::function<void()>> lane_tasks_;  // lanes 1..lanes_-1
+  std::atomic<std::size_t> remaining_;
+  std::atomic<bool> failed_{false};
+  std::atomic<long> steals_{0};
+  std::atomic<int> active_{0};
+  std::atomic<int> peak_active_{0};
+  std::exception_ptr first_error_;  // guarded by wait_mu_
+  std::mutex wait_mu_;              // guards generation_ / first_error_
+  std::condition_variable wait_cv_;
+  std::uint64_t generation_ = 0;  // bumped on every push / failure / drain
+  ThreadPool* pool_ = nullptr;    // bound by run_dag
+  bool used_ = false;
 };
 
 /// Process-wide shared pool (lazily constructed).

@@ -297,19 +297,21 @@ void sweep_serial(index_t m, index_t n, index_t k, Scheme scheme, double beta,
 }
 
 void sweep_parallel(index_t m, index_t n, index_t k, Scheme scheme,
-                    double beta, FailurePolicy policy, std::uint64_t seed) {
+                    double beta, FailurePolicy policy, std::uint64_t seed,
+                    int par_depth = 0) {
   const Problem p(m, n, k, 1.0, beta, seed);
   for (long nth = 1; nth <= kSweepLimit; ++nth) {
     SCOPED_TRACE(::testing::Message()
                  << "parallel " << m << "x" << n << "x" << k << " scheme "
-                 << static_cast<int>(scheme) << " beta " << beta << " nth "
-                 << nth);
+                 << static_cast<int>(scheme) << " beta " << beta
+                 << " par_depth " << par_depth << " nth " << nth);
     DgefmmStats stats;
     parallel::ParallelDgefmmConfig cfg;
     cfg.cutoff = CutoffCriterion::square_simple(16);
     cfg.scheme = scheme;
     cfg.on_failure = policy;
     cfg.stats = &stats;
+    cfg.par_depth = par_depth;
     const bool fired =
         check_armed_call(p, policy, stats, nth, [&](Matrix& c) {
           return parallel::dgefmm_parallel(Trans::no, Trans::no, p.m, p.n,
@@ -377,6 +379,30 @@ TEST_F(FaultInject, ParallelSweepFusedStrict) {
 
 TEST_F(FaultInject, ParallelSweepFusedFallback) {
   sweep_parallel(66, 66, 66, Scheme::fused, 0.0, FailurePolicy::fallback, 22);
+}
+
+// Depth-2 DAG (49 products / 16 combines): the acquisition set grows (the
+// single up-front reservation, the DAG bookkeeping, the per-lane
+// sub-arenas) but the contract is unchanged -- every site fires before the
+// first write to C. 72 quarters to 18, so depth 2 is feasible.
+TEST_F(FaultInject, ParallelSweepDagDepth2Strict) {
+  sweep_parallel(72, 72, 72, Scheme::automatic, 1.3, FailurePolicy::strict,
+                 24, /*par_depth=*/2);
+}
+
+TEST_F(FaultInject, ParallelSweepDagDepth2Fallback) {
+  sweep_parallel(72, 72, 72, Scheme::automatic, 1.3, FailurePolicy::fallback,
+                 24, /*par_depth=*/2);
+}
+
+TEST_F(FaultInject, ParallelSweepDagDepth2FusedStrict) {
+  sweep_parallel(72, 72, 72, Scheme::fused, 0.0, FailurePolicy::strict, 25,
+                 /*par_depth=*/2);
+}
+
+TEST_F(FaultInject, ParallelSweepDagDepth2FusedFallback) {
+  sweep_parallel(72, 72, 72, Scheme::fused, 0.0, FailurePolicy::fallback, 25,
+                 /*par_depth=*/2);
 }
 
 TEST_F(FaultInject, ParallelSweepOddStrict) {

@@ -1,16 +1,26 @@
-// Tests for the parallel extension: thread pool semantics and numerical
-// agreement of the parallel GEMM / parallel Strassen with the reference.
+// Tests for the parallel extension: thread pool semantics, the
+// work-stealing DAG executor, the moldable pre-flight planner, and
+// numerical agreement (plus bitwise determinism) of the parallel GEMM /
+// parallel Strassen with the reference.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 #include <stdexcept>
+#include <string>
+#include <thread>
+#include <tuple>
 #include <vector>
 
 #include "blas/gemm.hpp"
+#include "core/workspace.hpp"
 #include "parallel/parallel_gemm.hpp"
 #include "parallel/parallel_strassen.hpp"
-#include "parallel/thread_pool.hpp"
+#include "parallel/task_dag.hpp"
+#include "support/thread_pool.hpp"
 #include "support/matrix.hpp"
 #include "support/random.hpp"
 
@@ -58,6 +68,235 @@ TEST(ThreadPool, PropagatesTaskException) {
 TEST(ThreadPool, EmptyBatchIsNoop) {
   parallel::ThreadPool pool(1);
   EXPECT_NO_THROW(pool.run_batch({}));
+}
+
+// --- DagRun / run_dag unit tests -------------------------------------------
+
+// Shared state for hand-built DAG nodes: each body records the global order
+// index it executed at.
+struct DagProbe {
+  std::atomic<int> seq{0};
+  std::vector<int> order;  // one slot per node, written once
+  explicit DagProbe(std::size_t n) : order(n, -1) {}
+};
+
+struct DagProbeNode {
+  DagProbe* probe = nullptr;
+  int id = 0;
+};
+
+void probe_body(void* arg, std::size_t /*lane*/) {
+  auto* n = static_cast<DagProbeNode*>(arg);
+  n->probe->order[static_cast<std::size_t>(n->id)] =
+      n->probe->seq.fetch_add(1);
+}
+
+TEST(ThreadPoolDag, ExecutesAllNodesInDependencyOrder) {
+  parallel::ThreadPool pool(3);
+  // Diamond over 8 nodes: 0 -> {1,2,3} -> {4,5} -> 6 -> 7.
+  const std::int32_t succ0[] = {1, 2, 3};
+  const std::int32_t succ_mid[] = {4, 5};
+  const std::int32_t succ_late[] = {6};
+  const std::int32_t succ6[] = {7};
+  DagProbe probe(8);
+  DagProbeNode bodies[8];
+  for (int i = 0; i < 8; ++i) bodies[i] = {&probe, i};
+  parallel::ThreadPool::DagNode nodes[8] = {
+      {&probe_body, &bodies[0], succ0, 3, 0},
+      {&probe_body, &bodies[1], succ_mid, 2, 1},
+      {&probe_body, &bodies[2], succ_mid, 2, 1},
+      {&probe_body, &bodies[3], succ_mid, 2, 1},
+      {&probe_body, &bodies[4], succ_late, 1, 3},
+      {&probe_body, &bodies[5], succ_late, 1, 3},
+      {&probe_body, &bodies[6], succ6, 1, 2},
+      {&probe_body, &bodies[7], nullptr, 0, 1},
+  };
+  parallel::DagRun run(nodes, 8, 3);
+  pool.run_dag(run);
+  for (int i = 0; i < 8; ++i) EXPECT_GE(probe.order[i], 0) << "node " << i;
+  for (int mid = 1; mid <= 3; ++mid) {
+    EXPECT_LT(probe.order[0], probe.order[mid]);
+    EXPECT_LT(probe.order[mid], probe.order[4]);
+    EXPECT_LT(probe.order[mid], probe.order[5]);
+  }
+  EXPECT_LT(probe.order[4], probe.order[6]);
+  EXPECT_LT(probe.order[5], probe.order[6]);
+  EXPECT_LT(probe.order[6], probe.order[7]);
+}
+
+TEST(ThreadPoolDag, SingleLaneRunsEverythingOnCaller) {
+  parallel::ThreadPool pool(2);
+  const std::int32_t succ[] = {1};
+  DagProbe probe(2);
+  DagProbeNode bodies[2] = {{&probe, 0}, {&probe, 1}};
+  parallel::ThreadPool::DagNode nodes[2] = {
+      {&probe_body, &bodies[0], succ, 1, 0},
+      {&probe_body, &bodies[1], nullptr, 0, 1},
+  };
+  parallel::DagRun run(nodes, 2, 1);
+  pool.run_dag(run);
+  EXPECT_EQ(probe.order[0], 0);
+  EXPECT_EQ(probe.order[1], 1);
+  EXPECT_EQ(run.steals(), 0);
+  EXPECT_LE(run.peak_active(), 1);
+}
+
+// Forces a steal: the root readies both children into lane 0's own deque;
+// child A then blocks until child B has started, which can only happen if
+// the second lane stole B.
+struct StealState {
+  std::atomic<bool> b_started{false};
+};
+
+void steal_root(void*, std::size_t) {}
+
+void steal_child_a(void* arg, std::size_t) {
+  auto* st = static_cast<StealState*>(arg);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (!st->b_started.load(std::memory_order_acquire) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+}
+
+void steal_child_b(void* arg, std::size_t) {
+  static_cast<StealState*>(arg)->b_started.store(
+      true, std::memory_order_release);
+}
+
+TEST(ThreadPoolDag, IdleLaneStealsFromBusyLane) {
+  parallel::ThreadPool pool(2);
+  StealState st;
+  const std::int32_t succ[] = {1, 2};
+  // Successors are pushed to the finishing lane's deque in array order and
+  // popped LIFO, so the caller's lane runs node 2 (the waiter) first while
+  // node 1 (the flag-setter) sits at the steal end of the deque.
+  parallel::ThreadPool::DagNode nodes[3] = {
+      {&steal_root, nullptr, succ, 2, 0},
+      {&steal_child_b, &st, nullptr, 0, 1},
+      {&steal_child_a, &st, nullptr, 0, 1},
+  };
+  parallel::DagRun run(nodes, 3, 2);
+  pool.run_dag(run);
+  EXPECT_TRUE(st.b_started.load());
+  EXPECT_GE(run.steals(), 1);
+}
+
+TEST(ThreadPoolDag, PeakActiveBoundedByLanes) {
+  parallel::ThreadPool pool(4);
+  // 24 independent nodes, but only 2 lanes: the executor must never run
+  // more than two bodies at once regardless of pool width -- the property
+  // the moldable allotment relies on to prevent oversubscription.
+  DagProbe probe(24);
+  DagProbeNode bodies[24];
+  parallel::ThreadPool::DagNode nodes[24];
+  for (int i = 0; i < 24; ++i) {
+    bodies[i] = {&probe, i};
+    nodes[i] = {&probe_body, &bodies[i], nullptr, 0, 0};
+  }
+  parallel::DagRun run(nodes, 24, 2);
+  pool.run_dag(run);
+  for (int i = 0; i < 24; ++i) EXPECT_GE(probe.order[i], 0);
+  EXPECT_LE(run.peak_active(), 2);
+}
+
+void throwing_body(void*, std::size_t) {
+  throw std::runtime_error("dag node boom");
+}
+
+TEST(ThreadPoolDag, PropagatesNodeExceptionAndStaysUsable) {
+  parallel::ThreadPool pool(2);
+  DagProbe probe(1);
+  DagProbeNode tail{&probe, 0};
+  const std::int32_t succ[] = {1};
+  parallel::ThreadPool::DagNode nodes[2] = {
+      {&throwing_body, nullptr, succ, 1, 0},
+      {&probe_body, &tail, nullptr, 0, 1},
+  };
+  parallel::DagRun run(nodes, 2, 2);
+  EXPECT_THROW(pool.run_dag(run), std::runtime_error);
+  // The failed node's successor was abandoned, not executed.
+  EXPECT_EQ(probe.order[0], -1);
+  // The pool must remain usable after a failed run.
+  std::atomic<int> counter{0};
+  std::vector<std::function<void()>> more;
+  more.push_back([&counter] { counter.fetch_add(1); });
+  pool.run_batch(std::move(more));
+  EXPECT_EQ(counter.load(), 1);
+}
+
+// --- Moldable planner ------------------------------------------------------
+
+// Clears the scheduler environment knobs for the duration of a test so the
+// automatic resolution paths are exercised regardless of the ctest matrix's
+// environment, restoring them afterwards.
+class ScopedClearPlanEnv {
+ public:
+  ScopedClearPlanEnv() {
+    save("STRASSEN_PAR_DEPTH", depth_);
+    save("STRASSEN_PAR_LANES", lanes_);
+    unsetenv("STRASSEN_PAR_DEPTH");
+    unsetenv("STRASSEN_PAR_LANES");
+  }
+  ~ScopedClearPlanEnv() {
+    restore("STRASSEN_PAR_DEPTH", depth_);
+    restore("STRASSEN_PAR_LANES", lanes_);
+  }
+
+ private:
+  static void save(const char* name, std::string& slot) {
+    const char* v = std::getenv(name);
+    slot = v != nullptr ? v : "";
+  }
+  static void restore(const char* name, const std::string& v) {
+    if (!v.empty()) setenv(name, v.c_str(), 1);
+  }
+  std::string depth_, lanes_;
+};
+
+TEST(DagPlan, AllotmentNeverOversubscribesBudget) {
+  ScopedClearPlanEnv clear_env;
+  for (int budget = 1; budget <= 16; ++budget) {
+    parallel::ParallelDgefmmConfig cfg;
+    cfg.threads = static_cast<std::size_t>(budget);
+    const parallel::DagPlan plan = parallel::plan_dag(256, 256, 256, cfg);
+    EXPECT_GE(plan.lanes, 1);
+    EXPECT_LE(plan.lanes, plan.products);
+    EXPECT_GE(plan.leaf_gemm_threads, 1);
+    EXPECT_LE(plan.lanes * plan.leaf_gemm_threads, budget > 0 ? budget : 1)
+        << "budget " << budget;
+  }
+}
+
+TEST(DagPlan, DepthWidensWithBudgetAndRespectsFeasibility) {
+  ScopedClearPlanEnv clear_env;
+  parallel::ParallelDgefmmConfig cfg;
+  cfg.threads = 4;
+  EXPECT_EQ(parallel::plan_dag(256, 256, 256, cfg).par_depth, 1);
+  cfg.threads = 14;
+  const parallel::DagPlan wide = parallel::plan_dag(256, 256, 256, cfg);
+  EXPECT_EQ(wide.par_depth, 2);
+  EXPECT_EQ(wide.products, 49);
+  EXPECT_EQ(wide.combines, 16);
+  // 258 halves to 129 (odd): depth 2 is infeasible even when requested.
+  cfg.par_depth = 2;
+  EXPECT_EQ(parallel::plan_dag(258, 258, 258, cfg).par_depth, 1);
+}
+
+TEST(DagPlan, WorkspaceMatchesPredictor) {
+  parallel::ParallelDgefmmConfig cfg;
+  cfg.threads = 4;
+  cfg.par_depth = 2;
+  cfg.lanes = 3;
+  cfg.cutoff = core::CutoffCriterion::square_simple(24);
+  const parallel::DagPlan plan = parallel::plan_dag(160, 160, 160, cfg);
+  core::DgefmmConfig child;
+  child.cutoff = cfg.cutoff;
+  child.scheme = cfg.scheme;
+  EXPECT_EQ(plan.workspace,
+            core::parallel_workspace_doubles(160, 160, 160, child, 2, 3));
+  EXPECT_GT(plan.workspace, 0);
 }
 
 TEST(ParallelGemm, MatchesReference) {
@@ -199,6 +438,135 @@ TEST(ParallelStrassen, InvalidArgumentsReported) {
                                       a.data(), 4, b.data(), 8, 0.0, c.data(),
                                       8, cfg),
             8);
+}
+
+// --- DAG scheduler: bitwise determinism and workspace exactness ------------
+
+// C must be bitwise identical for every thread budget / lane count / steal
+// order: combines apply their terms in the verified schedule's fixed order,
+// and the block partition is static. Exercised over both schemes, both DAG
+// depths, and even/odd shapes.
+class DagDeterminismMatrix
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(DagDeterminismMatrix, BitwiseIdenticalAcrossThreadCounts) {
+  const int scheme_idx = std::get<0>(GetParam());
+  const int par_depth = std::get<1>(GetParam());
+  const index_t n = std::get<2>(GetParam()) == 0 ? 128 : 117;
+  Rng rng(400 + static_cast<std::uint64_t>(scheme_idx * 10 + par_depth));
+  Matrix a = random_matrix(n, n, rng);
+  Matrix b = random_matrix(n, n, rng);
+  Matrix c0 = random_matrix(n, n, rng);
+
+  auto run_with_threads = [&](std::size_t threads, Matrix& c) {
+    copy(c0.view(), c.view());
+    parallel::ParallelDgefmmConfig cfg;
+    cfg.cutoff = core::CutoffCriterion::square_simple(24);
+    cfg.scheme = scheme_idx == 0 ? core::Scheme::automatic
+                                 : core::Scheme::fused;
+    cfg.par_depth = par_depth;
+    cfg.threads = threads;
+    ASSERT_EQ(parallel::dgefmm_parallel(Trans::no, Trans::no, n, n, n, 1.25,
+                                        a.data(), a.ld(), b.data(), b.ld(),
+                                        -0.5, c.data(), c.ld(), cfg),
+              0);
+  };
+
+  Matrix base(n, n), wide(n, n), pool_sized(n, n);
+  run_with_threads(1, base);  // one lane, serial leaves: the reference order
+  run_with_threads(2, wide);
+  run_with_threads(0, pool_sized);  // whatever the shared pool offers
+  const std::size_t bytes =
+      static_cast<std::size_t>(n) * static_cast<std::size_t>(n) *
+      sizeof(double);
+  EXPECT_EQ(std::memcmp(base.data(), wide.data(), bytes), 0);
+  EXPECT_EQ(std::memcmp(base.data(), pool_sized.data(), bytes), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, DagDeterminismMatrix,
+    ::testing::Combine(::testing::Values(0, 1),   // automatic, fused
+                       ::testing::Values(1, 2),   // par_depth
+                       ::testing::Values(0, 1))); // even, odd shape
+
+TEST(ParallelStrassen, WorkspacePredictionIsExact) {
+  const index_t n = 144;
+  Rng rng(55);
+  Matrix a = random_matrix(n, n, rng);
+  Matrix b = random_matrix(n, n, rng);
+  Matrix c(n, n);
+  fill(c.view(), 0.0);
+  for (int depth = 1; depth <= 2; ++depth) {
+    Arena arena;
+    core::DgefmmStats stats;
+    parallel::ParallelDgefmmConfig cfg;
+    cfg.cutoff = core::CutoffCriterion::square_simple(24);
+    cfg.par_depth = depth;
+    cfg.threads = 4;
+    cfg.workspace = &arena;
+    cfg.stats = &stats;
+    const parallel::DagPlan plan = parallel::plan_dag(n, n, n, cfg);
+    ASSERT_EQ(parallel::dgefmm_parallel(Trans::no, Trans::no, n, n, n, 1.0,
+                                        a.data(), a.ld(), b.data(), b.ld(),
+                                        0.0, c.data(), c.ld(), cfg),
+              0);
+    // The single up-front reservation is carved exactly: predicted ==
+    // reserved == measured high-water mark.
+    EXPECT_EQ(arena.peak(), static_cast<std::size_t>(plan.workspace))
+        << "par_depth " << depth;
+    EXPECT_EQ(stats.peak_workspace, static_cast<std::size_t>(plan.workspace))
+        << "par_depth " << depth;
+    EXPECT_EQ(stats.dag_nodes,
+              static_cast<count_t>(plan.products + plan.combines));
+    EXPECT_EQ(stats.dag_lanes, plan.lanes);
+  }
+}
+
+TEST(ParallelStrassen, LegacyWholePoolLeafFanoutStillCorrect) {
+  // leaf_gemm_threads == 0 reproduces the pre-DAG behaviour (each product
+  // leaf claims the whole pool); kept as the ablation baseline.
+  const index_t n = 120;
+  Rng rng(56);
+  Matrix a = random_matrix(n, n, rng);
+  Matrix b = random_matrix(n, n, rng);
+  Matrix c(n, n), c_ref(n, n);
+  fill(c.view(), 0.0);
+  fill(c_ref.view(), 0.0);
+  parallel::ParallelDgefmmConfig cfg;
+  cfg.cutoff = core::CutoffCriterion::square_simple(24);
+  cfg.leaf_gemm_threads = 0;
+  ASSERT_EQ(parallel::dgefmm_parallel(Trans::no, Trans::no, n, n, n, 1.0,
+                                      a.data(), a.ld(), b.data(), b.ld(),
+                                      0.0, c.data(), c.ld(), cfg),
+            0);
+  blas::gemm_reference(Trans::no, Trans::no, n, n, n, 1.0, a.data(), a.ld(),
+                       b.data(), b.ld(), 0.0, c_ref.data(), c_ref.ld());
+  EXPECT_LT(max_abs_diff(c.view(), c_ref.view()), 1e-11 * (n + 10.0));
+}
+
+TEST(ParallelStrassen, SchedulerStatsRecorded) {
+  const index_t n = 128;
+  Rng rng(57);
+  Matrix a = random_matrix(n, n, rng);
+  Matrix b = random_matrix(n, n, rng);
+  Matrix c(n, n);
+  fill(c.view(), 0.0);
+  core::DgefmmStats stats;
+  parallel::ParallelDgefmmConfig cfg;
+  cfg.cutoff = core::CutoffCriterion::square_simple(24);
+  cfg.par_depth = 2;
+  cfg.lanes = 4;
+  cfg.threads = 4;
+  cfg.stats = &stats;
+  ASSERT_EQ(parallel::dgefmm_parallel(Trans::no, Trans::no, n, n, n, 1.0,
+                                      a.data(), a.ld(), b.data(), b.ld(),
+                                      0.0, c.data(), c.ld(), cfg),
+            0);
+  EXPECT_EQ(stats.dag_nodes, 49 + 16);
+  EXPECT_EQ(stats.dag_lanes, 4);
+  EXPECT_EQ(stats.gemm_threads, 1);  // moldable split: 4 budget / 4 lanes
+  EXPECT_EQ(stats.fallbacks, 0);
+  EXPECT_NE(stats.kernel, nullptr);
 }
 
 TEST(ParallelStrassen, DeterministicAcrossRuns) {

@@ -238,6 +238,10 @@ void rule_nofail_regions(const SourceFile& f) {
       // run_batch_nofail is sanctioned inside a no-fail region.
       "ensure_pack_capacity_all_workers(", "run_on_each_worker(",
       "run_batch(",
+      // DagRun construction allocates every piece of scheduling state a
+      // run_dag call needs; like run_batch it belongs to the pre-flight,
+      // never inside a no-fail region (run_dag itself is sanctioned).
+      "DagRun(",
   };
   int depth = 0;
   int suspend_depth = -1;  // brace depth at the ScopedSuspend declaration
@@ -276,8 +280,8 @@ void rule_nofail_regions(const SourceFile& f) {
 // A dispatch token marks the first point at which C may be written.
 bool is_dispatch(const std::string& line) {
   static const char* kDispatch[] = {
-      "detail::fmm(", "fmm_fused(",     "pad_static(",
-      "gemm_view(",   "run_top_level(", "blas::dgemm(",
+      "detail::fmm(", "fmm_fused(",    "pad_static(",
+      "gemm_view(",   "run_task_dag(", "blas::dgemm(",
   };
   for (const char* tok : kDispatch) {
     if (has_token(line, tok)) return true;
@@ -291,6 +295,7 @@ void rule_acquire_before_dispatch(const SourceFile& f) {
       ".alloc(",   "->alloc(",             "AlignedBuffer(",
       "ensure_pack_capacity(",             "run_on_each_worker(",
       "ensure_pack_capacity_all_workers(", "run_batch(",
+      "DagRun(",
   };
   int depth = 0;
   bool in_driver = false;
@@ -363,6 +368,8 @@ constexpr NodiscardEntry kNodiscardTable[] = {
     {"core/cabi.hpp", "int strassen_dgefmm_tuned("},
     {"core/workspace.hpp", "count_t workspace_doubles("},
     {"core/workspace.hpp", "count_t workspace_doubles_at("},
+    {"core/workspace.hpp", "count_t parallel_workspace_doubles("},
+    {"parallel/task_dag.hpp", "DagPlan plan_dag("},
     {"support/arena.hpp", "double* alloc("},
 };
 
