@@ -87,10 +87,12 @@ inline void report_schedule(const core::DgefmmConfig& cfg, double beta) {
             << "): " << schedule_run_name(cfg, beta) << "\n";
 }
 
-/// A reusable triple of random matrices for C = alpha*A*B + beta*C.
-struct Problem {
-  Matrix a, b, c, c0;
-  Problem(index_t m, index_t k, index_t n, std::uint64_t seed = 12345)
+/// A reusable triple of random matrices for C = alpha*A*B + beta*C, in
+/// either element type (Problem = double, ProblemF = float).
+template <class T>
+struct ProblemT {
+  MatrixT<T> a, b, c, c0;
+  ProblemT(index_t m, index_t k, index_t n, std::uint64_t seed = 12345)
       : a(m, k), b(k, n), c(m, n), c0(m, n) {
     Rng rng(seed);
     fill_random(a.view(), rng);
@@ -104,10 +106,13 @@ struct Problem {
   index_t n() const { return b.cols(); }
 };
 
+using Problem = ProblemT<double>;
+using ProblemF = ProblemT<float>;
+
 /// Minimum-of-reps timing of fn, resetting C before each run so beta != 0
 /// cases are well-defined.
-template <class F>
-double time_problem(Problem& p, F&& fn, int reps = 3) {
+template <class T, class F>
+double time_problem(ProblemT<T>& p, F&& fn, int reps = 3) {
   double best = 1e300;
   for (int r = 0; r < reps; ++r) {
     p.reset_c();

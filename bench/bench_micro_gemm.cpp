@@ -39,9 +39,22 @@ double time_kernel_dgemm(bench::Problem& p, int reps) {
       reps);
 }
 
+// Minimum-of-reps SGEMM timing under the currently active kernel.
+double time_kernel_sgemm(bench::ProblemF& p, int reps) {
+  return bench::time_problem(
+      p,
+      [&] {
+        blas::sgemm(Trans::no, Trans::no, p.m(), p.n(), p.k(), 1.0f,
+                    p.a.data(), p.a.ld(), p.b.data(), p.b.ld(), 0.0f,
+                    p.c.data(), p.c.ld());
+      },
+      reps);
+}
+
 struct KernelResult {
   std::string name;
   std::string arch;
+  std::string elem;
   double mflops_1t = 0.0;
 };
 
@@ -79,6 +92,7 @@ int main() {
       KernelResult r;
       r.name = blas::active_kernel().name;
       r.arch = blas::kernel_arch_name(arch);
+      r.elem = "f64";
       r.mflops_1t = mflops(msize, msize, msize, sec);
       if (arch == blas::KernelArch::scalar) scalar_mflops = r.mflops_1t;
       std::printf("  %-12s %10.1f MFLOPS  (%.3f s)\n", r.name.c_str(),
@@ -99,6 +113,44 @@ int main() {
   std::printf("best kernel: %s, %.2fx over scalar\n\n", best_name.c_str(),
               speedup);
 
+  // ---- per-kernel single-thread SGEMM rate --------------------------
+  // The float tiles are twice as wide (8 lanes per AVX-512 register become
+  // 16), so the interesting ratio is f32-over-f64 per arch: how much of
+  // the theoretical 2x the packed skeleton keeps.
+  double best_f32 = 0.0;
+  std::string best_f32_name;
+  {
+    bench::ProblemF pf(msize, msize, msize);
+    blas::ScopedGemmThreads serial(1);
+    std::printf("single-thread SGEMM, m=n=k=%d:\n", int(msize));
+    for (const blas::KernelArch arch : blas::kAllKernelArches) {
+      if (!blas::kernel_supported(arch)) continue;
+      blas::ScopedKernel pin(arch);
+      const double sec = time_kernel_sgemm(pf, reps);
+      KernelResult r;
+      r.name = blas::active_kernel_f().name;
+      r.arch = blas::kernel_arch_name(arch);
+      r.elem = "f32";
+      r.mflops_1t = mflops(msize, msize, msize, sec);
+      double f64_rate = 0.0;
+      for (const KernelResult& d : kernels) {
+        if (d.elem == "f64" && d.arch == r.arch) f64_rate = d.mflops_1t;
+      }
+      std::printf("  %-12s %10.1f MFLOPS  (%.3f s, %.2fx f64 %s)\n",
+                  r.name.c_str(), r.mflops_1t, sec,
+                  f64_rate > 0.0 ? r.mflops_1t / f64_rate : 0.0,
+                  r.arch.c_str());
+      if (r.mflops_1t > best_f32) {
+        best_f32 = r.mflops_1t;
+        best_f32_name = r.name;
+      }
+      kernels.push_back(r);
+    }
+  }
+  const double f32_over_f64 = best_mflops > 0.0 ? best_f32 / best_mflops : 0.0;
+  std::printf("best f32 kernel: %s, %.2fx over best f64\n\n",
+              best_f32_name.c_str(), f32_over_f64);
+
   // ---- thread scaling of the packed macro loop ----------------------
   // Same shape, best kernel, fanning the ic loop over the pool. Thread
   // counts beyond the pool size still partition the work (the caller helps
@@ -109,7 +161,12 @@ int main() {
     std::printf("packed_gemm_multi thread scaling (pool: %zu worker%s):\n",
                 workers, workers == 1 ? "" : "s");
     const blas::GemmBlocking bk = blas::blocking_for(blas::active_machine());
-    blas::ensure_pack_capacity_all_workers(bk);
+    // Warm both element sizes' scratch up front: the float rows above may
+    // have left per-worker float scratch warm while the double scratch for
+    // this blocking is still cold (each element size owns its own buffers).
+    blas::ensure_pack_capacity_all_workers<double>(bk);
+    blas::ensure_pack_capacity_all_workers<float>(
+        blas::blocking_for_f(blas::active_machine()));
     double base = 0.0;
     for (int t = 1; t <= int(workers); t *= 2) {
       blas::ScopedGemmThreads fan(t);
@@ -206,13 +263,16 @@ int main() {
   for (std::size_t i = 0; i < kernels.size(); ++i) {
     std::fprintf(f,
                  "    {\"name\": \"%s\", \"arch\": \"%s\", "
-                 "\"mflops_1t\": %.1f}%s\n",
+                 "\"elem\": \"%s\", \"mflops_1t\": %.1f}%s\n",
                  kernels[i].name.c_str(), kernels[i].arch.c_str(),
-                 kernels[i].mflops_1t, i + 1 < kernels.size() ? "," : "");
+                 kernels[i].elem.c_str(), kernels[i].mflops_1t,
+                 i + 1 < kernels.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
   std::fprintf(f, "  \"best_kernel\": \"%s\",\n", best_name.c_str());
   std::fprintf(f, "  \"speedup_best_over_scalar\": %.3f,\n", speedup);
+  std::fprintf(f, "  \"best_kernel_f32\": \"%s\",\n", best_f32_name.c_str());
+  std::fprintf(f, "  \"speedup_f32_over_f64_best\": %.3f,\n", f32_over_f64);
   std::fprintf(f, "  \"thread_scaling\": [\n");
   for (std::size_t i = 0; i < scaling.size(); ++i) {
     std::fprintf(f,

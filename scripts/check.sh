@@ -4,8 +4,8 @@
 # clang-tidy when available -- scripts/lint.sh), then the release and
 # sanitizer presets with the test suite under each. The tsan preset builds
 # everything but runs only the concurrency-relevant suites (test_parallel,
-# test_faults, test_cabi, test_kernels), via the label filter in
-# CMakePresets.json. Finally the kernel matrix: the packed-GEMM suites
+# test_faults, test_cabi, test_kernels, test_sgefmm), via the label filter
+# in CMakePresets.json. Finally the kernel matrix: the packed-GEMM suites
 # forced onto the scalar micro-kernel and onto the best SIMD one
 # (STRASSEN_KERNEL, resolved at process start), under release and asan --
 # the only way the env-resolved dispatch path itself gets exercised.
@@ -29,7 +29,10 @@ done
 # kernel pinned by environment. "auto" exercises the CPUID-best choice
 # (identical to the plain runs above on most machines, but it also covers
 # the env-parsing path); "scalar" proves the portable fallback end to end.
-kernel_suites='test_kernels|test_blas|test_fused|test_faults'
+# STRASSEN_KERNEL selects the same arch tier for both element types, so
+# including test_sgefmm alongside the double suites sweeps the float
+# kernels (scalar-8x8-f32 / avx512-16x8-f32) through the same matrix.
+kernel_suites='test_kernels|test_blas|test_fused|test_faults|test_sgefmm'
 for preset in release asan; do
   for kern in scalar auto; do
     echo "== kernel matrix: ${preset} / STRASSEN_KERNEL=${kern} =="
@@ -45,7 +48,7 @@ done
 # (stealing with contention). The tests that pin cfg fields explicitly are
 # env-immune; this sweep exercises the env-resolution paths everywhere
 # else.
-parallel_suites='test_parallel|test_faults'
+parallel_suites='test_parallel|test_faults|test_sgefmm'
 for preset in release tsan; do
   for depth in 1 2; do
     for lanes in 1 7; do
@@ -55,5 +58,14 @@ for preset in release tsan; do
     done
   done
 done
+
+# Refresh the committed precision snapshot: the stability bench's second
+# stage measures forward error vs speed for C/STRASSEN1/STRASSEN2/FUSED in
+# both element types and rewrites BENCH_precision.json in the repo root.
+echo "== precision snapshot: bench_ablation_stability =="
+cmake --build --preset release -j "${jobs}" --target bench_ablation_stability
+# Paper-scale, so the refreshed snapshot matches the committed artifact's
+# problem size (1024^3) rather than the smoke default.
+STRASSEN_BENCH_FULL=1 ./build/bench/bench_ablation_stability
 
 echo "All checks passed."

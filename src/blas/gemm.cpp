@@ -1,7 +1,6 @@
 #include "blas/gemm.hpp"
 
 #include <cassert>
-#include <vector>
 
 #include "blas/packed_loop.hpp"
 #include "support/opcount.hpp"
@@ -12,50 +11,51 @@ namespace {
 
 // Scales C <- beta * C (handles beta == 0 by assignment so NaNs in an
 // uninitialized C never propagate, per the BLAS contract).
-void scale_c(index_t m, index_t n, double beta, double* c, index_t ldc) {
-  if (beta == 1.0) return;
-  if (beta == 0.0) {
+template <class T>
+void scale_c(index_t m, index_t n, T beta, T* c, index_t ldc) {
+  if (beta == T(1)) return;
+  if (beta == T(0)) {
     for (index_t j = 0; j < n; ++j) {
-      double* col = c + j * ldc;
-      for (index_t i = 0; i < m; ++i) col[i] = 0.0;
+      T* col = c + j * ldc;
+      for (index_t i = 0; i < m; ++i) col[i] = T(0);
     }
   } else {
     for (index_t j = 0; j < n; ++j) {
-      double* col = c + j * ldc;
+      T* col = c + j * ldc;
       for (index_t i = 0; i < m; ++i) col[i] *= beta;
     }
   }
 }
 
-// Packed, cache-blocked DGEMM (GotoBLAS structure): the one-term,
+// Packed, cache-blocked GEMM (GotoBLAS structure): the one-term,
 // one-destination instantiation of the packed_gemm_multi skeleton.
+template <class T>
 void gemm_packed(const GemmBlocking& bk, index_t m, index_t n, index_t k,
-                 double alpha, const double* a, index_t a_rs, index_t a_cs,
-                 const double* b, index_t b_rs, index_t b_cs, double beta,
-                 double* c, index_t ldc) {
-  PackComb ac;
-  ac.term[0] = PackTerm{a, a_rs, a_cs, 1.0};
+                 T alpha, const T* a, index_t a_rs, index_t a_cs, const T* b,
+                 index_t b_rs, index_t b_cs, T beta, T* c, index_t ldc) {
+  PackCombT<T> ac;
+  ac.term[0] = PackTermT<T>{a, a_rs, a_cs, T(1)};
   ac.n = 1;
-  PackComb bc;
-  bc.term[0] = PackTerm{b, b_rs, b_cs, 1.0};
+  PackCombT<T> bc;
+  bc.term[0] = PackTermT<T>{b, b_rs, b_cs, T(1)};
   bc.n = 1;
-  const WriteDest dst{c, ldc, alpha, beta};
+  const WriteDestT<T> dst{c, ldc, alpha, beta};
   packed_gemm_multi(bk, m, n, k, ac, bc, &dst, 1);
 }
 
-// Vector-machine style DGEMM: for each column of C, sweep the columns of
-// op(A) with DAXPY-like updates. Long unit-stride streams, no blocking.
-void gemm_column_sweep(index_t m, index_t n, index_t k, double alpha,
-                       const double* a, index_t a_rs, index_t a_cs,
-                       const double* b, index_t b_rs, index_t b_cs,
-                       double beta, double* c, index_t ldc) {
+// Vector-machine style GEMM: for each column of C, sweep the columns of
+// op(A) with AXPY-like updates. Long unit-stride streams, no blocking.
+template <class T>
+void gemm_column_sweep(index_t m, index_t n, index_t k, T alpha, const T* a,
+                       index_t a_rs, index_t a_cs, const T* b, index_t b_rs,
+                       index_t b_cs, T beta, T* c, index_t ldc) {
   scale_c(m, n, beta, c, ldc);
   for (index_t j = 0; j < n; ++j) {
-    double* cj = c + j * ldc;
+    T* cj = c + j * ldc;
     for (index_t p = 0; p < k; ++p) {
-      const double s = alpha * b[p * b_rs + j * b_cs];
-      if (s == 0.0) continue;
-      const double* ap = a + p * a_cs;
+      const T s = alpha * b[p * b_rs + j * b_cs];
+      if (s == T(0)) continue;
+      const T* ap = a + p * a_cs;
       if (a_rs == 1) {
         for (index_t i = 0; i < m; ++i) cj[i] += s * ap[i];
       } else {
@@ -65,13 +65,13 @@ void gemm_column_sweep(index_t m, index_t n, index_t k, double alpha,
   }
 }
 
-// Small-tile blocked DGEMM without packing (small-cache microprocessor
+// Small-tile blocked GEMM without packing (small-cache microprocessor
 // style). Tiles are read in place, so strided (transposed) operands pay
 // their natural penalty, as they did on the T3D.
+template <class T>
 void gemm_tiled(const GemmBlocking& bk, index_t m, index_t n, index_t k,
-                double alpha, const double* a, index_t a_rs, index_t a_cs,
-                const double* b, index_t b_rs, index_t b_cs, double beta,
-                double* c, index_t ldc) {
+                T alpha, const T* a, index_t a_rs, index_t a_cs, const T* b,
+                index_t b_rs, index_t b_cs, T beta, T* c, index_t ldc) {
   scale_c(m, n, beta, c, ldc);
   const index_t tile = bk.mc;  // square tiles for this profile
   for (index_t pc = 0; pc < k; pc += tile) {
@@ -81,10 +81,10 @@ void gemm_tiled(const GemmBlocking& bk, index_t m, index_t n, index_t k,
       for (index_t ic = 0; ic < m; ic += tile) {
         const index_t mc = (m - ic < tile) ? (m - ic) : tile;
         for (index_t j = 0; j < nc; ++j) {
-          double* cj = c + ic + (jc + j) * ldc;
+          T* cj = c + ic + (jc + j) * ldc;
           for (index_t p = 0; p < kc; ++p) {
-            const double s = alpha * b[(pc + p) * b_rs + (jc + j) * b_cs];
-            const double* ap = a + (ic)*a_rs + (pc + p) * a_cs;
+            const T s = alpha * b[(pc + p) * b_rs + (jc + j) * b_cs];
+            const T* ap = a + (ic)*a_rs + (pc + p) * a_cs;
             if (a_rs == 1) {
               for (index_t i = 0; i < mc; ++i) cj[i] += s * ap[i];
             } else {
@@ -97,28 +97,27 @@ void gemm_tiled(const GemmBlocking& bk, index_t m, index_t n, index_t k,
   }
 }
 
-void record_ops(index_t m, index_t n, index_t k, double alpha, double beta) {
+template <class T>
+void record_ops(index_t m, index_t n, index_t k, T alpha, T beta) {
   if (!opcount::enabled()) return;
-  if (k > 0 && alpha != 0.0) {
-    opcount::record_gemm(m, k, n, /*accumulate=*/beta != 0.0);
-    if (alpha != 1.0) opcount::record_scale(static_cast<count_t>(m) * n);
+  if (k > 0 && alpha != T(0)) {
+    opcount::record_gemm(m, k, n, /*accumulate=*/beta != T(0));
+    if (alpha != T(1)) opcount::record_scale(static_cast<count_t>(m) * n);
   }
-  if (beta != 0.0 && beta != 1.0) {
+  if (beta != T(0) && beta != T(1)) {
     opcount::record_scale(static_cast<count_t>(m) * n);
   }
 }
 
-}  // namespace
-
-void dgemm_on(Machine machine, Trans transa, Trans transb, index_t m,
-              index_t n, index_t k, double alpha, const double* a, index_t lda,
-              const double* b, index_t ldb, double beta, double* c,
-              index_t ldc) {
+template <class T>
+void gemm_on_t(Machine machine, Trans transa, Trans transb, index_t m,
+               index_t n, index_t k, T alpha, const T* a, index_t lda,
+               const T* b, index_t ldb, T beta, T* c, index_t ldc) {
   assert(m >= 0 && n >= 0 && k >= 0);
   assert(lda >= 1 && ldb >= 1 && ldc >= (m > 0 ? m : 1));
   if (m == 0 || n == 0) return;
   record_ops(m, n, k, alpha, beta);
-  if (k == 0 || alpha == 0.0) {
+  if (k == 0 || alpha == T(0)) {
     scale_c(m, n, beta, c, ldc);
     return;
   }
@@ -130,49 +129,43 @@ void dgemm_on(Machine machine, Trans transa, Trans transb, index_t m,
 
   switch (machine) {
     case Machine::rs6000:
-      gemm_packed(blocking_for(machine), m, n, k, alpha, a, a_rs, a_cs, b,
-                  b_rs, b_cs, beta, c, ldc);
+      gemm_packed(blocking_for_t<T>(machine), m, n, k, alpha, a, a_rs, a_cs,
+                  b, b_rs, b_cs, beta, c, ldc);
       return;
     case Machine::c90:
       gemm_column_sweep(m, n, k, alpha, a, a_rs, a_cs, b, b_rs, b_cs, beta, c,
                         ldc);
       return;
     case Machine::t3d:
-      gemm_tiled(blocking_for(machine), m, n, k, alpha, a, a_rs, a_cs, b, b_rs,
-                 b_cs, beta, c, ldc);
+      gemm_tiled(blocking_for_t<T>(machine), m, n, k, alpha, a, a_rs, a_cs, b,
+                 b_rs, b_cs, beta, c, ldc);
       return;
   }
 }
 
-void dgemm(Trans transa, Trans transb, index_t m, index_t n, index_t k,
-           double alpha, const double* a, index_t lda, const double* b,
-           index_t ldb, double beta, double* c, index_t ldc) {
-  dgemm_on(active_machine(), transa, transb, m, n, k, alpha, a, lda, b, ldb,
-           beta, c, ldc);
-}
-
-void gemm_reference(Trans transa, Trans transb, index_t m, index_t n,
-                    index_t k, double alpha, const double* a, index_t lda,
-                    const double* b, index_t ldb, double beta, double* c,
-                    index_t ldc) {
+template <class T>
+void gemm_reference_t(Trans transa, Trans transb, index_t m, index_t n,
+                      index_t k, T alpha, const T* a, index_t lda, const T* b,
+                      index_t ldb, T beta, T* c, index_t ldc) {
   const index_t a_rs = is_trans(transa) ? lda : 1;
   const index_t a_cs = is_trans(transa) ? 1 : lda;
   const index_t b_rs = is_trans(transb) ? ldb : 1;
   const index_t b_cs = is_trans(transb) ? 1 : ldb;
   for (index_t j = 0; j < n; ++j) {
     for (index_t i = 0; i < m; ++i) {
-      double sum = 0.0;
+      T sum = T(0);
       for (index_t p = 0; p < k; ++p) {
         sum += a[i * a_rs + p * a_cs] * b[p * b_rs + j * b_cs];
       }
-      double& cij = c[i + j * ldc];
-      cij = alpha * sum + (beta == 0.0 ? 0.0 : beta * cij);
+      T& cij = c[i + j * ldc];
+      cij = alpha * sum + (beta == T(0) ? T(0) : beta * cij);
     }
   }
 }
 
-void gemm_view(double alpha, ConstView a, ConstView b, double beta,
-               MutView c) {
+template <class T>
+void gemm_view_t(T alpha, BasicView<const T> a, BasicView<const T> b, T beta,
+                 BasicView<T> c) {
   assert(a.cols == b.rows);
   assert(c.rows == a.rows && c.cols == b.cols);
   assert(c.col_major());
@@ -182,8 +175,65 @@ void gemm_view(double alpha, ConstView a, ConstView b, double beta,
   const Trans tb = b.col_major() ? Trans::no : Trans::transpose;
   const index_t lda = a.col_major() ? a.ld_col() : a.ld_row();
   const index_t ldb = b.col_major() ? b.ld_col() : b.ld_row();
-  dgemm(ta, tb, c.rows, c.cols, a.cols, alpha, a.p, lda, b.p, ldb, beta, c.p,
-        c.ld_col());
+  gemm_on_t<T>(active_machine(), ta, tb, c.rows, c.cols, a.cols, alpha, a.p,
+               lda, b.p, ldb, beta, c.p, c.ld_col());
+}
+
+}  // namespace
+
+void dgemm_on(Machine machine, Trans transa, Trans transb, index_t m,
+              index_t n, index_t k, double alpha, const double* a, index_t lda,
+              const double* b, index_t ldb, double beta, double* c,
+              index_t ldc) {
+  gemm_on_t<double>(machine, transa, transb, m, n, k, alpha, a, lda, b, ldb,
+                    beta, c, ldc);
+}
+
+void sgemm_on(Machine machine, Trans transa, Trans transb, index_t m,
+              index_t n, index_t k, float alpha, const float* a, index_t lda,
+              const float* b, index_t ldb, float beta, float* c, index_t ldc) {
+  gemm_on_t<float>(machine, transa, transb, m, n, k, alpha, a, lda, b, ldb,
+                   beta, c, ldc);
+}
+
+void dgemm(Trans transa, Trans transb, index_t m, index_t n, index_t k,
+           double alpha, const double* a, index_t lda, const double* b,
+           index_t ldb, double beta, double* c, index_t ldc) {
+  dgemm_on(active_machine(), transa, transb, m, n, k, alpha, a, lda, b, ldb,
+           beta, c, ldc);
+}
+
+void sgemm(Trans transa, Trans transb, index_t m, index_t n, index_t k,
+           float alpha, const float* a, index_t lda, const float* b,
+           index_t ldb, float beta, float* c, index_t ldc) {
+  sgemm_on(active_machine(), transa, transb, m, n, k, alpha, a, lda, b, ldb,
+           beta, c, ldc);
+}
+
+void gemm_reference(Trans transa, Trans transb, index_t m, index_t n,
+                    index_t k, double alpha, const double* a, index_t lda,
+                    const double* b, index_t ldb, double beta, double* c,
+                    index_t ldc) {
+  gemm_reference_t<double>(transa, transb, m, n, k, alpha, a, lda, b, ldb,
+                           beta, c, ldc);
+}
+
+void gemm_reference(Trans transa, Trans transb, index_t m, index_t n,
+                    index_t k, float alpha, const float* a, index_t lda,
+                    const float* b, index_t ldb, float beta, float* c,
+                    index_t ldc) {
+  gemm_reference_t<float>(transa, transb, m, n, k, alpha, a, lda, b, ldb,
+                          beta, c, ldc);
+}
+
+void gemm_view(double alpha, ConstView a, ConstView b, double beta,
+               MutView c) {
+  gemm_view_t<double>(alpha, a, b, beta, c);
+}
+
+void gemm_view(float alpha, ConstViewF a, ConstViewF b, float beta,
+               MutViewF c) {
+  gemm_view_t<float>(alpha, a, b, beta, c);
 }
 
 }  // namespace strassen::blas

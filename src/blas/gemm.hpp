@@ -1,13 +1,16 @@
-// Level 3 BLAS DGEMM: C <- alpha * op(A) * op(B) + beta * C.
+// Level 3 BLAS GEMM: C <- alpha * op(A) * op(B) + beta * C, in double
+// (DGEMM) and single (SGEMM) precision.
 //
 // Three implementations, selected by the active Machine profile (see
 // machine.hpp):
 //  * packed cache-blocked with a register micro-kernel (rs6000),
 //  * column-sweep DAXPY outer products (c90),
 //  * small-tile blocked without packing (t3d),
-// plus a deliberately simple reference implementation for tests.
+// plus a deliberately simple reference implementation for tests. Both
+// precisions run the same loop nests (one shared template per style); only
+// the micro-kernel table and the element type differ.
 //
-// This DGEMM is both the baseline the paper's Strassen code must beat and
+// This GEMM is both the baseline the paper's Strassen code must beat and
 // the routine used for the bottom-level multiplications once the recursion
 // is cut off.
 #pragma once
@@ -26,23 +29,40 @@ void dgemm(Trans transa, Trans transb, index_t m, index_t n, index_t k,
            double alpha, const double* a, index_t lda, const double* b,
            index_t ldb, double beta, double* c, index_t ldc);
 
+/// Single-precision twin of dgemm.
+void sgemm(Trans transa, Trans transb, index_t m, index_t n, index_t k,
+           float alpha, const float* a, index_t lda, const float* b,
+           index_t ldb, float beta, float* c, index_t ldc);
+
 /// Same, with an explicit machine profile.
 void dgemm_on(Machine machine, Trans transa, Trans transb, index_t m,
               index_t n, index_t k, double alpha, const double* a, index_t lda,
               const double* b, index_t ldb, double beta, double* c,
               index_t ldc);
+void sgemm_on(Machine machine, Trans transa, Trans transb, index_t m,
+              index_t n, index_t k, float alpha, const float* a, index_t lda,
+              const float* b, index_t ldb, float beta, float* c, index_t ldc);
 
 /// Deliberately naive triple-loop implementation used as the oracle in
-/// tests. Supports the full DGEMM contract.
+/// tests. Supports the full GEMM contract; accumulation happens in the
+/// element type, so it is the naive algorithm of that precision, not a
+/// higher-precision reference (the stability harness builds its own).
 void gemm_reference(Trans transa, Trans transb, index_t m, index_t n,
                     index_t k, double alpha, const double* a, index_t lda,
                     const double* b, index_t ldb, double beta, double* c,
+                    index_t ldc);
+void gemm_reference(Trans transa, Trans transb, index_t m, index_t n,
+                    index_t k, float alpha, const float* a, index_t lda,
+                    const float* b, index_t ldb, float beta, float* c,
                     index_t ldc);
 
 /// View-based entry point used by the Strassen internals.
 ///
 /// A and B may be transposed views (row-major strides); C must be a plain
-/// column-major view. Dispatches to dgemm on the active machine profile.
+/// column-major view. Dispatches to dgemm/sgemm on the active machine
+/// profile.
 void gemm_view(double alpha, ConstView a, ConstView b, double beta, MutView c);
+void gemm_view(float alpha, ConstViewF a, ConstViewF b, float beta,
+               MutViewF c);
 
 }  // namespace strassen::blas

@@ -83,6 +83,18 @@ const KernelInfo* kernel_info(KernelArch arch) {
   return nullptr;
 }
 
+const KernelInfoF* kernel_info_f(KernelArch arch) {
+  switch (arch) {
+    case KernelArch::scalar:
+      return detail::kernel_scalar_f();
+    case KernelArch::avx2:
+      return detail::kernel_avx2_f();
+    case KernelArch::avx512:
+      return detail::kernel_avx512_f();
+  }
+  return nullptr;
+}
+
 bool kernel_compiled(KernelArch arch) { return kernel_info(arch) != nullptr; }
 
 bool kernel_supported(KernelArch arch) {
@@ -97,6 +109,12 @@ KernelArch best_supported_kernel() {
 
 const KernelInfo& active_kernel() {
   return *active_kernel_slot().load(std::memory_order_relaxed);
+}
+
+const KernelInfoF& active_kernel_f() {
+  // Both element-type tables of a family are compiled together, so the
+  // float table of the active family always exists.
+  return *kernel_info_f(active_kernel().arch);
 }
 
 void set_active_kernel(KernelArch arch) {

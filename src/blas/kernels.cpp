@@ -1,6 +1,7 @@
-// The portable scalar kernel variant: the original 4x8 register tile,
-// relying on whatever autovectorization the base compile flags allow. This
-// is the guaranteed fallback every platform gets.
+// The portable scalar kernel variant: the original 4x8 double register
+// tile plus its 8x8 float sibling, relying on whatever autovectorization
+// the base compile flags allow. This is the guaranteed fallback every
+// platform gets.
 #include "blas/kernels.hpp"
 #include "blas/kernels_generic.hpp"
 
@@ -11,6 +12,9 @@ namespace {
 constexpr index_t kScalarMR = 4;
 constexpr index_t kScalarNR = 8;
 
+constexpr index_t kScalarMRf = 8;
+constexpr index_t kScalarNRf = 8;
+
 constexpr KernelArch kA = KernelArch::scalar;
 
 const KernelInfo kScalarKernel = {
@@ -18,20 +22,37 @@ const KernelInfo kScalarKernel = {
     "scalar-4x8",
     kScalarMR,
     kScalarNR,
-    &micro_kernel_t<kA, kScalarMR, kScalarNR>,
-    &pack_a_comb_t<kA, kScalarMR>,
-    &pack_b_comb_t<kA, kScalarNR>,
-    &write_tile_t<kA, kScalarMR>,
-    &vadd_t<kA>,
-    &vsub_t<kA>,
-    &vaxpby_t<kA>,
+    &micro_kernel_t<kA, double, kScalarMR, kScalarNR>,
+    &pack_a_comb_t<kA, double, kScalarMR>,
+    &pack_b_comb_t<kA, double, kScalarNR>,
+    &write_tile_t<kA, double, kScalarMR>,
+    &vadd_t<kA, double>,
+    &vsub_t<kA, double>,
+    &vaxpby_t<kA, double>,
 };
 
-static_assert(kScalarMR <= kMaxMR && kScalarNR <= kMaxNR,
-              "scalar tile exceeds the pack-buffer padding bound");
+const KernelInfoF kScalarKernelF = {
+    kA,
+    "scalar-8x8-f32",
+    kScalarMRf,
+    kScalarNRf,
+    &micro_kernel_t<kA, float, kScalarMRf, kScalarNRf>,
+    &pack_a_comb_t<kA, float, kScalarMRf>,
+    &pack_b_comb_t<kA, float, kScalarNRf>,
+    &write_tile_t<kA, float, kScalarMRf>,
+    &vadd_t<kA, float>,
+    &vsub_t<kA, float>,
+    &vaxpby_t<kA, float>,
+};
+
+static_assert(kScalarMR <= kMaxMRT<double> && kScalarNR <= kMaxNRT<double>,
+              "scalar double tile exceeds the pack-buffer padding bound");
+static_assert(kScalarMRf <= kMaxMRT<float> && kScalarNRf <= kMaxNRT<float>,
+              "scalar float tile exceeds the pack-buffer padding bound");
 
 }  // namespace
 
 const KernelInfo* kernel_scalar() { return &kScalarKernel; }
+const KernelInfoF* kernel_scalar_f() { return &kScalarKernelF; }
 
 }  // namespace strassen::blas::detail

@@ -1,22 +1,31 @@
-// Micro-kernel dispatch for the cache-blocked DGEMM (GotoBLAS/BLIS-style
-// structure).
+// Micro-kernel dispatch for the cache-blocked GEMM (GotoBLAS/BLIS-style
+// structure), generic over the element type.
 //
 // The packed loop nest (packed_loop.cpp) is kernel-agnostic: everything
 // that depends on the register tile -- the MR x NR micro-kernel itself, the
 // linear-combination packing routines that shape data into MR/NR panels,
 // the tile write-back, and the contiguous vector combines used by the
-// Strassen quadrant adds -- is reached through a KernelInfo table. Three
-// variants exist:
+// Strassen quadrant adds -- is reached through a KernelInfoT<T> table. The
+// dispatch axis is the instruction set; the element type selects between
+// the double table (DGEFMM) and the float table (SGEFMM) of the same
+// family. Per family:
 //
-//  * scalar-4x8 : portable C++, always available (the original kernel);
-//  * avx2-8x6   : explicit AVX2/FMA intrinsics, 12 ymm accumulators;
-//  * avx512-8x8 : explicit AVX-512F intrinsics, 8 zmm accumulators.
+//  * scalar : portable C++, always available (4x8 double, 8x8 float);
+//  * avx2   : explicit AVX2/FMA intrinsics, 256-bit (8x6 double, 16x6
+//             float -- float lanes are twice as wide);
+//  * avx512 : explicit AVX-512F intrinsics, 512-bit (8x8 double, 16x8
+//             float).
 //
 // The SIMD variants are compiled only when the compiler supports the ISA
 // flags (CMake probes them) and are selected only when CPUID reports the
 // ISA at run time; the first call picks the best supported kernel, and
 // STRASSEN_KERNEL=scalar|avx2|avx512|auto overrides the choice for testing.
+// The override selects the *family*; both element-type tables of a family
+// are always compiled together, so the active float kernel is simply the
+// float table of the active family.
 #pragma once
+
+#include <type_traits>
 
 #include "blas/packed_loop.hpp"
 #include "support/config.hpp"
@@ -38,11 +47,22 @@ inline constexpr KernelArch kAllKernelArches[] = {
 /// STRASSEN_KERNEL environment values.
 const char* kernel_arch_name(KernelArch arch);
 
-/// Upper bounds on any kernel's register tile. Pack-buffer sizing uses
-/// these (not the active kernel's MR/NR) so a scratch buffer warmed for one
-/// blocking fits every kernel variant of that blocking.
-inline constexpr index_t kMaxMR = 8;
-inline constexpr index_t kMaxNR = 8;
+/// Upper bounds on any kernel's register tile for element type T.
+/// Pack-buffer sizing uses these (not the active kernel's MR/NR) so a
+/// scratch buffer warmed for one blocking fits every kernel variant of
+/// that blocking. Float tiles are taller: the SIMD registers hold twice
+/// as many lanes.
+template <class T>
+inline constexpr index_t kMaxMRT = 8;
+template <>
+inline constexpr index_t kMaxMRT<float> = 16;
+
+template <class T>
+inline constexpr index_t kMaxNRT = 8;
+
+/// Double-precision bounds, kept as plain names for the existing callers.
+inline constexpr index_t kMaxMR = kMaxMRT<double>;
+inline constexpr index_t kMaxNR = kMaxNRT<double>;
 
 /// One micro-kernel variant: the register-tile shape plus every routine the
 /// packed loop reaches through it. All function pointers are non-null.
@@ -53,7 +73,8 @@ inline constexpr index_t kMaxNR = 8;
 ///  * packed B panels hold NR columns per k step: b[p*NR + c];
 ///  * the accumulator tile is acc[r + c*MR] and must be 64-byte aligned
 ///    (the SIMD kernels use aligned stores into it).
-struct KernelInfo {
+template <class T>
+struct KernelInfoT {
   KernelArch arch;
   const char* name;  ///< e.g. "avx2-8x6" (family + register tile)
   index_t mr;
@@ -61,24 +82,23 @@ struct KernelInfo {
 
   /// acc[r + c*mr] = sum_p a[p*mr + r] * b[p*nr + c] over one packed
   /// micro-panel pair of depth kc (acc fully overwritten).
-  void (*micro_kernel)(index_t kc, const double* a, const double* b,
-                       double* acc);
+  void (*micro_kernel)(index_t kc, const T* a, const T* b, T* acc);
 
   /// Packs the mc x kc block of sum_i gamma_i * op(A_i) into mr-row panels
   /// (rows beyond mc zero-padded). With one term of gamma == 1 this is the
   /// plain pack_a.
-  void (*pack_a_comb)(const PackTerm* terms, int nterms, index_t mc,
-                      index_t kc, double* out);
+  void (*pack_a_comb)(const PackTermT<T>* terms, int nterms, index_t mc,
+                      index_t kc, T* out);
 
   /// Packs the kc x nc block of sum_j gamma_j * op(B_j) into nr-column
   /// panels (columns beyond nc zero-padded).
-  void (*pack_b_comb)(const PackTerm* terms, int nterms, index_t kc,
-                      index_t nc, double* out);
+  void (*pack_b_comb)(const PackTermT<T>* terms, int nterms, index_t kc,
+                      index_t nc, T* out);
 
   /// C <- alpha*acc + beta_eff*C over the valid rows x cols corner of one
   /// accumulator tile (beta_eff == 0 assigns, so NaNs never propagate).
-  void (*write_tile)(const double* acc, index_t rows, index_t cols,
-                     double alpha, double beta_eff, double* c, index_t ldc);
+  void (*write_tile)(const T* acc, index_t rows, index_t cols, T alpha,
+                     T beta_eff, T* c, index_t ldc);
 
   /// Contiguous elementwise combines used by the Strassen quadrant adds
   /// (core/add_kernels.cpp) on unit-stride columns:
@@ -86,13 +106,17 @@ struct KernelInfo {
   ///   vsub:   d[i] = x[i] - y[i]
   ///   vaxpby: d[i] = a*x[i] + b*d[i] (b == 0 never reads d, so it is
   ///           safe as a scaled copy into uninitialized storage)
-  void (*vadd)(const double* x, const double* y, double* d, index_t n);
-  void (*vsub)(const double* x, const double* y, double* d, index_t n);
-  void (*vaxpby)(double a, const double* x, double b, double* d, index_t n);
+  void (*vadd)(const T* x, const T* y, T* d, index_t n);
+  void (*vsub)(const T* x, const T* y, T* d, index_t n);
+  void (*vaxpby)(T a, const T* x, T b, T* d, index_t n);
 };
 
+using KernelInfo = KernelInfoT<double>;
+using KernelInfoF = KernelInfoT<float>;
+
 /// True when the variant was compiled into this binary (the compiler
-/// supported the ISA flags). scalar is always compiled.
+/// supported the ISA flags). scalar is always compiled. Both element-type
+/// tables of a family are compiled together.
 bool kernel_compiled(KernelArch arch);
 
 /// True when the variant is compiled in *and* this CPU executes it.
@@ -103,6 +127,7 @@ KernelArch best_supported_kernel();
 
 /// The variant's table, or nullptr when not compiled in.
 const KernelInfo* kernel_info(KernelArch arch);
+const KernelInfoF* kernel_info_f(KernelArch arch);
 
 /// The process-wide active kernel. The first call resolves it: the
 /// STRASSEN_KERNEL environment variable if set to a supported variant
@@ -110,9 +135,31 @@ const KernelInfo* kernel_info(KernelArch arch);
 /// supported kernel.
 const KernelInfo& active_kernel();
 
-/// Selects the active kernel. Throws std::invalid_argument when the
+/// The float table of the active family (same arch as active_kernel()).
+const KernelInfoF& active_kernel_f();
+
+/// Selects the active kernel family. Throws std::invalid_argument when the
 /// variant is not supported on this binary/CPU.
 void set_active_kernel(KernelArch arch);
+
+/// Element-type generic access to the active kernel and per-arch tables.
+template <class T>
+inline const KernelInfoT<T>& active_kernel_t() {
+  if constexpr (std::is_same_v<T, float>) {
+    return active_kernel_f();
+  } else {
+    return active_kernel();
+  }
+}
+
+template <class T>
+inline const KernelInfoT<T>* kernel_info_t(KernelArch arch) {
+  if constexpr (std::is_same_v<T, float>) {
+    return kernel_info_f(arch);
+  } else {
+    return kernel_info(arch);
+  }
+}
 
 /// RAII switch of the active kernel (testing / benchmarking).
 class ScopedKernel {
@@ -132,10 +179,14 @@ namespace detail {
 
 /// Per-variant tables, defined one per translation unit so each can carry
 /// its own ISA compile flags. A variant whose ISA the compiler lacked
-/// returns nullptr.
+/// returns nullptr. The float table lives in the same TU as the double
+/// one, so the two are compiled (or stubbed) together.
 const KernelInfo* kernel_scalar();
 const KernelInfo* kernel_avx2();
 const KernelInfo* kernel_avx512();
+const KernelInfoF* kernel_scalar_f();
+const KernelInfoF* kernel_avx2_f();
+const KernelInfoF* kernel_avx512_f();
 
 }  // namespace detail
 

@@ -1,8 +1,9 @@
-// AVX2/FMA kernel variant: an 8x6 register tile held in 12 ymm
-// accumulators (plus two A registers and one broadcast register, 15 of the
-// 16 ymm names). Compiled with -mavx2 -mfma only when CMake's compiler
-// probe succeeds; otherwise this TU degrades to a nullptr stub and the
-// dispatcher never offers the variant.
+// AVX2/FMA kernel variant. The double kernel is an 8x6 register tile held
+// in 12 ymm accumulators (plus two A registers and one broadcast register,
+// 15 of the 16 ymm names); the float kernel is the same shape in float
+// lanes -- 16x6, two ymm of 8 floats per A column. Compiled with
+// -mavx2 -mfma only when CMake's compiler probe succeeds; otherwise this
+// TU degrades to nullptr stubs and the dispatcher never offers the variant.
 //
 // The packing, write-back, and vector-combine entries reuse the generic
 // templates from kernels_generic.hpp: instantiated in this TU they inherit
@@ -21,6 +22,9 @@ namespace {
 
 constexpr index_t kAvx2MR = 8;
 constexpr index_t kAvx2NR = 6;
+
+constexpr index_t kAvx2MRf = 16;
+constexpr index_t kAvx2NRf = 6;
 
 constexpr KernelArch kA = KernelArch::avx2;
 
@@ -53,26 +57,70 @@ void micro_kernel_8x6(index_t kc, const double* a, const double* b,
   }
 }
 
+// Float twin: 16-float A columns load as two aligned ymm of 8 lanes each
+// (panel stride 16*kc floats inside a 64-byte-aligned buffer).
+void micro_kernel_16x6_f(index_t kc, const float* a, const float* b,
+                         float* acc) {
+  __m256 c_lo[kAvx2NRf];
+  __m256 c_hi[kAvx2NRf];
+  for (int j = 0; j < kAvx2NRf; ++j) {
+    c_lo[j] = _mm256_setzero_ps();
+    c_hi[j] = _mm256_setzero_ps();
+  }
+  for (index_t p = 0; p < kc; ++p) {
+    const __m256 a_lo = _mm256_load_ps(a + p * kAvx2MRf);
+    const __m256 a_hi = _mm256_load_ps(a + p * kAvx2MRf + 8);
+    const float* bp = b + p * kAvx2NRf;
+#pragma GCC unroll 6
+    for (int j = 0; j < kAvx2NRf; ++j) {
+      const __m256 bv = _mm256_broadcast_ss(bp + j);
+      c_lo[j] = _mm256_fmadd_ps(a_lo, bv, c_lo[j]);
+      c_hi[j] = _mm256_fmadd_ps(a_hi, bv, c_hi[j]);
+    }
+  }
+  for (int j = 0; j < kAvx2NRf; ++j) {
+    _mm256_store_ps(acc + j * kAvx2MRf, c_lo[j]);
+    _mm256_store_ps(acc + j * kAvx2MRf + 8, c_hi[j]);
+  }
+}
+
 const KernelInfo kAvx2Kernel = {
     kA,
     "avx2-8x6",
     kAvx2MR,
     kAvx2NR,
     &micro_kernel_8x6,
-    &pack_a_comb_t<kA, kAvx2MR>,
-    &pack_b_comb_t<kA, kAvx2NR>,
-    &write_tile_t<kA, kAvx2MR>,
-    &vadd_t<kA>,
-    &vsub_t<kA>,
-    &vaxpby_t<kA>,
+    &pack_a_comb_t<kA, double, kAvx2MR>,
+    &pack_b_comb_t<kA, double, kAvx2NR>,
+    &write_tile_t<kA, double, kAvx2MR>,
+    &vadd_t<kA, double>,
+    &vsub_t<kA, double>,
+    &vaxpby_t<kA, double>,
 };
 
-static_assert(kAvx2MR <= kMaxMR && kAvx2NR <= kMaxNR,
-              "avx2 tile exceeds the pack-buffer padding bound");
+const KernelInfoF kAvx2KernelF = {
+    kA,
+    "avx2-16x6-f32",
+    kAvx2MRf,
+    kAvx2NRf,
+    &micro_kernel_16x6_f,
+    &pack_a_comb_t<kA, float, kAvx2MRf>,
+    &pack_b_comb_t<kA, float, kAvx2NRf>,
+    &write_tile_t<kA, float, kAvx2MRf>,
+    &vadd_t<kA, float>,
+    &vsub_t<kA, float>,
+    &vaxpby_t<kA, float>,
+};
+
+static_assert(kAvx2MR <= kMaxMRT<double> && kAvx2NR <= kMaxNRT<double>,
+              "avx2 double tile exceeds the pack-buffer padding bound");
+static_assert(kAvx2MRf <= kMaxMRT<float> && kAvx2NRf <= kMaxNRT<float>,
+              "avx2 float tile exceeds the pack-buffer padding bound");
 
 }  // namespace
 
 const KernelInfo* kernel_avx2() { return &kAvx2Kernel; }
+const KernelInfoF* kernel_avx2_f() { return &kAvx2KernelF; }
 
 }  // namespace strassen::blas::detail
 
@@ -81,6 +129,7 @@ const KernelInfo* kernel_avx2() { return &kAvx2Kernel; }
 namespace strassen::blas::detail {
 
 const KernelInfo* kernel_avx2() { return nullptr; }
+const KernelInfoF* kernel_avx2_f() { return nullptr; }
 
 }  // namespace strassen::blas::detail
 

@@ -1,7 +1,9 @@
-// AVX-512F kernel variant: an 8x8 register tile held in 8 zmm accumulators
-// -- eight independent FMA chains, enough to cover the FMA latency at two
-// issues per cycle. Compiled with -mavx512f only when CMake's compiler
-// probe succeeds; otherwise degrades to a nullptr stub.
+// AVX-512F kernel variant. The double kernel is an 8x8 register tile held
+// in 8 zmm accumulators -- eight independent FMA chains, enough to cover
+// the FMA latency at two issues per cycle; the float kernel is the same
+// shape in float lanes, 16x8 (one 16-float zmm per A column). Compiled
+// with -mavx512f only when CMake's compiler probe succeeds; otherwise
+// degrades to nullptr stubs.
 //
 // As in the AVX2 TU, packing/write-back/vector combines come from the
 // generic templates instantiated here, inheriting the -mavx512f flags.
@@ -19,6 +21,9 @@ namespace {
 
 constexpr index_t kAvx512MR = 8;
 constexpr index_t kAvx512NR = 8;
+
+constexpr index_t kAvx512MRf = 16;
+constexpr index_t kAvx512NRf = 8;
 
 constexpr KernelArch kA = KernelArch::avx512;
 
@@ -42,26 +47,62 @@ void micro_kernel_8x8(index_t kc, const double* a, const double* b,
   }
 }
 
+// Float twin: each 16-float A column is one aligned zmm load, so the loop
+// body is identical with twice the lanes per FMA.
+void micro_kernel_16x8_f(index_t kc, const float* a, const float* b,
+                         float* acc) {
+  __m512 c[kAvx512NRf];
+  for (int j = 0; j < kAvx512NRf; ++j) c[j] = _mm512_setzero_ps();
+  for (index_t p = 0; p < kc; ++p) {
+    const __m512 av = _mm512_load_ps(a + p * kAvx512MRf);
+    const float* bp = b + p * kAvx512NRf;
+#pragma GCC unroll 8
+    for (int j = 0; j < kAvx512NRf; ++j) {
+      c[j] = _mm512_fmadd_ps(av, _mm512_set1_ps(bp[j]), c[j]);
+    }
+  }
+  for (int j = 0; j < kAvx512NRf; ++j) {
+    _mm512_store_ps(acc + j * kAvx512MRf, c[j]);
+  }
+}
+
 const KernelInfo kAvx512Kernel = {
     kA,
     "avx512-8x8",
     kAvx512MR,
     kAvx512NR,
     &micro_kernel_8x8,
-    &pack_a_comb_t<kA, kAvx512MR>,
-    &pack_b_comb_t<kA, kAvx512NR>,
-    &write_tile_t<kA, kAvx512MR>,
-    &vadd_t<kA>,
-    &vsub_t<kA>,
-    &vaxpby_t<kA>,
+    &pack_a_comb_t<kA, double, kAvx512MR>,
+    &pack_b_comb_t<kA, double, kAvx512NR>,
+    &write_tile_t<kA, double, kAvx512MR>,
+    &vadd_t<kA, double>,
+    &vsub_t<kA, double>,
+    &vaxpby_t<kA, double>,
 };
 
-static_assert(kAvx512MR <= kMaxMR && kAvx512NR <= kMaxNR,
-              "avx512 tile exceeds the pack-buffer padding bound");
+const KernelInfoF kAvx512KernelF = {
+    kA,
+    "avx512-16x8-f32",
+    kAvx512MRf,
+    kAvx512NRf,
+    &micro_kernel_16x8_f,
+    &pack_a_comb_t<kA, float, kAvx512MRf>,
+    &pack_b_comb_t<kA, float, kAvx512NRf>,
+    &write_tile_t<kA, float, kAvx512MRf>,
+    &vadd_t<kA, float>,
+    &vsub_t<kA, float>,
+    &vaxpby_t<kA, float>,
+};
+
+static_assert(kAvx512MR <= kMaxMRT<double> && kAvx512NR <= kMaxNRT<double>,
+              "avx512 double tile exceeds the pack-buffer padding bound");
+static_assert(kAvx512MRf <= kMaxMRT<float> && kAvx512NRf <= kMaxNRT<float>,
+              "avx512 float tile exceeds the pack-buffer padding bound");
 
 }  // namespace
 
 const KernelInfo* kernel_avx512() { return &kAvx512Kernel; }
+const KernelInfoF* kernel_avx512_f() { return &kAvx512KernelF; }
 
 }  // namespace strassen::blas::detail
 
@@ -70,6 +111,7 @@ const KernelInfo* kernel_avx512() { return &kAvx512Kernel; }
 namespace strassen::blas::detail {
 
 const KernelInfo* kernel_avx512() { return nullptr; }
+const KernelInfoF* kernel_avx512_f() { return nullptr; }
 
 }  // namespace strassen::blas::detail
 

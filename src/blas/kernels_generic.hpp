@@ -1,6 +1,6 @@
 // Shared generic implementations behind every KernelInfo variant: packing,
 // tile write-back, vector combines, and the reference micro-kernel, all
-// parameterized on the register tile.
+// parameterized on the register tile and the element type.
 //
 // Every template carries the KernelArch tag as a parameter even where the
 // code does not use it. This is deliberate and load-bearing: each variant
@@ -21,16 +21,16 @@ namespace strassen::blas::detail {
 /// Packs an mc x kc block of op(A) (strides rs/cs) into MR-row panels:
 /// out[(ip/MR) panel][p*MR + r], zero-padding rows beyond mc so the
 /// micro-kernel never needs row masking on its inputs.
-template <KernelArch A, index_t MR>
-void pack_a_t(const double* a, index_t rs, index_t cs, index_t mc, index_t kc,
-              double* out) {
+template <KernelArch A, class T, index_t MR>
+void pack_a_t(const T* a, index_t rs, index_t cs, index_t mc, index_t kc,
+              T* out) {
   for (index_t ip = 0; ip < mc; ip += MR) {
     const index_t rows = (mc - ip < MR) ? (mc - ip) : MR;
     for (index_t p = 0; p < kc; ++p) {
-      const double* col = a + ip * rs + p * cs;
+      const T* col = a + ip * rs + p * cs;
       index_t r = 0;
       for (; r < rows; ++r) out[p * MR + r] = col[r * rs];
-      for (; r < MR; ++r) out[p * MR + r] = 0.0;
+      for (; r < MR; ++r) out[p * MR + r] = T(0);
     }
     out += MR * kc;
   }
@@ -38,16 +38,16 @@ void pack_a_t(const double* a, index_t rs, index_t cs, index_t mc, index_t kc,
 
 /// Packs a kc x nc block of op(B) into NR-column panels:
 /// out[(jp/NR) panel][p*NR + c], zero-padding columns beyond nc.
-template <KernelArch A, index_t NR>
-void pack_b_t(const double* b, index_t rs, index_t cs, index_t kc, index_t nc,
-              double* out) {
+template <KernelArch A, class T, index_t NR>
+void pack_b_t(const T* b, index_t rs, index_t cs, index_t kc, index_t nc,
+              T* out) {
   for (index_t jp = 0; jp < nc; jp += NR) {
     const index_t cols = (nc - jp < NR) ? (nc - jp) : NR;
     for (index_t p = 0; p < kc; ++p) {
-      const double* row = b + p * rs + jp * cs;
+      const T* row = b + p * rs + jp * cs;
       index_t c = 0;
       for (; c < cols; ++c) out[p * NR + c] = row[c * cs];
-      for (; c < NR; ++c) out[p * NR + c] = 0.0;
+      for (; c < NR; ++c) out[p * NR + c] = T(0);
     }
     out += NR * kc;
   }
@@ -55,27 +55,27 @@ void pack_b_t(const double* b, index_t rs, index_t cs, index_t kc, index_t nc,
 
 /// Linear-combination generalization of pack_a_t: packs the mc x kc block
 /// of sum_i gamma_i * op(A_i) in one pass.
-template <KernelArch A, index_t MR>
-void pack_a_comb_t(const PackTerm* terms, int nterms, index_t mc, index_t kc,
-                   double* out) {
-  if (nterms == 1 && terms[0].gamma == 1.0) {
-    pack_a_t<A, MR>(terms[0].p, terms[0].rs, terms[0].cs, mc, kc, out);
+template <KernelArch A, class T, index_t MR>
+void pack_a_comb_t(const PackTermT<T>* terms, int nterms, index_t mc,
+                   index_t kc, T* out) {
+  if (nterms == 1 && terms[0].gamma == T(1)) {
+    pack_a_t<A, T, MR>(terms[0].p, terms[0].rs, terms[0].cs, mc, kc, out);
     return;
   }
   for (index_t ip = 0; ip < mc; ip += MR) {
     const index_t rows = (mc - ip < MR) ? (mc - ip) : MR;
     for (index_t p = 0; p < kc; ++p) {
-      double* o = out + p * MR;
+      T* o = out + p * MR;
       {
-        const PackTerm& t = terms[0];
-        const double* col = t.p + ip * t.rs + p * t.cs;
+        const PackTermT<T>& t = terms[0];
+        const T* col = t.p + ip * t.rs + p * t.cs;
         index_t r = 0;
         for (; r < rows; ++r) o[r] = t.gamma * col[r * t.rs];
-        for (; r < MR; ++r) o[r] = 0.0;
+        for (; r < MR; ++r) o[r] = T(0);
       }
       for (int s = 1; s < nterms; ++s) {
-        const PackTerm& t = terms[s];
-        const double* col = t.p + ip * t.rs + p * t.cs;
+        const PackTermT<T>& t = terms[s];
+        const T* col = t.p + ip * t.rs + p * t.cs;
         for (index_t r = 0; r < rows; ++r) o[r] += t.gamma * col[r * t.rs];
       }
     }
@@ -84,27 +84,27 @@ void pack_a_comb_t(const PackTerm* terms, int nterms, index_t mc, index_t kc,
 }
 
 /// Linear-combination generalization of pack_b_t.
-template <KernelArch A, index_t NR>
-void pack_b_comb_t(const PackTerm* terms, int nterms, index_t kc, index_t nc,
-                   double* out) {
-  if (nterms == 1 && terms[0].gamma == 1.0) {
-    pack_b_t<A, NR>(terms[0].p, terms[0].rs, terms[0].cs, kc, nc, out);
+template <KernelArch A, class T, index_t NR>
+void pack_b_comb_t(const PackTermT<T>* terms, int nterms, index_t kc,
+                   index_t nc, T* out) {
+  if (nterms == 1 && terms[0].gamma == T(1)) {
+    pack_b_t<A, T, NR>(terms[0].p, terms[0].rs, terms[0].cs, kc, nc, out);
     return;
   }
   for (index_t jp = 0; jp < nc; jp += NR) {
     const index_t cols = (nc - jp < NR) ? (nc - jp) : NR;
     for (index_t p = 0; p < kc; ++p) {
-      double* o = out + p * NR;
+      T* o = out + p * NR;
       {
-        const PackTerm& t = terms[0];
-        const double* row = t.p + p * t.rs + jp * t.cs;
+        const PackTermT<T>& t = terms[0];
+        const T* row = t.p + p * t.rs + jp * t.cs;
         index_t c = 0;
         for (; c < cols; ++c) o[c] = t.gamma * row[c * t.cs];
-        for (; c < NR; ++c) o[c] = 0.0;
+        for (; c < NR; ++c) o[c] = T(0);
       }
       for (int s = 1; s < nterms; ++s) {
-        const PackTerm& t = terms[s];
-        const double* row = t.p + p * t.rs + jp * t.cs;
+        const PackTermT<T>& t = terms[s];
+        const T* row = t.p + p * t.rs + jp * t.cs;
         for (index_t c = 0; c < cols; ++c) o[c] += t.gamma * row[c * t.cs];
       }
     }
@@ -115,15 +115,14 @@ void pack_b_comb_t(const PackTerm* terms, int nterms, index_t kc, index_t nc,
 /// Reference micro-kernel: acc[r + c*MR] = sum_p a[p*MR+r] * b[p*NR+c].
 /// The scalar variant uses this directly; the SIMD variants replace it with
 /// intrinsics but keep the identical accumulator layout.
-template <KernelArch A, index_t MR, index_t NR>
-void micro_kernel_t(index_t kc, const double* a, const double* b,
-                    double* acc) {
-  double t[MR * NR] = {};
+template <KernelArch A, class T, index_t MR, index_t NR>
+void micro_kernel_t(index_t kc, const T* a, const T* b, T* acc) {
+  T t[MR * NR] = {};
   for (index_t p = 0; p < kc; ++p) {
-    const double* ap = a + p * MR;
-    const double* bp = b + p * NR;
+    const T* ap = a + p * MR;
+    const T* bp = b + p * NR;
     for (index_t c = 0; c < NR; ++c) {
-      const double bv = bp[c];
+      const T bv = bp[c];
       for (index_t r = 0; r < MR; ++r) {
         t[r + c * MR] += ap[r] * bv;
       }
@@ -133,16 +132,16 @@ void micro_kernel_t(index_t kc, const double* a, const double* b,
 }
 
 /// C <- alpha*acc + beta_eff*C over the valid rows x cols tile corner.
-template <KernelArch A, index_t MR>
-void write_tile_t(const double* acc, index_t rows, index_t cols, double alpha,
-                  double beta_eff, double* c, index_t ldc) {
-  if (beta_eff == 0.0) {
+template <KernelArch A, class T, index_t MR>
+void write_tile_t(const T* acc, index_t rows, index_t cols, T alpha,
+                  T beta_eff, T* c, index_t ldc) {
+  if (beta_eff == T(0)) {
     for (index_t j = 0; j < cols; ++j) {
       for (index_t i = 0; i < rows; ++i) {
         c[i + j * ldc] = alpha * acc[i + j * MR];
       }
     }
-  } else if (beta_eff == 1.0) {
+  } else if (beta_eff == T(1)) {
     for (index_t j = 0; j < cols; ++j) {
       for (index_t i = 0; i < rows; ++i) {
         c[i + j * ldc] += alpha * acc[i + j * MR];
@@ -158,23 +157,23 @@ void write_tile_t(const double* acc, index_t rows, index_t cols, double alpha,
 }
 
 /// d[i] = x[i] + y[i] over contiguous arrays.
-template <KernelArch A>
-void vadd_t(const double* x, const double* y, double* d, index_t n) {
+template <KernelArch A, class T>
+void vadd_t(const T* x, const T* y, T* d, index_t n) {
   for (index_t i = 0; i < n; ++i) d[i] = x[i] + y[i];
 }
 
 /// d[i] = x[i] - y[i] over contiguous arrays.
-template <KernelArch A>
-void vsub_t(const double* x, const double* y, double* d, index_t n) {
+template <KernelArch A, class T>
+void vsub_t(const T* x, const T* y, T* d, index_t n) {
   for (index_t i = 0; i < n; ++i) d[i] = x[i] - y[i];
 }
 
 /// d[i] = a*x[i] + b*d[i] over contiguous arrays. b == 0 never reads d,
 /// so the helper doubles as a scaled copy into uninitialized storage
 /// (0 * garbage could be NaN otherwise).
-template <KernelArch A>
-void vaxpby_t(double a, const double* x, double b, double* d, index_t n) {
-  if (b == 0.0) {
+template <KernelArch A, class T>
+void vaxpby_t(T a, const T* x, T b, T* d, index_t n) {
+  if (b == T(0)) {
     for (index_t i = 0; i < n; ++i) d[i] = a * x[i];
     return;
   }

@@ -4,7 +4,10 @@
 
 namespace strassen::blas {
 
-void dcopy(index_t n, const double* x, index_t incx, double* y, index_t incy) {
+namespace {
+
+template <class T>
+void copy_t(index_t n, const T* x, index_t incx, T* y, index_t incy) {
   assert(n >= 0 && incx > 0 && incy > 0);
   if (incx == 1 && incy == 1) {
     for (index_t i = 0; i < n; ++i) y[i] = x[i];
@@ -13,7 +16,8 @@ void dcopy(index_t n, const double* x, index_t incx, double* y, index_t incy) {
   for (index_t i = 0; i < n; ++i) y[i * incy] = x[i * incx];
 }
 
-void dscal(index_t n, double alpha, double* x, index_t incx) {
+template <class T>
+void scal_t(index_t n, T alpha, T* x, index_t incx) {
   assert(n >= 0 && incx > 0);
   if (incx == 1) {
     for (index_t i = 0; i < n; ++i) x[i] *= alpha;
@@ -22,10 +26,11 @@ void dscal(index_t n, double alpha, double* x, index_t incx) {
   for (index_t i = 0; i < n; ++i) x[i * incx] *= alpha;
 }
 
-void daxpy(index_t n, double alpha, const double* x, index_t incx, double* y,
-           index_t incy) {
+template <class T>
+void axpy_t(index_t n, T alpha, const T* x, index_t incx, T* y,
+            index_t incy) {
   assert(n >= 0 && incx > 0 && incy > 0);
-  if (alpha == 0.0) return;
+  if (alpha == T(0)) return;
   if (incx == 1 && incy == 1) {
     for (index_t i = 0; i < n; ++i) y[i] += alpha * x[i];
     return;
@@ -33,16 +38,55 @@ void daxpy(index_t n, double alpha, const double* x, index_t incx, double* y,
   for (index_t i = 0; i < n; ++i) y[i * incy] += alpha * x[i * incx];
 }
 
-double ddot(index_t n, const double* x, index_t incx, const double* y,
-            index_t incy) {
+template <class T>
+T dot_t(index_t n, const T* x, index_t incx, const T* y, index_t incy) {
   assert(n >= 0 && incx > 0 && incy > 0);
-  double sum = 0.0;
+  T sum = T(0);
   if (incx == 1 && incy == 1) {
     for (index_t i = 0; i < n; ++i) sum += x[i] * y[i];
     return sum;
   }
   for (index_t i = 0; i < n; ++i) sum += x[i * incx] * y[i * incy];
   return sum;
+}
+
+}  // namespace
+
+void dcopy(index_t n, const double* x, index_t incx, double* y,
+           index_t incy) {
+  copy_t<double>(n, x, incx, y, incy);
+}
+
+void scopy(index_t n, const float* x, index_t incx, float* y, index_t incy) {
+  copy_t<float>(n, x, incx, y, incy);
+}
+
+void dscal(index_t n, double alpha, double* x, index_t incx) {
+  scal_t<double>(n, alpha, x, incx);
+}
+
+void sscal(index_t n, float alpha, float* x, index_t incx) {
+  scal_t<float>(n, alpha, x, incx);
+}
+
+void daxpy(index_t n, double alpha, const double* x, index_t incx, double* y,
+           index_t incy) {
+  axpy_t<double>(n, alpha, x, incx, y, incy);
+}
+
+void saxpy(index_t n, float alpha, const float* x, index_t incx, float* y,
+           index_t incy) {
+  axpy_t<float>(n, alpha, x, incx, y, incy);
+}
+
+double ddot(index_t n, const double* x, index_t incx, const double* y,
+            index_t incy) {
+  return dot_t<double>(n, x, incx, y, incy);
+}
+
+float sdot(index_t n, const float* x, index_t incx, const float* y,
+           index_t incy) {
+  return dot_t<float>(n, x, incx, y, incy);
 }
 
 }  // namespace strassen::blas

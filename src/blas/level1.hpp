@@ -12,16 +12,22 @@ namespace strassen::blas {
 
 /// y <- x  (n elements, strides incx/incy; strides must be positive).
 void dcopy(index_t n, const double* x, index_t incx, double* y, index_t incy);
+void scopy(index_t n, const float* x, index_t incx, float* y, index_t incy);
 
 /// x <- alpha * x.
 void dscal(index_t n, double alpha, double* x, index_t incx);
+void sscal(index_t n, float alpha, float* x, index_t incx);
 
 /// y <- alpha * x + y.
 void daxpy(index_t n, double alpha, const double* x, index_t incx, double* y,
            index_t incy);
+void saxpy(index_t n, float alpha, const float* x, index_t incx, float* y,
+           index_t incy);
 
-/// Returns x . y.
+/// Returns x . y (accumulated in the element type).
 double ddot(index_t n, const double* x, index_t incx, const double* y,
             index_t incy);
+float sdot(index_t n, const float* x, index_t incx, const float* y,
+           index_t incy);
 
 }  // namespace strassen::blas

@@ -1,48 +1,93 @@
 #include "blas/level2.hpp"
 
 #include <cassert>
+#include <type_traits>
 
 #include "blas/level1.hpp"
 #include "support/opcount.hpp"
 
 namespace strassen::blas {
 
-void dgemv(Trans trans, index_t m, index_t n, double alpha, const double* a,
-           index_t lda, const double* x, index_t incx, double beta, double* y,
-           index_t incy) {
+namespace {
+
+template <class T>
+void gemv_t(Trans trans, index_t m, index_t n, T alpha, const T* a,
+            index_t lda, const T* x, index_t incx, T beta, T* y,
+            index_t incy) {
   assert(m >= 0 && n >= 0 && lda >= (m > 0 ? m : 1));
   const index_t ylen = is_trans(trans) ? n : m;
   if (ylen == 0) return;
 
-  if (beta == 0.0) {
-    for (index_t i = 0; i < ylen; ++i) y[i * incy] = 0.0;
-  } else if (beta != 1.0) {
-    dscal(ylen, beta, y, incy);
+  if (beta == T(0)) {
+    for (index_t i = 0; i < ylen; ++i) y[i * incy] = T(0);
+  } else if (beta != T(1)) {
+    if constexpr (std::is_same_v<T, float>) {
+      sscal(ylen, beta, y, incy);
+    } else {
+      dscal(ylen, beta, y, incy);
+    }
   }
-  if (alpha == 0.0 || m == 0 || n == 0) return;
+  if (alpha == T(0) || m == 0 || n == 0) return;
 
   if (!is_trans(trans)) {
     // y += alpha * A x: accumulate columns of A scaled by x.
     for (index_t j = 0; j < n; ++j) {
-      daxpy(m, alpha * x[j * incx], a + j * lda, 1, y, incy);
+      if constexpr (std::is_same_v<T, float>) {
+        saxpy(m, alpha * x[j * incx], a + j * lda, 1, y, incy);
+      } else {
+        daxpy(m, alpha * x[j * incx], a + j * lda, 1, y, incy);
+      }
     }
   } else {
     // y_j += alpha * (A(:,j) . x).
     for (index_t j = 0; j < n; ++j) {
-      y[j * incy] += alpha * ddot(m, a + j * lda, 1, x, incx);
+      if constexpr (std::is_same_v<T, float>) {
+        y[j * incy] += alpha * sdot(m, a + j * lda, 1, x, incx);
+      } else {
+        y[j * incy] += alpha * ddot(m, a + j * lda, 1, x, incx);
+      }
     }
   }
   opcount::record_gemv(m, n);
 }
 
-void dger(index_t m, index_t n, double alpha, const double* x, index_t incx,
-          const double* y, index_t incy, double* a, index_t lda) {
+template <class T>
+void ger_t(index_t m, index_t n, T alpha, const T* x, index_t incx,
+           const T* y, index_t incy, T* a, index_t lda) {
   assert(m >= 0 && n >= 0 && lda >= (m > 0 ? m : 1));
-  if (m == 0 || n == 0 || alpha == 0.0) return;
+  if (m == 0 || n == 0 || alpha == T(0)) return;
   for (index_t j = 0; j < n; ++j) {
-    daxpy(m, alpha * y[j * incy], x, incx, a + j * lda, 1);
+    if constexpr (std::is_same_v<T, float>) {
+      saxpy(m, alpha * y[j * incy], x, incx, a + j * lda, 1);
+    } else {
+      daxpy(m, alpha * y[j * incy], x, incx, a + j * lda, 1);
+    }
   }
   opcount::record_ger(m, n);
+}
+
+}  // namespace
+
+void dgemv(Trans trans, index_t m, index_t n, double alpha, const double* a,
+           index_t lda, const double* x, index_t incx, double beta, double* y,
+           index_t incy) {
+  gemv_t<double>(trans, m, n, alpha, a, lda, x, incx, beta, y, incy);
+}
+
+void sgemv(Trans trans, index_t m, index_t n, float alpha, const float* a,
+           index_t lda, const float* x, index_t incx, float beta, float* y,
+           index_t incy) {
+  gemv_t<float>(trans, m, n, alpha, a, lda, x, incx, beta, y, incy);
+}
+
+void dger(index_t m, index_t n, double alpha, const double* x, index_t incx,
+          const double* y, index_t incy, double* a, index_t lda) {
+  ger_t<double>(m, n, alpha, x, incx, y, incy, a, lda);
+}
+
+void sger(index_t m, index_t n, float alpha, const float* x, index_t incx,
+          const float* y, index_t incy, float* a, index_t lda) {
+  ger_t<float>(m, n, alpha, x, incx, y, incy, a, lda);
 }
 
 }  // namespace strassen::blas

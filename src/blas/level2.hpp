@@ -15,9 +15,14 @@ namespace strassen::blas {
 void dgemv(Trans trans, index_t m, index_t n, double alpha, const double* a,
            index_t lda, const double* x, index_t incx, double beta, double* y,
            index_t incy);
+void sgemv(Trans trans, index_t m, index_t n, float alpha, const float* a,
+           index_t lda, const float* x, index_t incx, float beta, float* y,
+           index_t incy);
 
 /// A <- alpha * x * y^T + A, with A column-major m x n.
 void dger(index_t m, index_t n, double alpha, const double* x, index_t incx,
           const double* y, index_t incy, double* a, index_t lda);
+void sger(index_t m, index_t n, float alpha, const float* x, index_t incx,
+          const float* y, index_t incy, float* a, index_t lda);
 
 }  // namespace strassen::blas

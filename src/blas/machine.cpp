@@ -67,17 +67,18 @@ index_t round_down_multiple(index_t v, index_t unit) {
 // Results are clamped to sane ranges so degenerate cache reports cannot
 // produce pathological blockings, and are deterministic per (kernel,
 // machine) for the life of the process.
-GemmBlocking blocking_for_kernel(const KernelInfo& kv) {
+template <class T>
+GemmBlocking blocking_for_kernel(const KernelInfoT<T>& kv) {
   const CacheSizes& cs = caches();
-  constexpr long kDouble = static_cast<long>(sizeof(double));
+  constexpr long kElem = static_cast<long>(sizeof(T));
 
-  index_t kc = static_cast<index_t>((cs.l1 / 2) / (kv.nr * kDouble));
+  index_t kc = static_cast<index_t>((cs.l1 / 2) / (kv.nr * kElem));
   kc = std::clamp<index_t>(round_down_multiple(kc, 4), 64, 512);
 
-  index_t mc = static_cast<index_t>((cs.l2 / 2) / (kc * kDouble));
+  index_t mc = static_cast<index_t>((cs.l2 / 2) / (kc * kElem));
   mc = std::clamp<index_t>(round_down_multiple(mc, kv.mr), 4 * kv.mr, 1024);
 
-  index_t nc = static_cast<index_t>((cs.l3 / 2) / (kc * kDouble));
+  index_t nc = static_cast<index_t>((cs.l3 / 2) / (kc * kElem));
   nc = std::clamp<index_t>(round_down_multiple(nc, kv.nr), 16 * kv.nr, 8192);
 
   return GemmBlocking{mc, kc, nc};
@@ -110,6 +111,18 @@ GemmBlocking blocking_for(Machine m) {
       return {48, 48, 512};
   }
   return blocking_for_kernel(active_kernel());
+}
+
+GemmBlocking blocking_for_f(Machine m) {
+  switch (m) {
+    case Machine::rs6000:
+      return blocking_for_kernel(active_kernel_f());
+    case Machine::c90:
+      return {512, 512, 4096};
+    case Machine::t3d:
+      return {48, 48, 512};
+  }
+  return blocking_for_kernel(active_kernel_f());
 }
 
 Machine active_machine() { return g_active; }

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <string>
+#include <type_traits>
 
 #include "support/config.hpp"
 
@@ -48,6 +49,21 @@ struct GemmBlocking {
 /// does; c90/t3d keep their fixed historical values. Deterministic per
 /// (kernel, machine) for the life of the process.
 GemmBlocking blocking_for(Machine m);
+
+/// Float blocking for a profile: the same cache-budget derivation with
+/// sizeof(float) and the active *float* kernel's MR/NR, so float blocks
+/// fill the caches as fully as double blocks do (kc/mc/nc roughly double).
+GemmBlocking blocking_for_f(Machine m);
+
+/// Element-type generic access: blocking_for_t<double> == blocking_for.
+template <class T>
+inline GemmBlocking blocking_for_t(Machine m) {
+  if constexpr (std::is_same_v<T, float>) {
+    return blocking_for_f(m);
+  } else {
+    return blocking_for(m);
+  }
+}
 
 /// Process-wide active profile (defaults to rs6000). The Strassen code and
 /// the benchmarks select the "machine" once and every dgemm call follows it.

@@ -12,41 +12,47 @@ namespace strassen::blas {
 
 namespace {
 
-// Pack-buffer sizes in doubles for a blocking. Padding uses the kMaxMR /
-// kMaxNR bounds rather than the active kernel's MR/NR so scratch warmed for
-// a blocking fits every kernel variant: the worst-case edge panel rounds mc
-// up to a multiple of MR (< mc + MR <= mc + kMaxMR), likewise for nc.
-std::size_t a_pack_doubles(const GemmBlocking& bk) {
-  return static_cast<std::size_t>(bk.mc + kMaxMR) *
+// Pack-buffer sizes in elements for a blocking. Padding uses the
+// kMaxMRT<T> / kMaxNRT<T> bounds rather than the active kernel's MR/NR so
+// scratch warmed for a blocking fits every kernel variant: the worst-case
+// edge panel rounds mc up to a multiple of MR (< mc + MR <= mc + kMaxMR),
+// likewise for nc.
+template <class T>
+std::size_t a_pack_elems(const GemmBlocking& bk) {
+  return static_cast<std::size_t>(bk.mc + kMaxMRT<T>) *
          static_cast<std::size_t>(bk.kc);
 }
 
-std::size_t b_pack_doubles(const GemmBlocking& bk) {
+template <class T>
+std::size_t b_pack_elems(const GemmBlocking& bk) {
   return static_cast<std::size_t>(bk.kc) *
-         static_cast<std::size_t>(bk.nc + kMaxNR);
+         static_cast<std::size_t>(bk.nc + kMaxNRT<T>);
 }
 
-// Per-thread packing buffers. These belong to the GEMM implementation (the
-// vendor BLAS on the paper's machines has the same kind of internal
-// scratch) and are deliberately *not* drawn from the Strassen workspace
-// arena: Table 1 counts Strassen temporaries, not BLAS internals. The fused
-// schedule inherits this accounting: its operand sums live here, inside
-// buffers a plain DGEMM call of the same blocking already needs.
+// Per-thread packing buffers, one set per element type. These belong to the
+// GEMM implementation (the vendor BLAS on the paper's machines has the same
+// kind of internal scratch) and are deliberately *not* drawn from the
+// Strassen workspace arena: Table 1 counts Strassen temporaries, not BLAS
+// internals. The fused schedule inherits this accounting: its operand sums
+// live here, inside buffers a plain GEMM call of the same blocking already
+// needs.
 //
 // Under intra-GEMM parallelism every task packs A into the scratch of the
-// thread that executes it, so the DGEFMM pre-flight must warm the pool
+// thread that executes it, so the GEFMM pre-flight must warm the pool
 // workers too (ensure_pack_capacity_all_workers) before the no-fail region.
-struct PackBuffers {
-  AlignedBuffer a_pack;
-  AlignedBuffer b_pack;
+template <class T>
+struct PackBuffersT {
+  AlignedBufferT<T> a_pack;
+  AlignedBufferT<T> b_pack;
   void ensure(std::size_t a_need, std::size_t b_need) {
-    if (a_pack.size() < a_need) a_pack = AlignedBuffer(a_need);
-    if (b_pack.size() < b_need) b_pack = AlignedBuffer(b_need);
+    if (a_pack.size() < a_need) a_pack = AlignedBufferT<T>(a_need);
+    if (b_pack.size() < b_need) b_pack = AlignedBufferT<T>(b_need);
   }
 };
 
-PackBuffers& pack_buffers() {
-  thread_local PackBuffers bufs;
+template <class T>
+PackBuffersT<T>& pack_buffers() {
+  thread_local PackBuffersT<T> bufs;
   return bufs;
 }
 
@@ -68,12 +74,13 @@ int& gemm_threads_slot() {
 // Everything one (jc, pc) iteration shares across its ic tasks. Lives on
 // the submitting thread's stack; tasks read it while the submitter blocks
 // in run_batch_nofail.
-struct PanelArgs {
-  const KernelInfo* kv;
+template <class T>
+struct PanelArgsT {
+  const KernelInfoT<T>* kv;
   const GemmBlocking* bk;
-  const PackComb* a;
-  const double* b_pack;
-  const WriteDest* dst;
+  const PackCombT<T>* a;
+  const T* b_pack;
+  const WriteDestT<T>* dst;
   int ndst;
   index_t jc, pc, nc, kc;
   bool first_panel;
@@ -84,15 +91,16 @@ struct PanelArgs {
 // The range bounds are multiples of mc (except ic1 == m), so distinct
 // ranges touch disjoint C rows and the per-element arithmetic is identical
 // to the serial nest regardless of how the ranges are split.
-void run_ic_range(const PanelArgs& g, index_t ic0, index_t ic1) {
-  const KernelInfo& kv = *g.kv;
+template <class T>
+void run_ic_range(const PanelArgsT<T>& g, index_t ic0, index_t ic1) {
+  const KernelInfoT<T>& kv = *g.kv;
   const GemmBlocking& bk = *g.bk;
-  PackBuffers& bufs = pack_buffers();
-  bufs.ensure(a_pack_doubles(bk), 0);  // no-op on a warmed thread
-  double* a_pack = bufs.a_pack.data();
+  PackBuffersT<T>& bufs = pack_buffers<T>();
+  bufs.ensure(a_pack_elems<T>(bk), 0);  // no-op on a warmed thread
+  T* a_pack = bufs.a_pack.data();
 
-  alignas(kBufferAlignment) double acc[kMaxMR * kMaxNR];
-  PackTerm a_terms[kPackMaxTerms];
+  alignas(kBufferAlignment) T acc[kMaxMRT<T> * kMaxNRT<T>];
+  PackTermT<T> a_terms[kPackMaxTerms];
   const index_t kc = g.kc;
   const index_t nc = g.nc;
   const index_t nc_panels = (nc + kv.nr - 1) / kv.nr;
@@ -105,17 +113,17 @@ void run_ic_range(const PanelArgs& g, index_t ic0, index_t ic1) {
     kv.pack_a_comb(a_terms, g.a->n, mc, kc, a_pack);
     const index_t mc_panels = (mc + kv.mr - 1) / kv.mr;
     for (index_t jr = 0; jr < nc_panels; ++jr) {
-      const double* bp = g.b_pack + jr * (kv.nr * kc);
+      const T* bp = g.b_pack + jr * (kv.nr * kc);
       const index_t cols =
           (nc - jr * kv.nr < kv.nr) ? (nc - jr * kv.nr) : kv.nr;
       for (index_t ir = 0; ir < mc_panels; ++ir) {
-        const double* ap = a_pack + ir * (kv.mr * kc);
+        const T* ap = a_pack + ir * (kv.mr * kc);
         const index_t rows =
             (mc - ir * kv.mr < kv.mr) ? (mc - ir * kv.mr) : kv.mr;
         kv.micro_kernel(kc, ap, bp, acc);
         for (int d = 0; d < g.ndst; ++d) {
           kv.write_tile(acc, rows, cols, g.dst[d].alpha,
-                        g.first_panel ? g.dst[d].beta : 1.0,
+                        g.first_panel ? g.dst[d].beta : T(1),
                         g.dst[d].c + (ic + ir * kv.mr) +
                             (g.jc + jr * kv.nr) * g.dst[d].ldc,
                         g.dst[d].ldc);
@@ -126,13 +134,15 @@ void run_ic_range(const PanelArgs& g, index_t ic0, index_t ic1) {
 }
 
 // One fanned-out slice of the ic loop (raw thread-pool task).
-struct IcTask {
-  const PanelArgs* g;
+template <class T>
+struct IcTaskT {
+  const PanelArgsT<T>* g;
   index_t ic0, ic1;
 };
 
+template <class T>
 void run_ic_task(void* arg) {
-  const IcTask* t = static_cast<const IcTask*>(arg);
+  const IcTaskT<T>* t = static_cast<const IcTaskT<T>*>(arg);
   run_ic_range(*t->g, t->ic0, t->ic1);
 }
 
@@ -161,23 +171,25 @@ int packed_gemm_threads(const GemmBlocking& bk, index_t m, index_t n,
   return want < 1 ? 1 : want;
 }
 
+template <class T>
 void packed_gemm_multi(const GemmBlocking& bk, index_t m, index_t n,
-                       index_t k, const PackComb& a, const PackComb& b,
-                       const WriteDest* dst, int ndst) {
+                       index_t k, const PackCombT<T>& a,
+                       const PackCombT<T>& b, const WriteDestT<T>* dst,
+                       int ndst) {
   assert(a.n >= 1 && a.n <= kPackMaxTerms);
   assert(b.n >= 1 && b.n <= kPackMaxTerms);
   assert(ndst >= 1 && ndst <= kPackMaxDests);
   if (m == 0 || n == 0 || k == 0) return;
 
-  const KernelInfo& kv = active_kernel();
-  assert(kv.mr <= kMaxMR && kv.nr <= kMaxNR);
+  const KernelInfoT<T>& kv = active_kernel_t<T>();
+  assert(kv.mr <= kMaxMRT<T> && kv.nr <= kMaxNRT<T>);
   const int ntasks = packed_gemm_threads(bk, m, n, k);
 
-  PackBuffers& bufs = pack_buffers();
-  bufs.ensure(a_pack_doubles(bk), b_pack_doubles(bk));
-  double* b_pack = bufs.b_pack.data();
+  PackBuffersT<T>& bufs = pack_buffers<T>();
+  bufs.ensure(a_pack_elems<T>(bk), b_pack_elems<T>(bk));
+  T* b_pack = bufs.b_pack.data();
 
-  PackTerm b_terms[kPackMaxTerms];
+  PackTermT<T> b_terms[kPackMaxTerms];
 
   for (index_t jc = 0; jc < n; jc += bk.nc) {
     const index_t nc = (n - jc < bk.nc) ? (n - jc) : bk.nc;
@@ -189,9 +201,9 @@ void packed_gemm_multi(const GemmBlocking& bk, index_t m, index_t n,
         b_terms[s].p += pc * b.term[s].rs + jc * b.term[s].cs;
       }
       kv.pack_b_comb(b_terms, b.n, kc, nc, b_pack);
-      const PanelArgs g{&kv, &bk,      &a, b_pack, dst,
-                        ndst, jc,      pc, nc,     kc,
-                        first_panel};
+      const PanelArgsT<T> g{&kv, &bk,      &a, b_pack, dst,
+                            ndst, jc,      pc, nc,     kc,
+                            first_panel};
       if (ntasks <= 1) {
         run_ic_range(g, 0, m);
         continue;
@@ -200,7 +212,7 @@ void packed_gemm_multi(const GemmBlocking& bk, index_t m, index_t n,
       // by (m, mc, ntasks) alone, so partitioning never depends on pool
       // scheduling. Workers read this (jc, pc)'s packed B from the
       // submitter's scratch, which stays pinned while we block below.
-      IcTask tasks[kMaxGemmTasks];
+      IcTaskT<T> tasks[kMaxGemmTasks];
       parallel::ThreadPool::RawTask raw[kMaxGemmTasks];
       const index_t blocks = (m + bk.mc - 1) / bk.mc;
       const index_t per = (blocks + ntasks - 1) / ntasks;
@@ -209,8 +221,8 @@ void packed_gemm_multi(const GemmBlocking& bk, index_t m, index_t n,
         const index_t ic0 = b0 * bk.mc;
         const index_t ic1 = std::min(m, (b0 + per) * bk.mc);
         assert(nt < kMaxGemmTasks);
-        tasks[nt] = IcTask{&g, ic0, ic1};
-        raw[nt] = parallel::ThreadPool::RawTask{&run_ic_task, &tasks[nt]};
+        tasks[nt] = IcTaskT<T>{&g, ic0, ic1};
+        raw[nt] = parallel::ThreadPool::RawTask{&run_ic_task<T>, &tasks[nt]};
         ++nt;
       }
       parallel::global_pool().run_batch_nofail(raw,
@@ -219,16 +231,34 @@ void packed_gemm_multi(const GemmBlocking& bk, index_t m, index_t n,
   }
 }
 
+template void packed_gemm_multi<double>(const GemmBlocking&, index_t,
+                                        index_t, index_t,
+                                        const PackCombT<double>&,
+                                        const PackCombT<double>&,
+                                        const WriteDestT<double>*, int);
+template void packed_gemm_multi<float>(const GemmBlocking&, index_t, index_t,
+                                       index_t, const PackCombT<float>&,
+                                       const PackCombT<float>&,
+                                       const WriteDestT<float>*, int);
+
+template <class T>
 void ensure_pack_capacity(const GemmBlocking& bk) {
-  pack_buffers().ensure(a_pack_doubles(bk), b_pack_doubles(bk));
+  pack_buffers<T>().ensure(a_pack_elems<T>(bk), b_pack_elems<T>(bk));
 }
 
+template void ensure_pack_capacity<double>(const GemmBlocking&);
+template void ensure_pack_capacity<float>(const GemmBlocking&);
+
+template <class T>
 void ensure_pack_capacity_all_workers(const GemmBlocking& bk) {
-  ensure_pack_capacity(bk);
+  ensure_pack_capacity<T>(bk);
   parallel::ThreadPool& pool = parallel::global_pool();
   if (pool.on_worker_thread()) return;  // the outer driver warmed the pool
   pool.run_on_each_worker(
-      [&bk](std::size_t) { ensure_pack_capacity(bk); });
+      [&bk](std::size_t) { ensure_pack_capacity<T>(bk); });
 }
+
+template void ensure_pack_capacity_all_workers<double>(const GemmBlocking&);
+template void ensure_pack_capacity_all_workers<float>(const GemmBlocking&);
 
 }  // namespace strassen::blas

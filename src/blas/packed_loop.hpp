@@ -2,7 +2,7 @@
 // for operand-fused Strassen in the style of Huang et al., "Implementing
 // Strassen's Algorithm with BLIS" (arXiv:1605.01078).
 //
-// The classic packed DGEMM packs one A block, one B block, and writes one C
+// The classic packed GEMM packs one A block, one B block, and writes one C
 // tile. This skeleton generalizes both ends of the pipeline:
 //
 //  * packing forms a *linear combination* of up to kPackMaxTerms equally
@@ -15,9 +15,12 @@
 //    Strassen's U accumulations ride the C write-back that a plain GEMM
 //    performs anyway.
 //
-// With one term and one destination this *is* the library's packed DGEMM
-// (gemm.cpp routes through here); the fused Winograd schedule in
-// src/core/winograd_fused.cpp is the other client.
+// With one term and one destination this *is* the library's packed DGEMM /
+// SGEMM (gemm.cpp routes through here); the fused Winograd schedule in
+// src/core/winograd_fused.cpp is the other client. Everything is templated
+// on the element type: PackCombT<double>/WriteDestT<double> drive the
+// double kernels, the float instantiations drive the float kernels, through
+// one shared loop nest.
 #pragma once
 
 #include <cassert>
@@ -39,27 +42,40 @@ inline constexpr int kPackMaxDests = 4;
 /// One gamma-weighted source operand of a packing linear combination.
 /// Element (i, j) of the term contributes gamma * p[i*rs + j*cs], so a
 /// transposed operand view needs no physical transpose (rs = ld, cs = 1).
-struct PackTerm {
-  const double* p = nullptr;
+template <class T>
+struct PackTermT {
+  const T* p = nullptr;
   index_t rs = 1;
   index_t cs = 0;
-  double gamma = 1.0;
+  T gamma = T(1);
 };
+
+using PackTerm = PackTermT<double>;
+using PackTermF = PackTermT<float>;
 
 /// A linear combination of up to kPackMaxTerms equally shaped operands.
-struct PackComb {
-  PackTerm term[kPackMaxTerms];
+template <class T>
+struct PackCombT {
+  PackTermT<T> term[kPackMaxTerms];
   int n = 0;
 
-  void add(ConstView v, double gamma) {
+  void add(BasicView<const T> v, T gamma) {
     assert(n < kPackMaxTerms);
-    term[n++] = PackTerm{v.p, v.rs, v.cs, gamma};
+    term[n++] = PackTermT<T>{v.p, v.rs, v.cs, gamma};
   }
 };
+
+using PackComb = PackCombT<double>;
+using PackCombF = PackCombT<float>;
 
 /// Builds a single-term combination from a view (the plain-GEMM case).
 inline PackComb pack_comb(ConstView v, double gamma = 1.0) {
   PackComb c;
+  c.add(v, gamma);
+  return c;
+}
+inline PackCombF pack_comb(ConstViewF v, float gamma = 1.0f) {
+  PackCombF c;
   c.add(v, gamma);
   return c;
 }
@@ -68,17 +84,25 @@ inline PackComb pack_comb(ConstView v, double gamma = 1.0) {
 /// On the first k-panel the block receives alpha*tile + beta*C (beta == 0
 /// assigns, so NaNs in uninitialized C never propagate); later k-panels
 /// accumulate alpha*tile on top.
-struct WriteDest {
-  double* c = nullptr;
+template <class T>
+struct WriteDestT {
+  T* c = nullptr;
   index_t ldc = 0;
-  double alpha = 1.0;
-  double beta = 1.0;
+  T alpha = T(1);
+  T beta = T(1);
 };
+
+using WriteDest = WriteDestT<double>;
+using WriteDestF = WriteDestT<float>;
 
 /// Builds a WriteDest from a column-major view.
 inline WriteDest write_dest(MutView v, double alpha, double beta) {
   assert(v.col_major());
   return WriteDest{v.p, v.ld_col(), alpha, beta};
+}
+inline WriteDestF write_dest(MutViewF v, float alpha, float beta) {
+  assert(v.col_major());
+  return WriteDestF{v.p, v.ld_col(), alpha, beta};
 }
 
 /// The skeleton: for every destination d,
@@ -95,9 +119,11 @@ inline WriteDest write_dest(MutView v, double alpha, double beta) {
 /// scratch and write disjoint C row partitions. The pc loop stays
 /// sequential (one barrier per k-panel), so the arithmetic per C element
 /// is identical for every thread count -- results are bitwise reproducible.
+template <class T>
 void packed_gemm_multi(const GemmBlocking& bk, index_t m, index_t n,
-                       index_t k, const PackComb& a, const PackComb& b,
-                       const WriteDest* dst, int ndst);
+                       index_t k, const PackCombT<T>& a,
+                       const PackCombT<T>& b, const WriteDestT<T>* dst,
+                       int ndst);
 
 /// Upper bound on the tasks one packed_gemm_multi call fans out.
 inline constexpr int kMaxGemmTasks = 64;
@@ -129,18 +155,20 @@ class ScopedGemmThreads {
 /// shape under the calling thread's current setting: 1 when the setting
 /// forces serial or m spans fewer than two mc blocks, else the setting
 /// (pool size when 0) clamped to the mc-block count and kMaxGemmTasks.
-/// Deterministic in (setting, pool size, bk, shape); the DGEFMM pre-flight
+/// Deterministic in (setting, pool size, bk, shape); the GEFMM pre-flight
 /// uses it to decide whether pool workers need warming.
 int packed_gemm_threads(const GemmBlocking& bk, index_t m, index_t n,
                         index_t k);
 
-/// Pre-allocates the calling thread's packing scratch for blocking `bk`.
-/// The DGEFMM driver calls this during its pre-flight so the compute phase
-/// performs no allocation at all: packed GEMM's only fallible operation is
-/// moved in front of the first write to C, which the failure policy relies
-/// on (DESIGN.md section 7). Buffers are sized with kMaxMR/kMaxNR edge
-/// padding, so scratch warmed for `bk` fits every kernel variant. May
-/// throw std::bad_alloc.
+/// Pre-allocates the calling thread's packing scratch for blocking `bk`
+/// and element type T (each element size has its own scratch, so warming
+/// one never shrinks the other). The GEFMM driver calls this during its
+/// pre-flight so the compute phase performs no allocation at all: packed
+/// GEMM's only fallible operation is moved in front of the first write to
+/// C, which the failure policy relies on (DESIGN.md section 7). Buffers
+/// are sized with the kMaxMRT<T>/kMaxNRT<T> edge padding, so scratch
+/// warmed for `bk` fits every kernel variant. May throw std::bad_alloc.
+template <class T = double>
 void ensure_pack_capacity(const GemmBlocking& bk);
 
 /// ensure_pack_capacity for the calling thread *and* every global-pool
@@ -151,6 +179,7 @@ void ensure_pack_capacity(const GemmBlocking& bk);
 /// pool worker it degrades to the calling-thread warm (the outer parallel
 /// driver has already warmed the pool). May throw std::bad_alloc or
 /// TaskError (fault injection).
+template <class T = double>
 void ensure_pack_capacity_all_workers(const GemmBlocking& bk);
 
 }  // namespace strassen::blas

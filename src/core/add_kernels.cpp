@@ -12,28 +12,29 @@ namespace {
 // Applies `op(d_elem, x_elem, y_elem)` over all elements: the strided
 // fallback for transposed operands. The destination is required to be
 // column-major so the inner loop is unit-stride on d.
-template <class F>
-void zip2(ConstView x, ConstView y, MutView d, F&& op) {
+template <class T, class F>
+void zip2(BasicView<const T> x, BasicView<const T> y, BasicView<T> d,
+          F&& op) {
   assert(x.rows == d.rows && x.cols == d.cols);
   assert(y.rows == d.rows && y.cols == d.cols);
   assert(d.col_major());
   for (index_t j = 0; j < d.cols; ++j) {
-    double* dj = d.p + j * d.cs;
-    const double* xj = x.p + j * x.cs;
-    const double* yj = y.p + j * y.cs;
+    T* dj = d.p + j * d.cs;
+    const T* xj = x.p + j * x.cs;
+    const T* yj = y.p + j * y.cs;
     for (index_t i = 0; i < d.rows; ++i) {
       dj[i] = op(xj[i * x.rs], yj[i * y.rs]);
     }
   }
 }
 
-template <class F>
-void zip1(MutView d, ConstView x, F&& op) {
+template <class T, class F>
+void zip1(BasicView<T> d, BasicView<const T> x, F&& op) {
   assert(x.rows == d.rows && x.cols == d.cols);
   assert(d.col_major());
   for (index_t j = 0; j < d.cols; ++j) {
-    double* dj = d.p + j * d.cs;
-    const double* xj = x.p + j * x.cs;
+    T* dj = d.p + j * d.cs;
+    const T* xj = x.p + j * x.cs;
     for (index_t i = 0; i < d.rows; ++i) {
       dj[i] = op(dj[i], xj[i * x.rs]);
     }
@@ -45,8 +46,9 @@ void zip1(MutView d, ConstView x, F&& op) {
 // unit-stride before routing here; transposed operands (rs != 1) take the
 // zip fallbacks above. The helpers live in the ISA-specific kernel TUs, so
 // the combines run at the same vector width as the GEMM itself.
-template <class F>
-void cols2(ConstView x, ConstView y, MutView d, F&& col) {
+template <class T, class F>
+void cols2(BasicView<const T> x, BasicView<const T> y, BasicView<T> d,
+           F&& col) {
   assert(x.rows == d.rows && x.cols == d.cols);
   assert(y.rows == d.rows && y.cols == d.cols);
   assert(d.col_major());
@@ -55,8 +57,8 @@ void cols2(ConstView x, ConstView y, MutView d, F&& col) {
   }
 }
 
-template <class F>
-void cols1(MutView d, ConstView x, F&& col) {
+template <class T, class F>
+void cols1(BasicView<T> d, BasicView<const T> x, F&& col) {
   assert(x.rows == d.rows && x.cols == d.cols);
   assert(d.col_major());
   for (index_t j = 0; j < d.cols; ++j) {
@@ -64,154 +66,195 @@ void cols1(MutView d, ConstView x, F&& col) {
   }
 }
 
-count_t elems(MutView d) { return static_cast<count_t>(d.rows) * d.cols; }
+template <class T>
+count_t elems(BasicView<T> d) {
+  return static_cast<count_t>(d.rows) * d.cols;
+}
 
-}  // namespace
-
-void add(ConstView x, ConstView y, MutView d) {
+template <class T>
+void add_t(BasicView<const T> x, BasicView<const T> y, BasicView<T> d) {
   if (x.rs == 1 && y.rs == 1) {
-    const blas::KernelInfo& kv = blas::active_kernel();
-    cols2(x, y, d,
-          [&](const double* xc, const double* yc, double* dc, index_t n) {
-            kv.vadd(xc, yc, dc, n);
-          });
+    const blas::KernelInfoT<T>& kv = blas::active_kernel_t<T>();
+    cols2<T>(x, y, d, [&](const T* xc, const T* yc, T* dc, index_t n) {
+      kv.vadd(xc, yc, dc, n);
+    });
   } else {
-    zip2(x, y, d, [](double a, double b) { return a + b; });
+    zip2<T>(x, y, d, [](T a, T b) { return a + b; });
   }
   opcount::record_add(elems(d));
 }
 
-void sub(ConstView x, ConstView y, MutView d) {
+template <class T>
+void sub_t(BasicView<const T> x, BasicView<const T> y, BasicView<T> d) {
   if (x.rs == 1 && y.rs == 1) {
-    const blas::KernelInfo& kv = blas::active_kernel();
-    cols2(x, y, d,
-          [&](const double* xc, const double* yc, double* dc, index_t n) {
-            kv.vsub(xc, yc, dc, n);
-          });
-  } else {
-    zip2(x, y, d, [](double a, double b) { return a - b; });
-  }
-  opcount::record_add(elems(d));
-}
-
-void add_inplace(MutView d, ConstView x) {
-  if (x.rs == 1) {
-    const blas::KernelInfo& kv = blas::active_kernel();
-    cols1(d, x, [&](const double* xc, double* dc, index_t n) {
-      kv.vaxpby(1.0, xc, 1.0, dc, n);
+    const blas::KernelInfoT<T>& kv = blas::active_kernel_t<T>();
+    cols2<T>(x, y, d, [&](const T* xc, const T* yc, T* dc, index_t n) {
+      kv.vsub(xc, yc, dc, n);
     });
   } else {
-    zip1(d, x, [](double dv, double xv) { return dv + xv; });
+    zip2<T>(x, y, d, [](T a, T b) { return a - b; });
   }
   opcount::record_add(elems(d));
 }
 
-void sub_inplace(MutView d, ConstView x) {
+template <class T>
+void add_inplace_t(BasicView<T> d, BasicView<const T> x) {
   if (x.rs == 1) {
-    const blas::KernelInfo& kv = blas::active_kernel();
-    cols1(d, x, [&](const double* xc, double* dc, index_t n) {
-      kv.vaxpby(-1.0, xc, 1.0, dc, n);
+    const blas::KernelInfoT<T>& kv = blas::active_kernel_t<T>();
+    cols1<T>(d, x, [&](const T* xc, T* dc, index_t n) {
+      kv.vaxpby(T(1), xc, T(1), dc, n);
     });
   } else {
-    zip1(d, x, [](double dv, double xv) { return dv - xv; });
+    zip1<T>(d, x, [](T dv, T xv) { return dv + xv; });
   }
   opcount::record_add(elems(d));
 }
 
-void rsub_inplace(MutView d, ConstView x) {
+template <class T>
+void sub_inplace_t(BasicView<T> d, BasicView<const T> x) {
   if (x.rs == 1) {
-    const blas::KernelInfo& kv = blas::active_kernel();
-    cols1(d, x, [&](const double* xc, double* dc, index_t n) {
-      kv.vaxpby(1.0, xc, -1.0, dc, n);
+    const blas::KernelInfoT<T>& kv = blas::active_kernel_t<T>();
+    cols1<T>(d, x, [&](const T* xc, T* dc, index_t n) {
+      kv.vaxpby(T(-1), xc, T(1), dc, n);
     });
   } else {
-    zip1(d, x, [](double dv, double xv) { return xv - dv; });
+    zip1<T>(d, x, [](T dv, T xv) { return dv - xv; });
   }
   opcount::record_add(elems(d));
 }
 
-void copy_into(ConstView x, MutView d) {
+template <class T>
+void rsub_inplace_t(BasicView<T> d, BasicView<const T> x) {
+  if (x.rs == 1) {
+    const blas::KernelInfoT<T>& kv = blas::active_kernel_t<T>();
+    cols1<T>(d, x, [&](const T* xc, T* dc, index_t n) {
+      kv.vaxpby(T(1), xc, T(-1), dc, n);
+    });
+  } else {
+    zip1<T>(d, x, [](T dv, T xv) { return xv - dv; });
+  }
+  opcount::record_add(elems(d));
+}
+
+template <class T>
+void copy_into_t(BasicView<const T> x, BasicView<T> d) {
   // vaxpby with b == 0 never reads d, so this is safe even when d is
   // uninitialized arena storage.
   if (x.rs == 1) {
-    const blas::KernelInfo& kv = blas::active_kernel();
-    cols1(d, x, [&](const double* xc, double* dc, index_t n) {
-      kv.vaxpby(1.0, xc, 0.0, dc, n);
+    const blas::KernelInfoT<T>& kv = blas::active_kernel_t<T>();
+    cols1<T>(d, x, [&](const T* xc, T* dc, index_t n) {
+      kv.vaxpby(T(1), xc, T(0), dc, n);
     });
   } else {
-    zip1(d, x, [](double, double xv) { return xv; });
+    zip1<T>(d, x, [](T, T xv) { return xv; });
   }
 }
 
-void axpy(double a, ConstView x, MutView d) {
-  if (a == 0.0) return;
-  if (a == 1.0) {
-    add_inplace(d, x);
+template <class T>
+void axpy_t(T a, BasicView<const T> x, BasicView<T> d) {
+  if (a == T(0)) return;
+  if (a == T(1)) {
+    add_inplace_t<T>(d, x);
     return;
   }
-  if (a == -1.0) {
-    sub_inplace(d, x);
+  if (a == T(-1)) {
+    sub_inplace_t<T>(d, x);
     return;
   }
   if (x.rs == 1) {
-    const blas::KernelInfo& kv = blas::active_kernel();
-    cols1(d, x, [&](const double* xc, double* dc, index_t n) {
-      kv.vaxpby(a, xc, 1.0, dc, n);
+    const blas::KernelInfoT<T>& kv = blas::active_kernel_t<T>();
+    cols1<T>(d, x, [&](const T* xc, T* dc, index_t n) {
+      kv.vaxpby(a, xc, T(1), dc, n);
     });
   } else {
-    zip1(d, x, [a](double dv, double xv) { return dv + a * xv; });
+    zip1<T>(d, x, [a](T dv, T xv) { return dv + a * xv; });
   }
   opcount::record_scale(elems(d));
   opcount::record_add(elems(d));
 }
 
-void scale(double b, MutView d) {
-  if (b == 1.0) return;
-  if (b == 0.0) {
+template <class T>
+void scale_t(T b, BasicView<T> d) {
+  if (b == T(1)) return;
+  if (b == T(0)) {
     for (index_t j = 0; j < d.cols; ++j) {
-      double* dj = d.p + j * d.cs;
-      for (index_t i = 0; i < d.rows; ++i) dj[i] = 0.0;
+      T* dj = d.p + j * d.cs;
+      for (index_t i = 0; i < d.rows; ++i) dj[i] = T(0);
     }
     return;
   }
   for (index_t j = 0; j < d.cols; ++j) {
-    double* dj = d.p + j * d.cs;
+    T* dj = d.p + j * d.cs;
     for (index_t i = 0; i < d.rows; ++i) dj[i] *= b;
   }
   opcount::record_scale(elems(d));
 }
 
-void axpby(double a, ConstView x, double b, MutView d) {
-  if (b == 0.0) {
-    if (a == 1.0) {
-      copy_into(x, d);
+template <class T>
+void axpby_t(T a, BasicView<const T> x, T b, BasicView<T> d) {
+  if (b == T(0)) {
+    if (a == T(1)) {
+      copy_into_t<T>(x, d);
     } else if (x.rs == 1) {
-      const blas::KernelInfo& kv = blas::active_kernel();
-      cols1(d, x, [&](const double* xc, double* dc, index_t n) {
-        kv.vaxpby(a, xc, 0.0, dc, n);
+      const blas::KernelInfoT<T>& kv = blas::active_kernel_t<T>();
+      cols1<T>(d, x, [&](const T* xc, T* dc, index_t n) {
+        kv.vaxpby(a, xc, T(0), dc, n);
       });
       opcount::record_scale(elems(d));
     } else {
-      zip1(d, x, [a](double, double xv) { return a * xv; });
+      zip1<T>(d, x, [a](T, T xv) { return a * xv; });
       opcount::record_scale(elems(d));
     }
     return;
   }
-  if (a == 1.0 && b == 1.0) {
-    add_inplace(d, x);
+  if (a == T(1) && b == T(1)) {
+    add_inplace_t<T>(d, x);
     return;
   }
   if (x.rs == 1) {
-    const blas::KernelInfo& kv = blas::active_kernel();
-    cols1(d, x, [&](const double* xc, double* dc, index_t n) {
+    const blas::KernelInfoT<T>& kv = blas::active_kernel_t<T>();
+    cols1<T>(d, x, [&](const T* xc, T* dc, index_t n) {
       kv.vaxpby(a, xc, b, dc, n);
     });
   } else {
-    zip1(d, x, [a, b](double dv, double xv) { return a * xv + b * dv; });
+    zip1<T>(d, x, [a, b](T dv, T xv) { return a * xv + b * dv; });
   }
-  if (a != 1.0) opcount::record_scale(elems(d));
-  if (b != 1.0) opcount::record_scale(elems(d));
+  if (a != T(1)) opcount::record_scale(elems(d));
+  if (b != T(1)) opcount::record_scale(elems(d));
   opcount::record_add(elems(d));
+}
+
+}  // namespace
+
+void add(ConstView x, ConstView y, MutView d) { add_t<double>(x, y, d); }
+void add(ConstViewF x, ConstViewF y, MutViewF d) { add_t<float>(x, y, d); }
+
+void sub(ConstView x, ConstView y, MutView d) { sub_t<double>(x, y, d); }
+void sub(ConstViewF x, ConstViewF y, MutViewF d) { sub_t<float>(x, y, d); }
+
+void add_inplace(MutView d, ConstView x) { add_inplace_t<double>(d, x); }
+void add_inplace(MutViewF d, ConstViewF x) { add_inplace_t<float>(d, x); }
+
+void sub_inplace(MutView d, ConstView x) { sub_inplace_t<double>(d, x); }
+void sub_inplace(MutViewF d, ConstViewF x) { sub_inplace_t<float>(d, x); }
+
+void rsub_inplace(MutView d, ConstView x) { rsub_inplace_t<double>(d, x); }
+void rsub_inplace(MutViewF d, ConstViewF x) { rsub_inplace_t<float>(d, x); }
+
+void copy_into(ConstView x, MutView d) { copy_into_t<double>(x, d); }
+void copy_into(ConstViewF x, MutViewF d) { copy_into_t<float>(x, d); }
+
+void axpy(double a, ConstView x, MutView d) { axpy_t<double>(a, x, d); }
+void axpy(float a, ConstViewF x, MutViewF d) { axpy_t<float>(a, x, d); }
+
+void scale(double b, MutView d) { scale_t<double>(b, d); }
+void scale(float b, MutViewF d) { scale_t<float>(b, d); }
+
+void axpby(double a, ConstView x, double b, MutView d) {
+  axpby_t<double>(a, x, b, d);
+}
+void axpby(float a, ConstViewF x, float b, MutViewF d) {
+  axpby_t<float>(a, x, b, d);
 }
 
 }  // namespace strassen::core

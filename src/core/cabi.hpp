@@ -96,4 +96,39 @@ void strassen_dgefmm_set_workspace_limit(std::int64_t limit_doubles);
 /// Releases the calling thread's cached binding workspace arena.
 void strassen_dgefmm_release_workspace(void);
 
+/// Single-precision C binding: drop-in SGEMM replacement with the same
+/// info-code contract as strassen_dgefmm. Uses its own thread_local float
+/// workspace arena (double and float bindings never share storage) and its
+/// own per-thread failure policy and workspace limit. Never throws.
+[[nodiscard]] int strassen_sgefmm(char transa, char transb, std::int64_t m,
+                                  std::int64_t n, std::int64_t k, float alpha,
+                                  const float* a, std::int64_t lda,
+                                  const float* b, std::int64_t ldb, float beta,
+                                  float* c, std::int64_t ldc);
+
+/// Same, with explicit hybrid-criterion parameters (eq. 15).
+[[nodiscard]] int strassen_sgefmm_tuned(char transa, char transb,
+                                        std::int64_t m, std::int64_t n,
+                                        std::int64_t k, float alpha,
+                                        const float* a, std::int64_t lda,
+                                        const float* b, std::int64_t ldb,
+                                        float beta, float* c, std::int64_t ldc,
+                                        double tau, double tau_m, double tau_k,
+                                        double tau_n);
+
+/// Fortran-77 binding: CALL SGEFMM(TRANSA, TRANSB, M, N, K, ALPHA, A, LDA,
+/// B, LDB, BETA, C, LDC, INFO) with REAL scalars/arrays. Same conventions
+/// as dgefmm_.
+void sgefmm_(const char* transa, const char* transb, const std::int32_t* m,
+             const std::int32_t* n, const std::int32_t* k, const float* alpha,
+             const float* a, const std::int32_t* lda, const float* b,
+             const std::int32_t* ldb, const float* beta, float* c,
+             const std::int32_t* ldc, std::int32_t* info);
+
+/// Float twins of the per-thread binding controls. The limit is counted in
+/// floats (elements, matching sgefmm_workspace_floats), not bytes.
+void strassen_sgefmm_set_failure_policy(char policy);
+void strassen_sgefmm_set_workspace_limit(std::int64_t limit_floats);
+void strassen_sgefmm_release_workspace(void);
+
 }  // extern "C"

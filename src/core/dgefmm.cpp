@@ -1,11 +1,13 @@
 #include "core/dgefmm.hpp"
 
 #include <algorithm>
+#include <type_traits>
 
 #include "blas/gemm.hpp"
 #include "blas/kernels.hpp"
 #include "blas/packed_loop.hpp"
 #include "core/padding.hpp"
+#include "core/sgefmm.hpp"
 #include "core/winograd.hpp"
 #include "core/winograd_fused.hpp"
 #include "support/faultinject.hpp"
@@ -33,49 +35,39 @@ int check_args(Trans transa, Trans transb, index_t m, index_t n, index_t k,
   return 0;
 }
 
-}  // namespace
-
-int dgefmm(Trans transa, Trans transb, index_t m, index_t n, index_t k,
-           double alpha, const double* a, index_t lda, const double* b,
-           index_t ldb, double beta, double* c, index_t ldc,
-           const DgefmmConfig& cfg) {
-  if (const int info = check_args(transa, transb, m, n, k, lda, ldb, ldc);
-      info != 0) {
-    return info;
+// Exact peak arena elements of the configured recursion, in the element
+// type's own units (the predictors count elements, so both forward to the
+// same recursion walk).
+template <class T>
+count_t workspace_elements(index_t m, index_t n, index_t k, T beta,
+                           const GefmmConfigT<T>& cfg) {
+  if constexpr (std::is_same_v<T, float>) {
+    return workspace_floats(m, n, k, beta, cfg);
+  } else {
+    return workspace_doubles(m, n, k, beta, cfg);
   }
-  if (m == 0 || n == 0) return 0;
-
-  // Pure scale/accumulate degenerate cases go straight to the BLAS path.
-  if (k == 0 || alpha == 0.0) {
-    blas::dgemm(transa, transb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
-    return 0;
-  }
-
-  const ConstView av = is_trans(transa)
-                           ? make_op_view(transa, a, k, m, lda)
-                           : make_op_view(transa, a, m, k, lda);
-  const ConstView bv = is_trans(transb)
-                           ? make_op_view(transb, b, n, k, ldb)
-                           : make_op_view(transb, b, k, n, ldb);
-  MutView cv = make_view(c, m, n, ldc);
-  dgefmm_view(alpha, av, bv, beta, cv, cfg);
-  return 0;
 }
 
-void dgefmm_view(double alpha, ConstView a, ConstView b, double beta,
-                 MutView c, const DgefmmConfig& cfg) {
+// The shared driver template behind dgefmm_view and sgefmm_view: pre-flight
+// acquisition (arena + pack scratch) under the failure contract, then the
+// no-fail dispatch into the schedule interpreters. The two public
+// instantiations differ only in element type; the lint tool checks the
+// acquire-before-first-C-write ordering of this single definition for both.
+template <class T>
+void gefmm_view_t(T alpha, BasicView<const T> a, BasicView<const T> b, T beta,
+                  BasicView<T> c, const GefmmConfigT<T>& cfg) {
   const std::size_t need = static_cast<std::size_t>(
-      workspace_doubles(c.rows, c.cols, a.cols, beta, cfg));
+      workspace_elements<T>(c.rows, c.cols, a.cols, beta, cfg));
   const long faults_before = faultinject::injected_total();
   // Resolve the packed-GEMM blocking and fan-out now: the fan-out decision
   // for any sub-product of this call is covered by the top-level shape
   // (sub-products are never larger), so warming below is a superset of
   // what the compute phase can touch.
-  const blas::GemmBlocking bk = blas::blocking_for(blas::active_machine());
+  const blas::GemmBlocking bk = blas::blocking_for_t<T>(blas::active_machine());
   const int gemm_threads =
       blas::packed_gemm_threads(bk, c.rows, c.cols, a.cols);
   if (cfg.stats != nullptr) {
-    cfg.stats->kernel = blas::active_kernel().name;
+    cfg.stats->kernel = blas::active_kernel_t<T>().name;
     if (gemm_threads > cfg.stats->gemm_threads) {
       cfg.stats->gemm_threads = gemm_threads;
     }
@@ -84,8 +76,8 @@ void dgefmm_view(double alpha, ConstView a, ConstView b, double beta,
   // Pre-flight: every fallible acquisition happens here, before the first
   // write to C, so the failure policy can act with beta*C still intact
   // (strict leaves C untouched; fallback still sees the original C).
-  Arena local;
-  Arena* arena = nullptr;
+  ArenaT<T> local;
+  ArenaT<T>* arena = nullptr;
   try {
     if (cfg.workspace == nullptr) {
       local.reserve(need);
@@ -109,13 +101,13 @@ void dgefmm_view(double alpha, ConstView a, ConstView b, double beta,
     // must be warm too -- lazy first-touch allocation on a cold worker
     // would otherwise fire inside the no-fail region below.
     if (gemm_threads > 1) {
-      blas::ensure_pack_capacity_all_workers(bk);
+      blas::ensure_pack_capacity_all_workers<T>(bk);
     } else {
-      blas::ensure_pack_capacity(bk);
+      blas::ensure_pack_capacity<T>(bk);
     }
   } catch (const std::exception&) {
     if (cfg.on_failure == FailurePolicy::strict) throw;
-    // Graceful degradation: plain DGEMM needs zero arena workspace, so
+    // Graceful degradation: plain GEMM needs zero arena workspace, so
     // running out of memory costs performance, never correctness. Forced
     // serial: the degraded path must stay infallible, and the parallel
     // fan-out could hit a cold worker's scratch allocation.
@@ -136,7 +128,7 @@ void dgefmm_view(double alpha, ConstView a, ConstView b, double beta,
   // overflow in it would be a sizing bug and still throws WorkspaceError.
   faultinject::ScopedSuspend nofail;
 
-  detail::Ctx ctx{&cfg, arena, cfg.stats};
+  detail::CtxT<T> ctx{&cfg, arena, cfg.stats};
   if (cfg.scheme == Scheme::fused) {
     // The fused path peels odd dimensions itself; cfg.odd applies only to
     // the classic recursion below the fusion depth.
@@ -154,9 +146,78 @@ void dgefmm_view(double alpha, ConstView a, ConstView b, double beta,
   }
 }
 
+// GEMM-convention argument handling shared by both precisions: validate,
+// route degenerate cases to the plain BLAS path, build op views, run the
+// driver above.
+template <class T>
+int gefmm_t(Trans transa, Trans transb, index_t m, index_t n, index_t k,
+            T alpha, const T* a, index_t lda, const T* b, index_t ldb, T beta,
+            T* c, index_t ldc, const GefmmConfigT<T>& cfg) {
+  if (const int info = check_args(transa, transb, m, n, k, lda, ldb, ldc);
+      info != 0) {
+    return info;
+  }
+  if (m == 0 || n == 0) return 0;
+
+  // Pure scale/accumulate degenerate cases go straight to the BLAS path.
+  if (k == 0 || alpha == T(0)) {
+    if constexpr (std::is_same_v<T, float>) {
+      blas::sgemm(transa, transb, m, n, k, alpha, a, lda, b, ldb, beta, c,
+                  ldc);
+    } else {
+      blas::dgemm(transa, transb, m, n, k, alpha, a, lda, b, ldb, beta, c,
+                  ldc);
+    }
+    return 0;
+  }
+
+  const BasicView<const T> av = is_trans(transa)
+                                    ? make_op_view(transa, a, k, m, lda)
+                                    : make_op_view(transa, a, m, k, lda);
+  const BasicView<const T> bv = is_trans(transb)
+                                    ? make_op_view(transb, b, n, k, ldb)
+                                    : make_op_view(transb, b, k, n, ldb);
+  BasicView<T> cv = make_view(c, m, n, ldc);
+  gefmm_view_t<T>(alpha, av, bv, beta, cv, cfg);
+  return 0;
+}
+
+}  // namespace
+
+int dgefmm(Trans transa, Trans transb, index_t m, index_t n, index_t k,
+           double alpha, const double* a, index_t lda, const double* b,
+           index_t ldb, double beta, double* c, index_t ldc,
+           const DgefmmConfig& cfg) {
+  return gefmm_t<double>(transa, transb, m, n, k, alpha, a, lda, b, ldb, beta,
+                         c, ldc, cfg);
+}
+
+int sgefmm(Trans transa, Trans transb, index_t m, index_t n, index_t k,
+           float alpha, const float* a, index_t lda, const float* b,
+           index_t ldb, float beta, float* c, index_t ldc,
+           const SgefmmConfig& cfg) {
+  return gefmm_t<float>(transa, transb, m, n, k, alpha, a, lda, b, ldb, beta,
+                        c, ldc, cfg);
+}
+
+void dgefmm_view(double alpha, ConstView a, ConstView b, double beta,
+                 MutView c, const DgefmmConfig& cfg) {
+  gefmm_view_t<double>(alpha, a, b, beta, c, cfg);
+}
+
+void sgefmm_view(float alpha, ConstViewF a, ConstViewF b, float beta,
+                 MutViewF c, const SgefmmConfig& cfg) {
+  gefmm_view_t<float>(alpha, a, b, beta, c, cfg);
+}
+
 count_t dgefmm_workspace_doubles(index_t m, index_t n, index_t k, double beta,
                                  const DgefmmConfig& cfg) {
   return workspace_doubles(m, n, k, beta, cfg);
+}
+
+count_t sgefmm_workspace_floats(index_t m, index_t n, index_t k, float beta,
+                                const SgefmmConfig& cfg) {
+  return workspace_floats(m, n, k, beta, cfg);
 }
 
 }  // namespace strassen::core

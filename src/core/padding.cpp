@@ -8,28 +8,31 @@ namespace {
 
 // Allocates an mp x np arena matrix, zero-fills it, and copies src into its
 // upper-left corner.
-MutView padded_copy(Arena& arena, ConstView src, index_t mp, index_t np) {
-  MutView dst = arena_matrix(arena, mp, np);
-  fill(dst, 0.0);
+template <class T>
+BasicView<T> padded_copy(ArenaT<T>& arena, BasicView<const T> src, index_t mp,
+                         index_t np) {
+  BasicView<T> dst = arena_matrix(arena, mp, np);
+  fill(dst, T(0));
   copy_into(src, dst.block(0, 0, src.rows, src.cols));
   return dst;
 }
 
 }  // namespace
 
-void pad_dynamic(double alpha, ConstView a, ConstView b, double beta,
-                 MutView c, Ctx& ctx, int depth) {
+template <class T>
+void pad_dynamic(T alpha, BasicView<const T> a, BasicView<const T> b, T beta,
+                 BasicView<T> c, CtxT<T>& ctx, int depth) {
   const index_t m = c.rows, n = c.cols, k = a.cols;
   const index_t mp = m + (m & 1);
   const index_t kp = k + (k & 1);
   const index_t np = n + (n & 1);
-  ArenaScope scope(*ctx.arena);
-  MutView ap = padded_copy(*ctx.arena, a, mp, kp);
-  MutView bp = padded_copy(*ctx.arena, b, kp, np);
-  MutView cp = padded_copy(*ctx.arena, c, mp, np);
+  ArenaScopeT scope(*ctx.arena);
+  BasicView<T> ap = padded_copy<T>(*ctx.arena, a, mp, kp);
+  BasicView<T> bp = padded_copy<T>(*ctx.arena, b, kp, np);
+  BasicView<T> cp = padded_copy<T>(*ctx.arena, c, mp, np);
   if (ctx.stats != nullptr) ctx.stats->pad_copies += 3;
-  fmm(alpha, ap, bp, beta, cp, ctx, depth);
-  copy_into(cp.block(0, 0, m, n), c);
+  fmm<T>(alpha, ap, bp, beta, cp, ctx, depth);
+  copy_into(BasicView<const T>(cp.block(0, 0, m, n)), c);
 }
 
 int static_padding_depth(const CutoffCriterion& cut, index_t m, index_t k,
@@ -49,24 +52,34 @@ index_t pad_up(index_t x, int levels) {
   return (x + unit - 1) / unit * unit;
 }
 
-void pad_static(double alpha, ConstView a, ConstView b, double beta,
-                MutView c, Ctx& ctx) {
+template <class T>
+void pad_static(T alpha, BasicView<const T> a, BasicView<const T> b, T beta,
+                BasicView<T> c, CtxT<T>& ctx) {
   const index_t m = c.rows, n = c.cols, k = a.cols;
   const int levels = static_padding_depth(ctx.cfg->cutoff, m, k, n);
   const index_t mp = pad_up(m, levels);
   const index_t kp = pad_up(k, levels);
   const index_t np = pad_up(n, levels);
   if (mp == m && kp == k && np == n) {
-    fmm(alpha, a, b, beta, c, ctx, 0);
+    fmm<T>(alpha, a, b, beta, c, ctx, 0);
     return;
   }
-  ArenaScope scope(*ctx.arena);
-  MutView ap = padded_copy(*ctx.arena, a, mp, kp);
-  MutView bp = padded_copy(*ctx.arena, b, kp, np);
-  MutView cp = padded_copy(*ctx.arena, c, mp, np);
+  ArenaScopeT scope(*ctx.arena);
+  BasicView<T> ap = padded_copy<T>(*ctx.arena, a, mp, kp);
+  BasicView<T> bp = padded_copy<T>(*ctx.arena, b, kp, np);
+  BasicView<T> cp = padded_copy<T>(*ctx.arena, c, mp, np);
   if (ctx.stats != nullptr) ctx.stats->pad_copies += 3;
-  fmm(alpha, ap, bp, beta, cp, ctx, 0);
-  copy_into(cp.block(0, 0, m, n), c);
+  fmm<T>(alpha, ap, bp, beta, cp, ctx, 0);
+  copy_into(BasicView<const T>(cp.block(0, 0, m, n)), c);
 }
+
+template void pad_dynamic<double>(double, ConstView, ConstView, double,
+                                  MutView, CtxT<double>&, int);
+template void pad_dynamic<float>(float, ConstViewF, ConstViewF, float,
+                                 MutViewF, CtxT<float>&, int);
+template void pad_static<double>(double, ConstView, ConstView, double,
+                                 MutView, CtxT<double>&);
+template void pad_static<float>(float, ConstViewF, ConstViewF, float,
+                                MutViewF, CtxT<float>&);
 
 }  // namespace strassen::core::detail

@@ -11,15 +11,26 @@ namespace strassen::core::detail {
 /// operands into zero-padded even-dimensioned workspace matrices, recurses
 /// on the padded problem, and copies the valid part of the result back.
 /// beta*C is carried through the padded copy of C.
-void pad_dynamic(double alpha, ConstView a, ConstView b, double beta,
-                 MutView c, Ctx& ctx, int depth);
+template <class T>
+void pad_dynamic(T alpha, BasicView<const T> a, BasicView<const T> b, T beta,
+                 BasicView<T> c, CtxT<T>& ctx, int depth);
 
 /// Static padding: pads all three dimensions up to multiples of 2^L (L =
 /// the recursion depth the cutoff criterion reaches on the ceiling-halved
 /// dimensions), runs the whole recursion on the padded problem, and copies
 /// back. Called once from the public driver.
-void pad_static(double alpha, ConstView a, ConstView b, double beta,
-                MutView c, Ctx& ctx);
+template <class T>
+void pad_static(T alpha, BasicView<const T> a, BasicView<const T> b, T beta,
+                BasicView<T> c, CtxT<T>& ctx);
+
+extern template void pad_dynamic<double>(double, ConstView, ConstView, double,
+                                         MutView, CtxT<double>&, int);
+extern template void pad_dynamic<float>(float, ConstViewF, ConstViewF, float,
+                                        MutViewF, CtxT<float>&, int);
+extern template void pad_static<double>(double, ConstView, ConstView, double,
+                                        MutView, CtxT<double>&);
+extern template void pad_static<float>(float, ConstViewF, ConstViewF, float,
+                                       MutViewF, CtxT<float>&);
 
 /// Depth the cutoff criterion reaches when halving (with ceiling) from
 /// (m, k, n); this is the L used by static padding.

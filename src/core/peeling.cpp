@@ -1,6 +1,7 @@
 #include "core/peeling.hpp"
 
 #include <cassert>
+#include <type_traits>
 
 #include "blas/level1.hpp"
 #include "blas/level2.hpp"
@@ -8,22 +9,36 @@
 
 namespace strassen::core {
 
-void gemv_view(double alpha, ConstView a, const double* x, index_t incx,
-               double beta, double* y, index_t incy) {
+namespace {
+
+template <class T>
+void gemv_view_t(T alpha, BasicView<const T> a, const T* x, index_t incx,
+                 T beta, T* y, index_t incy) {
   assert(a.col_major() || a.row_major());
+  const auto gemv = [](Trans tr, index_t m, index_t n, T al, const T* ap,
+                       index_t lda, const T* xp, index_t ix, T be, T* yp,
+                       index_t iy) {
+    if constexpr (std::is_same_v<T, float>) {
+      blas::sgemv(tr, m, n, al, ap, lda, xp, ix, be, yp, iy);
+    } else {
+      blas::dgemv(tr, m, n, al, ap, lda, xp, ix, be, yp, iy);
+    }
+  };
   if (a.col_major()) {
-    blas::dgemv(Trans::no, a.rows, a.cols, alpha, a.p, a.ld_col(), x, incx,
-                beta, y, incy);
+    gemv(Trans::no, a.rows, a.cols, alpha, a.p, a.ld_col(), x, incx, beta, y,
+         incy);
   } else {
     // The view is X^T for a stored column-major X (a.cols x a.rows, leading
-    // dimension a.rs); DGEMV's transposed mode computes y = alpha X^T x.
-    blas::dgemv(Trans::transpose, a.cols, a.rows, alpha, a.p, a.ld_row(), x,
-                incx, beta, y, incy);
+    // dimension a.rs); GEMV's transposed mode computes y = alpha X^T x.
+    gemv(Trans::transpose, a.cols, a.rows, alpha, a.p, a.ld_row(), x, incx,
+         beta, y, incy);
   }
 }
 
-int peel_fixups(double alpha, ConstView a, ConstView b, double beta, MutView c,
-                index_t me, index_t ke, index_t ne) {
+template <class T>
+int peel_fixups_t(T alpha, BasicView<const T> a, BasicView<const T> b,
+                  T beta, BasicView<T> c, index_t me, index_t ke,
+                  index_t ne) {
   const index_t m = c.rows, n = c.cols, k = a.cols;
   assert(a.rows == m && b.rows == k && b.cols == n);
   assert(me == m || me == m - 1);
@@ -35,35 +50,66 @@ int peel_fixups(double alpha, ConstView a, ConstView b, double beta, MutView c,
   // on the block that the even core already produced (so beta has been
   // applied there).
   if (ke < k && me > 0 && ne > 0) {
-    blas::dger(me, ne, alpha, &a(0, ke), a.rs, &b(ke, 0), b.cs, c.p, c.cs);
+    if constexpr (std::is_same_v<T, float>) {
+      blas::sger(me, ne, alpha, &a(0, ke), a.rs, &b(ke, 0), b.cs, c.p, c.cs);
+    } else {
+      blas::dger(me, ne, alpha, &a(0, ke), a.rs, &b(ke, 0), b.cs, c.p, c.cs);
+    }
     ++fixups;
   }
 
   // Odd n: last column of C over the FULL inner dimension k (eq. 9 combines
   // A11*b12 + a12*b22 into one matrix-vector product).
   if (ne < n && me > 0) {
-    gemv_view(alpha, a.block(0, 0, me, k), &b(0, ne), b.rs, beta, &c(0, ne),
-              c.rs);
+    gemv_view_t<T>(alpha, a.block(0, 0, me, k), &b(0, ne), b.rs, beta,
+                   &c(0, ne), c.rs);
     ++fixups;
   }
 
   // Odd m: last row of C over the full k: c21 = alpha * a_row * B(:, 0:ne).
   if (me < m && ne > 0) {
-    gemv_view(alpha, b.block(0, 0, k, ne).transposed(), &a(me, 0), a.cs, beta,
-              &c(me, 0), c.cs);
+    gemv_view_t<T>(alpha, b.block(0, 0, k, ne).transposed(), &a(me, 0), a.cs,
+                   beta, &c(me, 0), c.cs);
     ++fixups;
   }
 
   // Odd m and n: the corner element.
   if (me < m && ne < n) {
-    const double dot = blas::ddot(k, &a(me, 0), a.cs, &b(0, ne), b.rs);
-    c(me, ne) = alpha * dot + (beta == 0.0 ? 0.0 : beta * c(me, ne));
+    T dot;
+    if constexpr (std::is_same_v<T, float>) {
+      dot = blas::sdot(k, &a(me, 0), a.cs, &b(0, ne), b.rs);
+    } else {
+      dot = blas::ddot(k, &a(me, 0), a.cs, &b(0, ne), b.rs);
+    }
+    c(me, ne) = alpha * dot + (beta == T(0) ? T(0) : beta * c(me, ne));
     if (opcount::enabled()) {
       opcount::record_gemv(1, k);  // k multiplies + k adds, close enough
     }
     ++fixups;
   }
   return fixups;
+}
+
+}  // namespace
+
+void gemv_view(double alpha, ConstView a, const double* x, index_t incx,
+               double beta, double* y, index_t incy) {
+  gemv_view_t<double>(alpha, a, x, incx, beta, y, incy);
+}
+
+void gemv_view(float alpha, ConstViewF a, const float* x, index_t incx,
+               float beta, float* y, index_t incy) {
+  gemv_view_t<float>(alpha, a, x, incx, beta, y, incy);
+}
+
+int peel_fixups(double alpha, ConstView a, ConstView b, double beta, MutView c,
+                index_t me, index_t ke, index_t ne) {
+  return peel_fixups_t<double>(alpha, a, b, beta, c, me, ke, ne);
+}
+
+int peel_fixups(float alpha, ConstViewF a, ConstViewF b, float beta,
+                MutViewF c, index_t me, index_t ke, index_t ne) {
+  return peel_fixups_t<float>(alpha, a, b, beta, c, me, ke, ne);
 }
 
 }  // namespace strassen::core

@@ -8,7 +8,8 @@
 //   * odd m: a vector-matrix product for the last row of C        (DGEMV),
 //   * odd m and n: a dot product for the corner element           (DDOT).
 // No extra workspace is required -- the paper's key argument for peeling
-// over padding.
+// over padding. Each routine is a double/float overload pair over one
+// shared implementation; the float forms dispatch to SGER/SGEMV/SDOT.
 #pragma once
 
 #include "support/config.hpp"
@@ -17,9 +18,11 @@
 namespace strassen::core {
 
 /// y <- alpha * A x + beta * y for a (possibly transposed) view A and
-/// strided vectors. Dispatches to blas::dgemv.
+/// strided vectors. Dispatches to blas::dgemv / blas::sgemv.
 void gemv_view(double alpha, ConstView a, const double* x, index_t incx,
                double beta, double* y, index_t incy);
+void gemv_view(float alpha, ConstViewF a, const float* x, index_t incx,
+               float beta, float* y, index_t incy);
 
 /// Applies the peeling fix-ups for C = alpha*A*B + beta*C where the
 /// (me x ke x ne) even core has already been computed into C(0:me, 0:ne)
@@ -30,5 +33,7 @@ void gemv_view(double alpha, ConstView a, const double* x, index_t incx,
 /// were already even).
 int peel_fixups(double alpha, ConstView a, ConstView b, double beta, MutView c,
                 index_t me, index_t ke, index_t ne);
+int peel_fixups(float alpha, ConstViewF a, ConstViewF b, float beta,
+                MutViewF c, index_t me, index_t ke, index_t ne);
 
 }  // namespace strassen::core

@@ -1,0 +1,51 @@
+// SGEFMM: the single-precision twin of DGEFMM (core/dgefmm.hpp).
+//
+// Computes C <- alpha * op(A) * op(B) + beta * C exactly like the Level 3
+// BLAS SGEMM, but uses the Winograd variant of Strassen's algorithm above
+// the cutoff. It is the float instantiation of the same gefmm driver
+// template dgefmm runs: identical argument checking, failure contract,
+// schedule interpreters, and workspace accounting (element counts are
+// precision-independent); only the element type -- and with it the packed
+// micro-kernel table, the arena, and the BLAS fallback -- changes. A
+// program calls it wherever it called SGEMM; no other change is required.
+#pragma once
+
+#include "core/types.hpp"
+#include "core/workspace.hpp"
+#include "support/matrix.hpp"
+
+namespace strassen::core {
+
+/// C <- alpha * op(A) * op(B) + beta * C in single precision.
+///
+/// Arguments mirror SGEMM: op(A) is m x k, op(B) is k x n, C is m x n,
+/// all column-major with leading dimensions lda/ldb/ldc.
+///
+/// Returns 0 on success, or the 1-based index of the first invalid argument
+/// (BLAS XERBLA convention): 3 for m < 0, 4 for n < 0, 5 for k < 0, 8 for
+/// lda too small, 10 for ldb, 13 for ldc.
+///
+/// Failure contract (DESIGN.md section 7): all fallible workspace
+/// acquisition happens before the first write to C. If it fails, the
+/// behaviour follows cfg.on_failure -- strict (default) throws the typed
+/// error (WorkspaceError / std::bad_alloc) with C untouched; fallback
+/// silently degrades to the workspace-free blas::sgemm path, records it in
+/// cfg.stats->fallbacks, and returns 0 with a correct product. The
+/// exception-free C/Fortran bindings live in core/cabi.hpp.
+[[nodiscard]] int sgefmm(Trans transa, Trans transb, index_t m, index_t n,
+                         index_t k, float alpha, const float* a, index_t lda,
+                         const float* b, index_t ldb, float beta, float* c,
+                         index_t ldc, const SgefmmConfig& cfg = SgefmmConfig{});
+
+/// View-based convenience wrapper: C <- alpha*A*B + beta*C where A and B
+/// may be transposed views and C is column-major.
+void sgefmm_view(float alpha, ConstViewF a, ConstViewF b, float beta,
+                 MutViewF c, const SgefmmConfig& cfg = SgefmmConfig{});
+
+/// Workspace (in floats) the corresponding sgefmm call allocates at peak;
+/// size a reusable ArenaF with this to make repeated calls allocation-free.
+[[nodiscard]] count_t sgefmm_workspace_floats(
+    index_t m, index_t n, index_t k, float beta,
+    const SgefmmConfig& cfg = SgefmmConfig{});
+
+}  // namespace strassen::core

@@ -16,17 +16,26 @@ namespace strassen::core::detail {
 // The beta == 0 core is the verified IR table verify::kOriginalBeta0
 // (temporaries T1 (mk/4), T2 (kn/4), P (mn/4)); general beta wraps it with
 // one full-size C temporary and folds beta*C in afterwards.
-void run_original_schedule(double alpha, ConstView a, ConstView b,
-                           double beta, MutView c, Ctx& ctx, int depth) {
-  if (beta == 0.0) {
-    run_ir_schedule(verify::kOriginalBeta0, alpha, a, b, 0.0, c, ctx, depth);
+template <class T>
+void run_original_schedule(T alpha, BasicView<const T> a, BasicView<const T> b,
+                           T beta, BasicView<T> c, CtxT<T>& ctx, int depth) {
+  if (beta == T(0)) {
+    run_ir_schedule<T>(verify::kOriginalBeta0, alpha, a, b, T(0), c, ctx,
+                       depth);
     return;
   }
-  ArenaScope scope(*ctx.arena);
-  MutView ctmp = arena_matrix(*ctx.arena, c.rows, c.cols);
-  run_ir_schedule(verify::kOriginalBeta0, alpha, a, b, 0.0, ctmp, ctx,
-                  depth);
-  axpby(1.0, ctmp, beta, c);
+  ArenaScopeT scope(*ctx.arena);
+  BasicView<T> ctmp = arena_matrix(*ctx.arena, c.rows, c.cols);
+  run_ir_schedule<T>(verify::kOriginalBeta0, alpha, a, b, T(0), ctmp, ctx,
+                     depth);
+  axpby(T(1), BasicView<const T>(ctmp), beta, c);
 }
+
+template void run_original_schedule<double>(double, ConstView, ConstView,
+                                            double, MutView, CtxT<double>&,
+                                            int);
+template void run_original_schedule<float>(float, ConstViewF, ConstViewF,
+                                           float, MutViewF, CtxT<float>&,
+                                           int);
 
 }  // namespace strassen::core::detail

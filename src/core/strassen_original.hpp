@@ -14,7 +14,15 @@ namespace strassen::core::detail {
 /// core. beta != 0 is handled through a full product temporary (the
 /// original combination pattern reuses C's quadrants as scratch, so beta*C
 /// cannot be folded in-place).
-void run_original_schedule(double alpha, ConstView a, ConstView b,
-                           double beta, MutView c, Ctx& ctx, int depth);
+template <class T>
+void run_original_schedule(T alpha, BasicView<const T> a, BasicView<const T> b,
+                           T beta, BasicView<T> c, CtxT<T>& ctx, int depth);
+
+extern template void run_original_schedule<double>(double, ConstView,
+                                                   ConstView, double, MutView,
+                                                   CtxT<double>&, int);
+extern template void run_original_schedule<float>(float, ConstViewF,
+                                                  ConstViewF, float, MutViewF,
+                                                  CtxT<float>&, int);
 
 }  // namespace strassen::core::detail

@@ -128,9 +128,13 @@ struct DgefmmStats {
   }
 };
 
-/// Options controlling a dgefmm call. Default-constructed configuration
-/// reproduces the paper's DGEFMM on the active machine profile.
-struct DgefmmConfig {
+/// Options controlling a gefmm call, generic over the element type T
+/// (double for dgefmm, float for sgefmm). Default-constructed configuration
+/// reproduces the paper's DGEFMM on the active machine profile. Everything
+/// except the workspace arena is element-type independent; the arena holds
+/// T, so a float call can never draw storage typed for doubles.
+template <class T>
+struct GefmmConfigT {
   CutoffCriterion cutoff =
       CutoffCriterion::paper_default(blas::active_machine());
   Scheme scheme = Scheme::automatic;
@@ -142,10 +146,10 @@ struct DgefmmConfig {
   /// do not permit the full depth.
   int fused_levels = 2;
 
-  /// Optional caller-provided workspace. When null, dgefmm allocates an
+  /// Optional caller-provided workspace. When null, gefmm allocates an
   /// exactly-sized arena internally. Reusing one arena across calls avoids
   /// repeated allocation in inner loops (as the benchmarks do).
-  Arena* workspace = nullptr;
+  ArenaT<T>* workspace = nullptr;
 
   /// Optional statistics sink.
   DgefmmStats* stats = nullptr;
@@ -155,5 +159,8 @@ struct DgefmmConfig {
   /// default to fallback so a drop-in DGEMM replacement never throws.
   FailurePolicy on_failure = FailurePolicy::strict;
 };
+
+using DgefmmConfig = GefmmConfigT<double>;
+using SgefmmConfig = GefmmConfigT<float>;
 
 }  // namespace strassen::core

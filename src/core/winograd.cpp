@@ -12,24 +12,20 @@
 
 namespace strassen::core::detail {
 
-MutView arena_matrix(Arena& arena, index_t m, index_t n) {
-  double* p = arena.alloc(static_cast<std::size_t>(m) * n);
-  return make_view(p, m, n, m > 0 ? m : 1);
-}
-
-void run_ir_schedule(const verify::Schedule& s, double alpha, ConstView a,
-                     ConstView b, double beta, MutView c, Ctx& ctx,
-                     int depth) {
+template <class T>
+void run_ir_schedule(const verify::Schedule& s, T alpha, BasicView<const T> a,
+                     BasicView<const T> b, T beta, BasicView<T> c,
+                     CtxT<T>& ctx, int depth) {
   namespace v = verify;
   const index_t m2 = a.rows / 2, k2 = a.cols / 2, n2 = b.cols / 2;
-  ArenaScope scope(*ctx.arena);
+  ArenaScopeT scope(*ctx.arena);
 
   // Arena temporaries, allocated in declaration order so the arena layout
   // (and with it the workspace accounting that verify::footprint_doubles
-  // charges) is deterministic. The dual-role STRASSEN1 X buffer is the only
-  // temporary whose logical shape changes between writes, hence the
-  // per-temp current extents.
-  double* tbuf[v::kMaxTemps] = {};
+  // charges, an element count shared by both precisions) is deterministic.
+  // The dual-role STRASSEN1 X buffer is the only temporary whose logical
+  // shape changes between writes, hence the per-temp current extents.
+  T* tbuf[v::kMaxTemps] = {};
   index_t tld[v::kMaxTemps] = {};
   index_t trows[v::kMaxTemps] = {};
   index_t tcols[v::kMaxTemps] = {};
@@ -47,10 +43,10 @@ void run_ir_schedule(const verify::Schedule& s, double alpha, ConstView a,
     tld[t] = r > 0 ? r : 1;
   }
 
-  const auto cquad = [&](int q) -> MutView {
+  const auto cquad = [&](int q) -> BasicView<T> {
     return c.block((q >> 1) * m2, (q & 1) * n2, m2, n2);
   };
-  const auto src = [&](int reg) -> ConstView {
+  const auto src = [&](int reg) -> BasicView<const T> {
     if (reg < v::kB11) {
       const int q = reg - v::kA11;
       return a.block((q >> 1) * m2, (q & 1) * k2, m2, k2);
@@ -61,10 +57,10 @@ void run_ir_schedule(const verify::Schedule& s, double alpha, ConstView a,
     }
     if (reg < v::kT0) return cquad(reg - v::kC11);
     const int t = reg - v::kT0;
-    return make_view(static_cast<const double*>(tbuf[t]), trows[t], tcols[t],
+    return make_view(static_cast<const T*>(tbuf[t]), trows[t], tcols[t],
                      tld[t]);
   };
-  const auto dst = [&](int reg, index_t r, index_t cl) -> MutView {
+  const auto dst = [&](int reg, index_t r, index_t cl) -> BasicView<T> {
     if (reg >= v::kT0) {
       const int t = reg - v::kT0;
       trows[t] = r;
@@ -74,9 +70,12 @@ void run_ir_schedule(const verify::Schedule& s, double alpha, ConstView a,
     assert(reg >= v::kC11 && r == m2 && cl == n2);
     return cquad(reg - v::kC11);
   };
-  // Numeric value of a coefficient at this level's beta.
-  const auto coef = [beta](const v::Coef& cf) {
-    return cf.s == v::Sym::beta ? cf.v * beta : cf.v;
+  // Numeric value of a coefficient at this level's beta. The IR stores
+  // coefficients as doubles (small integers); narrow to T at the point of
+  // use so the whole combine runs in the element precision.
+  const auto coef = [beta](const v::Coef& cf) -> T {
+    return cf.s == v::Sym::beta ? static_cast<T>(cf.v) * beta
+                                : static_cast<T>(cf.v);
   };
   // True for a literal +/-1 with no symbolic factor -- the coefficients the
   // fixed add/sub kernels implement. Anything else goes through axpby/axpy,
@@ -88,23 +87,24 @@ void run_ir_schedule(const verify::Schedule& s, double alpha, ConstView a,
   for (int i = 0; i < s.nsteps; ++i) {
     const v::Step& st = s.steps[i];
     if (st.op == v::Op::mul) {
-      const ConstView x = src(st.x);
-      const ConstView y = src(st.y);
-      MutView d = dst(st.dst, x.rows, y.cols);
-      fmm(st.am * alpha, x, y, coef(st.bc), d, ctx, depth + 1);
+      const BasicView<const T> x = src(st.x);
+      const BasicView<const T> y = src(st.y);
+      BasicView<T> d = dst(st.dst, x.rows, y.cols);
+      fmm(static_cast<T>(st.am) * alpha, x, y, coef(st.bc), d, ctx,
+          depth + 1);
       continue;
     }
     int self = -1;
     for (int t = 0; t < st.nt; ++t) {
       if (st.t[t].reg == st.dst) self = t;
     }
-    const ConstView s0 = src(st.t[0].reg);
-    MutView d = dst(st.dst, s0.rows, s0.cols);
+    const BasicView<const T> s0 = src(st.t[0].reg);
+    BasicView<T> d = dst(st.dst, s0.rows, s0.cols);
     if (self < 0) {
       if (st.nt == 1 && st.t[0].c.s == v::Sym::one && st.t[0].c.v == 1.0) {
         copy_into(s0, d);
       } else if (st.nt == 2 && unit(st.t[0].c) && unit(st.t[1].c)) {
-        const ConstView s1 = src(st.t[1].reg);
+        const BasicView<const T> s1 = src(st.t[1].reg);
         if (st.t[0].c.v == 1.0 && st.t[1].c.v == 1.0) {
           add(s0, s1, d);
         } else if (st.t[0].c.v == 1.0) {
@@ -112,11 +112,11 @@ void run_ir_schedule(const verify::Schedule& s, double alpha, ConstView a,
         } else if (st.t[1].c.v == 1.0) {
           sub(s1, s0, d);
         } else {
-          axpby(-1.0, s0, 0.0, d);
-          axpy(-1.0, s1, d);
+          axpby(T(-1), s0, T(0), d);
+          axpy(T(-1), s1, d);
         }
       } else {
-        axpby(coef(st.t[0].c), s0, 0.0, d);
+        axpby(coef(st.t[0].c), s0, T(0), d);
         for (int t = 1; t < st.nt; ++t) {
           axpy(coef(st.t[t].c), src(st.t[t].reg), d);
         }
@@ -124,7 +124,7 @@ void run_ir_schedule(const verify::Schedule& s, double alpha, ConstView a,
     } else if (st.nt == 2) {
       const v::Term& ts = st.t[self];
       const v::Term& to = st.t[1 - self];
-      const ConstView x = src(to.reg);
+      const BasicView<const T> x = src(to.reg);
       if (unit(ts.c) && unit(to.c)) {
         if (ts.c.v == 1.0 && to.c.v == 1.0) {
           add_inplace(d, x);
@@ -133,7 +133,7 @@ void run_ir_schedule(const verify::Schedule& s, double alpha, ConstView a,
         } else if (to.c.v == 1.0) {
           rsub_inplace(d, x);
         } else {
-          axpby(-1.0, x, -1.0, d);
+          axpby(T(-1), x, T(-1), d);
         }
       } else {
         axpby(coef(to.c), x, coef(ts.c), d);
@@ -142,7 +142,7 @@ void run_ir_schedule(const verify::Schedule& s, double alpha, ConstView a,
       // Self-referencing with 1 or 3 terms: unused by the shipped tables
       // but kept total so the interpreter handles any schedule the checker
       // accepts.
-      double sc = 0.0;
+      T sc = T(0);
       for (int t = 0; t < st.nt; ++t) {
         if (t == self) sc = coef(st.t[t].c);
       }
@@ -165,20 +165,21 @@ namespace {
 
 // Dispatches the even-dimensioned core to the configured schedule's
 // verified IR table (verify/schedule_ir.hpp; proofs in verify/proofs.hpp).
-void run_schedule(double alpha, ConstView a, ConstView b, double beta,
-                  MutView c, Ctx& ctx, int depth) {
+template <class T>
+void run_schedule(T alpha, BasicView<const T> a, BasicView<const T> b,
+                  T beta, BasicView<T> c, CtxT<T>& ctx, int depth) {
   Scheme scheme = ctx.cfg->scheme;
   if (scheme == Scheme::automatic || scheme == Scheme::fused) {
     // Scheme::fused reaches the classic recursion only below its fusion
     // depth, where it behaves like the paper's automatic DGEFMM.
-    scheme = (beta == 0.0) ? Scheme::strassen1 : Scheme::strassen2;
+    scheme = (beta == T(0)) ? Scheme::strassen1 : Scheme::strassen2;
   }
   switch (scheme) {
     case Scheme::automatic:  // unreachable after resolution above
     case Scheme::fused:      // unreachable after resolution above
     case Scheme::strassen1:
-      if (beta == 0.0) {
-        run_ir_schedule(verify::kStrassen1Beta0, alpha, a, b, 0.0, c, ctx,
+      if (beta == T(0)) {
+        run_ir_schedule(verify::kStrassen1Beta0, alpha, a, b, T(0), c, ctx,
                         depth);
       } else {
         run_ir_schedule(verify::kStrassen1General, alpha, a, b, beta, c,
@@ -196,14 +197,15 @@ void run_schedule(double alpha, ConstView a, ConstView b, double beta,
 
 }  // namespace
 
-void fmm(double alpha, ConstView a, ConstView b, double beta, MutView c,
-         Ctx& ctx, int depth) {
+template <class T>
+void fmm(T alpha, BasicView<const T> a, BasicView<const T> b, T beta,
+         BasicView<T> c, CtxT<T>& ctx, int depth) {
   const index_t m = c.rows, n = c.cols, k = a.cols;
   assert(a.rows == m && b.rows == k && b.cols == n);
   if (m == 0 || n == 0) return;
 
   const bool degenerate = (m < 2 || k < 2 || n < 2);
-  if (degenerate || alpha == 0.0 ||
+  if (degenerate || alpha == T(0) ||
       ctx.cfg->cutoff.stop(m, k, n, depth)) {
     blas::gemm_view(alpha, a, b, beta, c);
     if (ctx.stats != nullptr) ++ctx.stats->base_gemms;
@@ -246,5 +248,16 @@ void fmm(double alpha, ConstView a, ConstView b, double beta, MutView c,
         std::max(ctx.stats->peak_workspace, ctx.arena->peak());
   }
 }
+
+template void fmm<double>(double, ConstView, ConstView, double, MutView,
+                          CtxT<double>&, int);
+template void fmm<float>(float, ConstViewF, ConstViewF, float, MutViewF,
+                         CtxT<float>&, int);
+template void run_ir_schedule<double>(const verify::Schedule&, double,
+                                      ConstView, ConstView, double, MutView,
+                                      CtxT<double>&, int);
+template void run_ir_schedule<float>(const verify::Schedule&, float,
+                                     ConstViewF, ConstViewF, float, MutViewF,
+                                     CtxT<float>&, int);
 
 }  // namespace strassen::core::detail

@@ -25,6 +25,11 @@
 //
 // The driver is shared with the original-variant schedule in
 // strassen_original.cpp, which interprets verify::kOriginalBeta0.
+//
+// Everything here is templated on the element type T: dgefmm runs the
+// double instantiation, sgefmm the float one. The IR tables stay
+// double-valued (coefficients are small integers times beta); the
+// interpreter narrows them to T at the point of use.
 #pragma once
 
 #include "core/types.hpp"
@@ -38,18 +43,24 @@ struct Schedule;
 namespace strassen::core::detail {
 
 /// Recursion-wide state threaded through every level.
-struct Ctx {
-  const DgefmmConfig* cfg = nullptr;
-  Arena* arena = nullptr;
+template <class T>
+struct CtxT {
+  const GefmmConfigT<T>* cfg = nullptr;
+  ArenaT<T>* arena = nullptr;
   DgefmmStats* stats = nullptr;  ///< may be null
 };
 
+using Ctx = CtxT<double>;
+using CtxF = CtxT<float>;
+
 /// C <- alpha * A * B + beta * C, recursively. A, B may be transposed
 /// views; C must be column-major. This is the single entry point used by
-/// the public dgefmm driver, the schedules (for their seven sub-products),
-/// and the padding fall-backs.
-void fmm(double alpha, ConstView a, ConstView b, double beta, MutView c,
-         Ctx& ctx, int depth);
+/// the public dgefmm/sgefmm drivers, the schedules (for their seven
+/// sub-products), and the padding fall-backs. Instantiated for double and
+/// float in winograd.cpp.
+template <class T>
+void fmm(T alpha, BasicView<const T> a, BasicView<const T> b, T beta,
+         BasicView<T> c, CtxT<T>& ctx, int depth);
 
 /// Interprets one verified schedule table (verify/schedule_ir.hpp) at one
 /// recursion level of the even-dimensioned core: allocates the table's
@@ -57,12 +68,29 @@ void fmm(double alpha, ConstView a, ConstView b, double beta, MutView c,
 /// its linear-combination steps with the add_kernels and its product steps
 /// as recursive fmm calls. The table's algebra and temporary lifetimes are
 /// static_asserted in verify/proofs.hpp, and this routine is the only
-/// executor, so the proof covers exactly what runs.
-void run_ir_schedule(const verify::Schedule& s, double alpha, ConstView a,
-                     ConstView b, double beta, MutView c, Ctx& ctx,
-                     int depth);
+/// executor, so the proof covers exactly what runs -- in both precisions,
+/// since the footprint accounting is in elements, not bytes.
+template <class T>
+void run_ir_schedule(const verify::Schedule& s, T alpha, BasicView<const T> a,
+                     BasicView<const T> b, T beta, BasicView<T> c,
+                     CtxT<T>& ctx, int depth);
+
+extern template void fmm<double>(double, ConstView, ConstView, double,
+                                 MutView, CtxT<double>&, int);
+extern template void fmm<float>(float, ConstViewF, ConstViewF, float,
+                                MutViewF, CtxT<float>&, int);
+extern template void run_ir_schedule<double>(const verify::Schedule&, double,
+                                             ConstView, ConstView, double,
+                                             MutView, CtxT<double>&, int);
+extern template void run_ir_schedule<float>(const verify::Schedule&, float,
+                                            ConstViewF, ConstViewF, float,
+                                            MutViewF, CtxT<float>&, int);
 
 /// Views an arena allocation as an m x n column-major matrix.
-MutView arena_matrix(Arena& arena, index_t m, index_t n);
+template <class T>
+inline BasicView<T> arena_matrix(ArenaT<T>& arena, index_t m, index_t n) {
+  T* p = arena.alloc(static_cast<std::size_t>(m) * n);
+  return make_view(p, m, n, m > 0 ? m : 1);
+}
 
 }  // namespace strassen::core::detail

@@ -38,12 +38,13 @@ static_assert(kMaxTerms <= verify::kMaxFusedTerms &&
 // A linear combination of up to kMaxTerms equally shaped operand views:
 // one term at the top, doubling per fused level (Strassen sums at most two
 // quadrants per operand per level).
+template <class T>
 struct Comb {
-  ConstView v[kMaxTerms];
-  double g[kMaxTerms];
+  BasicView<const T> v[kMaxTerms];
+  T g[kMaxTerms];
   int n = 0;
 
-  void add(ConstView view, double gamma) {
+  void add(BasicView<const T> view, T gamma) {
     assert(n < kMaxTerms);
     v[n] = view;
     g[n] = gamma;
@@ -52,12 +53,13 @@ struct Comb {
 };
 
 // Up to kMaxDests destination blocks, each with its own +/- alpha scale.
+template <class T>
 struct Dests {
-  MutView v[kMaxDests];
-  double g[kMaxDests];
+  BasicView<T> v[kMaxDests];
+  T g[kMaxDests];
   int n = 0;
 
-  void add(MutView view, double gamma) {
+  void add(BasicView<T> view, T gamma) {
     assert(n < kMaxDests);
     v[n] = view;
     g[n] = gamma;
@@ -83,24 +85,26 @@ View quadrant_of(const View& x, int q) {
 // State threaded through one fused top-level invocation. `touched` tracks
 // which C blocks have already absorbed their beta*C term, so beta is
 // applied exactly once per block no matter how many products land there.
+template <class T>
 struct FusedRun {
-  Ctx* ctx = nullptr;
-  double beta = 0.0;
+  CtxT<T>* ctx = nullptr;
+  T beta = T(0);
   // Resolved once per fused subtree. Derived from the active micro-kernel's
-  // register tile and the detected caches (blas::blocking_for), so the
-  // fused leaves below automatically follow a kernel switch; the leaves may
-  // also fan out over the pool (blas::packed_gemm_threads), which is safe
-  // here because the driver pre-warmed every worker's pack scratch before
-  // entering the no-fail region.
+  // register tile for this element type and the detected caches
+  // (blas::blocking_for_t), so the fused leaves below automatically follow
+  // a kernel switch; the leaves may also fan out over the pool
+  // (blas::packed_gemm_threads), which is safe here because the driver
+  // pre-warmed every worker's pack scratch before entering the no-fail
+  // region.
   blas::GemmBlocking bk{};
   // Degraded mode (fallback failure policy, DESIGN.md section 7): workspace
   // reservation failed, so every leaf must take the single fused
   // packed-GEMM call, which draws nothing from the arena.
   bool force_packed = false;
-  double* touched[16] = {};
+  T* touched[16] = {};
   int ntouched = 0;
 
-  bool first_touch(double* p) {
+  bool first_touch(T* p) {
     for (int i = 0; i < ntouched; ++i) {
       if (touched[i] == p) return false;
     }
@@ -112,27 +116,29 @@ struct FusedRun {
 
 // d <- combination (one assignment pass plus one accumulate pass per extra
 // term), used when a leaf continues with the classic recursion.
-void materialize(const Comb& x, MutView d) {
-  axpby(x.g[0], x.v[0], 0.0, d);
+template <class T>
+void materialize(const Comb<T>& x, BasicView<T> d) {
+  axpby(x.g[0], x.v[0], T(0), d);
   for (int i = 1; i < x.n; ++i) axpy(x.g[i], x.v[i], d);
 }
 
 // One leaf product: a single fused packed-GEMM call when the cutoff says
 // these dimensions are DGEMM-sized, otherwise materialize the operand
 // combinations and continue with the classic schedules below the fusion.
-void fused_leaf(FusedRun& run, const Comb& a, const Comb& b, const Dests& c,
-                int depth) {
-  Ctx& ctx = *run.ctx;
+template <class T>
+void fused_leaf(FusedRun<T>& run, const Comb<T>& a, const Comb<T>& b,
+                const Dests<T>& c, int depth) {
+  CtxT<T>& ctx = *run.ctx;
   const index_t ml = a.v[0].rows, kl = a.v[0].cols, nl = b.v[0].cols;
 
   if (!run.force_packed && !ctx.cfg->cutoff.stop(ml, kl, nl, depth)) {
-    ArenaScope scope(*ctx.arena);
-    MutView ta = arena_matrix(*ctx.arena, ml, kl);
+    ArenaScopeT scope(*ctx.arena);
+    BasicView<T> ta = arena_matrix(*ctx.arena, ml, kl);
     materialize(a, ta);
-    MutView tb = arena_matrix(*ctx.arena, kl, nl);
+    BasicView<T> tb = arena_matrix(*ctx.arena, kl, nl);
     materialize(b, tb);
-    MutView p = arena_matrix(*ctx.arena, ml, nl);
-    fmm(1.0, ta, tb, 0.0, p, ctx, depth);
+    BasicView<T> p = arena_matrix(*ctx.arena, ml, nl);
+    fmm<T>(T(1), ta, tb, T(0), p, ctx, depth);
     for (int i = 0; i < c.n; ++i) {
       if (run.first_touch(c.v[i].p)) {
         axpby(c.g[i], p, run.beta, c.v[i]);
@@ -143,14 +149,14 @@ void fused_leaf(FusedRun& run, const Comb& a, const Comb& b, const Dests& c,
     return;
   }
 
-  blas::PackComb pa;
+  blas::PackCombT<T> pa;
   for (int i = 0; i < a.n; ++i) pa.add(a.v[i], a.g[i]);
-  blas::PackComb pb;
+  blas::PackCombT<T> pb;
   for (int i = 0; i < b.n; ++i) pb.add(b.v[i], b.g[i]);
-  blas::WriteDest dst[kMaxDests];
+  blas::WriteDestT<T> dst[kMaxDests];
   for (int i = 0; i < c.n; ++i) {
     dst[i] = blas::write_dest(c.v[i], c.g[i],
-                              run.first_touch(c.v[i].p) ? run.beta : 1.0);
+                              run.first_touch(c.v[i].p) ? run.beta : T(1));
   }
   blas::packed_gemm_multi(run.bk, ml, nl, kl, pa, pb, dst, c.n);
 
@@ -171,29 +177,33 @@ void fused_leaf(FusedRun& run, const Comb& a, const Comb& b, const Dests& c,
 // and destination with its quadrants per verify::kFusedL1 and recurses, so
 // term and destination counts double per level (bounded by the skeleton's
 // 4; at two levels this realizes verify::kFusedL2 product by product).
-void emit(FusedRun& run, int levels, const Comb& a, const Comb& b,
-          const Dests& c, int depth) {
+template <class T>
+void emit(FusedRun<T>& run, int levels, const Comb<T>& a, const Comb<T>& b,
+          const Dests<T>& c, int depth) {
   if (levels == 0) {
     fused_leaf(run, a, b, c, depth);
     return;
   }
   for (const verify::FProduct& spec : verify::kFusedL1) {
-    Comb sa;
+    Comb<T> sa;
     for (int e = 0; e < spec.na; ++e) {
       for (int t = 0; t < a.n; ++t) {
-        sa.add(quadrant_of(a.v[t], spec.a[e].q), a.g[t] * spec.a[e].g);
+        sa.add(quadrant_of(a.v[t], spec.a[e].q),
+               a.g[t] * static_cast<T>(spec.a[e].g));
       }
     }
-    Comb sb;
+    Comb<T> sb;
     for (int e = 0; e < spec.nb; ++e) {
       for (int t = 0; t < b.n; ++t) {
-        sb.add(quadrant_of(b.v[t], spec.b[e].q), b.g[t] * spec.b[e].g);
+        sb.add(quadrant_of(b.v[t], spec.b[e].q),
+               b.g[t] * static_cast<T>(spec.b[e].g));
       }
     }
-    Dests sc;
+    Dests<T> sc;
     for (int e = 0; e < spec.nc; ++e) {
       for (int t = 0; t < c.n; ++t) {
-        sc.add(quadrant_of(c.v[t], spec.c[e].q), c.g[t] * spec.c[e].g);
+        sc.add(quadrant_of(c.v[t], spec.c[e].q),
+               c.g[t] * static_cast<T>(spec.c[e].g));
       }
     }
     emit(run, levels - 1, sa, sb, sc, depth + 1);
@@ -206,14 +216,15 @@ int clamp_fused_levels(int requested) {
 
 }  // namespace
 
-void fmm_fused(double alpha, ConstView a, ConstView b, double beta, MutView c,
-               Ctx& ctx, int depth) {
+template <class T>
+void fmm_fused(T alpha, BasicView<const T> a, BasicView<const T> b, T beta,
+               BasicView<T> c, CtxT<T>& ctx, int depth) {
   const index_t m = c.rows, n = c.cols, k = a.cols;
   assert(a.rows == m && b.rows == k && b.cols == n);
   if (m == 0 || n == 0) return;
 
   const bool degenerate = (m < 2 || k < 2 || n < 2);
-  if (degenerate || alpha == 0.0 || ctx.cfg->cutoff.stop(m, k, n, depth)) {
+  if (degenerate || alpha == T(0) || ctx.cfg->cutoff.stop(m, k, n, depth)) {
     blas::gemm_view(alpha, a, b, beta, c);
     if (ctx.stats != nullptr) ++ctx.stats->base_gemms;
     return;
@@ -242,16 +253,16 @@ void fmm_fused(double alpha, ConstView a, ConstView b, double beta, MutView c,
     ctx.stats->max_depth = std::max(ctx.stats->max_depth, depth + levels);
   }
 
-  FusedRun run;
+  FusedRun<T> run;
   run.ctx = &ctx;
   run.beta = beta;
-  run.bk = blas::blocking_for(blas::active_machine());
+  run.bk = blas::blocking_for_t<T>(blas::active_machine());
 
-  Comb ca;
-  ca.add(a.block(0, 0, me, ke), 1.0);
-  Comb cb;
-  cb.add(b.block(0, 0, ke, ne), 1.0);
-  Dests dc;
+  Comb<T> ca;
+  ca.add(a.block(0, 0, me, ke), T(1));
+  Comb<T> cb;
+  cb.add(b.block(0, 0, ke, ne), T(1));
+  Dests<T> dc;
   dc.add(c.block(0, 0, me, ne), alpha);
   emit(run, levels, ca, cb, dc, depth);
 
@@ -265,8 +276,9 @@ void fmm_fused(double alpha, ConstView a, ConstView b, double beta, MutView c,
   }
 }
 
-void fused_product(const FusedOperand& a, const FusedOperand& b, MutView d,
-                   double g, double beta, Ctx& ctx, int depth) {
+template <class T>
+void fused_product(const FusedOperandT<T>& a, const FusedOperandT<T>& b,
+                   BasicView<T> d, T g, T beta, CtxT<T>& ctx, int depth) {
   assert(a.n >= 1 && b.n >= 1);
   const index_t ml = a.v[0].rows, kl = a.v[0].cols, nl = b.v[0].cols;
   const count_t need = fused_product_workspace(ml, kl, nl, *ctx.cfg, depth);
@@ -290,17 +302,17 @@ void fused_product(const FusedOperand& a, const FusedOperand& b, MutView d,
   // arena overflow still reported as the sizing bug it would be).
   faultinject::ScopedSuspend nofail;
 
-  FusedRun run;
+  FusedRun<T> run;
   run.ctx = &ctx;
   run.beta = beta;
-  run.bk = blas::blocking_for(blas::active_machine());
+  run.bk = blas::blocking_for_t<T>(blas::active_machine());
   run.force_packed = force_packed;
 
-  Comb ca;
+  Comb<T> ca;
   for (int i = 0; i < a.n; ++i) ca.add(a.v[i], a.g[i]);
-  Comb cb;
+  Comb<T> cb;
   for (int i = 0; i < b.n; ++i) cb.add(b.v[i], b.g[i]);
-  Dests dc;
+  Dests<T> dc;
   dc.add(d, g);
   fused_leaf(run, ca, cb, dc, depth);
 }
@@ -312,5 +324,23 @@ count_t fused_product_workspace(index_t m, index_t k, index_t n,
          static_cast<count_t>(m) * n +
          workspace_doubles_at(m, n, k, 0.0, cfg, depth);
 }
+
+count_t fused_product_workspace(index_t m, index_t k, index_t n,
+                                const SgefmmConfig& cfg, int depth) {
+  // Workspace is counted in elements, never bytes, so the float schedule's
+  // peak equals the double schedule's under the same sizing fields.
+  return fused_product_workspace(m, k, n, sizing_config(cfg), depth);
+}
+
+template void fmm_fused<double>(double, ConstView, ConstView, double, MutView,
+                                CtxT<double>&, int);
+template void fmm_fused<float>(float, ConstViewF, ConstViewF, float, MutViewF,
+                               CtxT<float>&, int);
+template void fused_product<double>(const FusedOperandT<double>&,
+                                    const FusedOperandT<double>&, MutView,
+                                    double, double, CtxT<double>&, int);
+template void fused_product<float>(const FusedOperandT<float>&,
+                                   const FusedOperandT<float>&, MutViewF,
+                                   float, float, CtxT<float>&, int);
 
 }  // namespace strassen::core::detail

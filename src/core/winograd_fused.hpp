@@ -21,6 +21,10 @@
 // leaf dimensions) each leaf materializes its operand combinations into
 // arena temporaries and continues with the classic schedules, so deep
 // problems keep their Strassen arithmetic savings.
+//
+// Like the classic recursion, everything is templated on the element type;
+// the float instantiation drives the float pack/kernel tables of the same
+// skeleton.
 #pragma once
 
 #include <cassert>
@@ -32,19 +36,26 @@ namespace strassen::core::detail {
 /// Fused counterpart of fmm: C <- alpha*A*B + beta*C with the top level(s)
 /// executed as fused packed-GEMM calls. Odd dimensions are dynamically
 /// peeled (cfg.odd only affects the classic recursion below the fusion).
-void fmm_fused(double alpha, ConstView a, ConstView b, double beta, MutView c,
-               Ctx& ctx, int depth);
+template <class T>
+void fmm_fused(T alpha, BasicView<const T> a, BasicView<const T> b, T beta,
+               BasicView<T> c, CtxT<T>& ctx, int depth);
+
+extern template void fmm_fused<double>(double, ConstView, ConstView, double,
+                                       MutView, CtxT<double>&, int);
+extern template void fmm_fused<float>(float, ConstViewF, ConstViewF, float,
+                                      MutViewF, CtxT<float>&, int);
 
 /// One gamma-weighted operand combination of a fused product: at most two
 /// terms at one level of fusion, four at two (the packed skeleton's
 /// 4-term bound, static_asserted in verify/proofs.hpp). The parallel task
 /// DAG builds depth-2 operands directly, so the capacity here is four.
-struct FusedOperand {
-  ConstView v[4];
-  double g[4];
+template <class T>
+struct FusedOperandT {
+  BasicView<const T> v[4];
+  T g[4];
   int n = 0;
 
-  void add(ConstView view, double gamma) {
+  void add(BasicView<const T> view, T gamma) {
     assert(n < 4);
     v[n] = view;
     g[n] = gamma;
@@ -52,16 +63,33 @@ struct FusedOperand {
   }
 };
 
+using FusedOperand = FusedOperandT<double>;
+using FusedOperandF = FusedOperandT<float>;
+
 /// Computes d <- g * (sum_i ga_i A_i)(sum_j gb_j B_j) + beta * d as one
 /// fused packed-GEMM call, or -- when the cutoff still wants recursion at
 /// these dimensions -- by materializing the combinations into ctx.arena and
 /// running the classic fmm below. This is the task granule the parallel
 /// top level schedules. The arena is grown on demand when unused.
-void fused_product(const FusedOperand& a, const FusedOperand& b, MutView d,
-                   double g, double beta, Ctx& ctx, int depth);
+template <class T>
+void fused_product(const FusedOperandT<T>& a, const FusedOperandT<T>& b,
+                   BasicView<T> d, T g, T beta, CtxT<T>& ctx, int depth);
 
-/// Exact arena doubles one fused_product call allocates at peak.
+extern template void fused_product<double>(const FusedOperandT<double>&,
+                                           const FusedOperandT<double>&,
+                                           MutView, double, double,
+                                           CtxT<double>&, int);
+extern template void fused_product<float>(const FusedOperandT<float>&,
+                                          const FusedOperandT<float>&,
+                                          MutViewF, float, float,
+                                          CtxT<float>&, int);
+
+/// Exact arena elements one fused_product call allocates at peak. The
+/// count is in elements of the configuration's precision (identical for
+/// both: the recursion allocates by shape, never by byte size).
 count_t fused_product_workspace(index_t m, index_t k, index_t n,
                                 const DgefmmConfig& cfg, int depth);
+count_t fused_product_workspace(index_t m, index_t k, index_t n,
+                                const SgefmmConfig& cfg, int depth);
 
 }  // namespace strassen::core::detail

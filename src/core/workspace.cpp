@@ -107,6 +107,15 @@ count_t ws_fused(index_t m, index_t k, index_t n, const DgefmmConfig& cfg,
 
 }  // namespace
 
+DgefmmConfig sizing_config(const SgefmmConfig& cfg) {
+  DgefmmConfig d;
+  d.cutoff = cfg.cutoff;
+  d.scheme = cfg.scheme;
+  d.odd = cfg.odd;
+  d.fused_levels = cfg.fused_levels;
+  return d;
+}
+
 count_t workspace_doubles_at(index_t m, index_t n, index_t k, double beta,
                              const DgefmmConfig& cfg, int depth) {
   return ws(m, k, n, beta == 0.0, cfg, depth);
@@ -135,6 +144,12 @@ count_t workspace_doubles(index_t m, index_t n, index_t k, double beta,
   return ws(m, k, n, beta_zero, cfg, 0);
 }
 
+count_t workspace_floats(index_t m, index_t n, index_t k, float beta,
+                         const SgefmmConfig& cfg) {
+  return workspace_doubles(m, n, k, static_cast<double>(beta),
+                           sizing_config(cfg));
+}
+
 count_t parallel_workspace_doubles(index_t m, index_t n, index_t k,
                                    const DgefmmConfig& cfg, int par_depth,
                                    int lanes) {
@@ -153,6 +168,13 @@ count_t parallel_workspace_doubles(index_t m, index_t n, index_t k,
       detail::fused_product_workspace(mb, kb, nb, cfg, depth);
   return products * (static_cast<count_t>(mb) * nb) +
          static_cast<count_t>(std::max(lanes, 1)) * lane_ws;
+}
+
+count_t parallel_workspace_floats(index_t m, index_t n, index_t k,
+                                  const SgefmmConfig& cfg, int par_depth,
+                                  int lanes) {
+  return parallel_workspace_doubles(m, n, k, sizing_config(cfg), par_depth,
+                                    lanes);
 }
 
 double bound_strassen1_beta0(index_t m, index_t k, index_t n) {

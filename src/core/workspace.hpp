@@ -11,12 +11,25 @@
 
 namespace strassen::core {
 
+/// Copies the sizing-relevant fields (cutoff, scheme, odd strategy, fused
+/// levels) of a float configuration into a double one. Every workspace
+/// predictor counts *elements*, not bytes -- the recursion allocates by
+/// matrix shape only (verify::footprint_doubles is a pure element count) --
+/// so the float sizes are exactly the double sizes under the same fields,
+/// and the float entry points below forward through this view.
+[[nodiscard]] DgefmmConfig sizing_config(const SgefmmConfig& cfg);
+
 /// Exact number of workspace doubles a dgefmm call with this configuration
 /// will allocate at peak for C(m x n) = alpha*op(A)(m x k)*op(B)(k x n)
 /// + beta*C.
 [[nodiscard]] count_t workspace_doubles(index_t m, index_t n, index_t k,
                                         double beta,
                                         const DgefmmConfig& cfg);
+
+/// Exact number of workspace floats the matching sgefmm call allocates at
+/// peak (the same element count as the double schedule; see sizing_config).
+[[nodiscard]] count_t workspace_floats(index_t m, index_t n, index_t k,
+                                       float beta, const SgefmmConfig& cfg);
 
 /// Exact workspace of the *classic* recursion entered at `depth` (the
 /// fused schedule uses this to size its below-fusion leaves; Scheme::fused
@@ -36,6 +49,13 @@ namespace strassen::core {
                                                  index_t k,
                                                  const DgefmmConfig& cfg,
                                                  int par_depth, int lanes);
+
+/// Float twin of parallel_workspace_doubles (same element count; see
+/// sizing_config).
+[[nodiscard]] count_t parallel_workspace_floats(index_t m, index_t n,
+                                                index_t k,
+                                                const SgefmmConfig& cfg,
+                                                int par_depth, int lanes);
 
 /// Paper bound for STRASSEN1 with beta == 0: (m*max(k,n) + kn)/3.
 double bound_strassen1_beta0(index_t m, index_t k, index_t n);

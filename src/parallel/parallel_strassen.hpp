@@ -1,5 +1,5 @@
-// Task-parallel top level for DGEFMM: the top one or two recursion levels
-// of the fused Winograd schedule run as a dependency-aware task DAG
+// Task-parallel top level for DGEFMM/SGEFMM: the top one or two recursion
+// levels of the fused Winograd schedule run as a dependency-aware task DAG
 // (parallel/task_dag.hpp) on the shared pool's work-stealing lanes, so
 // combine steps overlap with still-running products instead of waiting at
 // the old seven-way barrier. Below the DAG everything is the serial
@@ -18,7 +18,8 @@
 
 namespace strassen::parallel {
 
-struct ParallelDgefmmConfig {
+template <class T>
+struct ParallelGefmmConfigT {
   core::CutoffCriterion cutoff =
       core::CutoffCriterion::paper_default(blas::active_machine());
   /// Core budget the pre-flight planner splits between DAG lanes and each
@@ -46,19 +47,23 @@ struct ParallelDgefmmConfig {
   /// Optional caller-provided workspace for the single up-front
   /// reservation (product temporaries + per-lane sub-arenas). When null an
   /// exactly-sized arena is allocated internally; reusing one across calls
-  /// avoids repeated allocation, as the benchmarks do.
-  Arena* workspace = nullptr;
+  /// avoids repeated allocation, as the benchmarks do. Element-typed: the
+  /// float driver can only draw from a float arena.
+  ArenaT<T>* workspace = nullptr;
   /// Failure policy (DESIGN.md section 7). Every acquisition -- the
   /// reservation, the DAG bookkeeping, the pack-scratch warmup -- precedes
   /// the first write to C, so on failure `strict` rethrows with C
   /// untouched and `fallback` degrades the whole problem to one
-  /// workspace-free DGEMM. Propagated to the per-leaf child configs.
+  /// workspace-free GEMM. Propagated to the per-leaf child configs.
   core::FailurePolicy on_failure = core::FailurePolicy::strict;
   /// Optional instrumentation: per-lane child stats are merged in, plus
   /// the scheduler's own counters (steals, dag_nodes, dag_lanes) and the
   /// driver's fallback/fault counters.
   core::DgefmmStats* stats = nullptr;
 };
+
+using ParallelDgefmmConfig = ParallelGefmmConfigT<double>;
+using ParallelSgefmmConfig = ParallelGefmmConfigT<float>;
 
 /// C <- alpha * op(A) * op(B) + beta * C with the top recursion level(s)
 /// evaluated as a work-stealing task DAG. The result is bitwise identical
@@ -71,5 +76,14 @@ int dgefmm_parallel(Trans transa, Trans transb, index_t m, index_t n,
                     const double* b, index_t ldb, double beta, double* c,
                     index_t ldc,
                     const ParallelDgefmmConfig& cfg = ParallelDgefmmConfig{});
+
+/// Single-precision twin of dgefmm_parallel: the float instantiation of
+/// the same planner, carving phase, and work-stealing executor, with the
+/// same bitwise-determinism guarantee across thread counts.
+int sgefmm_parallel(Trans transa, Trans transb, index_t m, index_t n,
+                    index_t k, float alpha, const float* a, index_t lda,
+                    const float* b, index_t ldb, float beta, float* c,
+                    index_t ldc,
+                    const ParallelSgefmmConfig& cfg = ParallelSgefmmConfig{});
 
 }  // namespace strassen::parallel

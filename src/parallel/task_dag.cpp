@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <cstdlib>
+#include <type_traits>
 #include <vector>
 
 #include "blas/packed_loop.hpp"
@@ -40,13 +41,14 @@ bool depth2_feasible(index_t m, index_t k, index_t n) {
 }
 
 // State every DAG node shares; lives on run_task_dag's stack.
+template <class T>
 struct Shared {
-  const core::DgefmmConfig* child = nullptr;
-  Arena* lane_arenas = nullptr;            // [lanes]
-  core::DgefmmStats* lane_stats = nullptr; // [lanes]
-  const MutView* products = nullptr;       // [NP] product temporaries
-  double alpha = 1.0;
-  double beta = 0.0;
+  const core::GefmmConfigT<T>* child = nullptr;
+  ArenaT<T>* lane_arenas = nullptr;         // [lanes]
+  core::DgefmmStats* lane_stats = nullptr;  // [lanes]
+  const BasicView<T>* products = nullptr;   // [NP] product temporaries
+  T alpha = T(1);
+  T beta = T(0);
   int leaf_gemm_threads = 1;
   int depth = 1;
 };
@@ -54,56 +56,61 @@ struct Shared {
 // One product node: out <- alpha * (sum ga_i A_qi)(sum gb_j B_qj), as one
 // fused packed-GEMM leaf (or an arena-backed classic recursion below the
 // cutoff) drawing from the executing lane's worker-local sub-arena.
+template <class T>
 struct ProductTask {
-  Shared* sh = nullptr;
-  core::detail::FusedOperand a, b;
-  MutView out;
+  Shared<T>* sh = nullptr;
+  core::detail::FusedOperandT<T> a, b;
+  BasicView<T> out;
 };
 
+template <class T>
 void product_body(void* arg, std::size_t lane) {
-  auto* t = static_cast<ProductTask*>(arg);
-  Shared& sh = *t->sh;
+  auto* t = static_cast<ProductTask<T>*>(arg);
+  Shared<T>& sh = *t->sh;
   blas::ScopedGemmThreads fan(sh.leaf_gemm_threads);
-  Arena& arena = sh.lane_arenas[lane];
+  ArenaT<T>& arena = sh.lane_arenas[lane];
   core::DgefmmStats* st = &sh.lane_stats[lane];
-  core::detail::Ctx ctx{sh.child, &arena, st};
-  ArenaScope scope(arena);
-  core::detail::fused_product(t->a, t->b, t->out, sh.alpha, 0.0, ctx,
+  core::detail::CtxT<T> ctx{sh.child, &arena, st};
+  ArenaScopeT scope(arena);
+  core::detail::fused_product(t->a, t->b, t->out, sh.alpha, T(0), ctx,
                               sh.depth);
 }
 
 // One combine node: dst <- beta*dst + sum_i g_i * M_{p_i}, applied in the
 // verified DAG's fixed ascending product order -- the source of bitwise
 // determinism across lane counts and steal orders.
+template <class T>
 struct CombineTask {
-  Shared* sh = nullptr;
+  Shared<T>* sh = nullptr;
   const verify::DagTerm* terms = nullptr;
   int nterms = 0;
-  MutView dst;
+  BasicView<T> dst;
 };
 
+template <class T>
 void combine_body(void* arg, std::size_t /*lane*/) {
-  auto* t = static_cast<CombineTask*>(arg);
-  const Shared& sh = *t->sh;
-  core::axpby(t->terms[0].g, sh.products[t->terms[0].product], sh.beta,
-              t->dst);
+  auto* t = static_cast<CombineTask<T>*>(arg);
+  const Shared<T>& sh = *t->sh;
+  core::axpby(static_cast<T>(t->terms[0].g),
+              sh.products[t->terms[0].product], sh.beta, t->dst);
   for (int i = 1; i < t->nterms; ++i) {
     const verify::DagTerm& term = t->terms[i];
-    const ConstView src = sh.products[term.product];
+    const BasicView<const T> src = sh.products[term.product];
     if (term.g == 1.0) {
       core::add_inplace(t->dst, src);
     } else if (term.g == -1.0) {
       core::sub_inplace(t->dst, src);
     } else {
-      core::axpy(term.g, src, t->dst);
+      core::axpy(static_cast<T>(term.g), src, t->dst);
     }
   }
 }
 
 }  // namespace
 
+template <class T>
 DagPlan plan_dag(index_t m, index_t n, index_t k,
-                 const ParallelDgefmmConfig& cfg) {
+                 const ParallelGefmmConfigT<T>& cfg) {
   DagPlan plan;
   // The budget is the caller's thread count, defaulting to the pool size.
   // It is deliberately not clamped to the pool: on small machines the
@@ -137,20 +144,27 @@ DagPlan plan_dag(index_t m, index_t n, index_t k,
                                ? cfg.leaf_gemm_threads
                                : std::max(1, budget / plan.lanes);
 
-  core::DgefmmConfig child;
+  core::GefmmConfigT<T> child;
   child.cutoff = cfg.cutoff;
   child.scheme = cfg.scheme;
-  plan.workspace = core::parallel_workspace_doubles(m, n, k, child,
-                                                    plan.par_depth,
-                                                    plan.lanes);
+  if constexpr (std::is_same_v<T, float>) {
+    plan.workspace = core::parallel_workspace_floats(m, n, k, child,
+                                                     plan.par_depth,
+                                                     plan.lanes);
+  } else {
+    plan.workspace = core::parallel_workspace_doubles(m, n, k, child,
+                                                      plan.par_depth,
+                                                      plan.lanes);
+  }
   return plan;
 }
 
+template <class T>
 void run_task_dag(Trans transa, Trans transb, index_t m, index_t n,
-                  index_t k, double alpha, const double* a, index_t lda,
-                  const double* b, index_t ldb, double beta, double* c,
-                  index_t ldc, const ParallelDgefmmConfig& cfg,
-                  const DagPlan& plan, Arena& arena) {
+                  index_t k, T alpha, const T* a, index_t lda, const T* b,
+                  index_t ldb, T beta, T* c, index_t ldc,
+                  const ParallelGefmmConfigT<T>& cfg, const DagPlan& plan,
+                  ArenaT<T>& arena) {
   const int L = plan.par_depth;
   const int grid = 1 << L;
   const int np = plan.products;
@@ -162,24 +176,26 @@ void run_task_dag(Trans transa, Trans transb, index_t m, index_t n,
   const int* term_begin =
       L == 2 ? verify::kDagL2.term_begin : verify::kDagL1.term_begin;
 
-  const ConstView av = make_op_view(transa, a, is_trans(transa) ? k : m,
-                                    is_trans(transa) ? m : k, lda);
-  const ConstView bv = make_op_view(transb, b, is_trans(transb) ? n : k,
-                                    is_trans(transb) ? k : n, ldb);
-  MutView cv = make_view(c, m, n, ldc);
+  const BasicView<const T> av =
+      make_op_view(transa, a, is_trans(transa) ? k : m,
+                   is_trans(transa) ? m : k, lda);
+  const BasicView<const T> bv =
+      make_op_view(transb, b, is_trans(transb) ? n : k,
+                   is_trans(transb) ? k : n, ldb);
+  BasicView<T> cv = make_view(c, m, n, ldc);
 
   const index_t me = m & ~index_t{1}, ke = k & ~index_t{1},
                 ne = n & ~index_t{1};
   const index_t mb = me / grid, kb = ke / grid, nbk = ne / grid;
-  ConstView ae = av.block(0, 0, me, ke);
-  ConstView be = bv.block(0, 0, ke, ne);
-  MutView ce = cv.block(0, 0, me, ne);
+  BasicView<const T> ae = av.block(0, 0, me, ke);
+  BasicView<const T> be = bv.block(0, 0, ke, ne);
+  BasicView<T> ce = cv.block(0, 0, me, ne);
 
   // Serial config run inside every product node. The failure policy
   // propagates so a leaf that cannot reserve (never the case after the
   // driver's exact pre-sizing, but kept for contract symmetry) degrades
   // only that product under `fallback`.
-  core::DgefmmConfig child;
+  core::GefmmConfigT<T> child;
   child.cutoff = cfg.cutoff;
   child.scheme = cfg.scheme;
   child.on_failure = cfg.on_failure;
@@ -188,16 +204,16 @@ void run_task_dag(Trans transa, Trans transb, index_t m, index_t n,
   // caller's pre-reserved arena. Product temporaries first, then one
   // borrowed worker-local sub-arena per lane (first-touched by whichever
   // worker runs that lane's leaves). This ordering is what
-  // core::parallel_workspace_doubles prices.
-  ArenaScope scope(arena);
-  std::vector<MutView> prod_views;
+  // core::parallel_workspace_doubles/_floats prices.
+  ArenaScopeT scope(arena);
+  std::vector<BasicView<T>> prod_views;
   prod_views.reserve(static_cast<std::size_t>(np));
   for (int p = 0; p < np; ++p) {
     prod_views.push_back(core::detail::arena_matrix(arena, mb, nbk));
   }
   const count_t lane_ws =
       core::detail::fused_product_workspace(mb, kb, nbk, child, L);
-  std::vector<Arena> lane_arenas;
+  std::vector<ArenaT<T>> lane_arenas;
   lane_arenas.reserve(static_cast<std::size_t>(plan.lanes));
   for (int l = 0; l < plan.lanes; ++l) {
     lane_arenas.emplace_back(arena.alloc(static_cast<std::size_t>(lane_ws)),
@@ -206,7 +222,7 @@ void run_task_dag(Trans transa, Trans transb, index_t m, index_t n,
   std::vector<core::DgefmmStats> lane_stats(
       static_cast<std::size_t>(plan.lanes));
 
-  Shared sh;
+  Shared<T> sh;
   sh.child = &child;
   sh.lane_arenas = lane_arenas.data();
   sh.lane_stats = lane_stats.data();
@@ -218,27 +234,27 @@ void run_task_dag(Trans transa, Trans transb, index_t m, index_t n,
 
   // Product nodes: operand combinations read straight off the verified
   // table, block q at (row, col) = (q / grid, q % grid) of the 2^L grid.
-  std::vector<ProductTask> ptasks(static_cast<std::size_t>(np));
+  std::vector<ProductTask<T>> ptasks(static_cast<std::size_t>(np));
   for (int p = 0; p < np; ++p) {
-    ProductTask& t = ptasks[static_cast<std::size_t>(p)];
+    ProductTask<T>& t = ptasks[static_cast<std::size_t>(p)];
     t.sh = &sh;
     t.out = prod_views[static_cast<std::size_t>(p)];
     for (int e = 0; e < table[p].na; ++e) {
       const int q = table[p].a[e].q;
       t.a.add(ae.block((q / grid) * mb, (q % grid) * kb, mb, kb),
-              table[p].a[e].g);
+              static_cast<T>(table[p].a[e].g));
     }
     for (int e = 0; e < table[p].nb; ++e) {
       const int q = table[p].b[e].q;
       t.b.add(be.block((q / grid) * kb, (q % grid) * nbk, kb, nbk),
-              table[p].b[e].g);
+              static_cast<T>(table[p].b[e].g));
     }
   }
 
   // Combine nodes: one per C block, terms in the DAG's fixed order.
-  std::vector<CombineTask> ctasks(static_cast<std::size_t>(nb));
+  std::vector<CombineTask<T>> ctasks(static_cast<std::size_t>(nb));
   for (int blk = 0; blk < nb; ++blk) {
-    CombineTask& t = ctasks[static_cast<std::size_t>(blk)];
+    CombineTask<T>& t = ctasks[static_cast<std::size_t>(blk)];
     t.sh = &sh;
     t.terms = dag_terms + term_begin[blk];
     t.nterms = term_begin[blk + 1] - term_begin[blk];
@@ -271,13 +287,13 @@ void run_task_dag(Trans transa, Trans transb, index_t m, index_t n,
       static_cast<std::size_t>(np + nb));
   for (int p = 0; p < np; ++p) {
     nodes[static_cast<std::size_t>(p)] = ThreadPool::DagNode{
-        &product_body, &ptasks[static_cast<std::size_t>(p)],
+        &product_body<T>, &ptasks[static_cast<std::size_t>(p)],
         successors.data() + succ_begin[static_cast<std::size_t>(p)],
         succ_count[static_cast<std::size_t>(p)], 0};
   }
   for (int blk = 0; blk < nb; ++blk) {
     nodes[static_cast<std::size_t>(np + blk)] = ThreadPool::DagNode{
-        &combine_body, &ctasks[static_cast<std::size_t>(blk)], nullptr, 0,
+        &combine_body<T>, &ctasks[static_cast<std::size_t>(blk)], nullptr, 0,
         term_begin[blk + 1] - term_begin[blk]};
   }
   DagRun run(nodes.data(), nodes.size(),
@@ -325,5 +341,21 @@ void run_task_dag(Trans transa, Trans transb, index_t m, index_t n,
     }
   }
 }
+
+template DagPlan plan_dag<double>(index_t, index_t, index_t,
+                                  const ParallelGefmmConfigT<double>&);
+template DagPlan plan_dag<float>(index_t, index_t, index_t,
+                                 const ParallelGefmmConfigT<float>&);
+template void run_task_dag<double>(Trans, Trans, index_t, index_t, index_t,
+                                   double, const double*, index_t,
+                                   const double*, index_t, double, double*,
+                                   index_t,
+                                   const ParallelGefmmConfigT<double>&,
+                                   const DagPlan&, ArenaT<double>&);
+template void run_task_dag<float>(Trans, Trans, index_t, index_t, index_t,
+                                  float, const float*, index_t, const float*,
+                                  index_t, float, float*, index_t,
+                                  const ParallelGefmmConfigT<float>&,
+                                  const DagPlan&, ArenaT<float>&);
 
 }  // namespace strassen::parallel

@@ -13,7 +13,7 @@
 //    between DAG width (`lanes`) and per-leaf intra-GEMM fan-out
 //    (`leaf_gemm_threads`) so that lanes * leaf_gemm_threads never exceeds
 //    the budget, and prices the single up-front workspace reservation
-//    (core::parallel_workspace_doubles) the run will carve from.
+//    (core::parallel_workspace_doubles/_floats) the run will carve from.
 //
 //  * run_task_dag() builds the bipartite product->combine DAG from
 //    verify::kDagL1/kDagL2 (derived at compile time from the proved tables
@@ -23,6 +23,11 @@
 //    work-stealing lanes (ThreadPool::run_dag): a combine whose products
 //    are done overlaps with still-running products instead of waiting at
 //    the barrier.
+//
+// Both are templated on the element type (double for dgefmm_parallel,
+// float for sgefmm_parallel); the DAG structure, carving order, and
+// workspace price are identical, only the element storage and the kernels
+// below change.
 //
 // Determinism: each combine applies its gamma-weighted products in the
 // fixed ascending order of the verified DAG, so C is bitwise identical for
@@ -39,9 +44,10 @@
 
 namespace strassen::parallel {
 
-struct ParallelDgefmmConfig;
+template <class T>
+struct ParallelGefmmConfigT;
 
-/// Resolved pre-flight plan for one dgefmm_parallel call.
+/// Resolved pre-flight plan for one dgefmm_parallel/sgefmm_parallel call.
 struct DagPlan {
   int par_depth = 1;         ///< schedule levels expanded into the DAG (1-2)
   int lanes = 1;             ///< scheduler lanes (max concurrent DAG nodes)
@@ -49,7 +55,7 @@ struct DagPlan {
                              ///< node (0 = legacy whole-pool setting)
   int products = 7;          ///< product nodes: 7^par_depth
   int combines = 4;          ///< combine nodes: 4^par_depth
-  count_t workspace = 0;     ///< doubles of the single up-front reservation
+  count_t workspace = 0;     ///< elements of the single up-front reservation
 };
 
 /// Computes the moldable core allotment and workspace price for the given
@@ -58,18 +64,37 @@ struct DagPlan {
 /// knobs, and otherwise splits cfg.threads (0 = pool size) between lanes
 /// and per-leaf fan-out. Depth 2 is only selected when the quarter
 /// dimensions exist (the even core must split twice).
+template <class T>
 [[nodiscard]] DagPlan plan_dag(index_t m, index_t n, index_t k,
-                               const ParallelDgefmmConfig& cfg);
+                               const ParallelGefmmConfigT<T>& cfg);
 
 /// Executes the planned task DAG. `arena` must already hold the plan's
 /// workspace (the driver reserves and probes before calling); this
 /// function performs no fallible acquisition after its carving phase and
 /// writes C only from combine nodes. Exceptions out of the graph leave
 /// beta*C intact.
+template <class T>
 void run_task_dag(Trans transa, Trans transb, index_t m, index_t n,
-                  index_t k, double alpha, const double* a, index_t lda,
-                  const double* b, index_t ldb, double beta, double* c,
-                  index_t ldc, const ParallelDgefmmConfig& cfg,
-                  const DagPlan& plan, Arena& arena);
+                  index_t k, T alpha, const T* a, index_t lda, const T* b,
+                  index_t ldb, T beta, T* c, index_t ldc,
+                  const ParallelGefmmConfigT<T>& cfg, const DagPlan& plan,
+                  ArenaT<T>& arena);
+
+extern template DagPlan plan_dag<double>(index_t, index_t, index_t,
+                                         const ParallelGefmmConfigT<double>&);
+extern template DagPlan plan_dag<float>(index_t, index_t, index_t,
+                                        const ParallelGefmmConfigT<float>&);
+extern template void run_task_dag<double>(Trans, Trans, index_t, index_t,
+                                          index_t, double, const double*,
+                                          index_t, const double*, index_t,
+                                          double, double*, index_t,
+                                          const ParallelGefmmConfigT<double>&,
+                                          const DagPlan&, ArenaT<double>&);
+extern template void run_task_dag<float>(Trans, Trans, index_t, index_t,
+                                         index_t, float, const float*,
+                                         index_t, const float*, index_t,
+                                         float, float*, index_t,
+                                         const ParallelGefmmConfigT<float>&,
+                                         const DagPlan&, ArenaT<float>&);
 
 }  // namespace strassen::parallel

@@ -11,7 +11,7 @@
 
 namespace strassen {
 
-/// Owning, aligned, non-resizable array of doubles.
+/// Owning, aligned, non-resizable array of scalars (float or double).
 ///
 /// A thin RAII wrapper over ::operator new(align) chosen instead of
 /// std::vector so that (a) storage is cache-line aligned for the packed GEMM
@@ -19,28 +19,29 @@ namespace strassen {
 /// workspace arenas hand out slices that are always written before being
 /// read, and zero-filling multi-hundred-megabyte workspaces would distort
 /// benchmark timings.
-class AlignedBuffer {
+template <class T>
+class AlignedBufferT {
  public:
-  AlignedBuffer() = default;
+  AlignedBufferT() = default;
 
-  explicit AlignedBuffer(std::size_t n) : size_(n) {
+  explicit AlignedBufferT(std::size_t n) : size_(n) {
     if (n > 0) {
       if (faultinject::should_fail(faultinject::Site::buffer_alloc)) {
         throw std::bad_alloc();
       }
-      data_ = static_cast<double*>(::operator new(
-          n * sizeof(double), std::align_val_t(kBufferAlignment)));
+      data_ = static_cast<T*>(::operator new(
+          n * sizeof(T), std::align_val_t(kBufferAlignment)));
     }
   }
 
-  AlignedBuffer(const AlignedBuffer&) = delete;
-  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+  AlignedBufferT(const AlignedBufferT&) = delete;
+  AlignedBufferT& operator=(const AlignedBufferT&) = delete;
 
-  AlignedBuffer(AlignedBuffer&& other) noexcept
+  AlignedBufferT(AlignedBufferT&& other) noexcept
       : data_(std::exchange(other.data_, nullptr)),
         size_(std::exchange(other.size_, 0)) {}
 
-  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+  AlignedBufferT& operator=(AlignedBufferT&& other) noexcept {
     if (this != &other) {
       destroy();
       data_ = std::exchange(other.data_, nullptr);
@@ -49,15 +50,15 @@ class AlignedBuffer {
     return *this;
   }
 
-  ~AlignedBuffer() { destroy(); }
+  ~AlignedBufferT() { destroy(); }
 
-  double* data() { return data_; }
-  const double* data() const { return data_; }
+  T* data() { return data_; }
+  const T* data() const { return data_; }
   std::size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
 
-  double& operator[](std::size_t i) { return data_[i]; }
-  const double& operator[](std::size_t i) const { return data_[i]; }
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
 
  private:
   void destroy() {
@@ -66,8 +67,11 @@ class AlignedBuffer {
     }
   }
 
-  double* data_ = nullptr;
+  T* data_ = nullptr;
   std::size_t size_ = 0;
 };
+
+using AlignedBuffer = AlignedBufferT<double>;
+using AlignedBufferF = AlignedBufferT<float>;
 
 }  // namespace strassen

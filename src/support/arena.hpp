@@ -7,6 +7,11 @@
 // peak() is compared against those closed forms in the tests and printed by
 // bench_tab1_memory.
 //
+// The arena is templated on the element type: DGEFMM draws doubles from an
+// ArenaT<double> (the Arena alias), SGEFMM floats from an ArenaT<float>
+// (ArenaF). Capacities, peaks, and the Table 1 bounds are all counted in
+// elements, so the footprint claims are precision-independent.
+//
 // Failure semantics (DESIGN.md section 7): reserve() is the arena's only
 // true resource acquisition and may fail (std::bad_alloc from the buffer,
 // WorkspaceError when misused, or an injected fault). alloc() on a
@@ -16,17 +21,18 @@
 // is provable under test.
 //
 // Debug guards: when faultinject::arena_guards() is on (default in debug
-// builds), the arena keeps one canary double in the *free* space just past
+// builds), the arena keeps one canary element in the *free* space just past
 // the newest live allocation and re-verifies it on every subsequent
 // alloc()/release(); a computation that writes past the end of its newest
 // block destroys the canary and is reported via corruption_detected().
 // release() additionally poisons the freed range with 0xFF bytes (a NaN
-// pattern), so use-after-release reads surface as NaNs in results. The
-// guard lives outside every allocation, so enabling it changes neither
-// alloc addresses nor peak() accounting.
+// pattern in both precisions), so use-after-release reads surface as NaNs
+// in results. The guard lives outside every allocation, so enabling it
+// changes neither alloc addresses nor peak() accounting.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <cstring>
 #include <string>
 
@@ -36,18 +42,40 @@
 
 namespace strassen {
 
+namespace detail {
+
+/// Guard canary bit patterns: arbitrary non-NaN values no computation
+/// produces, one per element width.
+template <class T>
+struct GuardBits;
+
+template <>
+struct GuardBits<double> {
+  static constexpr std::uint64_t value = 0x5AFEC0DEBADF00DULL;
+  using bits_type = std::uint64_t;
+};
+
+template <>
+struct GuardBits<float> {
+  static constexpr std::uint32_t value = 0x5AFEC0DEu;
+  using bits_type = std::uint32_t;
+};
+
+}  // namespace detail
+
 /// Last-in/first-out allocator over a fixed aligned buffer.
 ///
 /// Allocation is O(1) pointer arithmetic. Recursive algorithms take a mark
 /// before allocating level-local temporaries and release back to it on the
 /// way out (usually via ArenaScope). The high-water mark records the largest
-/// simultaneous footprint ever reached, in doubles.
-class Arena {
+/// simultaneous footprint ever reached, in elements.
+template <class T>
+class ArenaT {
  public:
-  Arena() = default;
+  ArenaT() = default;
 
-  /// Creates an arena holding `capacity` doubles.
-  explicit Arena(std::size_t capacity) : buf_(capacity) {}
+  /// Creates an arena holding `capacity` elements.
+  explicit ArenaT(std::size_t capacity) : buf_(capacity) {}
 
   /// Creates an arena over caller-owned storage (borrowed, non-growing).
   /// The parallel driver carves worker-local sub-arenas out of slices of
@@ -55,15 +83,15 @@ class Arena {
   /// then happens on the executing worker (NUMA-friendly), and a
   /// reserve() beyond the slice is a hard error rather than a silent
   /// second acquisition. `storage` must outlive the arena.
-  Arena(double* storage, std::size_t capacity)
+  ArenaT(T* storage, std::size_t capacity)
       : ext_(storage), ext_size_(capacity) {}
 
-  Arena(const Arena&) = delete;
-  Arena& operator=(const Arena&) = delete;
-  Arena(Arena&&) = default;
-  Arena& operator=(Arena&&) = default;
+  ArenaT(const ArenaT&) = delete;
+  ArenaT& operator=(const ArenaT&) = delete;
+  ArenaT(ArenaT&&) = default;
+  ArenaT& operator=(ArenaT&&) = default;
 
-  /// Grows the arena to at least `capacity` doubles. Only legal when the
+  /// Grows the arena to at least `capacity` elements. Only legal when the
   /// arena is unused (top == 0); the library sizes arenas up front. A
   /// borrowed arena cannot grow past its storage. May throw
   /// WorkspaceError (misuse, borrowed overflow, or injected fault) or
@@ -81,15 +109,15 @@ class Arena {
         throw WorkspaceError(
             "Arena::reserve(" + std::to_string(capacity) +
             ") on a borrowed arena of " + std::to_string(ext_size_) +
-            " doubles; borrowed storage cannot grow");
+            " elements; borrowed storage cannot grow");
       }
-      buf_ = AlignedBuffer(capacity);
+      buf_ = AlignedBufferT<T>(capacity);
       has_guard_ = false;
     }
   }
 
-  /// Returns a pointer to `n` uninitialized doubles.
-  [[nodiscard]] double* alloc(std::size_t n) {
+  /// Returns a pointer to `n` uninitialized elements.
+  [[nodiscard]] T* alloc(std::size_t n) {
     if (faultinject::should_fail(faultinject::Site::arena_alloc)) {
       throw WorkspaceError("fault injection: Arena::alloc(" +
                            std::to_string(n) + ") failed");
@@ -97,19 +125,19 @@ class Arena {
     if (top_ + n > cap()) {
       throw WorkspaceError(
           "workspace arena exhausted: requested " + std::to_string(n) +
-          " doubles with " + std::to_string(cap() - top_) +
+          " elements with " + std::to_string(cap() - top_) +
           " remaining of " + std::to_string(cap()));
     }
     const bool guards = faultinject::arena_guards();
     if (guards) check_guard();
-    double* p = base() + top_;
+    T* p = base() + top_;
     top_ += n;
     if (top_ > peak_) peak_ = top_;
     if (guards) write_guard();
     return p;
   }
 
-  /// Capacity probe: verifies that `n` doubles could be allocated at the
+  /// Capacity probe: verifies that `n` elements could be allocated at the
   /// current stack position, without moving the stack or the high-water
   /// mark. Shares alloc()'s fault-injection site, so the acquisition point
   /// that allocation failures map to can be failed deterministically under
@@ -122,7 +150,7 @@ class Arena {
     if (top_ + n > cap()) {
       throw WorkspaceError(
           "workspace arena too small: need " + std::to_string(n) +
-          " doubles with " + std::to_string(cap() - top_) +
+          " elements with " + std::to_string(cap() - top_) +
           " remaining of " + std::to_string(cap()));
     }
   }
@@ -142,16 +170,16 @@ class Arena {
     }
   }
 
-  /// Doubles currently allocated.
+  /// Elements currently allocated.
   std::size_t in_use() const { return top_; }
 
-  /// Doubles still available on top of the current stack position.
+  /// Elements still available on top of the current stack position.
   std::size_t remaining() const { return cap() - top_; }
 
-  /// Largest number of doubles ever simultaneously allocated.
+  /// Largest number of elements ever simultaneously allocated.
   std::size_t peak() const { return peak_; }
 
-  /// Total capacity in doubles.
+  /// Total capacity in elements.
   std::size_t capacity() const { return cap(); }
 
   /// Releases everything and clears the high-water mark (and, with guards
@@ -170,18 +198,18 @@ class Arena {
  private:
   // The canary sits at [top_, top_ + 1) -- free space just past the newest
   // live block -- whenever there is room for it.
-  static constexpr std::size_t kGuardDoubles = 1;
+  static constexpr std::size_t kGuardElements = 1;
 
-  static double guard_pattern() {
-    // An arbitrary non-NaN bit pattern that no computation produces.
-    constexpr unsigned long long kBits = 0x5AFEC0DEBADF00DULL;
-    double d;
-    std::memcpy(&d, &kBits, sizeof(d));
-    return d;
+  static T guard_pattern() {
+    const auto bits = detail::GuardBits<T>::value;
+    static_assert(sizeof(bits) == sizeof(T));
+    T v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
   }
 
   void write_guard() {
-    if (top_ + kGuardDoubles <= cap()) {
+    if (top_ + kGuardElements <= cap()) {
       base()[top_] = guard_pattern();
       guard_pos_ = top_;
       has_guard_ = true;
@@ -193,27 +221,25 @@ class Arena {
   void check_guard() {
     // guard_pos_ == top_ guards against stale state when the guards switch
     // was toggled between alloc and release.
+    const auto bits = detail::GuardBits<T>::value;
     if (has_guard_ && guard_pos_ == top_ &&
-        std::memcmp(&base()[top_], &kGuardBitsCheck, sizeof(double)) !=
-            0) {
+        std::memcmp(&base()[top_], &bits, sizeof(T)) != 0) {
       corrupted_ = true;
     }
   }
 
   void poison(std::size_t from, std::size_t to) {
     // 0xFF in every byte is a NaN; reads of released memory propagate.
-    std::memset(base() + from, 0xFF, (to - from) * sizeof(double));
+    std::memset(base() + from, 0xFF, (to - from) * sizeof(T));
   }
-
-  static constexpr unsigned long long kGuardBitsCheck = 0x5AFEC0DEBADF00DULL;
 
   // Borrowed mode: when ext_ is set the arena allocates from caller-owned
   // storage and buf_ stays empty; growing is forbidden.
-  double* base() { return ext_ != nullptr ? ext_ : buf_.data(); }
+  T* base() { return ext_ != nullptr ? ext_ : buf_.data(); }
   std::size_t cap() const { return ext_ != nullptr ? ext_size_ : buf_.size(); }
 
-  AlignedBuffer buf_;
-  double* ext_ = nullptr;
+  AlignedBufferT<T> buf_;
+  T* ext_ = nullptr;
   std::size_t ext_size_ = 0;
   std::size_t top_ = 0;
   std::size_t peak_ = 0;
@@ -222,17 +248,27 @@ class Arena {
   bool corrupted_ = false;
 };
 
+using Arena = ArenaT<double>;
+using ArenaF = ArenaT<float>;
+
 /// RAII guard releasing all arena allocations made during its lifetime.
-class ArenaScope {
+template <class T>
+class ArenaScopeT {
  public:
-  explicit ArenaScope(Arena& arena) : arena_(arena), mark_(arena.mark()) {}
-  ArenaScope(const ArenaScope&) = delete;
-  ArenaScope& operator=(const ArenaScope&) = delete;
-  ~ArenaScope() { arena_.release(mark_); }
+  explicit ArenaScopeT(ArenaT<T>& arena)
+      : arena_(arena), mark_(arena.mark()) {}
+  ArenaScopeT(const ArenaScopeT&) = delete;
+  ArenaScopeT& operator=(const ArenaScopeT&) = delete;
+  ~ArenaScopeT() { arena_.release(mark_); }
 
  private:
-  Arena& arena_;
+  ArenaT<T>& arena_;
   std::size_t mark_;
 };
+
+template <class T>
+ArenaScopeT(ArenaT<T>&) -> ArenaScopeT<T>;
+
+using ArenaScope = ArenaScopeT<double>;
 
 }  // namespace strassen

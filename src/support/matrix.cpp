@@ -5,7 +5,10 @@
 
 namespace strassen {
 
-void copy(ConstView src, MutView dst) {
+namespace {
+
+template <class T>
+void copy_t(BasicView<const T> src, BasicView<T> dst) {
   assert(src.rows == dst.rows && src.cols == dst.cols);
   for (index_t j = 0; j < src.cols; ++j) {
     for (index_t i = 0; i < src.rows; ++i) {
@@ -14,7 +17,8 @@ void copy(ConstView src, MutView dst) {
   }
 }
 
-void fill(MutView dst, double value) {
+template <class T>
+void fill_t(BasicView<T> dst, T value) {
   for (index_t j = 0; j < dst.cols; ++j) {
     for (index_t i = 0; i < dst.rows; ++i) {
       dst(i, j) = value;
@@ -22,43 +26,73 @@ void fill(MutView dst, double value) {
   }
 }
 
-double max_abs_diff(ConstView a, ConstView b) {
+template <class T>
+double max_abs_diff_t(BasicView<const T> a, BasicView<const T> b) {
   assert(a.rows == b.rows && a.cols == b.cols);
   double worst = 0.0;
   for (index_t j = 0; j < a.cols; ++j) {
     for (index_t i = 0; i < a.rows; ++i) {
-      worst = std::max(worst, std::abs(a(i, j) - b(i, j)));
+      worst = std::max(worst, std::abs(static_cast<double>(a(i, j)) -
+                                       static_cast<double>(b(i, j))));
     }
   }
   return worst;
 }
 
-double max_abs(ConstView a) {
+template <class T>
+double max_abs_t(BasicView<const T> a) {
   double worst = 0.0;
   for (index_t j = 0; j < a.cols; ++j) {
     for (index_t i = 0; i < a.rows; ++i) {
-      worst = std::max(worst, std::abs(a(i, j)));
+      worst = std::max(worst, std::abs(static_cast<double>(a(i, j))));
     }
   }
   return worst;
 }
 
-double frobenius_norm(ConstView a) {
+template <class T>
+double frobenius_norm_t(BasicView<const T> a) {
   double sum = 0.0;
   for (index_t j = 0; j < a.cols; ++j) {
     for (index_t i = 0; i < a.rows; ++i) {
-      sum += a(i, j) * a(i, j);
+      const double x = static_cast<double>(a(i, j));
+      sum += x * x;
     }
   }
   return std::sqrt(sum);
 }
 
-void set_identity(MutView dst) {
+template <class T>
+void set_identity_t(BasicView<T> dst) {
   for (index_t j = 0; j < dst.cols; ++j) {
     for (index_t i = 0; i < dst.rows; ++i) {
-      dst(i, j) = (i == j) ? 1.0 : 0.0;
+      dst(i, j) = (i == j) ? T(1) : T(0);
     }
   }
 }
+
+}  // namespace
+
+void copy(ConstView src, MutView dst) { copy_t<double>(src, dst); }
+void copy(ConstViewF src, MutViewF dst) { copy_t<float>(src, dst); }
+
+void fill(MutView dst, double value) { fill_t<double>(dst, value); }
+void fill(MutViewF dst, float value) { fill_t<float>(dst, value); }
+
+double max_abs_diff(ConstView a, ConstView b) {
+  return max_abs_diff_t<double>(a, b);
+}
+double max_abs_diff(ConstViewF a, ConstViewF b) {
+  return max_abs_diff_t<float>(a, b);
+}
+
+double max_abs(ConstView a) { return max_abs_t<double>(a); }
+double max_abs(ConstViewF a) { return max_abs_t<float>(a); }
+
+double frobenius_norm(ConstView a) { return frobenius_norm_t<double>(a); }
+double frobenius_norm(ConstViewF a) { return frobenius_norm_t<float>(a); }
+
+void set_identity(MutView dst) { set_identity_t<double>(dst); }
+void set_identity(MutViewF dst) { set_identity_t<float>(dst); }
 
 }  // namespace strassen

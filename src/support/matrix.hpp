@@ -67,32 +67,32 @@ struct BasicView {
 
 using MutView = BasicView<double>;
 using ConstView = BasicView<const double>;
+using MutViewF = BasicView<float>;
+using ConstViewF = BasicView<const float>;
 
 /// View over a column-major matrix stored with leading dimension ld.
-inline MutView make_view(double* p, index_t m, index_t n, index_t ld) {
+template <class T>
+inline BasicView<T> make_view(T* p, index_t m, index_t n, index_t ld) {
   assert(ld >= (m > 0 ? m : 1));
-  return MutView{p, m, n, 1, ld};
-}
-inline ConstView make_view(const double* p, index_t m, index_t n,
-                           index_t ld) {
-  assert(ld >= (m > 0 ? m : 1));
-  return ConstView{p, m, n, 1, ld};
+  return BasicView<T>{p, m, n, 1, ld};
 }
 
 /// View over op(X) where X is column-major m x n with leading dimension ld;
 /// the result has logical dimensions (m, n) when t == Trans::no and (n, m)
 /// when t == Trans::transpose.
-inline ConstView make_op_view(Trans t, const double* p, index_t m, index_t n,
-                              index_t ld) {
-  ConstView v = make_view(p, m, n, ld);
+template <class T>
+inline BasicView<const T> make_op_view(Trans t, const T* p, index_t m,
+                                       index_t n, index_t ld) {
+  BasicView<const T> v = make_view(p, m, n, ld);
   return is_trans(t) ? v.transposed() : v;
 }
 
 /// Owning column-major matrix (leading dimension == rows).
-class Matrix {
+template <class T>
+class MatrixT {
  public:
-  Matrix() = default;
-  Matrix(index_t m, index_t n)
+  MatrixT() = default;
+  MatrixT(index_t m, index_t n)
       : buf_(static_cast<std::size_t>(m) * static_cast<std::size_t>(n)),
         rows_(m),
         cols_(n) {
@@ -103,48 +103,61 @@ class Matrix {
   index_t cols() const { return cols_; }
   index_t ld() const { return rows_ > 0 ? rows_ : 1; }
 
-  double* data() { return buf_.data(); }
-  const double* data() const { return buf_.data(); }
+  T* data() { return buf_.data(); }
+  const T* data() const { return buf_.data(); }
 
-  double& operator()(index_t i, index_t j) {
+  T& operator()(index_t i, index_t j) {
     assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
     return buf_[static_cast<std::size_t>(i + j * rows_)];
   }
-  const double& operator()(index_t i, index_t j) const {
+  const T& operator()(index_t i, index_t j) const {
     assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
     return buf_[static_cast<std::size_t>(i + j * rows_)];
   }
 
-  MutView view() { return make_view(data(), rows_, cols_, ld()); }
-  ConstView view() const { return make_view(data(), rows_, cols_, ld()); }
+  BasicView<T> view() { return make_view(data(), rows_, cols_, ld()); }
+  BasicView<const T> view() const {
+    return make_view(data(), rows_, cols_, ld());
+  }
 
-  void fill(double value) {
+  void fill(T value) {
     const std::size_t n = buf_.size();
     for (std::size_t i = 0; i < n; ++i) buf_[i] = value;
   }
 
  private:
-  AlignedBuffer buf_;
+  AlignedBufferT<T> buf_;
   index_t rows_ = 0;
   index_t cols_ = 0;
 };
 
+using Matrix = MatrixT<double>;
+using MatrixF = MatrixT<float>;
+
 /// Copies src into dst (dimensions must match).
 void copy(ConstView src, MutView dst);
+void copy(ConstViewF src, MutViewF dst);
 
 /// Sets every element of dst to `value`.
 void fill(MutView dst, double value);
+void fill(MutViewF dst, float value);
 
-/// max_{ij} |a(i,j) - b(i,j)| (dimensions must match).
+/// max_{ij} |a(i,j) - b(i,j)| (dimensions must match). The float overloads
+/// accumulate and report in double so comparisons against a double
+/// reference lose nothing.
 double max_abs_diff(ConstView a, ConstView b);
+double max_abs_diff(ConstViewF a, ConstViewF b);
 
 /// max_{ij} |a(i,j)|.
 double max_abs(ConstView a);
+double max_abs(ConstViewF a);
 
 /// Frobenius norm.
 double frobenius_norm(ConstView a);
+double frobenius_norm(ConstViewF a);
 
 /// Identity assignment: dst = I (square not required; dst(i,i)=1 else 0).
 void set_identity(MutView dst);
+void set_identity(MutViewF dst);
 
 }  // namespace strassen

@@ -23,8 +23,23 @@ void fill_random_symmetric(MutView dst, Rng& rng, double lo, double hi) {
   }
 }
 
+void fill_random(MutViewF dst, Rng& rng, double lo, double hi) {
+  for (index_t j = 0; j < dst.cols; ++j) {
+    for (index_t i = 0; i < dst.rows; ++i) {
+      dst(i, j) = static_cast<float>(rng.uniform(lo, hi));
+    }
+  }
+}
+
 Matrix random_matrix(index_t m, index_t n, Rng& rng, double lo, double hi) {
   Matrix a(m, n);
+  fill_random(a.view(), rng, lo, hi);
+  return a;
+}
+
+MatrixF random_matrix_f(index_t m, index_t n, Rng& rng, double lo,
+                        double hi) {
+  MatrixF a(m, n);
   fill_random(a.view(), rng, lo, hi);
   return a;
 }

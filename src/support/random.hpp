@@ -39,6 +39,7 @@ class Rng {
 
 /// Fills dst with uniform entries in [lo, hi).
 void fill_random(MutView dst, Rng& rng, double lo = -1.0, double hi = 1.0);
+void fill_random(MutViewF dst, Rng& rng, double lo = -1.0, double hi = 1.0);
 
 /// Fills dst (square) with a random symmetric matrix, entries ~ U[lo, hi).
 void fill_random_symmetric(MutView dst, Rng& rng, double lo = -1.0,
@@ -47,5 +48,7 @@ void fill_random_symmetric(MutView dst, Rng& rng, double lo = -1.0,
 /// Returns an m x n matrix with uniform entries.
 Matrix random_matrix(index_t m, index_t n, Rng& rng, double lo = -1.0,
                      double hi = 1.0);
+MatrixF random_matrix_f(index_t m, index_t n, Rng& rng, double lo = -1.0,
+                        double hi = 1.0);
 
 }  // namespace strassen

@@ -16,6 +16,7 @@ bool TunedCriteria::matches_active_kernel() const {
 TunedCriteria tune_both_cases(const CrossoverOptions& opts) {
   TunedCriteria out;
   out.kernel = blas::active_kernel().name;
+  out.elem = "f64";  // the crossover pipeline measures the double vertical
   CrossoverOptions beta0 = opts;
   beta0.alpha = 1.0;
   beta0.beta = 0.0;
@@ -43,6 +44,7 @@ void save_criteria(const TunedCriteria& criteria, std::ostream& os) {
   os << "# DGEFMM tuned cutoff parameters (hybrid criterion, eq. 15)\n";
   os << "format = 1\n";
   if (!criteria.kernel.empty()) os << "kernel = " << criteria.kernel << "\n";
+  os << "elem = " << criteria.elem << "\n";
   write_one(os, "beta_zero", criteria.beta_zero);
   write_one(os, "general", criteria.general);
 }
@@ -58,6 +60,7 @@ bool save_criteria_file(const TunedCriteria& criteria,
 TunedCriteria load_criteria(std::istream& is) {
   std::map<std::string, double> values;
   std::string kernel;
+  std::string elem = "f64";  // files predating sgefmm are double-tuned
   std::string line;
   int lineno = 0;
   while (std::getline(is, line)) {
@@ -68,12 +71,19 @@ TunedCriteria load_criteria(std::istream& is) {
     std::string key, eq;
     double value;
     if (!(ls >> key)) continue;  // blank line
-    if (key == "kernel") {
-      // String-valued key: the micro-kernel name the tuning ran under.
-      if (!(ls >> eq) || eq != "=" || !(ls >> kernel)) {
+    if (key == "kernel" || key == "elem") {
+      // String-valued keys: the micro-kernel name and element type the
+      // tuning ran under.
+      std::string sval;
+      if (!(ls >> eq) || eq != "=" || !(ls >> sval)) {
         throw Error("tuned-criteria file: malformed line " +
                     std::to_string(lineno) + ": '" + line + "'");
       }
+      if (key == "elem" && sval != "f64" && sval != "f32") {
+        throw Error("tuned-criteria file: line " + std::to_string(lineno) +
+                    ": elem must be f64 or f32, got '" + sval + "'");
+      }
+      (key == "kernel" ? kernel : elem) = sval;
       continue;
     }
     if (!(ls >> eq) || eq != "=" || !(ls >> value)) {
@@ -86,6 +96,7 @@ TunedCriteria load_criteria(std::istream& is) {
 
   TunedCriteria out;
   out.kernel = kernel;
+  out.elem = elem;
   auto fill = [&](const std::string& prefix, core::CutoffCriterion& c) {
     auto get = [&](const std::string& name, double fallback) {
       const auto it = values.find(prefix + "." + name);

@@ -29,6 +29,14 @@ struct TunedCriteria {
   /// so a criteria file tuned under one kernel is stale under another.
   std::string kernel;
 
+  /// Element type the tuning ran in: "f64" or "f32". The crossover point
+  /// moves with the element width (a float GEMM runs different kernels at
+  /// different flop rates and half the memory traffic), so cutoffs tuned in
+  /// one precision must never configure the other. Files written before
+  /// sgefmm existed carry no record and load as "f64" -- the only precision
+  /// the tuner produced then.
+  std::string elem = "f64";
+
   /// The criterion appropriate for a call with this beta.
   const core::CutoffCriterion& select(double beta) const {
     return beta == 0.0 ? beta_zero : general;
@@ -37,6 +45,13 @@ struct TunedCriteria {
   /// False when this file was tuned under a different micro-kernel than
   /// the one currently active (legacy files with no record pass).
   bool matches_active_kernel() const;
+
+  /// True when this file was tuned for the given element type ("f64" or
+  /// "f32"). Unlike the kernel check there is no legacy pass-through for
+  /// "f32": a file without an element record is a double-tuned file.
+  bool matches_element(const std::string& elem_kind) const {
+    return elem == elem_kind;
+  }
 };
 
 /// Runs the full tuning pipeline twice: once with (alpha, beta) = (1, 0)

@@ -129,7 +129,11 @@ constexpr bool operator==(const Footprint& a, const Footprint& b) {
          a.m_maxkn == b.m_maxkn;
 }
 
-/// Number of doubles the footprint occupies at half-dimensions (m2, k2, n2).
+/// Number of elements the footprint occupies at half-dimensions (m2, k2,
+/// n2). Element-type independent: the count prices an arena of ANY scalar
+/// type (ArenaT<double>, ArenaT<float>) because arenas allocate in elements,
+/// not bytes -- the same Footprint proof backs dgefmm and sgefmm alike. The
+/// historical name predates the float instantiation.
 constexpr count_t footprint_doubles(const Footprint& f, index_t m2,
                                     index_t k2, index_t n2) {
   const index_t maxkn = k2 > n2 ? k2 : n2;

@@ -1,7 +1,10 @@
 // Tests for the C and Fortran-77 bindings.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cfloat>
+#include <cmath>
 #include <cstdint>
 #include <cstring>
 #include <thread>
@@ -259,6 +262,175 @@ TEST(CAbi, ConcurrentCallersShareNoState) {
   }
   for (std::thread& th : threads) th.join();
   EXPECT_EQ(failures.load(), 0);
+}
+
+// --- single-precision binding ----------------------------------------------
+
+// Double-precision reference for a float product: promote the inputs, run
+// the double reference GEMM, and compare in double. Bounds the float
+// binding's forward error without trusting any float path.
+Matrix promoted_sgemm_reference(const MatrixF& a, const MatrixF& b,
+                                const MatrixF& c0, float alpha, float beta) {
+  Matrix ap(a.rows(), a.cols()), bp(b.rows(), b.cols()),
+      cp(c0.rows(), c0.cols());
+  for (index_t j = 0; j < a.cols(); ++j)
+    for (index_t i = 0; i < a.rows(); ++i)
+      ap.view()(i, j) = static_cast<double>(a.view()(i, j));
+  for (index_t j = 0; j < b.cols(); ++j)
+    for (index_t i = 0; i < b.rows(); ++i)
+      bp.view()(i, j) = static_cast<double>(b.view()(i, j));
+  for (index_t j = 0; j < c0.cols(); ++j)
+    for (index_t i = 0; i < c0.rows(); ++i)
+      cp.view()(i, j) = static_cast<double>(c0.view()(i, j));
+  blas::gemm_reference(Trans::no, Trans::no, ap.rows(), bp.cols(), ap.cols(),
+                       static_cast<double>(alpha), ap.data(), ap.ld(),
+                       bp.data(), bp.ld(), static_cast<double>(beta),
+                       cp.data(), cp.ld());
+  return cp;
+}
+
+double error_vs_promoted(const Matrix& want, const MatrixF& got) {
+  double err = 0.0;
+  for (index_t j = 0; j < want.cols(); ++j)
+    for (index_t i = 0; i < want.rows(); ++i)
+      err = std::max(err, std::abs(want.view()(i, j) -
+                                   static_cast<double>(got.view()(i, j))));
+  return err;
+}
+
+TEST(SgefmmCAbi, MatchesPromotedReference) {
+  Rng rng(11);
+  const index_t n = 100;
+  MatrixF a = random_matrix_f(n, n, rng);
+  MatrixF b = random_matrix_f(n, n, rng);
+  MatrixF c = random_matrix_f(n, n, rng);
+  const Matrix want = promoted_sgemm_reference(a, b, c, 1.5f, 0.5f);
+
+  ASSERT_EQ(strassen_sgefmm('N', 'N', n, n, n, 1.5f, a.data(), n, b.data(),
+                            n, 0.5f, c.data(), n),
+            0);
+  EXPECT_LT(error_vs_promoted(want, c), 64.0 * n * static_cast<double>(FLT_EPSILON));
+}
+
+// The float binding reports the same positional info codes as the double
+// one, with C verified bit-identical on every argument error.
+TEST(SgefmmCAbi, BadArgumentTable) {
+  struct Case {
+    const char* what;
+    char ta, tb;
+    std::int64_t m, n, k, lda, ldb, ldc;
+    int info;
+  };
+  const Case cases[] = {
+      {"transa invalid", 'X', 'N', 4, 4, 4, 4, 4, 4, 1},
+      {"transb invalid", 'N', '?', 4, 4, 4, 4, 4, 4, 2},
+      {"m negative", 'N', 'N', -1, 4, 4, 4, 4, 4, 3},
+      {"n negative", 'N', 'N', 4, -1, 4, 4, 4, 4, 4},
+      {"k negative", 'N', 'N', 4, 4, -1, 4, 4, 4, 5},
+      {"lda too small", 'N', 'N', 4, 4, 4, 3, 4, 4, 8},
+      {"lda too small transposed", 'T', 'N', 4, 4, 8, 4, 8, 4, 8},
+      {"ldb too small", 'N', 'N', 4, 4, 4, 4, 3, 4, 10},
+      {"ldb too small transposed", 'N', 'T', 4, 8, 4, 4, 4, 4, 10},
+      {"ldc too small", 'N', 'N', 4, 4, 4, 4, 4, 3, 13},
+  };
+  float a[64], b[64], c[64], c_before[64];
+  for (int i = 0; i < 64; ++i) {
+    a[i] = 1.0f + static_cast<float>(i);
+    b[i] = 2.0f - static_cast<float>(i);
+    c[i] = 0.25f * static_cast<float>(i);
+    c_before[i] = c[i];
+  }
+  for (const Case& t : cases) {
+    EXPECT_EQ(strassen_sgefmm(t.ta, t.tb, t.m, t.n, t.k, 1.5f, a, t.lda, b,
+                              t.ldb, 0.5f, c, t.ldc),
+              t.info)
+        << t.what;
+    EXPECT_EQ(std::memcmp(c, c_before, sizeof(c)), 0)
+        << t.what << ": C must stay untouched on an argument error";
+  }
+}
+
+TEST(SgefmmFortranAbi, PointerCallingConvention) {
+  Rng rng(12);
+  const std::int32_t n = 48;
+  MatrixF a = random_matrix_f(n, n, rng);
+  MatrixF b = random_matrix_f(n, n, rng);
+  MatrixF c(n, n);
+  c.fill(0.0f);
+  const Matrix want = promoted_sgemm_reference(a, b, c, 2.0f, 0.0f);
+  const char ta = 'N', tb = 'N';
+  const float alpha = 2.0f, beta = 0.0f;
+  std::int32_t info = -1;
+  sgefmm_(&ta, &tb, &n, &n, &n, &alpha, a.data(), &n, b.data(), &n, &beta,
+          c.data(), &n, &info);
+  EXPECT_EQ(info, 0);
+  EXPECT_LT(error_vs_promoted(want, c), 64.0 * n * static_cast<double>(FLT_EPSILON));
+}
+
+// Float twin of the workspace-budget regression: with the float binding
+// arena capped at one float, no exception may cross the extern "C"
+// boundary -- strict reports STRASSEN_INFO_WORKSPACE with C bit-identical,
+// fallback (the default) still computes the product.
+TEST(SgefmmCAbi, TinyWorkspaceBudgetNeverLeaksExceptions) {
+  Rng rng(13);
+  const index_t n = 64;
+  MatrixF a = random_matrix_f(n, n, rng);
+  MatrixF b = random_matrix_f(n, n, rng);
+  MatrixF c = random_matrix_f(n, n, rng);
+  const Matrix want = promoted_sgemm_reference(a, b, c, 1.5f, 0.5f);
+  std::vector<float> snapshot(c.data(),
+                              c.data() + static_cast<std::size_t>(n) * n);
+
+  strassen_sgefmm_set_workspace_limit(1);
+
+  // Strict: a typed negative info code, C bit-identical.
+  strassen_sgefmm_set_failure_policy('S');
+  EXPECT_EQ(strassen_sgefmm_tuned('N', 'N', n, n, n, 1.5f, a.data(), n,
+                                  b.data(), n, 0.5f, c.data(), n, 8, 8, 8, 8),
+            STRASSEN_INFO_WORKSPACE);
+  EXPECT_EQ(std::memcmp(c.data(), snapshot.data(),
+                        snapshot.size() * sizeof(float)),
+            0);
+
+  // Fallback (the binding default): degrade to plain SGEMM and succeed.
+  strassen_sgefmm_set_failure_policy('F');
+  EXPECT_EQ(strassen_sgefmm_tuned('N', 'N', n, n, n, 1.5f, a.data(), n,
+                                  b.data(), n, 0.5f, c.data(), n, 8, 8, 8, 8),
+            0);
+  EXPECT_LT(error_vs_promoted(want, c), 64.0 * n * static_cast<double>(FLT_EPSILON));
+
+  strassen_sgefmm_set_workspace_limit(-1);
+  strassen_sgefmm_release_workspace();
+}
+
+// The two bindings' per-thread knobs are independent: starving the double
+// binding must not degrade (or fail) the float one, and vice versa.
+TEST(SgefmmCAbi, PrecisionKnobsAreIndependent) {
+  Rng rng(14);
+  const index_t n = 64;
+  MatrixF a = random_matrix_f(n, n, rng);
+  MatrixF b = random_matrix_f(n, n, rng);
+  MatrixF c(n, n);
+  c.fill(0.0f);
+
+  // Starve and strict-en the DOUBLE binding only; the float binding must
+  // still acquire its own arena and succeed under its own (strict) policy.
+  strassen_dgefmm_set_workspace_limit(1);
+  strassen_dgefmm_set_failure_policy('S');
+  strassen_sgefmm_set_failure_policy('S');
+  EXPECT_EQ(strassen_sgefmm_tuned('N', 'N', n, n, n, 1.0f, a.data(), n,
+                                  b.data(), n, 0.0f, c.data(), n, 8, 8, 8, 8),
+            0);
+  MatrixF zero(n, n);
+  zero.fill(0.0f);
+  const Matrix want = promoted_sgemm_reference(a, b, zero, 1.0f, 0.0f);
+  EXPECT_LT(error_vs_promoted(want, c), 64.0 * n * static_cast<double>(FLT_EPSILON));
+
+  strassen_dgefmm_set_workspace_limit(-1);
+  strassen_dgefmm_set_failure_policy('F');
+  strassen_sgefmm_set_failure_policy('F');
+  strassen_sgefmm_release_workspace();
+  strassen_dgefmm_release_workspace();
 }
 
 }  // namespace

@@ -298,6 +298,211 @@ TEST(KernelMatrix, MultiTermMultiDestUnderEveryKernel) {
   }
 }
 
+// ------------------------------------------------- float kernel matrix
+
+// The float dispatch table mirrors the double one: every compiled arch has
+// a float variant with its own (wider) register tile, and the active float
+// kernel always tracks the active double arch.
+TEST(KernelMatrixF, FloatTablesAreCompleteAndTrackTheActiveArch) {
+  for (const KernelArch arch : blas::kAllKernelArches) {
+    SCOPED_TRACE(blas::kernel_arch_name(arch));
+    const blas::KernelInfoF* kv = blas::kernel_info_f(arch);
+    EXPECT_EQ(kv != nullptr, blas::kernel_compiled(arch));
+    if (kv == nullptr) continue;
+    EXPECT_EQ(kv->arch, arch);
+    EXPECT_GE(kv->mr, 1);
+    EXPECT_GE(kv->nr, 1);
+    EXPECT_LE(kv->mr, blas::kMaxMRT<float>);
+    EXPECT_LE(kv->nr, blas::kMaxNRT<float>);
+    ASSERT_NE(kv->name, nullptr);
+    EXPECT_EQ(std::string(kv->name).rfind(blas::kernel_arch_name(arch), 0),
+              0u);
+    EXPECT_NE(kv->micro_kernel, nullptr);
+    EXPECT_NE(kv->pack_a_comb, nullptr);
+    EXPECT_NE(kv->pack_b_comb, nullptr);
+    EXPECT_NE(kv->write_tile, nullptr);
+  }
+  for (const KernelArch arch : supported_arches()) {
+    blas::ScopedKernel pin(arch);
+    EXPECT_EQ(blas::active_kernel_f().arch, arch);
+    EXPECT_EQ(blas::active_kernel_t<float>().arch, arch);
+  }
+}
+
+// Full SGEMM through the public entry under each forced kernel; the shapes
+// hit every nonzero remainder of the float register tiles (8x8, 16x6,
+// 16x8), so each variant's edge paths run.
+TEST(KernelMatrixF, SgemmMatchesReferenceUnderEveryKernel) {
+  struct Shape {
+    index_t m, n, k;
+  };
+  const Shape shapes[] = {{1, 1, 1},    {3, 2, 5},    {7, 6, 8},
+                          {17, 9, 13},  {16, 8, 6},   {33, 31, 29},
+                          {65, 66, 63}};
+  Rng rng(43);
+  for (const KernelArch arch : supported_arches()) {
+    blas::ScopedKernel pin(arch);
+    SCOPED_TRACE(blas::active_kernel_f().name);
+    for (const Shape& s : shapes) {
+      for (const Trans ta : {Trans::no, Trans::transpose}) {
+        for (const Trans tb : {Trans::no, Trans::transpose}) {
+          SCOPED_TRACE("m=" + std::to_string(s.m) + " n=" +
+                       std::to_string(s.n) + " k=" + std::to_string(s.k));
+          const index_t a_rows = is_trans(ta) ? s.k : s.m;
+          const index_t a_cols = is_trans(ta) ? s.m : s.k;
+          const index_t b_rows = is_trans(tb) ? s.n : s.k;
+          const index_t b_cols = is_trans(tb) ? s.k : s.n;
+          const index_t lda = a_rows + 3, ldb = b_rows + 1, ldc = s.m + 2;
+          MatrixF a(lda, a_cols), b(ldb, b_cols);
+          MatrixF c(ldc, s.n), c_ref(ldc, s.n);
+          fill_random(a.view(), rng);
+          fill_random(b.view(), rng);
+          fill_random(c.view(), rng);
+          copy(c.view(), c_ref.view());
+          for (const float beta : {0.0f, -0.5f}) {
+            blas::sgemm(ta, tb, s.m, s.n, s.k, 1.25f, a.data(), lda,
+                        b.data(), ldb, beta, c.data(), ldc);
+            blas::gemm_reference(ta, tb, s.m, s.n, s.k, 1.25f, a.data(), lda,
+                                 b.data(), ldb, beta, c_ref.data(), ldc);
+            const float tol = 1e-5f * (static_cast<float>(s.k) + 1.0f);
+            for (index_t j = 0; j < s.n; ++j) {
+              for (index_t i = 0; i < ldc; ++i) {
+                EXPECT_NEAR(c(i, j), c_ref(i, j), i < s.m ? tol : 0.0f)
+                    << "at (" << i << "," << j << ") beta=" << beta;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// Float packed skeleton with an awkward blocking: every macro iteration
+// ends in a partial block and every micro panel in a partial tile of the
+// 16-wide float tiles (asan guards the kMaxMRT<float> pack padding).
+TEST(KernelMatrixF, PackedSkeletonEdgeTilesUnderEveryKernel) {
+  const blas::GemmBlocking bk{20, 7, 13};
+  const index_t m = 53, k = 23, n = 31;
+  Rng rng(78);
+  MatrixF a = random_matrix_f(m, k, rng);
+  MatrixF b = random_matrix_f(k, n, rng);
+  for (const KernelArch arch : supported_arches()) {
+    blas::ScopedKernel pin(arch);
+    SCOPED_TRACE(blas::active_kernel_f().name);
+    MatrixF c(m, n), c_ref(m, n);
+    fill_random(c.view(), rng);
+    copy(c.view(), c_ref.view());
+    const blas::PackCombF pa = blas::pack_comb(a.view());
+    const blas::PackCombF pb = blas::pack_comb(b.view());
+    const blas::WriteDestF dst = blas::write_dest(c.view(), 1.5f, -0.25f);
+    blas::packed_gemm_multi(bk, m, n, k, pa, pb, &dst, 1);
+    blas::gemm_reference(Trans::no, Trans::no, m, n, k, 1.5f, a.data(),
+                         a.ld(), b.data(), b.ld(), -0.25f, c_ref.data(),
+                         c_ref.ld());
+    EXPECT_LE(max_abs_diff(c.view(), c_ref.view()),
+              1e-5 * (static_cast<double>(k) + 1.0));
+  }
+}
+
+// Float linear-combination packing and multi-destination epilogue: the
+// fused Winograd surface sgefmm leans on.
+TEST(KernelMatrixF, MultiTermMultiDestUnderEveryKernel) {
+  const blas::GemmBlocking bk{24, 10, 18};
+  const index_t m = 37, k = 29, n = 21;
+  Rng rng(100);
+  MatrixF a1 = random_matrix_f(m, k, rng);
+  MatrixF a2t = random_matrix_f(k, m, rng);  // used through a transposed view
+  MatrixF b1 = random_matrix_f(k, n, rng);
+  MatrixF b2 = random_matrix_f(k, n, rng);
+  MatrixF c1_0 = random_matrix_f(m, n, rng);
+
+  // Reference: P = (A1 - A2t^T) * (0.5*B1 + 2*B2), then the two epilogues.
+  MatrixF acomb(m, k), bcomb(k, n), p(m, n);
+  for (index_t j = 0; j < k; ++j) {
+    for (index_t i = 0; i < m; ++i) {
+      acomb(i, j) = a1(i, j) - a2t(j, i);
+    }
+  }
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < k; ++i) {
+      bcomb(i, j) = 0.5f * b1(i, j) + 2.0f * b2(i, j);
+    }
+  }
+  p.fill(0.0f);
+  blas::gemm_reference(Trans::no, Trans::no, m, n, k, 1.0f, acomb.data(),
+                       acomb.ld(), bcomb.data(), bcomb.ld(), 0.0f, p.data(),
+                       p.ld());
+
+  for (const KernelArch arch : supported_arches()) {
+    blas::ScopedKernel pin(arch);
+    SCOPED_TRACE(blas::active_kernel_f().name);
+    MatrixF c0(m, n), c1(m, n);
+    for (index_t j = 0; j < n; ++j) {
+      for (index_t i = 0; i < m; ++i) c0(i, j) = std::nanf("");
+    }
+    copy(c1_0.view(), c1.view());
+    blas::PackCombF pa;
+    pa.add(a1.view(), 1.0f);
+    pa.add(make_op_view(Trans::transpose, a2t.data(), k, m, a2t.ld()),
+           -1.0f);
+    blas::PackCombF pb;
+    pb.add(b1.view(), 0.5f);
+    pb.add(b2.view(), 2.0f);
+    const blas::WriteDestF dst[2] = {
+        blas::write_dest(c0.view(), 1.0f, 0.0f),
+        blas::write_dest(c1.view(), -2.0f, 0.5f),
+    };
+    blas::packed_gemm_multi(bk, m, n, k, pa, pb, dst, 2);
+    const float tol = 1e-4f * (static_cast<float>(k) + 1.0f);
+    for (index_t j = 0; j < n; ++j) {
+      for (index_t i = 0; i < m; ++i) {
+        EXPECT_NEAR(c0(i, j), p(i, j), tol) << "dest 0 (" << i << "," << j
+                                            << ")";
+        EXPECT_NEAR(c1(i, j), -2.0f * p(i, j) + 0.5f * c1_0(i, j), tol)
+            << "dest 1 (" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+// Bitwise determinism of the fanned-out float skeleton, per kernel.
+TEST(KernelMatrixF, ParallelPackedSgemmBitwiseEqualsSerialUnderEveryKernel) {
+  const blas::GemmBlocking bk{24, 16, 32};
+  const index_t m = 200, k = 48, n = 64;  // 9 mc blocks
+  Rng rng(1002);
+  MatrixF a = random_matrix_f(m, k, rng);
+  MatrixF b = random_matrix_f(k, n, rng);
+  MatrixF c0 = random_matrix_f(m, n, rng);
+  for (const KernelArch arch : supported_arches()) {
+    blas::ScopedKernel pin(arch);
+    SCOPED_TRACE(blas::active_kernel_f().name);
+    const blas::PackCombF pa = blas::pack_comb(a.view());
+    const blas::PackCombF pb = blas::pack_comb(b.view());
+
+    MatrixF serial(m, n);
+    copy(c0.view(), serial.view());
+    {
+      blas::ScopedGemmThreads one(1);
+      const blas::WriteDestF dst = blas::write_dest(serial.view(), 1.0f,
+                                                    0.5f);
+      blas::packed_gemm_multi(bk, m, n, k, pa, pb, &dst, 1);
+    }
+    for (const int threads : {2, 5, 9}) {
+      SCOPED_TRACE("threads=" + std::to_string(threads));
+      MatrixF par(m, n);
+      copy(c0.view(), par.view());
+      blas::ScopedGemmThreads fan(threads);
+      const blas::WriteDestF dst = blas::write_dest(par.view(), 1.0f, 0.5f);
+      blas::packed_gemm_multi(bk, m, n, k, pa, pb, &dst, 1);
+      EXPECT_EQ(std::memcmp(par.data(), serial.data(),
+                            sizeof(float) * static_cast<std::size_t>(m) *
+                                static_cast<std::size_t>(n)),
+                0);
+    }
+  }
+}
+
 // ------------------------------------------------ parallel determinism
 
 // The load-bearing reproducibility claim: the ic partition is a pure
@@ -552,6 +757,26 @@ TEST_F(KernelWarm, ColdWorkerScratchIsARealAllocation) {
   EXPECT_NO_THROW(blas::ensure_pack_capacity_all_workers(kColdBk));
   fi::arm(1, fi::Site::buffer_alloc);
   EXPECT_NO_THROW(blas::ensure_pack_capacity_all_workers(kColdBk));
+  EXPECT_TRUE(fi::armed());
+}
+
+TEST_F(KernelWarm, FloatScratchIsSeparateFromDouble) {
+  // Each element size owns its own pack scratch: warming the double side
+  // must not satisfy the float side. A blocking slightly larger than
+  // kColdBk guarantees both sides are cold for it here, regardless of what
+  // earlier tests warmed.
+  const blas::GemmBlocking bk{kColdBk.mc + 8, kColdBk.kc + 8, kColdBk.nc + 8};
+  blas::ensure_pack_capacity<double>(bk);
+  blas::ensure_pack_capacity_all_workers<double>(bk);
+  // Double side fully warm; the float warm must still be a real allocation.
+  fi::arm(1, fi::Site::buffer_alloc);
+  EXPECT_THROW(blas::ensure_pack_capacity<float>(bk), std::bad_alloc);
+  fi::disarm();
+  EXPECT_NO_THROW(blas::ensure_pack_capacity_all_workers<float>(bk));
+  // Both sides warm: neither re-warm allocates.
+  fi::arm(1, fi::Site::buffer_alloc);
+  EXPECT_NO_THROW(blas::ensure_pack_capacity_all_workers<double>(bk));
+  EXPECT_NO_THROW(blas::ensure_pack_capacity_all_workers<float>(bk));
   EXPECT_TRUE(fi::armed());
 }
 

@@ -72,6 +72,45 @@ TEST(Persist, MissingFileThrows) {
                Error);
 }
 
+// A tuned-criteria file is keyed on the element type it was tuned in:
+// float runs must never silently configure themselves from double-tuned
+// cutoffs (the crossover point moves with the element width).
+TEST(Persist, ElementTypeRoundTrips) {
+  TunedCriteria t = sample();
+  t.elem = "f32";
+  std::stringstream ss;
+  tuning::save_criteria(t, ss);
+  EXPECT_NE(ss.str().find("elem = f32"), std::string::npos);
+  const TunedCriteria back = tuning::load_criteria(ss);
+  EXPECT_EQ(back.elem, "f32");
+  EXPECT_TRUE(back.matches_element("f32"));
+  EXPECT_FALSE(back.matches_element("f64"));
+}
+
+TEST(Persist, LegacyFileWithoutElemIsDoubleTuned) {
+  // Files written before sgefmm existed have no elem key; they were tuned
+  // in double, so they must match f64 and -- the regression -- must NOT
+  // match f32.
+  std::stringstream ss("beta_zero.tau = 150\ngeneral.tau = 200\n");
+  const TunedCriteria back = tuning::load_criteria(ss);
+  EXPECT_EQ(back.elem, "f64");
+  EXPECT_TRUE(back.matches_element("f64"));
+  EXPECT_FALSE(back.matches_element("f32"));
+}
+
+TEST(Persist, DefaultStampIsDouble) {
+  // save_criteria always writes the elem key so new files are explicit.
+  const TunedCriteria t = sample();
+  std::stringstream ss;
+  tuning::save_criteria(t, ss);
+  EXPECT_NE(ss.str().find("elem = f64"), std::string::npos);
+}
+
+TEST(Persist, BogusElemThrows) {
+  std::stringstream ss("elem = f16\n");
+  EXPECT_THROW(tuning::load_criteria(ss), Error);
+}
+
 TEST(Persist, FileRoundTrip) {
   const std::string path = ::testing::TempDir() + "/dgefmm_params_test.txt";
   ASSERT_TRUE(tuning::save_criteria_file(sample(), path));

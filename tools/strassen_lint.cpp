@@ -18,11 +18,13 @@
 //     inside such a scope re-introduces a failure point the contract says
 //     cannot exist.
 //
-//  3. acquire-before-first-C-write: in the driver functions (dgefmm*),
-//     every fallible acquisition must precede the dispatch into the
-//     computation (which is when C is first written). A fallible call
-//     after dispatch could fail with C half-written, which the strict
-//     policy forbids.
+//  3. acquire-before-first-C-write: in the driver functions (the shared
+//     gefmm templates plus the dgefmm*/sgefmm* entry points that
+//     instantiate them), every fallible acquisition must precede the
+//     dispatch into the computation (which is when C is first written). A
+//     fallible call after dispatch could fail with C half-written, which
+//     the strict policy forbids. Checking the shared template covers both
+//     element-type instantiations at once.
 //
 //  4. [[nodiscard]] on fallible value-returning APIs: entry points whose
 //     return value carries the argument-check/failure result must be
@@ -282,6 +284,7 @@ bool is_dispatch(const std::string& line) {
   static const char* kDispatch[] = {
       "detail::fmm(", "fmm_fused(",    "pad_static(",
       "gemm_view(",   "run_task_dag(", "blas::dgemm(",
+      "blas::sgemm(",
   };
   for (const char* tok : kDispatch) {
     if (has_token(line, tok)) return true;
@@ -305,13 +308,22 @@ void rule_acquire_before_dispatch(const SourceFile& f) {
   for (std::size_t i = 0; i < f.lines.size(); ++i) {
     const std::string& line = f.lines[i];
     if (!in_driver && !pending_driver) {
-      // A driver definition: the function name begins with dgefmm at
-      // namespace level (declarations end with ';' before any '{').
-      const std::size_t pos = line.find("dgefmm");
-      if (pos != std::string::npos &&
-          (pos == 0 || !is_ident(line[pos - 1])) &&
-          line.find('(', pos) != std::string::npos) {
-        pending_driver = true;
+      // A driver definition: the function name is one of the public
+      // entry points or the shared element-generic templates behind them
+      // (declarations end with ';' before any '{'). The templates are
+      // listed explicitly so the single definition is checked on behalf
+      // of both the double and float instantiations.
+      static const char* kDriverNames[] = {
+          "dgefmm", "sgefmm", "gefmm_view_t", "gefmm_t", "gefmm_parallel_t",
+      };
+      for (const char* name : kDriverNames) {
+        const std::size_t pos = line.find(name);
+        if (pos != std::string::npos &&
+            (pos == 0 || !is_ident(line[pos - 1])) &&
+            line.find('(', pos) != std::string::npos) {
+          pending_driver = true;
+          break;
+        }
       }
     }
     if (in_driver) {
@@ -362,15 +374,21 @@ struct NodiscardEntry {
 constexpr NodiscardEntry kNodiscardTable[] = {
     {"core/dgefmm.hpp", "int dgefmm("},
     {"core/dgefmm.hpp", "count_t dgefmm_workspace_doubles("},
+    {"core/sgefmm.hpp", "int sgefmm("},
+    {"core/sgefmm.hpp", "count_t sgefmm_workspace_floats("},
     {"core/zgefmm.hpp", "int zgefmm("},
     {"core/zgefmm.hpp", "int zgemm4m("},
     {"core/cabi.hpp", "int strassen_dgefmm("},
     {"core/cabi.hpp", "int strassen_dgefmm_tuned("},
+    {"core/cabi.hpp", "int strassen_sgefmm("},
+    {"core/cabi.hpp", "int strassen_sgefmm_tuned("},
     {"core/workspace.hpp", "count_t workspace_doubles("},
     {"core/workspace.hpp", "count_t workspace_doubles_at("},
+    {"core/workspace.hpp", "count_t workspace_floats("},
     {"core/workspace.hpp", "count_t parallel_workspace_doubles("},
+    {"core/workspace.hpp", "count_t parallel_workspace_floats("},
     {"parallel/task_dag.hpp", "DagPlan plan_dag("},
-    {"support/arena.hpp", "double* alloc("},
+    {"support/arena.hpp", "T* alloc("},
 };
 
 void rule_nodiscard(const SourceFile& f) {
