@@ -5,10 +5,12 @@
 # sanitizer presets with the test suite under each. The tsan preset builds
 # everything but runs only the concurrency-relevant suites (test_parallel,
 # test_faults, test_cabi, test_kernels, test_sgefmm), via the label filter
-# in CMakePresets.json. Finally the kernel matrix: the packed-GEMM suites
+# in CMakePresets.json. Then the kernel matrix: the packed-GEMM suites
 # forced onto the scalar micro-kernel and onto the best SIMD one
 # (STRASSEN_KERNEL, resolved at process start), under release and asan --
 # the only way the env-resolved dispatch path itself gets exercised.
+# The parallel and serving matrices sweep the scheduler and admission env
+# knobs the same way.
 # Usage: scripts/check.sh [extra ctest args...]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -55,6 +57,24 @@ for preset in release tsan; do
       echo "== parallel matrix: ${preset} / STRASSEN_PAR_DEPTH=${depth} STRASSEN_PAR_LANES=${lanes} =="
       STRASSEN_PAR_DEPTH="${depth}" STRASSEN_PAR_LANES="${lanes}" \
         ctest --preset "${preset}" -j "${jobs}" -L "${parallel_suites}" "$@"
+    done
+  done
+done
+
+# Serving matrix: the serving suite re-run with the C-ABI process queue's
+# admission knobs pinned by environment (overflow policies x workspace
+# budgets), under release and (for the submit/worker/watchdog interleavings)
+# tsan. The in-process QueueT tests construct their ServeOptions explicitly
+# and are env-immune; the sweep exercises the env-resolution path the
+# strassen_*_submit C ABI uses to build its lazy process queues, plus the
+# whole suite's behavior when that queue is budget-constrained.
+for preset in release tsan; do
+  for policy in block reject shed; do
+    for budget in 0 4096; do
+      echo "== serving matrix: ${preset} / STRASSEN_SERVE_POLICY=${policy} STRASSEN_SERVE_BUDGET=${budget} =="
+      STRASSEN_SERVE_POLICY="${policy}" STRASSEN_SERVE_BUDGET="${budget}" \
+        STRASSEN_SERVE_QUEUE_CAP=8 \
+        ctest --preset "${preset}" -j "${jobs}" -L serve "$@"
     done
   done
 done

@@ -261,4 +261,23 @@ void ensure_pack_capacity_all_workers(const GemmBlocking& bk) {
 template void ensure_pack_capacity_all_workers<double>(const GemmBlocking&);
 template void ensure_pack_capacity_all_workers<float>(const GemmBlocking&);
 
+template <class T>
+void release_pack_capacity() {
+  PackBuffersT<T>& bufs = pack_buffers<T>();
+  bufs.a_pack = AlignedBufferT<T>();
+  bufs.b_pack = AlignedBufferT<T>();
+}
+
+template void release_pack_capacity<double>();
+template void release_pack_capacity<float>();
+
+template <class T>
+std::size_t pack_capacity_elements() {
+  const PackBuffersT<T>& bufs = pack_buffers<T>();
+  return bufs.a_pack.size() + bufs.b_pack.size();
+}
+
+template std::size_t pack_capacity_elements<double>();
+template std::size_t pack_capacity_elements<float>();
+
 }  // namespace strassen::blas

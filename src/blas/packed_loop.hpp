@@ -182,4 +182,20 @@ void ensure_pack_capacity(const GemmBlocking& bk);
 template <class T = double>
 void ensure_pack_capacity_all_workers(const GemmBlocking& bk);
 
+/// Frees the calling thread's packing scratch for element type T. The
+/// scratch is thread_local and normally lives until thread exit; a
+/// long-lived server thread that has stopped issuing GEMMs (or a binding
+/// releasing its cached workspace) calls this so warmed scratch is not
+/// retained-memory growth. The next packed GEMM on this thread simply
+/// re-warms. Must not be called while a packed GEMM submitted from this
+/// thread is still fanned out (its workers read the submitter's B scratch).
+template <class T = double>
+void release_pack_capacity();
+
+/// Elements currently retained by the calling thread's packing scratch for
+/// element type T (A-pack + B-pack). Zero after release_pack_capacity;
+/// the release-regression tests assert exactly that.
+template <class T = double>
+std::size_t pack_capacity_elements();
+
 }  // namespace strassen::blas

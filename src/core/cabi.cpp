@@ -6,6 +6,7 @@
 #include <type_traits>
 
 #include "blas/gemm.hpp"
+#include "blas/packed_loop.hpp"
 #include "core/dgefmm.hpp"
 #include "core/sgefmm.hpp"
 #include "support/errors.hpp"
@@ -183,6 +184,10 @@ void strassen_dgefmm_release_workspace(void) {
   Arena& arena = binding_state<double>().arena;
   arena.reset();
   arena = Arena();
+  // The arena is only half the thread's retained workspace: the packed
+  // GEMMs also warmed per-thread pack scratch, which would otherwise
+  // survive as retained-memory growth on a long-lived serving thread.
+  blas::release_pack_capacity<double>();
 }
 
 int strassen_sgefmm(char transa, char transb, std::int64_t m, std::int64_t n,
@@ -232,6 +237,7 @@ void strassen_sgefmm_release_workspace(void) {
   ArenaF& arena = binding_state<float>().arena;
   arena.reset();
   arena = ArenaF();
+  blas::release_pack_capacity<float>();
 }
 
 }  // extern "C"

@@ -33,6 +33,16 @@
 //   info = STRASSEN_INFO_INTERNAL  another library error (see errors.hpp)
 //   info = STRASSEN_INFO_UNKNOWN   unrecognised exception type
 //
+// The async serving entry points (serve/serve_cabi.hpp) extend the table
+// with their terminal outcomes, reported by strassen_dgefmm_wait:
+//
+//   info = STRASSEN_INFO_REJECTED   refused at admission (queue full under
+//                                   the reject policy, or the request's
+//                                   exact workspace exceeds the budget)
+//   info = STRASSEN_INFO_EXPIRED    deadline passed while still queued
+//   info = STRASSEN_INFO_CANCELED   canceled before the first write to C
+//   info = STRASSEN_INFO_BAD_HANDLE handle is unknown or already waited
+//
 // C is written if and only if info == 0 (argument errors and negative
 // codes both leave beta*C semantics untouched).
 #pragma once
@@ -48,6 +58,10 @@ enum {
   STRASSEN_INFO_ALLOC = -2,
   STRASSEN_INFO_INTERNAL = -3,
   STRASSEN_INFO_UNKNOWN = -4,
+  STRASSEN_INFO_REJECTED = -5,
+  STRASSEN_INFO_EXPIRED = -6,
+  STRASSEN_INFO_CANCELED = -7,
+  STRASSEN_INFO_BAD_HANDLE = -8,
 };
 
 /// C binding. trans arguments are 'N'/'T'/'C' (case-insensitive).
@@ -93,7 +107,10 @@ void strassen_dgefmm_set_failure_policy(char policy);
 /// STRASSEN_INFO_WORKSPACE). Negative = unlimited (default).
 void strassen_dgefmm_set_workspace_limit(std::int64_t limit_doubles);
 
-/// Releases the calling thread's cached binding workspace arena.
+/// Releases the calling thread's cached binding workspace: the arena *and*
+/// the thread's packed-GEMM scratch (blas::release_pack_capacity), so a
+/// long-lived thread that stops issuing double-precision GEMMs retains no
+/// workspace memory at all. The next call simply re-acquires both.
 void strassen_dgefmm_release_workspace(void);
 
 /// Single-precision C binding: drop-in SGEMM replacement with the same
@@ -126,7 +143,9 @@ void sgefmm_(const char* transa, const char* transb, const std::int32_t* m,
              const std::int32_t* ldc, std::int32_t* info);
 
 /// Float twins of the per-thread binding controls. The limit is counted in
-/// floats (elements, matching sgefmm_workspace_floats), not bytes.
+/// floats (elements, matching sgefmm_workspace_floats), not bytes. The
+/// release also frees the thread's float packed-GEMM scratch, like its
+/// double twin.
 void strassen_sgefmm_set_failure_policy(char policy);
 void strassen_sgefmm_set_workspace_limit(std::int64_t limit_floats);
 void strassen_sgefmm_release_workspace(void);

@@ -85,6 +85,12 @@ int gefmm_parallel_t(Trans transa, Trans transb, index_t m, index_t n,
     arena->probe(static_cast<std::size_t>(plan.workspace));
     run_task_dag(transa, transb, m, n, k, alpha, a, lda, b, ldb, beta, c,
                  ldc, cfg, plan, *arena);
+  } catch (const CanceledError&) {
+    // Cooperative cancellation is not a resource failure: the fallback
+    // policy must not burn a full workspace-free GEMM computing a result
+    // nobody wants. C is untouched (the cancel won the race to the first
+    // combine); the serving layer maps this to the canceled status.
+    throw;
   } catch (const std::exception&) {
     if (cfg.on_failure == core::FailurePolicy::strict) throw;
     // Graceful degradation: one workspace-free GEMM over the whole

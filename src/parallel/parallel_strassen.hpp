@@ -10,6 +10,7 @@
 // the paper defers to future work.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 
 #include "core/types.hpp"
@@ -60,6 +61,16 @@ struct ParallelGefmmConfigT {
   /// the scheduler's own counters (steals, dag_nodes, dag_lanes) and the
   /// driver's fallback/fault counters.
   core::DgefmmStats* stats = nullptr;
+  /// Optional cooperative cancellation token (the serving front-end's
+  /// per-request token). Checked at every task-DAG node boundary through a
+  /// single-transition decision: cancellation is honored -- the call
+  /// throws CanceledError with beta*C bit-identical -- only if it wins the
+  /// race against the first combine node (the first write to C); once any
+  /// combine has committed, the remaining graph runs to completion and the
+  /// call succeeds normally. C is therefore never left half-written by a
+  /// cancel. CanceledError is rethrown under *both* failure policies
+  /// (a canceled request must not burn a full fallback GEMM).
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 using ParallelDgefmmConfig = ParallelGefmmConfigT<double>;

@@ -1,6 +1,7 @@
 #include "parallel/task_dag.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <cstdlib>
 #include <type_traits>
@@ -13,6 +14,7 @@
 #include "core/winograd_fused.hpp"
 #include "core/workspace.hpp"
 #include "parallel/parallel_strassen.hpp"
+#include "support/errors.hpp"
 #include "support/faultinject.hpp"
 #include "support/matrix.hpp"
 #include "support/thread_pool.hpp"
@@ -40,6 +42,10 @@ bool depth2_feasible(index_t m, index_t k, index_t n) {
   return m2 >= 2 && k2 >= 2 && n2 >= 2 && ((m2 | k2 | n2) & 1) == 0;
 }
 
+// Cancellation decision states: the run transitions kUndecided ->
+// {kCommitted, kCanceled} exactly once (see enter_node below).
+enum : int { kUndecided = 0, kCommitted = 1, kCanceled = 2 };
+
 // State every DAG node shares; lives on run_task_dag's stack.
 template <class T>
 struct Shared {
@@ -51,7 +57,49 @@ struct Shared {
   T beta = T(0);
   int leaf_gemm_threads = 1;
   int depth = 1;
+  const std::atomic<bool>* cancel = nullptr;  // request token (may be null)
+  std::atomic<int> decision{kUndecided};      // single-transition commit
 };
+
+// Cooperative-cancellation gate, evaluated at every node boundary. The
+// guarantee it provides: C is either untouched or fully written, never
+// partial. All nodes race for one single-transition `decision` word --
+// a node that observes the token set tries kUndecided -> kCanceled; a
+// combine (the only node kind that writes C) must first secure
+// kUndecided -> kCommitted. Whichever transition lands first is final:
+//
+//  * kCanceled landed: no combine can have committed, so no C write ever
+//    happened; every node (product or combine) that reaches its boundary
+//    afterwards throws CanceledError, the graph is abandoned, and the
+//    driver rethrows with beta*C bit-identical.
+//  * kCommitted landed: cancellation arrived too late; all remaining
+//    nodes ignore the token and the multiplication completes normally.
+//
+// Returns normally when the node should run; throws CanceledError when the
+// run is canceled.
+template <class T>
+void enter_node(Shared<T>& sh, bool writes_c) {
+  if (sh.cancel == nullptr) return;
+  int d = sh.decision.load(std::memory_order_acquire);
+  if (d == kUndecided && sh.cancel->load(std::memory_order_relaxed)) {
+    int expected = kUndecided;
+    sh.decision.compare_exchange_strong(expected, kCanceled,
+                                        std::memory_order_acq_rel);
+    d = sh.decision.load(std::memory_order_acquire);
+  }
+  if (writes_c && d == kUndecided) {
+    int expected = kUndecided;
+    if (sh.decision.compare_exchange_strong(expected, kCommitted,
+                                            std::memory_order_acq_rel)) {
+      d = kCommitted;
+    } else {
+      d = expected;  // the transition that beat us
+    }
+  }
+  if (d == kCanceled) {
+    throw CanceledError("request canceled at a task-DAG node boundary");
+  }
+}
 
 // One product node: out <- alpha * (sum ga_i A_qi)(sum gb_j B_qj), as one
 // fused packed-GEMM leaf (or an arena-backed classic recursion below the
@@ -67,6 +115,7 @@ template <class T>
 void product_body(void* arg, std::size_t lane) {
   auto* t = static_cast<ProductTask<T>*>(arg);
   Shared<T>& sh = *t->sh;
+  enter_node(sh, /*writes_c=*/false);
   blas::ScopedGemmThreads fan(sh.leaf_gemm_threads);
   ArenaT<T>& arena = sh.lane_arenas[lane];
   core::DgefmmStats* st = &sh.lane_stats[lane];
@@ -90,7 +139,8 @@ struct CombineTask {
 template <class T>
 void combine_body(void* arg, std::size_t /*lane*/) {
   auto* t = static_cast<CombineTask<T>*>(arg);
-  const Shared<T>& sh = *t->sh;
+  Shared<T>& sh = *t->sh;
+  enter_node(sh, /*writes_c=*/true);
   core::axpby(static_cast<T>(t->terms[0].g),
               sh.products[t->terms[0].product], sh.beta, t->dst);
   for (int i = 1; i < t->nterms; ++i) {
@@ -231,6 +281,7 @@ void run_task_dag(Trans transa, Trans transb, index_t m, index_t n,
   sh.beta = beta;
   sh.leaf_gemm_threads = plan.leaf_gemm_threads;
   sh.depth = L;
+  sh.cancel = cfg.cancel;
 
   // Product nodes: operand combinations read straight off the verified
   // table, block q at (row, col) = (q / grid, q % grid) of the 2^L grid.
@@ -304,9 +355,11 @@ void run_task_dag(Trans transa, Trans transb, index_t m, index_t n,
   // the graph is a no-fail region: injection is suspended and travels with
   // the lanes, the exactly-sized arenas cannot overflow, and the leaves'
   // raw intra-GEMM batches never throw. Combines perform the first writes
-  // to C; an exception escaping run_dag therefore signals an internal
-  // sizing bug (as in the serial no-fail region), not a resource failure,
-  // and the driver's policy handling still applies.
+  // to C; an exception escaping run_dag therefore signals either a
+  // cooperative cancellation that won the race to the first combine
+  // (CanceledError, C untouched by construction of enter_node) or an
+  // internal sizing bug (as in the serial no-fail region), never a
+  // resource failure, and the driver's policy handling still applies.
   faultinject::ScopedSuspend nofail;
   global_pool().run_dag(run);
 

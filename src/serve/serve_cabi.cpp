@@ -1,0 +1,261 @@
+#include "serve/serve_cabi.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <exception>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <new>
+#include <utility>
+
+#include "core/cabi.hpp"
+#include "serve/serve.hpp"
+#include "support/errors.hpp"
+
+namespace {
+
+using namespace strassen;
+
+// Parses a BLAS trans character; returns false on an invalid value.
+bool parse_trans_char(char ch, Trans& out) {
+  switch (ch) {
+    case 'N':
+    case 'n':
+      out = Trans::no;
+      return true;
+    case 'T':
+    case 't':
+      out = Trans::transpose;
+      return true;
+    case 'C':
+    case 'c':
+      out = Trans::conj_transpose;
+      return true;
+    default:
+      return false;
+  }
+}
+
+long env_long(const char* name, long fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0') return fallback;
+  return v;
+}
+
+serve::ServeOptions options_from_env() {
+  serve::ServeOptions opt;
+  const long cap = env_long("STRASSEN_SERVE_QUEUE_CAP", 256);
+  if (cap > 0) opt.queue_cap = static_cast<std::size_t>(cap);
+  const long budget = env_long("STRASSEN_SERVE_BUDGET", 0);
+  if (budget > 0) opt.budget_elements = static_cast<std::size_t>(budget);
+  const long workers = env_long("STRASSEN_SERVE_WORKERS", 2);
+  if (workers > 0) opt.workers = static_cast<int>(workers);
+  serve::OverflowPolicy policy;
+  if (serve::parse_overflow_policy(std::getenv("STRASSEN_SERVE_POLICY"),
+                                   policy)) {
+    opt.policy = policy;
+  }
+  return opt;
+}
+
+// Process-wide serving state: the lazily built per-type queues and the
+// handle registry mapping int64 handles to tickets. One mutex guards the
+// registry and queue construction; the queues themselves are internally
+// synchronized, so submit/wait hold the mutex only around map operations,
+// never around a blocking wait.
+struct ServeGlobal {
+  std::mutex mu;
+  std::int64_t next_handle = 1;
+  std::unique_ptr<serve::Queue> queue_d;
+  std::unique_ptr<serve::QueueF> queue_f;
+  std::map<std::int64_t, serve::Ticket> tickets_d;
+  std::map<std::int64_t, serve::TicketF> tickets_f;
+};
+
+ServeGlobal& serve_global() {
+  static ServeGlobal* g = new ServeGlobal();  // never destroyed: threads in
+                                              // the queues must not outlive
+                                              // their owner at process exit
+  return *g;
+}
+
+template <class T>
+serve::QueueT<T>& queue_for(ServeGlobal& g) {
+  if constexpr (std::is_same_v<T, float>) {
+    if (!g.queue_f) g.queue_f.reset(new serve::QueueF(options_from_env()));
+    return *g.queue_f;
+  } else {
+    if (!g.queue_d) g.queue_d.reset(new serve::Queue(options_from_env()));
+    return *g.queue_d;
+  }
+}
+
+template <class T>
+std::map<std::int64_t, serve::TicketT<T>>& tickets_for(ServeGlobal& g) {
+  if constexpr (std::is_same_v<T, float>) {
+    return g.tickets_f;
+  } else {
+    return g.tickets_d;
+  }
+}
+
+// Maps an in-flight exception from submit machinery to its info code.
+int submit_info_from_exception() {
+  try {
+    throw;
+  } catch (const std::bad_alloc&) {
+    return STRASSEN_INFO_ALLOC;
+  } catch (const Error&) {
+    return STRASSEN_INFO_INTERNAL;
+  } catch (...) {
+    return STRASSEN_INFO_UNKNOWN;
+  }
+}
+
+template <class T>
+int submit_t(char transa, char transb, std::int64_t m, std::int64_t n,
+             std::int64_t k, T alpha, const T* a, std::int64_t lda,
+             const T* b, std::int64_t ldb, T beta, T* c, std::int64_t ldc,
+             std::int64_t deadline_ms, std::int64_t* handle) noexcept {
+  serve::GemmRequestT<T> req;
+  if (!parse_trans_char(transa, req.transa)) return 1;
+  if (!parse_trans_char(transb, req.transb)) return 2;
+  if (handle == nullptr) return 15;
+  req.m = m;
+  req.n = n;
+  req.k = k;
+  req.alpha = alpha;
+  req.a = a;
+  req.lda = lda;
+  req.b = b;
+  req.ldb = ldb;
+  req.beta = beta;
+  req.c = c;
+  req.ldc = ldc;
+  // The bindings mirror the synchronous C ABI's default: degrade instead
+  // of failing when acquisition fails inside an admitted run.
+  req.on_failure = core::FailurePolicy::fallback;
+  if (deadline_ms > 0) {
+    req.deadline =
+        serve::Clock::now() + std::chrono::milliseconds(deadline_ms);
+  }
+  try {
+    ServeGlobal& g = serve_global();
+    serve::QueueT<T>* q;
+    {
+      std::lock_guard<std::mutex> lock(g.mu);
+      q = &queue_for<T>(g);
+    }
+    // submit may block (block policy) or run a shed inline; the registry
+    // mutex is not held across it.
+    serve::TicketT<T> ticket = q->submit(req);
+    std::lock_guard<std::mutex> lock(g.mu);
+    const std::int64_t h = g.next_handle++;
+    tickets_for<T>(g).emplace(h, std::move(ticket));
+    *handle = h;
+    return 0;
+  } catch (...) {
+    return submit_info_from_exception();
+  }
+}
+
+template <class T>
+int wait_t(std::int64_t handle) noexcept {
+  try {
+    ServeGlobal& g = serve_global();
+    serve::TicketT<T> ticket;
+    {
+      std::lock_guard<std::mutex> lock(g.mu);
+      auto& tickets = tickets_for<T>(g);
+      const auto it = tickets.find(handle);
+      if (it == tickets.end()) return STRASSEN_INFO_BAD_HANDLE;
+      ticket = std::move(it->second);
+      tickets.erase(it);
+    }
+    return ticket.wait();  // blocks outside the registry mutex
+  } catch (...) {
+    return STRASSEN_INFO_UNKNOWN;
+  }
+}
+
+template <class T>
+int cancel_t(std::int64_t handle) noexcept {
+  try {
+    ServeGlobal& g = serve_global();
+    std::lock_guard<std::mutex> lock(g.mu);
+    auto& tickets = tickets_for<T>(g);
+    const auto it = tickets.find(handle);
+    if (it == tickets.end()) return STRASSEN_INFO_BAD_HANDLE;
+    it->second.cancel();
+    return 0;
+  } catch (...) {
+    return STRASSEN_INFO_UNKNOWN;
+  }
+}
+
+}  // namespace
+
+extern "C" {
+
+int strassen_dgefmm_submit(char transa, char transb, std::int64_t m,
+                           std::int64_t n, std::int64_t k, double alpha,
+                           const double* a, std::int64_t lda, const double* b,
+                           std::int64_t ldb, double beta, double* c,
+                           std::int64_t ldc, std::int64_t deadline_ms,
+                           std::int64_t* handle) {
+  return submit_t<double>(transa, transb, m, n, k, alpha, a, lda, b, ldb,
+                          beta, c, ldc, deadline_ms, handle);
+}
+
+int strassen_dgefmm_wait(std::int64_t handle) {
+  return wait_t<double>(handle);
+}
+
+int strassen_dgefmm_cancel(std::int64_t handle) {
+  return cancel_t<double>(handle);
+}
+
+int strassen_sgefmm_submit(char transa, char transb, std::int64_t m,
+                           std::int64_t n, std::int64_t k, float alpha,
+                           const float* a, std::int64_t lda, const float* b,
+                           std::int64_t ldb, float beta, float* c,
+                           std::int64_t ldc, std::int64_t deadline_ms,
+                           std::int64_t* handle) {
+  return submit_t<float>(transa, transb, m, n, k, alpha, a, lda, b, ldb,
+                         beta, c, ldc, deadline_ms, handle);
+}
+
+int strassen_sgefmm_wait(std::int64_t handle) {
+  return wait_t<float>(handle);
+}
+
+int strassen_sgefmm_cancel(std::int64_t handle) {
+  return cancel_t<float>(handle);
+}
+
+void strassen_serve_shutdown(void) {
+  try {
+    ServeGlobal& g = serve_global();
+    std::unique_ptr<serve::Queue> qd;
+    std::unique_ptr<serve::QueueF> qf;
+    {
+      std::lock_guard<std::mutex> lock(g.mu);
+      qd = std::move(g.queue_d);
+      qf = std::move(g.queue_f);
+      g.tickets_d.clear();
+      g.tickets_f.clear();
+    }
+    // Queue destructors drain and join outside the registry mutex, so a
+    // concurrent submit cannot deadlock against the shutdown.
+    qd.reset();
+    qf.reset();
+  } catch (...) {
+    // Never throws across the C boundary.
+  }
+}
+
+}  // extern "C"

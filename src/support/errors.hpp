@@ -37,4 +37,29 @@ class TaskError : public Error {
   explicit TaskError(const std::string& what) : Error(what) {}
 };
 
+/// Thrown by the serving front-end (src/serve) when a request is refused at
+/// admission: the bounded queue is full under the `reject` policy, or the
+/// request's exact predicted workspace exceeds the memory budget and could
+/// never be satisfied by waiting. C has not been touched.
+class AdmissionError : public Error {
+ public:
+  explicit AdmissionError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown by the serving front-end when a request's deadline passed while
+/// it was still queued (it never started computing, so C is untouched).
+class DeadlineError : public Error {
+ public:
+  explicit DeadlineError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a request was canceled cooperatively. The cancellation token
+/// is honored only while C is still untouched (queued requests, and
+/// task-DAG node boundaries before the first combine commits); once a
+/// computation has started writing C it runs to completion instead.
+class CanceledError : public Error {
+ public:
+  explicit CanceledError(const std::string& what) : Error(what) {}
+};
+
 }  // namespace strassen

@@ -21,6 +21,12 @@ double quantile_sorted(const std::vector<double>& s, double q) {
 
 }  // namespace
 
+double percentile(std::vector<double> sample, double p) {
+  if (sample.empty()) return 0.0;
+  std::sort(sample.begin(), sample.end());
+  return quantile_sorted(sample, std::clamp(p / 100.0, 0.0, 1.0));
+}
+
 Summary summarize(std::vector<double> sample) {
   Summary out;
   out.count = sample.size();

@@ -22,4 +22,9 @@ struct Summary {
 /// "R-7" definition). An empty sample yields an all-zero summary.
 Summary summarize(std::vector<double> sample);
 
+/// The p-th percentile (0 <= p <= 100) of `sample` under the same R-7
+/// definition (copied and sorted internally; empty sample yields 0). The
+/// serving layer's latency reservoirs report p50/p99 through this.
+double percentile(std::vector<double> sample, double p);
+
 }  // namespace strassen

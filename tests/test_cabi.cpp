@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "blas/gemm.hpp"
+#include "blas/packed_loop.hpp"
 #include "core/cabi.hpp"
 #include "support/matrix.hpp"
 #include "support/random.hpp"
@@ -430,6 +431,56 @@ TEST(SgefmmCAbi, PrecisionKnobsAreIndependent) {
   strassen_dgefmm_set_failure_policy('F');
   strassen_sgefmm_set_failure_policy('F');
   strassen_sgefmm_release_workspace();
+  strassen_dgefmm_release_workspace();
+}
+
+// Regression: release_workspace must release the *whole* per-thread
+// retained footprint -- the binding arena and the packed-GEMM scratch the
+// leaf kernels warmed on this thread -- not just the arena. A long-lived
+// serving thread that stops issuing GEMMs should retain zero workspace.
+TEST(CAbi, ReleaseWorkspaceAlsoReleasesPackScratch) {
+  Rng rng(15);
+  const index_t n = 160;
+  Matrix a = random_matrix(n, n, rng);
+  Matrix b = random_matrix(n, n, rng);
+  Matrix c(n, n);
+  c.fill(0.0);
+  {
+    // Pin the leaf GEMMs to the calling thread so the pack scratch under
+    // test is this thread's own.
+    blas::ScopedGemmThreads serial(1);
+    ASSERT_EQ(strassen_dgefmm('N', 'N', n, n, n, 1.0, a.data(), n, b.data(),
+                              n, 0.0, c.data(), n),
+              0);
+  }
+  EXPECT_GT(blas::pack_capacity_elements<double>(), 0u)
+      << "the packed loop must have warmed per-thread scratch";
+  strassen_dgefmm_release_workspace();
+  EXPECT_EQ(blas::pack_capacity_elements<double>(), 0u)
+      << "release_workspace must drop the pack scratch too";
+
+  MatrixF af = random_matrix_f(n, n, rng);
+  MatrixF bf = random_matrix_f(n, n, rng);
+  MatrixF cf(n, n);
+  cf.fill(0.0f);
+  {
+    blas::ScopedGemmThreads serial(1);
+    ASSERT_EQ(strassen_sgefmm('N', 'N', n, n, n, 1.0f, af.data(), n,
+                              bf.data(), n, 0.0f, cf.data(), n),
+              0);
+  }
+  EXPECT_GT(blas::pack_capacity_elements<float>(), 0u);
+  strassen_sgefmm_release_workspace();
+  EXPECT_EQ(blas::pack_capacity_elements<float>(), 0u);
+  // The releases are per-type and per-thread: re-running immediately
+  // re-acquires, so a release is never a correctness event.
+  {
+    blas::ScopedGemmThreads serial(1);
+    ASSERT_EQ(strassen_dgefmm('N', 'N', n, n, n, 1.0, a.data(), n, b.data(),
+                              n, 0.0, c.data(), n),
+              0);
+  }
+  EXPECT_GT(blas::pack_capacity_elements<double>(), 0u);
   strassen_dgefmm_release_workspace();
 }
 

@@ -244,6 +244,11 @@ void rule_nofail_regions(const SourceFile& f) {
       // run_dag call needs; like run_batch it belongs to the pre-flight,
       // never inside a no-fail region (run_dag itself is sanctioned).
       "DagRun(",
+      // Serving-layer acquisitions: Queue submission allocates request
+      // state and may block or throw per the overflow policy, and a pool
+      // carve is exactly the fallible step admission control exists to
+      // front-load.
+      ".submit(", "->submit(", "try_acquire(",
   };
   int depth = 0;
   int suspend_depth = -1;  // brace depth at the ScopedSuspend declaration
@@ -284,7 +289,7 @@ bool is_dispatch(const std::string& line) {
   static const char* kDispatch[] = {
       "detail::fmm(", "fmm_fused(",    "pad_static(",
       "gemm_view(",   "run_task_dag(", "blas::dgemm(",
-      "blas::sgemm(",
+      "blas::sgemm(", "dispatch_request(",
   };
   for (const char* tok : kDispatch) {
     if (has_token(line, tok)) return true;
@@ -298,7 +303,8 @@ void rule_acquire_before_dispatch(const SourceFile& f) {
       ".alloc(",   "->alloc(",             "AlignedBuffer(",
       "ensure_pack_capacity(",             "run_on_each_worker(",
       "ensure_pack_capacity_all_workers(", "run_batch(",
-      "DagRun(",
+      "DagRun(",   ".submit(",             "->submit(",
+      "try_acquire(",
   };
   int depth = 0;
   bool in_driver = false;
@@ -310,11 +316,14 @@ void rule_acquire_before_dispatch(const SourceFile& f) {
     if (!in_driver && !pending_driver) {
       // A driver definition: the function name is one of the public
       // entry points or the shared element-generic templates behind them
-      // (declarations end with ';' before any '{'). The templates are
-      // listed explicitly so the single definition is checked on behalf
-      // of both the double and float instantiations.
+      // (declarations and call statements end with ';' before any '{').
+      // The templates are listed explicitly so the single definition is
+      // checked on behalf of both the double and float instantiations.
+      // execute_request is the serving worker's driver: it carves the
+      // request's lease from the pool before dispatch_request writes C.
       static const char* kDriverNames[] = {
           "dgefmm", "sgefmm", "gefmm_view_t", "gefmm_t", "gefmm_parallel_t",
+          "execute_request",
       };
       for (const char* name : kDriverNames) {
         const std::size_t pos = line.find(name);
@@ -343,10 +352,13 @@ void rule_acquire_before_dispatch(const SourceFile& f) {
     }
     for (std::size_t ci = 0; ci < line.size(); ++ci) {
       const char c = line[ci];
-      if (c == ';' && pending_driver && depth == 0) {
-        pending_driver = false;  // was only a declaration
+      // Definitions live at any brace depth (the sources wrap everything
+      // in namespaces), so a pending signature arms at the next '{'; a
+      // ';' first means it was only a declaration or a call statement.
+      if (c == ';' && pending_driver) {
+        pending_driver = false;
       } else if (c == '{') {
-        if (pending_driver && depth == 0) {
+        if (pending_driver) {
           pending_driver = false;
           in_driver = true;
           driver_depth = depth;
@@ -389,6 +401,12 @@ constexpr NodiscardEntry kNodiscardTable[] = {
     {"core/workspace.hpp", "count_t parallel_workspace_floats("},
     {"parallel/task_dag.hpp", "DagPlan plan_dag("},
     {"support/arena.hpp", "T* alloc("},
+    {"support/arena_pool.hpp", "PoolLeaseT<T> try_acquire("},
+    {"serve/serve.hpp", "TicketT<T> submit("},
+    {"serve/serve_cabi.hpp", "int strassen_dgefmm_submit("},
+    {"serve/serve_cabi.hpp", "int strassen_dgefmm_wait("},
+    {"serve/serve_cabi.hpp", "int strassen_sgefmm_submit("},
+    {"serve/serve_cabi.hpp", "int strassen_sgefmm_wait("},
 };
 
 void rule_nodiscard(const SourceFile& f) {
