@@ -5,31 +5,45 @@
 #      -Wshadow -Wconversion -Wdouble-promotion -Werror) -- compiling the
 #      library also evaluates every schedule proof in verify/proofs.hpp,
 #      so a build that links *is* the compile-time proof -- then the
-#      `verify`-labelled ctest suite (runtime checker negative tests);
-#   2. strassen_lint over src/ (project invariants: allocation discipline,
-#      no-fail regions, acquire-before-first-C-write, [[nodiscard]]),
-#      preceded by a self-test on a seeded violation so a silently broken
-#      linter cannot pass the gate;
+#      `verify`- and `lint`-labelled ctest suites (runtime checker negative
+#      tests, and the linter's own fixture corpus);
+#   2. strassen_lint over src/ and tools/ (rules 1-8: allocation
+#      discipline, no-fail regions, acquire-before-first-C-write,
+#      [[nodiscard]], relaxed-atomic justifications, CV discipline, lock
+#      discipline, blocking-call ban -- tools/lint/lint.hpp documents the
+#      full list), preceded by a self-test on seeded violations so a
+#      silently broken linter cannot pass the gate. Findings are archived
+#      as JSON so a failing gate points at a replayable artifact.
 #   3. clang-tidy over the compile database, label-filtered to the checks
 #      in .clang-tidy -- skipped with a notice when clang-tidy is not
 #      installed (the toolchain image ships GCC only).
+#
+# Exit-code contract with the linter: 0 clean, 1 findings, >=2 usage/IO
+# error. The gate distinguishes the two failure modes -- findings print the
+# JSON artifact path; a usage/IO error means the gate itself is broken and
+# is propagated as-is.
 #
 # Usage: scripts/lint.sh [extra ctest args...]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 jobs=$(nproc 2>/dev/null || echo 4)
+lint_bin=./build-lint/tools/strassen_lint
 
 echo "== lint: hardened -Werror build =="
 cmake --preset lint
 cmake --build --preset lint -j "${jobs}"
 ctest --preset lint -j "${jobs}" "$@"
 
-echo "== lint: strassen_lint self-test (seeded violation) =="
+echo "== lint: strassen_lint self-test (seeded violations) =="
 seed_dir=$(mktemp -d)
 trap 'rm -rf "${seed_dir}"' EXIT
+# One seeded violation per rule family: a no-fail-region allocation
+# (rule 2) and a direct mutex lock (rule 7), so both the serial-era and
+# the concurrency rules are proved live before the real run.
 cat > "${seed_dir}/seeded.cpp" <<'EOF'
 #include <cstddef>
+#include <mutex>
 struct Arena { double* alloc(std::size_t); };
 struct ScopedSuspend {};
 void violate(Arena& arena) {
@@ -37,15 +51,38 @@ void violate(Arena& arena) {
   double* p = arena.alloc(16);  // allocation inside a no-fail region
   (void)p;
 }
+void violate_lock(std::mutex& mu) {
+  mu.lock();  // direct mutex lock, no RAII guard
+  mu.unlock();
+}
 EOF
-if ./build-lint/tools/strassen_lint "${seed_dir}" > /dev/null; then
-  echo "error: strassen_lint passed a seeded violation; the linter is broken"
+seed_rc=0
+"${lint_bin}" --json "${seed_dir}/findings.json" "${seed_dir}" \
+  > /dev/null || seed_rc=$?
+if [ "${seed_rc}" -ne 1 ]; then
+  echo "error: strassen_lint exited ${seed_rc} on seeded violations (want" \
+       "exactly 1); the linter or its harness is broken"
   exit 1
 fi
-echo "seeded violation rejected, linter is live"
+for rule in alloc-in-nofail lock-discipline; do
+  if ! grep -q "\"rule\": \"${rule}\"" "${seed_dir}/findings.json"; then
+    echo "error: seeded ${rule} violation not reported; the rule is dead"
+    exit 1
+  fi
+done
+echo "seeded violations rejected, linter is live"
 
-echo "== lint: strassen_lint src/ =="
-./build-lint/tools/strassen_lint src
+echo "== lint: strassen_lint src/ tools/ =="
+json_out=build-lint/lint_findings.json
+lint_rc=0
+"${lint_bin}" --json "${json_out}" src tools || lint_rc=$?
+if [ "${lint_rc}" -eq 1 ]; then
+  echo "error: lint findings above; JSON artifact: ${json_out}"
+  exit 1
+elif [ "${lint_rc}" -ge 2 ]; then
+  echo "error: strassen_lint usage/IO failure (exit ${lint_rc})"
+  exit "${lint_rc}"
+fi
 
 if command -v clang-tidy > /dev/null 2>&1; then
   echo "== lint: clang-tidy =="

@@ -108,7 +108,10 @@ KernelArch best_supported_kernel() {
 }
 
 const KernelInfo& active_kernel() {
-  return *active_kernel_slot().load(std::memory_order_relaxed);
+  // Acquire pairs with the release in set_active_kernel: the pointee is a
+  // function-local static initialized on whichever thread first touched the
+  // table, so the pointer publication must carry a happens-before edge.
+  return *active_kernel_slot().load(std::memory_order_acquire);
 }
 
 const KernelInfoF& active_kernel_f() {
@@ -123,7 +126,7 @@ void set_active_kernel(KernelArch arch) {
                                             "on this binary/CPU: ") +
                                 kernel_arch_name(arch));
   }
-  active_kernel_slot().store(kernel_info(arch), std::memory_order_relaxed);
+  active_kernel_slot().store(kernel_info(arch), std::memory_order_release);
 }
 
 }  // namespace strassen::blas

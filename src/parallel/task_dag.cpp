@@ -81,7 +81,8 @@ template <class T>
 void enter_node(Shared<T>& sh, bool writes_c) {
   if (sh.cancel == nullptr) return;
   int d = sh.decision.load(std::memory_order_acquire);
-  if (d == kUndecided && sh.cancel->load(std::memory_order_relaxed)) {
+  if (d == kUndecided &&
+      sh.cancel->load(std::memory_order_relaxed)) {  // relaxed: cancel-token
     int expected = kUndecided;
     sh.decision.compare_exchange_strong(expected, kCanceled,
                                         std::memory_order_acq_rel);

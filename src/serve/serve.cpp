@@ -136,36 +136,36 @@ class QueueImplT {
     std::unique_lock<std::mutex> lock(mu_);
     while (!stopping_ && queue_.size() >= opt_.queue_cap) {
       if (opt_.policy == OverflowPolicy::reject) {
-        lock.unlock();
+        lock.unlock();  // handoff: complete outside mu_
         complete_rejected(st, "submission queue is full");
         return TicketT<T>(st);
       }
       if (opt_.policy == OverflowPolicy::shed) {
-        lock.unlock();
+        lock.unlock();  // handoff: run the shed kernel outside mu_
         run_shed(st);
         return TicketT<T>(st);
       }
       // block: wait for a slot, honoring cancellation and the deadline.
-      if (st->cancel.load(std::memory_order_relaxed)) {
-        lock.unlock();
+      if (st->cancel.load(std::memory_order_relaxed)) {  // relaxed: cancel-token
+        lock.unlock();  // handoff: complete outside mu_
         complete_canceled(st);
         return TicketT<T>(st);
       }
       if (Clock::now() >= st->req.deadline) {
-        lock.unlock();
+        lock.unlock();  // handoff: complete outside mu_
         complete_expired(st);
         return TicketT<T>(st);
       }
       space_cv_.wait_for(lock, opt_.watchdog_period);
     }
     if (stopping_) {
-      lock.unlock();
+      lock.unlock();  // handoff: complete outside mu_
       complete_rejected(st, "queue is shutting down");
       return TicketT<T>(st);
     }
     queue_.push_back(st);
     const std::size_t depth = queue_.size();
-    lock.unlock();
+    lock.unlock();  // handoff: stats counters live under stats_mu_, not mu_
     {
       std::lock_guard<std::mutex> guard(stats_mu_);
       ++counters_.admitted;
@@ -437,7 +437,8 @@ class QueueImplT {
         if (stopping_ && queue_.empty()) return;
         const Clock::time_point now = Clock::now();
         for (auto it = queue_.begin(); it != queue_.end();) {
-          if ((*it)->cancel.load(std::memory_order_relaxed)) {
+          if ((*it)->cancel.load(
+                  std::memory_order_relaxed)) {  // relaxed: cancel-token
             canceled.push_back(*it);
             it = queue_.erase(it);
           } else if (now >= (*it)->req.deadline) {
@@ -533,7 +534,7 @@ void execute_request(QueueImplT<T>& q,
                      const std::shared_ptr<RequestStateT<T>>& st) {
   // Entry checks: the request was queued until this moment, so honoring a
   // cancel or an expired deadline here still leaves C untouched.
-  if (st->cancel.load(std::memory_order_relaxed)) {
+  if (st->cancel.load(std::memory_order_relaxed)) {  // relaxed: cancel-token
     q.complete_canceled(st);
     return;
   }
@@ -550,14 +551,14 @@ void execute_request(QueueImplT<T>& q,
   {
     std::unique_lock<std::mutex> lock(q.mu_);
     for (;;) {
-      if (st->cancel.load(std::memory_order_relaxed)) {
-        lock.unlock();
+      if (st->cancel.load(std::memory_order_relaxed)) {  // relaxed: cancel-token
+        lock.unlock();  // handoff: complete outside mu_
         q.complete_canceled(st);
         return;
       }
       if (Clock::now() >= st->req.deadline) {
         // Waiting for workspace is still "queued": C untouched.
-        lock.unlock();
+        lock.unlock();  // handoff: complete outside mu_
         q.complete_expired(st);
         return;
       }
@@ -565,7 +566,7 @@ void execute_request(QueueImplT<T>& q,
         lease = q.pool_.try_acquire(st->need);
       } catch (...) {
         std::exception_ptr err = std::current_exception();
-        lock.unlock();
+        lock.unlock();  // handoff: route the failure outside mu_
         if (st->req.on_failure == core::FailurePolicy::fallback) {
           q.run_shed(st);
           return;
@@ -644,7 +645,7 @@ bool TicketT<T>::done() const {
 
 template <class T>
 void TicketT<T>::cancel() {
-  state_->cancel.store(true, std::memory_order_relaxed);
+  state_->cancel.store(true, std::memory_order_relaxed);  // relaxed: cancel-token
 }
 
 template <class T>

@@ -43,33 +43,36 @@ const char* site_name(Site s) {
 
 void arm(long countdown, Site site) {
   if (countdown < 1) countdown = 1;
-  g_site.store(static_cast<int>(site), std::memory_order_relaxed);
-  g_countdown.store(countdown, std::memory_order_relaxed);
+  g_site.store(static_cast<int>(site),
+               std::memory_order_relaxed);  // relaxed: injector
+  g_countdown.store(countdown, std::memory_order_relaxed);  // relaxed: injector
   g_active.store(true, std::memory_order_release);
 }
 
 void disarm() {
-  g_active.store(false, std::memory_order_relaxed);
-  g_countdown.store(0, std::memory_order_relaxed);
+  g_active.store(false, std::memory_order_relaxed);  // relaxed: injector
+  g_countdown.store(0, std::memory_order_relaxed);   // relaxed: injector
 }
 
 bool armed() {
-  return g_active.load(std::memory_order_relaxed) &&
-         g_countdown.load(std::memory_order_relaxed) > 0;
+  return g_active.load(std::memory_order_relaxed) &&      // relaxed: injector
+         g_countdown.load(std::memory_order_relaxed) > 0;  // relaxed: injector
 }
 
-long injected_total() { return g_injected.load(std::memory_order_relaxed); }
+long injected_total() {
+  return g_injected.load(std::memory_order_relaxed);  // relaxed: injector
+}
 
 bool should_fail(Site site) {
   if (!g_active.load(std::memory_order_acquire)) return false;
   if (t_suspend_depth > 0) return false;
-  const Site armed_site =
-      static_cast<Site>(g_site.load(std::memory_order_relaxed));
+  const Site armed_site = static_cast<Site>(
+      g_site.load(std::memory_order_relaxed));  // relaxed: injector
   if (armed_site != Site::any && armed_site != site) return false;
   const long c = g_countdown.fetch_sub(1, std::memory_order_acq_rel);
   if (c == 1) {
-    g_injected.fetch_add(1, std::memory_order_relaxed);
-    g_active.store(false, std::memory_order_relaxed);
+    g_injected.fetch_add(1, std::memory_order_relaxed);  // relaxed: injector
+    g_active.store(false, std::memory_order_relaxed);    // relaxed: injector
     return true;
   }
   return false;
@@ -81,9 +84,11 @@ ScopedSuspend::~ScopedSuspend() { --t_suspend_depth; }
 bool suspended() { return t_suspend_depth > 0; }
 
 void set_arena_guards(bool on) {
-  g_guards.store(on, std::memory_order_relaxed);
+  g_guards.store(on, std::memory_order_relaxed);  // relaxed: injector
 }
 
-bool arena_guards() { return g_guards.load(std::memory_order_relaxed); }
+bool arena_guards() {
+  return g_guards.load(std::memory_order_relaxed);  // relaxed: injector
+}
 
 }  // namespace strassen::faultinject

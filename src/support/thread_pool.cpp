@@ -71,6 +71,17 @@ ThreadPool::Batch* ThreadPool::claim_locked(bool raw_only,
   return nullptr;
 }
 
+// True exactly when claim_locked(raw_only, ...) would return a task right
+// now: the predicate the CV waits re-check without mutating the FIFO.
+bool ThreadPool::claimable_locked(bool raw_only) const {
+  for (const Batch* b = head_; b != nullptr; b = b->next_batch) {
+    if (b->next >= b->count) continue;
+    if (raw_only && b->raw == nullptr) continue;
+    return true;
+  }
+  return false;
+}
+
 // Runs one claimed task (mu_ not held). A nofail batch extends the
 // submitter's fault-injection suspend onto this thread for the task's
 // duration, which also suppresses the pool_task injection hook -- exactly
@@ -117,12 +128,14 @@ void ThreadPool::wait_batch(Batch& batch, bool help_functions) {
     std::size_t index = 0;
     Batch* victim = claim_locked(/*raw_only=*/!help_functions, &index);
     if (victim != nullptr) {
-      lock.unlock();
+      lock.unlock();  // handoff: run the claimed task without holding mu_
       execute(victim, index);
       lock.lock();
       continue;
     }
-    cv_.wait(lock);
+    cv_.wait(lock, [&] {
+      return batch.remaining == 0 || claimable_locked(!help_functions);
+    });
   }
   // The batch dies with this stack frame, so it must leave the FIFO now:
   // claim scans unlink fully-claimed batches only lazily, and `remaining`
@@ -182,7 +195,7 @@ void ThreadPool::run_on_each_worker(
   cv_.notify_all();
   // No help-execution needed: every worker returns to its loop (draining
   // its own nested batches on the way) and serves its pinned slot.
-  while (pinned_pending_ > 0) cv_.wait(lock);
+  cv_.wait(lock, [this] { return pinned_pending_ == 0; });
   if (pinned_error_) {
     std::exception_ptr err = pinned_error_;
     pinned_error_ = nullptr;
@@ -199,7 +212,7 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
     if (pinned_[worker_index]) {
       std::function<void(std::size_t)> fn = std::move(pinned_[worker_index]);
       pinned_[worker_index] = nullptr;
-      lock.unlock();
+      lock.unlock();  // handoff: run the pinned task without holding mu_
       std::exception_ptr err;
       try {
         if (faultinject::should_fail(faultinject::Site::pool_task)) {
@@ -217,13 +230,16 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
     }
     std::size_t index = 0;
     if (Batch* batch = claim_locked(/*raw_only=*/false, &index)) {
-      lock.unlock();
+      lock.unlock();  // handoff: run the claimed task without holding mu_
       execute(batch, index);
       lock.lock();
       continue;
     }
     if (stop_) return;
-    cv_.wait(lock);
+    cv_.wait(lock, [&] {
+      return stop_ || static_cast<bool>(pinned_[worker_index]) ||
+             claimable_locked(/*raw_only=*/false);
+    });
   }
 }
 
@@ -250,7 +266,8 @@ DagRun::DagRun(const ThreadPool::DagNode* nodes, std::size_t count,
   // stores are fine).
   std::size_t next_lane = 0;
   for (std::size_t i = 0; i < count_; ++i) {
-    deps_[i].store(nodes_[i].dependencies, std::memory_order_relaxed);
+    deps_[i].store(nodes_[i].dependencies,
+                   std::memory_order_relaxed);  // relaxed: counter
     if (nodes_[i].dependencies == 0) {
       Lane& lane = lane_state_[next_lane];
       lane.slots[lane.tail++] = static_cast<std::int32_t>(i);
@@ -278,7 +295,7 @@ std::int32_t DagRun::pop_or_steal(std::size_t lane) {
     Lane& victim = lane_state_[(lane + off) % lanes_];
     std::lock_guard<std::mutex> g(victim.mu);
     if (victim.tail > victim.head) {
-      steals_.fetch_add(1, std::memory_order_relaxed);
+      steals_.fetch_add(1, std::memory_order_relaxed);  // relaxed: counter
       return victim.slots[victim.head++];
     }
   }
@@ -319,17 +336,22 @@ void ThreadPool::participate(DagRun& run, std::size_t lane) {
       std::unique_lock<std::mutex> lk(run.wait_mu_);
       run.wait_cv_.wait(lk, [&] {
         return run.generation_ != gen ||
-               run.failed_.load(std::memory_order_relaxed) ||
-               run.remaining_.load(std::memory_order_relaxed) == 0;
+               run.failed_.load(
+                   std::memory_order_relaxed) ||  // relaxed: cancel-token
+               run.remaining_.load(
+                   std::memory_order_relaxed) == 0;  // relaxed: counter
       });
       continue;
     }
     const DagNode& nd = run.nodes_[node];
-    const int active = run.active_.fetch_add(1, std::memory_order_relaxed) + 1;
-    int peak = run.peak_active_.load(std::memory_order_relaxed);
+    const int active =
+        run.active_.fetch_add(1, std::memory_order_relaxed) +  // relaxed: counter
+        1;
+    int peak =
+        run.peak_active_.load(std::memory_order_relaxed);  // relaxed: counter
     while (active > peak &&
            !run.peak_active_.compare_exchange_weak(
-               peak, active, std::memory_order_relaxed)) {
+               peak, active, std::memory_order_relaxed)) {  // relaxed: counter
     }
     bool ok = true;
     try {
@@ -338,7 +360,7 @@ void ThreadPool::participate(DagRun& run, std::size_t lane) {
       ok = false;
       run.record_error();
     }
-    run.active_.fetch_sub(1, std::memory_order_relaxed);
+    run.active_.fetch_sub(1, std::memory_order_relaxed);  // relaxed: counter
     if (!ok) {
       run.bump_generation_and_wake();
       return;

@@ -140,6 +140,7 @@ class ThreadPool {
   void link_batch(Batch& batch);
   void wait_batch(Batch& batch, bool help_functions);
   Batch* claim_locked(bool raw_only, std::size_t* index);
+  bool claimable_locked(bool raw_only) const;  // CV wait predicates
   void execute(Batch* batch, std::size_t index);  // called without mu_
   void worker_loop(std::size_t worker_index);
   void participate(DagRun& run, std::size_t lane);
@@ -177,13 +178,15 @@ class DagRun {
 
   /// Nodes a lane executed out of another lane's deque (valid after the
   /// run; the overlap the stealing scheduler achieved).
-  long steals() const { return steals_.load(std::memory_order_relaxed); }
+  long steals() const {
+    return steals_.load(std::memory_order_relaxed);  // relaxed: counter
+  }
 
   /// Largest number of node bodies ever executing simultaneously (valid
   /// after the run; the oversubscription regression tests pin this to the
   /// planned lane count).
   int peak_active() const {
-    return peak_active_.load(std::memory_order_relaxed);
+    return peak_active_.load(std::memory_order_relaxed);  // relaxed: counter
   }
 
  private:

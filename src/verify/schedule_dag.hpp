@@ -142,6 +142,53 @@ constexpr bool dag_is_acyclic(const ScheduleDag<NP, NB>& d) {
   return retired == NP + NB;
 }
 
+/// A total order over the NP + NB DAG nodes: position `at[i]` holds a node
+/// id, with products numbered 0..NP-1 and combine node b numbered NP + b.
+template <int NP, int NB>
+struct NodeOrder {
+  int at[NP + NB] = {};
+};
+
+/// The order the executor's fixed combine pass walks: all products first
+/// (any completion order is covered because every product precedes every
+/// combine here), then the combine nodes in ascending block index.
+template <int NP, int NB>
+constexpr NodeOrder<NP, NB> ascending_order() {
+  NodeOrder<NP, NB> o{};
+  for (int i = 0; i < NP + NB; ++i) o.at[i] = i;
+  return o;
+}
+
+/// Lemma: `o` is a linear extension of the DAG -- a permutation of the
+/// node set in which every combine node appears after every product node
+/// feeding it. This is the schedule-correctness fact the serial fused
+/// walk and the parallel executor's deterministic combine pass both rest
+/// on: applying combines in the fixed ascending order can never read a
+/// product that the order has not already placed.
+template <int NP, int NB>
+constexpr bool order_is_linear_extension(const ScheduleDag<NP, NB>& d,
+                                         const NodeOrder<NP, NB>& o) {
+  constexpr int kNodes = NP + NB;
+  // Permutation check, and invert: pos[node] = position in the order.
+  int pos[kNodes] = {};
+  bool seen[kNodes] = {};
+  for (int i = 0; i < kNodes; ++i) {
+    const int node = o.at[i];
+    if (node < 0 || node >= kNodes || seen[node]) return false;
+    seen[node] = true;
+    pos[node] = i;
+  }
+  // Every edge product p --> combine b respects the order.
+  for (int blk = 0; blk < NB; ++blk) {
+    for (int t = d.term_begin[blk]; t < d.term_begin[blk + 1]; ++t) {
+      const int p = d.terms[t].product;
+      if (p < 0 || p >= NP) return false;
+      if (pos[p] >= pos[NP + blk]) return false;
+    }
+  }
+  return true;
+}
+
 static_assert(dag_covers_table(kDagL1, kFusedL1),
               "depth-1 task DAG does not match the proved L1 product table");
 static_assert(dag_covers_table(kDagL2, kFusedL2.p),
@@ -152,5 +199,15 @@ static_assert(dag_is_acyclic(kDagL2),
               "depth-2 task DAG must be acyclic with satisfiable deps");
 static_assert(kDagL1.nterms == 12 && kDagL2.nterms == 144,
               "fused c-term totals changed; re-derive the DAG invariants");
+static_assert(
+    order_is_linear_extension(kDagL1,
+                              ascending_order<kFusedL1Products, 4>()),
+    "the fixed ascending combine order is not a linear extension of the "
+    "depth-1 DAG");
+static_assert(
+    order_is_linear_extension(kDagL2,
+                              ascending_order<kFusedL2Products, 16>()),
+    "the fixed ascending combine order is not a linear extension of the "
+    "depth-2 DAG");
 
 }  // namespace strassen::verify

@@ -1,0 +1,11 @@
+// Rule 1 fixture (violation): a Table 1-accounted subsystem growing a
+// std::vector instead of drawing from the Arena.
+namespace strassen::core {
+
+int pad_rows(int m) {
+  std::vector<double> tmp;
+  tmp.push_back(1.0);
+  return m + static_cast<int>(tmp.size());
+}
+
+}  // namespace strassen::core

@@ -1,0 +1,10 @@
+// Rule 1 fixture (clean twin): the same temporary drawn from the Arena.
+namespace strassen::core {
+
+double* pad_rows(support::Arena& arena, int m) {
+  double* tmp = arena.alloc<double>(static_cast<std::size_t>(m));
+  tmp[0] = 1.0;
+  return tmp;
+}
+
+}  // namespace strassen::core

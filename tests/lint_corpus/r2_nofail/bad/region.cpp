@@ -1,0 +1,11 @@
+// Rule 2 fixture (violation): a fallible Arena acquisition textually
+// inside a ScopedSuspend no-fail region.
+namespace strassen {
+
+void run_compute(support::Arena& arena, double* c, long n) {
+  faultinject::ScopedSuspend suspend;
+  double* t = arena.alloc(n);
+  accumulate(t, c, n);
+}
+
+}  // namespace strassen

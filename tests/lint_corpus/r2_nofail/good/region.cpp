@@ -1,0 +1,11 @@
+// Rule 2 fixture (clean twin): the acquisition completes before the
+// no-fail region opens.
+namespace strassen {
+
+void run_compute(support::Arena& arena, double* c, long n) {
+  double* t = arena.alloc(n);
+  faultinject::ScopedSuspend suspend;
+  accumulate(t, c, n);
+}
+
+}  // namespace strassen

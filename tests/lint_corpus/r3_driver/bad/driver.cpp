@@ -1,0 +1,12 @@
+// Rule 3 fixture (violation): a driver performing a fallible acquisition
+// after dispatching into the computation (C already written).
+namespace strassen::core {
+
+int dgefmm(double* c, support::Arena& arena, long n) {
+  blas::dgemm(c, n);
+  double* extra = arena.alloc(n);
+  finish(extra, c, n);
+  return 0;
+}
+
+}  // namespace strassen::core

@@ -1,0 +1,11 @@
+// Rule 3 fixture (clean twin): every acquisition precedes the dispatch.
+namespace strassen::core {
+
+int dgefmm(double* c, support::Arena& arena, long n) {
+  double* extra = arena.alloc(n);
+  blas::dgemm(c, n);
+  finish(extra, c, n);
+  return 0;
+}
+
+}  // namespace strassen::core

@@ -1,0 +1,13 @@
+// Rule 4 fixture (violation): the dgefmm entry point missing its
+// [[nodiscard]] annotation (the workspace predictor has one).
+#pragma once
+
+namespace strassen::core {
+
+using count_t = long long;
+
+int dgefmm(char transa, char transb, int m, int n, int k);
+
+[[nodiscard]] count_t dgefmm_workspace_doubles(int m, int n, int k);
+
+}  // namespace strassen::core

@@ -1,0 +1,12 @@
+// Rule 4 fixture (clean twin): both fallible entry points annotated.
+#pragma once
+
+namespace strassen::core {
+
+using count_t = long long;
+
+[[nodiscard]] int dgefmm(char transa, char transb, int m, int n, int k);
+
+[[nodiscard]] count_t dgefmm_workspace_doubles(int m, int n, int k);
+
+}  // namespace strassen::core

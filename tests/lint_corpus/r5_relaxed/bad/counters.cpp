@@ -1,0 +1,15 @@
+// Rule 5 fixture (violation): relaxed atomics without a vocabulary
+// justification -- one unannotated, one with a word outside the
+// vocabulary.
+namespace strassen {
+
+std::atomic<long> g_ops{0};
+std::atomic<long> g_hits{0};
+
+void bump_ops() { g_ops.fetch_add(1, std::memory_order_relaxed); }
+
+void bump_hits() {
+  g_hits.fetch_add(1, std::memory_order_relaxed);  // relaxed: because-fast
+}
+
+}  // namespace strassen

@@ -1,0 +1,16 @@
+// Rule 5 fixture (clean twin): every relaxed site names its protocol.
+namespace strassen {
+
+std::atomic<long> g_ops{0};
+std::atomic<bool> g_cancel{false};
+
+void bump_ops() {
+  g_ops.fetch_add(1, std::memory_order_relaxed);  // relaxed: counter
+}
+
+bool canceled() {
+  // relaxed: cancel-token
+  return g_cancel.load(std::memory_order_relaxed);
+}
+
+}  // namespace strassen

@@ -1,0 +1,16 @@
+// Rule 6 fixture (violation): a predicate-less CV wait, and a naked timed
+// wait used as a one-shot sleep instead of a polling loop.
+namespace strassen {
+
+void wait_ready(std::condition_variable& cv, std::mutex& mu, bool& ready) {
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock);
+  consume(ready);
+}
+
+void poll_once(std::condition_variable& cv, std::mutex& mu) {
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait_for(lock, std::chrono::milliseconds(5));
+}
+
+}  // namespace strassen

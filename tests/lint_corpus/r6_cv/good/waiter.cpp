@@ -1,0 +1,18 @@
+// Rule 6 fixture (clean twin): predicate overload, and the timed wait as
+// a poller inside a loop that re-checks the state.
+namespace strassen {
+
+void wait_ready(std::condition_variable& cv, std::mutex& mu, bool& ready) {
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return ready; });
+  consume(ready);
+}
+
+void poll(std::condition_variable& cv, std::mutex& mu, bool& ready) {
+  std::unique_lock<std::mutex> lock(mu);
+  while (!ready) {
+    cv.wait_for(lock, std::chrono::milliseconds(5));
+  }
+}
+
+}  // namespace strassen

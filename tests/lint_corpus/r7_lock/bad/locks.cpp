@@ -1,0 +1,18 @@
+// Rule 7 fixture (violation): a direct mutex lock/unlock pair, and an
+// early guard unlock without a hand-off annotation.
+namespace strassen {
+
+void update(std::mutex& mu, long& value) {
+  mu.lock();
+  ++value;
+  mu.unlock();
+}
+
+void publish(std::mutex& mu, long& value) {
+  std::unique_lock<std::mutex> lock(mu);
+  ++value;
+  lock.unlock();
+  notify_watchers();
+}
+
+}  // namespace strassen

@@ -1,0 +1,17 @@
+// Rule 7 fixture (clean twin): RAII guards, and the early unlock marked
+// as a sanctioned hand-off point.
+namespace strassen {
+
+void update(std::mutex& mu, long& value) {
+  std::lock_guard<std::mutex> guard(mu);
+  ++value;
+}
+
+void publish(std::mutex& mu, long& value) {
+  std::unique_lock<std::mutex> lock(mu);
+  ++value;
+  lock.unlock();  // handoff: notify watchers outside the lock
+  notify_watchers();
+}
+
+}  // namespace strassen

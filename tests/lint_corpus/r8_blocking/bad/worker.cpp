@@ -1,0 +1,11 @@
+// Rule 8 fixture (violation): a pool-worker task body that blocks -- the
+// planner counted this lane as compute, so sleeping here stalls the
+// moldable allotment.
+namespace strassen {
+
+void product_body(void* arg, std::size_t lane) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  run_leaf(arg, lane);
+}
+
+}  // namespace strassen

@@ -1,0 +1,9 @@
+// Rule 8 fixture (clean twin): the task body computes and returns; any
+// waiting happens in the scheduler, never on the lane.
+namespace strassen {
+
+void product_body(void* arg, std::size_t lane) {
+  run_leaf(arg, lane);
+}
+
+}  // namespace strassen

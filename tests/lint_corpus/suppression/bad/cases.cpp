@@ -1,0 +1,11 @@
+// Suppression fixture (violation): a reason-less suppression and one
+// naming an unknown rule are themselves findings.
+namespace strassen {
+
+// strassen-lint-ok(lock-discipline)
+int answer() { return 42; }
+
+// strassen-lint-ok(not-a-rule: corpus fixture)
+int other() { return 7; }
+
+}  // namespace strassen

@@ -1,0 +1,11 @@
+// Suppression fixture (clean twin): a real rule 1 violation silenced by a
+// well-formed suppression on the comment line above the statement.
+namespace strassen::core {
+
+int pad_count(int m) {
+  // strassen-lint-ok(alloc-outside-support: corpus suppression demo)
+  std::vector<int> tmp(3);
+  return m + static_cast<int>(tmp.size());
+}
+
+}  // namespace strassen::core

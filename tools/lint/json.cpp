@@ -1,0 +1,68 @@
+// JSON findings writer: the machine-readable output scripts/lint.sh and
+// scripts/check.sh archive so a failing gate points at a replayable
+// artifact instead of scrollback.
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace lint {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool write_findings_json(const std::string& path,
+                         const std::vector<Finding>& findings,
+                         long suppressed) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "{\n  \"findings\": [";
+  bool first = true;
+  for (const Finding& f : findings) {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << "    {\"file\": \"" << json_escape(f.file) << "\", "
+        << "\"line\": " << f.line << ", "
+        << "\"rule\": \"" << json_escape(f.rule) << "\", "
+        << "\"message\": \"" << json_escape(f.message) << "\"}";
+  }
+  out << (first ? "" : "\n  ") << "],\n"
+      << "  \"count\": " << findings.size() << ",\n"
+      << "  \"suppressed\": " << suppressed << "\n}\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace lint

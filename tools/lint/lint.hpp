@@ -1,0 +1,148 @@
+// strassen_lint: project-invariant linter for the DGEFMM sources.
+//
+// This is the multi-pass successor of the original single-file linter: a
+// shared source pass (comment/string stripping, annotation parsing, token
+// and scope utilities) feeding a registry of independent rules. Each rule
+// enforces one invariant no general-purpose compiler pass checks, all of
+// them load-bearing for the paper's claims, the DESIGN.md section 7 failure
+// contract, or the section 13 concurrency discipline:
+//
+//  1. alloc-outside-support: the computational subsystems (src/core,
+//     src/blas, src/compare) draw every temporary from the Arena / the
+//     pack scratch; raw new/malloc/vector growth would silently break the
+//     measured-workspace story.
+//  2. alloc-in-nofail: no fallible acquisition textually inside a
+//     faultinject::ScopedSuspend scope.
+//  3. fallible-after-c-write: in driver functions, every fallible
+//     acquisition precedes the dispatch into the computation.
+//  4. missing-nodiscard: fallible value-returning entry points must be
+//     declared [[nodiscard]].
+//  5. relaxed-justification: every memory_order_relaxed load/store carries
+//     a `// relaxed: <word>` annotation from the fixed vocabulary
+//     (counter | cancel-token | config-slot | injector).
+//  6. cv-discipline: condition-variable wait() must use the predicate
+//     overload; naked wait_for/wait_until must sit inside a loop that
+//     re-checks the queue state.
+//  7. lock-discipline: mutexes are held via RAII guards only -- direct
+//     std::mutex::lock()/unlock() is forbidden, and an early
+//     unique_lock::unlock() needs a `// handoff: <reason>` annotation.
+//  8. blocking-call: no cv.wait*/sleep_*/submit textually inside
+//     pool-worker task bodies (functions named *_body) or ScopedSuspend
+//     no-fail regions.
+//
+// Findings can be suppressed per line with a mandatory-reason annotation
+// naming the rule and the reason, e.g.:
+//
+//     // strassen-lint-ok(alloc-outside-support: fixture exercising rule 1)
+//
+// A suppression with an unknown rule name or an empty reason is itself a
+// finding (bad-suppression), so the escape hatch cannot rot silently.
+//
+// Plain-text analysis: comments and string/char literals are stripped
+// (preserving line numbers), then rules run over tokens with brace-depth
+// tracking. That is deliberately simple -- the invariants are textual
+// properties of this codebase's idioms (condition variables are named
+// *cv*, mutexes *mu*/*mutex*), and a false positive is fixed by
+// restructuring the code to make the invariant obvious, which is the
+// point.
+//
+// Usage: strassen_lint [--json <path>] <src-root> [more roots...]
+// Exits 0 when clean, 1 when any finding is reported, 2 on usage/IO error.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace lint {
+
+struct Finding {
+  std::string file;
+  long line = 0;
+  std::string rule;
+  std::string message;
+};
+
+// Machine-readable annotations parsed from one raw source line's comments
+// before stripping. An annotation written on a comment-only line attaches
+// to the next line holding code (see attach_comment_only_notes).
+struct LineNotes {
+  std::vector<std::string> suppressed;  // rules named by strassen-lint-ok
+  std::string relaxed_tag;              // `// relaxed: <word>` (rule 5)
+  bool handoff = false;                 // `// handoff: <reason>` (rule 7)
+};
+
+struct SourceFile {
+  std::string path;                // as reported in findings
+  std::string rel;                 // path relative to the scanned root
+  std::vector<std::string> lines;  // comment/string-stripped
+  std::vector<LineNotes> notes;    // parallel to lines
+};
+
+// Collects findings, honoring per-line suppressions.
+class Sink {
+ public:
+  // line is 1-based. Suppressed findings are counted, not recorded.
+  void report(const SourceFile& f, long line, const std::string& rule,
+              const std::string& message);
+  // Unconditional (used for bad-suppression, which is not suppressible).
+  void report_raw(const std::string& file, long line,
+                  const std::string& rule, const std::string& message);
+
+  const std::vector<Finding>& findings() const { return findings_; }
+  long suppressed() const { return suppressed_; }
+
+ private:
+  std::vector<Finding> findings_;
+  long suppressed_ = 0;
+};
+
+// One registered pass over a single file.
+struct Rule {
+  const char* id;
+  const char* summary;
+  void (*run)(const SourceFile&, Sink&);
+};
+
+// Every registered rule, in numeric order. Defined across rules_core.cpp
+// and rules_concurrency.cpp, assembled in registry order by rule_table().
+const std::vector<Rule>& rule_table();
+bool is_known_rule(const std::string& id);
+
+// --- source pass (source.cpp) ----------------------------------------------
+
+// Replaces comments and string/char literal contents with spaces, keeping
+// every newline so line numbers survive.
+std::string strip_comments_and_strings(const std::string& in);
+
+std::vector<std::string> split_lines(const std::string& text);
+
+bool is_ident(char c);
+
+// True if `token` occurs in `line` with no identifier character on either
+// side (i.e. as a whole token; `token` itself may contain punctuation like
+// "->alloc(").
+bool has_token(const std::string& line, const std::string& token);
+
+// First position of `token` as a whole token, or npos.
+std::size_t find_token(const std::string& line, const std::string& token,
+                       std::size_t from = 0);
+
+// Parses the strassen-lint-ok / relaxed / handoff annotations out of one
+// raw (unstripped) line; malformed suppressions are reported to `sink`.
+LineNotes parse_notes(const std::string& raw_line, const std::string& path,
+                      long line, Sink& sink);
+
+// Moves the notes of comment-only lines onto the next line that holds
+// code, so an annotation may precede its statement on its own line.
+void attach_comment_only_notes(SourceFile& f);
+
+// --- output (json.cpp) -----------------------------------------------------
+
+// Writes {"findings": [...], "count": N, "suppressed": M}. Returns false
+// on IO error.
+bool write_findings_json(const std::string& path,
+                         const std::vector<Finding>& findings,
+                         long suppressed);
+
+}  // namespace lint

@@ -1,0 +1,137 @@
+// Driver: walks the given roots, runs every registered rule over each
+// source file, and reports findings as text (and JSON when asked).
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool is_source_file(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc";
+}
+
+// Loads and scans every source file under `root` (or `root` itself when it
+// is a file). Returns 0 on success, 2 on IO error.
+int scan_root(const fs::path& root, lint::Sink& sink) {
+  std::error_code ec;
+  const bool is_dir = fs::is_directory(root, ec);
+  if (ec) {
+    std::cerr << "strassen_lint: cannot stat " << root << ": "
+              << ec.message() << "\n";
+    return 2;
+  }
+  std::vector<fs::path> files;
+  if (is_dir) {
+    for (fs::recursive_directory_iterator it(root, ec), end;
+         it != end && !ec; it.increment(ec)) {
+      if (it->is_regular_file() && is_source_file(it->path())) {
+        files.push_back(it->path());
+      }
+    }
+    if (ec) {
+      std::cerr << "strassen_lint: walking " << root << ": " << ec.message()
+                << "\n";
+      return 2;
+    }
+  } else {
+    files.push_back(root);
+  }
+  std::sort(files.begin(), files.end());
+
+  for (const fs::path& p : files) {
+    std::ifstream in(p);
+    if (!in) {
+      std::cerr << "strassen_lint: cannot read " << p << "\n";
+      return 2;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const std::string raw = ss.str();
+
+    lint::SourceFile f;
+    f.path = p.string();
+    f.rel = is_dir ? fs::relative(p, root, ec).generic_string()
+                   : p.filename().generic_string();
+    f.lines = lint::split_lines(lint::strip_comments_and_strings(raw));
+    const std::vector<std::string> raw_lines = lint::split_lines(raw);
+    f.notes.reserve(raw_lines.size());
+    for (std::size_t i = 0; i < raw_lines.size(); ++i) {
+      f.notes.push_back(lint::parse_notes(raw_lines[i], f.path,
+                                          static_cast<long>(i + 1), sink));
+    }
+    lint::attach_comment_only_notes(f);
+    for (const lint::Rule& rule : lint::rule_table()) {
+      rule.run(f, sink);
+    }
+  }
+  return 0;
+}
+
+int usage() {
+  std::cerr << "usage: strassen_lint [--json <path>] [--list-rules] "
+               "<src-root> [more roots...]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      if (i + 1 >= argc) return usage();
+      json_path = argv[++i];
+    } else if (arg == "--list-rules") {
+      for (const lint::Rule& r : lint::rule_table()) {
+        std::cout << r.id << ": " << r.summary << "\n";
+      }
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) return usage();
+
+  lint::Sink sink;
+  for (const std::string& root : roots) {
+    const int rc = scan_root(fs::path(root), sink);
+    if (rc != 0) return rc;
+  }
+  for (const lint::Finding& f : sink.findings()) {
+    std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
+              << f.message << "\n";
+  }
+  if (!json_path.empty() &&
+      !lint::write_findings_json(json_path, sink.findings(),
+                                 sink.suppressed())) {
+    std::cerr << "strassen_lint: cannot write " << json_path << "\n";
+    return 2;
+  }
+  if (!sink.findings().empty()) {
+    std::cout << sink.findings().size() << " finding(s)";
+    if (sink.suppressed() > 0) {
+      std::cout << ", " << sink.suppressed() << " suppressed";
+    }
+    std::cout << ".\n";
+    return 1;
+  }
+  std::cout << "strassen_lint: clean";
+  if (sink.suppressed() > 0) {
+    std::cout << " (" << sink.suppressed() << " suppressed)";
+  }
+  std::cout << ".\n";
+  return 0;
+}

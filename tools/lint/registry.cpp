@@ -1,0 +1,42 @@
+#include "rules.hpp"
+
+namespace lint {
+
+const std::vector<Rule>& rule_table() {
+  static const std::vector<Rule> kRules = {
+      {"alloc-outside-support",
+       "Table 1 subsystems draw temporaries from the Arena/pack scratch",
+       rule_alloc_discipline},
+      {"alloc-in-nofail",
+       "no fallible acquisition inside a ScopedSuspend no-fail region",
+       rule_nofail_regions},
+      {"fallible-after-c-write",
+       "drivers acquire all workspace before the first write to C",
+       rule_acquire_before_dispatch},
+      {"missing-nodiscard",
+       "fallible value-returning entry points are [[nodiscard]]",
+       rule_nodiscard},
+      {"relaxed-justification",
+       "memory_order_relaxed sites carry a vocabulary justification",
+       rule_relaxed_justification},
+      {"cv-discipline",
+       "CV wait uses the predicate overload; timed waits poll inside loops",
+       rule_cv_discipline},
+      {"lock-discipline",
+       "mutexes held via RAII guards; early unlocks are annotated hand-offs",
+       rule_lock_discipline},
+      {"blocking-call",
+       "no CV wait/sleep/submit inside worker task bodies or no-fail regions",
+       rule_blocking_call},
+  };
+  return kRules;
+}
+
+bool is_known_rule(const std::string& id) {
+  for (const Rule& r : rule_table()) {
+    if (id == r.id) return true;
+  }
+  return false;
+}
+
+}  // namespace lint

@@ -1,0 +1,21 @@
+// Internal registry wiring: the per-rule entry points assembled by
+// rule_table() in registry.cpp.
+#pragma once
+
+#include "lint.hpp"
+
+namespace lint {
+
+// rules_core.cpp (serial-era invariants, rules 1-4)
+void rule_alloc_discipline(const SourceFile& f, Sink& sink);
+void rule_nofail_regions(const SourceFile& f, Sink& sink);
+void rule_acquire_before_dispatch(const SourceFile& f, Sink& sink);
+void rule_nodiscard(const SourceFile& f, Sink& sink);
+
+// rules_concurrency.cpp (concurrency discipline, rules 5-8)
+void rule_relaxed_justification(const SourceFile& f, Sink& sink);
+void rule_cv_discipline(const SourceFile& f, Sink& sink);
+void rule_lock_discipline(const SourceFile& f, Sink& sink);
+void rule_blocking_call(const SourceFile& f, Sink& sink);
+
+}  // namespace lint

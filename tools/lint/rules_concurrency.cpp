@@ -1,0 +1,382 @@
+// Rules 5-8: the concurrency discipline (DESIGN.md section 13). PRs 4-7
+// made the library concurrent -- work-stealing task DAG, global thread
+// pool, CV/lock-dense serving queue -- and these rules put tooling behind
+// the idioms that keep it correct: justified relaxed atomics, predicate
+// waits, RAII-held mutexes, and non-blocking worker task bodies.
+#include "lint.hpp"
+
+#include <string>
+
+namespace lint {
+
+namespace {
+
+// Identifier immediately preceding position `pos` (e.g. the receiver of a
+// member call whose `.`/`->` starts at pos). Empty when the call is on a
+// non-identifier expression.
+std::string receiver_before(const std::string& line, std::size_t pos) {
+  std::size_t end = pos;
+  std::size_t begin = end;
+  while (begin > 0 && is_ident(line[begin - 1])) --begin;
+  return line.substr(begin, end - begin);
+}
+
+// The project convention the CV and mutex rules key on: condition
+// variables are named *cv*, mutexes *mu* / *mutex* (which RAII guards --
+// `lock`, `lk`, `guard` -- never are).
+bool looks_like_cv(const std::string& name) {
+  return name.find("cv") != std::string::npos ||
+         name.find("CV") != std::string::npos;
+}
+
+bool looks_like_mutex(const std::string& name) {
+  return name.find("mu") != std::string::npos ||
+         name.find("mutex") != std::string::npos;
+}
+
+}  // namespace
+
+// --- rule 5: relaxed atomics carry a justification -------------------------
+//
+// Every memory_order_relaxed load/store must carry a `// relaxed: <word>`
+// annotation on its line (or on a comment-only line directly above), with
+// the word drawn from a fixed vocabulary naming the only protocols for
+// which relaxed ordering is sound in this codebase:
+//
+//   counter      statistics/progress counters whose value is read for
+//                reporting only, or whose cross-thread ordering is
+//                established by a mutex or an acq_rel RMW elsewhere;
+//   cancel-token monotonic abort flags with no payload riding on them
+//                (the observer re-synchronizes through a mutex or a
+//                single-transition CAS before acting);
+//   config-slot  process-wide configuration published before threads that
+//                read it are reachable, or re-read under a lock;
+//   injector     the fault-injection hooks, whose armed fast path is one
+//                relaxed load by design (faultinject.hpp).
+//
+// An unannotated site or an unknown word is reported: the author must
+// either name the protocol or upgrade the ordering.
+
+void rule_relaxed_justification(const SourceFile& f, Sink& sink) {
+  static const char* kVocabulary[] = {"counter", "cancel-token",
+                                      "config-slot", "injector"};
+  for (std::size_t i = 0; i < f.lines.size(); ++i) {
+    if (!has_token(f.lines[i], "memory_order_relaxed")) continue;
+    const std::string& tag =
+        i < f.notes.size() ? f.notes[i].relaxed_tag : std::string();
+    if (tag.empty()) {
+      sink.report(f, static_cast<long>(i + 1), "relaxed-justification",
+                  "memory_order_relaxed without a justification; annotate "
+                  "the line with `// relaxed: "
+                  "counter|cancel-token|config-slot|injector` or upgrade "
+                  "the ordering (DESIGN.md section 13)");
+      continue;
+    }
+    bool known = false;
+    for (const char* v : kVocabulary) {
+      if (tag == v) known = true;
+    }
+    if (!known) {
+      sink.report(f, static_cast<long>(i + 1), "relaxed-justification",
+                  "`// relaxed: " + tag +
+                      "` is not in the justification vocabulary "
+                      "(counter|cancel-token|config-slot|injector)");
+    }
+  }
+}
+
+// --- rule 6: condition-variable discipline ---------------------------------
+//
+// `cv.wait(lock)` without a predicate re-checks nothing on spurious or
+// stolen wakeups; the predicate overload is mandatory. The timed waits
+// (`wait_for`/`wait_until`) are used as periodic pollers here, so their
+// naked two-argument form is permitted -- but only inside a loop that
+// re-evaluates the queue state, never as a fire-once timed sleep.
+
+namespace {
+
+// Counts top-level commas of the call whose opening parenthesis is at
+// (start_line, open_pos); scans across lines. Returns -1 when the call
+// does not close within the file (malformed source).
+int call_top_level_commas(const SourceFile& f, std::size_t start_line,
+                          std::size_t open_pos) {
+  int paren = 0, brace = 0, bracket = 0;
+  int commas = 0;
+  for (std::size_t li = start_line; li < f.lines.size(); ++li) {
+    const std::string& line = f.lines[li];
+    for (std::size_t ci = (li == start_line ? open_pos : 0); ci < line.size();
+         ++ci) {
+      switch (line[ci]) {
+        case '(':
+          ++paren;
+          break;
+        case ')':
+          --paren;
+          if (paren == 0) return commas;
+          break;
+        case '{':
+          ++brace;
+          break;
+        case '}':
+          --brace;
+          break;
+        case '[':
+          ++bracket;
+          break;
+        case ']':
+          --bracket;
+          break;
+        case ',':
+          if (paren == 1 && brace == 0 && bracket == 0) ++commas;
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  return -1;
+}
+
+// Per-line loop-context tracker: scopes opened while a `for`/`while`/`do`
+// token was pending are loop scopes; a `wait_for` textually inside any
+// loop scope (or on the same line as the loop keyword, for brace-less
+// single-statement loops) re-runs after waking.
+class LoopTracker {
+ public:
+  // Processes one line. wait_positions receives, for every character
+  // position of the line, whether a loop context covers it.
+  void line_begin(const std::string& line) {
+    line_ = &line;
+    keyword_at_.assign(line.size(), false);
+    for (const char* kw : {"for", "while", "do"}) {
+      std::size_t pos = 0;
+      while ((pos = find_token(line, kw, pos)) != std::string::npos) {
+        keyword_at_[pos] = true;
+        pos += 1;
+      }
+    }
+  }
+
+  // True when position `pos` of the current line sits in a loop.
+  bool in_loop(std::size_t pos) const {
+    for (const bool is_loop : scopes_) {
+      if (is_loop) return true;
+    }
+    // Same-line single-statement loop: a loop keyword earlier on the line.
+    for (std::size_t i = 0; i < pos && i < keyword_at_.size(); ++i) {
+      if (keyword_at_[i]) return true;
+    }
+    return pending_;
+  }
+
+  // Advances brace/keyword state through the whole line.
+  void line_end() {
+    const std::string& line = *line_;
+    for (std::size_t ci = 0; ci < line.size(); ++ci) {
+      if (ci < keyword_at_.size() && keyword_at_[ci]) pending_ = true;
+      const char c = line[ci];
+      if (c == '{') {
+        scopes_.push_back(pending_);
+        pending_ = false;
+      } else if (c == '}') {
+        if (!scopes_.empty()) scopes_.pop_back();
+      } else if (c == '(') {
+        ++parens_;
+      } else if (c == ')') {
+        if (parens_ > 0) --parens_;
+      } else if (c == ';' && parens_ == 0) {
+        // End of a brace-less loop statement (or of `do ...; while();`).
+        // Semicolons inside parentheses belong to a `for (a; b; c)` header
+        // and do not end the pending loop.
+        pending_ = false;
+      }
+    }
+  }
+
+ private:
+  const std::string* line_ = nullptr;
+  std::vector<bool> keyword_at_;
+  std::vector<bool> scopes_;  // true entries are loop scopes
+  int parens_ = 0;            // open parens (loop headers may span lines)
+  bool pending_ = false;      // loop keyword seen, body not yet entered
+};
+
+}  // namespace
+
+void rule_cv_discipline(const SourceFile& f, Sink& sink) {
+  LoopTracker loops;
+  for (std::size_t i = 0; i < f.lines.size(); ++i) {
+    const std::string& line = f.lines[i];
+    loops.line_begin(line);
+    static const struct {
+      const char* token;
+      bool timed;
+    } kWaits[] = {
+        {".wait_for(", true},
+        {".wait_until(", true},
+        {".wait(", false},
+    };
+    for (const auto& w : kWaits) {
+      std::size_t pos = 0;
+      while ((pos = find_token(line, w.token, pos)) != std::string::npos) {
+        const std::string recv = receiver_before(line, pos);
+        const std::size_t open =
+            pos + std::string(w.token).size() - 1;  // the '('
+        const std::size_t here = pos;
+        pos += 1;
+        if (!looks_like_cv(recv)) continue;
+        const int commas = call_top_level_commas(f, i, open);
+        if (!w.timed) {
+          // wait(lock) has zero top-level commas; wait(lock, pred) one.
+          if (commas == 0) {
+            sink.report(f, static_cast<long>(i + 1), "cv-discipline",
+                        "condition_variable::wait without a predicate; use "
+                        "the predicate overload so spurious/stolen wakeups "
+                        "re-check the state");
+          }
+        } else {
+          // wait_for(lock, dur) / wait_until(lock, tp) have one top-level
+          // comma; the predicate overloads have two.
+          if (commas == 1 && !loops.in_loop(here)) {
+            sink.report(f, static_cast<long>(i + 1), "cv-discipline",
+                        "naked timed wait outside a loop; a "
+                        "wait_for/wait_until poller must sit inside a loop "
+                        "that re-checks the queue state (or use the "
+                        "predicate overload)");
+          }
+        }
+      }
+    }
+    loops.line_end();
+  }
+}
+
+// --- rule 7: lock discipline -----------------------------------------------
+//
+// Mutexes are held via RAII guards only: a direct std::mutex::lock() /
+// unlock() pair cannot be exception-safe here and defeats the guards the
+// serving queue's hand-off protocol depends on. An early
+// unique_lock::unlock() IS that hand-off protocol -- completing a request
+// or running a task must not hold the queue mutex -- so it is permitted
+// exactly when annotated `// handoff: <reason>`; re-locking a guard
+// (unique_lock::lock) restores the RAII invariant and needs no annotation.
+
+void rule_lock_discipline(const SourceFile& f, Sink& sink) {
+  static const char* kCalls[] = {".lock()", "->lock()", ".unlock()",
+                                 "->unlock()"};
+  for (std::size_t i = 0; i < f.lines.size(); ++i) {
+    const std::string& line = f.lines[i];
+    for (const char* call : kCalls) {
+      std::size_t pos = 0;
+      while ((pos = find_token(line, call, pos)) != std::string::npos) {
+        const std::string recv = receiver_before(line, pos);
+        const bool is_unlock = std::string(call).find("unlock") !=
+                               std::string::npos;
+        if (looks_like_mutex(recv)) {
+          sink.report(f, static_cast<long>(i + 1), "lock-discipline",
+                      "direct std::mutex::" +
+                          std::string(is_unlock ? "unlock" : "lock") +
+                          "() on `" + recv +
+                          "`; hold mutexes via RAII guards "
+                          "(lock_guard/unique_lock/scoped_lock) only");
+        } else if (is_unlock) {
+          const bool annotated =
+              i < f.notes.size() && f.notes[i].handoff;
+          if (!annotated) {
+            sink.report(f, static_cast<long>(i + 1), "lock-discipline",
+                        "early unique_lock::unlock() without a hand-off "
+                        "annotation; mark the sanctioned hand-off point "
+                        "with `// handoff: <reason>`");
+          }
+        }
+        pos += 1;
+      }
+    }
+  }
+}
+
+// --- rule 8: blocking-call ban in worker bodies and no-fail regions --------
+//
+// A pool-worker task body (the *_body functions the DAG executor runs on
+// its lanes) that blocks -- on a CV, a sleep, or a nested Queue::submit --
+// can deadlock the moldable allotment: the planner counted that lane as
+// compute, and there is no spare worker to run whatever it waits for.
+// ScopedSuspend no-fail regions make the same promise for a different
+// reason: the driver's caller may already hold admission state that a
+// blocking call would invert.
+
+void rule_blocking_call(const SourceFile& f, Sink& sink) {
+  static const char* kBlocking[] = {
+      ".wait(",     "->wait(",     ".wait_for(",  "->wait_for(",
+      ".wait_until(", "->wait_until(", "sleep_for(", "sleep_until(",
+      ".submit(",   "->submit(",   "Queue::submit",
+  };
+  int depth = 0;
+  // Worker-body tracking (rule 3's machinery, keyed on the *_body suffix).
+  bool in_body = false;
+  int body_depth = 0;
+  bool pending_body = false;
+  // Suspend-region tracking (rule 2's machinery).
+  int suspend_depth = -1;
+  long region_line = 0;
+  const char* region_kind = "";
+  for (std::size_t i = 0; i < f.lines.size(); ++i) {
+    const std::string& line = f.lines[i];
+    if (!in_body && !pending_body) {
+      // A worker-body definition: an identifier ending in `_body` followed
+      // by '(' on the same line (the DAG node bodies are product_body /
+      // combine_body; fixtures and future executors follow the suffix).
+      std::size_t pos = 0;
+      while ((pos = line.find("_body", pos)) != std::string::npos) {
+        const std::size_t end = pos + 5;
+        const bool ident_before = pos > 0 && is_ident(line[pos - 1]);
+        if (ident_before && (end >= line.size() || !is_ident(line[end])) &&
+            line.find('(', end) != std::string::npos) {
+          pending_body = true;
+          break;
+        }
+        pos = end;
+      }
+    }
+    if (suspend_depth < 0 && has_token(line, "ScopedSuspend")) {
+      suspend_depth = depth;
+      region_line = static_cast<long>(i + 1);
+      region_kind = "the ScopedSuspend no-fail region";
+    }
+    const bool in_region = in_body || suspend_depth >= 0;
+    if (in_region && !pending_body) {
+      for (const char* tok : kBlocking) {
+        if (has_token(line, tok)) {
+          const std::string where =
+              in_body ? "a pool-worker task body"
+                      : std::string(region_kind) + " opened at line " +
+                            std::to_string(region_line);
+          sink.report(f, static_cast<long>(i + 1), "blocking-call",
+                      std::string("blocking call `") + tok + "` inside " +
+                          where +
+                          "; workers and no-fail regions must never "
+                          "block on CVs, sleeps, or queue submission");
+        }
+      }
+    }
+    for (std::size_t ci = 0; ci < line.size(); ++ci) {
+      const char c = line[ci];
+      if (c == ';' && pending_body) {
+        pending_body = false;
+      } else if (c == '{') {
+        if (pending_body) {
+          pending_body = false;
+          in_body = true;
+          body_depth = depth;
+        }
+        ++depth;
+      } else if (c == '}') {
+        --depth;
+        if (in_body && depth <= body_depth) in_body = false;
+        if (suspend_depth >= 0 && depth <= suspend_depth) suspend_depth = -1;
+      }
+    }
+  }
+}
+
+}  // namespace lint

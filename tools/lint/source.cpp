@@ -1,0 +1,260 @@
+// Shared source pass: stripping, line splitting, token utilities, and the
+// annotation/suppression parser every rule consumes.
+#include "lint.hpp"
+
+#include <cctype>
+
+namespace lint {
+
+void Sink::report(const SourceFile& f, long line, const std::string& rule,
+                  const std::string& message) {
+  const std::size_t idx = static_cast<std::size_t>(line - 1);
+  if (idx < f.notes.size()) {
+    for (const std::string& sup : f.notes[idx].suppressed) {
+      if (sup == rule) {
+        ++suppressed_;
+        return;
+      }
+    }
+  }
+  findings_.push_back({f.path, line, rule, message});
+}
+
+void Sink::report_raw(const std::string& file, long line,
+                      const std::string& rule, const std::string& message) {
+  findings_.push_back({file, line, rule, message});
+}
+
+std::string strip_comments_and_strings(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  enum class St { code, line_comment, block_comment, str, chr };
+  St st = St::code;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const char c = in[i];
+    const char next = i + 1 < in.size() ? in[i + 1] : '\0';
+    switch (st) {
+      case St::code:
+        if (c == '/' && next == '/') {
+          st = St::line_comment;
+          out += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          st = St::block_comment;
+          out += "  ";
+          ++i;
+        } else if (c == '"') {
+          st = St::str;
+          out += '"';
+        } else if (c == '\'') {
+          st = St::chr;
+          out += '\'';
+        } else {
+          out += c;
+        }
+        break;
+      case St::line_comment:
+        if (c == '\n') {
+          st = St::code;
+          out += '\n';
+        } else {
+          out += ' ';
+        }
+        break;
+      case St::block_comment:
+        if (c == '*' && next == '/') {
+          st = St::code;
+          out += "  ";
+          ++i;
+        } else {
+          out += (c == '\n') ? '\n' : ' ';
+        }
+        break;
+      case St::str:
+        if (c == '\\') {
+          out += "  ";
+          ++i;
+          if (next == '\n') out.back() = '\n';
+        } else if (c == '"') {
+          st = St::code;
+          out += '"';
+        } else {
+          out += (c == '\n') ? '\n' : ' ';
+        }
+        break;
+      case St::chr:
+        if (c == '\\') {
+          out += "  ";
+          ++i;
+        } else if (c == '\'') {
+          st = St::code;
+          out += '\'';
+        } else {
+          out += ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (const char c : text) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  lines.push_back(cur);
+  return lines;
+}
+
+bool is_ident(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool has_token(const std::string& line, const std::string& token) {
+  return find_token(line, token) != std::string::npos;
+}
+
+std::size_t find_token(const std::string& line, const std::string& token,
+                       std::size_t from) {
+  std::size_t pos = from;
+  while ((pos = line.find(token, pos)) != std::string::npos) {
+    const bool left_ok =
+        pos == 0 || (!is_ident(line[pos - 1]) || !is_ident(token.front()));
+    const std::size_t end = pos + token.size();
+    const bool right_ok =
+        end >= line.size() ||
+        (!is_ident(line[end]) || !is_ident(token[token.size() - 1]));
+    if (left_ok && right_ok) return pos;
+    ++pos;
+  }
+  return std::string::npos;
+}
+
+namespace {
+
+// Trims ASCII whitespace from both ends.
+std::string trimmed(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) {
+    --e;
+  }
+  return s.substr(b, e - b);
+}
+
+// Reads the identifier-or-dash word starting at `pos`.
+std::string word_at(const std::string& s, std::size_t pos) {
+  std::size_t end = pos;
+  while (end < s.size() && (is_ident(s[end]) || s[end] == '-')) ++end;
+  return s.substr(pos, end - pos);
+}
+
+}  // namespace
+
+LineNotes parse_notes(const std::string& raw_line, const std::string& path,
+                      long line, Sink& sink) {
+  LineNotes notes;
+  // Only comment text carries annotations; everything after the first `//`
+  // is close enough for this codebase (block comments don't carry them).
+  const std::size_t slash = raw_line.find("//");
+  if (slash == std::string::npos) return notes;
+  const std::string comment = raw_line.substr(slash + 2);
+
+  static const std::string kOk = "strassen-lint-ok(";
+  std::size_t pos = 0;
+  while ((pos = comment.find(kOk, pos)) != std::string::npos) {
+    const std::size_t body_begin = pos + kOk.size();
+    const std::size_t close = comment.find(')', body_begin);
+    pos = body_begin;
+    if (close == std::string::npos) {
+      sink.report_raw(path, line, "bad-suppression",
+                      "unterminated strassen-lint-ok(...) annotation");
+      continue;
+    }
+    const std::string body = comment.substr(body_begin, close - body_begin);
+    const std::size_t colon = body.find(':');
+    const std::string rule = trimmed(
+        colon == std::string::npos ? body : body.substr(0, colon));
+    const std::string reason =
+        colon == std::string::npos ? "" : trimmed(body.substr(colon + 1));
+    if (!is_known_rule(rule)) {
+      sink.report_raw(path, line, "bad-suppression",
+                      "strassen-lint-ok names unknown rule `" + rule + "`");
+      continue;
+    }
+    if (reason.empty()) {
+      sink.report_raw(path, line, "bad-suppression",
+                      "strassen-lint-ok(" + rule +
+                          ") needs a reason: "
+                          "`strassen-lint-ok(" +
+                          rule + ": <why this site is exempt>)`");
+      continue;
+    }
+    notes.suppressed.push_back(rule);
+  }
+
+  // `relaxed: <word>` -- rule 5's justification vocabulary.
+  const std::size_t rel = find_token(comment, "relaxed");
+  if (rel != std::string::npos) {
+    std::size_t p = rel + 7;
+    while (p < comment.size() &&
+           std::isspace(static_cast<unsigned char>(comment[p])) != 0) {
+      ++p;
+    }
+    if (p < comment.size() && comment[p] == ':') {
+      ++p;
+      while (p < comment.size() &&
+             std::isspace(static_cast<unsigned char>(comment[p])) != 0) {
+        ++p;
+      }
+      notes.relaxed_tag = word_at(comment, p);
+    }
+  }
+
+  // `handoff: <reason>` -- rule 7's sanctioned early-unlock annotation.
+  const std::size_t ho = find_token(comment, "handoff");
+  if (ho != std::string::npos) {
+    std::size_t p = ho + 7;
+    while (p < comment.size() &&
+           std::isspace(static_cast<unsigned char>(comment[p])) != 0) {
+      ++p;
+    }
+    if (p < comment.size() && comment[p] == ':' &&
+        !trimmed(comment.substr(p + 1)).empty()) {
+      notes.handoff = true;
+    }
+  }
+  return notes;
+}
+
+void attach_comment_only_notes(SourceFile& f) {
+  for (std::size_t i = 0; i + 1 < f.notes.size(); ++i) {
+    const bool comment_only =
+        trimmed(f.lines[i]).empty() &&
+        (!f.notes[i].suppressed.empty() || !f.notes[i].relaxed_tag.empty() ||
+         f.notes[i].handoff);
+    if (!comment_only) continue;
+    // Attach to the next line; chains of comment-only lines cascade
+    // forward until they reach code.
+    LineNotes& next = f.notes[i + 1];
+    for (std::string& s : f.notes[i].suppressed) {
+      next.suppressed.push_back(std::move(s));
+    }
+    f.notes[i].suppressed.clear();
+    if (next.relaxed_tag.empty()) {
+      next.relaxed_tag = std::move(f.notes[i].relaxed_tag);
+    }
+    f.notes[i].relaxed_tag.clear();
+    next.handoff = next.handoff || f.notes[i].handoff;
+    f.notes[i].handoff = false;
+  }
+}
+
+}  // namespace lint
