@@ -66,7 +66,13 @@ int main() {
       {"dag-fused-depth2", core::Scheme::fused, 2, -1},
       {"flat-legacy", core::Scheme::automatic, 1, 0},
   };
-  std::vector<std::size_t> budgets = {1, 2, pool != 0 ? pool : 1};
+  // Sweep up to bench_threads(), not just the pool: a CI host whose pool
+  // defaults to one worker used to collapse this sweep to {1, 2}, so the
+  // committed JSON never showed a multi-worker run. STRASSEN_BENCH_THREADS
+  // restores the multi-lane budgets there (the DAG accepts more lanes than
+  // workers by design).
+  const std::size_t bt = bench::bench_threads();
+  std::vector<std::size_t> budgets = {1, 2, pool != 0 ? pool : 1, bt};
   std::sort(budgets.begin(), budgets.end());
   budgets.erase(std::unique(budgets.begin(), budgets.end()), budgets.end());
 
@@ -142,6 +148,7 @@ int main() {
   std::fprintf(f, "  \"shape\": {\"m\": %d, \"n\": %d, \"k\": %d},\n",
                int(m), int(m), int(m));
   std::fprintf(f, "  \"pool_workers\": %zu,\n", pool);
+  std::fprintf(f, "  \"bench_threads\": %zu,\n", bt);
   std::fprintf(f, "  \"dgemm_mflops\": %.1f,\n",
                mflops(m, m, m, t_dgemm));
   std::fprintf(f, "  \"runs\": [\n");

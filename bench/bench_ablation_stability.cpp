@@ -230,6 +230,9 @@ int main() {
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"shape\": {\"m\": %d, \"n\": %d, \"k\": %d},\n",
                int(pn), int(pn), int(pn));
+  std::fprintf(f, "  \"pool_workers\": %zu,\n",
+               parallel::global_pool().size());
+  std::fprintf(f, "  \"bench_threads\": %zu,\n", bench::bench_threads());
   std::fprintf(f, "  \"reps\": %d,\n", reps);
   std::fprintf(f, "  \"kernel_f64\": \"%s\",\n", blas::active_kernel().name);
   std::fprintf(f, "  \"kernel_f32\": \"%s\",\n",

@@ -35,6 +35,21 @@ T pick(T smoke, T full) {
   return full_mode() ? full : smoke;
 }
 
+/// Thread budget the parallel benches sweep up to. STRASSEN_BENCH_THREADS=N
+/// overrides; 0/unset resolves to the pool size. The override exists so a
+/// bench host whose pool defaults small (CI containers often report one
+/// hardware thread) can still exercise multi-lane schedules -- the DAG
+/// planner deliberately does not clamp lanes to workers.
+inline std::size_t bench_threads() {
+  const char* env = std::getenv("STRASSEN_BENCH_THREADS");
+  if (env != nullptr && *env != '\0') {
+    const long v = std::atol(env);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  const std::size_t pool = parallel::global_pool().size();
+  return pool != 0 ? pool : 1;
+}
+
 /// Prints the standard bench banner, including the micro-kernel variant and
 /// intra-GEMM thread setting the timed runs will use (the two knobs that
 /// dominate the absolute rates; see DESIGN.md section 9).
@@ -54,7 +69,8 @@ inline void banner(const std::string& what, const std::string& paper_ref) {
   const char* pd = std::getenv("STRASSEN_PAR_DEPTH");
   const char* pl = std::getenv("STRASSEN_PAR_LANES");
   std::cout << "scheduler: pool=" << parallel::global_pool().size()
-            << " workers, par_depth="
+            << " workers, bench threads=" << bench_threads()
+            << " [STRASSEN_BENCH_THREADS=N], par_depth="
             << (pd != nullptr && *pd != '\0' ? pd : "auto") << ", lanes="
             << (pl != nullptr && *pl != '\0' ? pl : "auto")
             << "  [STRASSEN_PAR_DEPTH=1|2, STRASSEN_PAR_LANES=N]\n";

@@ -259,6 +259,7 @@ int main() {
                int(msize), int(msize), int(msize));
   std::fprintf(f, "  \"pool_workers\": %zu,\n",
                parallel::global_pool().size());
+  std::fprintf(f, "  \"bench_threads\": %zu,\n", bench::bench_threads());
   std::fprintf(f, "  \"kernels\": [\n");
   for (std::size_t i = 0; i < kernels.size(); ++i) {
     std::fprintf(f,

@@ -200,6 +200,9 @@ int main() {
     return 1;
   }
   std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"pool_workers\": %zu,\n",
+               parallel::global_pool().size());
+  std::fprintf(f, "  \"bench_threads\": %zu,\n", bench::bench_threads());
   std::fprintf(f, "  \"trace\": {\"requests\": %zu, \"submitters\": %d, "
                   "\"shapes\": [",
                requests, submitters);

@@ -119,6 +119,17 @@ for preset in release tsan; do
   done
 done
 
+# Quick autotune: a tiny-budget end-to-end pass through the tuning chain
+# (measure -> persist -> checked reload -> install -> consult). The CLI
+# exits nonzero unless the final use_tuned call actually consulted the
+# installed policy, so this stage asserts persisted taus reach dispatch --
+# the regression a stale-stamp or broken-install bug would cause.
+echo "== stage: quick autotune =="
+cmake --build --preset release -j "${jobs}" --target autotune_cli
+autotune_params="$(mktemp /tmp/strassen_tuned.XXXXXX.params)"
+./build/examples/autotune_cli --quick --out "${autotune_params}"
+rm -f "${autotune_params}"
+
 # Refresh the committed precision snapshot: the stability bench's second
 # stage measures forward error vs speed for C/STRASSEN1/STRASSEN2/FUSED in
 # both element types and rewrites BENCH_precision.json in the repo root.

@@ -14,6 +14,7 @@
 
 #include "blas/kernels.hpp"
 #include "blas/packed_loop.hpp"
+#include "blas/prefetch.hpp"
 #include "support/config.hpp"
 
 namespace strassen::blas::detail {
@@ -24,10 +25,13 @@ namespace strassen::blas::detail {
 template <KernelArch A, class T, index_t MR>
 void pack_a_t(const T* a, index_t rs, index_t cs, index_t mc, index_t kc,
               T* out) {
+  constexpr index_t PF = pack_prefetch_distance<A>();
+  const bool pf = PF > 0 && pack_prefetch_enabled();
   for (index_t ip = 0; ip < mc; ip += MR) {
     const index_t rows = (mc - ip < MR) ? (mc - ip) : MR;
     for (index_t p = 0; p < kc; ++p) {
       const T* col = a + ip * rs + p * cs;
+      if (pf && p + PF < kc) prefetch_read(col + PF * cs);
       index_t r = 0;
       for (; r < rows; ++r) out[p * MR + r] = col[r * rs];
       for (; r < MR; ++r) out[p * MR + r] = T(0);
@@ -41,10 +45,13 @@ void pack_a_t(const T* a, index_t rs, index_t cs, index_t mc, index_t kc,
 template <KernelArch A, class T, index_t NR>
 void pack_b_t(const T* b, index_t rs, index_t cs, index_t kc, index_t nc,
               T* out) {
+  constexpr index_t PF = pack_prefetch_distance<A>();
+  const bool pf = PF > 0 && pack_prefetch_enabled();
   for (index_t jp = 0; jp < nc; jp += NR) {
     const index_t cols = (nc - jp < NR) ? (nc - jp) : NR;
     for (index_t p = 0; p < kc; ++p) {
       const T* row = b + p * rs + jp * cs;
+      if (pf && p + PF < kc) prefetch_read(row + PF * rs);
       index_t c = 0;
       for (; c < cols; ++c) out[p * NR + c] = row[c * cs];
       for (; c < NR; ++c) out[p * NR + c] = T(0);
@@ -62,10 +69,19 @@ void pack_a_comb_t(const PackTermT<T>* terms, int nterms, index_t mc,
     pack_a_t<A, T, MR>(terms[0].p, terms[0].rs, terms[0].cs, mc, kc, out);
     return;
   }
+  constexpr index_t PF = pack_prefetch_distance<A>();
+  const bool pf = PF > 0 && pack_prefetch_enabled();
   for (index_t ip = 0; ip < mc; ip += MR) {
     const index_t rows = (mc - ip < MR) ? (mc - ip) : MR;
     for (index_t p = 0; p < kc; ++p) {
       T* o = out + p * MR;
+      if (pf && p + PF < kc) {
+        // The combined pack interleaves nterms strided source streams, the
+        // case hardware prefetchers track worst; look ahead in every one.
+        for (int s = 0; s < nterms; ++s) {
+          prefetch_read(terms[s].p + ip * terms[s].rs + (p + PF) * terms[s].cs);
+        }
+      }
       {
         const PackTermT<T>& t = terms[0];
         const T* col = t.p + ip * t.rs + p * t.cs;
@@ -91,10 +107,17 @@ void pack_b_comb_t(const PackTermT<T>* terms, int nterms, index_t kc,
     pack_b_t<A, T, NR>(terms[0].p, terms[0].rs, terms[0].cs, kc, nc, out);
     return;
   }
+  constexpr index_t PF = pack_prefetch_distance<A>();
+  const bool pf = PF > 0 && pack_prefetch_enabled();
   for (index_t jp = 0; jp < nc; jp += NR) {
     const index_t cols = (nc - jp < NR) ? (nc - jp) : NR;
     for (index_t p = 0; p < kc; ++p) {
       T* o = out + p * NR;
+      if (pf && p + PF < kc) {
+        for (int s = 0; s < nterms; ++s) {
+          prefetch_read(terms[s].p + (p + PF) * terms[s].rs + jp * terms[s].cs);
+        }
+      }
       {
         const PackTermT<T>& t = terms[0];
         const T* row = t.p + p * t.rs + jp * t.cs;

@@ -1,0 +1,43 @@
+#include "blas/prefetch.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace strassen::blas {
+
+namespace {
+
+// -1 = not yet resolved from the environment; 0/1 = off/on.
+std::atomic<int> g_pack_prefetch{-1};
+
+int resolve_from_env() {
+  const char* env = std::getenv("STRASSEN_PREFETCH");
+  const bool off = env != nullptr && (std::strcmp(env, "0") == 0 ||
+                                      std::strcmp(env, "off") == 0);
+  return off ? 0 : 1;
+}
+
+}  // namespace
+
+bool pack_prefetch_enabled() {
+  int v = g_pack_prefetch.load(std::memory_order_relaxed);  // relaxed: config-slot
+  if (v < 0) {
+    v = resolve_from_env();
+    // A concurrent set_pack_prefetch wins; env resolution only replaces
+    // the unresolved sentinel.
+    int expected = -1;
+    if (!g_pack_prefetch.compare_exchange_strong(
+            expected, v, std::memory_order_relaxed)) {  // relaxed: config-slot
+      v = expected;
+    }
+  }
+  return v == 1;
+}
+
+void set_pack_prefetch(bool on) {
+  g_pack_prefetch.store(on ? 1 : 0,
+                        std::memory_order_relaxed);  // relaxed: config-slot
+}
+
+}  // namespace strassen::blas

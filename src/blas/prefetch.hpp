@@ -1,0 +1,77 @@
+// Software-prefetch policy for the packing routines (memory-system tuning).
+//
+// Huang et al. (arXiv:1605.01078) locate the Strassen-vs-DGEMM crossover in
+// the packing traffic: pack_a/pack_b (and their linear-combination
+// generalizations) stream strided source panels whose access pattern the
+// hardware prefetchers follow poorly, especially for the multi-operand
+// combined packs where 2-4 source streams interleave. Issuing an explicit
+// prefetch a fixed number of k-iterations ahead hides the miss latency of
+// the next column/row while the current one is being combined.
+//
+// Policy, not mechanism: the distance is a per-KernelArch compile-time
+// constant (wider vectors consume panel elements faster, so they look
+// further ahead), and a process-wide switch (STRASSEN_PREFETCH, default on)
+// can disable issuance entirely. Prefetch has no architectural effect --
+// results are bitwise identical with the switch on or off, which the kernel
+// test matrix asserts by memcmp.
+#pragma once
+
+#include "blas/kernels.hpp"
+#include "support/config.hpp"
+
+namespace strassen::blas {
+
+/// Process-wide pack-prefetch switch, resolved once from STRASSEN_PREFETCH
+/// ("0"/"off" disable; anything else, or unset, enables) on first query;
+/// set_pack_prefetch overrides it later.
+bool pack_prefetch_enabled();
+void set_pack_prefetch(bool on);
+
+/// RAII override of the prefetch switch (the bitwise-identity test matrix
+/// sweeps it on and off around otherwise identical calls).
+class ScopedPackPrefetch {
+ public:
+  explicit ScopedPackPrefetch(bool on) : prev_(pack_prefetch_enabled()) {
+    set_pack_prefetch(on);
+  }
+  ScopedPackPrefetch(const ScopedPackPrefetch&) = delete;
+  ScopedPackPrefetch& operator=(const ScopedPackPrefetch&) = delete;
+  ~ScopedPackPrefetch() { set_pack_prefetch(prev_); }
+
+ private:
+  bool prev_;
+};
+
+namespace detail {
+
+/// Look-ahead distance in k-iterations for the packing loops, per kernel
+/// arch. Zero means "never issue" and compiles the prefetch out entirely:
+/// the scalar kernel exists for reproducibility on unknown hardware, where
+/// a guessed distance could pessimize. The SIMD variants drain packed
+/// panels 4x/8x faster than scalar, so they look further ahead.
+template <KernelArch A>
+constexpr index_t pack_prefetch_distance() {
+  if constexpr (A == KernelArch::avx512) {
+    return 8;
+  } else if constexpr (A == KernelArch::avx2) {
+    return 4;
+  } else {
+    return 0;
+  }
+}
+
+/// Read-prefetch with no temporal-locality hint: packed source elements are
+/// consumed exactly once, so displacing resident cache lines for them is
+/// the wrong trade. Expands to nothing where the builtin is unavailable --
+/// prefetch is advisory by construction.
+inline void prefetch_read(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, /*rw=*/0, /*locality=*/0);
+#else
+  (void)p;
+#endif
+}
+
+}  // namespace detail
+
+}  // namespace strassen::blas

@@ -8,6 +8,7 @@
 #include "blas/packed_loop.hpp"
 #include "core/padding.hpp"
 #include "core/sgefmm.hpp"
+#include "core/tuned_policy.hpp"
 #include "core/winograd.hpp"
 #include "core/winograd_fused.hpp"
 #include "support/faultinject.hpp"
@@ -48,6 +49,32 @@ count_t workspace_elements(index_t m, index_t n, index_t k, T beta,
   }
 }
 
+template <class T>
+void gefmm_view_t(T alpha, BasicView<const T> a, BasicView<const T> b, T beta,
+                  BasicView<T> c, const GefmmConfigT<T>& cfg);
+
+// Tuned-policy routing, kept out of the driver proper: when the measured
+// crossover says plain GEMM wins, it dispatches here and returns true; for
+// any Strassen path it rewrites cfg (via core::resolve_tuned, the same
+// resolution the workspace predictors apply) and returns false so the
+// driver runs the resolved configuration through its normal acquisition
+// contract. The GEMM route writes C through the library's baseline packed
+// path, which needs no arena workspace.
+template <class T>
+bool tuned_route(T alpha, BasicView<const T> a, BasicView<const T> b, T beta,
+                 BasicView<T> c, GefmmConfigT<T>& cfg) {
+  const TunedPath path =
+      resolve_tuned<T>(c.rows, a.cols, c.cols, beta, /*workers=*/1, cfg);
+  if (cfg.stats != nullptr) cfg.stats->tuned_path = tuned_path_name(path);
+  if (path != TunedPath::gemm) return false;
+  if (cfg.stats != nullptr) {
+    cfg.stats->kernel = blas::active_kernel_t<T>().name;
+    ++cfg.stats->base_gemms;
+  }
+  blas::gemm_view(alpha, a, b, beta, c);
+  return true;
+}
+
 // The shared driver template behind dgefmm_view and sgefmm_view: pre-flight
 // acquisition (arena + pack scratch) under the failure contract, then the
 // no-fail dispatch into the schedule interpreters. The two public
@@ -56,6 +83,12 @@ count_t workspace_elements(index_t m, index_t n, index_t k, T beta,
 template <class T>
 void gefmm_view_t(T alpha, BasicView<const T> a, BasicView<const T> b, T beta,
                   BasicView<T> c, const GefmmConfigT<T>& cfg) {
+  if (cfg.use_tuned) {
+    GefmmConfigT<T> eff = cfg;
+    if (tuned_route<T>(alpha, a, b, beta, c, eff)) return;
+    gefmm_view_t<T>(alpha, a, b, beta, c, eff);
+    return;
+  }
   const std::size_t need = static_cast<std::size_t>(
       workspace_elements<T>(c.rows, c.cols, a.cols, beta, cfg));
   const long faults_before = faultinject::injected_total();
@@ -141,6 +174,8 @@ void gefmm_view_t(T alpha, BasicView<const T> a, BasicView<const T> b, T beta,
   if (cfg.stats != nullptr) {
     cfg.stats->peak_workspace =
         std::max(cfg.stats->peak_workspace, arena->peak());
+    cfg.stats->hugepage_bytes =
+        std::max(cfg.stats->hugepage_bytes, arena->huge_advised_bytes());
     cfg.stats->faults_injected +=
         faultinject::injected_total() - faults_before;
   }

@@ -104,6 +104,20 @@ struct DgefmmStats {
   int dag_lanes = 0;             ///< scheduler lanes the pre-flight planner
                                  ///< allotted (parallel driver only; lanes *
                                  ///< gemm_threads never exceeds the budget)
+  const char* tuned_path = nullptr;  ///< schedule the tuned policy selected
+                                     ///< (core::tuned_path_name; static
+                                     ///< storage), null when the call did
+                                     ///< not consult a tuned policy
+  std::size_t hugepage_bytes = 0;  ///< bytes of this call's workspace arena
+                                   ///< covered by huge-page advice
+                                   ///< (support/memadvise.hpp); 0 when the
+                                   ///< STRASSEN_HUGEPAGES switch is off or
+                                   ///< the arena was caller-provided storage
+                                   ///< advised elsewhere
+  count_t first_touch_pages = 0;   ///< workspace pages the parallel driver
+                                   ///< first-touched on their owning worker
+                                   ///< before the compute phase (parallel
+                                   ///< driver only)
 
   void reset() { *this = DgefmmStats{}; }
 
@@ -125,6 +139,9 @@ struct DgefmmStats {
     steals += o.steals;
     dag_nodes += o.dag_nodes;
     if (o.dag_lanes > dag_lanes) dag_lanes = o.dag_lanes;
+    if (tuned_path == nullptr) tuned_path = o.tuned_path;
+    if (o.hugepage_bytes > hugepage_bytes) hugepage_bytes = o.hugepage_bytes;
+    first_touch_pages += o.first_touch_pages;
   }
 };
 
@@ -145,6 +162,15 @@ struct GefmmConfigT {
   /// driver automatically fuses fewer levels when dimensions or the cutoff
   /// do not permit the full depth.
   int fused_levels = 2;
+
+  /// Consult the installed auto-tuned policy (core/tuned_policy.hpp) and
+  /// let it override cutoff/scheme/fused_levels per call shape: plain GEMM
+  /// below the measured crossover, one or two fused levels above it, the
+  /// measured eq.-15 cutoffs underneath. A missing or kernel-stale policy
+  /// leaves the configuration untouched (TunedPath::classic). The
+  /// workspace predictors resolve the same policy, so prediction and
+  /// dispatch can never disagree.
+  bool use_tuned = false;
 
   /// Optional caller-provided workspace. When null, gefmm allocates an
   /// exactly-sized arena internally. Reusing one arena across calls avoids

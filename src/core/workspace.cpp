@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/padding.hpp"
+#include "core/tuned_policy.hpp"
 #include "core/winograd_fused.hpp"
 #include "verify/proofs.hpp"
 
@@ -123,6 +124,17 @@ count_t workspace_doubles_at(index_t m, index_t n, index_t k, double beta,
 
 count_t workspace_doubles(index_t m, index_t n, index_t k, double beta,
                           const DgefmmConfig& cfg) {
+  if (cfg.use_tuned) {
+    // The same resolution the driver applies, so the predicted peak is the
+    // peak of the schedule that actually runs. The GEMM route draws no
+    // arena workspace at all.
+    DgefmmConfig eff = cfg;
+    if (resolve_tuned<double>(m, k, n, beta, /*workers=*/1, eff) ==
+        TunedPath::gemm) {
+      return 0;
+    }
+    return workspace_doubles(m, n, k, beta, eff);
+  }
   const bool beta_zero = (beta == 0.0);
   if (cfg.scheme == Scheme::fused) {
     // Fused always peels odd dimensions, so cfg.odd plays no role at the
@@ -146,6 +158,18 @@ count_t workspace_doubles(index_t m, index_t n, index_t k, double beta,
 
 count_t workspace_floats(index_t m, index_t n, index_t k, float beta,
                          const SgefmmConfig& cfg) {
+  if (cfg.use_tuned) {
+    // Resolve against the *float* policy before dropping to the shared
+    // double-counted recursion: each element type consults its own
+    // crossovers (sizing_config does not forward use_tuned).
+    SgefmmConfig eff = cfg;
+    if (resolve_tuned<float>(m, k, n, beta, /*workers=*/1, eff) ==
+        TunedPath::gemm) {
+      return 0;
+    }
+    return workspace_doubles(m, n, k, static_cast<double>(beta),
+                             sizing_config(eff));
+  }
   return workspace_doubles(m, n, k, static_cast<double>(beta),
                            sizing_config(cfg));
 }

@@ -8,6 +8,7 @@
 #include "blas/packed_loop.hpp"
 #include "core/dgefmm.hpp"
 #include "core/sgefmm.hpp"
+#include "core/tuned_policy.hpp"
 #include "parallel/task_dag.hpp"
 #include "support/faultinject.hpp"
 #include "support/thread_pool.hpp"
@@ -35,6 +36,42 @@ int gefmm_parallel_t(Trans transa, Trans transb, index_t m, index_t n,
                      index_t k, T alpha, const T* a, index_t lda, const T* b,
                      index_t ldb, T beta, T* c, index_t ldc,
                      const ParallelGefmmConfigT<T>& cfg) {
+  if (cfg.use_tuned) {
+    // The measured crossover decides schedule and cutoffs. Only the DAG
+    // path stays in this driver (with the tuned cutoffs and the fused
+    // leaves the crossover was measured against); everything else --
+    // plain GEMM below the fused crossover, one or two fused serial
+    // levels above it, classic when no valid policy is installed -- is
+    // the serial driver's own use_tuned resolution, so the two entry
+    // points can never disagree about a shape.
+    const int pool = static_cast<int>(global_pool().size());
+    const int workers = std::max(
+        cfg.threads != 0 ? static_cast<int>(cfg.threads) : pool, 1);
+    const core::TunedPolicy* policy = core::tuned_policy<T>();
+    if (policy != nullptr &&
+        core::tuned_path_for(*policy, m, k, n, workers) ==
+            core::TunedPath::dag) {
+      ParallelGefmmConfigT<T> eff = cfg;
+      eff.use_tuned = false;
+      eff.cutoff = policy->select(static_cast<double>(beta));
+      eff.scheme = core::Scheme::fused;
+      if (cfg.stats != nullptr) {
+        cfg.stats->tuned_path = core::tuned_path_name(core::TunedPath::dag);
+      }
+      return gefmm_parallel_t<T>(transa, transb, m, n, k, alpha, a, lda, b,
+                                 ldb, beta, c, ldc, eff);
+    }
+    core::GefmmConfigT<T> serial;
+    serial.use_tuned = true;
+    serial.on_failure = cfg.on_failure;
+    serial.stats = cfg.stats;
+    // Forward the caller's arena: dropping it here would silently
+    // re-allocate (and first-touch) the whole recursion workspace on
+    // every call, which at paper scale costs more than a fused level.
+    serial.workspace = cfg.workspace;
+    return serial_gefmm<T>(transa, transb, m, n, k, alpha, a, lda, b, ldb,
+                           beta, c, ldc, serial);
+  }
   // Serial fallback covers argument checking, degenerate cases, and
   // problems the cutoff sends straight to GEMM (with the caller's failure
   // policy and stats passed through).

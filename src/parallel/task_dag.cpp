@@ -265,10 +265,66 @@ void run_task_dag(Trans transa, Trans transb, index_t m, index_t n,
   const count_t lane_ws =
       core::detail::fused_product_workspace(mb, kb, nbk, child, L);
   std::vector<ArenaT<T>> lane_arenas;
+  std::vector<T*> lane_bases;
   lane_arenas.reserve(static_cast<std::size_t>(plan.lanes));
+  lane_bases.reserve(static_cast<std::size_t>(plan.lanes));
   for (int l = 0; l < plan.lanes; ++l) {
-    lane_arenas.emplace_back(arena.alloc(static_cast<std::size_t>(lane_ws)),
-                             static_cast<std::size_t>(lane_ws));
+    T* base = arena.alloc(static_cast<std::size_t>(lane_ws));
+    lane_bases.push_back(base);
+    lane_arenas.emplace_back(base, static_cast<std::size_t>(lane_ws));
+  }
+
+  // --- First-touch placement: before the compute phase, page in every
+  // lane's borrowed sub-arena on the worker expected to run that lane.
+  // Linux places an anonymous page on the NUMA node of the thread that
+  // first writes it; without this, the calling thread's carving pass above
+  // would pull the whole parent reservation onto its own node and every
+  // remote lane would stream its leaf workspace across the interconnect.
+  // Lane 0 executes on the calling thread; lanes 1..L-1 are claimed as
+  // pool tasks, so they are touched round-robin across the workers -- the
+  // best static guess under work stealing, and exactly right when lanes
+  // map 1:1 onto workers. Writing T(0) into arena storage is safe (every
+  // arena region is written before it is read, and the touches land inside
+  // the lane allocations, never on a guard canary); the touch changes
+  // placement and timing only, never results. This is an acquisition-phase
+  // step: it precedes the no-fail region below, and a run_on_each_worker
+  // failure surfaces through the driver's pre-write failure contract.
+  count_t touched_pages = 0;
+  if (lane_ws > 0) {
+    constexpr std::size_t kTouchStride =
+        std::max<std::size_t>(std::size_t{4096} / sizeof(T), 1);
+    const auto touch_lane = [&lane_bases, lane_ws](int l) {
+      T* base = lane_bases[static_cast<std::size_t>(l)];
+      count_t pages = 0;
+      for (std::size_t i = 0; i < static_cast<std::size_t>(lane_ws);
+           i += kTouchStride) {
+        base[i] = T(0);
+        ++pages;
+      }
+      return pages;
+    };
+    const std::size_t nworkers = global_pool().size();
+    if (plan.lanes > 1 && nworkers > 0 && !global_pool().on_worker_thread()) {
+      std::atomic<count_t> worker_pages{0};
+      global_pool().run_on_each_worker([&](std::size_t w) {
+        count_t mine = 0;
+        for (int l = 1; l < plan.lanes; ++l) {
+          if (static_cast<std::size_t>(l - 1) % nworkers == w) {
+            mine += touch_lane(l);
+          }
+        }
+        worker_pages.fetch_add(mine,
+                               std::memory_order_relaxed);  // relaxed: counter
+      });
+      touched_pages +=
+          worker_pages.load(std::memory_order_relaxed);  // relaxed: counter
+    } else {
+      // No pool to place onto (or already on a worker, where
+      // run_on_each_worker is forbidden): touch locally so the pages are
+      // at least resident before the timed region.
+      for (int l = 1; l < plan.lanes; ++l) touched_pages += touch_lane(l);
+    }
+    touched_pages += touch_lane(0);
   }
   std::vector<core::DgefmmStats> lane_stats(
       static_cast<std::size_t>(plan.lanes));
@@ -392,6 +448,10 @@ void run_task_dag(Trans transa, Trans transb, index_t m, index_t n,
     if (L > cfg.stats->max_depth) cfg.stats->max_depth = L;
     if (arena.peak() > cfg.stats->peak_workspace) {
       cfg.stats->peak_workspace = arena.peak();
+    }
+    cfg.stats->first_touch_pages += touched_pages;
+    if (arena.huge_advised_bytes() > cfg.stats->hugepage_bytes) {
+      cfg.stats->hugepage_bytes = arena.huge_advised_bytes();
     }
   }
 }

@@ -8,6 +8,7 @@
 
 #include "support/config.hpp"
 #include "support/faultinject.hpp"
+#include "support/memadvise.hpp"
 
 namespace strassen {
 
@@ -19,6 +20,13 @@ namespace strassen {
 /// workspace arenas hand out slices that are always written before being
 /// read, and zero-filling multi-hundred-megabyte workspaces would distort
 /// benchmark timings.
+///
+/// When the STRASSEN_HUGEPAGES switch is on, buffers of at least one huge
+/// page advise the kernel to back them with 2 MiB pages
+/// (support/memadvise.hpp); huge_advised_bytes() reports how much of the
+/// buffer the advice covered so DgefmmStats can surface it. The advice
+/// never changes the contents or the alignment -- results are bitwise
+/// identical with the switch on or off.
 template <class T>
 class AlignedBufferT {
  public:
@@ -31,6 +39,7 @@ class AlignedBufferT {
       }
       data_ = static_cast<T*>(::operator new(
           n * sizeof(T), std::align_val_t(kBufferAlignment)));
+      huge_bytes_ = advise_huge_pages(data_, n * sizeof(T));
     }
   }
 
@@ -39,13 +48,15 @@ class AlignedBufferT {
 
   AlignedBufferT(AlignedBufferT&& other) noexcept
       : data_(std::exchange(other.data_, nullptr)),
-        size_(std::exchange(other.size_, 0)) {}
+        size_(std::exchange(other.size_, 0)),
+        huge_bytes_(std::exchange(other.huge_bytes_, 0)) {}
 
   AlignedBufferT& operator=(AlignedBufferT&& other) noexcept {
     if (this != &other) {
       destroy();
       data_ = std::exchange(other.data_, nullptr);
       size_ = std::exchange(other.size_, 0);
+      huge_bytes_ = std::exchange(other.huge_bytes_, 0);
     }
     return *this;
   }
@@ -60,6 +71,10 @@ class AlignedBufferT {
   T& operator[](std::size_t i) { return data_[i]; }
   const T& operator[](std::size_t i) const { return data_[i]; }
 
+  /// Bytes of this buffer covered by a successful huge-page advice (0 when
+  /// the switch is off, the buffer is small, or the kernel refused).
+  std::size_t huge_advised_bytes() const { return huge_bytes_; }
+
  private:
   void destroy() {
     if (data_ != nullptr) {
@@ -69,6 +84,7 @@ class AlignedBufferT {
 
   T* data_ = nullptr;
   std::size_t size_ = 0;
+  std::size_t huge_bytes_ = 0;
 };
 
 using AlignedBuffer = AlignedBufferT<double>;

@@ -195,6 +195,11 @@ class ArenaT {
   /// allocation). Only meaningful while faultinject::arena_guards() is on.
   bool corruption_detected() const { return corrupted_; }
 
+  /// Bytes of the owned backing buffer covered by huge-page advice
+  /// (support/memadvise.hpp). Borrowed arenas report 0; their storage is
+  /// advised (or not) by whoever owns it.
+  std::size_t huge_advised_bytes() const { return buf_.huge_advised_bytes(); }
+
  private:
   // The canary sits at [top_, top_ + 1) -- free space just past the newest
   // live block -- whenever there is room for it.

@@ -1,0 +1,74 @@
+#include "support/memadvise.hpp"
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#include <unistd.h>
+#endif
+
+namespace strassen {
+
+namespace {
+
+// -1 = not yet resolved from the environment; 0/1 = off/on.
+std::atomic<int> g_huge_pages{-1};
+
+int resolve_from_env() {
+  const char* env = std::getenv("STRASSEN_HUGEPAGES");
+  const bool on = env != nullptr &&
+                  (std::strcmp(env, "1") == 0 || std::strcmp(env, "on") == 0);
+  return on ? 1 : 0;
+}
+
+}  // namespace
+
+bool huge_pages_enabled() {
+  int v = g_huge_pages.load(std::memory_order_relaxed);  // relaxed: config-slot
+  if (v < 0) {
+    v = resolve_from_env();
+    // A concurrent set_huge_pages wins; the env resolution only replaces
+    // the unresolved sentinel.
+    int expected = -1;
+    if (!g_huge_pages.compare_exchange_strong(
+            expected, v, std::memory_order_relaxed)) {  // relaxed: config-slot
+      v = expected;
+    }
+  }
+  return v == 1;
+}
+
+void set_huge_pages(bool on) {
+  g_huge_pages.store(on ? 1 : 0,
+                     std::memory_order_relaxed);  // relaxed: config-slot
+}
+
+std::size_t advise_huge_pages(void* p, std::size_t bytes) {
+  if (p == nullptr || bytes < kHugePageBytes || !huge_pages_enabled()) {
+    return 0;
+  }
+#if defined(__linux__) && defined(MADV_HUGEPAGE)
+  // Shrink inward to the base-page grid: the buffers are 64-byte aligned,
+  // madvise wants page-aligned addresses and lengths.
+  const std::size_t page =
+      static_cast<std::size_t>(::sysconf(_SC_PAGESIZE) > 0
+                                   ? ::sysconf(_SC_PAGESIZE)
+                                   : 4096);
+  const std::uintptr_t lo =
+      (reinterpret_cast<std::uintptr_t>(p) + page - 1) & ~(page - 1);
+  const std::uintptr_t hi =
+      (reinterpret_cast<std::uintptr_t>(p) + bytes) & ~(page - 1);
+  if (hi <= lo) return 0;
+  if (::madvise(reinterpret_cast<void*>(lo), hi - lo, MADV_HUGEPAGE) != 0) {
+    return 0;  // advisory: kernel said no (old kernel, THP=never); carry on
+  }
+  return static_cast<std::size_t>(hi - lo);
+#else
+  return 0;  // platform without madvise: normal pages
+#endif
+}
+
+}  // namespace strassen

@@ -1,0 +1,79 @@
+// Per-kernel scheme auto-tuning: measure where each schedule wins, persist
+// the result, and install it as the consultable dispatch policy.
+//
+// The paper tunes one thing -- the eq.-15 hybrid cutoff (Section 4.2) --
+// because its code has one schedule. This library has five ways to run a
+// product (plain packed GEMM, fused Strassen at one or two levels, the
+// classic eq.-15 hybrid recursion, the task-DAG parallel schedule), and
+// each pairwise crossover is, like τ
+// itself, a property of the host's memory system and the active
+// micro-kernel (Huang et al., arXiv:1605.01078). The autotune pass sweeps
+// them all in one run:
+//
+//   1. (optionally) the eq.-15 cutoffs, per beta case, via the existing
+//      crossover pipeline (tuning/crossover.hpp), in the element type
+//      under tune;
+//   2. a geometric size sweep timing GEMM vs fused-L1 vs fused-L2 vs the
+//      classic hybrid vs DAG, reduced to four scheme crossovers (tau_fused,
+//      tau_fused2, tau_hybrid, tau_dag) by the same sweep-midpoint logic
+//      the paper used for τ.
+//
+// The result is a TunedCriteria stamped with kernel and element type. It
+// round-trips through tuning/persist.cpp, and install_criteria() publishes
+// it as the core::TunedPolicy that `use_tuned` calls consult -- after
+// verifying the stamp against the active dispatch, the hard miss that
+// keeps stale files from mis-routing.
+#pragma once
+
+#include <string>
+
+#include "core/tuned_policy.hpp"
+#include "tuning/persist.hpp"
+
+namespace strassen::tuning {
+
+/// Controls one autotune pass.
+struct AutotuneOptions {
+  /// Scheme-crossover sweep range: sizes grow geometrically (x1.5) from
+  /// min_size to max_size. Defaults are a laptop-scale budget; benches
+  /// raise max_size toward paper scale.
+  index_t min_size = 256;
+  index_t max_size = 2048;
+  int reps = 2;  ///< timing repetitions per (size, schedule); minimum kept
+
+  /// Thread budget the DAG schedule is measured with (0 = the pool size).
+  /// Recorded in TunedCriteria::threads.
+  std::size_t dag_threads = 0;
+
+  /// Also tune the eq.-15 hybrid cutoffs (both beta cases) with these
+  /// sweep options. When false -- the quick-autotune CI budget -- the
+  /// cutoffs keep the paper defaults and only the scheme crossovers are
+  /// measured.
+  bool tune_cutoffs = false;
+  CrossoverOptions eq15;
+};
+
+/// Measures scheme (and optionally eq.-15) crossovers for the element type
+/// in the active kernel family and returns the stamped criteria. Runs real
+/// timings; expensive at large max_size.
+TunedCriteria autotune_double(const AutotuneOptions& opts);
+TunedCriteria autotune_float(const AutotuneOptions& opts);
+
+/// Converts persisted criteria into the in-process policy form.
+core::TunedPolicy policy_from_criteria(const TunedCriteria& criteria);
+
+/// Publishes `criteria` as the consultable policy for its element type.
+/// Returns false -- installing nothing -- when the stamp does not match
+/// the active dispatch (wrong or missing kernel record): the persistence
+/// layer's hard miss, enforced again at install time so a caller that
+/// skipped matches_active_kernel() cannot force a stale policy in.
+[[nodiscard]] bool install_criteria(const TunedCriteria& criteria);
+
+/// Loads a criteria file and verifies it was tuned for `elem_kind` ("f64"
+/// or "f32") under the active kernel, throwing strassen::Error with the
+/// mismatch spelled out otherwise. The checked front door for configuring
+/// a run from a persisted file.
+TunedCriteria load_matching_criteria_file(const std::string& path,
+                                          const std::string& elem_kind);
+
+}  // namespace strassen::tuning

@@ -10,7 +10,16 @@
 namespace strassen::tuning {
 
 bool TunedCriteria::matches_active_kernel() const {
-  return kernel.empty() || kernel == blas::active_kernel().name;
+  // Hard miss on any disagreement, including an absent record: the
+  // crossovers are properties of the stamped kernel's GEMM speed, and a
+  // file that predates kernel dispatch was measured against whatever the
+  // scalar path was then -- loading it under AVX2/AVX-512 dispatch would
+  // mis-route every call near the crossover. Float-tuned files check
+  // against the float table of the active family.
+  if (kernel.empty()) return false;
+  const char* active = elem == "f32" ? blas::active_kernel_f().name
+                                     : blas::active_kernel().name;
+  return kernel == active;
 }
 
 TunedCriteria tune_both_cases(const CrossoverOptions& opts) {
@@ -47,6 +56,14 @@ void save_criteria(const TunedCriteria& criteria, std::ostream& os) {
   os << "elem = " << criteria.elem << "\n";
   write_one(os, "beta_zero", criteria.beta_zero);
   write_one(os, "general", criteria.general);
+  if (criteria.tau_fused > 0) os << "scheme.fused = " << criteria.tau_fused
+                                 << "\n";
+  if (criteria.tau_fused2 > 0) os << "scheme.fused2 = " << criteria.tau_fused2
+                                  << "\n";
+  if (criteria.tau_hybrid > 0) os << "scheme.hybrid = " << criteria.tau_hybrid
+                                  << "\n";
+  if (criteria.tau_dag > 0) os << "scheme.dag = " << criteria.tau_dag << "\n";
+  if (criteria.threads > 0) os << "threads = " << criteria.threads << "\n";
 }
 
 bool save_criteria_file(const TunedCriteria& criteria,
@@ -108,6 +125,15 @@ TunedCriteria load_criteria(std::istream& is) {
   };
   fill("beta_zero", out.beta_zero);
   fill("general", out.general);
+  auto get_value = [&](const std::string& name, double fallback) {
+    const auto it = values.find(name);
+    return it == values.end() ? fallback : it->second;
+  };
+  out.tau_fused = get_value("scheme.fused", 0);
+  out.tau_fused2 = get_value("scheme.fused2", 0);
+  out.tau_hybrid = get_value("scheme.hybrid", 0);
+  out.tau_dag = get_value("scheme.dag", 0);
+  out.threads = static_cast<int>(get_value("threads", 0));
   return out;
 }
 

@@ -37,13 +37,29 @@ struct TunedCriteria {
   /// the tuner produced then.
   std::string elem = "f64";
 
+  /// Scheme crossovers measured by the autotune pass (tuning/autotune.hpp),
+  /// as equivalent orders s = cbrt(m*k*n); 0 = unmeasured / never won.
+  /// These feed core::TunedPolicy: plain GEMM at or below tau_fused, two
+  /// fused levels above tau_fused2, the classic eq.-15 hybrid recursion
+  /// above tau_hybrid, the task-DAG above tau_dag.
+  double tau_fused = 0;
+  double tau_fused2 = 0;
+  double tau_hybrid = 0;
+  double tau_dag = 0;
+  /// Pool size the DAG crossover was measured with (0 = not measured).
+  int threads = 0;
+
   /// The criterion appropriate for a call with this beta.
   const core::CutoffCriterion& select(double beta) const {
     return beta == 0.0 ? beta_zero : general;
   }
 
   /// False when this file was tuned under a different micro-kernel than
-  /// the one currently active (legacy files with no record pass).
+  /// the one the active dispatch would run for its element type. A missing
+  /// kernel record is a mismatch too (hard miss): a file that cannot prove
+  /// which GEMM its crossovers were measured against must not configure
+  /// any -- legacy pre-dispatch files re-tune rather than silently
+  /// mis-route.
   bool matches_active_kernel() const;
 
   /// True when this file was tuned for the given element type ("f64" or
@@ -61,8 +77,8 @@ TunedCriteria tune_both_cases(const CrossoverOptions& opts);
 /// Serializes as a small key = value text file (stable across versions;
 /// unknown keys are ignored on load).
 void save_criteria(const TunedCriteria& criteria, std::ostream& os);
-bool save_criteria_file(const TunedCriteria& criteria,
-                        const std::string& path);
+[[nodiscard]] bool save_criteria_file(const TunedCriteria& criteria,
+                                      const std::string& path);
 
 /// Parses the format written by save_criteria. Throws strassen::Error on
 /// malformed input; missing keys keep their defaults.

@@ -22,6 +22,7 @@
 #include "parallel/parallel_strassen.hpp"
 #include "support/faultinject.hpp"
 #include "support/matrix.hpp"
+#include "support/memadvise.hpp"
 #include "support/random.hpp"
 
 namespace strassen {
@@ -298,13 +299,14 @@ void sweep_serial(index_t m, index_t n, index_t k, Scheme scheme, double beta,
 
 void sweep_parallel(index_t m, index_t n, index_t k, Scheme scheme,
                     double beta, FailurePolicy policy, std::uint64_t seed,
-                    int par_depth = 0) {
+                    int par_depth = 0, int lanes = 0) {
   const Problem p(m, n, k, 1.0, beta, seed);
   for (long nth = 1; nth <= kSweepLimit; ++nth) {
     SCOPED_TRACE(::testing::Message()
                  << "parallel " << m << "x" << n << "x" << k << " scheme "
                  << static_cast<int>(scheme) << " beta " << beta
-                 << " par_depth " << par_depth << " nth " << nth);
+                 << " par_depth " << par_depth << " lanes " << lanes
+                 << " nth " << nth);
     DgefmmStats stats;
     parallel::ParallelDgefmmConfig cfg;
     cfg.cutoff = CutoffCriterion::square_simple(16);
@@ -312,6 +314,7 @@ void sweep_parallel(index_t m, index_t n, index_t k, Scheme scheme,
     cfg.on_failure = policy;
     cfg.stats = &stats;
     cfg.par_depth = par_depth;
+    cfg.lanes = lanes;
     const bool fired =
         check_armed_call(p, policy, stats, nth, [&](Matrix& c) {
           return parallel::dgefmm_parallel(Trans::no, Trans::no, p.m, p.n,
@@ -403,6 +406,32 @@ TEST_F(FaultInject, ParallelSweepDagDepth2FusedStrict) {
 TEST_F(FaultInject, ParallelSweepDagDepth2FusedFallback) {
   sweep_parallel(72, 72, 72, Scheme::fused, 0.0, FailurePolicy::fallback, 25,
                  /*par_depth=*/2);
+}
+
+// Multi-lane first-touch: with lanes > 1 the driver fans a first-touch
+// pass over the pool workers (run_on_each_worker) before the no-fail
+// region -- one more acquisition whose pool-task entry the injector can
+// fail. The sweep proves it fires before the first write to C: strict
+// leaves C bit-identical, fallback completes with the degradation
+// recorded.
+TEST_F(FaultInject, ParallelSweepMultiLaneFirstTouchStrict) {
+  sweep_parallel(72, 72, 72, Scheme::fused, 0.0, FailurePolicy::strict, 26,
+                 /*par_depth=*/1, /*lanes=*/4);
+}
+
+TEST_F(FaultInject, ParallelSweepMultiLaneFirstTouchFallback) {
+  sweep_parallel(72, 72, 72, Scheme::fused, 0.0, FailurePolicy::fallback, 26,
+                 /*par_depth=*/1, /*lanes=*/4);
+}
+
+// Huge-page advice rides on the same buffer allocations the injector
+// already fails (Site::buffer_alloc); with the switch on, the acquisition
+// set and the contract are unchanged.
+TEST_F(FaultInject, SweepsUnchangedWithHugePagesOn) {
+  ScopedHugePages hp(true);
+  sweep_serial(64, 64, 64, Scheme::strassen1, 0.0, FailurePolicy::strict, 27);
+  sweep_parallel(72, 72, 72, Scheme::fused, 0.0, FailurePolicy::strict, 27,
+                 /*par_depth=*/1, /*lanes=*/4);
 }
 
 TEST_F(FaultInject, ParallelSweepOddStrict) {

@@ -35,6 +35,7 @@
 #include "blas/kernels.hpp"
 #include "blas/machine.hpp"
 #include "blas/packed_loop.hpp"
+#include "blas/prefetch.hpp"
 #include "core/add_kernels.hpp"
 #include "core/dgefmm.hpp"
 #include "core/gemm_backend.hpp"
@@ -42,6 +43,7 @@
 #include "support/errors.hpp"
 #include "support/faultinject.hpp"
 #include "support/matrix.hpp"
+#include "support/memadvise.hpp"
 #include "support/random.hpp"
 #include "support/thread_pool.hpp"
 
@@ -897,6 +899,91 @@ TEST(KernelMatrix, ParallelStrassenComposesWithIntraGemmFanOut) {
                        b.data(), k, 0.5, c_ref.data(), m);
   EXPECT_LE(max_abs_diff(fanned.view(), c_ref.view()),
             1e-9 * (static_cast<double>(k) + 1.0));
+}
+
+// ------------------------------ memory-system knobs: bitwise invisibility
+
+// Pack prefetch and huge-page advice are pure memory-system hints; under
+// every kernel, every knob combination must produce bitwise-identical C
+// for both the plain packed DGEMM and the fused Strassen schedule (the
+// paths whose pack loops carry the prefetch inserts). A prefetch that
+// perturbed a value or a combine order would show up here as a single
+// differing bit.
+TEST(KernelMatrix, PrefetchAndHugePageKnobsAreBitwiseInvisible) {
+  const index_t m = 96, n = 88, k = 72;
+  Rng rng(4242);
+  Matrix a = random_matrix(m, k, rng);
+  Matrix b = random_matrix(k, n, rng);
+  Matrix c0 = random_matrix(m, n, rng);
+  const std::size_t bytes =
+      sizeof(double) * static_cast<std::size_t>(m) *
+      static_cast<std::size_t>(n);
+
+  for (const KernelArch arch : supported_arches()) {
+    blas::ScopedKernel pin(arch);
+    SCOPED_TRACE(blas::active_kernel().name);
+
+    const auto run_gemm = [&](bool pf, bool huge, Matrix& c) {
+      blas::ScopedPackPrefetch prefetch(pf);
+      ScopedHugePages hp(huge);
+      copy(c0.view(), c.view());
+      blas::dgemm(Trans::no, Trans::no, m, n, k, 1.25, a.data(), a.ld(),
+                  b.data(), b.ld(), -0.5, c.data(), c.ld());
+    };
+    const auto run_fused = [&](bool pf, bool huge, Matrix& c) {
+      blas::ScopedPackPrefetch prefetch(pf);
+      ScopedHugePages hp(huge);
+      copy(c0.view(), c.view());
+      core::DgefmmConfig cfg;
+      cfg.cutoff = core::CutoffCriterion::square_simple(24);
+      cfg.scheme = core::Scheme::fused;
+      ASSERT_EQ(core::dgefmm(Trans::no, Trans::no, m, n, k, 1.25, a.data(),
+                             a.ld(), b.data(), b.ld(), -0.5, c.data(),
+                             c.ld(), cfg),
+                0);
+    };
+
+    Matrix gemm_base(m, n), fused_base(m, n), other(m, n);
+    run_gemm(false, false, gemm_base);
+    run_fused(false, false, fused_base);
+    for (const bool pf : {false, true}) {
+      for (const bool huge : {false, true}) {
+        SCOPED_TRACE(std::string("prefetch=") + (pf ? "on" : "off") +
+                     " hugepages=" + (huge ? "on" : "off"));
+        run_gemm(pf, huge, other);
+        EXPECT_EQ(std::memcmp(gemm_base.data(), other.data(), bytes), 0);
+        run_fused(pf, huge, other);
+        EXPECT_EQ(std::memcmp(fused_base.data(), other.data(), bytes), 0);
+      }
+    }
+  }
+}
+
+// Float twin: the prefetch inserts live in the templated pack kernels, so
+// the f32 instantiations carry them too.
+TEST(KernelMatrixF, PrefetchKnobIsBitwiseInvisible) {
+  const index_t m = 80, n = 64, k = 56;
+  Rng rng(4343);
+  MatrixF a = random_matrix_f(m, k, rng);
+  MatrixF b = random_matrix_f(k, n, rng);
+  MatrixF c0 = random_matrix_f(m, n, rng);
+  const std::size_t bytes =
+      sizeof(float) * static_cast<std::size_t>(m) *
+      static_cast<std::size_t>(n);
+  for (const KernelArch arch : supported_arches()) {
+    blas::ScopedKernel pin(arch);
+    SCOPED_TRACE(blas::active_kernel_f().name);
+    const auto run = [&](bool pf, MatrixF& c) {
+      blas::ScopedPackPrefetch prefetch(pf);
+      copy(c0.view(), c.view());
+      blas::sgemm(Trans::no, Trans::no, m, n, k, 1.25f, a.data(), a.ld(),
+                  b.data(), b.ld(), -0.5f, c.data(), c.ld());
+    };
+    MatrixF base(m, n), other(m, n);
+    run(false, base);
+    run(true, other);
+    EXPECT_EQ(std::memcmp(base.data(), other.data(), bytes), 0);
+  }
 }
 
 }  // namespace

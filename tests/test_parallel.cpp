@@ -16,12 +16,14 @@
 #include <vector>
 
 #include "blas/gemm.hpp"
+#include "blas/prefetch.hpp"
 #include "core/workspace.hpp"
 #include "parallel/parallel_gemm.hpp"
 #include "parallel/parallel_strassen.hpp"
 #include "parallel/task_dag.hpp"
 #include "support/thread_pool.hpp"
 #include "support/matrix.hpp"
+#include "support/memadvise.hpp"
 #include "support/random.hpp"
 
 namespace strassen {
@@ -567,6 +569,114 @@ TEST(ParallelStrassen, SchedulerStatsRecorded) {
   EXPECT_EQ(stats.gemm_threads, 1);  // moldable split: 4 budget / 4 lanes
   EXPECT_EQ(stats.fallbacks, 0);
   EXPECT_NE(stats.kernel, nullptr);
+}
+
+// --- memory-system tuning: first-touch, huge pages, prefetch ---------------
+
+// The full knob matrix (prefetch on/off x huge pages on/off x 1-vs-N
+// threads) must be bitwise invisible: every combination produces the same
+// C as the all-off single-thread run. Prefetch changes cache residency,
+// huge pages change page backing, first-touch changes physical placement
+// -- none of them may change a value or a combine order.
+TEST(MemorySystem, KnobMatrixBitwiseIdenticalAcrossThreadCounts) {
+  const index_t n = 160;
+  Rng rng(606);
+  Matrix a = random_matrix(n, n, rng);
+  Matrix b = random_matrix(n, n, rng);
+  Matrix c0 = random_matrix(n, n, rng);
+  const std::size_t bytes = static_cast<std::size_t>(n) *
+                            static_cast<std::size_t>(n) * sizeof(double);
+
+  auto run = [&](bool pf, bool huge, std::size_t threads, Matrix& c) {
+    blas::ScopedPackPrefetch prefetch(pf);
+    ScopedHugePages hp(huge);
+    copy(c0.view(), c.view());
+    parallel::ParallelDgefmmConfig cfg;
+    cfg.cutoff = core::CutoffCriterion::square_simple(24);
+    cfg.scheme = core::Scheme::fused;
+    cfg.threads = threads;
+    ASSERT_EQ(parallel::dgefmm_parallel(Trans::no, Trans::no, n, n, n, 1.25,
+                                        a.data(), a.ld(), b.data(), b.ld(),
+                                        -0.5, c.data(), c.ld(), cfg),
+              0);
+  };
+
+  Matrix base(n, n), other(n, n);
+  run(false, false, 1, base);
+  for (const bool pf : {false, true}) {
+    for (const bool huge : {false, true}) {
+      for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                        std::size_t{0}}) {
+        SCOPED_TRACE(std::string("prefetch=") + (pf ? "on" : "off") +
+                     " hugepages=" + (huge ? "on" : "off") + " threads=" +
+                     std::to_string(threads));
+        run(pf, huge, threads, other);
+        EXPECT_EQ(std::memcmp(base.data(), other.data(), bytes), 0);
+      }
+    }
+  }
+}
+
+// Multi-lane runs first-touch their per-lane sub-arenas before the compute
+// phase and record the page count; the touches must not perturb the result
+// (the arena contract says every region is written before read, so a
+// pre-write of zeros is invisible).
+TEST(MemorySystem, FirstTouchPagesRecordedAndInvisible) {
+  const index_t n = 160;
+  Rng rng(607);
+  Matrix a = random_matrix(n, n, rng);
+  Matrix b = random_matrix(n, n, rng);
+  Matrix c(n, n), c_ref(n, n);
+  fill(c.view(), 0.0);
+  fill(c_ref.view(), 0.0);
+  core::DgefmmStats stats;
+  parallel::ParallelDgefmmConfig cfg;
+  cfg.cutoff = core::CutoffCriterion::square_simple(24);
+  cfg.scheme = core::Scheme::fused;
+  cfg.lanes = 4;
+  cfg.threads = 4;
+  cfg.stats = &stats;
+  ASSERT_EQ(parallel::dgefmm_parallel(Trans::no, Trans::no, n, n, n, 1.0,
+                                      a.data(), a.ld(), b.data(), b.ld(),
+                                      0.0, c.data(), c.ld(), cfg),
+            0);
+  EXPECT_GT(stats.first_touch_pages, 0);
+  blas::gemm_reference(Trans::no, Trans::no, n, n, n, 1.0, a.data(), a.ld(),
+                       b.data(), b.ld(), 0.0, c_ref.data(), c_ref.ld());
+  EXPECT_LT(max_abs_diff(c.view(), c_ref.view()), 1e-11 * (n + 10.0));
+}
+
+// The stats report exactly what the run's arena got advised: equal to the
+// arena's own accounting when the switch is on, zero when off. (Whether
+// the kernel grants the advice is host-dependent; equality is the
+// contract, not a particular byte count.)
+TEST(MemorySystem, HugePageStatsMatchArenaAccounting) {
+  const index_t n = 192;
+  Rng rng(608);
+  Matrix a = random_matrix(n, n, rng);
+  Matrix b = random_matrix(n, n, rng);
+  Matrix c(n, n);
+  for (const bool huge : {false, true}) {
+    SCOPED_TRACE(huge ? "hugepages=on" : "hugepages=off");
+    ScopedHugePages hp(huge);
+    fill(c.view(), 0.0);
+    Arena arena;
+    core::DgefmmStats stats;
+    parallel::ParallelDgefmmConfig cfg;
+    cfg.cutoff = core::CutoffCriterion::square_simple(24);
+    cfg.lanes = 2;
+    cfg.threads = 2;
+    cfg.workspace = &arena;
+    cfg.stats = &stats;
+    ASSERT_EQ(parallel::dgefmm_parallel(Trans::no, Trans::no, n, n, n, 1.0,
+                                        a.data(), a.ld(), b.data(), b.ld(),
+                                        0.0, c.data(), c.ld(), cfg),
+              0);
+    EXPECT_EQ(stats.hugepage_bytes, arena.huge_advised_bytes());
+    if (!huge) {
+      EXPECT_EQ(stats.hugepage_bytes, 0u);
+    }
+  }
 }
 
 TEST(ParallelStrassen, DeterministicAcrossRuns) {

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "blas/kernels.hpp"
 #include "support/errors.hpp"
 #include "tuning/persist.hpp"
 
@@ -109,6 +110,85 @@ TEST(Persist, DefaultStampIsDouble) {
 TEST(Persist, BogusElemThrows) {
   std::stringstream ss("elem = f16\n");
   EXPECT_THROW(tuning::load_criteria(ss), Error);
+}
+
+// --- kernel stamp: hard miss on mismatch -----------------------------------
+
+// The regression this pins: a criteria file whose stamped kernel disagrees
+// with the active dispatch must be a hard miss -- matches_active_kernel()
+// false, so neither the loader convenience path nor install can mis-route
+// dispatch with crossovers measured against a different GEMM.
+TEST(Persist, KernelMismatchIsHardMiss) {
+  TunedCriteria t = sample();
+  t.kernel = "some-retired-kernel";
+  EXPECT_FALSE(t.matches_active_kernel());
+  t.kernel = blas::active_kernel().name;
+  EXPECT_TRUE(t.matches_active_kernel());
+}
+
+// A file with no kernel record at all (pre-dispatch legacy) cannot prove
+// which GEMM its crossovers were measured against: hard miss too, not the
+// old benefit-of-the-doubt pass-through.
+TEST(Persist, MissingKernelRecordIsHardMiss) {
+  TunedCriteria t = sample();
+  ASSERT_TRUE(t.kernel.empty());
+  EXPECT_FALSE(t.matches_active_kernel());
+}
+
+// Float-tuned criteria must be stamped against the float kernel table of
+// the active family; the double kernel's name is a mismatch for them.
+TEST(Persist, FloatStampChecksFloatKernelTable) {
+  TunedCriteria t = sample();
+  t.elem = "f32";
+  t.kernel = blas::active_kernel_f().name;
+  EXPECT_TRUE(t.matches_active_kernel());
+  t.kernel = blas::active_kernel().name;  // the double table's name
+  EXPECT_FALSE(t.matches_active_kernel());
+}
+
+// --- scheme-crossover keys (the autotune extension) ------------------------
+
+TEST(Persist, SchemeCrossoverKeysRoundTrip) {
+  TunedCriteria t = sample();
+  t.tau_fused = 1944;
+  t.tau_fused2 = 1100;
+  t.tau_hybrid = 1460;
+  t.tau_dag = 720;
+  t.threads = 4;
+  std::stringstream ss;
+  tuning::save_criteria(t, ss);
+  EXPECT_NE(ss.str().find("scheme.fused = 1944"), std::string::npos);
+  EXPECT_NE(ss.str().find("scheme.fused2 = 1100"), std::string::npos);
+  EXPECT_NE(ss.str().find("scheme.hybrid = 1460"), std::string::npos);
+  EXPECT_NE(ss.str().find("scheme.dag = 720"), std::string::npos);
+  const TunedCriteria back = tuning::load_criteria(ss);
+  EXPECT_DOUBLE_EQ(back.tau_fused, 1944);
+  EXPECT_DOUBLE_EQ(back.tau_fused2, 1100);
+  EXPECT_DOUBLE_EQ(back.tau_hybrid, 1460);
+  EXPECT_DOUBLE_EQ(back.tau_dag, 720);
+  EXPECT_EQ(back.threads, 4);
+}
+
+TEST(Persist, SchemeKeysAbsentKeepNeverSentinel) {
+  // Legacy files carry no scheme keys: the taus load as 0, the "never /
+  // unmeasured" sentinel, and the eq.-15 keys are unaffected.
+  std::stringstream ss("beta_zero.tau = 150\n");
+  const TunedCriteria back = tuning::load_criteria(ss);
+  EXPECT_DOUBLE_EQ(back.tau_fused, 0);
+  EXPECT_DOUBLE_EQ(back.tau_fused2, 0);
+  EXPECT_DOUBLE_EQ(back.tau_hybrid, 0);
+  EXPECT_DOUBLE_EQ(back.tau_dag, 0);
+  EXPECT_EQ(back.threads, 0);
+}
+
+TEST(Persist, ZeroTausAreNotWritten) {
+  // 0 means unmeasured: save omits the key entirely so a later load keeps
+  // the sentinel instead of parsing an explicit "never" as a measurement.
+  const TunedCriteria t = sample();
+  std::stringstream ss;
+  tuning::save_criteria(t, ss);
+  EXPECT_EQ(ss.str().find("scheme."), std::string::npos);
+  EXPECT_EQ(ss.str().find("threads"), std::string::npos);
 }
 
 TEST(Persist, FileRoundTrip) {

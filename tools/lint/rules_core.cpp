@@ -79,6 +79,11 @@ void rule_nofail_regions(const SourceFile& f, Sink& sink) {
       // carve is exactly the fallible step admission control exists to
       // front-load.
       ".submit(", "->submit(", "try_acquire(",
+      // The madvise wrapper and the autotune persistence writes are
+      // acquisition-phase work too: huge-page advice belongs with the
+      // buffer's construction, and a criteria-file write can fail on any
+      // filesystem error. Neither may hide inside a no-fail region.
+      "advise_huge_pages(", "save_criteria_file(", "load_criteria_file(",
   };
   int depth = 0;
   int suspend_depth = -1;  // brace depth at the ScopedSuspend declaration
@@ -146,7 +151,8 @@ void rule_acquire_before_dispatch(const SourceFile& f, Sink& sink) {
       "ensure_pack_capacity(",             "run_on_each_worker(",
       "ensure_pack_capacity_all_workers(", "run_batch(",
       "DagRun(",   ".submit(",             "->submit(",
-      "try_acquire(",
+      "try_acquire(",                      "advise_huge_pages(",
+      "save_criteria_file(",               "load_criteria_file(",
   };
   int depth = 0;
   bool in_driver = false;
@@ -256,6 +262,8 @@ constexpr NodiscardEntry kNodiscardTable[] = {
     {"serve/serve_cabi.hpp", "int strassen_dgefmm_wait("},
     {"serve/serve_cabi.hpp", "int strassen_sgefmm_submit("},
     {"serve/serve_cabi.hpp", "int strassen_sgefmm_wait("},
+    {"support/memadvise.hpp", "std::size_t advise_huge_pages("},
+    {"tuning/persist.hpp", "bool save_criteria_file("},
 };
 
 }  // namespace
