@@ -86,9 +86,9 @@ int main() {
   const tuning::TunedCriteria tuned = tuning::autotune_double(opts);
   std::printf(
       "  kernel %s  tau_fused %.0f  tau_fused2 %.0f  tau_hybrid %.0f  "
-      "tau_dag %.0f\n",
+      "tau_s2 %.0f  tau_dag %.0f\n",
       tuned.kernel.c_str(), tuned.tau_fused, tuned.tau_fused2,
-      tuned.tau_hybrid, tuned.tau_dag);
+      tuned.tau_hybrid, tuned.tau_s2, tuned.tau_dag);
   if (!tuning::install_criteria(tuned)) {
     std::fprintf(stderr, "install_criteria rejected the fresh criteria\n");
     return 1;
@@ -208,9 +208,10 @@ int main() {
   std::fprintf(f, "  \"bench_threads\": %zu,\n", bt);
   std::fprintf(f,
                "  \"criteria\": {\"tau_fused\": %.1f, \"tau_fused2\": %.1f, "
-               "\"tau_hybrid\": %.1f, \"tau_dag\": %.1f, \"threads\": %d},\n",
+               "\"tau_hybrid\": %.1f, \"tau_s2\": %.1f, \"tau_dag\": %.1f, "
+               "\"threads\": %d},\n",
                tuned.tau_fused, tuned.tau_fused2, tuned.tau_hybrid,
-               tuned.tau_dag, tuned.threads);
+               tuned.tau_s2, tuned.tau_dag, tuned.threads);
   std::fprintf(f, "  \"shapes\": [\n");
   for (std::size_t i = 0; i < results.size(); ++i) {
     const ShapeResult& sr = results[i];

@@ -1,0 +1,232 @@
+// Prepacked-operand serving benchmark: a repeated-weights trace (many
+// skinny activations against a handful of shared B matrices) pushed
+// through serve::Queue twice -- once packing B fresh inside every request,
+// once streaming each shape's B from a blas::gefmm_pack_b handle carried
+// on the submission. The shapes sit below the recursion cutoff, so every
+// request runs the single top-level packed GEMM that consults the handle;
+// with m << k,n the B-pack traffic dominates that call, which is exactly
+// the serving workload the prepack API exists for. Emits
+// BENCH_prepack.json (path overridable via STRASSEN_BENCH_JSON) with the
+// fresh/prepacked throughputs and their ratio.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "blas/pack_operand.hpp"
+#include "serve/serve.hpp"
+
+using namespace strassen;
+
+namespace {
+
+struct TraceShape {
+  index_t m, k, n;
+};
+
+struct ModeResult {
+  std::string name;
+  std::size_t requests = 0;
+  double seconds = 0.0;
+  double rps = 0.0;
+  serve::ServingStats stats;
+};
+
+// Submits the whole trace from `submitters` threads, round-robin over the
+// shapes, waiting tickets in small bursts over a reused ring of C buffers.
+// `packs[i]` (when non-null) rides on every request against shape i.
+double run_trace(serve::Queue& q, const std::vector<TraceShape>& shapes,
+                 const std::vector<Matrix>& as, const std::vector<Matrix>& bs,
+                 const std::vector<const blas::PackedOperand*>& packs,
+                 std::size_t requests, int submitters) {
+  constexpr std::size_t kBurst = 4;
+  Timer timer;
+  std::vector<std::thread> threads;
+  for (int s = 0; s < submitters; ++s) {
+    threads.emplace_back([&, s] {
+      index_t max_m = 1, max_n = 1;
+      for (const TraceShape& ts : shapes) {
+        max_m = std::max(max_m, ts.m);
+        max_n = std::max(max_n, ts.n);
+      }
+      std::vector<Matrix> cs;
+      for (std::size_t j = 0; j < kBurst; ++j) cs.emplace_back(max_m, max_n);
+      const std::size_t share =
+          requests / static_cast<std::size_t>(submitters);
+      std::vector<serve::Ticket> tickets;
+      for (std::size_t i = 0; i < share; i += kBurst) {
+        tickets.clear();
+        const std::size_t burst = std::min(kBurst, share - i);
+        for (std::size_t j = 0; j < burst; ++j) {
+          const std::size_t seq =
+              static_cast<std::size_t>(s) * share + i + j;
+          const std::size_t si = seq % shapes.size();
+          const TraceShape& ts = shapes[si];
+          serve::GemmRequest req;
+          req.m = ts.m;
+          req.n = ts.n;
+          req.k = ts.k;
+          req.alpha = 1.0;
+          req.beta = 0.0;
+          req.a = as[si].data();
+          req.lda = as[si].ld();
+          req.b = bs[si].data();
+          req.ldb = bs[si].ld();
+          req.c = cs[j].data();
+          req.ldc = cs[j].ld();
+          req.on_failure = core::FailurePolicy::fallback;
+          req.packed_b = packs[si];
+          tickets.push_back(q.submit(req));
+        }
+        for (serve::Ticket& t : tickets) t.wait();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  return timer.seconds();
+}
+
+ModeResult run_mode(const char* name, const std::vector<TraceShape>& shapes,
+                    const std::vector<Matrix>& as,
+                    const std::vector<Matrix>& bs,
+                    const std::vector<const blas::PackedOperand*>& packs,
+                    std::size_t requests, int submitters, int workers) {
+  serve::ServeOptions opt;
+  opt.policy = serve::OverflowPolicy::block;
+  opt.workers = workers;
+  serve::Queue q(opt);
+  // Warm the queue, the thread pool, and the pack scratch before timing.
+  run_trace(q, shapes, as, bs, packs, shapes.size() * 2, submitters);
+  const serve::ServingStats warm = q.stats();
+  const double secs = run_trace(q, shapes, as, bs, packs, requests,
+                                submitters);
+  ModeResult r;
+  r.name = name;
+  r.requests = requests;
+  r.seconds = secs;
+  r.rps = static_cast<double>(requests) / secs;
+  r.stats = q.stats();
+  // Subtract the warm-up's counters so hit/miss reflect the timed trace.
+  r.stats.gefmm.pack_hits -= warm.gefmm.pack_hits;
+  r.stats.gefmm.pack_misses -= warm.gefmm.pack_misses;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("prepacked operands: repeated-weights serving trace",
+                "prepack API extension (DESIGN.md section 15)");
+
+  const bool full = bench::full_mode();
+  std::vector<TraceShape> shapes;
+  // Skinny activation heights: with m << k,n the per-request B pack is the
+  // dominant memory traffic of the single packed GEMM each request runs
+  // (the pack-to-compute ratio scales as 1/m), which is the shape class
+  // weight-stationary serving actually submits.
+  const std::vector<index_t> ms = full ? std::vector<index_t>{8, 16}
+                                       : std::vector<index_t>{8, 16};
+  const std::vector<index_t> kns =
+      full ? std::vector<index_t>{384, 512, 768, 1024}
+           : std::vector<index_t>{256, 384};
+  for (index_t m : ms) {
+    for (index_t kn : kns) shapes.push_back({m, kn, kn});
+  }
+  const std::size_t requests = full ? 1024 : 256;
+  const int submitters = 2;
+  const int workers = static_cast<int>(
+      std::min<std::size_t>(bench::bench_threads(), 64));
+
+  // Shared read-only operands: one activation A and one weights B per
+  // shape. The whole point of the trace is that B repeats.
+  std::vector<Matrix> as, bs;
+  {
+    Rng rng(4242);
+    for (const TraceShape& ts : shapes) {
+      as.push_back(random_matrix(ts.m, ts.k, rng));
+      bs.push_back(random_matrix(ts.k, ts.n, rng));
+    }
+  }
+
+  // Pack every shape's B once; the handles back the whole prepacked trace.
+  std::vector<blas::PackedOperand> handles;
+  handles.reserve(shapes.size());
+  for (std::size_t i = 0; i < shapes.size(); ++i) {
+    handles.push_back(blas::gefmm_pack_b<double>(
+        make_view(bs[i].data(), shapes[i].k, shapes[i].n, bs[i].ld())));
+  }
+  std::vector<const blas::PackedOperand*> fresh(shapes.size(), nullptr);
+  std::vector<const blas::PackedOperand*> packed;
+  packed.reserve(shapes.size());
+  for (const blas::PackedOperand& h : handles) packed.push_back(&h);
+
+  const ModeResult rf = run_mode("fresh", shapes, as, bs, fresh, requests,
+                                 submitters, workers);
+  const ModeResult rp = run_mode("prepacked", shapes, as, bs, packed,
+                                 requests, submitters, workers);
+  const double speedup = rp.rps / rf.rps;
+
+  TextTable table({"mode", "req/s", "p50 ms", "p99 ms", "done", "pack hits",
+                   "pack misses"});
+  for (const ModeResult* r : {&rf, &rp}) {
+    table.add_row({r->name, fmt(r->rps, 1), fmt(r->stats.p50_ms, 2),
+                   fmt(r->stats.p99_ms, 2),
+                   std::to_string(r->stats.completed),
+                   std::to_string(r->stats.gefmm.pack_hits),
+                   std::to_string(r->stats.gefmm.pack_misses)});
+  }
+  table.print(std::cout);
+  std::cout << "\nprepacked/fresh throughput: " << fmt(speedup, 2)
+            << "x (every prepacked request streams B from its handle; "
+               "hits count streamed operand blocks)\n";
+  if (rp.stats.gefmm.pack_hits == 0) {
+    std::cout << "WARNING: prepacked trace recorded no pack hits -- the "
+                 "handles were not consulted\n";
+  }
+
+  const char* json_env = std::getenv("STRASSEN_BENCH_JSON");
+  const std::string json_path =
+      json_env != nullptr ? json_env : "BENCH_prepack.json";
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"kernel\": \"%s\",\n", blas::active_kernel().name);
+  std::fprintf(f, "  \"pool_workers\": %zu,\n",
+               parallel::global_pool().size());
+  std::fprintf(f, "  \"bench_threads\": %zu,\n", bench::bench_threads());
+  std::fprintf(f,
+               "  \"trace\": {\"requests\": %zu, \"submitters\": %d, "
+               "\"workers\": %d, \"shapes\": [",
+               requests, submitters, workers);
+  for (std::size_t i = 0; i < shapes.size(); ++i) {
+    std::fprintf(f, "{\"m\": %d, \"k\": %d, \"n\": %d}%s",
+                 static_cast<int>(shapes[i].m), static_cast<int>(shapes[i].k),
+                 static_cast<int>(shapes[i].n),
+                 i + 1 < shapes.size() ? ", " : "");
+  }
+  std::fprintf(f, "]},\n");
+  for (const ModeResult* r : {&rf, &rp}) {
+    std::fprintf(
+        f,
+        "  \"%s\": {\"seconds\": %.6f, \"throughput_rps\": %.2f, "
+        "\"p50_ms\": %.3f, \"p99_ms\": %.3f, \"completed\": %llu, "
+        "\"pack_hits\": %llu, \"pack_misses\": %llu},\n",
+        r->name.c_str(), r->seconds, r->rps, r->stats.p50_ms, r->stats.p99_ms,
+        static_cast<unsigned long long>(r->stats.completed),
+        static_cast<unsigned long long>(r->stats.gefmm.pack_hits),
+        static_cast<unsigned long long>(r->stats.gefmm.pack_misses));
+  }
+  std::fprintf(f, "  \"speedup\": %.3f,\n", speedup);
+  std::fprintf(f, "  \"target\": 1.3,\n");
+  std::fprintf(f, "  \"met_target\": %s\n", speedup >= 1.3 ? "true" : "false");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}

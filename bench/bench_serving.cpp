@@ -145,11 +145,15 @@ int main() {
     std::size_t queue_cap;
     int workers;
   };
+  // Serving workers follow the bench thread budget like the parallel
+  // benches (STRASSEN_BENCH_THREADS=N overrides; ServeOptions clamps).
+  const int workers = static_cast<int>(
+      std::min<std::size_t>(bench::bench_threads(), 64));
   const Config configs[] = {
-      {"block-unlimited", serve::OverflowPolicy::block, 0, 64, 3},
-      {"block-tight", serve::OverflowPolicy::block, tight, 64, 3},
-      {"shed-tiny", serve::OverflowPolicy::shed, 1024, 64, 3},
-      {"reject-cap4", serve::OverflowPolicy::reject, 0, 4, 3},
+      {"block-unlimited", serve::OverflowPolicy::block, 0, 64, workers},
+      {"block-tight", serve::OverflowPolicy::block, tight, 64, workers},
+      {"shed-tiny", serve::OverflowPolicy::shed, 1024, 64, workers},
+      {"reject-cap4", serve::OverflowPolicy::reject, 0, 4, workers},
   };
 
   std::vector<ConfigResult> results;

@@ -119,6 +119,20 @@ for preset in release tsan; do
   done
 done
 
+# Prepack matrix: the prepacked-operand suite (streamed-vs-fresh bitwise
+# parity across kernels x element types x threads x schemes, hard-miss
+# discipline, pack-handle fault sweeps, serving/C-ABI round trips) re-run
+# with the kernel pinned by environment -- the handle's kernel stamp is
+# exactly what the env-resolved dispatch can invalidate -- under release
+# and (for the allocation-failure paths in the sweeps) asan.
+for preset in release asan; do
+  for kern in scalar auto; do
+    echo "== prepack matrix: ${preset} / STRASSEN_KERNEL=${kern} =="
+    STRASSEN_KERNEL="${kern}" ctest --preset "${preset}" -j "${jobs}" \
+      -L prepack "$@"
+  done
+done
+
 # Quick autotune: a tiny-budget end-to-end pass through the tuning chain
 # (measure -> persist -> checked reload -> install -> consult). The CLI
 # exits nonzero unless the final use_tuned call actually consulted the

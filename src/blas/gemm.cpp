@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "blas/pack_operand.hpp"
 #include "blas/packed_loop.hpp"
 #include "support/opcount.hpp"
 
@@ -179,6 +180,44 @@ void gemm_view_t(T alpha, BasicView<const T> a, BasicView<const T> b, T beta,
                lda, b.p, ldb, beta, c.p, c.ld_col());
 }
 
+// Prepacked twin of gemm_view_t: same loop nest, same blocking, same
+// write-back -- only the packing passes of the streamed sides are skipped.
+// Every mismatch is a hard miss (false, C untouched) so the caller falls
+// back to the plain path; a partial answer ("use the A handle, repack B")
+// is allowed only when both consults agree with the same active dispatch.
+template <class T>
+bool gemm_view_prepacked_t(T alpha, BasicView<const T> a, BasicView<const T> b,
+                           T beta, BasicView<T> c,
+                           const PackedOperandT<T>* pa,
+                           const PackedOperandT<T>* pb) {
+  assert(a.cols == b.rows);
+  assert(c.rows == a.rows && c.cols == b.cols);
+  assert(c.col_major());
+  if (pa == nullptr && pb == nullptr) return false;
+  if (active_machine() != Machine::rs6000) return false;
+  const index_t m = c.rows, n = c.cols, k = a.cols;
+  // Shapes the packed nest never reaches (the plain path handles them as
+  // pure C scaling) and alpha == 0 are misses, not silent no-ops.
+  if (m == 0 || n == 0 || k == 0 || alpha == T(0)) return false;
+  if (pa != nullptr && !packed_operand_matches(*pa, 'a', a)) return false;
+  if (pb != nullptr && !packed_operand_matches(*pb, 'b', b)) return false;
+
+  record_ops(m, n, k, alpha, beta);
+  PackCombT<T> ac;
+  ac.term[0] = PackTermT<T>{a.p, a.rs, a.cs, T(1)};
+  ac.n = 1;
+  PackCombT<T> bc;
+  bc.term[0] = PackTermT<T>{b.p, b.rs, b.cs, T(1)};
+  bc.n = 1;
+  const WriteDestT<T> dst{c.p, c.ld_col(), alpha, beta};
+  PackedStreamsT<T> streams;
+  if (pa != nullptr) streams.a = pa->data();
+  if (pb != nullptr) streams.b = pb->data();
+  packed_gemm_multi(blocking_for_t<T>(Machine::rs6000), m, n, k, ac, bc, &dst,
+                    1, streams);
+  return true;
+}
+
 }  // namespace
 
 void dgemm_on(Machine machine, Trans transa, Trans transb, index_t m,
@@ -234,6 +273,18 @@ void gemm_view(double alpha, ConstView a, ConstView b, double beta,
 void gemm_view(float alpha, ConstViewF a, ConstViewF b, float beta,
                MutViewF c) {
   gemm_view_t<float>(alpha, a, b, beta, c);
+}
+
+bool gemm_view_prepacked(double alpha, ConstView a, ConstView b, double beta,
+                         MutView c, const PackedOperandT<double>* pa,
+                         const PackedOperandT<double>* pb) {
+  return gemm_view_prepacked_t<double>(alpha, a, b, beta, c, pa, pb);
+}
+
+bool gemm_view_prepacked(float alpha, ConstViewF a, ConstViewF b, float beta,
+                         MutViewF c, const PackedOperandT<float>* pa,
+                         const PackedOperandT<float>* pb) {
+  return gemm_view_prepacked_t<float>(alpha, a, b, beta, c, pa, pb);
 }
 
 }  // namespace strassen::blas

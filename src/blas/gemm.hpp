@@ -65,4 +65,25 @@ void gemm_view(double alpha, ConstView a, ConstView b, double beta, MutView c);
 void gemm_view(float alpha, ConstViewF a, ConstViewF b, float beta,
                MutViewF c);
 
+template <class T>
+struct PackedOperandT;
+
+/// gemm_view with prepacked-operand streaming: when the consult succeeds,
+/// runs the identical packed loop nest while streaming micro-panels from
+/// the handle image(s) instead of packing, and returns true -- results are
+/// bitwise identical to gemm_view for every thread count. Returns false
+/// without touching C on any hard miss: non-rs6000 machine profile, a
+/// degenerate shape (m, n, or k == 0, alpha == 0) the plain path scales, or
+/// any provided handle failing its stamp/identity consult
+/// (packed_operand_matches). Null handles are allowed for at most one side;
+/// at least one must be non-null.
+[[nodiscard]] bool gemm_view_prepacked(double alpha, ConstView a, ConstView b,
+                                       double beta, MutView c,
+                                       const PackedOperandT<double>* pa,
+                                       const PackedOperandT<double>* pb);
+[[nodiscard]] bool gemm_view_prepacked(float alpha, ConstViewF a, ConstViewF b,
+                                       float beta, MutViewF c,
+                                       const PackedOperandT<float>* pa,
+                                       const PackedOperandT<float>* pb);
+
 }  // namespace strassen::blas

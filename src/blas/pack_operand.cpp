@@ -1,0 +1,253 @@
+#include "blas/pack_operand.hpp"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "support/errors.hpp"
+
+namespace strassen::blas {
+
+namespace {
+
+// The blocking every prepacked image is walked with: the packed path's
+// rs6000 blocking for T, same source of truth as gemm.cpp's packed route.
+template <class T>
+GemmBlocking pack_blocking() {
+  return blocking_for_t<T>(Machine::rs6000);
+}
+
+// Walks the (strip, pc) grid of one operand side in image order and packs
+// every block through the active kernel's single-term pack -- a pure
+// reshaping copy, so the image bytes equal what a fresh scratch pack of the
+// same block would produce. `out` must hold the matching *_total elements
+// and be kBufferAlignment-aligned (the SIMD micro-kernels use aligned loads
+// on A micro-panels).
+template <class T>
+void fill_packed_image(char which, BasicView<const T> v, T* out) {
+  const KernelInfoT<T>& kv = active_kernel_t<T>();
+  const GemmBlocking bk = pack_blocking<T>();
+  T* o = out;
+  if (which == 'a') {
+    const index_t m = v.rows, k = v.cols;
+    for (index_t ic = 0; ic < m; ic += bk.mc) {
+      const index_t mc = (m - ic < bk.mc) ? (m - ic) : bk.mc;
+      for (index_t pc = 0; pc < k; pc += bk.kc) {
+        const index_t kc = (k - pc < bk.kc) ? (k - pc) : bk.kc;
+        const PackTermT<T> t{v.p + ic * v.rs + pc * v.cs, v.rs, v.cs, T(1)};
+        kv.pack_a_comb(&t, 1, mc, kc, o);
+        o += packed_round_up(mc, kv.mr) * static_cast<std::size_t>(kc);
+      }
+    }
+  } else {
+    const index_t k = v.rows, n = v.cols;
+    for (index_t jc = 0; jc < n; jc += bk.nc) {
+      const index_t nc = (n - jc < bk.nc) ? (n - jc) : bk.nc;
+      for (index_t pc = 0; pc < k; pc += bk.kc) {
+        const index_t kc = (k - pc < bk.kc) ? (k - pc) : bk.kc;
+        const PackTermT<T> t{v.p + pc * v.rs + jc * v.cs, v.rs, v.cs, T(1)};
+        kv.pack_b_comb(&t, 1, kc, nc, o);
+        o += packed_round_up(nc, kv.nr) * static_cast<std::size_t>(kc);
+      }
+    }
+  }
+}
+
+template <class T>
+std::size_t image_elems(char which, index_t rows, index_t cols) {
+  const KernelInfoT<T>& kv = active_kernel_t<T>();
+  const GemmBlocking bk = pack_blocking<T>();
+  return which == 'a' ? packed_a_total(bk, kv.mr, rows, cols)
+                      : packed_b_total(bk, kv.nr, rows, cols);
+}
+
+template <class T>
+void stamp_handle(PackedOperandT<T>& h, char which, BasicView<const T> v) {
+  const KernelInfoT<T>& kv = active_kernel_t<T>();
+  std::snprintf(h.kernel, sizeof h.kernel, "%s", kv.name);
+  h.which = which;
+  h.bk = pack_blocking<T>();
+  h.rows = v.rows;
+  h.cols = v.cols;
+  h.src = v.p;
+  h.rs = v.rs;
+  h.cs = v.cs;
+}
+
+// Acquires handle-owned image storage and fills it: the one fallible step
+// of building an owning handle (fault site buffer_alloc fires inside the
+// AlignedBufferT constructor). Throws std::bad_alloc / TaskError before
+// the handle exists; never after.
+template <class T>
+PackedOperandT<T> pack_operand(char which, BasicView<const T> v) {
+  PackedOperandT<T> h;
+  h.elems = image_elems<T>(which, v.rows, v.cols);
+  h.owned = AlignedBufferT<T>(h.elems);
+  stamp_handle(h, which, v);
+  fill_packed_image(which, v, h.owned.data());
+  return h;
+}
+
+// Caller-storage variant: no allocation, but the storage must be big
+// enough and aligned for the SIMD kernels' packed-panel loads.
+template <class T>
+PackedOperandT<T> pack_operand(char which, BasicView<const T> v, T* storage,
+                               std::size_t elems) {
+  PackedOperandT<T> h;
+  h.elems = image_elems<T>(which, v.rows, v.cols);
+  if (elems < h.elems) {
+    throw Error("gefmm_pack: storage holds " + std::to_string(elems) +
+                " elements, packed image needs " + std::to_string(h.elems));
+  }
+  if (reinterpret_cast<std::uintptr_t>(storage) % kBufferAlignment != 0) {
+    throw Error("gefmm_pack: storage must be " +
+                std::to_string(kBufferAlignment) + "-byte aligned");
+  }
+  stamp_handle(h, which, v);
+  fill_packed_image(which, v, storage);
+  h.ext = storage;
+  return h;
+}
+
+}  // namespace
+
+template <class T>
+std::size_t gefmm_pack_a_elements(index_t m, index_t k) {
+  return image_elems<T>('a', m, k);
+}
+
+template <class T>
+std::size_t gefmm_pack_b_elements(index_t k, index_t n) {
+  return image_elems<T>('b', k, n);
+}
+
+template <class T>
+PackedOperandT<T> gefmm_pack_a(BasicView<const T> a) {
+  return pack_operand('a', a);
+}
+
+template <class T>
+PackedOperandT<T> gefmm_pack_b(BasicView<const T> b) {
+  return pack_operand('b', b);
+}
+
+template <class T>
+PackedOperandT<T> gefmm_pack_a(BasicView<const T> a, T* storage,
+                               std::size_t elems) {
+  return pack_operand('a', a, storage, elems);
+}
+
+template <class T>
+PackedOperandT<T> gefmm_pack_b(BasicView<const T> b, T* storage,
+                               std::size_t elems) {
+  return pack_operand('b', b, storage, elems);
+}
+
+template <class T>
+bool packed_operand_matches(const PackedOperandT<T>& h, char which,
+                            BasicView<const T> v) {
+  if (!h.valid() || h.which != which) return false;
+  const KernelInfoT<T>& kv = active_kernel_t<T>();
+  if (std::strncmp(h.kernel, kv.name, sizeof h.kernel) != 0) return false;
+  const GemmBlocking bk = pack_blocking<T>();
+  if (h.bk.mc != bk.mc || h.bk.kc != bk.kc || h.bk.nc != bk.nc) return false;
+  return h.src == v.p && h.rs == v.rs && h.cs == v.cs && h.rows == v.rows &&
+         h.cols == v.cols;
+}
+
+count_t packed_a_blocks(const GemmBlocking& bk, index_t m, index_t n,
+                        index_t k) {
+  if (m == 0 || n == 0 || k == 0) return 0;
+  const count_t ics = static_cast<count_t>((m + bk.mc - 1) / bk.mc);
+  return packed_b_blocks(bk, n, k) * ics;
+}
+
+count_t packed_b_blocks(const GemmBlocking& bk, index_t n, index_t k) {
+  if (n == 0 || k == 0) return 0;
+  const count_t jcs = static_cast<count_t>((n + bk.nc - 1) / bk.nc);
+  const count_t pcs = static_cast<count_t>((k + bk.kc - 1) / bk.kc);
+  return jcs * pcs;
+}
+
+template <class T>
+bool PanelCacheT<T>::register_entry(char which, const T* src, index_t rs,
+                                    index_t cs, index_t rows, index_t cols) {
+  if (n_ >= kMaxEntries || slab_ == nullptr) return false;
+  // Align the image start so every micro-panel keeps the aligned-load
+  // contract; the slab carries kBufferAlignment/sizeof(T) slack per entry.
+  const std::size_t align_elems = kBufferAlignment / sizeof(T);
+  T* base = slab_ + used_;
+  const std::size_t mis =
+      reinterpret_cast<std::uintptr_t>(base) % kBufferAlignment;
+  const std::size_t pad = mis == 0 ? 0 : align_elems - mis / sizeof(T);
+  const std::size_t elems = image_elems<T>(which, rows, cols);
+  if (used_ + pad + elems > slab_elems_) return false;
+  Entry& e = entries_[n_];
+  e.which = which;
+  e.src = src;
+  e.rs = rs;
+  e.cs = cs;
+  e.rows = rows;
+  e.cols = cols;
+  e.img = base + pad;
+  e.elems = elems;
+  e.filled = false;
+  ++n_;
+  used_ += pad + elems;
+  return true;
+}
+
+template <class T>
+const T* PanelCacheT<T>::acquire(char which, const T* src, index_t rs,
+                                 index_t cs, index_t rows, index_t cols) {
+  for (int i = 0; i < n_; ++i) {
+    Entry& e = entries_[i];
+    if (e.which != which || e.src != src || e.rs != rs || e.cs != cs ||
+        e.rows != rows || e.cols != cols) {
+      continue;
+    }
+    if (!e.filled) {
+      const BasicView<const T> v{src, rows, cols, rs, cs};
+      fill_packed_image(which, v, e.img);
+      e.filled = true;
+      // Building the image packs one block per (strip, pc): A strips run
+      // over rows (m) with depth over cols (k); B strips over cols (n)
+      // with depth over rows (k).
+      const count_t strips = static_cast<count_t>(
+          which == 'a' ? (rows + bk_.mc - 1) / bk_.mc
+                       : (cols + bk_.nc - 1) / bk_.nc);
+      const count_t depth = static_cast<count_t>(
+          which == 'a' ? (cols + bk_.kc - 1) / bk_.kc
+                       : (rows + bk_.kc - 1) / bk_.kc);
+      note_misses(strips * depth);
+    }
+    return e.img;
+  }
+  return nullptr;
+}
+
+template std::size_t gefmm_pack_a_elements<double>(index_t, index_t);
+template std::size_t gefmm_pack_a_elements<float>(index_t, index_t);
+template std::size_t gefmm_pack_b_elements<double>(index_t, index_t);
+template std::size_t gefmm_pack_b_elements<float>(index_t, index_t);
+template PackedOperandT<double> gefmm_pack_a<double>(BasicView<const double>);
+template PackedOperandT<float> gefmm_pack_a<float>(BasicView<const float>);
+template PackedOperandT<double> gefmm_pack_b<double>(BasicView<const double>);
+template PackedOperandT<float> gefmm_pack_b<float>(BasicView<const float>);
+template PackedOperandT<double> gefmm_pack_a<double>(BasicView<const double>,
+                                                     double*, std::size_t);
+template PackedOperandT<float> gefmm_pack_a<float>(BasicView<const float>,
+                                                   float*, std::size_t);
+template PackedOperandT<double> gefmm_pack_b<double>(BasicView<const double>,
+                                                     double*, std::size_t);
+template PackedOperandT<float> gefmm_pack_b<float>(BasicView<const float>,
+                                                   float*, std::size_t);
+template bool packed_operand_matches<double>(const PackedOperandT<double>&,
+                                             char, BasicView<const double>);
+template bool packed_operand_matches<float>(const PackedOperandT<float>&,
+                                            char, BasicView<const float>);
+template class PanelCacheT<double>;
+template class PanelCacheT<float>;
+
+}  // namespace strassen::blas

@@ -1,0 +1,258 @@
+// Prepacked-operand handles and the per-call packed-panel cache.
+//
+// The packed loop nest (packed_loop.hpp) re-packs A and B on every call:
+// fine for one large product, pure overhead for a serving workload that
+// multiplies thousands of requests against the same B weights, and for the
+// Strassen product sweep, where one operand image can be consumed by every
+// nc-column strip of a product. Huang et al. ("Implementing Strassen's
+// Algorithm with BLIS", arXiv:1605.01078) locate the practical Strassen
+// crossover exactly in this packing traffic, and every inference stack
+// ships the same remedy for the serving half: prepack the weights once
+// (mkldnn's gemm_pack / cblas_?gemm_pack mold) and stream the panels on
+// every call.
+//
+// Two layers live here:
+//
+//  * PackedOperandT<T> -- an opaque, kernel-stamped handle holding the
+//    full packed image of one operand (A or B) laid out exactly as the
+//    loop nest's scratch packing would produce it, block by block over the
+//    (ic, pc) / (jc, pc) grid of the blocking it was packed for. A consult
+//    verifies the stamp (micro-kernel name + blocking + source identity)
+//    and is a *hard miss* on any mismatch -- the same discipline as
+//    core::tuned_policy, because panels packed for one register tile are
+//    garbage to another.
+//
+//  * PanelCacheT<T> -- a per-call cache of packed operand images carved
+//    from the caller's existing arena reservation, keyed by (side, source
+//    base, strides, shape) under the active kernel. The fused Strassen
+//    sweep registers the pure single-source gamma = +1 quadrant operands
+//    whose packed image the loop nest would otherwise rebuild for every
+//    nc-column strip; the image is packed once on first use and streamed
+//    thereafter, with hit/miss counters that surface in DgefmmStats.
+//
+// Layout of a packed image (identical for handle and cache): the source is
+// walked in the exact (outer strip, pc) order of packed_gemm_multi, each
+// block packed by the active kernel's pack_a/pack_b into MR-row / NR-column
+// micro-panels, appended contiguously. Offsets are closed-form (see
+// packed_a_offset / packed_b_offset), so the streaming consumer performs no
+// lookup. Because packing a single gamma = 1 term is a pure reshaping copy,
+// the streamed bytes equal the bytes a fresh pack would produce -- results
+// with packing on and off are bitwise identical by construction.
+#pragma once
+
+#include <cstddef>
+
+#include "blas/kernels.hpp"
+#include "blas/machine.hpp"
+#include "blas/packed_loop.hpp"
+#include "support/aligned_buffer.hpp"
+#include "support/matrix.hpp"
+
+namespace strassen::blas {
+
+/// Opaque prepacked operand: the packed image of one op(A) or op(B) plus
+/// the stamp a consult verifies. Move-only; the image lives in `owned`
+/// (when packed into handle-owned memory) or caller storage (`ext`).
+template <class T>
+struct PackedOperandT {
+  /// Micro-kernel stamp (KernelInfoT<T>::name) the image was packed under.
+  /// A consult under any other active kernel is a hard miss.
+  char kernel[48] = {};
+  char which = 0;        ///< 'a' or 'b': which operand side the image packs
+  GemmBlocking bk{};     ///< blocking the (strip, pc) grid was walked with
+  index_t rows = 0;      ///< logical op-view shape: op(A) is rows x cols
+  index_t cols = 0;
+  const T* src = nullptr;  ///< source identity: base pointer and strides of
+  index_t rs = 0;          ///< the view that was packed; a consult against
+  index_t cs = 0;          ///< any other view is a hard miss
+  std::size_t elems = 0;   ///< image size in elements
+
+  const T* ext = nullptr;    ///< caller-storage image (null when owned)
+  AlignedBufferT<T> owned;   ///< handle-owned image storage
+
+  PackedOperandT() = default;
+  PackedOperandT(PackedOperandT&&) noexcept = default;
+  PackedOperandT& operator=(PackedOperandT&&) noexcept = default;
+  PackedOperandT(const PackedOperandT&) = delete;
+  PackedOperandT& operator=(const PackedOperandT&) = delete;
+
+  /// The packed image, wherever it lives.
+  const T* data() const { return ext != nullptr ? ext : owned.data(); }
+
+  /// True when the handle holds an image (a default-constructed or
+  /// moved-from handle does not).
+  bool valid() const { return data() != nullptr && which != 0; }
+};
+
+using PackedOperand = PackedOperandT<double>;
+using PackedOperandF = PackedOperandT<float>;
+
+/// Elements of the packed image of an m x k op(A) / k x n op(B) under the
+/// current active kernel and rs6000 blocking for T (the packed path's
+/// blocking). Size queries for packing into caller-provided storage; the
+/// result changes with the active kernel, exactly as the stamp demands.
+template <class T>
+[[nodiscard]] std::size_t gefmm_pack_a_elements(index_t m, index_t k);
+template <class T>
+[[nodiscard]] std::size_t gefmm_pack_b_elements(index_t k, index_t n);
+
+/// Packs op(A) (an m x k view, column- or row-major) into a fresh
+/// handle-owned image. The buffer allocation is the handle's only fallible
+/// acquisition (support/aligned_buffer.hpp fault site buffer_alloc); may
+/// throw std::bad_alloc.
+template <class T>
+[[nodiscard]] PackedOperandT<T> gefmm_pack_a(BasicView<const T> a);
+template <class T>
+[[nodiscard]] PackedOperandT<T> gefmm_pack_b(BasicView<const T> b);
+
+/// Packs into caller-provided storage of `elems` elements (from an arena
+/// slice or a long-lived weights cache). `elems` must be at least the
+/// matching size query; throws strassen::Error otherwise. The storage must
+/// outlive the handle. Performs no allocation.
+template <class T>
+[[nodiscard]] PackedOperandT<T> gefmm_pack_a(BasicView<const T> a, T* storage,
+                                             std::size_t elems);
+template <class T>
+[[nodiscard]] PackedOperandT<T> gefmm_pack_b(BasicView<const T> b, T* storage,
+                                             std::size_t elems);
+
+/// Consult: true when the handle packs exactly this operand side and view
+/// under the *currently* active kernel and blocking. Any mismatch -- stale
+/// kernel stamp, different blocking, different source pointer/strides/shape
+/// -- is a hard miss (false), never a partial answer.
+template <class T>
+[[nodiscard]] bool packed_operand_matches(const PackedOperandT<T>& h,
+                                          char which, BasicView<const T> v);
+
+// ---------------------------------------------------------------------------
+// Packed-image geometry (shared by the handle packer, the panel cache, and
+// the streaming branch of packed_gemm_multi).
+// ---------------------------------------------------------------------------
+
+inline std::size_t packed_round_up(index_t x, index_t mult) {
+  return static_cast<std::size_t>((x + mult - 1) / mult) *
+         static_cast<std::size_t>(mult);
+}
+
+/// Total elements of a packed op(A) image: one round_up(mc_eff, mr) x k
+/// slab per mc row strip.
+inline std::size_t packed_a_total(const GemmBlocking& bk, index_t mr,
+                                  index_t m, index_t k) {
+  const std::size_t full = static_cast<std::size_t>(m / bk.mc);
+  std::size_t rows = full * packed_round_up(bk.mc, mr);
+  if (m % bk.mc != 0) rows += packed_round_up(m % bk.mc, mr);
+  return rows * static_cast<std::size_t>(k);
+}
+
+/// Total elements of a packed op(B) image: one round_up(nc_eff, nr) x k
+/// slab per nc column strip.
+inline std::size_t packed_b_total(const GemmBlocking& bk, index_t nr,
+                                  index_t k, index_t n) {
+  const std::size_t full = static_cast<std::size_t>(n / bk.nc);
+  std::size_t cols = full * packed_round_up(bk.nc, nr);
+  if (n % bk.nc != 0) cols += packed_round_up(n % bk.nc, nr);
+  return cols * static_cast<std::size_t>(k);
+}
+
+/// Offset of the (ic, pc) block inside a packed op(A) image of an m x k
+/// operand. Blocks are stored strip-major: all pc blocks of row strip ic
+/// before the next strip; every strip before `ic` is a full mc strip.
+inline std::size_t packed_a_offset(const GemmBlocking& bk, index_t mr,
+                                   index_t m, index_t k, index_t ic,
+                                   index_t pc) {
+  const index_t mc_eff = (m - ic < bk.mc) ? (m - ic) : bk.mc;
+  return static_cast<std::size_t>(ic / bk.mc) * packed_round_up(bk.mc, mr) *
+             static_cast<std::size_t>(k) +
+         packed_round_up(mc_eff, mr) * static_cast<std::size_t>(pc);
+}
+
+/// Offset of the (jc, pc) block inside a packed op(B) image of a k x n
+/// operand (column-strip-major).
+inline std::size_t packed_b_offset(const GemmBlocking& bk, index_t nr,
+                                   index_t k, index_t n, index_t jc,
+                                   index_t pc) {
+  const index_t nc_eff = (n - jc < bk.nc) ? (n - jc) : bk.nc;
+  return static_cast<std::size_t>(jc / bk.nc) * packed_round_up(bk.nc, nr) *
+             static_cast<std::size_t>(k) +
+         packed_round_up(nc_eff, nr) * static_cast<std::size_t>(pc);
+}
+
+/// Blocks a fresh pack of this operand performs (the unit the pack hit /
+/// miss counters count in): op(A) packs once per (jc, pc, ic), op(B) once
+/// per (jc, pc).
+count_t packed_a_blocks(const GemmBlocking& bk, index_t m, index_t n,
+                        index_t k);
+count_t packed_b_blocks(const GemmBlocking& bk, index_t n, index_t k);
+
+// ---------------------------------------------------------------------------
+// Per-call packed-panel cache
+// ---------------------------------------------------------------------------
+
+/// Fixed-capacity cache of packed operand images over caller-provided slab
+/// storage (carved from the gefmm arena reservation, so the workspace
+/// predictor's prediction == peak invariant holds with the cache on).
+/// Entries are registered up front by the schedule that owns the call;
+/// acquire() packs an entry's image on first use (a miss per packed block)
+/// and streams it on every use (a hit per streamed block). Unregistered
+/// sources miss and fall back to fresh packing. Single-threaded by
+/// contract: registration and acquire() happen on the submitting thread
+/// before any fan-out; workers only read the images.
+template <class T>
+class PanelCacheT {
+ public:
+  static constexpr int kMaxEntries = 8;
+
+  PanelCacheT(const GemmBlocking& bk, T* slab, std::size_t slab_elems)
+      : bk_(bk), slab_(slab), slab_elems_(slab_elems) {}
+  PanelCacheT(const PanelCacheT&) = delete;
+  PanelCacheT& operator=(const PanelCacheT&) = delete;
+
+  /// Registers one cacheable operand image: side 'a' or 'b', the exact
+  /// source view (base, strides, shape) the schedule will present at
+  /// acquire time. Returns false (entry ignored) when the entry table or
+  /// the slab is full -- the schedule then simply packs fresh.
+  bool register_entry(char which, const T* src, index_t rs, index_t cs,
+                      index_t rows, index_t cols);
+
+  /// The packed image for a single-source gamma = +1 operand term, packing
+  /// it into the slab on first use, or nullptr when the source was never
+  /// registered (caller packs fresh). Counters: a build adds one miss per
+  /// block packed; the caller adds hits for the blocks it streams.
+  const T* acquire(char which, const T* src, index_t rs, index_t cs,
+                   index_t rows, index_t cols);
+
+  void note_hits(count_t n) { hits_ += n; }
+  void note_misses(count_t n) { misses_ += n; }
+  count_t hits() const { return hits_; }
+  count_t misses() const { return misses_; }
+
+  /// Slab elements the registered entries occupy (<= slab_elems).
+  std::size_t used_elems() const { return used_; }
+
+ private:
+  struct Entry {
+    char which = 0;
+    const T* src = nullptr;
+    index_t rs = 0, cs = 0, rows = 0, cols = 0;
+    T* img = nullptr;
+    std::size_t elems = 0;
+    bool filled = false;
+  };
+
+  GemmBlocking bk_;
+  T* slab_ = nullptr;
+  std::size_t slab_elems_ = 0;
+  std::size_t used_ = 0;
+  Entry entries_[kMaxEntries];
+  int n_ = 0;
+  count_t hits_ = 0;
+  count_t misses_ = 0;
+};
+
+using PanelCache = PanelCacheT<double>;
+using PanelCacheF = PanelCacheT<float>;
+
+extern template class PanelCacheT<double>;
+extern template class PanelCacheT<float>;
+
+}  // namespace strassen::blas

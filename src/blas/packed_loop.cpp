@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "blas/kernels.hpp"
+#include "blas/pack_operand.hpp"
 #include "support/aligned_buffer.hpp"
 #include "support/thread_pool.hpp"
 
@@ -84,6 +85,10 @@ struct PanelArgsT {
   int ndst;
   index_t jc, pc, nc, kc;
   bool first_panel;
+  /// Prepacked op(A) image (null: pack fresh into thread scratch). The
+  /// closed-form block offsets need the full operand shape, carried here.
+  const T* a_img;
+  index_t m_total, k_total;
 };
 
 // Runs the ic blocks covering rows [ic0, ic1) of the current (jc, pc)
@@ -95,9 +100,12 @@ template <class T>
 void run_ic_range(const PanelArgsT<T>& g, index_t ic0, index_t ic1) {
   const KernelInfoT<T>& kv = *g.kv;
   const GemmBlocking& bk = *g.bk;
-  PackBuffersT<T>& bufs = pack_buffers<T>();
-  bufs.ensure(a_pack_elems<T>(bk), 0);  // no-op on a warmed thread
-  T* a_pack = bufs.a_pack.data();
+  T* a_pack = nullptr;
+  if (g.a_img == nullptr) {
+    PackBuffersT<T>& bufs = pack_buffers<T>();
+    bufs.ensure(a_pack_elems<T>(bk), 0);  // no-op on a warmed thread
+    a_pack = bufs.a_pack.data();
+  }
 
   alignas(kBufferAlignment) T acc[kMaxMRT<T> * kMaxNRT<T>];
   PackTermT<T> a_terms[kPackMaxTerms];
@@ -106,18 +114,25 @@ void run_ic_range(const PanelArgsT<T>& g, index_t ic0, index_t ic1) {
   const index_t nc_panels = (nc + kv.nr - 1) / kv.nr;
   for (index_t ic = ic0; ic < ic1; ic += bk.mc) {
     const index_t mc = (ic1 - ic < bk.mc) ? (ic1 - ic) : bk.mc;
-    for (int s = 0; s < g.a->n; ++s) {
-      a_terms[s] = g.a->term[s];
-      a_terms[s].p += ic * g.a->term[s].rs + g.pc * g.a->term[s].cs;
+    const T* a_block;
+    if (g.a_img != nullptr) {
+      a_block = g.a_img +
+                packed_a_offset(bk, kv.mr, g.m_total, g.k_total, ic, g.pc);
+    } else {
+      for (int s = 0; s < g.a->n; ++s) {
+        a_terms[s] = g.a->term[s];
+        a_terms[s].p += ic * g.a->term[s].rs + g.pc * g.a->term[s].cs;
+      }
+      kv.pack_a_comb(a_terms, g.a->n, mc, kc, a_pack);
+      a_block = a_pack;
     }
-    kv.pack_a_comb(a_terms, g.a->n, mc, kc, a_pack);
     const index_t mc_panels = (mc + kv.mr - 1) / kv.mr;
     for (index_t jr = 0; jr < nc_panels; ++jr) {
       const T* bp = g.b_pack + jr * (kv.nr * kc);
       const index_t cols =
           (nc - jr * kv.nr < kv.nr) ? (nc - jr * kv.nr) : kv.nr;
       for (index_t ir = 0; ir < mc_panels; ++ir) {
-        const T* ap = a_pack + ir * (kv.mr * kc);
+        const T* ap = a_block + ir * (kv.mr * kc);
         const index_t rows =
             (mc - ir * kv.mr < kv.mr) ? (mc - ir * kv.mr) : kv.mr;
         kv.micro_kernel(kc, ap, bp, acc);
@@ -176,9 +191,21 @@ void packed_gemm_multi(const GemmBlocking& bk, index_t m, index_t n,
                        index_t k, const PackCombT<T>& a,
                        const PackCombT<T>& b, const WriteDestT<T>* dst,
                        int ndst) {
+  packed_gemm_multi(bk, m, n, k, a, b, dst, ndst, PackedStreamsT<T>{});
+}
+
+template <class T>
+void packed_gemm_multi(const GemmBlocking& bk, index_t m, index_t n,
+                       index_t k, const PackCombT<T>& a,
+                       const PackCombT<T>& b, const WriteDestT<T>* dst,
+                       int ndst, const PackedStreamsT<T>& streams) {
   assert(a.n >= 1 && a.n <= kPackMaxTerms);
   assert(b.n >= 1 && b.n <= kPackMaxTerms);
   assert(ndst >= 1 && ndst <= kPackMaxDests);
+  // A streamed side is a single gamma == 1 term by contract (the image is a
+  // pure reshaping copy of exactly one operand).
+  assert(streams.a == nullptr || (a.n == 1 && a.term[0].gamma == T(1)));
+  assert(streams.b == nullptr || (b.n == 1 && b.term[0].gamma == T(1)));
   if (m == 0 || n == 0 || k == 0) return;
 
   const KernelInfoT<T>& kv = active_kernel_t<T>();
@@ -186,7 +213,8 @@ void packed_gemm_multi(const GemmBlocking& bk, index_t m, index_t n,
   const int ntasks = packed_gemm_threads(bk, m, n, k);
 
   PackBuffersT<T>& bufs = pack_buffers<T>();
-  bufs.ensure(a_pack_elems<T>(bk), b_pack_elems<T>(bk));
+  bufs.ensure(streams.a != nullptr ? 0 : a_pack_elems<T>(bk),
+              streams.b != nullptr ? 0 : b_pack_elems<T>(bk));
   T* b_pack = bufs.b_pack.data();
 
   PackTermT<T> b_terms[kPackMaxTerms];
@@ -196,14 +224,20 @@ void packed_gemm_multi(const GemmBlocking& bk, index_t m, index_t n,
     for (index_t pc = 0; pc < k; pc += bk.kc) {
       const index_t kc = (k - pc < bk.kc) ? (k - pc) : bk.kc;
       const bool first_panel = (pc == 0);
-      for (int s = 0; s < b.n; ++s) {
-        b_terms[s] = b.term[s];
-        b_terms[s].p += pc * b.term[s].rs + jc * b.term[s].cs;
+      const T* b_block;
+      if (streams.b != nullptr) {
+        b_block = streams.b + packed_b_offset(bk, kv.nr, k, n, jc, pc);
+      } else {
+        for (int s = 0; s < b.n; ++s) {
+          b_terms[s] = b.term[s];
+          b_terms[s].p += pc * b.term[s].rs + jc * b.term[s].cs;
+        }
+        kv.pack_b_comb(b_terms, b.n, kc, nc, b_pack);
+        b_block = b_pack;
       }
-      kv.pack_b_comb(b_terms, b.n, kc, nc, b_pack);
-      const PanelArgsT<T> g{&kv, &bk,      &a, b_pack, dst,
+      const PanelArgsT<T> g{&kv, &bk,      &a, b_block, dst,
                             ndst, jc,      pc, nc,     kc,
-                            first_panel};
+                            first_panel, streams.a, m, k};
       if (ntasks <= 1) {
         run_ic_range(g, 0, m);
         continue;
@@ -240,6 +274,17 @@ template void packed_gemm_multi<float>(const GemmBlocking&, index_t, index_t,
                                        index_t, const PackCombT<float>&,
                                        const PackCombT<float>&,
                                        const WriteDestT<float>*, int);
+template void packed_gemm_multi<double>(const GemmBlocking&, index_t,
+                                        index_t, index_t,
+                                        const PackCombT<double>&,
+                                        const PackCombT<double>&,
+                                        const WriteDestT<double>*, int,
+                                        const PackedStreamsT<double>&);
+template void packed_gemm_multi<float>(const GemmBlocking&, index_t, index_t,
+                                       index_t, const PackCombT<float>&,
+                                       const PackCombT<float>&,
+                                       const WriteDestT<float>*, int,
+                                       const PackedStreamsT<float>&);
 
 template <class T>
 void ensure_pack_capacity(const GemmBlocking& bk) {

@@ -125,6 +125,34 @@ void packed_gemm_multi(const GemmBlocking& bk, index_t m, index_t n,
                        const PackCombT<T>& b, const WriteDestT<T>* dst,
                        int ndst);
 
+/// Optional prepacked operand images for packed_gemm_multi. A non-null side
+/// makes the loop nest stream micro-panels straight from the image (laid
+/// out block-by-block as in blas/pack_operand.hpp, packed under the same
+/// blocking and active kernel) and skip that side's packing pass and
+/// scratch entirely. A streamed side's combination must be a single term
+/// with gamma == 1 over the exact operand the image was packed from -- the
+/// caller (gemm_view_prepacked, the fused panel cache) has already verified
+/// the stamp; this layer only asserts the term shape.
+template <class T>
+struct PackedStreamsT {
+  const T* a = nullptr;  ///< packed image of the full m x k op(A), or null
+  const T* b = nullptr;  ///< packed image of the full k x n op(B), or null
+};
+
+using PackedStreams = PackedStreamsT<double>;
+using PackedStreamsF = PackedStreamsT<float>;
+
+/// packed_gemm_multi with prepacked-image streaming. Streamed panels are
+/// byte-identical to what the skipped packing pass would have produced
+/// (single-term gamma == 1 packing is a pure reshaping copy), so results
+/// are bitwise identical to the non-streaming overload for every thread
+/// count.
+template <class T>
+void packed_gemm_multi(const GemmBlocking& bk, index_t m, index_t n,
+                       index_t k, const PackCombT<T>& a,
+                       const PackCombT<T>& b, const WriteDestT<T>* dst,
+                       int ndst, const PackedStreamsT<T>& streams);
+
 /// Upper bound on the tasks one packed_gemm_multi call fans out.
 inline constexpr int kMaxGemmTasks = 64;
 

@@ -5,6 +5,7 @@
 
 #include "blas/gemm.hpp"
 #include "blas/kernels.hpp"
+#include "blas/pack_operand.hpp"
 #include "blas/packed_loop.hpp"
 #include "core/padding.hpp"
 #include "core/sgefmm.hpp"
@@ -53,6 +54,32 @@ template <class T>
 void gefmm_view_t(T alpha, BasicView<const T> a, BasicView<const T> b, T beta,
                   BasicView<T> c, const GefmmConfigT<T>& cfg);
 
+// Consults the caller's prepacked operand handles (cfg.packed_a/packed_b)
+// for a call that reduces to one top-level packed GEMM. True when the
+// streamed nest ran (bitwise identical to the plain path); false on any
+// hard miss -- wrong kernel stamp, blocking, or source identity -- with C
+// untouched, so the caller continues down the ordinary path. Hit/miss
+// accounting is in operand blocks: a streamed call credits the blocks the
+// handles replaced, a miss charges the blocks the fresh path must now pack.
+template <class T>
+bool try_prepacked_gemm(T alpha, BasicView<const T> a, BasicView<const T> b,
+                        T beta, BasicView<T> c, const GefmmConfigT<T>& cfg) {
+  if (cfg.packed_a == nullptr && cfg.packed_b == nullptr) return false;
+  const index_t m = c.rows, n = c.cols, k = a.cols;
+  const blas::GemmBlocking bk =
+      blas::blocking_for_t<T>(blas::active_machine());
+  count_t blocks = 0;
+  if (cfg.packed_a != nullptr) blocks += blas::packed_a_blocks(bk, m, n, k);
+  if (cfg.packed_b != nullptr) blocks += blas::packed_b_blocks(bk, n, k);
+  if (blas::gemm_view_prepacked(alpha, a, b, beta, c, cfg.packed_a,
+                                cfg.packed_b)) {
+    if (cfg.stats != nullptr) cfg.stats->pack_hits += blocks;
+    return true;
+  }
+  if (cfg.stats != nullptr) cfg.stats->pack_misses += blocks;
+  return false;
+}
+
 // Tuned-policy routing, kept out of the driver proper: when the measured
 // crossover says plain GEMM wins, it dispatches here and returns true; for
 // any Strassen path it rewrites cfg (via core::resolve_tuned, the same
@@ -71,6 +98,7 @@ bool tuned_route(T alpha, BasicView<const T> a, BasicView<const T> b, T beta,
     cfg.stats->kernel = blas::active_kernel_t<T>().name;
     ++cfg.stats->base_gemms;
   }
+  if (try_prepacked_gemm<T>(alpha, a, b, beta, c, cfg)) return true;
   blas::gemm_view(alpha, a, b, beta, c);
   return true;
 }
@@ -88,6 +116,22 @@ void gefmm_view_t(T alpha, BasicView<const T> a, BasicView<const T> b, T beta,
     if (tuned_route<T>(alpha, a, b, beta, c, eff)) return;
     gefmm_view_t<T>(alpha, a, b, beta, c, eff);
     return;
+  }
+  // Prepacked-handle consult for the untuned single-GEMM routes: every
+  // schedule interpreter reduces a degenerate or below-cutoff top-level
+  // call to one gemm_view, so streaming the handles here is the same
+  // arithmetic minus the packing. Needs no arena, so it precedes the
+  // pre-flight. A hard miss falls through to the ordinary path.
+  if (cfg.packed_a != nullptr || cfg.packed_b != nullptr) {
+    const index_t m = c.rows, n = c.cols, k = a.cols;
+    if (((m < 2 || k < 2 || n < 2) || cfg.cutoff.stop(m, k, n, 0)) &&
+        try_prepacked_gemm<T>(alpha, a, b, beta, c, cfg)) {
+      if (cfg.stats != nullptr) {
+        cfg.stats->kernel = blas::active_kernel_t<T>().name;
+        ++cfg.stats->base_gemms;
+      }
+      return;
+    }
   }
   const std::size_t need = static_cast<std::size_t>(
       workspace_elements<T>(c.rows, c.cols, a.cols, beta, cfg));

@@ -87,8 +87,13 @@ TunedPath tuned_path_for(const TunedPolicy& policy, index_t m, index_t k,
   }
   // Hybrid outranks the fused thresholds: once the classic recursion wins,
   // it wins for every larger size (its depth grows with the problem while
-  // the fused schedules stay capped at two levels).
+  // the fused schedules stay capped at two levels). Within that regime a
+  // second measured crossover picks the recursion variant: past tau_s2 the
+  // forced STRASSEN2 schedule beats the automatic hybrid (the m = 4096
+  // regression this threshold exists for -- "hybrid" there was the
+  // measured-worst recursion while STRASSEN2 won).
   if (policy.tau_hybrid > 0 && s > policy.tau_hybrid) {
+    if (policy.tau_s2 > 0 && s > policy.tau_s2) return TunedPath::strassen2;
     return TunedPath::hybrid;
   }
   if (policy.tau_fused2 > 0 && s > policy.tau_fused2) {

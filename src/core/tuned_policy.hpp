@@ -31,12 +31,16 @@ namespace strassen::core {
 
 /// The schedule the tuned policy selects for one call shape.
 enum class TunedPath {
-  classic,   ///< no valid policy: the untuned default dispatch
-  gemm,      ///< below the fused crossover: plain packed GEMM
-  fused_l1,  ///< one fused Strassen level over packed GEMM
-  fused_l2,  ///< two fused levels
-  hybrid,    ///< classic eq.-15 hybrid recursion (depth scales with size)
-  dag,       ///< task-DAG parallel schedule (parallel driver only)
+  classic,    ///< no valid policy: the untuned default dispatch
+  gemm,       ///< below the fused crossover: plain packed GEMM
+  fused_l1,   ///< one fused Strassen level over packed GEMM
+  fused_l2,   ///< two fused levels
+  hybrid,     ///< classic eq.-15 hybrid recursion (depth scales with size)
+  strassen2,  ///< forced STRASSEN2 recursion: the multiply-accumulate
+              ///< schedule's three temporaries stay hot where the automatic
+              ///< hybrid's per-level schedule churn does not, so past
+              ///< tau_s2 it is the classic recursion that actually wins
+  dag,        ///< task-DAG parallel schedule (parallel driver only)
 };
 
 /// Static-storage name for stats and bench JSON.
@@ -52,6 +56,8 @@ constexpr const char* tuned_path_name(TunedPath p) {
       return "fused-l2";
     case TunedPath::hybrid:
       return "hybrid";
+    case TunedPath::strassen2:
+      return "strassen2";
     case TunedPath::dag:
       return "dag";
   }
@@ -75,6 +81,11 @@ struct TunedPolicy {
                           ///< eq.-15 recursion keeps splitting, so it
                           ///< retakes the lead once two levels leave base
                           ///< products above the kernel's sweet spot.
+  double tau_s2 = 0;      ///< above: within the classic-recursion regime
+                          ///< (past tau_hybrid), forced STRASSEN2 beats the
+                          ///< automatic hybrid. 0 = never measured to win;
+                          ///< files from before this threshold existed load
+                          ///< as 0 and keep the old hybrid routing.
   double tau_dag = 0;     ///< above: the task-DAG beats the serial schedule
   int threads = 0;        ///< pool size tau_dag was measured with
 
@@ -138,6 +149,8 @@ TunedPath resolve_tuned(index_t m, index_t k, index_t n, T beta, int workers,
     cfg.fused_levels = 2;
   } else if (path == TunedPath::hybrid) {
     cfg.scheme = Scheme::automatic;
+  } else if (path == TunedPath::strassen2) {
+    cfg.scheme = Scheme::strassen2;
   }
   return path;
 }

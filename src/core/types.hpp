@@ -7,6 +7,11 @@
 #include "support/arena.hpp"
 #include "support/config.hpp"
 
+namespace strassen::blas {
+template <class T>
+struct PackedOperandT;
+}  // namespace strassen::blas
+
 namespace strassen::core {
 
 /// Which computation schedule performs each recursion level.
@@ -23,8 +28,10 @@ enum class Scheme {
               ///< product into the C quadrants (Huang et al. style); the
               ///< classic automatic schedule continues below the fusion
               ///< depth. Odd dimensions are always dynamically peeled at
-              ///< fused levels. Allocates no arena workspace at fused
-              ///< levels (operand sums live in the GEMM pack buffers).
+              ///< fused levels. The operand sums live in the GEMM pack
+              ///< buffers; the only arena use at fused levels is the
+              ///< optional packed-panel cache slab (GefmmConfigT::
+              ///< panel_cache), which the workspace predictor counts.
 };
 
 /// Human-readable schedule name for benchmark/report headers.
@@ -118,6 +125,15 @@ struct DgefmmStats {
                                    ///< first-touched on their owning worker
                                    ///< before the compute phase (parallel
                                    ///< driver only)
+  count_t pack_hits = 0;           ///< operand blocks streamed from a
+                                   ///< prepacked handle or the per-call
+                                   ///< panel cache instead of being packed
+  count_t pack_misses = 0;         ///< operand blocks packed fresh while a
+                                   ///< handle or cache was in play: a failed
+                                   ///< consult (stamp/identity hard miss) or
+                                   ///< the one-time build of a cache image.
+                                   ///< Calls with no handle and no cache
+                                   ///< count neither.
 
   void reset() { *this = DgefmmStats{}; }
 
@@ -142,6 +158,8 @@ struct DgefmmStats {
     if (tuned_path == nullptr) tuned_path = o.tuned_path;
     if (o.hugepage_bytes > hugepage_bytes) hugepage_bytes = o.hugepage_bytes;
     first_touch_pages += o.first_touch_pages;
+    pack_hits += o.pack_hits;
+    pack_misses += o.pack_misses;
   }
 };
 
@@ -171,6 +189,24 @@ struct GefmmConfigT {
   /// workspace predictors resolve the same policy, so prediction and
   /// dispatch can never disagree.
   bool use_tuned = false;
+
+  /// Per-call packed-panel cache inside the fused schedule: when the fused
+  /// leaves are packed products and their n extent spans multiple GEMM
+  /// column strips, the pure single-source quadrant operands' packed images
+  /// are built once in a slab carved from the arena reservation (the
+  /// workspace predictor accounts for it, so prediction still equals peak)
+  /// and streamed for every strip. Results are bitwise identical either
+  /// way; hit/miss counts land in DgefmmStats::pack_hits/pack_misses.
+  bool panel_cache = true;
+
+  /// Optional prepacked operand handles (blas/pack_operand.hpp) for op(A) /
+  /// op(B). Consulted only where a call reduces to a single top-level
+  /// packed GEMM (the tuned gemm route and below-cutoff shapes -- the
+  /// serving hot path); any stamp or source-identity mismatch is a hard
+  /// miss that falls back to fresh packing and counts a pack miss. The
+  /// handles are borrowed, never owned: they must outlive the call.
+  const blas::PackedOperandT<T>* packed_a = nullptr;
+  const blas::PackedOperandT<T>* packed_b = nullptr;
 
   /// Optional caller-provided workspace. When null, gefmm allocates an
   /// exactly-sized arena internally. Reusing one arena across calls avoids

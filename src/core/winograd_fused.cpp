@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "blas/gemm.hpp"
+#include "blas/pack_operand.hpp"
 #include "blas/packed_loop.hpp"
 #include "core/add_kernels.hpp"
 #include "core/peeling.hpp"
@@ -101,6 +102,13 @@ struct FusedRun {
   // reservation failed, so every leaf must take the single fused
   // packed-GEMM call, which draws nothing from the arena.
   bool force_packed = false;
+  // Per-call packed-panel cache (null: packing always fresh). Set only by
+  // fmm_fused when every leaf is a packed product and the leaf n extent
+  // spans multiple GEMM column strips -- the shape where the loop nest
+  // would re-pack the same A quadrant once per strip. Every image is
+  // filled on the submitting thread before the leaf's packed call fans
+  // out, so workers only ever read it -- no synchronization needed.
+  blas::PanelCacheT<T>* cache = nullptr;
   T* touched[16] = {};
   int ntouched = 0;
 
@@ -158,7 +166,20 @@ void fused_leaf(FusedRun<T>& run, const Comb<T>& a, const Comb<T>& b,
     dst[i] = blas::write_dest(c.v[i], c.g[i],
                               run.first_touch(c.v[i].p) ? run.beta : T(1));
   }
-  blas::packed_gemm_multi(run.bk, ml, nl, kl, pa, pb, dst, c.n);
+  // A product whose A side is one pure quadrant (single term, gamma == 1)
+  // can stream that quadrant's packed image from the per-call cache instead
+  // of re-packing it for every nc column strip of this product.
+  blas::PackedStreamsT<T> streams;
+  if (run.cache != nullptr && a.n == 1 && a.g[0] == T(1)) {
+    streams.a = run.cache->acquire('a', a.v[0].p, a.v[0].rs, a.v[0].cs,
+                                   a.v[0].rows, a.v[0].cols);
+    if (streams.a != nullptr) {
+      run.cache->note_hits(blas::packed_a_blocks(run.bk, ml, nl, kl));
+    } else {
+      run.cache->note_misses(blas::packed_a_blocks(run.bk, ml, nl, kl));
+    }
+  }
+  blas::packed_gemm_multi(run.bk, ml, nl, kl, pa, pb, dst, c.n, streams);
 
   if (opcount::enabled()) {
     opcount::record_gemm(ml, kl, nl, /*accumulate=*/true);
@@ -214,7 +235,89 @@ int clamp_fused_levels(int requested) {
   return std::clamp(requested, 1, 2);
 }
 
+// Collects the distinct A-side leaf blocks -- (block row, block col) on the
+// 2^levels quadrant grid -- of fused products whose A combination is a
+// single source with gamma == +1: the only operands the panel cache can
+// stream (their packed image is a pure copy of one quadrant). Derived from
+// the proved tables, not hard-coded: at one level these are the products of
+// verify::kFusedL1 with a 1-term positive A side, at two levels the outer x
+// inner compositions where both factors are 1-term (the composed gamma
+// stays +1 because every 1-term A entry of the table is positive). Returns
+// the key count (each key occurs in exactly one product -- Strassen's 7
+// combinations are deliberately distinct -- so cross-product reuse does not
+// exist; the cache's payoff is the per-strip re-pack inside one product).
+int fused_gamma1_a_keys(int levels, int rc[][2]) {
+  int n = 0;
+  if (levels == 1) {
+    for (const verify::FProduct& spec : verify::kFusedL1) {
+      if (spec.na != 1 || spec.a[0].g != 1) continue;
+      rc[n][0] = spec.a[0].q >> 1;
+      rc[n][1] = spec.a[0].q & 1;
+      ++n;
+    }
+    return n;
+  }
+  assert(levels == 2);
+  for (const verify::FProduct& outer : verify::kFusedL1) {
+    if (outer.na != 1) continue;
+    for (const verify::FProduct& inner : verify::kFusedL1) {
+      if (inner.na != 1 || outer.a[0].g * inner.a[0].g != 1) continue;
+      const int row = (outer.a[0].q >> 1) * 2 + (inner.a[0].q >> 1);
+      const int col = (outer.a[0].q & 1) * 2 + (inner.a[0].q & 1);
+      bool seen = false;
+      for (int i = 0; i < n; ++i) {
+        if (rc[i][0] == row && rc[i][1] == col) seen = true;
+      }
+      if (!seen && n < 8) {
+        rc[n][0] = row;
+        rc[n][1] = col;
+        ++n;
+      }
+    }
+  }
+  return n;
+}
+
 }  // namespace
+
+template <class T>
+count_t fused_cache_elements(index_t m, index_t k, index_t n,
+                             const GefmmConfigT<T>& cfg, int depth) {
+  if (!cfg.panel_cache || depth != 0) return 0;
+  if (m == 0 || n == 0) return 0;
+  // Mirror of fmm_fused's dispatch, so the predicted slab exists exactly
+  // when fmm_fused carves one: the gemm_view routes allocate nothing, and
+  // leaves that still recurse classically never enter the packed sweep.
+  if (m < 2 || k < 2 || n < 2 || cfg.cutoff.stop(m, k, n, depth)) return 0;
+  const index_t me = m & ~index_t{1};
+  const index_t ke = k & ~index_t{1};
+  const index_t ne = n & ~index_t{1};
+  const index_t m2 = me / 2, k2 = ke / 2, n2 = ne / 2;
+  int levels = 1;
+  if (clamp_fused_levels(cfg.fused_levels) >= 2 &&
+      ((m2 | k2 | n2) & 1) == 0 && !cfg.cutoff.stop(m2, k2, n2, depth + 1)) {
+    levels = 2;
+  }
+  const index_t mB = me >> levels, kB = ke >> levels, nB = ne >> levels;
+  if (!cfg.cutoff.stop(mB, kB, nB, depth + levels)) return 0;
+  const blas::GemmBlocking bk =
+      blas::blocking_for_t<T>(blas::active_machine());
+  // The cache pays off only when one product's n extent spans several GEMM
+  // column strips (the loop nest re-packs A once per strip); below that,
+  // carve nothing so Table-1-scale shapes keep their exact paper bounds.
+  if (nB <= bk.nc) return 0;
+  int rc[8][2];
+  const int nkeys = fused_gamma1_a_keys(levels, rc);
+  const std::size_t per =
+      blas::packed_a_total(bk, blas::active_kernel_t<T>().mr, mB, kB) +
+      kBufferAlignment / sizeof(T);  // per-image alignment slack
+  return static_cast<count_t>(nkeys) * static_cast<count_t>(per);
+}
+
+template count_t fused_cache_elements<double>(index_t, index_t, index_t,
+                                              const DgefmmConfig&, int);
+template count_t fused_cache_elements<float>(index_t, index_t, index_t,
+                                             const SgefmmConfig&, int);
 
 template <class T>
 void fmm_fused(T alpha, BasicView<const T> a, BasicView<const T> b, T beta,
@@ -258,6 +361,34 @@ void fmm_fused(T alpha, BasicView<const T> a, BasicView<const T> b, T beta,
   run.beta = beta;
   run.bk = blas::blocking_for_t<T>(blas::active_machine());
 
+  // Packed-panel cache: when every leaf is a packed product whose n extent
+  // spans multiple GEMM column strips, carve the slab the workspace
+  // predictor already accounted for (same fused_cache_elements call, so
+  // prediction == peak stays exact) and register the pure single-quadrant
+  // A operands the sweep will stream. The scope releases the slab with the
+  // call; peak() keeps the high-water mark for the stats.
+  ArenaScopeT cache_scope(*ctx.arena);
+  const count_t cache_need = fused_cache_elements<T>(m, k, n, *ctx.cfg, depth);
+  T* slab = cache_need > 0
+                ? ctx.arena->alloc(static_cast<std::size_t>(cache_need))
+                : nullptr;
+  blas::PanelCacheT<T> cache(run.bk, slab,
+                             slab != nullptr
+                                 ? static_cast<std::size_t>(cache_need)
+                                 : 0);
+  if (slab != nullptr) {
+    const BasicView<const T> a_even = a.block(0, 0, me, ke);
+    const index_t mB = me >> levels, kB = ke >> levels;
+    int rc[8][2];
+    const int nkeys = fused_gamma1_a_keys(levels, rc);
+    for (int i = 0; i < nkeys; ++i) {
+      const BasicView<const T> q =
+          a_even.block(rc[i][0] * mB, rc[i][1] * kB, mB, kB);
+      (void)cache.register_entry('a', q.p, q.rs, q.cs, mB, kB);
+    }
+    run.cache = &cache;
+  }
+
   Comb<T> ca;
   ca.add(a.block(0, 0, me, ke), T(1));
   Comb<T> cb;
@@ -265,6 +396,11 @@ void fmm_fused(T alpha, BasicView<const T> a, BasicView<const T> b, T beta,
   Dests<T> dc;
   dc.add(c.block(0, 0, me, ne), alpha);
   emit(run, levels, ca, cb, dc, depth);
+
+  if (ctx.stats != nullptr && run.cache != nullptr) {
+    ctx.stats->pack_hits += cache.hits();
+    ctx.stats->pack_misses += cache.misses();
+  }
 
   if (odd) {
     const int fixups = peel_fixups(alpha, a, b, beta, c, me, ke, ne);

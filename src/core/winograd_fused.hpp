@@ -92,4 +92,22 @@ count_t fused_product_workspace(index_t m, index_t k, index_t n,
 count_t fused_product_workspace(index_t m, index_t k, index_t n,
                                 const SgefmmConfig& cfg, int depth);
 
+/// Exact arena elements the packed-panel cache slab of one fmm_fused call
+/// occupies (0 when the cache is off, the leaves recurse classically, or
+/// no leaf spans multiple GEMM column strips). Unlike the rest of the
+/// workspace math this is element-type specific: the slab holds packed
+/// micro-panels shaped by T's active kernel and blocking. fmm_fused carves
+/// exactly this amount, so the workspace predictors that add it keep
+/// prediction == peak.
+template <class T>
+count_t fused_cache_elements(index_t m, index_t k, index_t n,
+                             const GefmmConfigT<T>& cfg, int depth);
+
+extern template count_t fused_cache_elements<double>(index_t, index_t,
+                                                     index_t,
+                                                     const DgefmmConfig&,
+                                                     int);
+extern template count_t fused_cache_elements<float>(index_t, index_t, index_t,
+                                                    const SgefmmConfig&, int);
+
 }  // namespace strassen::core::detail

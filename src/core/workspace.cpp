@@ -114,6 +114,11 @@ DgefmmConfig sizing_config(const SgefmmConfig& cfg) {
   d.scheme = cfg.scheme;
   d.odd = cfg.odd;
   d.fused_levels = cfg.fused_levels;
+  // Deliberately off: the shared recursion counts shape-derived elements,
+  // but the panel-cache slab depends on the element type's kernel and
+  // blocking, so workspace_floats adds its own float-sized term instead of
+  // inheriting a double-sized one here.
+  d.panel_cache = false;
   return d;
 }
 
@@ -139,7 +144,11 @@ count_t workspace_doubles(index_t m, index_t n, index_t k, double beta,
   if (cfg.scheme == Scheme::fused) {
     // Fused always peels odd dimensions, so cfg.odd plays no role at the
     // fused levels (the classic recursion below honours it via ws()).
-    return ws_fused(m, k, n, cfg, 0);
+    // The packed-panel cache slab and the classic leaf recursion are
+    // mutually exclusive (the slab exists only when every leaf is a packed
+    // product), so the sum below is exactly one of its two terms.
+    return ws_fused(m, k, n, cfg, 0) +
+           detail::fused_cache_elements<double>(m, k, n, cfg, 0);
   }
   if (cfg.odd == OddStrategy::static_padding) {
     const int levels = detail::static_padding_depth(cfg.cutoff, m, k, n);
@@ -167,11 +176,16 @@ count_t workspace_floats(index_t m, index_t n, index_t k, float beta,
         TunedPath::gemm) {
       return 0;
     }
-    return workspace_doubles(m, n, k, static_cast<double>(beta),
-                             sizing_config(eff));
+    return workspace_floats(m, n, k, beta, eff);
   }
-  return workspace_doubles(m, n, k, static_cast<double>(beta),
-                           sizing_config(cfg));
+  count_t elems = workspace_doubles(m, n, k, static_cast<double>(beta),
+                                    sizing_config(cfg));
+  if (cfg.scheme == Scheme::fused) {
+    // The float call's own cache slab, sized by the float kernel and
+    // blocking (sizing_config dropped the double-sized term on purpose).
+    elems += detail::fused_cache_elements<float>(m, k, n, cfg, 0);
+  }
+  return elems;
 }
 
 count_t parallel_workspace_doubles(index_t m, index_t n, index_t k,

@@ -515,6 +515,7 @@ int dispatch_request(const GemmRequestT<T>& req, ArenaT<T>& workspace,
   core::GefmmConfigT<T> cfg;
   cfg.cutoff = req.cutoff;
   cfg.scheme = req.scheme;
+  cfg.packed_b = req.packed_b;
   cfg.workspace = &workspace;
   cfg.on_failure = req.on_failure;
   cfg.stats = run_stats;

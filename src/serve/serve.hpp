@@ -164,6 +164,16 @@ struct GemmRequestT {
   /// Steady-clock deadline; kNoDeadline disables it. Only enforced while
   /// the request is queued -- a request that started computing finishes.
   Clock::time_point deadline = kNoDeadline;
+  /// Optional prepacked image of op(B) (blas/pack_operand.hpp), shared
+  /// across many requests against the same weights. Borrowed: the handle
+  /// (and the source matrix it stamps) must outlive the ticket's terminal
+  /// state. Consulted exactly as GefmmConfigT::packed_b -- only where the
+  /// admitted run reduces to a single top-level packed GEMM, which is the
+  /// skinny-shape serving hot path; the task-DAG driver ignores it. The
+  /// handle lives in caller memory, so admission pricing is unchanged: the
+  /// streamed path draws no workspace, and a hard miss (kernel or source
+  /// mismatch) re-packs fresh inside the same priced lease.
+  const blas::PackedOperandT<T>* packed_b = nullptr;
 };
 
 using GemmRequest = GemmRequestT<double>;

@@ -1,5 +1,6 @@
 #include "serve/serve_cabi.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <exception>
@@ -9,9 +10,11 @@
 #include <new>
 #include <utility>
 
+#include "blas/pack_operand.hpp"
 #include "core/cabi.hpp"
 #include "serve/serve.hpp"
 #include "support/errors.hpp"
+#include "support/matrix.hpp"
 
 namespace {
 
@@ -74,6 +77,12 @@ struct ServeGlobal {
   std::unique_ptr<serve::QueueF> queue_f;
   std::map<std::int64_t, serve::Ticket> tickets_d;
   std::map<std::int64_t, serve::TicketF> tickets_f;
+  // Prepacked-operand registry, disjoint from the request handles: a pack
+  // handle stays valid until freed, across any number of submissions and
+  // even across strassen_serve_shutdown. Map nodes give the borrowed
+  // PackedOperandT pointers stable addresses.
+  std::map<std::int64_t, blas::PackedOperand> packs_d;
+  std::map<std::int64_t, blas::PackedOperandF> packs_f;
 };
 
 ServeGlobal& serve_global() {
@@ -103,6 +112,15 @@ std::map<std::int64_t, serve::TicketT<T>>& tickets_for(ServeGlobal& g) {
   }
 }
 
+template <class T>
+std::map<std::int64_t, blas::PackedOperandT<T>>& packs_for(ServeGlobal& g) {
+  if constexpr (std::is_same_v<T, float>) {
+    return g.packs_f;
+  } else {
+    return g.packs_d;
+  }
+}
+
 // Maps an in-flight exception from submit machinery to its info code.
 int submit_info_from_exception() {
   try {
@@ -116,11 +134,67 @@ int submit_info_from_exception() {
   }
 }
 
+// ---- Prepacked-operand registry operations --------------------------------
+
+template <class T>
+int pack_b_size_t(char transb, std::int64_t k, std::int64_t n,
+                  std::int64_t* elems) noexcept {
+  Trans tb;
+  if (!parse_trans_char(transb, tb)) return 1;
+  if (k < 0) return 2;
+  if (n < 0) return 3;
+  if (elems == nullptr) return 15;
+  *elems = static_cast<std::int64_t>(blas::gefmm_pack_b_elements<T>(k, n));
+  return 0;
+}
+
+template <class T>
+int pack_b_t(char transb, std::int64_t k, std::int64_t n, const T* b,
+             std::int64_t ldb, std::int64_t* pack_handle) noexcept {
+  Trans tb;
+  if (!parse_trans_char(transb, tb)) return 1;
+  if (k < 0) return 2;
+  if (n < 0) return 3;
+  const std::int64_t stored_rows = is_trans(tb) ? n : k;
+  if (b == nullptr && k > 0 && n > 0) return 4;
+  if (ldb < std::max<std::int64_t>(stored_rows, 1)) return 5;
+  if (pack_handle == nullptr) return 15;
+  try {
+    const BasicView<const T> bv =
+        make_op_view(tb, b, is_trans(tb) ? n : k, is_trans(tb) ? k : n, ldb);
+    blas::PackedOperandT<T> packed = blas::gefmm_pack_b<T>(bv);
+    ServeGlobal& g = serve_global();
+    std::lock_guard<std::mutex> lock(g.mu);
+    const std::int64_t h = g.next_handle++;
+    packs_for<T>(g).emplace(h, std::move(packed));
+    *pack_handle = h;
+    return 0;
+  } catch (...) {
+    return submit_info_from_exception();
+  }
+}
+
+template <class T>
+int pack_free_t(std::int64_t pack_handle) noexcept {
+  try {
+    ServeGlobal& g = serve_global();
+    std::lock_guard<std::mutex> lock(g.mu);
+    auto& packs = packs_for<T>(g);
+    const auto it = packs.find(pack_handle);
+    if (it == packs.end()) return STRASSEN_INFO_BAD_HANDLE;
+    packs.erase(it);
+    return 0;
+  } catch (...) {
+    return STRASSEN_INFO_UNKNOWN;
+  }
+}
+
 template <class T>
 int submit_t(char transa, char transb, std::int64_t m, std::int64_t n,
              std::int64_t k, T alpha, const T* a, std::int64_t lda,
              const T* b, std::int64_t ldb, T beta, T* c, std::int64_t ldc,
-             std::int64_t deadline_ms, std::int64_t* handle) noexcept {
+             std::int64_t pack_handle, std::int64_t deadline_ms,
+             std::int64_t* handle) noexcept {
   serve::GemmRequestT<T> req;
   if (!parse_trans_char(transa, req.transa)) return 1;
   if (!parse_trans_char(transb, req.transb)) return 2;
@@ -148,6 +222,14 @@ int submit_t(char transa, char transb, std::int64_t m, std::int64_t n,
     serve::QueueT<T>* q;
     {
       std::lock_guard<std::mutex> lock(g.mu);
+      if (pack_handle != 0) {
+        auto& packs = packs_for<T>(g);
+        const auto it = packs.find(pack_handle);
+        if (it == packs.end()) return STRASSEN_INFO_BAD_HANDLE;
+        // Map nodes are address-stable; the caller keeps the handle alive
+        // until this submission's wait returns.
+        req.packed_b = &it->second;
+      }
       q = &queue_for<T>(g);
     }
     // submit may block (block policy) or run a shed inline; the registry
@@ -208,7 +290,35 @@ int strassen_dgefmm_submit(char transa, char transb, std::int64_t m,
                            std::int64_t ldc, std::int64_t deadline_ms,
                            std::int64_t* handle) {
   return submit_t<double>(transa, transb, m, n, k, alpha, a, lda, b, ldb,
-                          beta, c, ldc, deadline_ms, handle);
+                          beta, c, ldc, /*pack_handle=*/0, deadline_ms,
+                          handle);
+}
+
+int strassen_dgefmm_pack_b_size(char transb, std::int64_t k, std::int64_t n,
+                                std::int64_t* elems) {
+  return pack_b_size_t<double>(transb, k, n, elems);
+}
+
+int strassen_dgefmm_pack_b(char transb, std::int64_t k, std::int64_t n,
+                           const double* b, std::int64_t ldb,
+                           std::int64_t* pack_handle) {
+  return pack_b_t<double>(transb, k, n, b, ldb, pack_handle);
+}
+
+int strassen_dgefmm_pack_free(std::int64_t pack_handle) {
+  return pack_free_t<double>(pack_handle);
+}
+
+int strassen_dgefmm_submit_packed(char transa, char transb, std::int64_t m,
+                                  std::int64_t n, std::int64_t k, double alpha,
+                                  const double* a, std::int64_t lda,
+                                  const double* b, std::int64_t ldb,
+                                  double beta, double* c, std::int64_t ldc,
+                                  std::int64_t pack_handle,
+                                  std::int64_t deadline_ms,
+                                  std::int64_t* handle) {
+  return submit_t<double>(transa, transb, m, n, k, alpha, a, lda, b, ldb,
+                          beta, c, ldc, pack_handle, deadline_ms, handle);
 }
 
 int strassen_dgefmm_wait(std::int64_t handle) {
@@ -226,7 +336,35 @@ int strassen_sgefmm_submit(char transa, char transb, std::int64_t m,
                            std::int64_t ldc, std::int64_t deadline_ms,
                            std::int64_t* handle) {
   return submit_t<float>(transa, transb, m, n, k, alpha, a, lda, b, ldb,
-                         beta, c, ldc, deadline_ms, handle);
+                         beta, c, ldc, /*pack_handle=*/0, deadline_ms,
+                         handle);
+}
+
+int strassen_sgefmm_pack_b_size(char transb, std::int64_t k, std::int64_t n,
+                                std::int64_t* elems) {
+  return pack_b_size_t<float>(transb, k, n, elems);
+}
+
+int strassen_sgefmm_pack_b(char transb, std::int64_t k, std::int64_t n,
+                           const float* b, std::int64_t ldb,
+                           std::int64_t* pack_handle) {
+  return pack_b_t<float>(transb, k, n, b, ldb, pack_handle);
+}
+
+int strassen_sgefmm_pack_free(std::int64_t pack_handle) {
+  return pack_free_t<float>(pack_handle);
+}
+
+int strassen_sgefmm_submit_packed(char transa, char transb, std::int64_t m,
+                                  std::int64_t n, std::int64_t k, float alpha,
+                                  const float* a, std::int64_t lda,
+                                  const float* b, std::int64_t ldb, float beta,
+                                  float* c, std::int64_t ldc,
+                                  std::int64_t pack_handle,
+                                  std::int64_t deadline_ms,
+                                  std::int64_t* handle) {
+  return submit_t<float>(transa, transb, m, n, k, alpha, a, lda, b, ldb, beta,
+                         c, ldc, pack_handle, deadline_ms, handle);
 }
 
 int strassen_sgefmm_wait(std::int64_t handle) {

@@ -64,6 +64,67 @@ extern "C" {
 /// handle stays valid -- the outcome is observed via strassen_dgefmm_wait.
 int strassen_dgefmm_cancel(std::int64_t handle);
 
+/// ---- Prepacked operands (mkldnn gemm_pack style) -------------------------
+///
+/// Pack op(B) once, submit many requests against the image. The pack
+/// handle is stamped with the active micro-kernel and the identity of the
+/// source matrix; a submit that consults it under a different kernel, or
+/// after B moved, is a hard miss that silently re-packs fresh (the product
+/// stays correct either way). Pack handles and request handles live in
+/// disjoint registries: a pack handle stays valid until freed and may back
+/// any number of concurrent submissions.
+
+/// Stores the element count of the packed image of op(B) (k x n after the
+/// transpose) under the currently active kernel in *elems. Returns 0, or 1
+/// for an invalid `transb`, 2/3 for a negative dimension, 15 when `elems`
+/// is null. The count changes when the kernel changes (STRASSEN_KERNEL),
+/// exactly as the handle stamp demands.
+[[nodiscard]] int strassen_dgefmm_pack_b_size(char transb, std::int64_t k,
+                                              std::int64_t n,
+                                              std::int64_t* elems);
+
+/// Packs op(B) into a fresh process-registry handle stored in
+/// *pack_handle. Returns 0, the positive bad-argument codes of
+/// strassen_dgefmm_pack_b_size, or STRASSEN_INFO_ALLOC when the image
+/// buffer cannot be allocated. B is read once here and never retained;
+/// only its address is stamped for the consult identity check, so B must
+/// stay valid (and unmodified) while submissions consult the handle.
+[[nodiscard]] int strassen_dgefmm_pack_b(char transb, std::int64_t k,
+                                         std::int64_t n, const double* b,
+                                         std::int64_t ldb,
+                                         std::int64_t* pack_handle);
+
+/// Frees a pack handle. Returns 0 or STRASSEN_INFO_BAD_HANDLE. Every
+/// submission that carries the handle must be waited before freeing it --
+/// the queue borrows the image, it never copies it.
+int strassen_dgefmm_pack_free(std::int64_t pack_handle);
+
+/// strassen_dgefmm_submit with a prepacked op(B): identical semantics plus
+/// the pack consult on the serving hot path (shapes the cutoff sends
+/// straight to GEMM). Returns STRASSEN_INFO_BAD_HANDLE when `pack_handle`
+/// is unknown; `pack_handle` 0 means "no prepack" and behaves exactly like
+/// strassen_dgefmm_submit.
+[[nodiscard]] int strassen_dgefmm_submit_packed(
+    char transa, char transb, std::int64_t m, std::int64_t n, std::int64_t k,
+    double alpha, const double* a, std::int64_t lda, const double* b,
+    std::int64_t ldb, double beta, double* c, std::int64_t ldc,
+    std::int64_t pack_handle, std::int64_t deadline_ms, std::int64_t* handle);
+
+/// Float twins of the prepack surface, stamped by the float kernel.
+[[nodiscard]] int strassen_sgefmm_pack_b_size(char transb, std::int64_t k,
+                                              std::int64_t n,
+                                              std::int64_t* elems);
+[[nodiscard]] int strassen_sgefmm_pack_b(char transb, std::int64_t k,
+                                         std::int64_t n, const float* b,
+                                         std::int64_t ldb,
+                                         std::int64_t* pack_handle);
+int strassen_sgefmm_pack_free(std::int64_t pack_handle);
+[[nodiscard]] int strassen_sgefmm_submit_packed(
+    char transa, char transb, std::int64_t m, std::int64_t n, std::int64_t k,
+    float alpha, const float* a, std::int64_t lda, const float* b,
+    std::int64_t ldb, float beta, float* c, std::int64_t ldc,
+    std::int64_t pack_handle, std::int64_t deadline_ms, std::int64_t* handle);
+
 /// Float twins of the serving entry points, backed by the float queue.
 [[nodiscard]] int strassen_sgefmm_submit(char transa, char transb,
                                          std::int64_t m, std::int64_t n,

@@ -138,21 +138,13 @@ double crossover_or_never(const std::vector<SweepPoint>& sweep) {
   return static_cast<double>(std::max<index_t>(crossover_from_sweep(sweep), 1));
 }
 
-// One measured point of the scheme sweep: wall time of every schedule at
-// order s, all drawing from pre-reserved workspace so the timed region is
-// pure compute.
-struct SchemeTimes {
-  double gemm = 0;
-  double fused1 = 0;
-  double fused2 = 0;
-  double hybrid = 0;
-  double dag = 0;
-};
-
+// Times every candidate schedule at order s, all drawing from pre-reserved
+// workspace so the timed region is pure compute.
 template <class T>
-SchemeTimes time_schemes(index_t s, const core::CutoffCriterion& cutoff,
+SchemePoint time_schemes(index_t s, const core::CutoffCriterion& cutoff,
                          const AutotuneOptions& opts) {
-  SchemeTimes out;
+  SchemePoint out;
+  out.s = s;
   Rng rng(static_cast<std::uint64_t>(s) * 2654435761u + 17);
   MatrixT<T> a = random_matrix_t<T>(s, s, rng);
   MatrixT<T> b = random_matrix_t<T>(s, s, rng);
@@ -172,14 +164,22 @@ SchemeTimes time_schemes(index_t s, const core::CutoffCriterion& cutoff,
   core::GefmmConfigT<T> hybrid;
   hybrid.cutoff = cutoff;
   hybrid.scheme = core::Scheme::automatic;
+  // Forced STRASSEN2: at beta == 0 the automatic hybrid resolves to
+  // STRASSEN1, so this is a genuinely distinct candidate -- the one that
+  // won the m = 4096 shape the hybrid-only sweep mis-routed.
+  core::GefmmConfigT<T> s2cfg;
+  s2cfg.cutoff = cutoff;
+  s2cfg.scheme = core::Scheme::strassen2;
 
   ArenaT<T> arena(static_cast<std::size_t>(
       std::max({workspace_t<T>(s, s, s, beta, fused1),
                 workspace_t<T>(s, s, s, beta, fused2),
-                workspace_t<T>(s, s, s, beta, hybrid)})));
+                workspace_t<T>(s, s, s, beta, hybrid),
+                workspace_t<T>(s, s, s, beta, s2cfg)})));
   fused1.workspace = &arena;
   fused2.workspace = &arena;
   hybrid.workspace = &arena;
+  s2cfg.workspace = &arena;
 
   parallel::ParallelGefmmConfigT<T> pcfg;
   pcfg.cutoff = cutoff;
@@ -211,6 +211,7 @@ SchemeTimes time_schemes(index_t s, const core::CutoffCriterion& cutoff,
   out.fused1 = time_min([&] { run(fused1); }, opts.reps);
   out.fused2 = time_min([&] { run(fused2); }, opts.reps);
   out.hybrid = time_min([&] { run(hybrid); }, opts.reps);
+  out.s2 = time_min([&] { run(s2cfg); }, opts.reps);
   out.dag = time_min(
       [&] {
         [[maybe_unused]] const int info =
@@ -240,28 +241,38 @@ TunedCriteria autotune_t(const AutotuneOptions& opts) {
 
   // Scheme sweep: geometric sizes (x1.5, rounded to a multiple of 8 so
   // the top levels always split evenly), every schedule timed at each.
-  std::vector<SweepPoint> fused_sweep;    // gemm vs fused-L1
-  std::vector<SweepPoint> fused2_sweep;   // fused-L1 vs fused-L2
-  std::vector<SweepPoint> hybrid_sweep;   // best fused vs classic hybrid
-  std::vector<SweepPoint> dag_sweep;      // best serial vs DAG
+  std::vector<SchemePoint> sweep;
   const index_t min_size = std::max<index_t>(opts.min_size, 32);
   for (index_t s = min_size; s <= opts.max_size;
        s = std::max<index_t>((s + s / 2) / 8 * 8, s + 8)) {
-    const SchemeTimes t = time_schemes<T>(s, out.beta_zero, opts);
-    const double best_fused = std::min(t.fused1, t.fused2);
-    fused_sweep.push_back({s, t.gemm / t.fused1});
-    fused2_sweep.push_back({s, t.fused1 / t.fused2});
-    hybrid_sweep.push_back({s, best_fused / t.hybrid});
-    dag_sweep.push_back({s, std::min(best_fused, t.hybrid) / t.dag});
+    sweep.push_back(time_schemes<T>(s, out.beta_zero, opts));
   }
-  // tau_fused extrapolates past the sweep in Strassen's favour (the
-  // asymptotics guarantee a crossover exists); the alternative-schedule
-  // thresholds use the "never" sentinel instead.
-  out.tau_fused =
-      static_cast<double>(std::max<index_t>(crossover_from_sweep(fused_sweep), 1));
-  out.tau_fused2 = crossover_or_never(fused2_sweep);
-  out.tau_hybrid = crossover_or_never(hybrid_sweep);
-  out.tau_dag = crossover_or_never(dag_sweep);
+  SchemeCrossovers x = reduce_scheme_sweep(sweep);
+  // Midpoint refinement of the hybrid crossover: the geometric stride
+  // leaves a ~50% size gap around the flip, and tau_hybrid gates the
+  // biggest schedule change of the dispatch (capped fused -> growing
+  // recursion). One extra measurement inside the bracketing interval
+  // halves the region where near-crossover shapes can be mis-routed.
+  if (x.tau_hybrid > 0) {
+    for (std::size_t i = 0; i + 1 < sweep.size(); ++i) {
+      if (static_cast<double>(sweep[i].s) > x.tau_hybrid ||
+          static_cast<double>(sweep[i + 1].s) <= x.tau_hybrid) {
+        continue;
+      }
+      const index_t mid = (sweep[i].s + sweep[i + 1].s) / 2 / 8 * 8;
+      if (mid > sweep[i].s && mid < sweep[i + 1].s) {
+        sweep.insert(sweep.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                     time_schemes<T>(mid, out.beta_zero, opts));
+        x = reduce_scheme_sweep(sweep);
+      }
+      break;
+    }
+  }
+  out.tau_fused = x.tau_fused;
+  out.tau_fused2 = x.tau_fused2;
+  out.tau_hybrid = x.tau_hybrid;
+  out.tau_s2 = x.tau_s2;
+  out.tau_dag = x.tau_dag;
   out.threads = opts.dag_threads != 0
                     ? static_cast<int>(opts.dag_threads)
                     : static_cast<int>(
@@ -271,6 +282,50 @@ TunedCriteria autotune_t(const AutotuneOptions& opts) {
 }
 
 }  // namespace
+
+SchemeCrossovers reduce_scheme_sweep(const std::vector<SchemePoint>& sweep) {
+  SchemeCrossovers out;
+  if (sweep.empty()) return out;
+  // Five pairwise ratio sweeps, each "incumbent / challenger" so ratio > 1
+  // means the challenger won at that size. The hybrid sweep compares the
+  // best capped-fused schedule against the best classic recursion (automatic
+  // hybrid OR forced STRASSEN2) -- comparing against the automatic hybrid
+  // alone is exactly the bug that mis-routed m = 4096: the regime flip was
+  // dated by a recursion variant that was itself the measured-worst one.
+  std::vector<SweepPoint> fused_sweep;   // gemm vs fused-L1
+  std::vector<SweepPoint> fused2_sweep;  // fused-L1 vs fused-L2
+  std::vector<SweepPoint> hybrid_sweep;  // best fused vs best classic
+  std::vector<SweepPoint> s2_sweep;      // automatic hybrid vs forced S2
+  std::vector<SweepPoint> dag_sweep;     // best serial vs DAG
+  for (const SchemePoint& t : sweep) {
+    const double best_fused = std::min(t.fused1, t.fused2);
+    const double best_classic = std::min(t.hybrid, t.s2);
+    fused_sweep.push_back({t.s, t.gemm / t.fused1});
+    fused2_sweep.push_back({t.s, t.fused1 / t.fused2});
+    hybrid_sweep.push_back({t.s, best_fused / best_classic});
+    s2_sweep.push_back({t.s, t.hybrid / t.s2});
+    dag_sweep.push_back({t.s, std::min(best_fused, best_classic) / t.dag});
+  }
+  // tau_fused extrapolates past the sweep in Strassen's favour (the
+  // asymptotics guarantee a crossover exists); the alternative-schedule
+  // thresholds use the "never" sentinel instead.
+  out.tau_fused = static_cast<double>(
+      std::max<index_t>(crossover_from_sweep(fused_sweep), 1));
+  out.tau_fused2 = crossover_or_never(fused2_sweep);
+  out.tau_hybrid = crossover_or_never(hybrid_sweep);
+  out.tau_s2 = crossover_or_never(s2_sweep);
+  out.tau_dag = crossover_or_never(dag_sweep);
+  // tau_s2 only means anything inside the classic regime (tuned_path_for
+  // consults it after the tau_hybrid gate). Clamp it up to tau_hybrid when
+  // STRASSEN2 already wins at the regime boundary, and drop it entirely
+  // when the classic recursion never wins at all.
+  if (out.tau_hybrid <= 0) {
+    out.tau_s2 = 0;
+  } else if (out.tau_s2 > 0 && out.tau_s2 < out.tau_hybrid) {
+    out.tau_s2 = out.tau_hybrid;
+  }
+  return out;
+}
 
 TunedCriteria autotune_double(const AutotuneOptions& opts) {
   return autotune_t<double>(opts);
@@ -287,6 +342,7 @@ core::TunedPolicy policy_from_criteria(const TunedCriteria& criteria) {
   policy.tau_fused = criteria.tau_fused;
   policy.tau_fused2 = criteria.tau_fused2;
   policy.tau_hybrid = criteria.tau_hybrid;
+  policy.tau_s2 = criteria.tau_s2;
   policy.tau_dag = criteria.tau_dag;
   policy.threads = criteria.threads;
   std::snprintf(policy.kernel, sizeof(policy.kernel), "%s",

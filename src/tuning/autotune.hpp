@@ -26,6 +26,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "core/tuned_policy.hpp"
 #include "tuning/persist.hpp"
@@ -58,6 +59,35 @@ struct AutotuneOptions {
 /// timings; expensive at large max_size.
 TunedCriteria autotune_double(const AutotuneOptions& opts);
 TunedCriteria autotune_float(const AutotuneOptions& opts);
+
+/// One measured point of the scheme sweep: wall seconds of every candidate
+/// schedule at equivalent order s.
+struct SchemePoint {
+  index_t s = 0;
+  double gemm = 0;    ///< plain packed GEMM
+  double fused1 = 0;  ///< one fused Strassen level
+  double fused2 = 0;  ///< two fused levels
+  double hybrid = 0;  ///< classic eq.-15 automatic hybrid recursion
+  double s2 = 0;      ///< forced STRASSEN2 recursion
+  double dag = 0;     ///< task-DAG parallel schedule
+};
+
+/// The five thresholds of the tuned dispatch in equivalent orders (0 =
+/// that schedule never won in range).
+struct SchemeCrossovers {
+  double tau_fused = 0;
+  double tau_fused2 = 0;
+  double tau_hybrid = 0;
+  double tau_s2 = 0;
+  double tau_dag = 0;
+};
+
+/// Pure sweep-to-crossover reduction, separated from measurement so tests
+/// can feed synthetic (or recorded) sweeps and assert properties of the
+/// resulting dispatch -- in particular that core::tuned_path_for never
+/// selects a schedule the sweep measured as the worst at any swept size.
+/// The sweep must be sorted by ascending s.
+SchemeCrossovers reduce_scheme_sweep(const std::vector<SchemePoint>& sweep);
 
 /// Converts persisted criteria into the in-process policy form.
 core::TunedPolicy policy_from_criteria(const TunedCriteria& criteria);

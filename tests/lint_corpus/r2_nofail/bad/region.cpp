@@ -1,11 +1,13 @@
 // Rule 2 fixture (violation): a fallible Arena acquisition textually
-// inside a ScopedSuspend no-fail region.
+// inside a ScopedSuspend no-fail region, and a prepack-handle build
+// (which allocates the packed image) inside the same region.
 namespace strassen {
 
 void run_compute(support::Arena& arena, double* c, long n) {
   faultinject::ScopedSuspend suspend;
   double* t = arena.alloc(n);
-  accumulate(t, c, n);
+  auto pb = blas::gefmm_pack_b(bview);
+  accumulate(t, pb, c, n);
 }
 
 }  // namespace strassen

@@ -1,11 +1,12 @@
-// Rule 2 fixture (clean twin): the acquisition completes before the
-// no-fail region opens.
+// Rule 2 fixture (clean twin): the acquisitions (arena carve and prepack
+// image build) complete before the no-fail region opens.
 namespace strassen {
 
 void run_compute(support::Arena& arena, double* c, long n) {
   double* t = arena.alloc(n);
+  auto pb = blas::gefmm_pack_b(bview);
   faultinject::ScopedSuspend suspend;
-  accumulate(t, c, n);
+  accumulate(t, pb, c, n);
 }
 
 }  // namespace strassen

@@ -1,11 +1,13 @@
-// Rule 3 fixture (violation): a driver performing a fallible acquisition
-// after dispatching into the computation (C already written).
+// Rule 3 fixture (violation): a driver performing fallible acquisitions
+// (an arena carve and a prepack-image build) after dispatching into the
+// computation (C already written).
 namespace strassen::core {
 
 int dgefmm(double* c, support::Arena& arena, long n) {
   blas::dgemm(c, n);
   double* extra = arena.alloc(n);
-  finish(extra, c, n);
+  auto pb = blas::gefmm_pack_b(bview);
+  finish(extra, pb, c, n);
   return 0;
 }
 

@@ -3,8 +3,9 @@ namespace strassen::core {
 
 int dgefmm(double* c, support::Arena& arena, long n) {
   double* extra = arena.alloc(n);
+  auto pb = blas::gefmm_pack_b(bview);
   blas::dgemm(c, n);
-  finish(extra, c, n);
+  finish(extra, pb, c, n);
   return 0;
 }
 

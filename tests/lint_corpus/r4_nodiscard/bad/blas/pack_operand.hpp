@@ -1,0 +1,22 @@
+// Rule 4 fixture (violation): the prepack surface with the pack-B entry
+// point and the consult missing their [[nodiscard]] annotations.
+#pragma once
+
+namespace strassen::blas {
+
+[[nodiscard]] std::size_t gefmm_pack_a_elements(index_t m, index_t k);
+[[nodiscard]] std::size_t gefmm_pack_b_elements(index_t k, index_t n);
+
+template <class T>
+[[nodiscard]] PackedOperandT<T> gefmm_pack_a(BasicView<const T> a);
+
+// Packs B; the handle owns the image.
+template <class T>
+PackedOperandT<T> gefmm_pack_b(BasicView<const T> b);
+
+// Consults the stamp; a dropped result skips the hard-miss discipline.
+template <class T>
+bool packed_operand_matches(const PackedOperandT<T>& h, char which,
+                            BasicView<const T> v);
+
+}  // namespace strassen::blas

@@ -1,0 +1,18 @@
+// Rule 4 fixture (clean twin): the whole prepack surface annotated.
+#pragma once
+
+namespace strassen::blas {
+
+[[nodiscard]] std::size_t gefmm_pack_a_elements(index_t m, index_t k);
+[[nodiscard]] std::size_t gefmm_pack_b_elements(index_t k, index_t n);
+
+template <class T>
+[[nodiscard]] PackedOperandT<T> gefmm_pack_a(BasicView<const T> a);
+template <class T>
+[[nodiscard]] PackedOperandT<T> gefmm_pack_b(BasicView<const T> b);
+
+template <class T>
+[[nodiscard]] bool packed_operand_matches(const PackedOperandT<T>& h,
+                                          char which, BasicView<const T> v);
+
+}  // namespace strassen::blas

@@ -153,6 +153,7 @@ TEST(Persist, SchemeCrossoverKeysRoundTrip) {
   t.tau_fused = 1944;
   t.tau_fused2 = 1100;
   t.tau_hybrid = 1460;
+  t.tau_s2 = 2100;
   t.tau_dag = 720;
   t.threads = 4;
   std::stringstream ss;
@@ -160,11 +161,13 @@ TEST(Persist, SchemeCrossoverKeysRoundTrip) {
   EXPECT_NE(ss.str().find("scheme.fused = 1944"), std::string::npos);
   EXPECT_NE(ss.str().find("scheme.fused2 = 1100"), std::string::npos);
   EXPECT_NE(ss.str().find("scheme.hybrid = 1460"), std::string::npos);
+  EXPECT_NE(ss.str().find("scheme.s2 = 2100"), std::string::npos);
   EXPECT_NE(ss.str().find("scheme.dag = 720"), std::string::npos);
   const TunedCriteria back = tuning::load_criteria(ss);
   EXPECT_DOUBLE_EQ(back.tau_fused, 1944);
   EXPECT_DOUBLE_EQ(back.tau_fused2, 1100);
   EXPECT_DOUBLE_EQ(back.tau_hybrid, 1460);
+  EXPECT_DOUBLE_EQ(back.tau_s2, 2100);
   EXPECT_DOUBLE_EQ(back.tau_dag, 720);
   EXPECT_EQ(back.threads, 4);
 }
@@ -177,6 +180,7 @@ TEST(Persist, SchemeKeysAbsentKeepNeverSentinel) {
   EXPECT_DOUBLE_EQ(back.tau_fused, 0);
   EXPECT_DOUBLE_EQ(back.tau_fused2, 0);
   EXPECT_DOUBLE_EQ(back.tau_hybrid, 0);
+  EXPECT_DOUBLE_EQ(back.tau_s2, 0);
   EXPECT_DOUBLE_EQ(back.tau_dag, 0);
   EXPECT_EQ(back.threads, 0);
 }

@@ -3,7 +3,9 @@
 // exercises the real timing path.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "blas/gemm.hpp"
 #include "blas/kernels.hpp"
@@ -197,6 +199,139 @@ TEST(TunedPolicy, PathRoutingThresholds) {
   p.tau_fused = 0;
   EXPECT_EQ(core::tuned_path_for(p, 8, 8, 8, 1), TunedPath::fused_l1);
   EXPECT_EQ(core::tuned_path_for(p, 16, 16, 16, 1), TunedPath::fused_l1);
+}
+
+TEST(TunedPolicy, Strassen2OutranksHybridPastTauS2) {
+  // tau_s2 partitions the classic regime: automatic hybrid up to tau_s2,
+  // forced STRASSEN2 beyond. It is consulted only after the tau_hybrid
+  // gate, so it can never route strassen2 while fused still wins.
+  core::TunedPolicy p;
+  p.tau_fused = 100;
+  p.tau_fused2 = 300;
+  p.tau_hybrid = 400;
+  p.tau_s2 = 800;
+
+  using core::TunedPath;
+  EXPECT_EQ(core::tuned_path_for(p, 500, 500, 500, 1), TunedPath::hybrid);
+  EXPECT_EQ(core::tuned_path_for(p, 800, 800, 800, 1), TunedPath::hybrid);
+  EXPECT_EQ(core::tuned_path_for(p, 900, 900, 900, 1), TunedPath::strassen2);
+  // The DAG still outranks both recursion variants when workers exist.
+  p.tau_dag = 600;
+  EXPECT_EQ(core::tuned_path_for(p, 900, 900, 900, 4), TunedPath::dag);
+  EXPECT_EQ(core::tuned_path_for(p, 900, 900, 900, 1), TunedPath::strassen2);
+  // tau_s2 == 0: old criteria files without the key keep their routing.
+  p.tau_s2 = 0;
+  EXPECT_EQ(core::tuned_path_for(p, 900, 900, 900, 1), TunedPath::hybrid);
+  // tau_s2 at the regime boundary: strassen2 from the first classic size.
+  p.tau_s2 = p.tau_hybrid;
+  EXPECT_EQ(core::tuned_path_for(p, 450, 450, 450, 1), TunedPath::strassen2);
+}
+
+// --- sweep reduction: the tuned path must never be the measured worst ------
+
+// The measured time the policy's chosen path would run at one swept point.
+double time_of_path(core::TunedPath path, const tuning::SchemePoint& t) {
+  switch (path) {
+    case core::TunedPath::classic:  // untuned default: the automatic hybrid
+      return t.hybrid;
+    case core::TunedPath::gemm:
+      return t.gemm;
+    case core::TunedPath::fused_l1:
+      return t.fused1;
+    case core::TunedPath::fused_l2:
+      return t.fused2;
+    case core::TunedPath::hybrid:
+      return t.hybrid;
+    case core::TunedPath::strassen2:
+      return t.s2;
+    case core::TunedPath::dag:
+      return t.dag;
+  }
+  return 0;
+}
+
+core::TunedPolicy policy_from_crossovers(const tuning::SchemeCrossovers& x) {
+  tuning::TunedCriteria criteria;
+  criteria.kernel = blas::active_kernel().name;
+  criteria.tau_fused = x.tau_fused;
+  criteria.tau_fused2 = x.tau_fused2;
+  criteria.tau_hybrid = x.tau_hybrid;
+  criteria.tau_s2 = x.tau_s2;
+  criteria.tau_dag = x.tau_dag;
+  return tuning::policy_from_criteria(criteria);
+}
+
+// Regression for the m = 4096 mis-route: the committed crossover bench
+// measured the tuned path ("hybrid", 0.888x vs DGEMM) as slower than the
+// schedule the sweep itself had timed winning (strassen2, 0.952x) -- the
+// automatic hybrid was the measured-WORST serial schedule at that shape,
+// yet the reduction dated the classic-regime flip by it and the router had
+// no way to pick the variant that actually won. This sweep reproduces that
+// shape class synthetically (times in arbitrary units, lower = better,
+// hybrid worst at every large size while forced STRASSEN2 wins) and
+// asserts the property that was violated: at every swept size, the path
+// the reduced policy routes to is never the worst-measured schedule there.
+TEST(SchemeSweep, TunedPathIsNeverTheMeasuredWorstSchedule) {
+  using tuning::SchemePoint;
+  const std::vector<SchemePoint> sweep{
+      //   s   gemm fused1 fused2 hybrid   s2   dag
+      {128, 1.00, 1.10, 1.20, 1.40, 1.45, 1.50},
+      {256, 1.00, 0.95, 1.00, 1.25, 1.30, 1.20},
+      {512, 1.00, 0.92, 0.90, 1.10, 1.12, 1.00},
+      {1024, 1.00, 0.93, 0.91, 1.05, 0.96, 0.95},
+      {2048, 1.00, 0.95, 0.94, 1.08, 0.88, 0.90},
+      {4096, 1.00, 0.99, 0.98, 1.13, 0.85, 0.87},
+  };
+  const tuning::SchemeCrossovers x = tuning::reduce_scheme_sweep(sweep);
+  // Structural expectations for this sweep: fused wins early, the classic
+  // regime opens between 1024 and 2048, and within it STRASSEN2 (not the
+  // automatic hybrid, which never beats best-fused here) is the variant.
+  EXPECT_GE(x.tau_fused, 128);  // clean flip dates at the last gemm win
+  EXPECT_LT(x.tau_fused, 256);
+  EXPECT_GE(x.tau_hybrid, 1024);
+  EXPECT_LT(x.tau_hybrid, 2048);
+  EXPECT_DOUBLE_EQ(x.tau_s2, x.tau_hybrid);  // s2 wins the whole regime
+  EXPECT_DOUBLE_EQ(x.tau_dag, 0);            // DAG never won (1-core host)
+
+  const core::TunedPolicy p = policy_from_crossovers(x);
+  for (const SchemePoint& t : sweep) {
+    // Serial routing (workers == 1): the DAG is not a candidate.
+    const core::TunedPath path =
+        core::tuned_path_for(p, t.s, t.s, t.s, 1);
+    const double worst =
+        std::max({t.gemm, t.fused1, t.fused2, t.hybrid, t.s2});
+    EXPECT_LT(time_of_path(path, t), worst)
+        << "tuned path '" << core::tuned_path_name(path)
+        << "' is the measured-worst schedule at s = " << t.s;
+  }
+  // The specific 4096-class shapes must route to the forced-STRASSEN2
+  // recursion, not the automatic hybrid the old reduction picked.
+  EXPECT_EQ(core::tuned_path_for(p, 2048, 2048, 2048, 1),
+            core::TunedPath::strassen2);
+  EXPECT_EQ(core::tuned_path_for(p, 4096, 4096, 4096, 1),
+            core::TunedPath::strassen2);
+}
+
+TEST(SchemeSweep, HybridNeverWinningDropsTauS2) {
+  using tuning::SchemePoint;
+  // Fused wins everywhere in range: no classic regime, so tau_s2 must be
+  // dropped even though s2 beats the (also-losing) hybrid pointwise.
+  const std::vector<SchemePoint> sweep{
+      {256, 1.00, 0.95, 0.97, 1.20, 1.10, 1.30},
+      {512, 1.00, 0.90, 0.88, 1.15, 1.05, 1.20},
+  };
+  const tuning::SchemeCrossovers x = tuning::reduce_scheme_sweep(sweep);
+  EXPECT_DOUBLE_EQ(x.tau_hybrid, 0);
+  EXPECT_DOUBLE_EQ(x.tau_s2, 0);
+}
+
+TEST(SchemeSweep, EmptySweepIsAllNever) {
+  const tuning::SchemeCrossovers x = tuning::reduce_scheme_sweep({});
+  EXPECT_DOUBLE_EQ(x.tau_fused, 0);
+  EXPECT_DOUBLE_EQ(x.tau_fused2, 0);
+  EXPECT_DOUBLE_EQ(x.tau_hybrid, 0);
+  EXPECT_DOUBLE_EQ(x.tau_s2, 0);
+  EXPECT_DOUBLE_EQ(x.tau_dag, 0);
 }
 
 TEST(TunedPolicy, InstallRejectsStaleKernelStamp) {

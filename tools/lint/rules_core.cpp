@@ -84,6 +84,11 @@ void rule_nofail_regions(const SourceFile& f, Sink& sink) {
       // buffer's construction, and a criteria-file write can fail on any
       // filesystem error. Neither may hide inside a no-fail region.
       "advise_huge_pages(", "save_criteria_file(", "load_criteria_file(",
+      // Prepack-handle construction allocates (or validates) the packed
+      // image; it is acquisition-phase work by definition. The panel
+      // cache's infallible filler is named fill_packed_image precisely so
+      // it stays off this list.
+      "pack_operand(", "gefmm_pack_a(", "gefmm_pack_b(",
   };
   int depth = 0;
   int suspend_depth = -1;  // brace depth at the ScopedSuspend declaration
@@ -153,6 +158,7 @@ void rule_acquire_before_dispatch(const SourceFile& f, Sink& sink) {
       "DagRun(",   ".submit(",             "->submit(",
       "try_acquire(",                      "advise_huge_pages(",
       "save_criteria_file(",               "load_criteria_file(",
+      "pack_operand(", "gefmm_pack_a(",    "gefmm_pack_b(",
   };
   int depth = 0;
   bool in_driver = false;
@@ -264,6 +270,22 @@ constexpr NodiscardEntry kNodiscardTable[] = {
     {"serve/serve_cabi.hpp", "int strassen_sgefmm_wait("},
     {"support/memadvise.hpp", "std::size_t advise_huge_pages("},
     {"tuning/persist.hpp", "bool save_criteria_file("},
+    // The prepacked-operand surface (DESIGN.md section 15): dropping a
+    // size query undersizes caller storage, dropping a handle leaks the
+    // pack work, and dropping the consult/stream results silently skips
+    // the hard-miss discipline.
+    {"blas/pack_operand.hpp", "std::size_t gefmm_pack_a_elements("},
+    {"blas/pack_operand.hpp", "std::size_t gefmm_pack_b_elements("},
+    {"blas/pack_operand.hpp", "PackedOperandT<T> gefmm_pack_a("},
+    {"blas/pack_operand.hpp", "PackedOperandT<T> gefmm_pack_b("},
+    {"blas/pack_operand.hpp", "bool packed_operand_matches("},
+    {"blas/gemm.hpp", "bool gemm_view_prepacked("},
+    {"serve/serve_cabi.hpp", "int strassen_dgefmm_pack_b_size("},
+    {"serve/serve_cabi.hpp", "int strassen_dgefmm_pack_b("},
+    {"serve/serve_cabi.hpp", "int strassen_dgefmm_submit_packed("},
+    {"serve/serve_cabi.hpp", "int strassen_sgefmm_pack_b_size("},
+    {"serve/serve_cabi.hpp", "int strassen_sgefmm_pack_b("},
+    {"serve/serve_cabi.hpp", "int strassen_sgefmm_submit_packed("},
 };
 
 }  // namespace
